@@ -1,0 +1,38 @@
+//! Ablation A5: minimum DFS code vs the naive adjacency-matrix
+//! canonical form (the two representations named in Section 4).
+
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pis_graph::canonical::{min_dfs_code, naive_canonical};
+use pis_graph::graph::{complete_graph, cycle_graph, path_graph, star_graph};
+use pis_graph::Label;
+use std::hint::black_box;
+
+fn bench_canonical(c: &mut Criterion) {
+    let shapes: Vec<(&str, pis_graph::LabeledGraph)> = vec![
+        ("path7", path_graph(7, Label(0), Label(1))),
+        ("cycle6", cycle_graph(6, Label(0), Label(1))),
+        ("star5", star_graph(5, Label(0), Label(1))),
+        ("k4", complete_graph(4, Label(0), Label(1))),
+    ];
+
+    let mut group = c.benchmark_group("canonical");
+    group.sample_size(50);
+    for (name, g) in &shapes {
+        group.bench_with_input(BenchmarkId::new("min_dfs_code", name), g, |b, g| {
+            b.iter(|| black_box(min_dfs_code(g).expect("connected").code))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_matrix", name), g, |b, g| {
+            b.iter(|| black_box(naive_canonical(g)))
+        });
+    }
+
+    // is_min (the miner's hot canonicality check).
+    let code = min_dfs_code(&cycle_graph(6, Label(0), Label(1))).expect("connected").code;
+    group.bench_function("is_min_cycle6", |b| b.iter(|| black_box(code.is_min())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_canonical);
+criterion_main!(benches);

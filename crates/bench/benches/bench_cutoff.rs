@@ -1,0 +1,36 @@
+//! Figure 11 as a Criterion benchmark: the selectivity cutoff λ only
+//! affects partition choice, so runtime should be flat while pruning
+//! varies (see the `figures` binary for the candidate-count series).
+
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pis_bench::{ExperimentScale, TestBed};
+use pis_core::{PisConfig, PisSearcher};
+use std::hint::black_box;
+
+fn bench_cutoff(c: &mut Criterion) {
+    let scale = ExperimentScale { db_size: 200, query_count: 5, ..ExperimentScale::smoke() };
+    let bed = TestBed::build(&scale, 5);
+    let queries = bed.query_set(16);
+
+    let mut group = c.benchmark_group("cutoff_lambda");
+    group.sample_size(10);
+    for lambda in [0.5f64, 1.0, 2.0] {
+        let cfg = PisConfig { lambda, verify: false, structure_check: false, ..PisConfig::default() };
+        let searcher = PisSearcher::new(&bed.index, &bed.db, cfg);
+        group.bench_with_input(BenchmarkId::new("prune", lambda), &lambda, |b, _| {
+            b.iter(|| {
+                let mut candidates = 0usize;
+                for q in &queries {
+                    candidates += searcher.search(q, 2.0).candidates.len();
+                }
+                black_box(candidates)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cutoff);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 12 as a Criterion benchmark: pruning cost and strength by
+//! maximum indexed fragment size (4–6 edges).
+
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pis_bench::{ExperimentScale, TestBed};
+use pis_core::{PisConfig, PisSearcher};
+use std::hint::black_box;
+
+fn bench_fragment_size(c: &mut Criterion) {
+    let scale = ExperimentScale { db_size: 200, query_count: 5, ..ExperimentScale::smoke() };
+    let mut group = c.benchmark_group("fragment_size");
+    group.sample_size(10);
+
+    for size in [4usize, 5, 6] {
+        let bed = TestBed::build(&scale, size);
+        let queries = bed.query_set(16);
+        let cfg = PisConfig { verify: false, structure_check: false, ..PisConfig::default() };
+        let searcher = PisSearcher::new(&bed.index, &bed.db, cfg);
+        group.bench_with_input(BenchmarkId::new("prune", size), &size, |b, _| {
+            b.iter(|| {
+                let mut candidates = 0usize;
+                for q in &queries {
+                    candidates += searcher.search(q, 2.0).candidates.len();
+                }
+                black_box(candidates)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fragment_size);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Index construction cost: feature mining (gSpan + gIndex) and
+//! fragment-index build, by database size.
+
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pis_datasets::MoleculeGenerator;
+use pis_distance::MutationDistance;
+use pis_graph::LabeledGraph;
+use pis_index::{FragmentIndex, IndexConfig, IndexDistance};
+use pis_mining::{select_features, GindexConfig};
+use std::hint::black_box;
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+
+    for db_size in [50usize, 150] {
+        let db = MoleculeGenerator::default().database(db_size, 3);
+        let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+
+        group.bench_with_input(BenchmarkId::new("mine_features", db_size), &structures, |b, s| {
+            b.iter(|| {
+                black_box(select_features(
+                    s,
+                    &GindexConfig {
+                        max_edges: 4,
+                        min_support_fraction: 0.05,
+                        ..GindexConfig::default()
+                    },
+                ))
+            })
+        });
+
+        let features = select_features(
+            &structures,
+            &GindexConfig { max_edges: 4, min_support_fraction: 0.05, ..GindexConfig::default() },
+        );
+        group.bench_with_input(BenchmarkId::new("build_index", db_size), &db, |b, db| {
+            b.iter(|| {
+                black_box(FragmentIndex::build(
+                    db,
+                    features.clone(),
+                    IndexDistance::Mutation(MutationDistance::edge_hamming()),
+                    &IndexConfig::default(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_build);
+criterion_main!(benches);

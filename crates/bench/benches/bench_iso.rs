@@ -1,0 +1,78 @@
+//! Micro-benchmarks of the VF2 matcher: existence checks, embedding
+//! enumeration, and the verification-style bounded search on molecule
+//! data.
+
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pis_core::min_superimposed_distance;
+use pis_datasets::{sample_query_set, MoleculeGenerator};
+use pis_distance::MutationDistance;
+use pis_graph::graph::{cycle_graph, path_graph};
+use pis_graph::iso::{embeddings, is_subgraph, IsoConfig};
+use pis_graph::Label;
+use std::hint::black_box;
+
+fn bench_iso(c: &mut Criterion) {
+    let db = MoleculeGenerator::default().database(50, 7);
+    let queries = sample_query_set(&db, 12, 5, 3);
+
+    let mut group = c.benchmark_group("iso");
+    group.sample_size(30);
+
+    group.bench_function("exists_q12_molecule", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for q in &queries {
+                for g in &db {
+                    if is_subgraph(black_box(q), black_box(g), IsoConfig::STRUCTURE) {
+                        found += 1;
+                    }
+                }
+            }
+            black_box(found)
+        })
+    });
+
+    group.bench_function("enumerate_path4_in_cycle12", |b| {
+        let p = path_graph(4, Label(0), Label(0));
+        let t = cycle_graph(12, Label(0), Label(0));
+        b.iter(|| black_box(embeddings(&p, &t, IsoConfig::STRUCTURE).len()))
+    });
+
+    group.bench_function("bounded_verify_q12", |b| {
+        let md = MutationDistance::edge_hamming();
+        b.iter(|| {
+            let mut answers = 0usize;
+            for q in &queries {
+                for g in &db {
+                    if min_superimposed_distance(q, g, &md, 2.0).is_some() {
+                        answers += 1;
+                    }
+                }
+            }
+            black_box(answers)
+        })
+    });
+
+    for size in [8usize, 16, 24] {
+        let qs = sample_query_set(&db, size, 3, 11);
+        group.bench_with_input(BenchmarkId::new("exists_by_query_size", size), &qs, |b, qs| {
+            b.iter(|| {
+                let mut found = 0usize;
+                for q in qs {
+                    for g in &db {
+                        if is_subgraph(q, g, IsoConfig::STRUCTURE) {
+                            found += 1;
+                        }
+                    }
+                }
+                black_box(found)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_iso);
+criterion_main!(benches);

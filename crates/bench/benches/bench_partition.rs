@@ -1,0 +1,56 @@
+//! Ablation A1 (runtime side): MWIS algorithms on overlapping-relation
+//! graphs taken from real queries.
+
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pis_partition::{enhanced_greedy_mwis, exact_mwis, greedy_mwis, OverlapGraph};
+use std::hint::black_box;
+
+/// Builds path/grid-like overlap graphs of the size real Q12–Q24 queries
+/// produce.
+fn synthetic_overlap(n: usize, extra_degree: usize) -> OverlapGraph {
+    let mut weights = Vec::with_capacity(n);
+    let mut s = 0x2545f4914f6cdd1du64;
+    for _ in 0..n {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        weights.push(0.1 + ((s >> 33) % 100) as f64 / 50.0);
+    }
+    let mut edges = Vec::new();
+    for i in 1..n {
+        edges.push((i - 1, i));
+        for d in 0..extra_degree {
+            let j = i.saturating_sub(2 + d * 3);
+            if j + 1 < i {
+                edges.push((j, i));
+            }
+        }
+    }
+    OverlapGraph::from_parts(weights, edges)
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(30);
+
+    for n in [20usize, 60, 200] {
+        let g = synthetic_overlap(n, 3);
+        group.bench_with_input(BenchmarkId::new("greedy", n), &g, |b, g| {
+            b.iter(|| black_box(greedy_mwis(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("enhanced2", n), &g, |b, g| {
+            b.iter(|| black_box(enhanced_greedy_mwis(g, 2)))
+        });
+        if n <= 60 {
+            group.bench_with_input(BenchmarkId::new("exact", n), &g, |b, g| {
+                b.iter(|| black_box(exact_mwis(g)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Figure 8 as a Criterion benchmark: PIS pruning vs topoPrune vs the
+//! naive scan on a Q16 workload.
+
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pis_bench::{ExperimentScale, TestBed};
+use pis_core::{naive_scan, topo_prune, PisConfig, PisSearcher};
+use pis_distance::MutationDistance;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let scale = ExperimentScale { db_size: 200, query_count: 5, ..ExperimentScale::smoke() };
+    let bed = TestBed::build(&scale, 5);
+    let queries = bed.query_set(16);
+    let md = MutationDistance::edge_hamming();
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    for sigma in [1.0f64, 2.0, 4.0] {
+        let prune_only = PisConfig { verify: false, structure_check: false, ..PisConfig::default() };
+        let searcher = PisSearcher::new(&bed.index, &bed.db, prune_only);
+        group.bench_with_input(BenchmarkId::new("pis_prune", sigma), &sigma, |b, &s| {
+            b.iter(|| {
+                let mut candidates = 0usize;
+                for q in &queries {
+                    candidates += searcher.search(q, s).candidates.len();
+                }
+                black_box(candidates)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pis_full", sigma), &sigma, |b, &s| {
+            let full = PisSearcher::new(&bed.index, &bed.db, PisConfig::default());
+            b.iter(|| {
+                let mut answers = 0usize;
+                for q in &queries {
+                    answers += full.search(q, s).answers.len();
+                }
+                black_box(answers)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("topo_prune", sigma), &sigma, |b, &s| {
+            b.iter(|| {
+                let mut answers = 0usize;
+                for q in &queries {
+                    answers += topo_prune(&bed.index, &bed.db, q, s).answers.len();
+                }
+                black_box(answers)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive_scan", sigma), &sigma, |b, &s| {
+            b.iter(|| {
+                let mut answers = 0usize;
+                for q in &queries {
+                    answers += naive_scan(&bed.db, q, &md, s).answers.len();
+                }
+                black_box(answers)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Ablations A2/A3: range-query backends.
+//!
+//! * A2 — trie vs VP-tree for the mutation distance;
+//! * A3 — R-tree vs VP-tree for the linear distance.
+
+#![allow(missing_docs)] // criterion_group! generates undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pis_datasets::{sample_query_set, MoleculeConfig, MoleculeGenerator};
+use pis_distance::{LinearDistance, MutationDistance};
+use pis_graph::LabeledGraph;
+use pis_index::{Backend, FragmentIndex, IndexConfig, IndexDistance};
+use pis_mining::exhaustive::exhaustive_features;
+use std::hint::black_box;
+
+fn build(db: &[LabeledGraph], distance: IndexDistance, backend: Backend) -> FragmentIndex {
+    let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+    let features = exhaustive_features(&structures, 4);
+    FragmentIndex::build(db, features, distance, &IndexConfig { backend, ..IndexConfig::default() })
+}
+
+fn run_queries(index: &FragmentIndex, queries: &[LabeledGraph], sigma: f64) -> usize {
+    let mut hits = 0usize;
+    for q in queries {
+        for frag in index.enumerate_query_fragments(q) {
+            hits += index.range_query(frag.feature, &frag.vector, sigma).len();
+        }
+    }
+    hits
+}
+
+fn bench_range_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_query");
+    group.sample_size(15);
+
+    // A2 — mutation distance.
+    let db = MoleculeGenerator::default().database(120, 5);
+    let queries = sample_query_set(&db, 10, 4, 8);
+    let md = IndexDistance::Mutation(MutationDistance::edge_hamming());
+    let trie = build(&db, md.clone(), Backend::Trie);
+    let vp = build(&db, md, Backend::VpTree);
+    for sigma in [1.0f64, 2.0, 4.0] {
+        group.bench_with_input(BenchmarkId::new("md_trie", sigma), &sigma, |b, &s| {
+            b.iter(|| black_box(run_queries(&trie, &queries, s)))
+        });
+        group.bench_with_input(BenchmarkId::new("md_vptree", sigma), &sigma, |b, &s| {
+            b.iter(|| black_box(run_queries(&vp, &queries, s)))
+        });
+    }
+
+    // A3 — linear distance over weighted molecules.
+    let wdb = MoleculeGenerator::new(MoleculeConfig { weighted: true, ..MoleculeConfig::default() })
+        .database(120, 5);
+    let wqueries = sample_query_set(&wdb, 8, 4, 8);
+    let ld = IndexDistance::Linear(LinearDistance::edges_only());
+    let rtree = build(&wdb, ld.clone(), Backend::RTree);
+    let wvp = build(&wdb, ld, Backend::VpTree);
+    for sigma in [0.1f64, 0.5] {
+        group.bench_with_input(BenchmarkId::new("ld_rtree", sigma), &sigma, |b, &s| {
+            b.iter(|| black_box(run_queries(&rtree, &wqueries, s)))
+        });
+        group.bench_with_input(BenchmarkId::new("ld_vptree", sigma), &sigma, |b, &s| {
+            b.iter(|| black_box(run_queries(&wvp, &wqueries, s)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_range_query);
+criterion_main!(benches);

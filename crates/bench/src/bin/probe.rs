@@ -1,0 +1,31 @@
+//! Quick performance probe: one medium testbed, a handful of queries,
+//! raw `yt`/`yp`/timing lines. Use it to sanity-check a machine or a
+//! code change in seconds, before committing to a full `figures` run.
+//!
+//! Run with: `cargo run --release -p pis-bench --bin probe`
+
+use std::time::Instant;
+
+use pis_bench::{measure_queries, ExperimentScale, TestBed};
+use pis_core::PisConfig;
+
+fn main() {
+    let scale = ExperimentScale { db_size: 1000, query_count: 5, ..ExperimentScale::smoke() };
+    let t0 = Instant::now();
+    let bed = TestBed::build(&scale, 6);
+    println!(
+        "db={} features={} entries={} build={:?} (index {:?})",
+        bed.db.len(),
+        bed.index.features().len(),
+        bed.index.total_entries(),
+        t0.elapsed(),
+        bed.build_time
+    );
+    let queries = bed.query_set(16);
+    let t1 = Instant::now();
+    let ms = measure_queries(&bed, &queries, &[1.0, 2.0, 4.0], &PisConfig::default());
+    println!("measured {} queries in {:?}", ms.len(), t1.elapsed());
+    for m in &ms {
+        println!("yt={} yp={:?} prune={:?}", m.yt, m.yp, m.prune_time);
+    }
+}

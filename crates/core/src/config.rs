@@ -1,0 +1,64 @@
+//! Search-time configuration.
+
+/// Which MWIS algorithm picks the partition (Section 5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PartitionAlgo {
+    /// Algorithm 1 (`Greedy()`), the paper's default.
+    #[default]
+    Greedy,
+    /// `EnhancedGreedy(k)`; the paper evaluates `k = 2`.
+    EnhancedGreedy(usize),
+    /// Exact branch-and-bound MWIS (ablation A1; small queries only).
+    Exact,
+}
+
+/// Tunables of the partition-based search (Algorithm 2).
+#[derive(Clone, Debug)]
+pub struct PisConfig {
+    /// Selectivity cutoff multiplier `λ`: graphs not within `σ` of a
+    /// fragment contribute `λσ` to its selectivity, and matched
+    /// distances are capped at `λσ` (Figure 11; `λ = 1` is the paper's
+    /// default).
+    pub lambda: f64,
+    /// Minimum selectivity `ε` a fragment needs to join the
+    /// overlapping-relation graph (Algorithm 2, line 5). Fragments whose
+    /// structure appears within `σ` in nearly every graph prune nothing.
+    pub epsilon: f64,
+    /// Partition algorithm.
+    pub partition: PartitionAlgo,
+    /// Run the exact structure check (`Q ⊆ G`) on the pruned candidates
+    /// before distance verification. The paper builds PIS on top of
+    /// gIndex, i.e. with this filter on; disabling it yields the raw
+    /// Algorithm 2 candidate set.
+    pub structure_check: bool,
+    /// Verify candidates (step 3). Disable to measure pruning in
+    /// isolation, as the paper's figures do.
+    pub verify: bool,
+}
+
+impl Default for PisConfig {
+    fn default() -> Self {
+        PisConfig {
+            lambda: 1.0,
+            epsilon: 0.0,
+            partition: PartitionAlgo::Greedy,
+            structure_check: true,
+            verify: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = PisConfig::default();
+        assert_eq!(c.lambda, 1.0);
+        assert_eq!(c.epsilon, 0.0);
+        assert_eq!(c.partition, PartitionAlgo::Greedy);
+        assert!(c.structure_check);
+        assert!(c.verify);
+    }
+}

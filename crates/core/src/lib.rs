@@ -1,0 +1,37 @@
+//! PIS — Partition-based Graph Index and Search (ICDE 2006).
+//!
+//! The crate assembles the paper's full pipeline:
+//!
+//! 1. **Fragment-based index** (`pis-index`): built once over the
+//!    database from mined features (`pis-mining`).
+//! 2. **Partition-based search** ([`search::PisSearcher`], Algorithm 2):
+//!    enumerate the query's indexed fragments, run one range query per
+//!    fragment, intersect the survivor sets (structure + distance
+//!    violations), compute per-fragment selectivity
+//!    ([`selectivity`]), pick a maximum-selectivity non-overlapping
+//!    partition via MWIS (`pis-partition`), and prune every graph whose
+//!    partition lower bound exceeds `σ`.
+//! 3. **Candidate verification** ([`verify`]): a branch-and-bound
+//!    minimum-superimposed-distance matcher confirms survivors.
+//!
+//! Baselines from Section 2 live in [`baseline`]: the naive full scan
+//! and `topoPrune` (structure-only filtering). The searcher's
+//! [`search::SearchStats`] expose every intermediate candidate count the
+//! paper plots in Figures 8–12.
+
+pub mod baseline;
+pub mod batch;
+pub mod config;
+pub mod explain;
+pub mod knn;
+pub mod search;
+pub mod selectivity;
+pub mod verify;
+
+pub use baseline::{naive_scan, topo_prune, BaselineOutcome};
+pub use batch::{run_workload, WorkloadReport};
+pub use config::{PartitionAlgo, PisConfig};
+pub use explain::explain;
+pub use knn::{KnnOutcome, Neighbor};
+pub use search::{PisSearcher, SearchOutcome, SearchStats};
+pub use verify::min_superimposed_distance;

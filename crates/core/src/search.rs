@@ -1,0 +1,449 @@
+//! Partition-based search — Algorithm 2 of the paper.
+//!
+//! For a query `Q` and threshold `σ`:
+//!
+//! 1. enumerate the indexed fragments of `Q` (lines 3–4);
+//! 2. per fragment, one index range query yields `T = {G : d(g, G) ≤ σ}`
+//!    with exact minima; `CQ ← CQ ∩ T` removes structure and distance
+//!    violators (lines 6–17), and the hits give the fragment's
+//!    selectivity `w(g)` (line 18);
+//! 3. fragments with `w(g) ≤ ε` are dropped (line 5 — evaluated here
+//!    because `w` is only known after the range queries; see DESIGN.md);
+//! 4. the overlapping-relation graph is built and a maximum-selectivity
+//!    partition selected by MWIS (lines 19–20);
+//! 5. every remaining graph whose partition lower bound
+//!    `Σ_{g ∈ P} d(g, G)` exceeds `σ` is pruned (lines 21–23);
+//! 6. optionally, survivors are verified with the branch-and-bound
+//!    matcher (step 3 of the PIS framework).
+
+use pis_distance::SuperimposedDistance;
+use pis_graph::{GraphId, LabeledGraph};
+use pis_index::{FragmentIndex, IndexDistance, QueryFragment};
+use pis_partition::{
+    enhanced_greedy_mwis, exact_mwis, greedy_mwis, selection_weight, OverlapGraph,
+};
+
+use crate::config::{PartitionAlgo, PisConfig};
+use crate::selectivity::selectivity;
+use crate::verify::min_superimposed_distance;
+
+/// One fragment chosen into the partition (for explain output).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionFragment {
+    /// The fragment's equivalence class.
+    pub feature: pis_mining::FeatureId,
+    /// Number of query vertices it covers.
+    pub vertices: usize,
+    /// Its selectivity `w(g)`.
+    pub weight: f64,
+}
+
+/// Counters exposing every intermediate stage (the quantities plotted in
+/// Figures 8–12).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SearchStats {
+    /// Indexed fragments enumerated from the query (deduplicated).
+    pub query_fragments: usize,
+    /// Fragments surviving the `ε` selectivity filter.
+    pub fragments_in_pool: usize,
+    /// Fragments chosen into the partition.
+    pub partition_size: usize,
+    /// Total selectivity of the partition (the MWIS objective).
+    pub partition_weight: f64,
+    /// `|CQ|` after per-fragment intersection (structure + distance
+    /// violations).
+    pub candidates_after_intersection: usize,
+    /// `|CQ|` after partition lower-bound pruning — the paper's `Yp`
+    /// input.
+    pub candidates_after_partition: usize,
+    /// Candidates surviving the exact structure check (equals
+    /// `candidates_after_partition` when the check is disabled).
+    pub candidates_after_structure: usize,
+    /// Verification calls performed (equals candidates when verifying).
+    pub verification_calls: usize,
+    /// The chosen partition's members (explain output).
+    pub partition: Vec<PartitionFragment>,
+}
+
+/// Result of one PIS search.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// `CQ`: candidate answer set after all pruning, sorted by id.
+    pub candidates: Vec<GraphId>,
+    /// Verified answers (empty when verification is disabled).
+    pub answers: Vec<GraphId>,
+    /// Exact minimum superimposed distance of each answer, parallel to
+    /// `answers` (free — verification computes it anyway).
+    pub answer_distances: Vec<f64>,
+    /// Stage counters.
+    pub stats: SearchStats,
+}
+
+/// A query fragment with its range-query hits (sorted by graph id) and
+/// its selectivity `w(g)`.
+type ScoredFragment = (QueryFragment, Vec<(GraphId, f64)>, f64);
+
+/// The PIS search pipeline bound to an index and its database.
+pub struct PisSearcher<'a> {
+    index: &'a FragmentIndex,
+    database: &'a [LabeledGraph],
+    config: PisConfig,
+}
+
+impl<'a> PisSearcher<'a> {
+    /// Binds a searcher to an index and the database it was built from.
+    ///
+    /// # Panics
+    /// Panics if `database.len()` differs from the index's graph count.
+    pub fn new(index: &'a FragmentIndex, database: &'a [LabeledGraph], config: PisConfig) -> Self {
+        assert_eq!(
+            database.len(),
+            index.graph_count(),
+            "database does not match the index it claims to back"
+        );
+        PisSearcher { index, database, config }
+    }
+
+    /// The searcher's configuration.
+    pub fn config(&self) -> &PisConfig {
+        &self.config
+    }
+
+    /// The fragment index this searcher queries.
+    pub fn index(&self) -> &FragmentIndex {
+        self.index
+    }
+
+    /// The database this searcher verifies against.
+    pub fn database(&self) -> &[LabeledGraph] {
+        self.database
+    }
+
+    /// Runs Algorithm 2 (plus the structure check and verification if
+    /// configured) for one query.
+    pub fn search(&self, query: &LabeledGraph, sigma: f64) -> SearchOutcome {
+        let n = self.database.len();
+        let mut stats = SearchStats::default();
+
+        // Lines 3–4: enumerate indexed fragments.
+        let fragments = self.index.enumerate_query_fragments(query);
+        stats.query_fragments = fragments.len();
+
+        // Lines 6–18: one range query per fragment; intersect candidate
+        // sets and compute selectivities. Range-query hits arrive sorted
+        // by graph id, so the intersection is a linear merge.
+        let mut candidates: Vec<GraphId> = (0..n as u32).map(GraphId).collect();
+        let mut scored: Vec<ScoredFragment> = Vec::with_capacity(fragments.len());
+        for fragment in fragments {
+            let hits = self.index.range_query(fragment.feature, &fragment.vector, sigma);
+            let w = selectivity(&hits, n, sigma, self.config.lambda);
+            if !candidates.is_empty() {
+                candidates = intersect_with_hits(&candidates, &hits);
+            }
+            scored.push((fragment, hits, w));
+        }
+        stats.candidates_after_intersection = candidates.len();
+
+        // Line 5: drop fragments with selectivity <= epsilon.
+        let pool: Vec<&ScoredFragment> =
+            scored.iter().filter(|(_, _, w)| *w > self.config.epsilon).collect();
+        stats.fragments_in_pool = pool.len();
+
+        // Lines 19–20: overlapping-relation graph + MWIS partition.
+        let overlap_input: Vec<(f64, Vec<pis_graph::VertexId>)> =
+            pool.iter().map(|(f, _, w)| (*w, f.vertices.clone())).collect();
+        let overlap = OverlapGraph::new(&overlap_input);
+        let selection = match self.config.partition {
+            PartitionAlgo::Greedy => greedy_mwis(&overlap),
+            PartitionAlgo::EnhancedGreedy(k) => enhanced_greedy_mwis(&overlap, k),
+            PartitionAlgo::Exact => exact_mwis(&overlap),
+        };
+        stats.partition_size = selection.len();
+        stats.partition_weight = selection_weight(&overlap, &selection);
+
+        // Lines 21–23: partition lower-bound pruning.
+        let partition: Vec<&ScoredFragment> = selection.iter().map(|&i| pool[i]).collect();
+        stats.partition = partition
+            .iter()
+            .map(|(f, _, w)| PartitionFragment {
+                feature: f.feature,
+                vertices: f.vertices.len(),
+                weight: *w,
+            })
+            .collect();
+        candidates.retain(|gid| {
+            let mut bound = 0.0;
+            for (_, hits, _) in &partition {
+                match hits.binary_search_by_key(gid, |(g, _)| *g) {
+                    Ok(i) => bound += hits[i].1,
+                    Err(_) => return false, // structure violation
+                }
+                if bound > sigma {
+                    return false;
+                }
+            }
+            true
+        });
+        stats.candidates_after_partition = candidates.len();
+
+        // The gIndex substrate's exact containment test (the paper
+        // builds PIS on gIndex, so its candidates are always
+        // structure-containing graphs).
+        if self.config.structure_check {
+            candidates.retain(|gid| {
+                pis_graph::iso::is_subgraph(
+                    query,
+                    &self.database[gid.index()],
+                    pis_graph::iso::IsoConfig::STRUCTURE,
+                )
+            });
+        }
+        stats.candidates_after_structure = candidates.len();
+
+        // Step 3: candidate verification.
+        let mut answers = Vec::new();
+        let mut answer_distances = Vec::new();
+        if self.config.verify {
+            stats.verification_calls = candidates.len();
+            for (gid, d) in self.verify_candidates(query, &candidates, sigma) {
+                answers.push(gid);
+                answer_distances.push(d);
+            }
+        }
+
+        SearchOutcome { candidates, answers, answer_distances, stats }
+    }
+
+    /// Verifies candidates, in parallel when the batch is large enough
+    /// to amortize thread startup. Results stay in candidate order.
+    fn verify_candidates(
+        &self,
+        query: &LabeledGraph,
+        candidates: &[GraphId],
+        sigma: f64,
+    ) -> Vec<(GraphId, f64)> {
+        /// Below this batch size threads cost more than they save.
+        const PARALLEL_THRESHOLD: usize = 64;
+        let distance = distance_dyn(self.index.distance());
+        let verify_one = |gid: GraphId| {
+            min_superimposed_distance(query, &self.database[gid.index()], distance, sigma)
+                .map(|d| (gid, d))
+        };
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if candidates.len() < PARALLEL_THRESHOLD || workers <= 1 {
+            return candidates.iter().copied().filter_map(verify_one).collect();
+        }
+        let chunk = candidates.len().div_ceil(workers);
+        let mut results: Vec<Vec<(GraphId, f64)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = candidates
+                .chunks(chunk)
+                .map(|part| scope.spawn(move || part.iter().copied().filter_map(verify_one).collect::<Vec<_>>()))
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("verification worker panicked"));
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+}
+
+/// Intersects a sorted candidate list with sorted range-query hits.
+fn intersect_with_hits(candidates: &[GraphId], hits: &[(GraphId, f64)]) -> Vec<GraphId> {
+    let mut out = Vec::with_capacity(candidates.len().min(hits.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < candidates.len() && j < hits.len() {
+        match candidates[i].cmp(&hits[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(candidates[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Borrows the index distance as a trait object for verification.
+pub(crate) fn distance_dyn(d: &IndexDistance) -> &dyn SuperimposedDistance {
+    match d {
+        IndexDistance::Mutation(md) => md,
+        IndexDistance::Linear(ld) => ld,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pis_distance::oracle::sssd_brute;
+    use pis_distance::MutationDistance;
+    
+    use pis_graph::{EdgeAttr, GraphBuilder, Label, VertexAttr};
+    use pis_index::{Backend, IndexConfig};
+    use pis_mining::exhaustive::exhaustive_features;
+
+    fn cycle_with_edge_labels(labels: &[u32]) -> LabeledGraph {
+        let mut b = GraphBuilder::new();
+        let n = labels.len();
+        let vs = b.add_vertices(n, VertexAttr::labeled(Label(0)));
+        for (i, &l) in labels.iter().enumerate() {
+            b.add_edge(vs[i], vs[(i + 1) % n], EdgeAttr::labeled(Label(l))).unwrap();
+        }
+        b.build()
+    }
+
+    fn build_index(db: &[LabeledGraph], max_edges: usize) -> FragmentIndex {
+        let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+        let features = exhaustive_features(&structures, max_edges);
+        FragmentIndex::build(
+            db,
+            features,
+            IndexDistance::Mutation(MutationDistance::edge_hamming()),
+            &IndexConfig { backend: Backend::Default, ..IndexConfig::default() },
+        )
+    }
+
+    fn example_db() -> Vec<LabeledGraph> {
+        vec![
+            cycle_with_edge_labels(&[1, 1, 1, 1, 1, 1]),
+            cycle_with_edge_labels(&[1, 1, 1, 1, 1, 2]),
+            cycle_with_edge_labels(&[2, 2, 2, 2, 2, 2]),
+            cycle_with_edge_labels(&[1, 2, 1, 2, 1, 2]),
+            pis_graph::graph::path_graph(7, Label(0), Label(1)),
+        ]
+    }
+
+    #[test]
+    fn answers_match_brute_force_oracle() {
+        let db = example_db();
+        let index = build_index(&db, 4);
+        let searcher = PisSearcher::new(&index, &db, PisConfig::default());
+        let md = MutationDistance::edge_hamming();
+        let queries = [
+            cycle_with_edge_labels(&[1, 1, 1, 1, 1, 1]),
+            cycle_with_edge_labels(&[1, 2, 1, 2, 1, 2]),
+            cycle_with_edge_labels(&[2, 1, 1, 1, 1, 1]),
+        ];
+        for q in &queries {
+            for sigma in [0.0, 1.0, 2.0, 4.0] {
+                let outcome = searcher.search(q, sigma);
+                let expected: Vec<GraphId> = sssd_brute(&db, q, &md, sigma)
+                    .into_iter()
+                    .map(|i| GraphId(i as u32))
+                    .collect();
+                assert_eq!(outcome.answers, expected, "query mismatch at sigma={sigma}");
+                // Soundness: candidates must cover every answer.
+                for a in &expected {
+                    assert!(outcome.candidates.contains(a), "candidate set lost answer {a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_is_monotone_in_sigma() {
+        let db = example_db();
+        let index = build_index(&db, 4);
+        let searcher = PisSearcher::new(&index, &db, PisConfig::default());
+        let q = cycle_with_edge_labels(&[1, 1, 1, 1, 1, 1]);
+        let mut last = 0;
+        for sigma in [0.0, 1.0, 2.0, 3.0, 6.0] {
+            let outcome = searcher.search(&q, sigma);
+            assert!(outcome.candidates.len() >= last, "candidates shrank as sigma grew");
+            last = outcome.candidates.len();
+        }
+    }
+
+    #[test]
+    fn partition_bound_prunes_beyond_intersection() {
+        // The all-2 cycle passes single-fragment checks at sigma = 3
+        // (any one ring fragment mutates within 3) but the partition sum
+        // exceeds sigma, as in the paper's Example 4.
+        let db = example_db();
+        let index = build_index(&db, 6);
+        let searcher = PisSearcher::new(&index, &db, PisConfig::default());
+        let q = cycle_with_edge_labels(&[1, 1, 1, 1, 1, 1]);
+        let outcome = searcher.search(&q, 2.0);
+        assert!(
+            outcome.stats.candidates_after_partition
+                <= outcome.stats.candidates_after_intersection
+        );
+        // Graph 2 (all labels flipped, distance 6) must be pruned before
+        // verification.
+        assert!(!outcome.candidates.contains(&GraphId(2)));
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let db = example_db();
+        let index = build_index(&db, 3);
+        let searcher = PisSearcher::new(&index, &db, PisConfig::default());
+        let q = cycle_with_edge_labels(&[1, 1, 2, 1, 1, 1]);
+        let o = searcher.search(&q, 1.0);
+        assert!(o.stats.query_fragments >= o.stats.fragments_in_pool);
+        assert!(o.stats.fragments_in_pool >= o.stats.partition_size);
+        assert_eq!(o.stats.verification_calls, o.candidates.len());
+        assert!(o.stats.candidates_after_partition >= o.stats.candidates_after_structure);
+        assert_eq!(o.stats.candidates_after_structure, o.candidates.len());
+        assert!(o.answers.len() <= o.candidates.len());
+    }
+
+    #[test]
+    fn epsilon_filter_shrinks_pool_without_losing_answers() {
+        let db = example_db();
+        let index = build_index(&db, 4);
+        let md = MutationDistance::edge_hamming();
+        let q = cycle_with_edge_labels(&[1, 1, 1, 1, 1, 2]);
+        let sigma = 2.0;
+        let expected: Vec<GraphId> =
+            sssd_brute(&db, &q, &md, sigma).into_iter().map(|i| GraphId(i as u32)).collect();
+        for epsilon in [0.0, 0.2, 0.8] {
+            let cfg = PisConfig { epsilon, ..PisConfig::default() };
+            let searcher = PisSearcher::new(&index, &db, cfg);
+            let o = searcher.search(&q, sigma);
+            assert_eq!(o.answers, expected, "epsilon={epsilon}");
+        }
+    }
+
+    #[test]
+    fn partition_algorithms_agree_on_answers() {
+        let db = example_db();
+        let index = build_index(&db, 4);
+        let q = cycle_with_edge_labels(&[1, 2, 1, 2, 1, 2]);
+        let sigma = 2.0;
+        let mut answer_sets = Vec::new();
+        for algo in [
+            PartitionAlgo::Greedy,
+            PartitionAlgo::EnhancedGreedy(2),
+            PartitionAlgo::Exact,
+        ] {
+            let cfg = PisConfig { partition: algo, ..PisConfig::default() };
+            let searcher = PisSearcher::new(&index, &db, cfg);
+            answer_sets.push(searcher.search(&q, sigma).answers);
+        }
+        assert_eq!(answer_sets[0], answer_sets[1]);
+        assert_eq!(answer_sets[1], answer_sets[2]);
+    }
+
+    #[test]
+    fn no_verification_mode_returns_candidates_only() {
+        let db = example_db();
+        let index = build_index(&db, 3);
+        let cfg = PisConfig { verify: false, ..PisConfig::default() };
+        let searcher = PisSearcher::new(&index, &db, cfg);
+        let o = searcher.search(&cycle_with_edge_labels(&[1, 1, 1, 1, 1, 1]), 1.0);
+        assert!(o.answers.is_empty());
+        assert_eq!(o.stats.verification_calls, 0);
+        assert!(!o.candidates.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match the index")]
+    fn database_index_mismatch_rejected() {
+        let db = example_db();
+        let index = build_index(&db, 2);
+        let _ = PisSearcher::new(&index, &db[..2], PisConfig::default());
+    }
+}

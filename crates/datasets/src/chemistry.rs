@@ -1,0 +1,201 @@
+//! Atom and bond vocabularies for the synthetic chemical dataset.
+//!
+//! Frequencies are calibrated to the AIDS antiviral screen's character:
+//! carbon dominates the atom distribution and single bonds dominate the
+//! bond distribution, which is exactly what makes substructure search on
+//! it hard (the paper: "most of the atoms are carbons and most of the
+//! edges are carbon-carbon bonds").
+
+use pis_graph::Label;
+
+/// An atom vocabulary: element symbols with occurrence frequencies.
+#[derive(Clone, Debug)]
+pub struct AtomVocabulary {
+    symbols: Vec<&'static str>,
+    frequencies: Vec<f64>,
+    /// Representative atomic masses, used as vertex weights in weighted
+    /// datasets.
+    masses: Vec<f64>,
+}
+
+impl Default for AtomVocabulary {
+    fn default() -> Self {
+        AtomVocabulary::aids_like()
+    }
+}
+
+impl AtomVocabulary {
+    /// The AIDS-screen-like distribution (carbon-dominated).
+    pub fn aids_like() -> Self {
+        AtomVocabulary {
+            symbols: vec!["C", "N", "O", "S", "P", "F", "Cl", "Br", "I"],
+            frequencies: vec![0.726, 0.105, 0.120, 0.018, 0.006, 0.009, 0.011, 0.004, 0.001],
+            masses: vec![12.011, 14.007, 15.999, 32.06, 30.974, 18.998, 35.45, 79.904, 126.904],
+        }
+    }
+
+    /// Number of atom types.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// The label of an element symbol, if known.
+    pub fn label_of(&self, symbol: &str) -> Option<Label> {
+        self.symbols
+            .iter()
+            .position(|s| s.eq_ignore_ascii_case(symbol))
+            .map(|i| Label(i as u32))
+    }
+
+    /// The element symbol of a label (`"?"` if out of range).
+    pub fn symbol_of(&self, label: Label) -> &'static str {
+        self.symbols.get(label.index()).copied().unwrap_or("?")
+    }
+
+    /// Occurrence frequencies, parallel to labels.
+    pub fn frequencies(&self) -> &[f64] {
+        &self.frequencies
+    }
+
+    /// Atomic mass of a label (0 if out of range).
+    pub fn mass_of(&self, label: Label) -> f64 {
+        self.masses.get(label.index()).copied().unwrap_or(0.0)
+    }
+}
+
+/// A bond vocabulary: bond kinds with occurrence frequencies.
+#[derive(Clone, Debug)]
+pub struct BondVocabulary {
+    names: Vec<&'static str>,
+    /// Frequencies for acyclic (chain) edges.
+    chain_frequencies: Vec<f64>,
+    /// Frequencies for ring edges (aromatic systems live in rings).
+    ring_frequencies: Vec<f64>,
+    /// Typical bond lengths in Å, used as edge weights in weighted
+    /// datasets.
+    lengths: Vec<f64>,
+}
+
+impl Default for BondVocabulary {
+    fn default() -> Self {
+        BondVocabulary::aids_like()
+    }
+}
+
+impl BondVocabulary {
+    /// The AIDS-screen-like bond distribution (single-bond dominated;
+    /// aromatic bonds concentrated in rings).
+    pub fn aids_like() -> Self {
+        BondVocabulary {
+            names: vec!["single", "double", "triple", "aromatic"],
+            chain_frequencies: vec![0.86, 0.12, 0.02, 0.0],
+            ring_frequencies: vec![0.47, 0.08, 0.0, 0.45],
+            lengths: vec![1.54, 1.34, 1.20, 1.39],
+        }
+    }
+
+    /// Number of bond kinds.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The label of a bond name, if known.
+    pub fn label_of(&self, name: &str) -> Option<Label> {
+        self.names
+            .iter()
+            .position(|s| s.eq_ignore_ascii_case(name))
+            .map(|i| Label(i as u32))
+    }
+
+    /// The bond name of a label (`"?"` if out of range).
+    pub fn name_of(&self, label: Label) -> &'static str {
+        self.names.get(label.index()).copied().unwrap_or("?")
+    }
+
+    /// Frequencies used for acyclic edges.
+    pub fn chain_frequencies(&self) -> &[f64] {
+        &self.chain_frequencies
+    }
+
+    /// Frequencies used for ring edges.
+    pub fn ring_frequencies(&self) -> &[f64] {
+        &self.ring_frequencies
+    }
+
+    /// Typical length of a bond label in Å (0 if out of range).
+    pub fn length_of(&self, label: Label) -> f64 {
+        self.lengths.get(label.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Label for an SDF/MOL numeric bond type (1, 2, 3, 4 = aromatic).
+    pub fn label_of_mol_type(&self, mol_type: u32) -> Option<Label> {
+        match mol_type {
+            1..=4 => Some(Label(mol_type - 1)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_vocabulary_is_carbon_dominated() {
+        let v = AtomVocabulary::aids_like();
+        assert_eq!(v.label_of("C"), Some(Label(0)));
+        assert_eq!(v.symbol_of(Label(0)), "C");
+        assert!(v.frequencies()[0] > 0.7);
+        let total: f64 = v.frequencies().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "frequencies must sum to 1, got {total}");
+        assert_eq!(v.frequencies().len(), v.len());
+    }
+
+    #[test]
+    fn atom_lookup_is_case_insensitive_and_total() {
+        let v = AtomVocabulary::aids_like();
+        assert_eq!(v.label_of("cl"), v.label_of("Cl"));
+        assert_eq!(v.label_of("Xx"), None);
+        assert_eq!(v.symbol_of(Label(99)), "?");
+        assert!(v.mass_of(Label(0)) > 11.0);
+        assert_eq!(v.mass_of(Label(99)), 0.0);
+    }
+
+    #[test]
+    fn bond_vocabulary_is_single_dominated() {
+        let v = BondVocabulary::aids_like();
+        assert!(v.chain_frequencies()[0] > 0.5);
+        for freqs in [v.chain_frequencies(), v.ring_frequencies()] {
+            let total: f64 = freqs.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bond_mol_types_map_to_labels() {
+        let v = BondVocabulary::aids_like();
+        assert_eq!(v.label_of_mol_type(1), v.label_of("single"));
+        assert_eq!(v.label_of_mol_type(4), v.label_of("aromatic"));
+        assert_eq!(v.label_of_mol_type(0), None);
+        assert_eq!(v.label_of_mol_type(9), None);
+    }
+
+    #[test]
+    fn bond_lengths_are_chemically_ordered() {
+        let v = BondVocabulary::aids_like();
+        let single = v.length_of(v.label_of("single").unwrap());
+        let double = v.length_of(v.label_of("double").unwrap());
+        let triple = v.length_of(v.label_of("triple").unwrap());
+        assert!(single > double && double > triple);
+    }
+}

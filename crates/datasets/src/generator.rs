@@ -1,0 +1,350 @@
+//! Synthetic molecule generator.
+//!
+//! Builds molecule-like labeled graphs whose size and label statistics
+//! match the AIDS antiviral screen sample used by the paper: mean ≈ 25
+//! vertices / ≈ 27 edges (≈ 3 rings per molecule), a heavy tail past 200
+//! vertices, carbon-dominated atoms, single-bond-dominated bonds with
+//! aromatic bonds concentrated in rings.
+//!
+//! Construction is motif-based: starting from a ring or a short chain,
+//! the generator repeatedly attaches fused rings, spiro rings, chains
+//! and branches until the drawn size budget is reached, then assigns
+//! labels (and, optionally, weights for the linear-distance
+//! experiments). Determinism: a database is fully determined by its
+//! seed.
+
+use pis_graph::algo::bridges;
+use pis_graph::{EdgeAttr, GraphBuilder, Label, LabeledGraph, VertexAttr, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::chemistry::{AtomVocabulary, BondVocabulary};
+
+/// Configuration of the synthetic molecule generator.
+#[derive(Clone, Debug)]
+pub struct MoleculeConfig {
+    /// Mean vertex count of the log-normal size distribution.
+    pub mean_vertices: f64,
+    /// Log-normal spread (σ of the underlying normal).
+    pub size_spread: f64,
+    /// Probability of drawing a macro-molecule (150–220 vertices),
+    /// reproducing the screen's heavy tail (max 214 vertices).
+    pub macro_probability: f64,
+    /// Probability that a growth step attaches a ring (vs a chain);
+    /// 0.36 calibrates to ≈ 3 rings per 25-vertex molecule, giving the
+    /// paper's E ≈ V + 2 relation.
+    pub ring_fraction: f64,
+    /// Minimum vertex count of any generated molecule.
+    pub min_vertices: usize,
+    /// Also assign numeric weights (atomic masses / bond lengths with
+    /// jitter) for linear-distance experiments.
+    pub weighted: bool,
+    /// Atom vocabulary.
+    pub atoms: AtomVocabulary,
+    /// Bond vocabulary.
+    pub bonds: BondVocabulary,
+}
+
+impl Default for MoleculeConfig {
+    fn default() -> Self {
+        MoleculeConfig {
+            mean_vertices: 25.0,
+            size_spread: 0.42,
+            macro_probability: 0.001,
+            ring_fraction: 0.36,
+            min_vertices: 5,
+            weighted: false,
+            atoms: AtomVocabulary::default(),
+            bonds: BondVocabulary::default(),
+        }
+    }
+}
+
+/// Deterministic molecule-like graph generator.
+#[derive(Clone, Debug, Default)]
+pub struct MoleculeGenerator {
+    config: MoleculeConfig,
+}
+
+impl MoleculeGenerator {
+    /// A generator with the given configuration.
+    pub fn new(config: MoleculeConfig) -> Self {
+        MoleculeGenerator { config }
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &MoleculeConfig {
+        &self.config
+    }
+
+    /// Generates one molecule.
+    pub fn generate(&self, rng: &mut impl Rng) -> LabeledGraph {
+        let target = self.draw_size(rng);
+        let skeleton = self.grow_skeleton(target, rng);
+        self.assign_attributes(skeleton, rng)
+    }
+
+    /// Generates a database of `n` molecules from a seed.
+    pub fn database(&self, n: usize, seed: u64) -> Vec<LabeledGraph> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| self.generate(&mut rng)).collect()
+    }
+
+    fn draw_size(&self, rng: &mut impl Rng) -> usize {
+        if rng.random::<f64>() < self.config.macro_probability {
+            return rng.random_range(150..=220);
+        }
+        let sigma = self.config.size_spread;
+        let mu = self.config.mean_vertices.ln() - sigma * sigma / 2.0;
+        let n = (mu + sigma * standard_normal(rng)).exp().round() as usize;
+        n.clamp(self.config.min_vertices, 250)
+    }
+
+    /// Grows an unlabeled skeleton of roughly `target` vertices.
+    fn grow_skeleton(&self, target: usize, rng: &mut impl Rng) -> LabeledGraph {
+        let mut b = GraphBuilder::with_capacity(target + 8, target + 12);
+        let blank_v = VertexAttr::default();
+        let blank_e = EdgeAttr::default();
+
+        // Seed motif: usually a ring (most molecules are ring systems).
+        if rng.random::<f64>() < 0.8 {
+            let k = ring_size(rng);
+            let vs = b.add_vertices(k, blank_v);
+            for i in 0..k {
+                b.add_edge(vs[i], vs[(i + 1) % k], blank_e).expect("fresh ring is simple");
+            }
+        } else {
+            let vs = b.add_vertices(4, blank_v);
+            for w in vs.windows(2) {
+                b.add_edge(w[0], w[1], blank_e).expect("fresh chain is simple");
+            }
+        }
+
+        while b.vertex_count() < target {
+            if rng.random::<f64>() < self.config.ring_fraction {
+                self.attach_ring(&mut b, rng);
+            } else {
+                self.attach_chain(&mut b, rng);
+            }
+        }
+        b.build()
+    }
+
+    /// Attaches a ring, fused on an existing edge (sharing two vertices)
+    /// or spiro at a vertex (sharing one).
+    fn attach_ring(&self, b: &mut GraphBuilder, rng: &mut impl Rng) {
+        let k = ring_size(rng);
+        let blank_v = VertexAttr::default();
+        let blank_e = EdgeAttr::default();
+        let fused = rng.random::<f64>() < 0.6 && b.edge_count() > 0;
+        if fused {
+            // Pick a random existing edge (u, v); bridge it with k-2 new
+            // vertices, closing a k-ring.
+            let e = b.edges()[rng.random_range(0..b.edge_count())];
+            let mut prev = e.source;
+            for i in 0..k - 2 {
+                let w = b.add_vertex(blank_v);
+                let from = if i == 0 { e.source } else { prev };
+                b.add_edge(from, w, blank_e).expect("new vertex has no edges yet");
+                prev = w;
+            }
+            // Closing edge to the other endpoint; a parallel path may
+            // already exist only via new vertices, so this cannot be a
+            // duplicate.
+            b.add_edge(prev, e.target, blank_e).expect("closure touches a fresh vertex");
+        } else {
+            let anchor = VertexId(rng.random_range(0..b.vertex_count() as u32));
+            let mut prev = anchor;
+            let mut first_new = None;
+            for _ in 0..k - 1 {
+                let w = b.add_vertex(blank_v);
+                first_new.get_or_insert(w);
+                b.add_edge(prev, w, blank_e).expect("new vertex has no edges yet");
+                prev = w;
+            }
+            b.add_edge(prev, anchor, blank_e).expect("ring closure touches a fresh vertex");
+        }
+    }
+
+    /// Attaches a chain of 1–3 vertices at a random anchor.
+    fn attach_chain(&self, b: &mut GraphBuilder, rng: &mut impl Rng) {
+        let len = 1 + rng.random_range(0..3);
+        let mut prev = VertexId(rng.random_range(0..b.vertex_count() as u32));
+        for _ in 0..len {
+            let w = b.add_vertex(VertexAttr::default());
+            b.add_edge(prev, w, EdgeAttr::default()).expect("new vertex has no edges yet");
+            prev = w;
+        }
+    }
+
+    /// Assigns atom/bond labels (and weights when configured) to a
+    /// skeleton.
+    fn assign_attributes(&self, skeleton: LabeledGraph, rng: &mut impl Rng) -> LabeledGraph {
+        let bridge_flags = bridges(&skeleton);
+        let mut b = GraphBuilder::with_capacity(skeleton.vertex_count(), skeleton.edge_count());
+        for _ in skeleton.vertex_ids() {
+            let label = Label(weighted_choice(self.config.atoms.frequencies(), rng) as u32);
+            let weight = if self.config.weighted {
+                self.config.atoms.mass_of(label) * (1.0 + 0.01 * standard_normal(rng))
+            } else {
+                0.0
+            };
+            b.add_vertex(VertexAttr { label, weight });
+        }
+        for (i, e) in skeleton.edges().iter().enumerate() {
+            let freqs = if bridge_flags[i] {
+                self.config.bonds.chain_frequencies()
+            } else {
+                self.config.bonds.ring_frequencies()
+            };
+            let label = Label(weighted_choice(freqs, rng) as u32);
+            let weight = if self.config.weighted {
+                self.config.bonds.length_of(label) + 0.03 * standard_normal(rng)
+            } else {
+                0.0
+            };
+            b.add_edge(e.source, e.target, EdgeAttr { label, weight })
+                .expect("skeleton is simple");
+        }
+        b.build()
+    }
+}
+
+/// Ring sizes: mostly 6 (benzene-like), sometimes 5, rarely 7.
+fn ring_size(rng: &mut impl Rng) -> usize {
+    let x = rng.random::<f64>();
+    if x < 0.68 {
+        6
+    } else if x < 0.95 {
+        5
+    } else {
+        7
+    }
+}
+
+/// Samples an index proportionally to `weights` (need not sum to 1).
+fn weighted_choice(weights: &[f64], rng: &mut impl Rng) -> usize {
+    let total: f64 = weights.iter().sum();
+    debug_assert!(total > 0.0, "weights must not all be zero");
+    let mut x = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// A standard normal draw via Box–Muller (avoids a rand_distr
+/// dependency).
+fn standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pis_graph::algo::cyclomatic_number;
+
+    #[test]
+    fn databases_are_deterministic() {
+        let g = MoleculeGenerator::default();
+        let a = g.database(20, 7);
+        let b = g.database(20, 7);
+        assert_eq!(a, b);
+        let c = g.database(20, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn molecules_are_connected_and_simple() {
+        let g = MoleculeGenerator::default();
+        for m in g.database(50, 42) {
+            assert!(m.is_connected());
+            assert!(m.vertex_count() >= 5);
+        }
+    }
+
+    #[test]
+    fn size_statistics_match_the_paper() {
+        let g = MoleculeGenerator::default();
+        let db = g.database(2000, 123);
+        let avg_v: f64 = db.iter().map(|m| m.vertex_count() as f64).sum::<f64>() / db.len() as f64;
+        let avg_e: f64 = db.iter().map(|m| m.edge_count() as f64).sum::<f64>() / db.len() as f64;
+        // Paper: ~25 vertices, ~27 edges on average.
+        assert!((20.0..30.0).contains(&avg_v), "avg vertices {avg_v}");
+        assert!((21.0..33.0).contains(&avg_e), "avg edges {avg_e}");
+        assert!(avg_e > avg_v, "molecules must carry rings on average");
+        let avg_rings: f64 =
+            db.iter().map(|m| cyclomatic_number(m) as f64).sum::<f64>() / db.len() as f64;
+        assert!((1.5..4.5).contains(&avg_rings), "avg rings {avg_rings}");
+    }
+
+    #[test]
+    fn labels_are_carbon_and_single_bond_dominated() {
+        let g = MoleculeGenerator::default();
+        let db = g.database(300, 9);
+        let mut carbon = 0usize;
+        let mut vertices = 0usize;
+        let mut single = 0usize;
+        let mut edges = 0usize;
+        for m in &db {
+            for v in m.vertex_ids() {
+                vertices += 1;
+                if m.vertex(v).label == Label(0) {
+                    carbon += 1;
+                }
+            }
+            for e in m.edges() {
+                edges += 1;
+                if e.attr.label == Label(0) {
+                    single += 1;
+                }
+            }
+        }
+        assert!(carbon as f64 / vertices as f64 > 0.6);
+        assert!(single as f64 / edges as f64 > 0.5);
+    }
+
+    #[test]
+    fn weighted_config_assigns_weights() {
+        let cfg = MoleculeConfig { weighted: true, ..MoleculeConfig::default() };
+        let g = MoleculeGenerator::new(cfg);
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = g.generate(&mut rng);
+        assert!(m.vertex_ids().all(|v| m.vertex(v).weight > 0.0));
+        assert!(m.edges().iter().all(|e| e.attr.weight > 0.5));
+    }
+
+    #[test]
+    fn unweighted_config_leaves_weights_zero() {
+        let g = MoleculeGenerator::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let m = g.generate(&mut rng);
+        assert_eq!(m.total_weight(), 0.0);
+    }
+
+    #[test]
+    fn macro_molecules_appear_with_forced_probability() {
+        let cfg = MoleculeConfig { macro_probability: 1.0, ..MoleculeConfig::default() };
+        let g = MoleculeGenerator::new(cfg);
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = g.generate(&mut rng);
+        assert!(m.vertex_count() >= 150);
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[weighted_choice(&[0.8, 0.2, 0.0], &mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert_eq!(counts[2], 0);
+        assert!(counts[0] + counts[1] == 3000);
+    }
+}

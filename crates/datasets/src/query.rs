@@ -1,0 +1,160 @@
+//! Query-set sampling.
+//!
+//! The paper samples query graphs "directly from the database" and
+//! groups them by edge count: `Qm` is a set of connected `m`-edge query
+//! graphs (the evaluation uses `Q16` and `Q24`). This module reproduces
+//! that protocol: pick a database graph with at least `m` edges and
+//! extract a random connected `m`-edge subgraph by random edge growth.
+
+use pis_graph::{EdgeId, LabeledGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Extracts one random connected subgraph with exactly `m` edges.
+///
+/// Returns `None` if the graph has fewer than `m` edges (growth inside a
+/// connected graph can otherwise always reach `m`).
+pub fn sample_query(g: &LabeledGraph, m: usize, rng: &mut impl Rng) -> Option<LabeledGraph> {
+    if g.edge_count() < m || m == 0 {
+        return None;
+    }
+    let mut chosen: Vec<EdgeId> = Vec::with_capacity(m);
+    let mut in_sub = vec![false; g.edge_count()];
+    let mut frontier: Vec<EdgeId> = Vec::new();
+
+    let start = EdgeId(rng.random_range(0..g.edge_count() as u32));
+    push_edge(g, start, &mut chosen, &mut in_sub, &mut frontier);
+    while chosen.len() < m {
+        if frontier.is_empty() {
+            // The component of the start edge is exhausted; restart from
+            // a fresh edge (can only happen in disconnected graphs).
+            let remaining: Vec<EdgeId> =
+                g.edge_ids().filter(|e| !in_sub[e.index()]).collect();
+            if remaining.is_empty() {
+                return None;
+            }
+            // A restart would produce a disconnected query; reject.
+            return None;
+        }
+        let pick = rng.random_range(0..frontier.len());
+        let e = frontier.swap_remove(pick);
+        if in_sub[e.index()] {
+            continue;
+        }
+        push_edge(g, e, &mut chosen, &mut in_sub, &mut frontier);
+    }
+    let (sub, _) = g.edge_subgraph(&chosen);
+    debug_assert!(sub.is_connected());
+    Some(sub)
+}
+
+fn push_edge(
+    g: &LabeledGraph,
+    e: EdgeId,
+    chosen: &mut Vec<EdgeId>,
+    in_sub: &mut [bool],
+    frontier: &mut Vec<EdgeId>,
+) {
+    chosen.push(e);
+    in_sub[e.index()] = true;
+    let edge = g.edge(e);
+    for v in [edge.source, edge.target] {
+        for &(_, ne) in g.neighbors(v) {
+            if !in_sub[ne.index()] {
+                frontier.push(ne);
+            }
+        }
+    }
+}
+
+/// Samples `count` connected `m`-edge queries from random database
+/// graphs (the paper's `Qm` sets). Deterministic in `seed`.
+///
+/// # Panics
+/// Panics if no database graph has at least `m` edges.
+pub fn sample_query_set(
+    database: &[LabeledGraph],
+    m: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<LabeledGraph> {
+    let eligible: Vec<&LabeledGraph> =
+        database.iter().filter(|g| g.edge_count() >= m).collect();
+    assert!(
+        !eligible.is_empty(),
+        "no database graph has >= {m} edges; cannot build query set Q{m}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut queries = Vec::with_capacity(count);
+    while queries.len() < count {
+        let g = eligible[rng.random_range(0..eligible.len())];
+        if let Some(q) = sample_query(g, m, &mut rng) {
+            queries.push(q);
+        }
+    }
+    queries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::MoleculeGenerator;
+    use pis_graph::graph::{cycle_graph, path_graph};
+    use pis_graph::iso::{is_subgraph, IsoConfig};
+    use pis_graph::Label;
+
+    #[test]
+    fn sampled_query_is_connected_with_exact_size() {
+        let db = MoleculeGenerator::default().database(30, 11);
+        let queries = sample_query_set(&db, 8, 10, 3);
+        assert_eq!(queries.len(), 10);
+        for q in &queries {
+            assert_eq!(q.edge_count(), 8);
+            assert!(q.is_connected());
+        }
+    }
+
+    #[test]
+    fn query_is_labeled_subgraph_of_some_database_graph() {
+        let db = MoleculeGenerator::default().database(20, 4);
+        let queries = sample_query_set(&db, 6, 5, 5);
+        for q in &queries {
+            assert!(
+                db.iter().any(|g| is_subgraph(q, g, IsoConfig::LABELED)),
+                "query must embed label-preserving into its source graph"
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_more_edges_than_available_fails() {
+        let g = path_graph(4, Label(0), Label(0)); // 3 edges
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(sample_query(&g, 5, &mut rng).is_none());
+        assert!(sample_query(&g, 0, &mut rng).is_none());
+    }
+
+    #[test]
+    fn full_graph_can_be_sampled() {
+        let g = cycle_graph(5, Label(0), Label(0));
+        let mut rng = StdRng::seed_from_u64(0);
+        let q = sample_query(&g, 5, &mut rng).unwrap();
+        assert_eq!(q.edge_count(), 5);
+        assert!(is_subgraph(&q, &g, IsoConfig::LABELED));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let db = MoleculeGenerator::default().database(15, 2);
+        let a = sample_query_set(&db, 6, 4, 99);
+        let b = sample_query_set(&db, 6, 4, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot build query set")]
+    fn empty_eligible_set_panics() {
+        let db = vec![path_graph(3, Label(0), Label(0))];
+        let _ = sample_query_set(&db, 100, 1, 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Minimal MOL/SDF V2000 reader.
+//!
+//! The paper's dataset is distributed as an SD file
+//! (`AIDO99SD.BIN` from the NCI DTP). When a real file is available this
+//! loader turns it into `LabeledGraph`s with the crate's atom/bond
+//! vocabularies; otherwise the synthetic generator stands in (see
+//! `DESIGN.md` §4). Only the fields PIS needs are read: element symbols
+//! and bond types. Records that cannot be parsed are skipped and
+//! reported, matching how chemistry toolkits treat dirty screen data.
+
+use pis_graph::{EdgeAttr, GraphBuilder, Label, LabeledGraph, VertexAttr, VertexId};
+
+use crate::chemistry::{AtomVocabulary, BondVocabulary};
+
+/// Result of loading an SD file.
+#[derive(Debug, Default)]
+pub struct SdfLoad {
+    /// Successfully parsed molecules.
+    pub molecules: Vec<LabeledGraph>,
+    /// Number of records skipped (unparseable or non-simple).
+    pub skipped: usize,
+}
+
+/// Parses the text of an SD file (`$$$$`-separated MOL V2000 records).
+///
+/// Atom labels use `atoms`' vocabulary with unknown elements mapped to
+/// one label past the vocabulary; bond labels use MOL types 1–4.
+pub fn parse_sdf(text: &str, atoms: &AtomVocabulary, bonds: &BondVocabulary) -> SdfLoad {
+    let mut load = SdfLoad::default();
+    for record in text.split("$$$$") {
+        let record = record.trim_matches(['\n', '\r', ' ']);
+        if record.is_empty() {
+            continue;
+        }
+        match parse_mol_record(record, atoms, bonds) {
+            Some(g) => load.molecules.push(g),
+            None => load.skipped += 1,
+        }
+    }
+    load
+}
+
+fn parse_mol_record(
+    record: &str,
+    atoms: &AtomVocabulary,
+    bonds: &BondVocabulary,
+) -> Option<LabeledGraph> {
+    let lines: Vec<&str> = record.lines().collect();
+    // Three header lines precede the counts line.
+    let counts = lines.get(3)?;
+    let natoms: usize = fixed_field(counts, 0, 3)?.parse().ok()?;
+    let nbonds: usize = fixed_field(counts, 3, 6)?.parse().ok()?;
+    let atom_block = lines.get(4..4 + natoms)?;
+    let bond_block = lines.get(4 + natoms..4 + natoms + nbonds)?;
+
+    let unknown = Label(atoms.len() as u32);
+    let mut b = GraphBuilder::with_capacity(natoms, nbonds);
+    for line in atom_block {
+        // Atom line: x y z symbol …; the symbol is the 4th whitespace
+        // field (column-exact parsing is unnecessary for the symbol).
+        let symbol = line.split_whitespace().nth(3)?;
+        let label = atoms.label_of(symbol).unwrap_or(unknown);
+        b.add_vertex(VertexAttr::labeled(label));
+    }
+    for line in bond_block {
+        // Bond line: aaabbbttt… in fixed 3-char columns (atom indices
+        // are 1-based). Fall back to whitespace fields for loose files.
+        let (u, v, t) = parse_bond_line(line)?;
+        let label = bonds.label_of_mol_type(t)?;
+        if u == 0 || v == 0 || u > natoms || v > natoms {
+            return None;
+        }
+        b.add_edge(VertexId(u as u32 - 1), VertexId(v as u32 - 1), EdgeAttr::labeled(label))
+            .ok()?;
+    }
+    Some(b.build())
+}
+
+fn parse_bond_line(line: &str) -> Option<(usize, usize, u32)> {
+    // Strict fixed-width first.
+    if line.len() >= 9 {
+        if let (Some(u), Some(v), Some(t)) = (
+            fixed_field(line, 0, 3).and_then(|s| s.parse().ok()),
+            fixed_field(line, 3, 6).and_then(|s| s.parse().ok()),
+            fixed_field(line, 6, 9).and_then(|s| s.parse().ok()),
+        ) {
+            return Some((u, v, t));
+        }
+    }
+    let mut it = line.split_whitespace();
+    let u = it.next()?.parse().ok()?;
+    let v = it.next()?.parse().ok()?;
+    let t = it.next()?.parse().ok()?;
+    Some((u, v, t))
+}
+
+fn fixed_field(line: &str, start: usize, end: usize) -> Option<&str> {
+    let s = line.get(start..end.min(line.len()))?.trim();
+    if s.is_empty() {
+        None
+    } else {
+        Some(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-written two-record SD file: ethanol-ish and a benzene ring.
+    const SAMPLE: &str = "\
+ethanol
+  test
+
+  3  2  0  0  0  0  0  0  0  0999 V2000
+    0.0000    0.0000    0.0000 C   0  0
+    1.0000    0.0000    0.0000 C   0  0
+    2.0000    0.0000    0.0000 O   0  0
+  1  2  1  0
+  2  3  1  0
+M  END
+$$$$
+benzene
+  test
+
+  6  6  0  0  0  0  0  0  0  0999 V2000
+    0.0 0.0 0.0 C 0 0
+    0.0 0.0 0.0 C 0 0
+    0.0 0.0 0.0 C 0 0
+    0.0 0.0 0.0 C 0 0
+    0.0 0.0 0.0 C 0 0
+    0.0 0.0 0.0 C 0 0
+  1  2  4  0
+  2  3  4  0
+  3  4  4  0
+  4  5  4  0
+  5  6  4  0
+  6  1  4  0
+M  END
+$$$$
+";
+
+    #[test]
+    fn parses_molecules() {
+        let atoms = AtomVocabulary::default();
+        let bonds = BondVocabulary::default();
+        let load = parse_sdf(SAMPLE, &atoms, &bonds);
+        assert_eq!(load.skipped, 0);
+        assert_eq!(load.molecules.len(), 2);
+
+        let ethanol = &load.molecules[0];
+        assert_eq!(ethanol.vertex_count(), 3);
+        assert_eq!(ethanol.edge_count(), 2);
+        assert_eq!(ethanol.vertex(VertexId(2)).label, atoms.label_of("O").unwrap());
+        assert_eq!(ethanol.edges()[0].attr.label, bonds.label_of("single").unwrap());
+
+        let benzene = &load.molecules[1];
+        assert_eq!(benzene.vertex_count(), 6);
+        assert_eq!(benzene.edge_count(), 6);
+        assert!(benzene
+            .edges()
+            .iter()
+            .all(|e| e.attr.label == bonds.label_of("aromatic").unwrap()));
+        assert!(benzene.is_connected());
+    }
+
+    #[test]
+    fn unknown_elements_map_past_vocabulary() {
+        let atoms = AtomVocabulary::default();
+        let bonds = BondVocabulary::default();
+        let text = SAMPLE.replace(" O ", " Zz");
+        let load = parse_sdf(&text, &atoms, &bonds);
+        assert_eq!(load.molecules.len(), 2);
+        assert_eq!(load.molecules[0].vertex(VertexId(2)).label, Label(atoms.len() as u32));
+    }
+
+    #[test]
+    fn corrupt_records_are_skipped_not_fatal() {
+        let atoms = AtomVocabulary::default();
+        let bonds = BondVocabulary::default();
+        let text = format!("garbage\nnot a mol\n$$$$\n{SAMPLE}");
+        let load = parse_sdf(&text, &atoms, &bonds);
+        assert_eq!(load.skipped, 1);
+        assert_eq!(load.molecules.len(), 2);
+    }
+
+    #[test]
+    fn out_of_range_bond_endpoints_skip_record() {
+        let atoms = AtomVocabulary::default();
+        let bonds = BondVocabulary::default();
+        let text = SAMPLE.replace("  1  2  1  0", "  1  9  1  0");
+        let load = parse_sdf(&text, &atoms, &bonds);
+        assert_eq!(load.skipped, 1);
+        assert_eq!(load.molecules.len(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let load = parse_sdf("", &AtomVocabulary::default(), &BondVocabulary::default());
+        assert!(load.molecules.is_empty());
+        assert_eq!(load.skipped, 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Brute-force minimum superimposed distance (Definition 1).
+//!
+//! `d(Q, G) = min_{Q' ⊑ G, Q' ≅ Q} d(Q, Q')` — computed by enumerating
+//! *every* structure-preserving embedding of `Q` into `G` and taking the
+//! cheapest superposition. `None` encodes the paper's `d(Q, G) = ∞`
+//! case (`Q ⊄ G`).
+//!
+//! This is the reference implementation ("the naive solution" of
+//! Section 2): exact but exponential. `pis-core::verify` implements the
+//! branch-and-bound equivalent used in production; its tests compare
+//! against this oracle.
+
+use std::ops::ControlFlow;
+
+use pis_graph::iso::{IsoConfig, SubgraphMatcher};
+use pis_graph::LabeledGraph;
+
+use crate::traits::SuperimposedDistance;
+
+/// Exact minimum superimposed distance by full enumeration.
+///
+/// Returns `None` when `pattern` is not structure-isomorphic to any
+/// subgraph of `target` (infinite distance).
+pub fn min_superimposed_distance_brute(
+    pattern: &LabeledGraph,
+    target: &LabeledGraph,
+    distance: &dyn SuperimposedDistance,
+) -> Option<f64> {
+    let matcher = SubgraphMatcher::new(pattern, target, IsoConfig::STRUCTURE);
+    let mut best: Option<f64> = None;
+    matcher.for_each(|embedding| {
+        let cost = distance.superposition_cost(pattern, target, embedding);
+        if best.is_none_or(|b| cost < b) {
+            best = Some(cost);
+        }
+        if best == Some(0.0) {
+            // A zero-cost superposition can never be beaten.
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    best
+}
+
+/// Exact SSSD answer set by brute force: all database indices whose
+/// minimum superimposed distance from `query` is at most `sigma`
+/// (Definition 2). The test-suite oracle for every search strategy.
+pub fn sssd_brute(
+    database: &[LabeledGraph],
+    query: &LabeledGraph,
+    distance: &dyn SuperimposedDistance,
+    sigma: f64,
+) -> Vec<usize> {
+    database
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| {
+            min_superimposed_distance_brute(query, g, distance).is_some_and(|d| d <= sigma)
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutation::MutationDistance;
+    use pis_graph::{EdgeAttr, GraphBuilder, Label, VertexAttr};
+
+    /// Builds a labeled cycle with per-edge labels.
+    fn cycle_with_edge_labels(labels: &[u32]) -> LabeledGraph {
+        let mut b = GraphBuilder::new();
+        let n = labels.len();
+        let vs = b.add_vertices(n, VertexAttr::labeled(Label(0)));
+        for (i, &l) in labels.iter().enumerate() {
+            b.add_edge(vs[i], vs[(i + 1) % n], EdgeAttr::labeled(Label(l))).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn distance_zero_for_exact_containment() {
+        let d = MutationDistance::edge_hamming();
+        let q = pis_graph::graph::path_graph(3, Label(0), Label(1));
+        let g = pis_graph::graph::cycle_graph(6, Label(0), Label(1));
+        assert_eq!(min_superimposed_distance_brute(&q, &g, &d), Some(0.0));
+    }
+
+    #[test]
+    fn distance_infinite_without_structural_match() {
+        let d = MutationDistance::edge_hamming();
+        let q = pis_graph::graph::cycle_graph(4, Label(0), Label(0));
+        let g = pis_graph::graph::path_graph(6, Label(0), Label(0));
+        assert_eq!(min_superimposed_distance_brute(&q, &g, &d), None);
+    }
+
+    #[test]
+    fn minimum_over_superpositions_is_taken() {
+        // Query: 6-cycle with edge labels all 1.
+        // Target: 6-cycle with labels [1,1,1,1,1,2]; rotating the query
+        // cannot avoid one mismatch, so MD = 1.
+        let d = MutationDistance::edge_hamming();
+        let q = cycle_with_edge_labels(&[1, 1, 1, 1, 1, 1]);
+        let g = cycle_with_edge_labels(&[1, 1, 1, 1, 1, 2]);
+        assert_eq!(min_superimposed_distance_brute(&q, &g, &d), Some(1.0));
+        // Two separated mismatches cost 2.
+        let g2 = cycle_with_edge_labels(&[2, 1, 1, 2, 1, 1]);
+        assert_eq!(min_superimposed_distance_brute(&q, &g2, &d), Some(2.0));
+    }
+
+    #[test]
+    fn sssd_brute_filters_by_threshold() {
+        let d = MutationDistance::edge_hamming();
+        let q = cycle_with_edge_labels(&[1, 1, 1]);
+        let db = vec![
+            cycle_with_edge_labels(&[1, 1, 1]), // d = 0
+            cycle_with_edge_labels(&[1, 1, 2]), // d = 1
+            cycle_with_edge_labels(&[2, 2, 2]), // d = 3
+            pis_graph::graph::path_graph(4, Label(0), Label(1)), // no match
+        ];
+        assert_eq!(sssd_brute(&db, &q, &d, 0.0), vec![0]);
+        assert_eq!(sssd_brute(&db, &q, &d, 1.0), vec![0, 1]);
+        assert_eq!(sssd_brute(&db, &q, &d, 3.0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn paper_example_1_mutation_distances() {
+        // A compact analogue of the paper's Example 1: the query ring
+        // appears in three molecules; one matches with distance 1, one
+        // with 3, one with 1. Threshold 2 returns the first and third.
+        let d = MutationDistance::edge_hamming();
+        let q = cycle_with_edge_labels(&[1, 2, 1, 2, 1, 2]);
+        let db = vec![
+            cycle_with_edge_labels(&[1, 2, 1, 2, 1, 1]), // 1 mutation
+            cycle_with_edge_labels(&[2, 2, 2, 2, 2, 2]), // 3 mutations
+            cycle_with_edge_labels(&[1, 2, 1, 2, 2, 2]), // 1 mutation
+        ];
+        assert_eq!(sssd_brute(&db, &q, &d, 2.0 - f64::EPSILON), vec![0, 2]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Classic graph algorithms used by the dataset generator and stats.
+
+use crate::graph::LabeledGraph;
+use crate::ids::VertexId;
+
+/// Marks bridge edges (edges whose removal disconnects their component).
+///
+/// Returns one flag per edge; `true` means bridge. Non-bridge edges lie
+/// on a cycle — the dataset generator uses this to tell ring bonds from
+/// chain bonds. Iterative Tarjan low-link, `O(V + E)`.
+pub fn bridges(g: &LabeledGraph) -> Vec<bool> {
+    let n = g.vertex_count();
+    let mut is_bridge = vec![false; g.edge_count()];
+    let mut disc = vec![u32::MAX; n];
+    let mut low = vec![u32::MAX; n];
+    let mut timer: u32 = 0;
+
+    // Iterative DFS; each frame tracks the edge used to enter the vertex
+    // so it is not treated as a back edge.
+    enum Frame {
+        Enter { v: VertexId, via_edge: Option<u32> },
+        Exit { v: VertexId, parent: Option<VertexId>, via_edge: Option<u32> },
+    }
+    for root in g.vertex_ids() {
+        if disc[root.index()] != u32::MAX {
+            continue;
+        }
+        let mut stack = vec![Frame::Enter { v: root, via_edge: None }];
+        let mut parents: Vec<Option<VertexId>> = vec![None; n];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Enter { v, via_edge } => {
+                    if disc[v.index()] != u32::MAX {
+                        continue;
+                    }
+                    disc[v.index()] = timer;
+                    low[v.index()] = timer;
+                    timer += 1;
+                    stack.push(Frame::Exit { v, parent: parents[v.index()], via_edge });
+                    for &(w, e) in g.neighbors(v) {
+                        if Some(e.0) == via_edge {
+                            continue;
+                        }
+                        if disc[w.index()] == u32::MAX {
+                            parents[w.index()] = Some(v);
+                            stack.push(Frame::Enter { v: w, via_edge: Some(e.0) });
+                        } else {
+                            // Back edge.
+                            low[v.index()] = low[v.index()].min(disc[w.index()]);
+                        }
+                    }
+                }
+                Frame::Exit { v, parent, via_edge } => {
+                    if let (Some(p), Some(e)) = (parent, via_edge) {
+                        low[p.index()] = low[p.index()].min(low[v.index()]);
+                        if low[v.index()] > disc[p.index()] {
+                            is_bridge[e as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    is_bridge
+}
+
+/// The cyclomatic number `E − V + C` (number of independent cycles);
+/// equals the ring count of a molecule skeleton.
+pub fn cyclomatic_number(g: &LabeledGraph) -> usize {
+    let components = g.connected_components().len();
+    g.edge_count() + components - g.vertex_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{cycle_graph, path_graph, EdgeAttr, GraphBuilder, VertexAttr};
+    use crate::ids::Label;
+
+    #[test]
+    fn all_path_edges_are_bridges() {
+        let g = path_graph(5, Label(0), Label(0));
+        assert!(bridges(&g).iter().all(|&b| b));
+        assert_eq!(cyclomatic_number(&g), 0);
+    }
+
+    #[test]
+    fn no_cycle_edge_is_a_bridge() {
+        let g = cycle_graph(6, Label(0), Label(0));
+        assert!(bridges(&g).iter().all(|&b| !b));
+        assert_eq!(cyclomatic_number(&g), 1);
+    }
+
+    #[test]
+    fn ring_with_tail() {
+        // Triangle 0-1-2 plus tail 2-3: only the tail is a bridge.
+        let mut b = GraphBuilder::new();
+        let vs = b.add_vertices(4, VertexAttr::labeled(Label(0)));
+        b.add_edge(vs[0], vs[1], EdgeAttr::labeled(Label(0))).unwrap();
+        b.add_edge(vs[1], vs[2], EdgeAttr::labeled(Label(0))).unwrap();
+        b.add_edge(vs[2], vs[0], EdgeAttr::labeled(Label(0))).unwrap();
+        let tail = b.add_edge(vs[2], vs[3], EdgeAttr::labeled(Label(0))).unwrap();
+        let g = b.build();
+        let flags = bridges(&g);
+        for e in g.edge_ids() {
+            assert_eq!(flags[e.index()], e == tail, "edge {e}");
+        }
+        assert_eq!(cyclomatic_number(&g), 1);
+    }
+
+    #[test]
+    fn fused_rings_have_no_bridges() {
+        // Two triangles sharing edge 0-1.
+        let mut b = GraphBuilder::new();
+        let vs = b.add_vertices(4, VertexAttr::labeled(Label(0)));
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (1, 3), (3, 0)] {
+            b.add_edge(vs[u], vs[v], EdgeAttr::labeled(Label(0))).unwrap();
+        }
+        let g = b.build();
+        assert!(bridges(&g).iter().all(|&x| !x));
+        assert_eq!(cyclomatic_number(&g), 2);
+    }
+
+    #[test]
+    fn disconnected_components_handled() {
+        let mut b = GraphBuilder::new();
+        let vs = b.add_vertices(5, VertexAttr::labeled(Label(0)));
+        // Component 1: triangle; component 2: single edge.
+        b.add_edge(vs[0], vs[1], EdgeAttr::labeled(Label(0))).unwrap();
+        b.add_edge(vs[1], vs[2], EdgeAttr::labeled(Label(0))).unwrap();
+        b.add_edge(vs[2], vs[0], EdgeAttr::labeled(Label(0))).unwrap();
+        let e = b.add_edge(vs[3], vs[4], EdgeAttr::labeled(Label(0))).unwrap();
+        let g = b.build();
+        let flags = bridges(&g);
+        assert_eq!(flags.iter().filter(|&&x| x).count(), 1);
+        assert!(flags[e.index()]);
+        assert_eq!(cyclomatic_number(&g), 1);
+    }
+}

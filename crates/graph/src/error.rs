@@ -1,0 +1,64 @@
+//! Error types for graph construction and parsing.
+
+use std::fmt;
+
+use crate::ids::VertexId;
+
+/// Errors produced while building or parsing graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge endpoint referenced a vertex that does not exist.
+    InvalidVertex {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// Number of vertices in the graph under construction.
+        vertex_count: usize,
+    },
+    /// A self-loop was added; PIS graphs are simple.
+    SelfLoop(VertexId),
+    /// A duplicate (parallel) edge was added; PIS graphs are simple.
+    DuplicateEdge(VertexId, VertexId),
+    /// A textual database could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::InvalidVertex { vertex, vertex_count } => write!(
+                f,
+                "edge endpoint {vertex} out of range (graph has {vertex_count} vertices)"
+            ),
+            GraphError::SelfLoop(v) => write!(f, "self-loop on {v}; PIS graphs are simple"),
+            GraphError::DuplicateEdge(u, v) => {
+                write!(f, "duplicate edge {u}-{v}; PIS graphs are simple")
+            }
+            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::InvalidVertex { vertex: VertexId(9), vertex_count: 3 };
+        assert!(e.to_string().contains("v9"));
+        assert!(e.to_string().contains("3 vertices"));
+        let e = GraphError::SelfLoop(VertexId(1));
+        assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::DuplicateEdge(VertexId(0), VertexId(1));
+        assert!(e.to_string().contains("duplicate"));
+        let e = GraphError::Parse { line: 12, message: "bad token".into() };
+        assert!(e.to_string().contains("line 12"));
+    }
+}

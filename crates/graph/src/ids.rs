@@ -1,0 +1,127 @@
+//! Strongly-typed identifiers used throughout the workspace.
+//!
+//! All identifiers are thin `u32` newtypes: graphs in the evaluation
+//! dataset have at most a few hundred vertices/edges, and the database
+//! holds at most tens of thousands of graphs, so `u32` keeps hot
+//! structures (embeddings, adjacency lists, posting lists) compact
+//! (see the type-size guidance in the Rust perf book).
+
+use std::fmt;
+
+/// Identifier of a vertex within a single [`crate::LabeledGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// The vertex position as a `usize`, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifier of an edge within a single [`crate::LabeledGraph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The edge position as a `usize`, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Identifier of a graph within a graph database.
+///
+/// PIS never stores real graphs inside the index; posting lists carry
+/// `GraphId`s only (Section 6 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct GraphId(pub u32);
+
+impl GraphId {
+    /// The graph position as a `usize`, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GraphId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// A categorical label attached to a vertex or an edge.
+///
+/// Labels are opaque small integers; domain vocabularies (atom symbols,
+/// bond types, …) live in `pis-datasets`. `Label(0)` is conventionally
+/// the "erased" label used when only the topology of a graph matters.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Label(pub u32);
+
+impl Label {
+    /// The erased label used for bare structures (skeletons).
+    pub const ERASED: Label = Label(0);
+
+    /// The label value as a `usize`, for score-matrix indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_compact() {
+        // Hot structures store millions of these; keep them word-small.
+        assert_eq!(std::mem::size_of::<VertexId>(), 4);
+        assert_eq!(std::mem::size_of::<EdgeId>(), 4);
+        assert_eq!(std::mem::size_of::<GraphId>(), 4);
+        assert_eq!(std::mem::size_of::<Label>(), 4);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VertexId(3).to_string(), "v3");
+        assert_eq!(EdgeId(7).to_string(), "e7");
+        assert_eq!(GraphId(0).to_string(), "g0");
+        assert_eq!(Label(2).to_string(), "l2");
+    }
+
+    #[test]
+    fn index_round_trips() {
+        assert_eq!(VertexId(41).index(), 41);
+        assert_eq!(EdgeId(9).index(), 9);
+        assert_eq!(GraphId(123).index(), 123);
+        assert_eq!(Label::ERASED.index(), 0);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(VertexId(1) < VertexId(2));
+        assert!(Label(0) < Label(10));
+    }
+}

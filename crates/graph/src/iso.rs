@@ -1,0 +1,526 @@
+//! VF2-style subgraph isomorphism with full embedding enumeration.
+//!
+//! The paper's subgraph isomorphism `Q ⊆ G` considers only the structure
+//! of the graphs (Section 2); labels are compared separately through the
+//! superimposed distance. The matcher therefore defaults to
+//! structure-only matching, with optional label-respecting modes used by
+//! the mining substrate and by `⊑` (label-preserving containment).
+//!
+//! Matching is *non-induced* (a monomorphism): every pattern edge must
+//! map to a target edge, but the target may have extra edges between
+//! mapped vertices — exactly the containment used in the paper's
+//! Example 2, where the query ring system is contained in 1H-Indene.
+//!
+//! The engine exposes a [`MatchVisitor`] hook invoked on every partial
+//! assignment, which is how `pis-core` implements the branch-and-bound
+//! minimum-superimposed-distance verifier without duplicating the search.
+
+use std::ops::ControlFlow;
+
+use crate::graph::LabeledGraph;
+use crate::ids::{EdgeId, VertexId};
+
+/// Label semantics for the matcher.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IsoConfig {
+    /// Require mapped vertices to carry equal labels.
+    pub respect_vertex_labels: bool,
+    /// Require mapped edges to carry equal labels.
+    pub respect_edge_labels: bool,
+}
+
+impl IsoConfig {
+    /// Structure-only matching (the paper's `⊆`).
+    pub const STRUCTURE: IsoConfig =
+        IsoConfig { respect_vertex_labels: false, respect_edge_labels: false };
+
+    /// Label-preserving matching (the paper's `⊑`).
+    pub const LABELED: IsoConfig =
+        IsoConfig { respect_vertex_labels: true, respect_edge_labels: true };
+}
+
+impl Default for IsoConfig {
+    fn default() -> Self {
+        IsoConfig::STRUCTURE
+    }
+}
+
+/// A complete mapping of pattern vertices into a target graph.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Embedding {
+    map: Vec<VertexId>,
+}
+
+impl Embedding {
+    /// The target vertex that pattern vertex `p` maps to.
+    #[inline]
+    pub fn vertex_image(&self, p: VertexId) -> VertexId {
+        self.map[p.index()]
+    }
+
+    /// Full mapping as a slice indexed by pattern vertex.
+    #[inline]
+    pub fn vertex_map(&self) -> &[VertexId] {
+        &self.map
+    }
+
+    /// The target edge that pattern edge `pe` maps to.
+    ///
+    /// # Panics
+    /// Panics if the embedding is not valid for the given graphs.
+    pub fn edge_image(&self, pattern: &LabeledGraph, target: &LabeledGraph, pe: EdgeId) -> EdgeId {
+        let e = pattern.edge(pe);
+        target
+            .edge_between(self.vertex_image(e.source), self.vertex_image(e.target))
+            .expect("embedding must map every pattern edge onto a target edge")
+    }
+
+    /// The set of target vertices covered, sorted ascending; used to
+    /// deduplicate query fragments that differ only by automorphism.
+    pub fn sorted_image(&self) -> Vec<VertexId> {
+        let mut image = self.map.clone();
+        image.sort_unstable();
+        image
+    }
+}
+
+/// Hook invoked by the matcher on every assignment; lets callers prune
+/// branches (e.g. by accumulated superimposed distance) and consume
+/// complete embeddings.
+pub trait MatchVisitor {
+    /// Pattern vertex `p` has just passed the structural feasibility
+    /// checks for target vertex `t`. Return `false` to prune the branch;
+    /// in that case the visitor must leave its own state untouched.
+    fn assign(&mut self, p: VertexId, t: VertexId) -> bool;
+
+    /// Undo a previously accepted assignment (called in LIFO order).
+    fn unassign(&mut self, p: VertexId, t: VertexId);
+
+    /// A complete embedding was found. Return
+    /// [`ControlFlow::Break`] to stop the whole search.
+    fn complete(&mut self, embedding: &Embedding) -> ControlFlow<()>;
+}
+
+/// A visitor that accepts everything and collects embeddings through a
+/// closure.
+struct CollectVisitor<F: FnMut(&Embedding) -> ControlFlow<()>> {
+    on_complete: F,
+}
+
+impl<F: FnMut(&Embedding) -> ControlFlow<()>> MatchVisitor for CollectVisitor<F> {
+    #[inline]
+    fn assign(&mut self, _p: VertexId, _t: VertexId) -> bool {
+        true
+    }
+
+    #[inline]
+    fn unassign(&mut self, _p: VertexId, _t: VertexId) {}
+
+    #[inline]
+    fn complete(&mut self, embedding: &Embedding) -> ControlFlow<()> {
+        (self.on_complete)(embedding)
+    }
+}
+
+/// Per-depth data of the precomputed matching plan.
+struct PlanStep {
+    /// Pattern vertex matched at this depth.
+    vertex: VertexId,
+    /// An already-matched pattern neighbor used to anchor candidate
+    /// generation (None only for the first vertex of a component).
+    anchor: Option<VertexId>,
+    /// All already-matched pattern neighbors and the connecting pattern
+    /// edge; every one must map to a target edge.
+    checks: Vec<(VertexId, EdgeId)>,
+}
+
+/// VF2-style matcher for one `(pattern, target)` pair.
+///
+/// The matcher precomputes a connected matching order over the pattern
+/// once and can then run several searches.
+pub struct SubgraphMatcher<'a> {
+    pattern: &'a LabeledGraph,
+    target: &'a LabeledGraph,
+    config: IsoConfig,
+    plan: Vec<PlanStep>,
+}
+
+impl<'a> SubgraphMatcher<'a> {
+    /// Builds a matcher; cost is linear in the pattern size.
+    pub fn new(pattern: &'a LabeledGraph, target: &'a LabeledGraph, config: IsoConfig) -> Self {
+        let plan = build_plan(pattern);
+        SubgraphMatcher { pattern, target, config, plan }
+    }
+
+    /// Runs the search, driving `visitor`.
+    pub fn search(&self, visitor: &mut dyn MatchVisitor) {
+        let n = self.pattern.vertex_count();
+        if n > self.target.vertex_count() || self.pattern.edge_count() > self.target.edge_count() {
+            return;
+        }
+        let mut map: Vec<VertexId> = vec![VertexId(u32::MAX); n];
+        let mut used = vec![false; self.target.vertex_count()];
+        let _ = self.recurse(0, &mut map, &mut used, visitor);
+    }
+
+    fn recurse(
+        &self,
+        depth: usize,
+        map: &mut Vec<VertexId>,
+        used: &mut [bool],
+        visitor: &mut dyn MatchVisitor,
+    ) -> ControlFlow<()> {
+        if depth == self.plan.len() {
+            let embedding = Embedding { map: map.clone() };
+            return visitor.complete(&embedding);
+        }
+        let step = &self.plan[depth];
+        let p = step.vertex;
+        match step.anchor {
+            Some(q) => {
+                // Candidates: neighbors of the image of the anchor.
+                let image = map[q.index()];
+                // Clone-free iteration: adjacency slices borrow target,
+                // which is disjoint from `map`/`used`.
+                for i in 0..self.target.neighbors(image).len() {
+                    let (t, _) = self.target.neighbors(image)[i];
+                    self.try_candidate(depth, p, t, map, used, visitor)?;
+                }
+            }
+            None => {
+                for t in 0..self.target.vertex_count() as u32 {
+                    self.try_candidate(depth, p, VertexId(t), map, used, visitor)?;
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+
+    #[inline]
+    fn try_candidate(
+        &self,
+        depth: usize,
+        p: VertexId,
+        t: VertexId,
+        map: &mut Vec<VertexId>,
+        used: &mut [bool],
+        visitor: &mut dyn MatchVisitor,
+    ) -> ControlFlow<()> {
+        if used[t.index()] {
+            return ControlFlow::Continue(());
+        }
+        if self.target.degree(t) < self.pattern.degree(p) {
+            return ControlFlow::Continue(());
+        }
+        if self.config.respect_vertex_labels
+            && self.pattern.vertex(p).label != self.target.vertex(t).label
+        {
+            return ControlFlow::Continue(());
+        }
+        let step = &self.plan[depth];
+        for &(q, pe) in &step.checks {
+            let Some(te) = self.target.edge_between(map[q.index()], t) else {
+                return ControlFlow::Continue(());
+            };
+            if self.config.respect_edge_labels
+                && self.pattern.edge(pe).attr.label != self.target.edge(te).attr.label
+            {
+                return ControlFlow::Continue(());
+            }
+        }
+        if !visitor.assign(p, t) {
+            return ControlFlow::Continue(());
+        }
+        map[p.index()] = t;
+        used[t.index()] = true;
+        let flow = self.recurse(depth + 1, map, used, visitor);
+        used[t.index()] = false;
+        map[p.index()] = VertexId(u32::MAX);
+        visitor.unassign(p, t);
+        flow
+    }
+
+    /// Calls `f` for every embedding; stop early by returning `Break`.
+    pub fn for_each(&self, f: impl FnMut(&Embedding) -> ControlFlow<()>) {
+        let mut visitor = CollectVisitor { on_complete: f };
+        self.search(&mut visitor);
+    }
+
+    /// The first embedding in deterministic search order, if any.
+    pub fn find_first(&self) -> Option<Embedding> {
+        let mut found = None;
+        self.for_each(|e| {
+            found = Some(e.clone());
+            ControlFlow::Break(())
+        });
+        found
+    }
+
+    /// Whether at least one embedding exists.
+    pub fn exists(&self) -> bool {
+        self.find_first().is_some()
+    }
+
+    /// Number of embeddings, stopping at `limit` if given.
+    pub fn count(&self, limit: Option<usize>) -> usize {
+        let mut n = 0usize;
+        self.for_each(|_| {
+            n += 1;
+            if limit.is_some_and(|l| n >= l) {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        n
+    }
+
+    /// All embeddings, in deterministic search order.
+    pub fn all(&self) -> Vec<Embedding> {
+        let mut out = Vec::new();
+        self.for_each(|e| {
+            out.push(e.clone());
+            ControlFlow::Continue(())
+        });
+        out
+    }
+}
+
+/// Matching order: BFS from the highest-degree vertex of every component,
+/// so each step after a component's first always has a matched anchor.
+fn build_plan(pattern: &LabeledGraph) -> Vec<PlanStep> {
+    let n = pattern.vertex_count();
+    let mut placed = vec![false; n];
+    let mut plan: Vec<PlanStep> = Vec::with_capacity(n);
+    // Component roots in order of decreasing degree (ties: smaller id),
+    // so dense parts of the pattern constrain the search first.
+    let mut roots: Vec<VertexId> = pattern.vertex_ids().collect();
+    roots.sort_by_key(|v| (usize::MAX - pattern.degree(*v), v.0));
+    for root in roots {
+        if placed[root.index()] {
+            continue;
+        }
+        placed[root.index()] = true;
+        plan.push(PlanStep { vertex: root, anchor: None, checks: Vec::new() });
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(v) = queue.pop_front() {
+            // Visit neighbors by decreasing degree for better pruning.
+            let mut nbrs: Vec<VertexId> =
+                pattern.neighbors(v).iter().map(|&(w, _)| w).collect();
+            nbrs.sort_by_key(|w| (usize::MAX - pattern.degree(*w), w.0));
+            for w in nbrs {
+                if placed[w.index()] {
+                    continue;
+                }
+                placed[w.index()] = true;
+                let checks: Vec<(VertexId, EdgeId)> = pattern
+                    .neighbors(w)
+                    .iter()
+                    .filter(|(q, _)| placed[q.index()] && *q != w)
+                    .map(|&(q, e)| (q, e))
+                    .collect();
+                // `w` was reached from `v`, so `v` is always in checks.
+                plan.push(PlanStep { vertex: w, anchor: Some(v), checks });
+                queue.push_back(w);
+            }
+        }
+    }
+    debug_assert_eq!(plan.len(), n);
+    // checks listed above only include vertices placed *before* w by
+    // construction of BFS? No: `placed` may include vertices queued after
+    // w in the same BFS level. Re-derive checks strictly by plan position.
+    let mut position = vec![usize::MAX; n];
+    for (i, step) in plan.iter().enumerate() {
+        position[step.vertex.index()] = i;
+    }
+    for (i, step) in plan.iter_mut().enumerate() {
+        step.checks = pattern
+            .neighbors(step.vertex)
+            .iter()
+            .filter(|(q, _)| position[q.index()] < i)
+            .map(|&(q, e)| (q, e))
+            .collect();
+    }
+    plan
+}
+
+/// Convenience: does `pattern ⊆ target` (structure-only by default)?
+pub fn is_subgraph(pattern: &LabeledGraph, target: &LabeledGraph, config: IsoConfig) -> bool {
+    SubgraphMatcher::new(pattern, target, config).exists()
+}
+
+/// Convenience: all embeddings of `pattern` into `target`.
+pub fn embeddings(pattern: &LabeledGraph, target: &LabeledGraph, config: IsoConfig) -> Vec<Embedding> {
+    SubgraphMatcher::new(pattern, target, config).all()
+}
+
+/// All automorphisms of `g` (label-respecting self-embeddings).
+///
+/// Because `g` is finite and the mapping is injective on an equal number
+/// of vertices and preserves all edges, every such embedding is an
+/// automorphism.
+pub fn automorphisms(g: &LabeledGraph) -> Vec<Embedding> {
+    embeddings(g, g, IsoConfig::LABELED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{complete_graph, cycle_graph, path_graph, star_graph, GraphBuilder, VertexAttr, EdgeAttr};
+    use crate::ids::Label;
+
+    fn l(x: u32) -> Label {
+        Label(x)
+    }
+
+    #[test]
+    fn path_in_cycle() {
+        let p = path_graph(3, l(0), l(0));
+        let c = cycle_graph(6, l(0), l(0));
+        assert!(is_subgraph(&p, &c, IsoConfig::STRUCTURE));
+        // 6 starting points × 2 directions = 12 embeddings.
+        assert_eq!(embeddings(&p, &c, IsoConfig::STRUCTURE).len(), 12);
+    }
+
+    #[test]
+    fn cycle_not_in_path() {
+        let c = cycle_graph(3, l(0), l(0));
+        let p = path_graph(5, l(0), l(0));
+        assert!(!is_subgraph(&c, &p, IsoConfig::STRUCTURE));
+    }
+
+    #[test]
+    fn larger_pattern_never_matches() {
+        let big = path_graph(7, l(0), l(0));
+        let small = path_graph(3, l(0), l(0));
+        assert!(!is_subgraph(&big, &small, IsoConfig::STRUCTURE));
+    }
+
+    #[test]
+    fn non_induced_semantics() {
+        // A 3-path maps into a triangle even though the triangle has the
+        // extra closing edge (monomorphism, not induced).
+        let p = path_graph(3, l(0), l(0));
+        let t = complete_graph(3, l(0), l(0));
+        assert!(is_subgraph(&p, &t, IsoConfig::STRUCTURE));
+        assert_eq!(embeddings(&p, &t, IsoConfig::STRUCTURE).len(), 6);
+    }
+
+    #[test]
+    fn vertex_labels_respected_when_asked() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_vertex(VertexAttr::labeled(l(1)));
+        let v = b.add_vertex(VertexAttr::labeled(l(2)));
+        b.add_edge(u, v, EdgeAttr::labeled(l(0))).unwrap();
+        let pattern = b.build();
+
+        let mut b = GraphBuilder::new();
+        let u = b.add_vertex(VertexAttr::labeled(l(2)));
+        let v = b.add_vertex(VertexAttr::labeled(l(2)));
+        b.add_edge(u, v, EdgeAttr::labeled(l(0))).unwrap();
+        let target = b.build();
+
+        assert!(is_subgraph(&pattern, &target, IsoConfig::STRUCTURE));
+        assert!(!is_subgraph(&pattern, &target, IsoConfig::LABELED));
+    }
+
+    #[test]
+    fn edge_labels_respected_when_asked() {
+        let p = path_graph(2, l(0), l(1));
+        let t = path_graph(2, l(0), l(2));
+        assert!(is_subgraph(&p, &t, IsoConfig::STRUCTURE));
+        assert!(!is_subgraph(
+            &p,
+            &t,
+            IsoConfig { respect_vertex_labels: false, respect_edge_labels: true }
+        ));
+    }
+
+    #[test]
+    fn embedding_edge_image() {
+        let p = path_graph(2, l(0), l(0));
+        let c = cycle_graph(4, l(0), l(0));
+        let e = SubgraphMatcher::new(&p, &c, IsoConfig::STRUCTURE).find_first().unwrap();
+        let te = e.edge_image(&p, &c, EdgeId(0));
+        let edge = c.edge(te);
+        assert!(edge.is_incident(e.vertex_image(VertexId(0))));
+        assert!(edge.is_incident(e.vertex_image(VertexId(1))));
+    }
+
+    #[test]
+    fn automorphisms_of_cycle_form_dihedral_group() {
+        let c = cycle_graph(6, l(0), l(0));
+        assert_eq!(automorphisms(&c).len(), 12); // D6: 6 rotations × 2 reflections
+        let p = path_graph(4, l(0), l(0));
+        assert_eq!(automorphisms(&p).len(), 2); // identity + reversal
+        let k = complete_graph(4, l(0), l(0));
+        assert_eq!(automorphisms(&k).len(), 24); // S4
+        let s = star_graph(3, l(0), l(0));
+        assert_eq!(automorphisms(&s).len(), 6); // S3 on the leaves
+    }
+
+    #[test]
+    fn count_with_limit_stops_early() {
+        let p = path_graph(2, l(0), l(0));
+        let k = complete_graph(6, l(0), l(0));
+        let m = SubgraphMatcher::new(&p, &k, IsoConfig::STRUCTURE);
+        assert_eq!(m.count(Some(5)), 5);
+        assert_eq!(m.count(None), 30); // 15 edges × 2 directions
+    }
+
+    #[test]
+    fn empty_pattern_has_one_empty_embedding() {
+        let p = LabeledGraph::default();
+        let t = path_graph(3, l(0), l(0));
+        let all = embeddings(&p, &t, IsoConfig::STRUCTURE);
+        assert_eq!(all.len(), 1);
+        assert!(all[0].vertex_map().is_empty());
+    }
+
+    #[test]
+    fn disconnected_pattern_matches_injectively() {
+        // Two isolated pattern vertices into a 2-path: 2 injective maps.
+        let mut b = GraphBuilder::new();
+        b.add_vertex(VertexAttr::labeled(l(0)));
+        b.add_vertex(VertexAttr::labeled(l(0)));
+        let p = b.build();
+        let t = path_graph(2, l(0), l(0));
+        assert_eq!(embeddings(&p, &t, IsoConfig::STRUCTURE).len(), 2);
+    }
+
+    #[test]
+    fn branch_and_bound_visitor_prunes() {
+        // A visitor that rejects mapping pattern v0 onto target v0 sees
+        // only the embeddings avoiding that assignment.
+        let p = path_graph(2, l(0), l(0));
+        let t = path_graph(2, l(0), l(0));
+        struct CountingReject(usize);
+        impl MatchVisitor for CountingReject {
+            fn assign(&mut self, p: VertexId, t: VertexId) -> bool {
+                !(p == VertexId(0) && t == VertexId(0))
+            }
+            fn unassign(&mut self, _p: VertexId, _t: VertexId) {}
+            fn complete(&mut self, _e: &Embedding) -> ControlFlow<()> {
+                self.0 += 1;
+                ControlFlow::Continue(())
+            }
+        }
+        let mut v = CountingReject(0);
+        SubgraphMatcher::new(&p, &t, IsoConfig::STRUCTURE).search(&mut v);
+        // Unpruned there are 2 embeddings; the one mapping v0->v0 is cut.
+        assert_eq!(v.0, 1);
+    }
+
+    #[test]
+    fn sorted_image_dedups_automorphic_embeddings() {
+        let p = path_graph(3, l(0), l(0));
+        let c = cycle_graph(6, l(0), l(0));
+        let mut images: Vec<Vec<VertexId>> = embeddings(&p, &c, IsoConfig::STRUCTURE)
+            .iter()
+            .map(|e| e.sorted_image())
+            .collect();
+        images.sort();
+        images.dedup();
+        assert_eq!(images.len(), 6); // 6 distinct 3-vertex windows on C6
+    }
+}

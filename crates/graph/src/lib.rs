@@ -1,0 +1,35 @@
+//! Labeled-graph substrate for PIS (ICDE 2006).
+//!
+//! This crate provides every structural primitive the PIS system is built
+//! on:
+//!
+//! * [`LabeledGraph`] — an undirected, simple, labeled and optionally
+//!   weighted graph, the unit stored in a graph database.
+//! * [`iso`] — a VF2-style subgraph-isomorphism matcher with full
+//!   embedding enumeration (the paper's `⊆` and the superposition
+//!   enumerator behind `d(Q, G)`).
+//! * [`canonical`] — minimum-DFS-code canonical forms (gSpan [Yan & Han,
+//!   ICDM'02]) used to hash fragments into structural equivalence
+//!   classes, plus a naive adjacency-matrix canonical form used as a
+//!   cross-check.
+//! * [`enumerate`] — connected-subgraph enumeration with canonical
+//!   deduplication, used for exhaustive feature generation.
+//! * [`io`] — a small line-oriented text format for graph databases.
+//!
+//! The crate is dependency-free and `#![forbid(unsafe_code)]` (enforced
+//! workspace-wide).
+
+pub mod algo;
+pub mod canonical;
+pub mod enumerate;
+pub mod error;
+pub mod graph;
+pub mod ids;
+pub mod io;
+pub mod iso;
+pub mod util;
+
+pub use error::GraphError;
+pub use graph::{Edge, EdgeAttr, GraphBuilder, LabeledGraph, VertexAttr};
+pub use ids::{EdgeId, GraphId, Label, VertexId};
+pub use iso::{Embedding, IsoConfig, SubgraphMatcher};

@@ -1,0 +1,198 @@
+//! Fragment vectors: class-canonical readouts of embeddings.
+//!
+//! A fragment is an occurrence of a feature structure inside a graph —
+//! formally an embedding `φ: f → G`. Its *vector* is the sequence of
+//! labels (or weights) of the image, read in the feature's canonical
+//! order: edge slots first (code order), then vertex slots (DFS
+//! discovery order). Two fragments of the same class therefore always
+//! get comparable, equal-length vectors, and the per-slot distance sums
+//! to the superposition distance — the key identity behind answering
+//! Eq. (3) with an index-only range query.
+//!
+//! Edges lead in the layout because the paper's evaluation distance is
+//! edge-only: putting the cost-bearing slots first lets the trie prune
+//! before reaching the zero-cost vertex suffix.
+
+use pis_graph::{Embedding, Label, LabeledGraph, VertexId};
+use pis_mining::FeatureId;
+
+/// A fragment's class-canonical vector: categorical labels under the
+/// mutation distance, numeric weights under the linear distance.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FragmentVector {
+    /// Edge labels then vertex labels.
+    Labels(Vec<Label>),
+    /// Edge weights then vertex weights.
+    Weights(Vec<f64>),
+}
+
+impl FragmentVector {
+    /// The vector length (vertex slots + edge slots).
+    pub fn len(&self) -> usize {
+        match self {
+            FragmentVector::Labels(v) => v.len(),
+            FragmentVector::Weights(v) => v.len(),
+        }
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The label slots.
+    ///
+    /// # Panics
+    /// Panics if this is a weight vector.
+    pub fn labels(&self) -> &[Label] {
+        match self {
+            FragmentVector::Labels(v) => v,
+            FragmentVector::Weights(_) => panic!("expected a label vector, found weights"),
+        }
+    }
+
+    /// The weight slots.
+    ///
+    /// # Panics
+    /// Panics if this is a label vector.
+    pub fn weights(&self) -> &[f64] {
+        match self {
+            FragmentVector::Weights(v) => v,
+            FragmentVector::Labels(_) => panic!("expected a weight vector, found labels"),
+        }
+    }
+}
+
+/// Reads the label vector of an embedding: target labels of the
+/// feature's edges (in code order) followed by target labels of its
+/// vertices (in the representative's identity order, which is
+/// canonical).
+pub fn label_vector(
+    feature: &LabeledGraph,
+    target: &LabeledGraph,
+    embedding: &Embedding,
+) -> Vec<Label> {
+    let mut v = Vec::with_capacity(feature.vertex_count() + feature.edge_count());
+    for e in feature.edge_ids() {
+        let te = embedding.edge_image(feature, target, e);
+        v.push(target.edge(te).attr.label);
+    }
+    for p in feature.vertex_ids() {
+        v.push(target.vertex(embedding.vertex_image(p)).label);
+    }
+    v
+}
+
+/// Reads the weight vector of an embedding (same layout as
+/// [`label_vector`]).
+pub fn weight_vector(
+    feature: &LabeledGraph,
+    target: &LabeledGraph,
+    embedding: &Embedding,
+) -> Vec<f64> {
+    let mut v = Vec::with_capacity(feature.vertex_count() + feature.edge_count());
+    for e in feature.edge_ids() {
+        let te = embedding.edge_image(feature, target, e);
+        v.push(target.edge(te).attr.weight);
+    }
+    for p in feature.vertex_ids() {
+        v.push(target.vertex(embedding.vertex_image(p)).weight);
+    }
+    v
+}
+
+/// An indexed fragment of a *query* graph: what Algorithm 2 enumerates
+/// on lines 3–4.
+#[derive(Clone, Debug)]
+pub struct QueryFragment {
+    /// The feature (equivalence class) this fragment belongs to.
+    pub feature: FeatureId,
+    /// Sorted query vertices covered by the fragment; drives the
+    /// overlapping-relation graph.
+    pub vertices: Vec<VertexId>,
+    /// The fragment's vector (one automorphism representative; the index
+    /// stores all database-side variants, so any representative yields
+    /// the same range-query minima).
+    pub vector: FragmentVector,
+}
+
+impl QueryFragment {
+    /// Number of query vertices covered.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pis_graph::graph::path_graph;
+    use pis_graph::iso::{embeddings, IsoConfig};
+    use pis_graph::{EdgeAttr, GraphBuilder, VertexAttr};
+
+    fn labeled_path(vlabels: &[u32], elabels: &[u32]) -> LabeledGraph {
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = vlabels
+            .iter()
+            .map(|&l| b.add_vertex(VertexAttr { label: Label(l), weight: l as f64 }))
+            .collect();
+        for (i, &l) in elabels.iter().enumerate() {
+            b.add_edge(vs[i], vs[i + 1], EdgeAttr { label: Label(l), weight: 10.0 + l as f64 })
+                .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn vectors_follow_canonical_layout() {
+        let feature = path_graph(3, Label::ERASED, Label::ERASED);
+        let target = labeled_path(&[1, 2, 3], &[7, 8]);
+        let embs = embeddings(&feature, &target, IsoConfig::STRUCTURE);
+        // Identity and reversal.
+        assert_eq!(embs.len(), 2);
+        let vectors: Vec<Vec<Label>> =
+            embs.iter().map(|e| label_vector(&feature, &target, e)).collect();
+        assert!(vectors.contains(&vec![Label(7), Label(8), Label(1), Label(2), Label(3)]));
+        assert!(vectors.contains(&vec![Label(8), Label(7), Label(3), Label(2), Label(1)]));
+
+        let wv = weight_vector(&feature, &target, &embs[0]);
+        assert_eq!(wv.len(), 5);
+        assert!(wv[0] >= 10.0 && wv[1] >= 10.0, "edge slots come first");
+    }
+
+    #[test]
+    fn automorphic_readouts_differ_but_cover_each_other() {
+        // The two readouts of a symmetric site are mutual reversals —
+        // exactly why the index inserts every embedding.
+        let feature = path_graph(2, Label::ERASED, Label::ERASED);
+        let target = labeled_path(&[4, 9], &[1]);
+        let vectors: Vec<Vec<Label>> = embeddings(&feature, &target, IsoConfig::STRUCTURE)
+            .iter()
+            .map(|e| label_vector(&feature, &target, e))
+            .collect();
+        assert_eq!(vectors.len(), 2);
+        assert_ne!(vectors[0], vectors[1]);
+        // Layout: [edge, v0, v1]; reversing the vertex pair gives the
+        // other automorphic readout.
+        let mut rev = vectors[0].clone();
+        rev[1..].reverse();
+        assert_eq!(rev, vectors[1]);
+    }
+
+    #[test]
+    fn vector_accessors() {
+        let lv = FragmentVector::Labels(vec![Label(1)]);
+        assert_eq!(lv.len(), 1);
+        assert!(!lv.is_empty());
+        assert_eq!(lv.labels(), &[Label(1)]);
+        let wv = FragmentVector::Weights(vec![1.0, 2.0]);
+        assert_eq!(wv.weights(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a label vector")]
+    fn weights_are_not_labels() {
+        let wv = FragmentVector::Weights(vec![1.0]);
+        let _ = wv.labels();
+    }
+}

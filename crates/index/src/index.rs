@@ -1,0 +1,924 @@
+//! The fragment-based index (Section 4, Figure 5).
+//!
+//! `FragmentIndex` = hash table over structural equivalence classes +
+//! one range-searchable structure per class + structural posting lists.
+//! Build enumerates, for every `(feature, graph)` pair, *all* embeddings
+//! of the feature into the graph, deduplicates their vectors, and
+//! inserts them into the class backend. Range queries then answer
+//! Eq. (3) — `d(g, G) = min_{g' ⊑ G, g' ≅ g} d(g, g')` — without
+//! touching any database graph.
+
+use std::ops::ControlFlow;
+
+use pis_distance::{LinearDistance, MutationDistance};
+use pis_graph::iso::{IsoConfig, SubgraphMatcher};
+use pis_graph::util::{FxHashMap, FxHashSet};
+use pis_graph::{GraphId, Label, LabeledGraph};
+use pis_mining::{FeatureId, FeatureSet};
+
+use crate::fragment::{label_vector, weight_vector, FragmentVector, QueryFragment};
+use crate::rtree::RTree;
+use crate::trie::LabelTrie;
+use crate::vptree::VpTree;
+
+/// Which range-search structure each class uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Backend {
+    /// Pick the paper's default per distance: trie for the mutation
+    /// distance, R-tree for the linear distance.
+    #[default]
+    Default,
+    /// Force the trie (mutation distance only).
+    Trie,
+    /// Force the R-tree (linear distance only).
+    RTree,
+    /// Force the VP-tree (either distance; requires the triangle
+    /// inequality, which both unit-style mutation matrices and the
+    /// linear distance satisfy).
+    VpTree,
+}
+
+/// The superimposed distance an index is built for.
+#[derive(Clone, Debug)]
+pub enum IndexDistance {
+    /// Categorical mutation distance (label vectors).
+    Mutation(MutationDistance),
+    /// Linear mutation distance (weight vectors).
+    Linear(LinearDistance),
+}
+
+impl IndexDistance {
+    /// Whether this is the categorical mutation distance.
+    pub fn is_mutation(&self) -> bool {
+        matches!(self, IndexDistance::Mutation(_))
+    }
+
+    /// Distance between two class-canonical vectors of the same class
+    /// (`edge_count` = number of edge slots, which lead the layout).
+    pub fn vector_cost(&self, edge_count: usize, a: &FragmentVector, b: &FragmentVector) -> f64 {
+        match (self, a, b) {
+            (IndexDistance::Mutation(md), FragmentVector::Labels(x), FragmentVector::Labels(y)) => {
+                md.label_vector_cost(edge_count, x, y)
+            }
+            (IndexDistance::Linear(ld), FragmentVector::Weights(x), FragmentVector::Weights(y)) => {
+                ld.weight_vector_cost(edge_count, x, y)
+            }
+            _ => panic!("fragment vector kind does not match the index distance"),
+        }
+    }
+
+    /// Collapses slots that can never contribute cost (a zero score
+    /// matrix or a zero scale) to a single canonical value. Distances
+    /// are unchanged, but equivalent vectors become identical — under
+    /// the paper's edge-only distance this shrinks per-class entry
+    /// counts by an order of magnitude and is applied to both stored and
+    /// query vectors.
+    pub fn normalize(&self, edge_count: usize, vector: &mut FragmentVector) {
+        match (self, vector) {
+            (IndexDistance::Mutation(md), FragmentVector::Labels(v)) => {
+                let cut = edge_count.min(v.len());
+                if md.edge_scores().max_cost() == 0.0 {
+                    v[..cut].fill(Label::ERASED);
+                }
+                if md.vertex_scores().max_cost() == 0.0 {
+                    v[cut..].fill(Label::ERASED);
+                }
+            }
+            (IndexDistance::Linear(ld), FragmentVector::Weights(v)) => {
+                let cut = edge_count.min(v.len());
+                if ld.edge_scale() == 0.0 {
+                    v[..cut].fill(0.0);
+                }
+                if ld.vertex_scale() == 0.0 {
+                    v[cut..].fill(0.0);
+                }
+            }
+            _ => panic!("fragment vector kind does not match the index distance"),
+        }
+    }
+}
+
+/// Build-time options.
+#[derive(Clone, Debug)]
+pub struct IndexConfig {
+    /// Backend selection.
+    pub backend: Backend,
+    /// Cap on embeddings enumerated per `(feature, graph)` pair.
+    /// `usize::MAX` (default) guarantees exact range-query minima;
+    /// smaller values trade soundness of the lower bound for build time
+    /// and are only meant for ablations.
+    pub max_embeddings_per_fragment: usize,
+    /// Number of build threads (0 = all available cores).
+    pub threads: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig { backend: Backend::Default, max_embeddings_per_fragment: usize::MAX, threads: 0 }
+    }
+}
+
+pub(crate) enum ClassImpl {
+    Trie(LabelTrie),
+    VpLabels(VpTree<Vec<Label>>),
+    RTree(RTree),
+    VpWeights(VpTree<Vec<f64>>),
+}
+
+pub(crate) struct ClassIndex {
+    pub(crate) imp: ClassImpl,
+    /// Sorted distinct graphs containing this structure — the gIndex
+    /// posting list used by topoPrune and structure-violation pruning.
+    pub(crate) graphs: Vec<GraphId>,
+    pub(crate) entries: usize,
+}
+
+/// The PIS fragment-based index.
+pub struct FragmentIndex {
+    pub(crate) features: FeatureSet,
+    pub(crate) distance: IndexDistance,
+    pub(crate) classes: Vec<ClassIndex>,
+    pub(crate) graph_count: usize,
+    /// Build options, kept for incremental insertion.
+    pub(crate) config: IndexConfig,
+}
+
+impl FragmentIndex {
+    /// Builds the index over `db` for the given features and distance.
+    pub fn build(
+        db: &[LabeledGraph],
+        features: FeatureSet,
+        distance: IndexDistance,
+        config: &IndexConfig,
+    ) -> Self {
+        // Validate the backend/distance pairing before spawning workers
+        // so the caller sees a direct panic message.
+        match (&distance, config.backend) {
+            (IndexDistance::Mutation(_), Backend::RTree) => {
+                panic!("the R-tree backend indexes weight vectors; use Trie or VpTree for the mutation distance")
+            }
+            (IndexDistance::Linear(_), Backend::Trie) => {
+                panic!("the trie backend indexes label vectors; use RTree or VpTree for the linear distance")
+            }
+            _ => {}
+        }
+        let n_threads = if config.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            config.threads
+        };
+        let ids: Vec<FeatureId> = features.iter().map(|f| f.id).collect();
+        let classes: Vec<ClassIndex> = if n_threads <= 1 || ids.len() <= 1 {
+            ids.iter().map(|&f| build_class(db, &features, f, &distance, config)).collect()
+        } else {
+            // Features are independent: chunk them across scoped threads
+            // and reassemble in feature order.
+            let chunk = ids.len().div_ceil(n_threads);
+            let mut results: Vec<Option<Vec<ClassIndex>>> = Vec::new();
+            results.resize_with(ids.len().div_ceil(chunk), || None);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (ci, ids_chunk) in ids.chunks(chunk).enumerate() {
+                    let features = &features;
+                    let distance = &distance;
+                    handles.push((
+                        ci,
+                        scope.spawn(move || {
+                            ids_chunk
+                                .iter()
+                                .map(|&f| build_class(db, features, f, distance, config))
+                                .collect::<Vec<_>>()
+                        }),
+                    ));
+                }
+                for (ci, h) in handles {
+                    results[ci] = Some(h.join().expect("index build worker panicked"));
+                }
+            });
+            results.into_iter().flatten().flatten().collect()
+        };
+        FragmentIndex { features, distance, classes, graph_count: db.len(), config: config.clone() }
+    }
+
+    /// The feature set (hash-table keys of Figure 5).
+    pub fn features(&self) -> &FeatureSet {
+        &self.features
+    }
+
+    /// The distance the index was built for.
+    pub fn distance(&self) -> &IndexDistance {
+        &self.distance
+    }
+
+    /// Number of indexed database graphs.
+    pub fn graph_count(&self) -> usize {
+        self.graph_count
+    }
+
+    /// Total `(vector, graph)` entries across all classes.
+    pub fn total_entries(&self) -> usize {
+        self.classes.iter().map(|c| c.entries).sum()
+    }
+
+    /// Sorted ids of graphs containing the feature's structure (the
+    /// gIndex posting list).
+    pub fn class_graphs(&self, feature: FeatureId) -> &[GraphId] {
+        &self.classes[feature.index()].graphs
+    }
+
+    /// Incrementally indexes one more graph, returning its new id; the
+    /// caller must append the same graph to its database (the facade's
+    /// `PisSystem::insert_graph` keeps both in sync).
+    ///
+    /// Trie and R-tree classes insert in place; VP-tree classes are
+    /// rebuilt from their items (VP-trees do not take in-place inserts
+    /// without losing balance), so prefer the default backends for
+    /// insert-heavy workloads.
+    pub fn insert_graph(&mut self, g: &LabeledGraph) -> GraphId {
+        let gid = GraphId(self.graph_count as u32);
+        self.graph_count += 1;
+        for class_idx in 0..self.classes.len() {
+            let feature = self.features.get(FeatureId(class_idx as u32));
+            let structure = &feature.structure;
+            let ecount = structure.edge_count();
+            let entries = collect_graph_entries(structure, g, &self.distance, &self.config);
+            if !entries.any {
+                continue;
+            }
+            let class = &mut self.classes[class_idx];
+            // `gid` exceeds every stored id, so appending keeps the
+            // posting list sorted.
+            class.graphs.push(gid);
+            class.entries += entries.labels.len() + entries.weights.len();
+            match (&mut class.imp, &self.distance) {
+                (ClassImpl::Trie(trie), _) => {
+                    for v in &entries.labels {
+                        trie.insert(v, gid);
+                    }
+                }
+                (ClassImpl::RTree(rt), IndexDistance::Linear(ld)) => {
+                    for v in &entries.weights {
+                        rt.insert(&scale_weights(ld, ecount, v), gid);
+                    }
+                }
+                (ClassImpl::VpLabels(_), IndexDistance::Mutation(md)) => {
+                    let md = md.clone();
+                    let imp = std::mem::replace(
+                        &mut class.imp,
+                        ClassImpl::Trie(LabelTrie::new(0)),
+                    );
+                    let ClassImpl::VpLabels(vp) = imp else { unreachable!() };
+                    let mut items = vp.into_items();
+                    items.extend(entries.labels.into_iter().map(|v| (v, gid)));
+                    class.imp = ClassImpl::VpLabels(VpTree::build(items, move |a, b| {
+                        md.label_vector_cost(ecount, a, b)
+                    }));
+                }
+                (ClassImpl::VpWeights(_), IndexDistance::Linear(ld)) => {
+                    let ld = *ld;
+                    let imp = std::mem::replace(
+                        &mut class.imp,
+                        ClassImpl::Trie(LabelTrie::new(0)),
+                    );
+                    let ClassImpl::VpWeights(vp) = imp else { unreachable!() };
+                    let mut items = vp.into_items();
+                    items.extend(entries.weights.into_iter().map(|v| (v, gid)));
+                    class.imp = ClassImpl::VpWeights(VpTree::build(items, move |a, b| {
+                        ld.weight_vector_cost(ecount, a, b)
+                    }));
+                }
+                _ => unreachable!("class backend always matches the index distance"),
+            }
+        }
+        gid
+    }
+
+    /// Answers the range query of Eq. (3): for every graph `G` holding a
+    /// fragment `g'` of class `feature` with `d(g, g') ≤ σ`, returns
+    /// `(G, d(g, G))` where the distance is minimized over all such
+    /// fragments. Sorted by graph id.
+    pub fn range_query(
+        &self,
+        feature: FeatureId,
+        vector: &FragmentVector,
+        sigma: f64,
+    ) -> Vec<(GraphId, f64)> {
+        let class = &self.classes[feature.index()];
+        let ecount = self.features.get(feature).edge_count();
+        // Stored vectors are normalized; normalize the probe so
+        // externally-built vectors compare correctly.
+        let mut normalized = vector.clone();
+        self.distance.normalize(ecount, &mut normalized);
+        let vector = &normalized;
+        let mut best: FxHashMap<GraphId, f64> = FxHashMap::default();
+        let visit = |g: GraphId, d: f64| {
+            best.entry(g).and_modify(|cur| *cur = cur.min(d)).or_insert(d);
+        };
+        match (&class.imp, vector, &self.distance) {
+            (ClassImpl::Trie(trie), FragmentVector::Labels(labels), IndexDistance::Mutation(md)) => {
+                trie.range_query(
+                    labels,
+                    sigma,
+                    |pos, a, b| md.position_cost(pos, ecount, a, b),
+                    visit,
+                );
+            }
+            (ClassImpl::VpLabels(vp), FragmentVector::Labels(labels), IndexDistance::Mutation(md)) => {
+                vp.range_query(
+                    labels,
+                    sigma,
+                    |a: &Vec<Label>, b: &Vec<Label>| md.label_vector_cost(ecount, a, b),
+                    visit,
+                );
+            }
+            (ClassImpl::RTree(rt), FragmentVector::Weights(ws), IndexDistance::Linear(ld)) => {
+                // The tree stores *scale-transformed* coordinates (see
+                // `scale_weights`), turning the weighted L1 of the
+                // linear distance into a plain L1 — so the query vector
+                // gets the same transform and distances come out exact.
+                let scaled = scale_weights(ld, ecount, ws);
+                rt.range_query(&scaled, sigma, visit);
+            }
+            (ClassImpl::VpWeights(vp), FragmentVector::Weights(ws), IndexDistance::Linear(ld)) => {
+                let ld = *ld;
+                vp.range_query(
+                    ws,
+                    sigma,
+                    move |a: &Vec<f64>, b: &Vec<f64>| ld.weight_vector_cost(ecount, a, b),
+                    visit,
+                );
+            }
+            _ => panic!("fragment vector kind does not match the class backend"),
+        }
+        let mut out: Vec<(GraphId, f64)> = best.into_iter().collect();
+        out.sort_by_key(|&(g, _)| g);
+        out
+    }
+
+    /// Enumerates the indexed fragments of a query graph (Algorithm 2,
+    /// lines 3–4), deduplicated by `(feature, vertex image, edge image)`
+    /// so automorphic re-readings issue one range query each.
+    pub fn enumerate_query_fragments(&self, query: &LabeledGraph) -> Vec<QueryFragment> {
+        let mut out = Vec::new();
+        let mut seen: FxHashSet<(u32, Vec<u32>, Vec<u32>)> = FxHashSet::default();
+        for feature in self.features.iter() {
+            let matcher = SubgraphMatcher::new(&feature.structure, query, IsoConfig::STRUCTURE);
+            matcher.for_each(|emb| {
+                let mut vertices: Vec<u32> = emb.vertex_map().iter().map(|v| v.0).collect();
+                vertices.sort_unstable();
+                let mut edges: Vec<u32> = feature
+                    .structure
+                    .edge_ids()
+                    .map(|e| emb.edge_image(&feature.structure, query, e).0)
+                    .collect();
+                edges.sort_unstable();
+                if seen.insert((feature.id.0, vertices.clone(), edges)) {
+                    let mut vector = match &self.distance {
+                        IndexDistance::Mutation(_) => FragmentVector::Labels(label_vector(
+                            &feature.structure,
+                            query,
+                            emb,
+                        )),
+                        IndexDistance::Linear(_) => FragmentVector::Weights(weight_vector(
+                            &feature.structure,
+                            query,
+                            emb,
+                        )),
+                    };
+                    self.distance.normalize(feature.structure.edge_count(), &mut vector);
+                    out.push(QueryFragment {
+                        feature: feature.id,
+                        vertices: vertices.into_iter().map(pis_graph::VertexId).collect(),
+                        vector,
+                    });
+                }
+                ControlFlow::Continue(())
+            });
+        }
+        out
+    }
+}
+
+/// Applies the linear distance's per-segment scales to a raw weight
+/// vector (edge slots first), so `|a' − b'|₁ = LD(a, b)` for
+/// transformed vectors `a'`, `b'`. Lets the R-tree answer scaled
+/// queries with plain L1 geometry.
+fn scale_weights(ld: &LinearDistance, edge_count: usize, v: &[f64]) -> Vec<f64> {
+    v.iter()
+        .enumerate()
+        .map(|(i, &w)| if i < edge_count { w * ld.edge_scale() } else { w * ld.vertex_scale() })
+        .collect()
+}
+
+/// All deduplicated, normalized vectors of one graph for one feature
+/// structure (label or weight vectors depending on the distance).
+struct GraphEntries {
+    labels: Vec<Vec<Label>>,
+    weights: Vec<Vec<f64>>,
+    /// Whether the graph contains the structure at all.
+    any: bool,
+}
+
+/// Enumerates a graph's fragments of one feature and reads out their
+/// (normalized, deduplicated) vectors — the unit of work shared by bulk
+/// build and incremental insertion.
+fn collect_graph_entries(
+    structure: &LabeledGraph,
+    g: &LabeledGraph,
+    distance: &IndexDistance,
+    config: &IndexConfig,
+) -> GraphEntries {
+    let mut out = GraphEntries { labels: Vec::new(), weights: Vec::new(), any: false };
+    if g.vertex_count() < structure.vertex_count() || g.edge_count() < structure.edge_count() {
+        return out;
+    }
+    // Zero-cost segments collapse to a canonical value (see
+    // `IndexDistance::normalize`), merging equivalent entries up front.
+    let (erase_edge_slots, erase_vertex_slots) = match distance {
+        IndexDistance::Mutation(md) => {
+            (md.edge_scores().max_cost() == 0.0, md.vertex_scores().max_cost() == 0.0)
+        }
+        IndexDistance::Linear(ld) => (ld.edge_scale() == 0.0, ld.vertex_scale() == 0.0),
+    };
+    let ecount_slots = structure.edge_count();
+    let matcher = SubgraphMatcher::new(structure, g, IsoConfig::STRUCTURE);
+    let mut local_labels: FxHashSet<Vec<Label>> = FxHashSet::default();
+    let mut local_weights: FxHashSet<Vec<u64>> = FxHashSet::default();
+    let mut remaining = config.max_embeddings_per_fragment;
+    matcher.for_each(|emb| {
+        out.any = true;
+        match distance {
+            IndexDistance::Mutation(_) => {
+                let mut v = label_vector(structure, g, emb);
+                if erase_edge_slots {
+                    v[..ecount_slots].fill(Label::ERASED);
+                }
+                if erase_vertex_slots {
+                    v[ecount_slots..].fill(Label::ERASED);
+                }
+                if local_labels.insert(v.clone()) {
+                    out.labels.push(v);
+                }
+            }
+            IndexDistance::Linear(_) => {
+                let mut v = weight_vector(structure, g, emb);
+                if erase_edge_slots {
+                    v[..ecount_slots].fill(0.0);
+                }
+                if erase_vertex_slots {
+                    v[ecount_slots..].fill(0.0);
+                }
+                let key: Vec<u64> = v.iter().map(|w| w.to_bits()).collect();
+                if local_weights.insert(key) {
+                    out.weights.push(v);
+                }
+            }
+        }
+        remaining -= 1;
+        if remaining == 0 {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    out
+}
+
+/// Builds one class: enumerate, dedup, insert.
+fn build_class(
+    db: &[LabeledGraph],
+    features: &FeatureSet,
+    feature: FeatureId,
+    distance: &IndexDistance,
+    config: &IndexConfig,
+) -> ClassIndex {
+    let f = features.get(feature);
+    let structure = &f.structure;
+    let slots = structure.vertex_count() + structure.edge_count();
+    let mut label_entries: Vec<(Vec<Label>, GraphId)> = Vec::new();
+    let mut weight_entries: Vec<(Vec<f64>, GraphId)> = Vec::new();
+    let mut graphs: Vec<GraphId> = Vec::new();
+
+    for (gid, g) in db.iter().enumerate() {
+        let gid = GraphId(gid as u32);
+        let entries = collect_graph_entries(structure, g, distance, config);
+        label_entries.extend(entries.labels.into_iter().map(|v| (v, gid)));
+        weight_entries.extend(entries.weights.into_iter().map(|v| (v, gid)));
+        if entries.any {
+            graphs.push(gid);
+        }
+    }
+
+    let entries = label_entries.len() + weight_entries.len();
+    let ecount = structure.edge_count();
+    let imp = match (distance, config.backend) {
+        (IndexDistance::Mutation(_), Backend::Default | Backend::Trie) => {
+            let mut trie = LabelTrie::new(slots);
+            for (v, gid) in &label_entries {
+                trie.insert(v, *gid);
+            }
+            ClassImpl::Trie(trie)
+        }
+        (IndexDistance::Mutation(md), Backend::VpTree) => {
+            let md = md.clone();
+            ClassImpl::VpLabels(VpTree::build(label_entries, move |a, b| {
+                md.label_vector_cost(ecount, a, b)
+            }))
+        }
+        (IndexDistance::Linear(ld), Backend::Default | Backend::RTree) => {
+            let mut rt = RTree::new(slots);
+            for (v, gid) in &weight_entries {
+                rt.insert(&scale_weights(ld, ecount, v), *gid);
+            }
+            ClassImpl::RTree(rt)
+        }
+        (IndexDistance::Linear(ld), Backend::VpTree) => {
+            let ld = *ld;
+            ClassImpl::VpWeights(VpTree::build(weight_entries, move |a, b| {
+                ld.weight_vector_cost(ecount, a, b)
+            }))
+        }
+        (IndexDistance::Mutation(_), Backend::RTree) => {
+            panic!("the R-tree backend indexes weight vectors; use Trie or VpTree for the mutation distance")
+        }
+        (IndexDistance::Linear(_), Backend::Trie) => {
+            panic!("the trie backend indexes label vectors; use RTree or VpTree for the linear distance")
+        }
+    };
+    ClassIndex { imp, graphs, entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pis_distance::oracle::min_superimposed_distance_brute;
+    use pis_distance::SuperimposedDistance;
+    use pis_graph::graph::{cycle_graph, path_graph};
+    use pis_graph::{EdgeAttr, GraphBuilder, VertexAttr};
+    use pis_mining::exhaustive::exhaustive_features;
+
+    fn cycle_with_edge_labels(labels: &[u32]) -> LabeledGraph {
+        let mut b = GraphBuilder::new();
+        let n = labels.len();
+        let vs = b.add_vertices(n, VertexAttr::labeled(Label(0)));
+        for (i, &l) in labels.iter().enumerate() {
+            b.add_edge(vs[i], vs[(i + 1) % n], EdgeAttr::labeled(Label(l))).unwrap();
+        }
+        b.build()
+    }
+
+    fn small_db() -> Vec<LabeledGraph> {
+        vec![
+            cycle_with_edge_labels(&[1, 1, 1, 1, 1, 1]),
+            cycle_with_edge_labels(&[1, 1, 1, 1, 1, 2]),
+            cycle_with_edge_labels(&[2, 2, 2, 2, 2, 2]),
+            path_graph(5, Label(0), Label(1)),
+        ]
+    }
+
+    fn build_md(db: &[LabeledGraph], max_edges: usize, backend: Backend) -> FragmentIndex {
+        let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+        let features = exhaustive_features(&structures, max_edges);
+        FragmentIndex::build(
+            db,
+            features,
+            IndexDistance::Mutation(MutationDistance::edge_hamming()),
+            &IndexConfig { backend, ..IndexConfig::default() },
+        )
+    }
+
+    #[test]
+    fn posting_lists_match_structural_containment() {
+        let db = small_db();
+        let index = build_md(&db, 3, Backend::Default);
+        for f in index.features().iter() {
+            let expected: Vec<GraphId> = db
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| {
+                    pis_graph::iso::is_subgraph(&f.structure, g, IsoConfig::STRUCTURE)
+                })
+                .map(|(i, _)| GraphId(i as u32))
+                .collect();
+            assert_eq!(index.class_graphs(f.id), expected.as_slice(), "feature {}", f.id);
+        }
+    }
+
+    #[test]
+    fn range_query_matches_brute_force_min_distance() {
+        // The index-computed d(g, G) must equal the brute-force minimum
+        // superimposed distance for every fragment/graph pair it reports.
+        let db = small_db();
+        let index = build_md(&db, 4, Backend::Default);
+        let md = MutationDistance::edge_hamming();
+        let query = cycle_with_edge_labels(&[1, 1, 1, 2, 1, 1]);
+        for qf in index.enumerate_query_fragments(&query) {
+            let feature = index.features().get(qf.feature);
+            // Reconstruct the query fragment as a labeled graph to feed
+            // the oracle: its vector layout is exactly the feature's
+            // canonical layout.
+            let mut b = GraphBuilder::new();
+            let labels = qf.vector.labels();
+            let ecount = feature.edge_count();
+            for (i, _) in feature.structure.vertex_ids().enumerate() {
+                b.add_vertex(VertexAttr::labeled(labels[ecount + i]));
+            }
+            for (j, e) in feature.structure.edges().iter().enumerate() {
+                b.add_edge(e.source, e.target, EdgeAttr::labeled(labels[j])).unwrap();
+            }
+            let fragment_graph = b.build();
+            for sigma in [0.0, 1.0, 2.0, 6.0] {
+                let hits = index.range_query(qf.feature, &qf.vector, sigma);
+                for (gid, d) in &hits {
+                    let brute =
+                        min_superimposed_distance_brute(&fragment_graph, &db[gid.index()], &md)
+                            .expect("reported graphs contain the structure");
+                    assert!(
+                        (d - brute).abs() < 1e-9,
+                        "index distance {d} != brute {brute} for {gid} sigma {sigma}"
+                    );
+                    assert!(*d <= sigma);
+                }
+                // Completeness: every graph within sigma is reported.
+                for (gi, g) in db.iter().enumerate() {
+                    if let Some(brute) = min_superimposed_distance_brute(&fragment_graph, g, &md) {
+                        if brute <= sigma {
+                            assert!(
+                                hits.iter().any(|(hg, _)| hg.index() == gi),
+                                "graph {gi} within {sigma} missing from range query"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trie_and_vptree_backends_agree() {
+        let db = small_db();
+        let trie_index = build_md(&db, 3, Backend::Trie);
+        let vp_index = build_md(&db, 3, Backend::VpTree);
+        let query = cycle_with_edge_labels(&[1, 2, 1, 2, 1, 2]);
+        for qf in trie_index.enumerate_query_fragments(&query) {
+            for sigma in [0.0, 1.0, 3.0] {
+                let a = trie_index.range_query(qf.feature, &qf.vector, sigma);
+                let b = vp_index.range_query(qf.feature, &qf.vector, sigma);
+                assert_eq!(a.len(), b.len(), "hit counts differ at sigma={sigma}");
+                for ((g1, d1), (g2, d2)) in a.iter().zip(&b) {
+                    assert_eq!(g1, g2);
+                    assert!((d1 - d2).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linear_distance_rtree_and_vptree_agree() {
+        // Weighted 3-cycles with distinct edge weights.
+        let mk = |ws: [f64; 3]| {
+            let mut b = GraphBuilder::new();
+            let vs = b.add_vertices(3, VertexAttr::labeled(Label(0)));
+            for (i, w) in ws.into_iter().enumerate() {
+                b.add_edge(vs[i], vs[(i + 1) % 3], EdgeAttr { label: Label(0), weight: w })
+                    .unwrap();
+            }
+            b.build()
+        };
+        let db = vec![mk([1.0, 1.0, 1.0]), mk([1.0, 1.5, 2.0]), mk([4.0, 4.0, 4.0])];
+        let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+        let features = exhaustive_features(&structures, 3);
+        let ld = LinearDistance::edges_only();
+        let rt = FragmentIndex::build(
+            &db,
+            features.clone(),
+            IndexDistance::Linear(ld),
+            &IndexConfig { backend: Backend::RTree, ..IndexConfig::default() },
+        );
+        let vp = FragmentIndex::build(
+            &db,
+            features,
+            IndexDistance::Linear(ld),
+            &IndexConfig { backend: Backend::VpTree, ..IndexConfig::default() },
+        );
+        let query = mk([1.0, 1.25, 2.0]);
+        for qf in rt.enumerate_query_fragments(&query) {
+            for sigma in [0.0, 0.5, 2.0] {
+                let a = rt.range_query(qf.feature, &qf.vector, sigma);
+                let b = vp.range_query(qf.feature, &qf.vector, sigma);
+                assert_eq!(a.len(), b.len(), "hit counts differ at sigma {sigma}");
+                for ((g1, d1), (g2, d2)) in a.iter().zip(&b) {
+                    assert_eq!(g1, g2);
+                    assert!((d1 - d2).abs() < 1e-9, "{d1} vs {d2}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linear_rtree_distances_match_oracle() {
+        let mk = |ws: [f64; 2]| {
+            let mut b = GraphBuilder::new();
+            let vs = b.add_vertices(3, VertexAttr::labeled(Label(0)));
+            b.add_edge(vs[0], vs[1], EdgeAttr { label: Label(0), weight: ws[0] }).unwrap();
+            b.add_edge(vs[1], vs[2], EdgeAttr { label: Label(0), weight: ws[1] }).unwrap();
+            b.build()
+        };
+        let db = vec![mk([1.0, 2.0]), mk([1.1, 2.2]), mk([9.0, 9.0])];
+        let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+        let features = exhaustive_features(&structures, 2);
+        let ld = LinearDistance::edges_only();
+        let index = FragmentIndex::build(
+            &db,
+            features,
+            IndexDistance::Linear(ld),
+            &IndexConfig::default(),
+        );
+        let query = mk([1.0, 2.0]);
+        for qf in index.enumerate_query_fragments(&query) {
+            let f = index.features().get(qf.feature);
+            // Query fragment as graph (erased labels, weights from vec).
+            let mut b = GraphBuilder::new();
+            let ws = qf.vector.weights();
+            let ecount = f.edge_count();
+            for (i, _) in f.structure.vertex_ids().enumerate() {
+                b.add_vertex(VertexAttr { label: Label(0), weight: ws[ecount + i] });
+            }
+            for (j, e) in f.structure.edges().iter().enumerate() {
+                b.add_edge(e.source, e.target, EdgeAttr { label: Label(0), weight: ws[j] })
+                    .unwrap();
+            }
+            let frag = b.build();
+            let hits = index.range_query(qf.feature, &qf.vector, 0.5);
+            for (gid, d) in hits {
+                let brute = min_superimposed_distance_brute(&frag, &db[gid.index()], &ld).unwrap();
+                assert!((d - brute).abs() < 1e-9, "index {d} vs brute {brute}");
+                let _ = ld.vertex_cost(VertexAttr::default(), VertexAttr::default());
+            }
+        }
+    }
+
+    #[test]
+    fn query_fragments_dedup_automorphisms() {
+        let db = vec![cycle_graph(6, Label(0), Label(1))];
+        let index = build_md(&db, 2, Backend::Default);
+        let query = cycle_graph(6, Label(0), Label(1));
+        let frags = index.enumerate_query_fragments(&query);
+        // 1-edge fragments: 6 sites; 2-edge path fragments: 6 sites.
+        let mut by_feature: FxHashMap<u32, usize> = FxHashMap::default();
+        for f in &frags {
+            *by_feature.entry(f.feature.0).or_insert(0) += 1;
+        }
+        let mut counts: Vec<usize> = by_feature.values().copied().collect();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![6, 6]);
+    }
+
+    #[test]
+    fn parallel_and_serial_builds_agree() {
+        let db = small_db();
+        let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+        let features = exhaustive_features(&structures, 3);
+        let md = IndexDistance::Mutation(MutationDistance::edge_hamming());
+        let serial = FragmentIndex::build(
+            &db,
+            features.clone(),
+            md.clone(),
+            &IndexConfig { threads: 1, ..IndexConfig::default() },
+        );
+        let parallel = FragmentIndex::build(
+            &db,
+            features,
+            md,
+            &IndexConfig { threads: 4, ..IndexConfig::default() },
+        );
+        assert_eq!(serial.total_entries(), parallel.total_entries());
+        let query = cycle_with_edge_labels(&[1, 1, 2, 1, 1, 1]);
+        for qf in serial.enumerate_query_fragments(&query) {
+            let a = serial.range_query(qf.feature, &qf.vector, 2.0);
+            let b = parallel.range_query(qf.feature, &qf.vector, 2.0);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn incremental_insert_equals_bulk_build_trie() {
+        let db = small_db();
+        // Build on a prefix, insert the rest.
+        let mut incremental = build_md(&db[..2], 3, Backend::Default);
+        for g in &db[2..] {
+            incremental.insert_graph(g);
+        }
+        let bulk = build_md(&db, 3, Backend::Default);
+        assert_eq!(incremental.graph_count(), bulk.graph_count());
+        assert_eq!(incremental.total_entries(), bulk.total_entries());
+        for f in bulk.features().iter() {
+            assert_eq!(incremental.class_graphs(f.id), bulk.class_graphs(f.id));
+        }
+        let query = cycle_with_edge_labels(&[1, 1, 2, 1, 1, 1]);
+        for qf in bulk.enumerate_query_fragments(&query) {
+            for sigma in [0.0, 1.0, 3.0] {
+                assert_eq!(
+                    incremental.range_query(qf.feature, &qf.vector, sigma),
+                    bulk.range_query(qf.feature, &qf.vector, sigma),
+                    "sigma {sigma}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_insert_equals_bulk_build_vptree() {
+        let db = small_db();
+        let mut incremental = build_md(&db[..2], 3, Backend::VpTree);
+        for g in &db[2..] {
+            incremental.insert_graph(g);
+        }
+        let bulk = build_md(&db, 3, Backend::VpTree);
+        let query = cycle_with_edge_labels(&[1, 2, 1, 2, 1, 2]);
+        for qf in bulk.enumerate_query_fragments(&query) {
+            for sigma in [0.0, 2.0, 6.0] {
+                assert_eq!(
+                    incremental.range_query(qf.feature, &qf.vector, sigma),
+                    bulk.range_query(qf.feature, &qf.vector, sigma),
+                    "sigma {sigma}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_insert_equals_bulk_build_rtree() {
+        let mk = |ws: [f64; 3]| {
+            let mut b = GraphBuilder::new();
+            let vs = b.add_vertices(3, VertexAttr::labeled(Label(0)));
+            for (i, w) in ws.into_iter().enumerate() {
+                b.add_edge(vs[i], vs[(i + 1) % 3], EdgeAttr { label: Label(0), weight: w })
+                    .unwrap();
+            }
+            b.build()
+        };
+        let db = vec![mk([1.0, 1.0, 1.0]), mk([1.0, 1.5, 2.0]), mk([4.0, 4.0, 4.0])];
+        let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+        let features = exhaustive_features(&structures, 3);
+        let ld = LinearDistance::edges_only();
+        let mut incremental = FragmentIndex::build(
+            &db[..1],
+            features.clone(),
+            IndexDistance::Linear(ld),
+            &IndexConfig::default(),
+        );
+        for g in &db[1..] {
+            incremental.insert_graph(g);
+        }
+        let bulk = FragmentIndex::build(
+            &db,
+            features,
+            IndexDistance::Linear(ld),
+            &IndexConfig::default(),
+        );
+        let query = mk([1.0, 1.25, 2.0]);
+        for qf in bulk.enumerate_query_fragments(&query) {
+            for sigma in [0.0, 0.5, 2.0] {
+                let a = incremental.range_query(qf.feature, &qf.vector, sigma);
+                let b = bulk.range_query(qf.feature, &qf.vector, sigma);
+                assert_eq!(a.len(), b.len(), "sigma {sigma}");
+                for ((g1, d1), (g2, d2)) in a.iter().zip(&b) {
+                    assert_eq!(g1, g2);
+                    assert!((d1 - d2).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inserted_graph_without_features_only_bumps_count() {
+        // A graph too small to hold any feature: no postings change.
+        let db = small_db();
+        let mut index = build_md(&db, 3, Backend::Default);
+        let before = index.total_entries();
+        let tiny = {
+            let mut b = GraphBuilder::new();
+            b.add_vertex(VertexAttr::labeled(Label(0)));
+            b.build()
+        };
+        let gid = index.insert_graph(&tiny);
+        assert_eq!(gid.index(), db.len());
+        assert_eq!(index.total_entries(), before);
+        assert_eq!(index.graph_count(), db.len() + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "R-tree backend indexes weight vectors")]
+    fn mutation_plus_rtree_rejected() {
+        let db = small_db();
+        let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+        let features = exhaustive_features(&structures, 2);
+        let _ = FragmentIndex::build(
+            &db,
+            features,
+            IndexDistance::Mutation(MutationDistance::edge_hamming()),
+            &IndexConfig { backend: Backend::RTree, ..IndexConfig::default() },
+        );
+    }
+}

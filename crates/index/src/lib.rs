@@ -1,0 +1,36 @@
+//! The fragment-based index of PIS (Section 4, Figure 5).
+//!
+//! Database graphs are decomposed into fragments — embeddings of the
+//! selected feature structures — and every fragment's *label vector*
+//! (categorical labels or numeric weights read in the feature's
+//! canonical order) is stored in a per-equivalence-class index that
+//! answers range queries `d(g, g') ≤ σ`:
+//!
+//! * [`trie::LabelTrie`] — categorical labels under the mutation
+//!   distance (cost-bounded trie descent);
+//! * [`rtree::RTree`] — numeric weights under the linear distance (L1
+//!   ball queries, the paper's Example 3);
+//! * [`vptree::VpTree`] — any metric distance (the "metric-based index
+//!   \[6\]" option), used in ablations A2/A3.
+//!
+//! The hash table of Figure 5 maps a structure's canonical DFS-code
+//! sequence to its class; [`index::FragmentIndex`] ties everything
+//! together and also owns the structural posting lists used by
+//! topoPrune.
+//!
+//! Soundness note: *every* embedding of a feature into a database graph
+//! is read out and inserted (deduplicated), including automorphic
+//! re-readings. This is what lets a query-side fragment issue a single
+//! range query and still minimize over all superpositions (Eq. 3).
+
+pub mod fragment;
+pub mod index;
+pub mod persist;
+pub mod rtree;
+pub mod trie;
+pub mod vptree;
+
+pub use fragment::{FragmentVector, QueryFragment};
+pub use index::{Backend, FragmentIndex, IndexConfig, IndexDistance};
+pub use persist::{load_index, save_index, PersistError};
+pub use trie::LabelTrie;

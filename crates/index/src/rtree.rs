@@ -1,0 +1,365 @@
+//! An R-tree over fragment weight vectors (references \[4, 11\]).
+//!
+//! Each equivalence class of a weighted dataset maps its fragments to
+//! points in `R^(V+E)` (vertex weights then edge weights, in canonical
+//! order); a linear-distance range query `LD ≤ σ` is an L1 ball query
+//! (the paper's Example 3). The tree is a classic Guttman R-tree:
+//! least-enlargement insertion with longest-axis median splits. The L1
+//! distance from a query point to a rectangle lower-bounds the distance
+//! to every point inside, which makes subtree pruning exact.
+
+use pis_graph::GraphId;
+
+/// Maximum entries per node before a split.
+const MAX_ENTRIES: usize = 8;
+/// Minimum entries per node after a split.
+const MIN_ENTRIES: usize = 3;
+
+/// Minimum bounding rectangle in `dim` dimensions.
+#[derive(Clone, Debug, PartialEq)]
+struct Mbr {
+    min: Vec<f64>,
+    max: Vec<f64>,
+}
+
+impl Mbr {
+    fn of_point(p: &[f64]) -> Self {
+        Mbr { min: p.to_vec(), max: p.to_vec() }
+    }
+
+    fn merge(&mut self, other: &Mbr) {
+        for d in 0..self.min.len() {
+            self.min[d] = self.min[d].min(other.min[d]);
+            self.max[d] = self.max[d].max(other.max[d]);
+        }
+    }
+
+    fn merged(&self, other: &Mbr) -> Mbr {
+        let mut m = self.clone();
+        m.merge(other);
+        m
+    }
+
+    /// Half-perimeter ("margin") used as the enlargement measure; in
+    /// high dimensions volume degenerates to 0/∞, margins stay stable.
+    fn margin(&self) -> f64 {
+        self.min.iter().zip(&self.max).map(|(lo, hi)| hi - lo).sum()
+    }
+
+    /// L1 distance from a point to this rectangle (0 if inside); a
+    /// lower bound on the L1 distance to any contained point.
+    fn l1_distance(&self, p: &[f64]) -> f64 {
+        let mut d = 0.0;
+        for ((&x, &lo), &hi) in p.iter().zip(&self.min).zip(&self.max) {
+            if x < lo {
+                d += lo - x;
+            } else if x > hi {
+                d += x - hi;
+            }
+        }
+        d
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf(Vec<(Vec<f64>, GraphId)>),
+    Inner(Vec<(Mbr, Node)>),
+}
+
+/// An R-tree over fixed-dimension points with L1 range queries.
+#[derive(Clone, Debug)]
+pub struct RTree {
+    dim: usize,
+    root: Node,
+    entries: usize,
+}
+
+impl RTree {
+    /// An empty tree over `dim`-dimensional points.
+    pub fn new(dim: usize) -> Self {
+        RTree { dim, root: Node::Leaf(Vec::new()), entries: 0 }
+    }
+
+    /// The point dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Inserts a point for a graph (duplicates allowed; the fragment
+    /// index dedups upstream).
+    ///
+    /// # Panics
+    /// Panics if `point.len() != dim`.
+    pub fn insert(&mut self, point: &[f64], graph: GraphId) {
+        assert_eq!(point.len(), self.dim, "point dimensionality must equal tree dim");
+        self.entries += 1;
+        if let Some((right_mbr, right)) = insert_rec(&mut self.root, point, graph) {
+            // Root split: grow the tree by one level.
+            let old_root = std::mem::replace(&mut self.root, Node::Inner(Vec::new()));
+            let left_mbr = node_mbr(&old_root).expect("split nodes are non-empty");
+            self.root = Node::Inner(vec![(left_mbr, old_root), (right_mbr, right)]);
+        }
+    }
+
+    /// Visits every `(graph, L1 distance)` within `sigma` of `query`.
+    ///
+    /// # Panics
+    /// Panics if `query.len() != dim`.
+    pub fn range_query(&self, query: &[f64], sigma: f64, mut visit: impl FnMut(GraphId, f64)) {
+        assert_eq!(query.len(), self.dim, "query dimensionality must equal tree dim");
+        search(&self.root, query, sigma, &mut visit);
+    }
+
+    /// Visits every stored `(point, graph)` pair (persistence and
+    /// diagnostics). Points come back exactly as inserted.
+    pub fn for_each_entry(&self, mut visit: impl FnMut(&[f64], GraphId)) {
+        fn walk(node: &Node, visit: &mut impl FnMut(&[f64], GraphId)) {
+            match node {
+                Node::Leaf(points) => {
+                    for (p, g) in points {
+                        visit(p, *g);
+                    }
+                }
+                Node::Inner(children) => {
+                    for (_, child) in children {
+                        walk(child, visit);
+                    }
+                }
+            }
+        }
+        walk(&self.root, &mut visit);
+    }
+
+    /// Tree height (1 for a lone leaf); exposed for tests/benches.
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &self.root;
+        while let Node::Inner(children) = node {
+            h += 1;
+            node = &children[0].1;
+        }
+        h
+    }
+}
+
+fn l1(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+fn node_mbr(node: &Node) -> Option<Mbr> {
+    match node {
+        Node::Leaf(points) => {
+            let mut it = points.iter();
+            let mut mbr = Mbr::of_point(&it.next()?.0);
+            for (p, _) in it {
+                mbr.merge(&Mbr::of_point(p));
+            }
+            Some(mbr)
+        }
+        Node::Inner(children) => {
+            let mut it = children.iter();
+            let mut mbr = it.next()?.0.clone();
+            for (m, _) in it {
+                mbr.merge(m);
+            }
+            Some(mbr)
+        }
+    }
+}
+
+/// Recursive insert; returns a new right sibling when the child split.
+fn insert_rec(node: &mut Node, point: &[f64], graph: GraphId) -> Option<(Mbr, Node)> {
+    match node {
+        Node::Leaf(points) => {
+            points.push((point.to_vec(), graph));
+            if points.len() <= MAX_ENTRIES {
+                return None;
+            }
+            // Split along the axis with the largest spread, at the
+            // median.
+            let dim = point.len();
+            let axis = (0..dim)
+                .max_by(|&a, &b| {
+                    spread(points, a).partial_cmp(&spread(points, b)).expect("finite spreads")
+                })
+                .expect("dim >= 1");
+            points.sort_by(|x, y| x.0[axis].partial_cmp(&y.0[axis]).expect("finite weights"));
+            let right_points = points.split_off(points.len() / 2);
+            debug_assert!(points.len() >= MIN_ENTRIES && right_points.len() >= MIN_ENTRIES);
+            let right = Node::Leaf(right_points);
+            let right_mbr = node_mbr(&right).expect("non-empty split");
+            Some((right_mbr, right))
+        }
+        Node::Inner(children) => {
+            // ChooseLeaf: least margin enlargement, ties by smaller
+            // margin.
+            let point_mbr = Mbr::of_point(point);
+            let best = (0..children.len())
+                .min_by(|&i, &j| {
+                    let key = |k: usize| {
+                        let enlarged = children[k].0.merged(&point_mbr);
+                        (enlarged.margin() - children[k].0.margin(), children[k].0.margin())
+                    };
+                    key(i).partial_cmp(&key(j)).expect("finite margins")
+                })
+                .expect("inner nodes are non-empty");
+            let split = insert_rec(&mut children[best].1, point, graph);
+            children[best].0 = node_mbr(&children[best].1).expect("child is non-empty");
+            if let Some((mbr, sibling)) = split {
+                children.push((mbr, sibling));
+            }
+            if children.len() <= MAX_ENTRIES {
+                return None;
+            }
+            // Split inner node by center along the largest-spread axis.
+            let dim = point.len();
+            let axis = (0..dim)
+                .max_by(|&a, &b| {
+                    let s = |ax: usize| {
+                        let lo = children
+                            .iter()
+                            .map(|(m, _)| m.min[ax])
+                            .fold(f64::INFINITY, f64::min);
+                        let hi = children
+                            .iter()
+                            .map(|(m, _)| m.max[ax])
+                            .fold(f64::NEG_INFINITY, f64::max);
+                        hi - lo
+                    };
+                    s(a).partial_cmp(&s(b)).expect("finite spreads")
+                })
+                .expect("dim >= 1");
+            children.sort_by(|x, y| {
+                (x.0.min[axis] + x.0.max[axis])
+                    .partial_cmp(&(y.0.min[axis] + y.0.max[axis]))
+                    .expect("finite centers")
+            });
+            let right_children = children.split_off(children.len() / 2);
+            let right = Node::Inner(right_children);
+            let right_mbr = node_mbr(&right).expect("non-empty split");
+            Some((right_mbr, right))
+        }
+    }
+}
+
+fn spread(points: &[(Vec<f64>, GraphId)], axis: usize) -> f64 {
+    let lo = points.iter().map(|(p, _)| p[axis]).fold(f64::INFINITY, f64::min);
+    let hi = points.iter().map(|(p, _)| p[axis]).fold(f64::NEG_INFINITY, f64::max);
+    hi - lo
+}
+
+fn search(node: &Node, query: &[f64], sigma: f64, visit: &mut impl FnMut(GraphId, f64)) {
+    match node {
+        Node::Leaf(points) => {
+            for (p, g) in points {
+                let d = l1(p, query);
+                if d <= sigma {
+                    visit(*g, d);
+                }
+            }
+        }
+        Node::Inner(children) => {
+            for (mbr, child) in children {
+                if mbr.l1_distance(query) <= sigma {
+                    search(child, query, sigma, visit);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(t: &RTree, q: &[f64], sigma: f64) -> Vec<(u32, f64)> {
+        let mut out = Vec::new();
+        t.range_query(q, sigma, |g, d| out.push((g.0, d)));
+        out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        out
+    }
+
+    #[test]
+    fn small_range_queries() {
+        let mut t = RTree::new(2);
+        t.insert(&[0.0, 0.0], GraphId(0));
+        t.insert(&[1.0, 0.0], GraphId(1));
+        t.insert(&[5.0, 5.0], GraphId(2));
+        assert_eq!(collect(&t, &[0.0, 0.0], 0.0), vec![(0, 0.0)]);
+        assert_eq!(collect(&t, &[0.0, 0.0], 1.0), vec![(0, 0.0), (1, 1.0)]);
+        assert_eq!(collect(&t, &[0.0, 0.0], 10.0).len(), 3);
+    }
+
+    #[test]
+    fn agrees_with_linear_scan_after_splits() {
+        // Enough points to force several levels.
+        let mut t = RTree::new(3);
+        let mut points = Vec::new();
+        let mut x = 42u64;
+        for g in 0..500u32 {
+            let mut p = Vec::with_capacity(3);
+            for _ in 0..3 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                p.push(((x >> 33) % 1000) as f64 / 100.0);
+            }
+            t.insert(&p, GraphId(g));
+            points.push(p);
+        }
+        assert!(t.height() >= 3, "height {}", t.height());
+        assert_eq!(t.len(), 500);
+        let query = [5.0, 5.0, 5.0];
+        for sigma in [0.5, 2.0, 7.5] {
+            let mut expected: Vec<(u32, f64)> = points
+                .iter()
+                .enumerate()
+                .map(|(g, p)| (g as u32, l1(p, &query)))
+                .filter(|&(_, d)| d <= sigma)
+                .collect();
+            expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(collect(&t, &query, sigma), expected, "sigma={sigma}");
+        }
+    }
+
+    #[test]
+    fn mbr_l1_distance() {
+        let m = Mbr { min: vec![1.0, 1.0], max: vec![2.0, 3.0] };
+        assert_eq!(m.l1_distance(&[1.5, 2.0]), 0.0); // inside
+        assert_eq!(m.l1_distance(&[0.0, 2.0]), 1.0);
+        assert_eq!(m.l1_distance(&[3.0, 4.0]), 2.0);
+    }
+
+    #[test]
+    fn duplicates_are_kept() {
+        let mut t = RTree::new(1);
+        t.insert(&[1.0], GraphId(0));
+        t.insert(&[1.0], GraphId(0));
+        assert_eq!(t.len(), 2);
+        assert_eq!(collect(&t, &[1.0], 0.0).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn wrong_dim_rejected() {
+        let mut t = RTree::new(2);
+        t.insert(&[1.0], GraphId(0));
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = RTree::new(4);
+        assert!(t.is_empty());
+        assert!(collect(&t, &[0.0; 4], 100.0).is_empty());
+        assert_eq!(t.height(), 1);
+    }
+}

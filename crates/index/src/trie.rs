@@ -1,0 +1,257 @@
+//! Label-sequence trie with cost-bounded range search.
+//!
+//! The paper: "For the mutation distance, we can use a trie to
+//! accommodate the sequential representations of the labeled graphs."
+//! Every fragment of one equivalence class has the same vector length,
+//! so the trie has uniform depth; leaves carry posting lists of graph
+//! ids. A range query descends the trie accumulating per-position
+//! mutation costs and prunes any branch whose partial cost already
+//! exceeds the budget — with the skewed label distributions of chemical
+//! data most branches die within a level or two.
+
+use pis_graph::{GraphId, Label};
+
+/// Fixed-depth trie over label sequences.
+#[derive(Clone, Debug)]
+pub struct LabelTrie {
+    depth: usize,
+    root: Node,
+    entries: usize,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Node {
+    /// Sorted by label; fragment alphabets are tiny, so a sorted vec
+    /// beats a hash map on both memory and scan time.
+    children: Vec<(Label, Node)>,
+    /// Posting list (sorted, deduplicated) — populated at leaves only.
+    postings: Vec<GraphId>,
+}
+
+impl LabelTrie {
+    /// An empty trie for sequences of exactly `depth` labels.
+    pub fn new(depth: usize) -> Self {
+        LabelTrie { depth, root: Node::default(), entries: 0 }
+    }
+
+    /// The uniform sequence length.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of `(sequence, graph)` pairs stored (after dedup).
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the trie stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Inserts a sequence for a graph. Duplicate `(sequence, graph)`
+    /// pairs are ignored.
+    ///
+    /// # Panics
+    /// Panics if `sequence.len() != depth`.
+    pub fn insert(&mut self, sequence: &[Label], graph: GraphId) {
+        assert_eq!(sequence.len(), self.depth, "sequence length must equal trie depth");
+        let mut node = &mut self.root;
+        for &label in sequence {
+            let pos = match node.children.binary_search_by_key(&label, |(l, _)| *l) {
+                Ok(p) => p,
+                Err(p) => {
+                    node.children.insert(p, (label, Node::default()));
+                    p
+                }
+            };
+            node = &mut node.children[pos].1;
+        }
+        match node.postings.binary_search(&graph) {
+            Ok(_) => {}
+            Err(p) => {
+                node.postings.insert(p, graph);
+                self.entries += 1;
+            }
+        }
+    }
+
+    /// Visits every stored `(sequence, graph)` pair (persistence and
+    /// diagnostics; order is deterministic: lexicographic by sequence).
+    pub fn for_each_entry(&self, mut visit: impl FnMut(&[Label], GraphId)) {
+        let mut path: Vec<Label> = Vec::with_capacity(self.depth);
+        walk(&self.root, &mut path, &mut visit);
+        fn walk(node: &Node, path: &mut Vec<Label>, visit: &mut impl FnMut(&[Label], GraphId)) {
+            for &g in &node.postings {
+                visit(path, g);
+            }
+            for (label, child) in &node.children {
+                path.push(*label);
+                walk(child, path, visit);
+                path.pop();
+            }
+        }
+    }
+
+    /// Visits every stored `(graph, cost)` whose sequence is within
+    /// `sigma` of `query` under the per-position cost function
+    /// `cost(position, query_label, stored_label)`. A graph stored under
+    /// several sequences is visited once per qualifying sequence; the
+    /// caller keeps the minimum.
+    ///
+    /// # Panics
+    /// Panics if `query.len() != depth`.
+    pub fn range_query(
+        &self,
+        query: &[Label],
+        sigma: f64,
+        cost: impl Fn(usize, Label, Label) -> f64,
+        mut visit: impl FnMut(GraphId, f64),
+    ) {
+        assert_eq!(query.len(), self.depth, "query length must equal trie depth");
+        self.descend(&self.root, 0, 0.0, query, sigma, &cost, &mut visit);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn descend(
+        &self,
+        node: &Node,
+        pos: usize,
+        acc: f64,
+        query: &[Label],
+        sigma: f64,
+        cost: &impl Fn(usize, Label, Label) -> f64,
+        visit: &mut impl FnMut(GraphId, f64),
+    ) {
+        if pos == self.depth {
+            for &g in &node.postings {
+                visit(g, acc);
+            }
+            return;
+        }
+        for (label, child) in &node.children {
+            let next = acc + cost(pos, query[pos], *label);
+            if next <= sigma {
+                self.descend(child, pos + 1, next, query, sigma, cost, visit);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(xs: &[u32]) -> Vec<Label> {
+        xs.iter().map(|&x| Label(x)).collect()
+    }
+
+    /// Unit Hamming cost regardless of position.
+    fn hamming(_pos: usize, a: Label, b: Label) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            1.0
+        }
+    }
+
+    fn collect(trie: &LabelTrie, query: &[Label], sigma: f64) -> Vec<(u32, f64)> {
+        let mut out = Vec::new();
+        trie.range_query(query, sigma, hamming, |g, c| out.push((g.0, c)));
+        out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        out
+    }
+
+    #[test]
+    fn exact_and_near_matches() {
+        let mut t = LabelTrie::new(3);
+        t.insert(&l(&[1, 2, 3]), GraphId(0));
+        t.insert(&l(&[1, 2, 4]), GraphId(1));
+        t.insert(&l(&[9, 9, 9]), GraphId(2));
+        assert_eq!(collect(&t, &l(&[1, 2, 3]), 0.0), vec![(0, 0.0)]);
+        assert_eq!(collect(&t, &l(&[1, 2, 3]), 1.0), vec![(0, 0.0), (1, 1.0)]);
+        assert_eq!(collect(&t, &l(&[1, 2, 3]), 3.0), vec![(0, 0.0), (1, 1.0), (2, 3.0)]);
+    }
+
+    #[test]
+    fn duplicate_pairs_ignored() {
+        let mut t = LabelTrie::new(2);
+        t.insert(&l(&[1, 1]), GraphId(7));
+        t.insert(&l(&[1, 1]), GraphId(7));
+        assert_eq!(t.len(), 1);
+        // Same sequence, different graph: both stored.
+        t.insert(&l(&[1, 1]), GraphId(8));
+        assert_eq!(t.len(), 2);
+        assert_eq!(collect(&t, &l(&[1, 1]), 0.0), vec![(7, 0.0), (8, 0.0)]);
+    }
+
+    #[test]
+    fn graph_under_multiple_sequences_visited_per_sequence() {
+        let mut t = LabelTrie::new(2);
+        t.insert(&l(&[1, 2]), GraphId(3));
+        t.insert(&l(&[2, 1]), GraphId(3));
+        let hits = collect(&t, &l(&[1, 2]), 2.0);
+        assert_eq!(hits, vec![(3, 0.0), (3, 2.0)]);
+    }
+
+    #[test]
+    fn position_dependent_costs() {
+        // Position 0 is a vertex slot costing nothing; position 1 is an
+        // edge slot costing 1 per mismatch (the paper's evaluation
+        // setting).
+        let cost = |pos: usize, a: Label, b: Label| {
+            if a == b || pos == 0 {
+                0.0
+            } else {
+                1.0
+            }
+        };
+        let mut t = LabelTrie::new(2);
+        t.insert(&l(&[5, 9]), GraphId(0));
+        let mut out = Vec::new();
+        t.range_query(&l(&[1, 9]), 0.0, cost, |g, c| out.push((g.0, c)));
+        assert_eq!(out, vec![(0, 0.0)]);
+    }
+
+    #[test]
+    fn pruning_never_loses_answers() {
+        // Oracle check against linear scan on a small universe.
+        let mut t = LabelTrie::new(3);
+        let mut stored = Vec::new();
+        let mut x = 1u64;
+        for g in 0..60u32 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let seq = l(&[(x >> 10) as u32 % 3, (x >> 20) as u32 % 3, (x >> 30) as u32 % 3]);
+            t.insert(&seq, GraphId(g));
+            stored.push(seq);
+        }
+        let query = l(&[0, 1, 2]);
+        for sigma in [0.0, 1.0, 2.0] {
+            let mut expected: Vec<(u32, f64)> = stored
+                .iter()
+                .enumerate()
+                .map(|(g, s)| {
+                    let d = s.iter().zip(&query).filter(|(a, b)| a != b).count() as f64;
+                    (g as u32, d)
+                })
+                .filter(|&(_, d)| d <= sigma)
+                .collect();
+            expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(collect(&t, &query, sigma), expected, "sigma={sigma}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence length")]
+    fn wrong_length_rejected() {
+        let mut t = LabelTrie::new(3);
+        t.insert(&l(&[1]), GraphId(0));
+    }
+
+    #[test]
+    fn empty_trie_returns_nothing() {
+        let t = LabelTrie::new(2);
+        assert!(t.is_empty());
+        assert!(collect(&t, &l(&[0, 0]), 10.0).is_empty());
+    }
+}

@@ -1,0 +1,225 @@
+//! A vantage-point tree for metric range queries (reference \[6\]).
+//!
+//! The "metric-based index" option of Figure 5: works for any distance
+//! satisfying the triangle inequality, so one backend serves both the
+//! mutation distance (with metric score matrices — see
+//! `ScoreMatrix::is_metric`) and the linear distance. Ablations A2/A3
+//! compare it against the specialized trie and R-tree.
+//!
+//! Build: recursively pick a vantage point, split the rest at the median
+//! distance. Query: standard two-sided triangle pruning.
+
+use pis_graph::GraphId;
+
+/// A VP-tree over items of type `T` under a caller-supplied metric.
+///
+/// The metric is passed at build and query time (not stored), keeping
+/// the structure `Clone`/`Debug`-friendly; callers must use the same
+/// metric for both or results are undefined.
+#[derive(Clone, Debug)]
+pub struct VpTree<T> {
+    nodes: Vec<VpNode>,
+    items: Vec<(T, GraphId)>,
+    root: Option<u32>,
+}
+
+#[derive(Clone, Debug)]
+struct VpNode {
+    /// Index of the vantage item in `items`.
+    item: u32,
+    /// Median distance separating inside from outside.
+    radius: f64,
+    inside: Option<u32>,
+    outside: Option<u32>,
+}
+
+impl<T> VpTree<T> {
+    /// Builds a tree from items under `metric`.
+    pub fn build(items: Vec<(T, GraphId)>, metric: impl Fn(&T, &T) -> f64) -> Self {
+        let mut order: Vec<u32> = (0..items.len() as u32).collect();
+        let mut tree = VpTree { nodes: Vec::with_capacity(items.len()), items, root: None };
+        tree.root = tree.build_rec(&mut order, &metric);
+        tree
+    }
+
+    fn build_rec(&mut self, order: &mut [u32], metric: &impl Fn(&T, &T) -> f64) -> Option<u32> {
+        let (&vantage, rest) = order.split_first()?;
+        let node_id = self.nodes.len() as u32;
+        self.nodes.push(VpNode { item: vantage, radius: 0.0, inside: None, outside: None });
+        if rest.is_empty() {
+            return Some(node_id);
+        }
+        // Partition the rest at the median distance from the vantage.
+        let v_item = &self.items[vantage as usize].0;
+        let mut with_dist: Vec<(f64, u32)> =
+            rest.iter().map(|&i| (metric(v_item, &self.items[i as usize].0), i)).collect();
+        with_dist.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("metric must be finite"));
+        let mid = with_dist.len() / 2;
+        let radius = with_dist[mid].0;
+        let mut inside: Vec<u32> = with_dist[..mid].iter().map(|&(_, i)| i).collect();
+        let mut outside: Vec<u32> = with_dist[mid..].iter().map(|&(_, i)| i).collect();
+        self.nodes[node_id as usize].radius = radius;
+        let inside_id = self.build_rec(&mut inside, metric);
+        let outside_id = self.build_rec(&mut outside, metric);
+        self.nodes[node_id as usize].inside = inside_id;
+        self.nodes[node_id as usize].outside = outside_id;
+        Some(node_id)
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Consumes the tree, returning its items (used to rebuild after
+    /// incremental additions — VP-trees do not support in-place
+    /// insertion without degrading balance).
+    pub fn into_items(self) -> Vec<(T, GraphId)> {
+        self.items
+    }
+
+    /// The stored items (persistence and diagnostics).
+    pub fn items(&self) -> &[(T, GraphId)] {
+        &self.items
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Visits every `(graph, distance)` within `sigma` of `query` under
+    /// `metric` (must be the build metric).
+    pub fn range_query(
+        &self,
+        query: &T,
+        sigma: f64,
+        metric: impl Fn(&T, &T) -> f64,
+        mut visit: impl FnMut(GraphId, f64),
+    ) {
+        self.search(self.root, query, sigma, &metric, &mut visit);
+    }
+
+    fn search(
+        &self,
+        node: Option<u32>,
+        query: &T,
+        sigma: f64,
+        metric: &impl Fn(&T, &T) -> f64,
+        visit: &mut impl FnMut(GraphId, f64),
+    ) {
+        let Some(id) = node else { return };
+        let n = &self.nodes[id as usize];
+        let (item, graph) = &self.items[n.item as usize];
+        let d = metric(query, item);
+        if d <= sigma {
+            visit(*graph, d);
+        }
+        // Triangle pruning: the inside ball holds items within `radius`
+        // of the vantage; reachable iff d - sigma <= radius. The outside
+        // shell holds items at >= radius; reachable iff d + sigma >=
+        // radius.
+        if d - sigma <= n.radius {
+            self.search(n.inside, query, sigma, metric, visit);
+        }
+        if d + sigma >= n.radius {
+            self.search(n.outside, query, sigma, metric, visit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::ptr_arg)] // the metric signature is Fn(&T, &T) with T = Vec<f64>
+    fn l1(a: &Vec<f64>, b: &Vec<f64>) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    }
+
+    fn collect(t: &VpTree<Vec<f64>>, q: &Vec<f64>, sigma: f64) -> Vec<(u32, f64)> {
+        let mut out = Vec::new();
+        t.range_query(q, sigma, l1, |g, d| out.push((g.0, d)));
+        out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        out
+    }
+
+    #[test]
+    fn small_queries() {
+        let items = vec![
+            (vec![0.0], GraphId(0)),
+            (vec![1.0], GraphId(1)),
+            (vec![10.0], GraphId(2)),
+        ];
+        let t = VpTree::build(items, l1);
+        assert_eq!(collect(&t, &vec![0.0], 0.0), vec![(0, 0.0)]);
+        assert_eq!(collect(&t, &vec![0.5], 0.5), vec![(0, 0.5), (1, 0.5)]);
+        assert_eq!(collect(&t, &vec![0.0], 100.0).len(), 3);
+    }
+
+    #[test]
+    fn agrees_with_linear_scan() {
+        let mut items = Vec::new();
+        let mut x = 7u64;
+        for g in 0..300u32 {
+            let mut p = Vec::with_capacity(2);
+            for _ in 0..2 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                p.push(((x >> 33) % 1000) as f64 / 50.0);
+            }
+            items.push((p, GraphId(g)));
+        }
+        let reference = items.clone();
+        let t = VpTree::build(items, l1);
+        let query = vec![10.0, 10.0];
+        for sigma in [0.25, 1.5, 6.0] {
+            let mut expected: Vec<(u32, f64)> = reference
+                .iter()
+                .map(|(p, g)| (g.0, l1(p, &query)))
+                .filter(|&(_, d)| d <= sigma)
+                .collect();
+            expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(collect(&t, &query, sigma), expected, "sigma={sigma}");
+        }
+    }
+
+    #[test]
+    fn works_with_discrete_hamming_metric() {
+        // Label vectors under unit Hamming distance (a metric).
+        #[allow(clippy::ptr_arg)] // the metric signature is Fn(&T, &T) with T = Vec<u32>
+        fn hamming(a: &Vec<u32>, b: &Vec<u32>) -> f64 {
+            a.iter().zip(b).filter(|(x, y)| x != y).count() as f64
+        }
+        let items = vec![
+            (vec![1, 2, 3], GraphId(0)),
+            (vec![1, 2, 4], GraphId(1)),
+            (vec![7, 8, 9], GraphId(2)),
+        ];
+        let t = VpTree::build(items, hamming);
+        let mut out = Vec::new();
+        t.range_query(&vec![1, 2, 3], 1.0, hamming, |g, d| out.push((g.0, d)));
+        out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(out, vec![(0, 0.0), (1, 1.0)]);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t: VpTree<Vec<f64>> = VpTree::build(vec![], l1);
+        assert!(t.is_empty());
+        assert!(collect(&t, &vec![0.0], 10.0).is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        let t = VpTree::build(vec![(vec![2.0], GraphId(9))], l1);
+        assert_eq!(collect(&t, &vec![2.5], 0.5), vec![(9, 0.5)]);
+        assert!(collect(&t, &vec![2.5], 0.4).is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_all_reported() {
+        let items = vec![(vec![1.0], GraphId(0)), (vec![1.0], GraphId(1)), (vec![1.0], GraphId(2))];
+        let t = VpTree::build(items, l1);
+        assert_eq!(collect(&t, &vec![1.0], 0.0).len(), 3);
+    }
+}

@@ -1,0 +1,426 @@
+//! gSpan pattern-growth frequent subgraph mining (reference \[15\]).
+//!
+//! Patterns grow one edge at a time along the rightmost path of their
+//! minimum DFS code; non-canonical codes are pruned with the `is_min`
+//! test, so every pattern is generated exactly once. Embedding lists are
+//! maintained incrementally — extension candidates come from scanning
+//! the graph neighborhoods of embedded rightmost-path vertices, the
+//! standard transaction-setting formulation.
+//!
+//! Support is the number of *distinct graphs* containing the pattern.
+//! Embedding lists are capped per graph
+//! ([`GspanConfig::max_embeddings_per_graph`]) to bound memory on highly
+//! symmetric structures (erased-label ring systems). The cap can
+//! undercount support for *descendants* of a capped pattern — mining
+//! then errs on the conservative side (reported support never exceeds
+//! the true support; a generous default cap makes undercounts rare).
+
+use std::collections::BTreeMap;
+
+use pis_graph::canonical::{DfsCode, DfsEdge};
+use pis_graph::{GraphId, LabeledGraph, VertexId};
+
+/// Configuration for the gSpan miner.
+#[derive(Clone, Debug)]
+pub struct GspanConfig {
+    /// Absolute minimum support (distinct graphs) for a pattern with
+    /// `min_edges` edges. Combined with [`support_at`](GspanConfig::support_at)
+    /// this yields gIndex's size-increasing support.
+    pub min_support: usize,
+    /// Largest pattern size in edges.
+    pub max_edges: usize,
+    /// Smallest pattern size reported (patterns below are still grown).
+    pub min_edges: usize,
+    /// Per-graph embedding-list cap (memory bound on symmetric graphs).
+    pub max_embeddings_per_graph: usize,
+    /// Size-increasing support curve: extra support demanded per edge
+    /// beyond `min_edges` is `min_support * size_support_slope * (l -
+    /// min_edges)`, rounded down. 0 = constant support (plain gSpan).
+    pub size_support_slope: f64,
+}
+
+impl Default for GspanConfig {
+    fn default() -> Self {
+        GspanConfig {
+            min_support: 2,
+            max_edges: 5,
+            min_edges: 1,
+            max_embeddings_per_graph: 512,
+            size_support_slope: 0.0,
+        }
+    }
+}
+
+impl GspanConfig {
+    /// The support threshold for patterns of `edges` edges.
+    pub fn support_at(&self, edges: usize) -> usize {
+        let extra = self.min_support as f64
+            * self.size_support_slope
+            * edges.saturating_sub(self.min_edges) as f64;
+        self.min_support + extra.floor() as usize
+    }
+}
+
+/// A frequent pattern produced by the miner.
+#[derive(Clone, Debug)]
+pub struct MinedPattern {
+    /// Minimum DFS code of the pattern.
+    pub code: DfsCode,
+    /// Canonical representative graph.
+    pub graph: LabeledGraph,
+    /// Number of distinct supporting graphs.
+    pub support: usize,
+    /// Sorted ids of the supporting graphs.
+    pub supporting: Vec<GraphId>,
+}
+
+/// One embedding of the current pattern: `map[dfs_index]` is the image
+/// vertex in graph `graph`.
+#[derive(Clone, Debug)]
+struct Emb {
+    graph: u32,
+    map: Vec<VertexId>,
+}
+
+/// Mines all frequent connected patterns of `db` under `config`.
+///
+/// Graphs are matched with full label semantics; pass label-erased
+/// copies to mine bare structures (what PIS indexes).
+pub fn mine(db: &[LabeledGraph], config: &GspanConfig) -> Vec<MinedPattern> {
+    let mut out = Vec::new();
+    if config.max_edges == 0 || db.is_empty() {
+        return out;
+    }
+    // Seed patterns: single edges grouped by their minimal 1-edge code.
+    let mut seeds: BTreeMap<DfsEdge, Vec<Emb>> = BTreeMap::new();
+    for (gid, g) in db.iter().enumerate() {
+        for e in g.edges() {
+            for (u, v) in [(e.source, e.target), (e.target, e.source)] {
+                let (lu, lv) = (g.vertex(u).label, g.vertex(v).label);
+                // Only the orientation giving the minimal code; for equal
+                // endpoint labels both orientations are distinct
+                // embeddings of the same pattern.
+                if lu > lv {
+                    continue;
+                }
+                let edge = DfsEdge {
+                    from: 0,
+                    to: 1,
+                    from_label: lu,
+                    edge_label: e.attr.label,
+                    to_label: lv,
+                };
+                seeds
+                    .entry(edge)
+                    .or_default()
+                    .push(Emb { graph: gid as u32, map: vec![u, v] });
+            }
+        }
+    }
+    let mut miner = Miner { db, config, out: &mut out };
+    for (edge, embs) in seeds {
+        let code = DfsCode { edges: vec![edge], root_label: edge.from_label };
+        miner.grow(&code, embs);
+    }
+    out
+}
+
+struct Miner<'a> {
+    db: &'a [LabeledGraph],
+    config: &'a GspanConfig,
+    out: &'a mut Vec<MinedPattern>,
+}
+
+impl Miner<'_> {
+    fn grow(&mut self, code: &DfsCode, mut embs: Vec<Emb>) {
+        let support_ids = distinct_graphs(&embs);
+        if support_ids.len() < self.config.support_at(code.edge_count()) {
+            return;
+        }
+        let pattern = code.to_graph();
+        if code.edge_count() >= self.config.min_edges {
+            self.out.push(MinedPattern {
+                code: code.clone(),
+                graph: pattern.clone(),
+                support: support_ids.len(),
+                supporting: support_ids,
+            });
+        }
+        if code.edge_count() >= self.config.max_edges {
+            return;
+        }
+        cap_per_graph(&mut embs, self.config.max_embeddings_per_graph);
+
+        let rmpath = rightmost_path(code);
+        let rm_idx = *rmpath.last().expect("rightmost path is never empty");
+        let next_idx = pattern.vertex_count() as u32;
+
+        // Group candidate extensions by code edge; BTreeMap iterates in
+        // DFS-lexicographic order, matching gSpan's growth order.
+        let mut groups: BTreeMap<DfsEdge, Vec<Emb>> = BTreeMap::new();
+        for emb in &embs {
+            let g = &self.db[emb.graph as usize];
+            // Backward extensions from the rightmost vertex to
+            // rightmost-path vertices not already connected in the
+            // pattern.
+            let rm_image = emb.map[rm_idx as usize];
+            for &(w, ge) in g.neighbors(rm_image) {
+                let Some(w_idx) = emb.map.iter().position(|&x| x == w) else {
+                    continue;
+                };
+                let w_idx = w_idx as u32;
+                if w_idx == rm_idx
+                    || !rmpath.contains(&w_idx)
+                    || pattern.has_edge(VertexId(rm_idx), VertexId(w_idx))
+                {
+                    continue;
+                }
+                let cand = DfsEdge {
+                    from: rm_idx,
+                    to: w_idx,
+                    from_label: pattern.vertex(VertexId(rm_idx)).label,
+                    edge_label: g.edge(ge).attr.label,
+                    to_label: pattern.vertex(VertexId(w_idx)).label,
+                };
+                groups.entry(cand).or_default().push(emb.clone());
+            }
+            // Forward extensions from every rightmost-path vertex.
+            for &p_idx in &rmpath {
+                let u_image = emb.map[p_idx as usize];
+                for &(w, ge) in g.neighbors(u_image) {
+                    if emb.map.contains(&w) {
+                        continue;
+                    }
+                    let cand = DfsEdge {
+                        from: p_idx,
+                        to: next_idx,
+                        from_label: pattern.vertex(VertexId(p_idx)).label,
+                        edge_label: g.edge(ge).attr.label,
+                        to_label: g.vertex(w).label,
+                    };
+                    let mut map = emb.map.clone();
+                    map.push(w);
+                    groups.entry(cand).or_default().push(Emb { graph: emb.graph, map });
+                }
+            }
+        }
+
+        for (edge, child_embs) in groups {
+            let mut child = code.clone();
+            child.edges.push(edge);
+            // Canonicality pruning: every pattern is grown from its
+            // minimum code only.
+            if !child.is_min() {
+                continue;
+            }
+            self.grow(&child, child_embs);
+        }
+    }
+}
+
+/// Sorted distinct supporting graph ids of an embedding list.
+fn distinct_graphs(embs: &[Emb]) -> Vec<GraphId> {
+    let mut ids: Vec<u32> = embs.iter().map(|e| e.graph).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids.into_iter().map(GraphId).collect()
+}
+
+/// Retains at most `cap` embeddings per graph (embedding lists of
+/// symmetric patterns grow factorially; see module docs).
+fn cap_per_graph(embs: &mut Vec<Emb>, cap: usize) {
+    if cap == 0 {
+        return;
+    }
+    let mut kept = 0usize;
+    let mut last_graph = u32::MAX;
+    let mut count = 0usize;
+    for i in 0..embs.len() {
+        let g = embs[i].graph;
+        if g != last_graph {
+            last_graph = g;
+            count = 0;
+        }
+        if count < cap {
+            embs.swap(kept, i);
+            kept += 1;
+            count += 1;
+        }
+    }
+    embs.truncate(kept);
+}
+
+/// The rightmost path of a DFS code (DFS indices from the root to the
+/// rightmost vertex).
+fn rightmost_path(code: &DfsCode) -> Vec<u32> {
+    let mut parent: Vec<Option<u32>> = vec![None; code.vertex_count()];
+    let mut rightmost = 0u32;
+    for e in &code.edges {
+        if e.is_forward() {
+            parent[e.to as usize] = Some(e.from);
+            rightmost = rightmost.max(e.to);
+        }
+    }
+    let mut path = vec![rightmost];
+    let mut cur = rightmost;
+    while let Some(p) = parent[cur as usize] {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    debug_assert_eq!(path[0], 0);
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pis_graph::canonical::min_dfs_code;
+    use pis_graph::graph::{cycle_graph, path_graph};
+    use pis_graph::iso::{is_subgraph, IsoConfig};
+    use pis_graph::Label;
+
+    fn erased(gs: &[LabeledGraph]) -> Vec<LabeledGraph> {
+        gs.iter().map(LabeledGraph::erase_labels).collect()
+    }
+
+    #[test]
+    fn single_edge_pattern_mined() {
+        let db = erased(&[path_graph(3, Label(0), Label(0)), cycle_graph(4, Label(0), Label(0))]);
+        let cfg = GspanConfig { min_support: 2, max_edges: 1, ..GspanConfig::default() };
+        let patterns = mine(&db, &cfg);
+        assert_eq!(patterns.len(), 1);
+        assert_eq!(patterns[0].support, 2);
+        assert_eq!(patterns[0].graph.edge_count(), 1);
+        assert_eq!(patterns[0].supporting, vec![GraphId(0), GraphId(1)]);
+    }
+
+    #[test]
+    fn mines_structures_of_mixed_db() {
+        // Two 5-cycles and one 4-path (erased labels).
+        let db = erased(&[
+            cycle_graph(5, Label(0), Label(0)),
+            cycle_graph(5, Label(1), Label(1)),
+            path_graph(4, Label(0), Label(0)),
+        ]);
+        let cfg = GspanConfig { min_support: 2, max_edges: 5, ..GspanConfig::default() };
+        let patterns = mine(&db, &cfg);
+        // Paths of 1..=3 edges are in all 3 graphs; the 4-edge path and
+        // anything cyclic only in the cycles.
+        for p in &patterns {
+            assert!(p.support >= 2);
+            assert!(p.code.is_min(), "every emitted code must be canonical");
+        }
+        let with_support_3 = patterns.iter().filter(|p| p.support == 3).count();
+        assert_eq!(with_support_3, 3, "paths with 1..=3 edges");
+        // The full 5-cycle is frequent (both cycles contain it).
+        let c5 = min_dfs_code(&cycle_graph(5, Label(0), Label(0)).erase_labels()).unwrap().code;
+        assert!(patterns.iter().any(|p| p.code == c5));
+    }
+
+    #[test]
+    fn supports_match_subgraph_iso() {
+        let db = erased(&[
+            cycle_graph(6, Label(0), Label(0)),
+            cycle_graph(5, Label(0), Label(0)),
+            path_graph(6, Label(0), Label(0)),
+        ]);
+        let cfg = GspanConfig { min_support: 1, max_edges: 4, ..GspanConfig::default() };
+        for p in mine(&db, &cfg) {
+            let by_iso = db
+                .iter()
+                .filter(|g| is_subgraph(&p.graph, g, IsoConfig::LABELED))
+                .count();
+            assert_eq!(p.support, by_iso, "support mismatch for {:?}", p.code);
+        }
+    }
+
+    #[test]
+    fn no_duplicate_patterns() {
+        let db = erased(&[cycle_graph(6, Label(0), Label(0)), cycle_graph(5, Label(0), Label(0))]);
+        let cfg = GspanConfig { min_support: 1, max_edges: 5, ..GspanConfig::default() };
+        let patterns = mine(&db, &cfg);
+        let mut seqs: Vec<Vec<u32>> = patterns.iter().map(|p| p.code.to_sequence()).collect();
+        let before = seqs.len();
+        seqs.sort();
+        seqs.dedup();
+        assert_eq!(seqs.len(), before, "duplicate patterns mined");
+    }
+
+    #[test]
+    fn labels_split_patterns() {
+        // Same structure, different edge labels: mined separately.
+        let db = vec![path_graph(2, Label(0), Label(1)), path_graph(2, Label(0), Label(2))];
+        let cfg = GspanConfig { min_support: 1, max_edges: 1, ..GspanConfig::default() };
+        let patterns = mine(&db, &cfg);
+        assert_eq!(patterns.len(), 2);
+        for p in &patterns {
+            assert_eq!(p.support, 1);
+        }
+    }
+
+    #[test]
+    fn size_increasing_support_prunes_large_patterns() {
+        let db = erased(&[
+            cycle_graph(6, Label(0), Label(0)),
+            cycle_graph(6, Label(0), Label(0)),
+            path_graph(3, Label(0), Label(0)),
+        ]);
+        // At slope 0.5 and base 2: threshold is 2 at 1 edge, 2+1*k at
+        // larger sizes: 3-edge patterns need 4 supporting graphs.
+        let cfg = GspanConfig {
+            min_support: 2,
+            max_edges: 4,
+            size_support_slope: 0.5,
+            ..GspanConfig::default()
+        };
+        assert_eq!(cfg.support_at(1), 2);
+        assert_eq!(cfg.support_at(3), 4);
+        let patterns = mine(&db, &cfg);
+        assert!(patterns.iter().all(|p| p.graph.edge_count() <= 2));
+    }
+
+    #[test]
+    fn min_edges_suppresses_small_reports_but_growth_continues() {
+        let db = erased(&[cycle_graph(4, Label(0), Label(0)), cycle_graph(4, Label(0), Label(0))]);
+        let cfg = GspanConfig { min_support: 2, min_edges: 3, max_edges: 4, ..GspanConfig::default() };
+        let patterns = mine(&db, &cfg);
+        assert!(!patterns.is_empty());
+        assert!(patterns.iter().all(|p| p.graph.edge_count() >= 3));
+    }
+
+    #[test]
+    fn embedding_cap_keeps_mining_sound() {
+        // A very tight cap still produces canonical, supported patterns.
+        let db = erased(&[cycle_graph(6, Label(0), Label(0)), cycle_graph(6, Label(0), Label(0))]);
+        let cfg = GspanConfig {
+            min_support: 2,
+            max_edges: 6,
+            max_embeddings_per_graph: 2,
+            ..GspanConfig::default()
+        };
+        for p in mine(&db, &cfg) {
+            let by_iso = db
+                .iter()
+                .filter(|g| is_subgraph(&p.graph, g, IsoConfig::LABELED))
+                .count();
+            assert!(p.support <= by_iso, "reported support must never exceed truth");
+        }
+    }
+
+    #[test]
+    fn rightmost_path_of_codes() {
+        let c = min_dfs_code(&path_graph(4, Label(0), Label(0)).erase_labels()).unwrap().code;
+        assert_eq!(rightmost_path(&c), vec![0, 1, 2, 3]);
+        let c = min_dfs_code(&cycle_graph(4, Label(0), Label(0)).erase_labels()).unwrap().code;
+        // Cycle code: forward chain 0-1-2-3 plus backward (3,0).
+        assert_eq!(rightmost_path(&c), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(mine(&[], &GspanConfig::default()).is_empty());
+        let cfg = GspanConfig { max_edges: 0, ..GspanConfig::default() };
+        assert!(mine(&erased(&[path_graph(3, Label(0), Label(0))]), &cfg).is_empty());
+    }
+}

@@ -1,0 +1,81 @@
+//! GraphGrep-style path features (reference \[12\]).
+//!
+//! GraphGrep indexes all label paths up to a length cap. PIS hashes by
+//! *bare structure*, so on the structural level the path feature family
+//! collapses to one structure per length — a deliberately weak feature
+//! source that the A4 ablation compares against gIndex's mined
+//! structures (the paper: "PIS can take paths \[12\] as features to build
+//! the index").
+
+use pis_graph::canonical::min_dfs_code;
+use pis_graph::graph::path_graph;
+use pis_graph::iso::{is_subgraph, IsoConfig};
+use pis_graph::{Label, LabeledGraph};
+
+use crate::feature::FeatureSet;
+
+/// Builds the path feature set: bare path structures with 1..=`max_len`
+/// edges, with supports counted against `structures` (label-erased
+/// database graphs).
+pub fn path_features(structures: &[LabeledGraph], max_len: usize) -> FeatureSet {
+    let mut set = FeatureSet::new();
+    for len in 1..=max_len {
+        let p = path_graph(len + 1, Label::ERASED, Label::ERASED);
+        let support =
+            structures.iter().filter(|g| is_subgraph(&p, g, IsoConfig::LABELED)).count();
+        if support == 0 && len > 1 {
+            // No graph is long enough; longer paths cannot match either.
+            break;
+        }
+        let code = min_dfs_code(&p).expect("paths are connected").code;
+        set.insert(code, support);
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pis_graph::graph::cycle_graph;
+
+    #[test]
+    fn one_feature_per_length() {
+        let db: Vec<LabeledGraph> = vec![
+            cycle_graph(6, Label(0), Label(0)).erase_labels(),
+            path_graph(4, Label(0), Label(0)).erase_labels(),
+        ];
+        let set = path_features(&db, 4);
+        assert_eq!(set.len(), 4);
+        let sizes: Vec<usize> = set.iter().map(|f| f.edge_count()).collect();
+        assert_eq!(sizes, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn supports_are_containment_counts() {
+        let db: Vec<LabeledGraph> = vec![
+            cycle_graph(6, Label(0), Label(0)).erase_labels(), // contains paths up to 5 edges
+            path_graph(3, Label(0), Label(0)).erase_labels(),  // up to 2 edges
+        ];
+        let set = path_features(&db, 3);
+        let by_size: Vec<(usize, usize)> =
+            set.iter().map(|f| (f.edge_count(), f.support)).collect();
+        assert_eq!(by_size, vec![(1, 2), (2, 2), (3, 1)]);
+    }
+
+    #[test]
+    fn stops_when_paths_outgrow_database() {
+        let db: Vec<LabeledGraph> = vec![path_graph(3, Label(0), Label(0)).erase_labels()];
+        let set = path_features(&db, 10);
+        // 2-edge graphs support paths of 1 and 2 edges; a 3-edge path
+        // has support 0 and terminates the family.
+        assert!(set.len() <= 3);
+        assert!(set.iter().all(|f| f.edge_count() <= 3));
+    }
+
+    #[test]
+    fn empty_database_yields_single_unsupported_edge() {
+        let set = path_features(&[], 3);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.iter().next().unwrap().support, 0);
+    }
+}

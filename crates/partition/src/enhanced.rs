@@ -1,0 +1,152 @@
+//! `EnhancedGreedy(k)` (Section 5, Theorem 3).
+//!
+//! Instead of one maximum-weight node per round, each round selects a
+//! *maximum-weight independent set of at most `k` nodes* among the
+//! remaining nodes, then removes the chosen nodes and all their
+//! neighbors. At `k = 1` this is exactly Algorithm 1; larger `k` buys a
+//! better worst-case ratio at `O(cᵏnᵏ)` cost. The paper reports `k = 2`
+//! performs comparably to plain greedy on real data — ablation A1
+//! measures exactly that.
+
+use crate::overlap::OverlapGraph;
+
+/// Runs EnhancedGreedy(k); returns selected node indices in selection
+/// order.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn enhanced_greedy_mwis(graph: &OverlapGraph, k: usize) -> Vec<usize> {
+    assert!(k >= 1, "EnhancedGreedy requires k >= 1");
+    let n = graph.len();
+    let mut alive = vec![true; n];
+    let mut selection = Vec::new();
+    loop {
+        let remaining: Vec<usize> = (0..n).filter(|&v| alive[v]).collect();
+        if remaining.is_empty() {
+            break;
+        }
+        // Best independent <=k-subset of the remaining nodes.
+        let mut best: Vec<usize> = Vec::new();
+        let mut best_weight = f64::NEG_INFINITY;
+        let mut current: Vec<usize> = Vec::new();
+        enumerate_k_sets(graph, &remaining, 0, k, &mut current, &mut |set| {
+            let w: f64 = set.iter().map(|&v| graph.weight(v)).sum();
+            if w > best_weight {
+                best_weight = w;
+                best = set.to_vec();
+            }
+        });
+        if best.is_empty() {
+            break;
+        }
+        for &v in &best {
+            selection.push(v);
+            alive[v] = false;
+            for &w in graph.neighbors(v) {
+                alive[w as usize] = false;
+            }
+        }
+    }
+    debug_assert!(graph.is_independent(&selection));
+    selection
+}
+
+/// Enumerates all non-empty independent subsets of `remaining` with at
+/// most `k` elements (lexicographic order over `remaining`).
+fn enumerate_k_sets(
+    graph: &OverlapGraph,
+    remaining: &[usize],
+    start: usize,
+    k: usize,
+    current: &mut Vec<usize>,
+    f: &mut impl FnMut(&[usize]),
+) {
+    for i in start..remaining.len() {
+        let v = remaining[i];
+        if current
+            .iter()
+            .any(|&u| graph.neighbors(u).contains(&(v as u32)))
+        {
+            continue;
+        }
+        current.push(v);
+        f(current);
+        if current.len() < k {
+            enumerate_k_sets(graph, remaining, i + 1, k, current, f);
+        }
+        current.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_mwis;
+    use crate::selection_weight;
+
+    #[test]
+    fn k1_equals_greedy() {
+        let g = OverlapGraph::from_parts(
+            vec![4.0, 2.0, 1.0, 10.0, 6.0, 7.0, 3.0],
+            (0..6).map(|i| (i, i + 1)).collect(),
+        );
+        let a = enhanced_greedy_mwis(&g, 1);
+        let mut b = greedy_mwis(&g);
+        let mut a2 = a.clone();
+        a2.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a2, b);
+    }
+
+    #[test]
+    fn k2_beats_greedy_on_star() {
+        // Hub 2.0 vs three leaves 1.5: greedy takes the hub; k=2 takes
+        // two leaves in round one (3.0 > 2.0), then the third.
+        let g = OverlapGraph::from_parts(
+            vec![2.0, 1.5, 1.5, 1.5],
+            vec![(0, 1), (0, 2), (0, 3)],
+        );
+        let greedy = greedy_mwis(&g);
+        let enhanced = enhanced_greedy_mwis(&g, 2);
+        assert!(selection_weight(&g, &enhanced) > selection_weight(&g, &greedy));
+        assert_eq!(selection_weight(&g, &enhanced), 4.5);
+    }
+
+    #[test]
+    fn k_larger_than_graph_is_exact_on_small_instances() {
+        let g = OverlapGraph::from_parts(
+            vec![1.0, 2.0, 3.0, 2.5],
+            vec![(0, 1), (1, 2), (2, 3)],
+        );
+        let sel = enhanced_greedy_mwis(&g, 4);
+        let mut sorted = sel.clone();
+        sorted.sort_unstable();
+        // Optimal: {2, 0} (weight 4) vs {1, 3} (4.5) -> {1, 3}.
+        assert_eq!(sorted, vec![1, 3]);
+    }
+
+    #[test]
+    fn independence_always_holds() {
+        let g = OverlapGraph::from_parts(
+            vec![3.0, 3.0, 3.0, 3.0, 3.0],
+            vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)],
+        );
+        for k in 1..=3 {
+            let sel = enhanced_greedy_mwis(&g, k);
+            assert!(g.is_independent(&sel), "k={k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn k_zero_rejected() {
+        let g = OverlapGraph::from_parts(vec![1.0], vec![]);
+        let _ = enhanced_greedy_mwis(&g, 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = OverlapGraph::from_parts(vec![], vec![]);
+        assert!(enhanced_greedy_mwis(&g, 2).is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! The overlapping-relation graph `Q̃` (Section 5, Figure 6).
+//!
+//! Each indexed fragment of the query becomes a node weighted by its
+//! selectivity; two nodes are adjacent iff their fragments share a query
+//! vertex. A graph partition (Definition 3) is exactly an independent
+//! set of `Q̃`, so the optimal partition is a maximum weighted
+//! independent set.
+
+use pis_graph::VertexId;
+
+/// A small weighted graph over query fragments.
+#[derive(Clone, Debug, Default)]
+pub struct OverlapGraph {
+    weights: Vec<f64>,
+    adj: Vec<Vec<u32>>,
+}
+
+impl OverlapGraph {
+    /// Builds `Q̃` from `(weight, query-vertex set)` pairs; the vertex
+    /// sets need not be sorted.
+    pub fn new(fragments: &[(f64, Vec<VertexId>)]) -> Self {
+        let n = fragments.len();
+        let sorted_sets: Vec<Vec<VertexId>> = fragments
+            .iter()
+            .map(|(_, vs)| {
+                let mut s = vs.clone();
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if sorted_intersects(&sorted_sets[i], &sorted_sets[j]) {
+                    adj[i].push(j as u32);
+                    adj[j].push(i as u32);
+                }
+            }
+        }
+        OverlapGraph { weights: fragments.iter().map(|(w, _)| *w).collect(), adj }
+    }
+
+    /// Builds `Q̃` from explicit weights and edges (test/ablation use).
+    pub fn from_parts(weights: Vec<f64>, edges: Vec<(usize, usize)>) -> Self {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); weights.len()];
+        for (u, v) in edges {
+            assert!(u != v && u < weights.len() && v < weights.len(), "invalid overlap edge");
+            adj[u].push(v as u32);
+            adj[v].push(u as u32);
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+            a.dedup();
+        }
+        OverlapGraph { weights, adj }
+    }
+
+    /// Number of nodes (query fragments).
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Weight (selectivity) of node `v`.
+    #[inline]
+    pub fn weight(&self, v: usize) -> f64 {
+        self.weights[v]
+    }
+
+    /// Neighbors of node `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.adj[v]
+    }
+
+    /// Degree of node `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Whether `selection` is an independent set (no two selected nodes
+    /// adjacent, no duplicates).
+    pub fn is_independent(&self, selection: &[usize]) -> bool {
+        let mut chosen = vec![false; self.len()];
+        for &v in selection {
+            if v >= self.len() || chosen[v] {
+                return false;
+            }
+            chosen[v] = true;
+        }
+        for &v in selection {
+            if self.adj[v].iter().any(|&n| chosen[n as usize]) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Do two sorted, deduplicated vertex lists share an element?
+fn sorted_intersects(a: &[VertexId], b: &[VertexId]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(ids: &[u32]) -> Vec<VertexId> {
+        ids.iter().map(|&i| VertexId(i)).collect()
+    }
+
+    #[test]
+    fn overlap_edges_from_shared_vertices() {
+        let g = OverlapGraph::new(&[
+            (1.0, v(&[0, 1, 2])),
+            (2.0, v(&[2, 3])),
+            (3.0, v(&[4, 5])),
+        ]);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert!(g.neighbors(2).is_empty());
+        assert!(g.is_independent(&[0, 2]));
+        assert!(!g.is_independent(&[0, 1]));
+    }
+
+    #[test]
+    fn unsorted_and_duplicated_vertex_sets_handled() {
+        let g = OverlapGraph::new(&[(1.0, v(&[3, 1, 3])), (1.0, v(&[2, 1]))]);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn from_parts_dedups_edges() {
+        let g = OverlapGraph::from_parts(vec![1.0, 1.0], vec![(0, 1), (1, 0)]);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid overlap edge")]
+    fn from_parts_rejects_self_loops() {
+        let _ = OverlapGraph::from_parts(vec![1.0], vec![(0, 0)]);
+    }
+
+    #[test]
+    fn independence_rejects_duplicates_and_out_of_range() {
+        let g = OverlapGraph::from_parts(vec![1.0, 1.0], vec![]);
+        assert!(!g.is_independent(&[0, 0]));
+        assert!(!g.is_independent(&[5]));
+        assert!(g.is_independent(&[]));
+        assert!(g.is_independent(&[0, 1]));
+    }
+}

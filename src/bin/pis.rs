@@ -1,0 +1,310 @@
+//! `pis` — command-line interface to the PIS graph search system.
+//!
+//! ```text
+//! pis generate --count 1000 --seed 42 --out db.lg [--weighted]
+//! pis import   screen.sdf --out db.lg
+//! pis stats    db.lg
+//! pis sample   db.lg --edges 16 --count 5 --seed 7 --out queries.lg
+//! pis build    db.lg --out index.pis [--max-edges 5] [--features gindex|paths|exhaustive]
+//! pis search   db.lg --index index.pis --query queries.lg --sigma 2 [--baseline topo|naive]
+//! pis knn      db.lg --index index.pis --query queries.lg -k 5
+//! pis dot      db.lg --graph 3
+//! ```
+//!
+//! Graph databases use the `pis_graph::io` text format; indexes use
+//! `pis_index::persist`. Every subcommand prints to stdout.
+
+use std::io::BufReader;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use pis::datasets::sdf::parse_sdf;
+use pis::datasets::{sample_query_set, AtomVocabulary, BondVocabulary, DatasetStats};
+use pis::graph::io::{parse_database, to_dot, write_database};
+use pis::index::{load_index, save_index, FragmentIndex, IndexConfig, IndexDistance};
+use pis::mining::{exhaustive::exhaustive_features, paths::path_features, select_features};
+use pis::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  pis generate --count N [--seed S] [--weighted] --out DB.lg
+  pis import   FILE.sdf --out DB.lg
+  pis stats    DB.lg
+  pis sample   DB.lg --edges M [--count N] [--seed S] --out QUERIES.lg
+  pis build    DB.lg --out INDEX.pis [--max-edges L] [--features gindex|paths|exhaustive]
+  pis search   DB.lg --index INDEX.pis --query QUERIES.lg --sigma S [--baseline topo|naive] [--explain]
+  pis knn      DB.lg --index INDEX.pis --query QUERIES.lg -k K
+  pis dot      DB.lg [--graph I]";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    let command = it.next().ok_or("missing subcommand")?;
+    let rest: Vec<&String> = it.collect();
+    match command.as_str() {
+        "generate" => cmd_generate(&rest),
+        "import" => cmd_import(&rest),
+        "stats" => cmd_stats(&rest),
+        "sample" => cmd_sample(&rest),
+        "build" => cmd_build(&rest),
+        "search" => cmd_search(&rest),
+        "knn" => cmd_knn(&rest),
+        "dot" => cmd_dot(&rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+/// Minimal flag parser: positional args plus `--flag value` / `--flag`.
+struct Flags<'a> {
+    positional: Vec<&'a str>,
+    named: Vec<(&'a str, Option<&'a str>)>,
+}
+
+impl<'a> Flags<'a> {
+    fn parse(args: &[&'a String], value_flags: &[&str]) -> Result<Self, String> {
+        let mut flags = Flags { positional: Vec::new(), named: Vec::new() };
+        let mut i = 0;
+        while i < args.len() {
+            let a = args[i].as_str();
+            if let Some(name) = a.strip_prefix('-').map(|s| s.trim_start_matches('-')) {
+                if value_flags.contains(&name) {
+                    i += 1;
+                    let value =
+                        args.get(i).ok_or_else(|| format!("flag --{name} needs a value"))?;
+                    flags.named.push((name, Some(value.as_str())));
+                } else {
+                    flags.named.push((name, None));
+                }
+            } else {
+                flags.positional.push(a);
+            }
+            i += 1;
+        }
+        Ok(flags)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.named.iter().find(|(n, _)| *n == name).and_then(|(_, v)| *v)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.named.iter().any(|(n, _)| *n == name)
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid --{name}: '{v}'")),
+        }
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.value(name).ok_or_else(|| format!("missing --{name}"))
+    }
+
+    fn positional(&self, idx: usize, what: &str) -> Result<&str, String> {
+        self.positional.get(idx).copied().ok_or_else(|| format!("missing {what}"))
+    }
+}
+
+fn load_db(path: &str) -> Result<Vec<LabeledGraph>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_database(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_idx(path: &str) -> Result<FragmentIndex, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    load_index(BufReader::new(file)).map_err(|e| e.to_string())
+}
+
+fn cmd_generate(args: &[&String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["count", "seed", "out"])?;
+    let count: usize = flags.num("count", 1000)?;
+    let seed: u64 = flags.num("seed", 42)?;
+    let out = PathBuf::from(flags.required("out")?);
+    let config = MoleculeConfig { weighted: flags.has("weighted"), ..MoleculeConfig::default() };
+    let db = MoleculeGenerator::new(config).database(count, seed);
+    std::fs::write(&out, write_database(&db)).map_err(|e| e.to_string())?;
+    println!("wrote {} molecules to {}", db.len(), out.display());
+    Ok(())
+}
+
+fn cmd_import(args: &[&String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["out"])?;
+    let input = flags.positional(0, "input .sdf file")?;
+    let out = PathBuf::from(flags.required("out")?);
+    let text =
+        std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let load = parse_sdf(&text, &AtomVocabulary::default(), &BondVocabulary::default());
+    std::fs::write(&out, write_database(&load.molecules)).map_err(|e| e.to_string())?;
+    println!(
+        "imported {} molecules ({} records skipped) into {}",
+        load.molecules.len(),
+        load.skipped,
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &[&String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let db = load_db(flags.positional(0, "database file")?)?;
+    let stats = DatasetStats::compute(&db);
+    print!("{}", stats.render(&AtomVocabulary::default(), &BondVocabulary::default()));
+    Ok(())
+}
+
+fn cmd_sample(args: &[&String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["edges", "count", "seed", "out"])?;
+    let db = load_db(flags.positional(0, "database file")?)?;
+    let edges: usize = flags.num("edges", 16)?;
+    let count: usize = flags.num("count", 5)?;
+    let seed: u64 = flags.num("seed", 7)?;
+    let out = PathBuf::from(flags.required("out")?);
+    let queries = sample_query_set(&db, edges, count, seed);
+    std::fs::write(&out, write_database(&queries)).map_err(|e| e.to_string())?;
+    println!("sampled {count} Q{edges} queries into {}", out.display());
+    Ok(())
+}
+
+fn cmd_build(args: &[&String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["out", "max-edges", "features", "min-support"])?;
+    let db_path = flags.positional(0, "database file")?;
+    let db = load_db(db_path)?;
+    let out = PathBuf::from(flags.required("out")?);
+    let max_edges: usize = flags.num("max-edges", 5)?;
+    let min_support: f64 = flags.num("min-support", 0.02)?;
+    let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+    let start = Instant::now();
+    let features = match flags.value("features").unwrap_or("gindex") {
+        "gindex" => select_features(
+            &structures,
+            &GindexConfig {
+                max_edges,
+                min_support_fraction: min_support,
+                ..GindexConfig::default()
+            },
+        ),
+        "paths" => path_features(&structures, max_edges),
+        "exhaustive" => exhaustive_features(&structures, max_edges),
+        other => return Err(format!("unknown feature source '{other}'")),
+    };
+    let weighted = db.iter().any(|g| g.total_weight() != 0.0);
+    let distance = if weighted {
+        IndexDistance::Linear(LinearDistance::edges_only())
+    } else {
+        IndexDistance::Mutation(MutationDistance::edge_hamming())
+    };
+    let index = FragmentIndex::build(&db, features, distance, &IndexConfig::default());
+    let file = std::fs::File::create(&out).map_err(|e| e.to_string())?;
+    save_index(&index, std::io::BufWriter::new(file)).map_err(|e| e.to_string())?;
+    println!(
+        "indexed {} graphs: {} classes, {} entries, {:?}; saved to {}",
+        db.len(),
+        index.features().len(),
+        index.total_entries(),
+        start.elapsed(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_search(args: &[&String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["index", "query", "sigma", "baseline"])?;
+    let db = load_db(flags.positional(0, "database file")?)?;
+    let index = load_idx(flags.required("index")?)?;
+    let queries = load_db(flags.required("query")?)?;
+    let sigma: f64 = flags.num("sigma", 2.0)?;
+    let explain = flags.has("explain");
+    if db.len() != index.graph_count() {
+        return Err("database and index sizes differ".into());
+    }
+    for (qi, q) in queries.iter().enumerate() {
+        let start = Instant::now();
+        let (answers, distances, candidates) = match flags.value("baseline") {
+            None => {
+                let searcher =
+                    pis::core::PisSearcher::new(&index, &db, PisConfig::default());
+                let o = searcher.search(q, sigma);
+                if explain {
+                    print!("{}", pis::core::explain(&o, &index, sigma));
+                }
+                (o.answers, o.answer_distances, o.candidates.len())
+            }
+            Some("topo") => {
+                let o = pis::core::topo_prune(&index, &db, q, sigma);
+                (o.answers, Vec::new(), o.candidates.len())
+            }
+            Some("naive") => {
+                let md = MutationDistance::edge_hamming();
+                let o = pis::core::naive_scan(&db, q, &md, sigma);
+                (o.answers, Vec::new(), o.candidates.len())
+            }
+            Some(other) => return Err(format!("unknown baseline '{other}'")),
+        };
+        println!(
+            "query {qi} ({}V/{}E): {} answers from {} candidates in {:?}",
+            q.vertex_count(),
+            q.edge_count(),
+            answers.len(),
+            candidates,
+            start.elapsed()
+        );
+        for (i, g) in answers.iter().enumerate() {
+            match distances.get(i) {
+                Some(d) => println!("  {g} (distance {d})"),
+                None => println!("  {g}"),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_knn(args: &[&String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["index", "query", "k"])?;
+    let db = load_db(flags.positional(0, "database file")?)?;
+    let index = load_idx(flags.required("index")?)?;
+    let queries = load_db(flags.required("query")?)?;
+    let k: usize = flags.num("k", 5)?;
+    let searcher = pis::core::PisSearcher::new(&index, &db, PisConfig::default());
+    for (qi, q) in queries.iter().enumerate() {
+        let start = Instant::now();
+        let knn = searcher.knn(q, k, 1.0, (q.edge_count() + q.vertex_count()) as f64);
+        println!(
+            "query {qi}: {} neighbors (radius {}) in {:?}",
+            knn.neighbors.len(),
+            knn.radius,
+            start.elapsed()
+        );
+        for n in &knn.neighbors {
+            println!("  {} distance {}", n.graph, n.distance);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_dot(args: &[&String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["graph"])?;
+    let db = load_db(flags.positional(0, "database file")?)?;
+    let idx: usize = flags.num("graph", 0)?;
+    let g = db.get(idx).ok_or_else(|| format!("graph {idx} out of range (db has {})", db.len()))?;
+    print!("{}", to_dot(g, &format!("g{idx}")));
+    Ok(())
+}

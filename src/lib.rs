@@ -1,0 +1,372 @@
+//! # PIS — Partition-based Graph Index and Search
+//!
+//! A full Rust implementation of *"Searching Substructures with
+//! Superimposed Distance"* (Yan, Zhu, Han, Yu — ICDE 2006): similarity
+//! search over graph databases where the query must appear as a
+//! subgraph **and** the labels/weights superimposed on that occurrence
+//! must stay within a distance budget `σ`.
+//!
+//! This facade re-exports the workspace crates and offers a one-stop
+//! [`PisSystem`] for common use:
+//!
+//! ```
+//! use pis::prelude::*;
+//!
+//! // A toy database of labeled rings.
+//! let db: Vec<LabeledGraph> = (0..4u32)
+//!     .map(|i| {
+//!         let mut b = GraphBuilder::new();
+//!         let vs = b.add_vertices(6, VertexAttr::labeled(Label(0)));
+//!         for k in 0..6 {
+//!             let label = Label(if k == 0 { i } else { 1 });
+//!             b.add_edge(vs[k], vs[(k + 1) % 6], EdgeAttr::labeled(label)).unwrap();
+//!         }
+//!         b.build()
+//!     })
+//!     .collect();
+//!
+//! let system = PisSystem::builder().exhaustive_features(3).build(db);
+//! let query = system.database()[1].clone();
+//! let hits = system.search(&query, 1.0);
+//! assert!(hits.answers.len() >= 2); // rings within one edge mutation
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Paper section | Contents |
+//! |-------|---------------|----------|
+//! | [`graph`] | §2 | labeled graphs, VF2, DFS codes, enumeration |
+//! | [`distance`] | §2 | mutation & linear distances, brute oracle |
+//! | [`mining`] | §4 | gSpan, gIndex, GraphGrep path features |
+//! | [`index`] | §4 | fragment index: trie / R-tree / VP-tree |
+//! | [`partition`] | §5 | overlapping-relation graph, MWIS solvers |
+//! | [`core`] | §3–6 | Algorithm 2, verification, baselines |
+//! | [`datasets`] | §7 | synthetic chemical generator, SDF, queries |
+
+pub use pis_core as core;
+pub use pis_datasets as datasets;
+pub use pis_distance as distance;
+pub use pis_graph as graph;
+pub use pis_index as index;
+pub use pis_mining as mining;
+pub use pis_partition as partition;
+
+use pis_core::{BaselineOutcome, PisConfig, PisSearcher, SearchOutcome};
+use pis_distance::{LinearDistance, MutationDistance};
+use pis_graph::{GraphId, LabeledGraph};
+use pis_index::{Backend, FragmentIndex, IndexConfig, IndexDistance};
+use pis_mining::{FeatureSet, GindexConfig};
+
+/// Everything needed for typical use.
+pub mod prelude {
+    pub use crate::{FeatureSource, PisSystem, PisSystemBuilder};
+    pub use pis_core::{PartitionAlgo, PisConfig, SearchOutcome, SearchStats};
+    pub use pis_datasets::{DatasetStats, MoleculeConfig, MoleculeGenerator};
+    pub use pis_distance::{LinearDistance, MutationDistance, ScoreMatrix, SuperimposedDistance};
+    pub use pis_graph::{
+        EdgeAttr, EdgeId, GraphBuilder, GraphId, Label, LabeledGraph, VertexAttr, VertexId,
+    };
+    pub use pis_index::{Backend, IndexDistance};
+    pub use pis_mining::GindexConfig;
+}
+
+/// How index features are selected (Section 4, step 1).
+#[derive(Clone, Debug)]
+pub enum FeatureSource {
+    /// Discriminative frequent structures (gIndex, the paper's default).
+    GIndex(GindexConfig),
+    /// Path structures up to the given length (GraphGrep).
+    Paths(usize),
+    /// Every structure up to the given edge count (exact; small
+    /// databases only).
+    Exhaustive(usize),
+}
+
+impl Default for FeatureSource {
+    fn default() -> Self {
+        FeatureSource::GIndex(GindexConfig::default())
+    }
+}
+
+/// Builder for [`PisSystem`].
+#[derive(Clone, Debug, Default)]
+pub struct PisSystemBuilder {
+    distance: Option<IndexDistance>,
+    features: FeatureSource,
+    backend: Backend,
+    index_config: IndexConfig,
+    search_config: PisConfig,
+}
+
+impl PisSystemBuilder {
+    /// A builder with the paper's defaults: edge-Hamming mutation
+    /// distance, gIndex features, trie backend, greedy partition.
+    pub fn new() -> Self {
+        PisSystemBuilder::default()
+    }
+
+    /// Use a mutation distance (categorical labels).
+    pub fn mutation_distance(mut self, md: MutationDistance) -> Self {
+        self.distance = Some(IndexDistance::Mutation(md));
+        self
+    }
+
+    /// Use a linear distance (numeric weights).
+    pub fn linear_distance(mut self, ld: LinearDistance) -> Self {
+        self.distance = Some(IndexDistance::Linear(ld));
+        self
+    }
+
+    /// Select features with gIndex (discriminative frequent structures).
+    pub fn gindex_features(mut self, config: GindexConfig) -> Self {
+        self.features = FeatureSource::GIndex(config);
+        self
+    }
+
+    /// Select GraphGrep path features up to `max_len` edges.
+    pub fn path_features(mut self, max_len: usize) -> Self {
+        self.features = FeatureSource::Paths(max_len);
+        self
+    }
+
+    /// Index every structure up to `max_edges` edges (small databases).
+    pub fn exhaustive_features(mut self, max_edges: usize) -> Self {
+        self.features = FeatureSource::Exhaustive(max_edges);
+        self
+    }
+
+    /// Choose the per-class range-search backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Override search-time configuration (λ, ε, partition algorithm).
+    pub fn search_config(mut self, config: PisConfig) -> Self {
+        self.search_config = config;
+        self
+    }
+
+    /// Override index build options.
+    pub fn index_config(mut self, config: IndexConfig) -> Self {
+        self.index_config = config;
+        self
+    }
+
+    /// Mines features, builds the fragment index and assembles the
+    /// system.
+    pub fn build(mut self, database: Vec<LabeledGraph>) -> PisSystem {
+        let distance = self
+            .distance
+            .unwrap_or_else(|| IndexDistance::Mutation(MutationDistance::edge_hamming()));
+        let structures: Vec<LabeledGraph> =
+            database.iter().map(LabeledGraph::erase_labels).collect();
+        let features: FeatureSet = match &self.features {
+            FeatureSource::GIndex(cfg) => pis_mining::select_features(&structures, cfg),
+            FeatureSource::Paths(len) => pis_mining::paths::path_features(&structures, *len),
+            FeatureSource::Exhaustive(max) => {
+                pis_mining::exhaustive::exhaustive_features(&structures, *max)
+            }
+        };
+        // An explicit backend() call wins; otherwise whatever the
+        // index_config carries (possibly also Default) stands.
+        if self.backend != Backend::Default {
+            self.index_config.backend = self.backend;
+        }
+        let index = FragmentIndex::build(&database, features, distance, &self.index_config);
+        PisSystem { database, index, config: self.search_config }
+    }
+}
+
+/// An assembled PIS deployment: the database, its fragment index and a
+/// search configuration.
+pub struct PisSystem {
+    database: Vec<LabeledGraph>,
+    index: FragmentIndex,
+    config: PisConfig,
+}
+
+impl PisSystem {
+    /// Starts a builder.
+    pub fn builder() -> PisSystemBuilder {
+        PisSystemBuilder::new()
+    }
+
+    /// The indexed database.
+    pub fn database(&self) -> &[LabeledGraph] {
+        &self.database
+    }
+
+    /// The underlying fragment index.
+    pub fn index(&self) -> &FragmentIndex {
+        &self.index
+    }
+
+    /// The search configuration.
+    pub fn config(&self) -> &PisConfig {
+        &self.config
+    }
+
+    /// Answers an SSSD query: all graphs within superimposed distance
+    /// `sigma` of `query` (Definition 2), via Algorithm 2 plus
+    /// verification.
+    pub fn search(&self, query: &LabeledGraph, sigma: f64) -> SearchOutcome {
+        PisSearcher::new(&self.index, &self.database, self.config.clone()).search(query, sigma)
+    }
+
+    /// Runs the search with an overridden configuration.
+    pub fn search_with(&self, query: &LabeledGraph, sigma: f64, config: PisConfig) -> SearchOutcome {
+        PisSearcher::new(&self.index, &self.database, config).search(query, sigma)
+    }
+
+    /// Finds the `k` structurally matching graphs nearest to `query`
+    /// (top-k form of SSSD, via progressive radius widening).
+    pub fn knn(&self, query: &LabeledGraph, k: usize) -> pis_core::KnnOutcome {
+        let searcher = PisSearcher::new(&self.index, &self.database, self.config.clone());
+        // Mutation distances are bounded by the per-element maxima times
+        // the query size; linear distances get a generous cap.
+        let max_radius = match self.index.distance() {
+            IndexDistance::Mutation(md) => {
+                md.edge_scores().max_cost() * query.edge_count() as f64
+                    + md.vertex_scores().max_cost() * query.vertex_count() as f64
+            }
+            IndexDistance::Linear(_) => f64::MAX / 4.0,
+        };
+        searcher.knn(query, k, 1.0, max_radius.max(1.0))
+    }
+
+    /// The structure-only baseline (Section 2).
+    pub fn topo_prune(&self, query: &LabeledGraph, sigma: f64) -> BaselineOutcome {
+        pis_core::topo_prune(&self.index, &self.database, query, sigma)
+    }
+
+    /// The full-scan baseline.
+    pub fn naive_scan(&self, query: &LabeledGraph, sigma: f64) -> BaselineOutcome {
+        let distance: &dyn pis_distance::SuperimposedDistance = match self.index.distance() {
+            IndexDistance::Mutation(md) => md,
+            IndexDistance::Linear(ld) => ld,
+        };
+        pis_core::naive_scan(&self.database, query, distance, sigma)
+    }
+
+    /// Fetches a graph by id.
+    pub fn graph(&self, id: GraphId) -> &LabeledGraph {
+        &self.database[id.index()]
+    }
+
+    /// Adds a graph to the live system (database + index), returning its
+    /// id. The feature set is fixed at build time — mined features keep
+    /// indexing new arrivals, which preserves correctness (features only
+    /// ever *filter*); re-mine and rebuild periodically if the data
+    /// distribution drifts.
+    pub fn insert_graph(&mut self, graph: LabeledGraph) -> GraphId {
+        let gid = self.index.insert_graph(&graph);
+        self.database.push(graph);
+        debug_assert_eq!(self.database.len(), self.index.graph_count());
+        gid
+    }
+
+    /// Persists the whole system (database + index) into a directory:
+    /// `database.lg` (the text format of `pis_graph::io`) and
+    /// `index.pis` (the fragment-index format of `pis_index::persist`).
+    pub fn save_to(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("database.lg"), pis_graph::io::write_database(&self.database))?;
+        let file = std::fs::File::create(dir.join("index.pis"))?;
+        pis_index::save_index(&self.index, std::io::BufWriter::new(file))
+    }
+
+    /// Restores a system saved with [`PisSystem::save_to`]. The index
+    /// answers queries identically to the saved one (bit-exact entry
+    /// round trip).
+    pub fn load_from(dir: &std::path::Path, config: PisConfig) -> std::io::Result<PisSystem> {
+        let text = std::fs::read_to_string(dir.join("database.lg"))?;
+        let database = pis_graph::io::parse_database(&text).map_err(std::io::Error::other)?;
+        let file = std::fs::File::open(dir.join("index.pis"))?;
+        let index =
+            pis_index::load_index(std::io::BufReader::new(file)).map_err(std::io::Error::other)?;
+        if database.len() != index.graph_count() {
+            return Err(std::io::Error::other(format!(
+                "database holds {} graphs but the index was built over {}",
+                database.len(),
+                index.graph_count()
+            )));
+        }
+        Ok(PisSystem { database, index, config })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pis_graph::{EdgeAttr, GraphBuilder, Label, VertexAttr};
+
+    fn tiny_db() -> Vec<LabeledGraph> {
+        (0..3u32)
+            .map(|i| {
+                let mut b = GraphBuilder::new();
+                let vs = b.add_vertices(4, VertexAttr::labeled(Label(0)));
+                for k in 0..4 {
+                    let label = Label(if k == 0 { i } else { 0 });
+                    b.add_edge(vs[k], vs[(k + 1) % 4], EdgeAttr::labeled(label)).unwrap();
+                }
+                b.build()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn builder_defaults_are_the_papers() {
+        let system = PisSystem::builder().exhaustive_features(3).build(tiny_db());
+        assert!(system.index().distance().is_mutation());
+        assert_eq!(system.database().len(), 3);
+        assert_eq!(system.config().lambda, 1.0);
+    }
+
+    #[test]
+    fn explicit_backend_wins_over_index_config() {
+        let db = tiny_db();
+        let via_backend = PisSystem::builder()
+            .exhaustive_features(2)
+            .index_config(IndexConfig { backend: Backend::Trie, ..IndexConfig::default() })
+            .backend(Backend::VpTree)
+            .build(db.clone());
+        // Both answer identically regardless of backend.
+        let q = db[0].clone();
+        let trie_system = PisSystem::builder()
+            .exhaustive_features(2)
+            .index_config(IndexConfig { backend: Backend::Trie, ..IndexConfig::default() })
+            .build(db);
+        assert_eq!(
+            via_backend.search(&q, 1.0).answers,
+            trie_system.search(&q, 1.0).answers
+        );
+    }
+
+    #[test]
+    fn graph_accessor_round_trips() {
+        let db = tiny_db();
+        let system = PisSystem::builder().exhaustive_features(2).build(db.clone());
+        for (i, g) in db.iter().enumerate() {
+            assert_eq!(system.graph(GraphId(i as u32)), g);
+        }
+    }
+
+    #[test]
+    fn feature_sources_build_nonempty_indexes() {
+        for source in [
+            FeatureSource::Exhaustive(2),
+            FeatureSource::Paths(2),
+            FeatureSource::GIndex(GindexConfig {
+                max_edges: 2,
+                min_support_fraction: 0.3,
+                ..GindexConfig::default()
+            }),
+        ] {
+            let mut builder = PisSystem::builder();
+            builder.features = source;
+            let system = builder.build(tiny_db());
+            assert!(system.index().features().len() >= 1);
+        }
+    }
+}

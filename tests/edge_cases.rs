@@ -1,0 +1,161 @@
+//! Edge cases and failure-mode tests for the full system: degenerate
+//! databases, degenerate queries, and inputs at the boundaries of the
+//! paper's definitions.
+
+mod common;
+
+use common::ring;
+use pis::distance::oracle::sssd_brute;
+use pis::prelude::*;
+
+#[test]
+fn empty_database_yields_empty_answers() {
+    let system = PisSystem::builder().exhaustive_features(3).build(Vec::new());
+    let q = ring(&[1, 1, 1]);
+    let outcome = system.search(&q, 5.0);
+    assert!(outcome.answers.is_empty());
+    assert!(outcome.candidates.is_empty());
+    assert_eq!(system.knn(&q, 3).neighbors.len(), 0);
+}
+
+#[test]
+fn query_larger_than_every_graph() {
+    let db = vec![ring(&[1, 1, 1]), ring(&[1, 2, 1, 2])];
+    let system = PisSystem::builder().exhaustive_features(3).build(db);
+    let q = ring(&[1; 12]);
+    let outcome = system.search(&q, 100.0);
+    assert!(outcome.answers.is_empty());
+}
+
+#[test]
+fn single_edge_query_matches_all_containing_graphs() {
+    let db = vec![ring(&[1, 1, 1]), ring(&[2, 2, 2]), ring(&[1, 2, 3])];
+    let system = PisSystem::builder().exhaustive_features(2).build(db.clone());
+    let mut b = GraphBuilder::new();
+    let u = b.add_vertex(VertexAttr::labeled(Label(0)));
+    let v = b.add_vertex(VertexAttr::labeled(Label(0)));
+    b.add_edge(u, v, EdgeAttr::labeled(Label(1))).unwrap();
+    let q = b.build();
+    let md = MutationDistance::edge_hamming();
+    for sigma in [0.0, 1.0] {
+        let got: Vec<usize> = system.search(&q, sigma).answers.iter().map(|g| g.index()).collect();
+        assert_eq!(got, sssd_brute(&db, &q, &md, sigma), "sigma {sigma}");
+    }
+}
+
+#[test]
+fn single_vertex_query_matches_everything() {
+    let db = vec![ring(&[1, 1, 1]), ring(&[2, 2, 2, 2])];
+    let system = PisSystem::builder().exhaustive_features(2).build(db.clone());
+    let mut b = GraphBuilder::new();
+    b.add_vertex(VertexAttr::labeled(Label(0)));
+    let q = b.build();
+    // Edge-Hamming scores no vertex costs: every graph matches at 0.
+    let outcome = system.search(&q, 0.0);
+    assert_eq!(outcome.answers.len(), db.len());
+}
+
+#[test]
+fn disconnected_query_agrees_with_oracle() {
+    // Two disjoint edges as a query: the paper's machinery never needs
+    // connectivity of Q, only of fragments.
+    let db = vec![
+        ring(&[1, 1, 1, 1]),          // can host both edges
+        {
+            // A single edge: cannot host two disjoint edges.
+            let mut b = GraphBuilder::new();
+            let u = b.add_vertex(VertexAttr::labeled(Label(0)));
+            let v = b.add_vertex(VertexAttr::labeled(Label(0)));
+            b.add_edge(u, v, EdgeAttr::labeled(Label(1))).unwrap();
+            b.build()
+        },
+        ring(&[2, 2, 2]),
+    ];
+    let mut b = GraphBuilder::new();
+    let vs = b.add_vertices(4, VertexAttr::labeled(Label(0)));
+    b.add_edge(vs[0], vs[1], EdgeAttr::labeled(Label(1))).unwrap();
+    b.add_edge(vs[2], vs[3], EdgeAttr::labeled(Label(1))).unwrap();
+    let q = b.build();
+    assert!(!q.is_connected());
+
+    let system = PisSystem::builder().exhaustive_features(2).build(db.clone());
+    let md = MutationDistance::edge_hamming();
+    for sigma in [0.0, 1.0, 2.0] {
+        let got: Vec<usize> = system.search(&q, sigma).answers.iter().map(|g| g.index()).collect();
+        assert_eq!(got, sssd_brute(&db, &q, &md, sigma), "sigma {sigma}");
+    }
+}
+
+#[test]
+fn duplicate_graphs_all_reported() {
+    let g = ring(&[1, 2, 1, 2]);
+    let db = vec![g.clone(), g.clone(), g.clone()];
+    let system = PisSystem::builder().exhaustive_features(3).build(db);
+    let outcome = system.search(&g, 0.0);
+    assert_eq!(outcome.answers.len(), 3);
+}
+
+#[test]
+fn zero_sigma_requires_exact_labels() {
+    let db = vec![ring(&[1, 1, 2]), ring(&[1, 2, 1])]; // same multiset, rotations
+    let system = PisSystem::builder().exhaustive_features(3).build(db);
+    // Rotations are superpositions: both match exactly.
+    let outcome = system.search(&ring(&[2, 1, 1]), 0.0);
+    assert_eq!(outcome.answers.len(), 2);
+}
+
+#[test]
+fn huge_sigma_degrades_to_structure_search() {
+    let db = vec![ring(&[1, 1, 1, 1]), ring(&[2, 2, 2, 2]), ring(&[3, 3, 3])];
+    let system = PisSystem::builder().exhaustive_features(3).build(db);
+    let outcome = system.search(&ring(&[9, 9, 9, 9]), 1e9);
+    // Any 4-ring matches structurally; the 3-ring cannot.
+    let got: Vec<usize> = outcome.answers.iter().map(|g| g.index()).collect();
+    assert_eq!(got, vec![0, 1]);
+}
+
+#[test]
+fn graphs_with_isolated_vertices_are_searchable() {
+    let mut b = GraphBuilder::new();
+    let vs = b.add_vertices(4, VertexAttr::labeled(Label(0)));
+    b.add_edge(vs[0], vs[1], EdgeAttr::labeled(Label(1))).unwrap();
+    // vs[2], vs[3] stay isolated.
+    let g = b.build();
+    let db = vec![g, ring(&[1, 1, 1])];
+    let system = PisSystem::builder().exhaustive_features(2).build(db.clone());
+    let mut qb = GraphBuilder::new();
+    let u = qb.add_vertex(VertexAttr::labeled(Label(0)));
+    let v = qb.add_vertex(VertexAttr::labeled(Label(0)));
+    qb.add_edge(u, v, EdgeAttr::labeled(Label(1))).unwrap();
+    let q = qb.build();
+    let md = MutationDistance::edge_hamming();
+    let got: Vec<usize> = system.search(&q, 0.0).answers.iter().map(|g| g.index()).collect();
+    assert_eq!(got, sssd_brute(&db, &q, &md, 0.0));
+}
+
+#[test]
+fn sigma_boundary_is_inclusive() {
+    // Definition 2 uses d(Q, Gi) <= sigma.
+    let db = vec![ring(&[1, 1, 2])];
+    let system = PisSystem::builder().exhaustive_features(3).build(db);
+    let q = ring(&[1, 1, 1]);
+    assert_eq!(system.search(&q, 1.0).answers.len(), 1, "distance exactly sigma must match");
+    assert_eq!(system.search(&q, 0.999).answers.len(), 0);
+}
+
+#[test]
+fn epsilon_one_drops_every_fragment_but_stays_correct() {
+    // With epsilon beyond every selectivity the partition is empty: PIS
+    // degrades to intersection pruning + verification, never wrong.
+    let db = vec![ring(&[1, 1, 1, 1]), ring(&[1, 1, 2, 2]), ring(&[2, 2, 2, 2])];
+    let system = PisSystem::builder()
+        .exhaustive_features(3)
+        .search_config(PisConfig { epsilon: f64::MAX, ..PisConfig::default() })
+        .build(db.clone());
+    let q = ring(&[1, 1, 1, 1]);
+    let md = MutationDistance::edge_hamming();
+    for sigma in [0.0, 2.0] {
+        let got: Vec<usize> = system.search(&q, sigma).answers.iter().map(|g| g.index()).collect();
+        assert_eq!(got, sssd_brute(&db, &q, &md, sigma));
+    }
+}

@@ -1,0 +1,154 @@
+//! Direct verification of the paper's central inequality (Eq. 2): for
+//! any vertex-disjoint partition `{g_i}` of a query `Q`,
+//! `Σ_i d(g_i, G) ≤ d(Q, G)` — for both mutation and linear distances.
+//!
+//! The pipeline tests check this indirectly (no lost answers); here the
+//! inequality itself is exercised with explicitly constructed partitions
+//! and the brute-force distance oracle.
+
+mod common;
+
+use common::{connected_graph, ring};
+use pis::distance::oracle::min_superimposed_distance_brute;
+use pis::prelude::*;
+use proptest::prelude::*;
+
+/// Splits a query into vertex-disjoint connected fragments: greedily
+/// carve connected subgraphs of `piece` edges off the remaining
+/// vertices. Not all vertices need be covered (Definition 3 allows
+/// partial cover).
+fn carve_partition(q: &LabeledGraph, piece: usize) -> Vec<LabeledGraph> {
+    let mut used = vec![false; q.vertex_count()];
+    let mut parts = Vec::new();
+    for start in q.vertex_ids() {
+        if used[start.index()] {
+            continue;
+        }
+        // Grow a connected edge set among unused vertices.
+        let mut edges = Vec::new();
+        let mut frontier = vec![start];
+        let mut in_part = vec![false; q.vertex_count()];
+        in_part[start.index()] = true;
+        while let Some(v) = frontier.pop() {
+            if edges.len() >= piece {
+                break;
+            }
+            for &(w, e) in q.neighbors(v) {
+                if edges.len() >= piece {
+                    break;
+                }
+                if !used[w.index()] && !in_part[w.index()] {
+                    in_part[w.index()] = true;
+                    edges.push(e);
+                    frontier.push(w);
+                }
+            }
+        }
+        if edges.is_empty() {
+            continue;
+        }
+        let (sub, map) = q.edge_subgraph(&edges);
+        for v in &map {
+            used[v.index()] = true;
+        }
+        parts.push(sub);
+    }
+    parts
+}
+
+#[test]
+fn eq2_on_the_running_example() {
+    // Query: alternating 6-ring. Target: all-2 ring (distance 3).
+    let md = MutationDistance::edge_hamming();
+    let q = ring(&[1, 2, 1, 2, 1, 2]);
+    let g = ring(&[2, 2, 2, 2, 2, 2]);
+    let dq = min_superimposed_distance_brute(&q, &g, &md).expect("isomorphic rings");
+    assert_eq!(dq, 3.0);
+    for piece in 1..=3 {
+        let parts = carve_partition(&q, piece);
+        let sum: f64 = parts
+            .iter()
+            .filter_map(|p| min_superimposed_distance_brute(p, &g, &md))
+            .sum();
+        assert!(
+            sum <= dq + 1e-9,
+            "partition into {piece}-edge pieces violated Eq. 2: {sum} > {dq}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Eq. (2) under the mutation distance on random pairs.
+    #[test]
+    fn eq2_mutation_distance(
+        q in connected_graph(5, 2, 3),
+        g in connected_graph(7, 3, 3),
+        piece in 1usize..3,
+    ) {
+        let md = MutationDistance::edge_hamming();
+        let Some(dq) = min_superimposed_distance_brute(&q, &g, &md) else {
+            return Ok(()); // Q not contained in G: nothing to check.
+        };
+        let parts = carve_partition(&q, piece);
+        let mut sum = 0.0;
+        for p in &parts {
+            match min_superimposed_distance_brute(p, &g, &md) {
+                Some(d) => sum += d,
+                // A fragment of a contained query is always contained.
+                None => prop_assert!(false, "fragment of contained query missing"),
+            }
+        }
+        prop_assert!(sum <= dq + 1e-9, "Eq. 2 violated: {} > {}", sum, dq);
+    }
+
+    /// Eq. (2) under the unit mutation distance (vertex labels scored
+    /// too).
+    #[test]
+    fn eq2_unit_distance(
+        q in connected_graph(5, 2, 2),
+        g in connected_graph(6, 3, 2),
+        piece in 1usize..3,
+    ) {
+        let md = MutationDistance::unit();
+        let Some(dq) = min_superimposed_distance_brute(&q, &g, &md) else {
+            return Ok(());
+        };
+        let parts = carve_partition(&q, piece);
+        let sum: f64 = parts
+            .iter()
+            .map(|p| {
+                min_superimposed_distance_brute(p, &g, &md)
+                    .expect("fragments of a contained query are contained")
+            })
+            .sum();
+        prop_assert!(sum <= dq + 1e-9, "Eq. 2 violated: {} > {}", sum, dq);
+    }
+}
+
+#[test]
+fn eq2_linear_distance_weighted_rings() {
+    // Weighted rings: Eq. 2 for the linear distance.
+    let ld = LinearDistance::edges_only();
+    let mk = |ws: [f64; 6]| {
+        let mut b = GraphBuilder::new();
+        let vs = b.add_vertices(6, VertexAttr::labeled(Label(0)));
+        for (i, w) in ws.into_iter().enumerate() {
+            b.add_edge(vs[i], vs[(i + 1) % 6], EdgeAttr { label: Label(0), weight: w })
+                .expect("ring is simple");
+        }
+        b.build()
+    };
+    let q = mk([1.0, 1.5, 1.0, 1.5, 1.0, 1.5]);
+    let g = mk([1.2, 1.4, 1.1, 1.5, 1.0, 1.6]);
+    let dq = min_superimposed_distance_brute(&q, &g, &ld).expect("isomorphic rings");
+    for piece in 1..=3 {
+        let parts = carve_partition(&q, piece);
+        let sum: f64 = parts
+            .iter()
+            .map(|p| min_superimposed_distance_brute(p, &g, &ld).expect("contained"))
+            .sum();
+        assert!(sum <= dq + 1e-9, "piece {piece}: {sum} > {dq}");
+    }
+}

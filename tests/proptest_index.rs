@@ -1,0 +1,148 @@
+//! Property tests of the fragment index on arbitrary databases: range
+//! queries must equal brute-force minimum superposition distances,
+//! backends must agree, and persistence must round-trip exactly.
+
+mod common;
+
+use common::{connected_graph, graph_database};
+use pis::distance::oracle::min_superimposed_distance_brute;
+use pis::index::{load_index, save_index, Backend, FragmentIndex, IndexConfig, IndexDistance};
+use pis::mining::exhaustive::exhaustive_features;
+use pis::prelude::*;
+use proptest::prelude::*;
+
+fn build_index(db: &[LabeledGraph], backend: Backend, max_edges: usize) -> FragmentIndex {
+    let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+    FragmentIndex::build(
+        db,
+        exhaustive_features(&structures, max_edges),
+        IndexDistance::Mutation(MutationDistance::edge_hamming()),
+        &IndexConfig { backend, ..IndexConfig::default() },
+    )
+}
+
+/// Rebuilds a query fragment as a standalone labeled graph (the
+/// fragment's vector in the feature's canonical layout).
+fn fragment_as_graph(index: &FragmentIndex, qf: &pis::index::QueryFragment) -> LabeledGraph {
+    let feature = index.features().get(qf.feature);
+    let labels = qf.vector.labels();
+    let ecount = feature.edge_count();
+    let mut b = GraphBuilder::new();
+    for (i, _) in feature.structure.vertex_ids().enumerate() {
+        b.add_vertex(VertexAttr::labeled(labels[ecount + i]));
+    }
+    for (j, e) in feature.structure.edges().iter().enumerate() {
+        b.add_edge(e.source, e.target, EdgeAttr::labeled(labels[j])).expect("feature is simple");
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Eq. (3): the index range query returns exactly the graphs within
+    /// sigma, each with its exact minimum superposition distance.
+    #[test]
+    fn range_query_equals_brute_force(
+        db in graph_database(6, 5, 3),
+        query in connected_graph(4, 2, 3),
+        sigma in 0.0f64..3.0,
+    ) {
+        let index = build_index(&db, Backend::Default, 3);
+        let md = MutationDistance::edge_hamming();
+        for qf in index.enumerate_query_fragments(&query) {
+            let frag = fragment_as_graph(&index, &qf);
+            let hits = index.range_query(qf.feature, &qf.vector, sigma);
+            // Soundness: every hit's distance is exact and within sigma.
+            for (gid, d) in &hits {
+                let brute = min_superimposed_distance_brute(&frag, &db[gid.index()], &md)
+                    .expect("hits contain the structure");
+                prop_assert!((d - brute).abs() < 1e-9, "distance {} vs brute {}", d, brute);
+                prop_assert!(*d <= sigma);
+            }
+            // Completeness: no graph within sigma is missed.
+            for (gi, g) in db.iter().enumerate() {
+                if let Some(brute) = min_superimposed_distance_brute(&frag, g, &md) {
+                    if brute <= sigma {
+                        prop_assert!(
+                            hits.iter().any(|(h, _)| h.index() == gi),
+                            "graph {} at distance {} missing at sigma {}",
+                            gi, brute, sigma
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The trie and the VP-tree backend agree entry-for-entry.
+    #[test]
+    fn backends_agree(
+        db in graph_database(5, 5, 2),
+        query in connected_graph(4, 1, 2),
+        sigma in 0.0f64..3.0,
+    ) {
+        let trie = build_index(&db, Backend::Trie, 3);
+        let vp = build_index(&db, Backend::VpTree, 3);
+        for qf in trie.enumerate_query_fragments(&query) {
+            let a = trie.range_query(qf.feature, &qf.vector, sigma);
+            let b = vp.range_query(qf.feature, &qf.vector, sigma);
+            prop_assert_eq!(a.len(), b.len());
+            for ((g1, d1), (g2, d2)) in a.iter().zip(&b) {
+                prop_assert_eq!(g1, g2);
+                prop_assert!((d1 - d2).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Persistence round-trips arbitrary indexes exactly.
+    #[test]
+    fn persist_round_trip(
+        db in graph_database(5, 5, 3),
+        query in connected_graph(4, 1, 3),
+    ) {
+        let index = build_index(&db, Backend::Default, 3);
+        let mut buf = Vec::new();
+        save_index(&index, &mut buf).expect("in-memory save");
+        let loaded = load_index(buf.as_slice()).expect("round trip");
+        prop_assert_eq!(loaded.graph_count(), index.graph_count());
+        prop_assert_eq!(loaded.total_entries(), index.total_entries());
+        for qf in index.enumerate_query_fragments(&query) {
+            for sigma in [0.0, 1.0, 2.5] {
+                let a = index.range_query(qf.feature, &qf.vector, sigma);
+                let b = loaded.range_query(qf.feature, &qf.vector, sigma);
+                prop_assert_eq!(a, b, "sigma {}", sigma);
+            }
+        }
+    }
+
+    /// Incremental insertion matches bulk construction on arbitrary
+    /// splits.
+    #[test]
+    fn incremental_matches_bulk(
+        db in graph_database(6, 5, 3),
+        query in connected_graph(4, 1, 3),
+        split in 1usize..5,
+    ) {
+        let split = split.min(db.len());
+        let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+        let features = exhaustive_features(&structures, 3);
+        let md = IndexDistance::Mutation(MutationDistance::edge_hamming());
+        let mut incremental =
+            FragmentIndex::build(&db[..split], features.clone(), md.clone(), &IndexConfig::default());
+        for g in &db[split..] {
+            incremental.insert_graph(g);
+        }
+        let bulk = FragmentIndex::build(&db, features, md, &IndexConfig::default());
+        prop_assert_eq!(incremental.total_entries(), bulk.total_entries());
+        for qf in bulk.enumerate_query_fragments(&query) {
+            for sigma in [0.0, 1.0, 3.0] {
+                prop_assert_eq!(
+                    incremental.range_query(qf.feature, &qf.vector, sigma),
+                    bulk.range_query(qf.feature, &qf.vector, sigma),
+                    "sigma {}", sigma
+                );
+            }
+        }
+    }
+}
