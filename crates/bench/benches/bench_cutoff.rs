@@ -17,7 +17,8 @@ fn bench_cutoff(c: &mut Criterion) {
     let mut group = c.benchmark_group("cutoff_lambda");
     group.sample_size(10);
     for lambda in [0.5f64, 1.0, 2.0] {
-        let cfg = PisConfig { lambda, verify: false, structure_check: false, ..PisConfig::default() };
+        let cfg =
+            PisConfig { lambda, verify: false, structure_check: false, ..PisConfig::default() };
         let searcher = PisSearcher::new(&bed.index, &bed.db, cfg);
         group.bench_with_input(BenchmarkId::new("prune", lambda), &lambda, |b, _| {
             b.iter(|| {

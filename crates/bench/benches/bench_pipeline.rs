@@ -19,7 +19,8 @@ fn bench_pipeline(c: &mut Criterion) {
     group.sample_size(10);
 
     for sigma in [1.0f64, 2.0, 4.0] {
-        let prune_only = PisConfig { verify: false, structure_check: false, ..PisConfig::default() };
+        let prune_only =
+            PisConfig { verify: false, structure_check: false, ..PisConfig::default() };
         let searcher = PisSearcher::new(&bed.index, &bed.db, prune_only);
         group.bench_with_input(BenchmarkId::new("pis_prune", sigma), &sigma, |b, &s| {
             b.iter(|| {

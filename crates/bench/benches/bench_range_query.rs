@@ -49,8 +49,9 @@ fn bench_range_query(c: &mut Criterion) {
     }
 
     // A3 — linear distance over weighted molecules.
-    let wdb = MoleculeGenerator::new(MoleculeConfig { weighted: true, ..MoleculeConfig::default() })
-        .database(120, 5);
+    let wdb =
+        MoleculeGenerator::new(MoleculeConfig { weighted: true, ..MoleculeConfig::default() })
+            .database(120, 5);
     let wqueries = sample_query_set(&wdb, 8, 4, 8);
     let ld = IndexDistance::Linear(LinearDistance::edges_only());
     let rtree = build(&wdb, ld.clone(), Backend::RTree);

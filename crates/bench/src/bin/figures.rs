@@ -1,5 +1,5 @@
 //! Regenerates every figure of the paper's evaluation (Section 7) plus
-//! the ablations listed in DESIGN.md §5.
+//! the ablations listed in `DESIGN.md` §5.
 //!
 //! ```text
 //! cargo run --release -p pis-bench --bin figures -- [--exp LIST] [--scale S] [--out DIR]
@@ -18,8 +18,8 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use pis_bench::{
-    bucketize, fmt_f64, measure_queries, render_table, BucketSpec, BucketedSeries,
-    ExperimentScale, QueryMeasurement, TestBed,
+    bucketize, fmt_f64, measure_queries, render_table, BucketSpec, BucketedSeries, ExperimentScale,
+    QueryMeasurement, TestBed,
 };
 use pis_core::{PartitionAlgo, PisConfig, PisSearcher};
 use pis_datasets::{AtomVocabulary, BondVocabulary, DatasetStats, MoleculeGenerator};
@@ -67,12 +67,11 @@ struct Args {
 
 impl Args {
     fn parse() -> Args {
-        let mut exps: Vec<String> = vec![
-            "e0", "fig8", "fig9", "fig10", "fig11", "fig12", "a1", "a4",
-        ]
-        .into_iter()
-        .map(String::from)
-        .collect();
+        let mut exps: Vec<String> =
+            vec!["e0", "fig8", "fig9", "fig10", "fig11", "fig12", "a1", "a4"]
+                .into_iter()
+                .map(String::from)
+                .collect();
         let mut scale = ExperimentScale::default_scale();
         let mut out = PathBuf::from("bench_results");
         let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -166,10 +165,7 @@ impl Runner {
             &["topoPrune", "PIS s=1", "PIS s=2", "PIS s=4"],
             false,
         );
-        let mean_prune: Duration = ms
-            .iter()
-            .flat_map(|m| m.prune_time.iter())
-            .sum::<Duration>()
+        let mean_prune: Duration = ms.iter().flat_map(|m| m.prune_time.iter()).sum::<Duration>()
             / (ms.len() * 3).max(1) as u32;
         let _ = writeln!(report, "mean PIS pruning time per query: {mean_prune:?} (paper: <1s)");
         report
@@ -214,16 +210,12 @@ impl Runner {
             let ms = measure_queries(bed, &queries, &[2.0], &cfg);
             per_lambda.push(bucketize(&ms, &spec, 1));
         }
-        let headers: Vec<String> = ["bucket", "queries", "l=0.5", "l=1", "l=2"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let headers: Vec<String> =
+            ["bucket", "queries", "l=0.5", "l=1", "l=2"].iter().map(|s| s.to_string()).collect();
         let mut rows = Vec::new();
         for b in 0..spec.len() {
-            let mut row = vec![
-                per_lambda[0].names[b].to_string(),
-                per_lambda[0].counts[b].to_string(),
-            ];
+            let mut row =
+                vec![per_lambda[0].names[b].to_string(), per_lambda[0].counts[b].to_string()];
             for series in &per_lambda {
                 row.push(fmt_f64(series.reduction_ratio(0)[b]));
             }
@@ -345,11 +337,8 @@ impl Runner {
                 .iter()
                 .map(|s| s.to_string())
                 .collect();
-        let mut report = render_table(
-            "A1 — partition algorithm ablation (Q8, sigma=2)",
-            &headers,
-            &rows,
-        );
+        let mut report =
+            render_table("A1 — partition algorithm ablation (Q8, sigma=2)", &headers, &rows);
         let _ = writeln!(
             report,
             "{} of {} queries skipped for the exact solver (>100 fragments); paper: greedy ≈ enhanced on real data",
@@ -368,8 +357,7 @@ impl Runner {
         let gindex_ms = measure_queries(bed, &queries, &[sigma], &PisConfig::default());
 
         // Same database, path features only.
-        let structures: Vec<LabeledGraph> =
-            bed.db.iter().map(LabeledGraph::erase_labels).collect();
+        let structures: Vec<LabeledGraph> = bed.db.iter().map(LabeledGraph::erase_labels).collect();
         let features = path_features(&structures, DEFAULT_FRAGMENT_EDGES);
         let path_index = FragmentIndex::build(
             &bed.db,

@@ -45,7 +45,7 @@ impl ExperimentScale {
     }
 
     /// Default harness scale (candidate ratios are scale-stable; see
-    /// DESIGN.md §4).
+    /// `DESIGN.md` §4.5).
     pub fn default_scale() -> Self {
         ExperimentScale { db_size: 2000, query_count: 25, ..ExperimentScale::smoke() }
     }
@@ -79,7 +79,11 @@ impl TestBed {
     }
 
     /// Builds a testbed over an existing database.
-    pub fn from_db(db: Vec<LabeledGraph>, scale: &ExperimentScale, max_fragment_edges: usize) -> TestBed {
+    pub fn from_db(
+        db: Vec<LabeledGraph>,
+        scale: &ExperimentScale,
+        max_fragment_edges: usize,
+    ) -> TestBed {
         let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
         let features = select_features(
             &structures,
@@ -113,7 +117,7 @@ pub struct QueryMeasurement {
     /// topoPrune candidate count (structure-containing graphs).
     pub yt: usize,
     /// PIS candidate count per sigma, restricted to structure-containing
-    /// graphs so `yp ≤ yt` (both feed the same verifier; DESIGN.md §3).
+    /// graphs so `yp ≤ yt` (both feed the same verifier; `DESIGN.md` §3).
     pub yp: Vec<usize>,
     /// PIS pruning wall time per sigma (excludes verification).
     pub prune_time: Vec<Duration>,
@@ -169,10 +173,7 @@ impl BucketSpec {
             .iter()
             .map(|b| (b * scale).round().max(1.0) as usize)
             .collect();
-        BucketSpec {
-            bounds,
-            names: vec!["Q<300", "Q750", "Q1.5k", "Q3k", "Q5k", "Q>5k"],
-        }
+        BucketSpec { bounds, names: vec!["Q<300", "Q750", "Q1.5k", "Q3k", "Q5k", "Q>5k"] }
     }
 
     /// The bucket index of a `Yt` value.
@@ -211,7 +212,15 @@ impl BucketedSeries {
         self.avg_yt
             .iter()
             .zip(&self.avg_yp[s])
-            .map(|(&yt, &yp)| if yp > 0.0 { yt / yp } else if yt > 0.0 { f64::INFINITY } else { f64::NAN })
+            .map(|(&yt, &yp)| {
+                if yp > 0.0 {
+                    yt / yp
+                } else if yt > 0.0 {
+                    f64::INFINITY
+                } else {
+                    f64::NAN
+                }
+            })
             .collect()
     }
 }
@@ -235,10 +244,7 @@ pub fn bucketize(
         }
     }
     let avg = |sum: &[f64], counts: &[usize]| -> Vec<f64> {
-        sum.iter()
-            .zip(counts)
-            .map(|(&s, &c)| if c > 0 { s / c as f64 } else { f64::NAN })
-            .collect()
+        sum.iter().zip(counts).map(|(&s, &c)| if c > 0 { s / c as f64 } else { f64::NAN }).collect()
     };
     let avg_yt = avg(&sum_yt, &counts);
     let avg_yp = sum_yp.iter().map(|row| avg(row, &counts)).collect();
@@ -257,12 +263,7 @@ pub fn render_table(title: &str, headers: &[String], rows: &[Vec<String>]) -> St
     }
     let mut out = format!("## {title}\n");
     let line = |cells: &[String], widths: &[usize]| -> String {
-        cells
-            .iter()
-            .zip(widths)
-            .map(|(c, w)| format!("{c:>w$}"))
-            .collect::<Vec<_>>()
-            .join("  ")
+        cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
     };
     out.push_str(&line(headers, &widths));
     out.push('\n');

@@ -202,21 +202,14 @@ mod tests {
     #[test]
     fn pis_prunes_at_least_as_hard_as_topo() {
         let (db, index) = db_and_index();
-        let searcher = PisSearcher::new(
-            &index,
-            &db,
-            PisConfig { verify: false, ..PisConfig::default() },
-        );
+        let searcher =
+            PisSearcher::new(&index, &db, PisConfig { verify: false, ..PisConfig::default() });
         for sigma in [0.0, 1.0, 2.0] {
             let q = cycle_with_edge_labels(&[1, 1, 1, 1, 1, 1]);
             let topo = topo_prune(&index, &db, &q, sigma);
             let pis = searcher.search(&q, sigma);
             // Among structure-containing graphs, PIS keeps a subset.
-            let yp = pis
-                .candidates
-                .iter()
-                .filter(|g| topo.candidates.contains(g))
-                .count();
+            let yp = pis.candidates.iter().filter(|g| topo.candidates.contains(g)).count();
             assert!(yp <= topo.candidates.len(), "sigma={sigma}");
         }
     }

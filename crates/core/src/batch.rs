@@ -161,11 +161,7 @@ mod tests {
 
     #[test]
     fn workload_report_covers_all_queries() {
-        let db = vec![
-            ring(&[1, 1, 1, 1]),
-            ring(&[1, 1, 2, 2]),
-            ring(&[2, 2, 2, 2]),
-        ];
+        let db = vec![ring(&[1, 1, 1, 1]), ring(&[1, 1, 2, 2]), ring(&[2, 2, 2, 2])];
         let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
         let index = FragmentIndex::build(
             &db,

@@ -22,7 +22,8 @@ pub fn explain(outcome: &SearchOutcome, index: &FragmentIndex, sigma: f64) -> St
     let mut out = String::new();
     let _ = writeln!(out, "PIS search, sigma = {sigma}");
     let _ = writeln!(out, "  query fragments      {:>8}", s.query_fragments);
-    let _ = writeln!(out, "  fragment pool        {:>8}  (after epsilon filter)", s.fragments_in_pool);
+    let _ =
+        writeln!(out, "  fragment pool        {:>8}  (after epsilon filter)", s.fragments_in_pool);
     let _ = writeln!(
         out,
         "  partition            {:>8}  fragments, weight {:.3}",
@@ -42,9 +43,24 @@ pub fn explain(outcome: &SearchOutcome, index: &FragmentIndex, sigma: f64) -> St
     }
     let _ = writeln!(out, "  candidate funnel");
     let _ = writeln!(out, "    database           {n:>8}");
-    let _ = writeln!(out, "    intersection       {:>8}  ({})", s.candidates_after_intersection, pct(s.candidates_after_intersection, n));
-    let _ = writeln!(out, "    partition bound    {:>8}  ({})", s.candidates_after_partition, pct(s.candidates_after_partition, n));
-    let _ = writeln!(out, "    structure check    {:>8}  ({})", s.candidates_after_structure, pct(s.candidates_after_structure, n));
+    let _ = writeln!(
+        out,
+        "    intersection       {:>8}  ({})",
+        s.candidates_after_intersection,
+        pct(s.candidates_after_intersection, n)
+    );
+    let _ = writeln!(
+        out,
+        "    partition bound    {:>8}  ({})",
+        s.candidates_after_partition,
+        pct(s.candidates_after_partition, n)
+    );
+    let _ = writeln!(
+        out,
+        "    structure check    {:>8}  ({})",
+        s.candidates_after_structure,
+        pct(s.candidates_after_structure, n)
+    );
     let _ = writeln!(out, "  verification         {:>8}  calls", s.verification_calls);
     let _ = writeln!(out, "  answers              {:>8}", outcome.answers.len());
     out
@@ -80,11 +96,8 @@ mod tests {
 
     #[test]
     fn explain_renders_the_funnel() {
-        let db = vec![
-            ring(&[1, 1, 1, 1, 1, 1]),
-            ring(&[1, 1, 1, 1, 1, 2]),
-            ring(&[2, 2, 2, 2, 2, 2]),
-        ];
+        let db =
+            vec![ring(&[1, 1, 1, 1, 1, 1]), ring(&[1, 1, 1, 1, 1, 2]), ring(&[2, 2, 2, 2, 2, 2])];
         let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
         let index = FragmentIndex::build(
             &db,

@@ -79,9 +79,10 @@ impl PisSearcher<'_> {
                 }
             }
             neighbors.sort_by(|a, b| {
-                a.distance.partial_cmp(&b.distance).expect("distances are finite").then(
-                    a.graph.cmp(&b.graph),
-                )
+                a.distance
+                    .partial_cmp(&b.distance)
+                    .expect("distances are finite")
+                    .then(a.graph.cmp(&b.graph))
             });
             neighbors.truncate(k);
             // Enough answers within the radius: anything outside is
@@ -158,9 +159,7 @@ mod tests {
         let mut expected: Vec<(usize, f64)> = db
             .iter()
             .enumerate()
-            .filter_map(|(i, g)| {
-                min_superimposed_distance_brute(&query, g, &md).map(|d| (i, d))
-            })
+            .filter_map(|(i, g)| min_superimposed_distance_brute(&query, g, &md).map(|d| (i, d)))
             .collect();
         expected.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
         for k in 1..=db.len() {

@@ -8,7 +8,7 @@
 //!    violators (lines 6–17), and the hits give the fragment's
 //!    selectivity `w(g)` (line 18);
 //! 3. fragments with `w(g) ≤ ε` are dropped (line 5 — evaluated here
-//!    because `w` is only known after the range queries; see DESIGN.md);
+//!    because `w` is only known after the range queries; see `DESIGN.md` §2.4);
 //! 4. the overlapping-relation graph is built and a maximum-selectivity
 //!    partition selected by MWIS (lines 19–20);
 //! 5. every remaining graph whose partition lower bound
@@ -238,7 +238,11 @@ impl<'a> PisSearcher<'a> {
         std::thread::scope(|scope| {
             let handles: Vec<_> = candidates
                 .chunks(chunk)
-                .map(|part| scope.spawn(move || part.iter().copied().filter_map(verify_one).collect::<Vec<_>>()))
+                .map(|part| {
+                    scope.spawn(move || {
+                        part.iter().copied().filter_map(verify_one).collect::<Vec<_>>()
+                    })
+                })
                 .collect();
             for h in handles {
                 results.push(h.join().expect("verification worker panicked"));
@@ -279,7 +283,7 @@ mod tests {
     use super::*;
     use pis_distance::oracle::sssd_brute;
     use pis_distance::MutationDistance;
-    
+
     use pis_graph::{EdgeAttr, GraphBuilder, Label, VertexAttr};
     use pis_index::{Backend, IndexConfig};
     use pis_mining::exhaustive::exhaustive_features;
@@ -329,10 +333,8 @@ mod tests {
         for q in &queries {
             for sigma in [0.0, 1.0, 2.0, 4.0] {
                 let outcome = searcher.search(q, sigma);
-                let expected: Vec<GraphId> = sssd_brute(&db, q, &md, sigma)
-                    .into_iter()
-                    .map(|i| GraphId(i as u32))
-                    .collect();
+                let expected: Vec<GraphId> =
+                    sssd_brute(&db, q, &md, sigma).into_iter().map(|i| GraphId(i as u32)).collect();
                 assert_eq!(outcome.answers, expected, "query mismatch at sigma={sigma}");
                 // Soundness: candidates must cover every answer.
                 for a in &expected {
@@ -367,8 +369,7 @@ mod tests {
         let q = cycle_with_edge_labels(&[1, 1, 1, 1, 1, 1]);
         let outcome = searcher.search(&q, 2.0);
         assert!(
-            outcome.stats.candidates_after_partition
-                <= outcome.stats.candidates_after_intersection
+            outcome.stats.candidates_after_partition <= outcome.stats.candidates_after_intersection
         );
         // Graph 2 (all labels flipped, distance 6) must be pruned before
         // verification.
@@ -414,11 +415,8 @@ mod tests {
         let q = cycle_with_edge_labels(&[1, 2, 1, 2, 1, 2]);
         let sigma = 2.0;
         let mut answer_sets = Vec::new();
-        for algo in [
-            PartitionAlgo::Greedy,
-            PartitionAlgo::EnhancedGreedy(2),
-            PartitionAlgo::Exact,
-        ] {
+        for algo in [PartitionAlgo::Greedy, PartitionAlgo::EnhancedGreedy(2), PartitionAlgo::Exact]
+        {
             let cfg = PisConfig { partition: algo, ..PisConfig::default() };
             let searcher = PisSearcher::new(&index, &db, cfg);
             answer_sets.push(searcher.search(&q, sigma).answers);

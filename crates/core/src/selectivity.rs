@@ -9,7 +9,7 @@
 //!
 //! At `λ = 1` this is exactly line 18 of Algorithm 2. Figure 11 sweeps
 //! `λ` and finds performance insensitive above 1 and degraded below —
-//! experiment E4 reproduces that.
+//! the figures binary reproduces that as Figure 11 (`DESIGN.md` §5).
 
 use pis_graph::GraphId;
 

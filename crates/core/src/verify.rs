@@ -57,18 +57,12 @@ struct BoundedVisitor<'a> {
 
 impl MatchVisitor for BoundedVisitor<'_> {
     fn assign(&mut self, p: VertexId, t: VertexId) -> bool {
-        let mut delta = self
-            .distance
-            .vertex_cost(self.query.vertex(p), self.target.vertex(t));
+        let mut delta = self.distance.vertex_cost(self.query.vertex(p), self.target.vertex(t));
         for &(q, qe) in self.query.neighbors(p) {
             let Some(tq) = self.map[q.index()] else { continue };
-            let te = self
-                .target
-                .edge_between(tq, t)
-                .expect("matcher guarantees structural feasibility");
-            delta += self
-                .distance
-                .edge_cost(self.query.edge(qe).attr, self.target.edge(te).attr);
+            let te =
+                self.target.edge_between(tq, t).expect("matcher guarantees structural feasibility");
+            delta += self.distance.edge_cost(self.query.edge(qe).attr, self.target.edge(te).attr);
         }
         if self.cost + delta > self.bound {
             return false;

@@ -46,10 +46,7 @@ impl AtomVocabulary {
 
     /// The label of an element symbol, if known.
     pub fn label_of(&self, symbol: &str) -> Option<Label> {
-        self.symbols
-            .iter()
-            .position(|s| s.eq_ignore_ascii_case(symbol))
-            .map(|i| Label(i as u32))
+        self.symbols.iter().position(|s| s.eq_ignore_ascii_case(symbol)).map(|i| Label(i as u32))
     }
 
     /// The element symbol of a label (`"?"` if out of range).
@@ -111,10 +108,7 @@ impl BondVocabulary {
 
     /// The label of a bond name, if known.
     pub fn label_of(&self, name: &str) -> Option<Label> {
-        self.names
-            .iter()
-            .position(|s| s.eq_ignore_ascii_case(name))
-            .map(|i| Label(i as u32))
+        self.names.iter().position(|s| s.eq_ignore_ascii_case(name)).map(|i| Label(i as u32))
     }
 
     /// The bond name of a label (`"?"` if out of range).

@@ -203,8 +203,7 @@ impl MoleculeGenerator {
             } else {
                 0.0
             };
-            b.add_edge(e.source, e.target, EdgeAttr { label, weight })
-                .expect("skeleton is simple");
+            b.add_edge(e.source, e.target, EdgeAttr { label, weight }).expect("skeleton is simple");
         }
         b.build()
     }

@@ -7,14 +7,14 @@
 //!
 //! * [`generator`] — a synthetic molecule generator calibrated to the
 //!   same size and label statistics (the substitution is documented in
-//!   `DESIGN.md` §4); the difficulty driver the paper relies on — heavy
+//!   `DESIGN.md` §4.1); the difficulty driver the paper relies on — heavy
 //!   structural redundancy with low label entropy — is preserved.
 //! * [`sdf`] — a minimal MOL/SDF V2000 parser so a real screen file can
 //!   be dropped in when available.
 //! * [`query`] — query-set sampling: connected `m`-edge subgraphs drawn
 //!   from database graphs, exactly how the paper builds `Q16`/`Q24`.
 //! * [`stats`] — dataset statistics used to audit the calibration
-//!   (experiment E0 in `DESIGN.md`).
+//!   (experiment E0 in `DESIGN.md` §5).
 //! * [`random`] — general Erdős–Rényi-style labeled graphs, used by the
 //!   test suite to exercise the system away from the molecular
 //!   distribution.

@@ -28,8 +28,7 @@ pub fn sample_query(g: &LabeledGraph, m: usize, rng: &mut impl Rng) -> Option<La
         if frontier.is_empty() {
             // The component of the start edge is exhausted; restart from
             // a fresh edge (can only happen in disconnected graphs).
-            let remaining: Vec<EdgeId> =
-                g.edge_ids().filter(|e| !in_sub[e.index()]).collect();
+            let remaining: Vec<EdgeId> = g.edge_ids().filter(|e| !in_sub[e.index()]).collect();
             if remaining.is_empty() {
                 return None;
             }
@@ -78,8 +77,7 @@ pub fn sample_query_set(
     count: usize,
     seed: u64,
 ) -> Vec<LabeledGraph> {
-    let eligible: Vec<&LabeledGraph> =
-        database.iter().filter(|g| g.edge_count() >= m).collect();
+    let eligible: Vec<&LabeledGraph> = database.iter().filter(|g| g.edge_count() >= m).collect();
     assert!(
         !eligible.is_empty(),
         "no database graph has >= {m} edges; cannot build query set Q{m}"

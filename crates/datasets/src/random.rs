@@ -57,14 +57,16 @@ pub fn random_graph(config: &RandomGraphConfig, rng: &mut impl Rng) -> LabeledGr
         let weight = if config.weighted { rng.random::<f64>() } else { 0.0 };
         b.add_vertex(VertexAttr { label, weight });
     }
-    let edge_attr = |rng: &mut dyn rand::RngCore| EdgeAttr {
-        label: Label(rng.random_range(0..config.edge_labels)),
-        weight: if config.weighted { rng.random::<f64>() } else { 0.0 },
-    };
+    fn edge_attr<R: Rng>(config: &RandomGraphConfig, rng: &mut R) -> EdgeAttr {
+        EdgeAttr {
+            label: Label(rng.random_range(0..config.edge_labels)),
+            weight: if config.weighted { rng.random::<f64>() } else { 0.0 },
+        }
+    }
     // Random spanning tree: attach vertex i to a uniform earlier vertex.
     for i in 1..n {
         let parent = rng.random_range(0..i);
-        b.add_edge(VertexId(parent as u32), VertexId(i as u32), edge_attr(rng))
+        b.add_edge(VertexId(parent as u32), VertexId(i as u32), edge_attr(config, rng))
             .expect("tree edges are fresh");
     }
     // Extra edges.
@@ -72,7 +74,7 @@ pub fn random_graph(config: &RandomGraphConfig, rng: &mut impl Rng) -> LabeledGr
         for v in (u + 1)..n {
             if rng.random::<f64>() < config.edge_probability {
                 // Ignore duplicates of tree edges.
-                let _ = b.add_edge(VertexId(u as u32), VertexId(v as u32), edge_attr(rng));
+                let _ = b.add_edge(VertexId(u as u32), VertexId(v as u32), edge_attr(config, rng));
             }
         }
     }
@@ -110,11 +112,8 @@ mod tests {
 
     #[test]
     fn labels_stay_in_vocabulary() {
-        let config = RandomGraphConfig {
-            vertex_labels: 2,
-            edge_labels: 1,
-            ..RandomGraphConfig::default()
-        };
+        let config =
+            RandomGraphConfig { vertex_labels: 2, edge_labels: 1, ..RandomGraphConfig::default() };
         for g in random_database(&config, 20, 1) {
             for v in g.vertex_ids() {
                 assert!(g.vertex(v).label.0 < 2);
@@ -141,8 +140,7 @@ mod tests {
             edge_probability: 0.0,
             ..RandomGraphConfig::default()
         };
-        let dense =
-            RandomGraphConfig { edge_probability: 0.9, ..sparse.clone() };
+        let dense = RandomGraphConfig { edge_probability: 0.9, ..sparse.clone() };
         let gs = random_database(&sparse, 10, 7);
         let gd = random_database(&dense, 10, 7);
         let avg = |db: &[LabeledGraph]| {

@@ -4,7 +4,7 @@
 //! (`AIDO99SD.BIN` from the NCI DTP). When a real file is available this
 //! loader turns it into `LabeledGraph`s with the crate's atom/bond
 //! vocabularies; otherwise the synthetic generator stands in (see
-//! `DESIGN.md` §4). Only the fields PIS needs are read: element symbols
+//! `DESIGN.md` §4.2). Only the fields PIS needs are read: element symbols
 //! and bond types. Records that cannot be parsed are skipped and
 //! reported, matching how chemistry toolkits treat dirty screen data.
 

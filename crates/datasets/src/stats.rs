@@ -1,4 +1,5 @@
-//! Dataset statistics (experiment E0: the evaluation-setup paragraph).
+//! Dataset statistics (experiment E0, `DESIGN.md` §5: the calibration
+//! audit of the evaluation-setup paragraph).
 
 use std::collections::BTreeMap;
 use std::fmt;

@@ -107,8 +107,7 @@ mod tests {
         let g = weighted_path(&[0.5, 1.5], &[3.0]);
         let d = LinearDistance::new();
         let embs = embeddings(&q, &g, IsoConfig::STRUCTURE);
-        let mut costs: Vec<f64> =
-            embs.iter().map(|e| d.superposition_cost(&q, &g, e)).collect();
+        let mut costs: Vec<f64> = embs.iter().map(|e| d.superposition_cost(&q, &g, e)).collect();
         costs.sort_by(f64::total_cmp);
         // Both orientations: |0-0.5|+|0-1.5|+|1-3| = 4.
         assert_eq!(costs, vec![4.0, 4.0]);

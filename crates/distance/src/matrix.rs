@@ -137,10 +137,7 @@ impl ScoreMatrix {
 
     /// The largest explicit entry (used for pruning bounds).
     pub fn max_cost(&self) -> f64 {
-        self.costs
-            .iter()
-            .copied()
-            .fold(self.default_mismatch, f64::max)
+        self.costs.iter().copied().fold(self.default_mismatch, f64::max)
     }
 
     /// Whether the matrix induces a metric on the label space (required
@@ -251,6 +248,7 @@ mod tests {
     fn metric_check() {
         assert!(ScoreMatrix::unit(4).is_metric());
         assert!(!ScoreMatrix::zero(3).is_metric()); // merges labels
+
         // A matrix violating the triangle inequality.
         let bad = ScoreMatrix::from_fn(3, 10.0, |a, b| {
             if a == b {

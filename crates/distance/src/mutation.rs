@@ -124,16 +124,14 @@ mod tests {
         // Relabel one edge of g.
         let e = {
             let mut b = pis_graph::GraphBuilder::new();
-            let vs: Vec<_> =
-                g.vertex_ids().map(|v| b.add_vertex(g.vertex(v))).collect();
+            let vs: Vec<_> = g.vertex_ids().map(|v| b.add_vertex(g.vertex(v))).collect();
             b.add_edge(vs[0], vs[1], EdgeAttr::labeled(Label(5))).unwrap();
             b.add_edge(vs[1], vs[2], g.edges()[1].attr).unwrap();
             b.build()
         };
         g = e;
         let embs = embeddings(&q, &g, IsoConfig::STRUCTURE);
-        let costs: Vec<f64> =
-            embs.iter().map(|e| d.superposition_cost(&q, &g, e)).collect();
+        let costs: Vec<f64> = embs.iter().map(|e| d.superposition_cost(&q, &g, e)).collect();
         // Vertex labels differ everywhere but cost nothing; exactly one
         // edge label mismatches under both orientations.
         assert_eq!(costs, vec![1.0, 1.0]);

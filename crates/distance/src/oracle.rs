@@ -114,9 +114,9 @@ mod tests {
         let d = MutationDistance::edge_hamming();
         let q = cycle_with_edge_labels(&[1, 1, 1]);
         let db = vec![
-            cycle_with_edge_labels(&[1, 1, 1]), // d = 0
-            cycle_with_edge_labels(&[1, 1, 2]), // d = 1
-            cycle_with_edge_labels(&[2, 2, 2]), // d = 3
+            cycle_with_edge_labels(&[1, 1, 1]),                  // d = 0
+            cycle_with_edge_labels(&[1, 1, 2]),                  // d = 1
+            cycle_with_edge_labels(&[2, 2, 2]),                  // d = 3
             pis_graph::graph::path_graph(4, Label(0), Label(1)), // no match
         ];
         assert_eq!(sssd_brute(&db, &q, &d, 0.0), vec![0]);

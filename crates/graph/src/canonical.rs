@@ -527,8 +527,7 @@ mod tests {
         // Each code edge maps to the matching graph edge.
         for (pos, ce) in c.code.edges.iter().enumerate() {
             let ge = g.edge(c.edge_order[pos]);
-            let (u, v) =
-                (c.vertex_order[ce.from as usize], c.vertex_order[ce.to as usize]);
+            let (u, v) = (c.vertex_order[ce.from as usize], c.vertex_order[ce.to as usize]);
             assert!(
                 (ge.source, ge.target) == (u, v) || (ge.source, ge.target) == (v, u),
                 "code edge {pos} does not match its graph edge"
@@ -564,7 +563,11 @@ mod tests {
             (cycle_graph(5, l(0), l(1)), cycle_graph(5, l(0), l(1)), true),
             (cycle_graph(5, l(0), l(1)), cycle_graph(5, l(0), l(2)), false),
             (path_graph(4, l(0), l(0)), star_graph(3, l(0), l(0)), false),
-            (path_graph(5, l(1), l(2)), shuffle(&path_graph(5, l(1), l(2)), &[4, 2, 0, 1, 3]), true),
+            (
+                path_graph(5, l(1), l(2)),
+                shuffle(&path_graph(5, l(1), l(2)), &[4, 2, 0, 1, 3]),
+                true,
+            ),
         ];
         for (a, b, equal) in cases {
             let naive_eq = naive_canonical(&a) == naive_canonical(&b);
@@ -576,13 +579,8 @@ mod tests {
 
     #[test]
     fn dfs_edge_order_rules() {
-        let fwd = |from, to| DfsEdge {
-            from,
-            to,
-            from_label: l(0),
-            edge_label: l(0),
-            to_label: l(0),
-        };
+        let fwd =
+            |from, to| DfsEdge { from, to, from_label: l(0), edge_label: l(0), to_label: l(0) };
         // forward/forward: smaller destination first.
         assert!(fwd(1, 2) < fwd(0, 3));
         // same destination: deeper source first.
@@ -593,8 +591,10 @@ mod tests {
         // backward (i, _) before forward (_, j) iff i < j.
         assert!(fwd(2, 1) < fwd(1, 3)); // i=2 < j=3
         assert!(fwd(2, 1) > fwd(0, 2)); // i=2, j=2 -> forward first
+
         // label tiebreak on otherwise equal structure.
-        let labeled = DfsEdge { from: 0, to: 1, from_label: l(0), edge_label: l(1), to_label: l(0) };
+        let labeled =
+            DfsEdge { from: 0, to: 1, from_label: l(0), edge_label: l(1), to_label: l(0) };
         assert!(fwd(0, 1) < labeled);
     }
 

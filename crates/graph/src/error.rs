@@ -30,15 +30,16 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::InvalidVertex { vertex, vertex_count } => write!(
-                f,
-                "edge endpoint {vertex} out of range (graph has {vertex_count} vertices)"
-            ),
+            GraphError::InvalidVertex { vertex, vertex_count } => {
+                write!(f, "edge endpoint {vertex} out of range (graph has {vertex_count} vertices)")
+            }
             GraphError::SelfLoop(v) => write!(f, "self-loop on {v}; PIS graphs are simple"),
             GraphError::DuplicateEdge(u, v) => {
                 write!(f, "duplicate edge {u}-{v}; PIS graphs are simple")
             }
-            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
         }
     }
 }

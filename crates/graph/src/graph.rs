@@ -161,10 +161,7 @@ impl LabeledGraph {
         // Scan the smaller adjacency list; molecular degrees are tiny so
         // a linear scan beats any auxiliary map.
         let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
-        self.adj[a.index()]
-            .iter()
-            .find(|(n, _)| *n == b)
-            .map(|(_, e)| *e)
+        self.adj[a.index()].iter().find(|(n, _)| *n == b).map(|(_, e)| *e)
     }
 
     /// Whether `u` and `v` are adjacent.
@@ -245,9 +242,9 @@ impl LabeledGraph {
         let mut builder = GraphBuilder::new();
         let mut used = vec![false; self.edges.len()];
         let map_vertex = |v: VertexId,
-                              builder: &mut GraphBuilder,
-                              old_to_new: &mut Vec<Option<VertexId>>,
-                              new_to_old: &mut Vec<VertexId>|
+                          builder: &mut GraphBuilder,
+                          old_to_new: &mut Vec<Option<VertexId>>,
+                          new_to_old: &mut Vec<VertexId>|
          -> VertexId {
             if let Some(nv) = old_to_new[v.index()] {
                 nv
@@ -266,9 +263,7 @@ impl LabeledGraph {
             let edge = self.edge(e);
             let u = map_vertex(edge.source, &mut builder, &mut old_to_new, &mut new_to_old);
             let v = map_vertex(edge.target, &mut builder, &mut old_to_new, &mut new_to_old);
-            builder
-                .add_edge(u, v, edge.attr)
-                .expect("subgraph of a simple graph is simple");
+            builder.add_edge(u, v, edge.attr).expect("subgraph of a simple graph is simple");
         }
         (builder.build(), new_to_old)
     }
@@ -291,9 +286,7 @@ impl LabeledGraph {
             if let (Some(u), Some(v)) =
                 (old_to_new[edge.source.index()], old_to_new[edge.target.index()])
             {
-                builder
-                    .add_edge(u, v, edge.attr)
-                    .expect("subgraph of a simple graph is simple");
+                builder.add_edge(u, v, edge.attr).expect("subgraph of a simple graph is simple");
             }
         }
         (builder.build(), new_to_old)
@@ -357,7 +350,12 @@ impl GraphBuilder {
 
     /// Adds an undirected edge. Rejects self-loops, parallel edges and
     /// out-of-range endpoints (PIS graphs are simple).
-    pub fn add_edge(&mut self, u: VertexId, v: VertexId, attr: EdgeAttr) -> Result<EdgeId, GraphError> {
+    pub fn add_edge(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        attr: EdgeAttr,
+    ) -> Result<EdgeId, GraphError> {
         let n = self.graph.vertices.len();
         for w in [u, v] {
             if w.index() >= n {
@@ -492,10 +490,7 @@ mod tests {
         let mut b = GraphBuilder::new();
         let u = b.add_vertex(attr(0));
         let bad = VertexId(9);
-        assert!(matches!(
-            b.add_edge(u, bad, eattr(0)),
-            Err(GraphError::InvalidVertex { .. })
-        ));
+        assert!(matches!(b.add_edge(u, bad, eattr(0)), Err(GraphError::InvalidVertex { .. })));
     }
 
     #[test]

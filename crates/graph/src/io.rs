@@ -49,7 +49,10 @@ pub fn parse_database(text: &str) -> Result<Vec<LabeledGraph>, GraphError> {
                 if idx != b.vertex_count() {
                     return Err(parse_err(
                         line_no,
-                        &format!("vertex {idx} declared out of order (expected {})", b.vertex_count()),
+                        &format!(
+                            "vertex {idx} declared out of order (expected {})",
+                            b.vertex_count()
+                        ),
                     ));
                 }
                 b.add_vertex(VertexAttr { label: Label(label), weight });
@@ -78,10 +81,7 @@ pub fn parse_database(text: &str) -> Result<Vec<LabeledGraph>, GraphError> {
 /// Parses a single graph (the first `t` block).
 pub fn parse_graph(text: &str) -> Result<LabeledGraph, GraphError> {
     let graphs = parse_database(text)?;
-    graphs
-        .into_iter()
-        .next()
-        .ok_or_else(|| parse_err(0, "input contains no graph"))
+    graphs.into_iter().next().ok_or_else(|| parse_err(0, "input contains no graph"))
 }
 
 /// Serializes a database in the text format. Weights are emitted only
@@ -100,7 +100,11 @@ pub fn write_database(graphs: &[LabeledGraph]) -> String {
         }
         for e in g.edges() {
             if e.attr.weight != 0.0 {
-                let _ = writeln!(out, "e {} {} {} {}", e.source.0, e.target.0, e.attr.label.0, e.attr.weight);
+                let _ = writeln!(
+                    out,
+                    "e {} {} {} {}",
+                    e.source.0, e.target.0, e.attr.label.0, e.attr.weight
+                );
             } else {
                 let _ = writeln!(out, "e {} {} {}", e.source.0, e.target.0, e.attr.label.0);
             }
@@ -132,8 +136,11 @@ pub fn to_dot(g: &LabeledGraph, name: &str) -> String {
                 e.source.0, e.target.0, e.attr.label.0, e.attr.weight
             );
         } else {
-            let _ =
-                writeln!(out, "  v{} -- v{} [label=\"{}\"];", e.source.0, e.target.0, e.attr.label.0);
+            let _ = writeln!(
+                out,
+                "  v{} -- v{} [label=\"{}\"];",
+                e.source.0, e.target.0, e.attr.label.0
+            );
         }
     }
     out.push_str("}\n");
@@ -160,10 +167,9 @@ fn opt_num<T: std::str::FromStr>(
 ) -> Result<Option<T>, GraphError> {
     match tokens.next() {
         None => Ok(None),
-        Some(tok) => tok
-            .parse()
-            .map(Some)
-            .map_err(|_| parse_err(line, &format!("invalid {what}: '{tok}'"))),
+        Some(tok) => {
+            tok.parse().map(Some).map_err(|_| parse_err(line, &format!("invalid {what}: '{tok}'")))
+        }
     }
 }
 

@@ -305,8 +305,7 @@ fn build_plan(pattern: &LabeledGraph) -> Vec<PlanStep> {
         let mut queue = std::collections::VecDeque::from([root]);
         while let Some(v) = queue.pop_front() {
             // Visit neighbors by decreasing degree for better pruning.
-            let mut nbrs: Vec<VertexId> =
-                pattern.neighbors(v).iter().map(|&(w, _)| w).collect();
+            let mut nbrs: Vec<VertexId> = pattern.neighbors(v).iter().map(|&(w, _)| w).collect();
             nbrs.sort_by_key(|w| (usize::MAX - pattern.degree(*w), w.0));
             for w in nbrs {
                 if placed[w.index()] {
@@ -350,7 +349,11 @@ pub fn is_subgraph(pattern: &LabeledGraph, target: &LabeledGraph, config: IsoCon
 }
 
 /// Convenience: all embeddings of `pattern` into `target`.
-pub fn embeddings(pattern: &LabeledGraph, target: &LabeledGraph, config: IsoConfig) -> Vec<Embedding> {
+pub fn embeddings(
+    pattern: &LabeledGraph,
+    target: &LabeledGraph,
+    config: IsoConfig,
+) -> Vec<Embedding> {
     SubgraphMatcher::new(pattern, target, config).all()
 }
 
@@ -366,7 +369,9 @@ pub fn automorphisms(g: &LabeledGraph) -> Vec<Embedding> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::{complete_graph, cycle_graph, path_graph, star_graph, GraphBuilder, VertexAttr, EdgeAttr};
+    use crate::graph::{
+        complete_graph, cycle_graph, path_graph, star_graph, EdgeAttr, GraphBuilder, VertexAttr,
+    };
     use crate::ids::Label;
 
     fn l(x: u32) -> Label {
@@ -515,10 +520,8 @@ mod tests {
     fn sorted_image_dedups_automorphic_embeddings() {
         let p = path_graph(3, l(0), l(0));
         let c = cycle_graph(6, l(0), l(0));
-        let mut images: Vec<Vec<VertexId>> = embeddings(&p, &c, IsoConfig::STRUCTURE)
-            .iter()
-            .map(|e| e.sorted_image())
-            .collect();
+        let mut images: Vec<Vec<VertexId>> =
+            embeddings(&p, &c, IsoConfig::STRUCTURE).iter().map(|e| e.sorted_image()).collect();
         images.sort();
         images.dedup();
         assert_eq!(images.len(), 6); // 6 distinct 3-vertex windows on C6

@@ -114,7 +114,11 @@ pub struct IndexConfig {
 
 impl Default for IndexConfig {
     fn default() -> Self {
-        IndexConfig { backend: Backend::Default, max_embeddings_per_fragment: usize::MAX, threads: 0 }
+        IndexConfig {
+            backend: Backend::Default,
+            max_embeddings_per_fragment: usize::MAX,
+            threads: 0,
+        }
     }
 }
 
@@ -263,10 +267,7 @@ impl FragmentIndex {
                 }
                 (ClassImpl::VpLabels(_), IndexDistance::Mutation(md)) => {
                     let md = md.clone();
-                    let imp = std::mem::replace(
-                        &mut class.imp,
-                        ClassImpl::Trie(LabelTrie::new(0)),
-                    );
+                    let imp = std::mem::replace(&mut class.imp, ClassImpl::Trie(LabelTrie::new(0)));
                     let ClassImpl::VpLabels(vp) = imp else { unreachable!() };
                     let mut items = vp.into_items();
                     items.extend(entries.labels.into_iter().map(|v| (v, gid)));
@@ -276,10 +277,7 @@ impl FragmentIndex {
                 }
                 (ClassImpl::VpWeights(_), IndexDistance::Linear(ld)) => {
                     let ld = *ld;
-                    let imp = std::mem::replace(
-                        &mut class.imp,
-                        ClassImpl::Trie(LabelTrie::new(0)),
-                    );
+                    let imp = std::mem::replace(&mut class.imp, ClassImpl::Trie(LabelTrie::new(0)));
                     let ClassImpl::VpWeights(vp) = imp else { unreachable!() };
                     let mut items = vp.into_items();
                     items.extend(entries.weights.into_iter().map(|v| (v, gid)));
@@ -315,7 +313,11 @@ impl FragmentIndex {
             best.entry(g).and_modify(|cur| *cur = cur.min(d)).or_insert(d);
         };
         match (&class.imp, vector, &self.distance) {
-            (ClassImpl::Trie(trie), FragmentVector::Labels(labels), IndexDistance::Mutation(md)) => {
+            (
+                ClassImpl::Trie(trie),
+                FragmentVector::Labels(labels),
+                IndexDistance::Mutation(md),
+            ) => {
                 trie.range_query(
                     labels,
                     sigma,
@@ -323,7 +325,11 @@ impl FragmentIndex {
                     visit,
                 );
             }
-            (ClassImpl::VpLabels(vp), FragmentVector::Labels(labels), IndexDistance::Mutation(md)) => {
+            (
+                ClassImpl::VpLabels(vp),
+                FragmentVector::Labels(labels),
+                IndexDistance::Mutation(md),
+            ) => {
                 vp.range_query(
                     labels,
                     sigma,
@@ -374,16 +380,12 @@ impl FragmentIndex {
                 edges.sort_unstable();
                 if seen.insert((feature.id.0, vertices.clone(), edges)) {
                     let mut vector = match &self.distance {
-                        IndexDistance::Mutation(_) => FragmentVector::Labels(label_vector(
-                            &feature.structure,
-                            query,
-                            emb,
-                        )),
-                        IndexDistance::Linear(_) => FragmentVector::Weights(weight_vector(
-                            &feature.structure,
-                            query,
-                            emb,
-                        )),
+                        IndexDistance::Mutation(_) => {
+                            FragmentVector::Labels(label_vector(&feature.structure, query, emb))
+                        }
+                        IndexDistance::Linear(_) => {
+                            FragmentVector::Weights(weight_vector(&feature.structure, query, emb))
+                        }
                     };
                     self.distance.normalize(feature.structure.edge_count(), &mut vector);
                     out.push(QueryFragment {
@@ -595,9 +597,7 @@ mod tests {
             let expected: Vec<GraphId> = db
                 .iter()
                 .enumerate()
-                .filter(|(_, g)| {
-                    pis_graph::iso::is_subgraph(&f.structure, g, IsoConfig::STRUCTURE)
-                })
+                .filter(|(_, g)| pis_graph::iso::is_subgraph(&f.structure, g, IsoConfig::STRUCTURE))
                 .map(|(i, _)| GraphId(i as u32))
                 .collect();
             assert_eq!(index.class_graphs(f.id), expected.as_slice(), "feature {}", f.id);
@@ -728,12 +728,8 @@ mod tests {
         let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
         let features = exhaustive_features(&structures, 2);
         let ld = LinearDistance::edges_only();
-        let index = FragmentIndex::build(
-            &db,
-            features,
-            IndexDistance::Linear(ld),
-            &IndexConfig::default(),
-        );
+        let index =
+            FragmentIndex::build(&db, features, IndexDistance::Linear(ld), &IndexConfig::default());
         let query = mk([1.0, 2.0]);
         for qf in index.enumerate_query_fragments(&query) {
             let f = index.features().get(qf.feature);
@@ -871,12 +867,8 @@ mod tests {
         for g in &db[1..] {
             incremental.insert_graph(g);
         }
-        let bulk = FragmentIndex::build(
-            &db,
-            features,
-            IndexDistance::Linear(ld),
-            &IndexConfig::default(),
-        );
+        let bulk =
+            FragmentIndex::build(&db, features, IndexDistance::Linear(ld), &IndexConfig::default());
         let query = mk([1.0, 1.25, 2.0]);
         for qf in bulk.enumerate_query_fragments(&query) {
             for sigma in [0.0, 0.5, 2.0] {

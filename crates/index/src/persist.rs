@@ -196,7 +196,7 @@ pub fn load_index<R: BufRead>(r: R) -> Result<FragmentIndex, PersistError> {
 
     // Classes.
     let mut classes = Vec::with_capacity(feature_count);
-    for ci in 0..feature_count {
+    for (ci, &ecount) in edge_counts.iter().enumerate() {
         let (line, no) = lines.next_line()?;
         let mut toks = line.split_whitespace();
         if toks.next() != Some("class") {
@@ -227,7 +227,6 @@ pub fn load_index<R: BufRead>(r: R) -> Result<FragmentIndex, PersistError> {
         let entry_count: usize = lines.field("entries")?;
         let feature = features.get(pis_mining::FeatureId(ci as u32));
         let slots = feature.structure.vertex_count() + feature.structure.edge_count();
-        let ecount = edge_counts[ci];
 
         let mut label_entries: Vec<(Vec<Label>, GraphId)> = Vec::new();
         let mut weight_entries: Vec<(Vec<f64>, GraphId)> = Vec::new();
@@ -305,11 +304,7 @@ pub fn load_index<R: BufRead>(r: R) -> Result<FragmentIndex, PersistError> {
         distance,
         classes,
         graph_count,
-        config: IndexConfig {
-            backend,
-            max_embeddings_per_fragment: max_embeddings,
-            threads: 0,
-        },
+        config: IndexConfig { backend, max_embeddings_per_fragment: max_embeddings, threads: 0 },
     })
 }
 
@@ -415,6 +410,52 @@ fn sequence_to_code(
     Ok(code)
 }
 
+/// Line reader with 1-based positions.
+struct Lines<R: BufRead> {
+    reader: R,
+    line_no: usize,
+}
+
+impl<R: BufRead> Lines<R> {
+    fn new(reader: R) -> Self {
+        Lines { reader, line_no: 0 }
+    }
+
+    fn next_line(&mut self) -> Result<(String, usize), PersistError> {
+        let mut buf = String::new();
+        loop {
+            buf.clear();
+            let n = self.reader.read_line(&mut buf)?;
+            self.line_no += 1;
+            if n == 0 {
+                return Err(parse_err(self.line_no, "unexpected end of input"));
+            }
+            let trimmed = buf.trim();
+            if !trimmed.is_empty() {
+                return Ok((trimmed.to_string(), self.line_no));
+            }
+        }
+    }
+
+    fn expect_line(&mut self, expected: &str) -> Result<(), PersistError> {
+        let (line, no) = self.next_line()?;
+        if line == expected {
+            Ok(())
+        } else {
+            Err(parse_err(no, &format!("expected '{expected}', found '{line}'")))
+        }
+    }
+
+    fn field<T: std::str::FromStr>(&mut self, tag: &str) -> Result<T, PersistError> {
+        let (line, no) = self.next_line()?;
+        let mut toks = line.split_whitespace();
+        if toks.next() != Some(tag) {
+            return Err(parse_err(no, &format!("expected '{tag}'")));
+        }
+        parse_num(toks.next(), no, tag)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -510,7 +551,7 @@ mod tests {
             &IndexConfig::default(),
         );
         let loaded = round_trip(&index);
-        assert_same_answers(&index, &loaded, &weighted_ring(&[1.0, 1.5, 3.14]));
+        assert_same_answers(&index, &loaded, &weighted_ring(&[1.0, 1.5, 3.25]));
     }
 
     #[test]
@@ -564,53 +605,8 @@ mod tests {
         // (from=1,to=2) as second edge with from=1 is fine, but the code
         // must match min_dfs_code of its own graph; a path coded from an
         // endpoint is canonical, so corrupt the labels ordering instead.
-        let bad = text.replace("feature 0 3 2 0 1 2 0 0 0 2 0 0 0", "feature 0 3 2 9 0 1 9 0 0 1 2 0 0 0");
+        let bad = text
+            .replace("feature 0 3 2 0 1 2 0 0 0 2 0 0 0", "feature 0 3 2 9 0 1 9 0 0 1 2 0 0 0");
         assert!(load_index(bad.as_bytes()).is_err());
-    }
-}
-
-/// Line reader with 1-based positions.
-struct Lines<R: BufRead> {
-    reader: R,
-    line_no: usize,
-}
-
-impl<R: BufRead> Lines<R> {
-    fn new(reader: R) -> Self {
-        Lines { reader, line_no: 0 }
-    }
-
-    fn next_line(&mut self) -> Result<(String, usize), PersistError> {
-        let mut buf = String::new();
-        loop {
-            buf.clear();
-            let n = self.reader.read_line(&mut buf)?;
-            self.line_no += 1;
-            if n == 0 {
-                return Err(parse_err(self.line_no, "unexpected end of input"));
-            }
-            let trimmed = buf.trim();
-            if !trimmed.is_empty() {
-                return Ok((trimmed.to_string(), self.line_no));
-            }
-        }
-    }
-
-    fn expect_line(&mut self, expected: &str) -> Result<(), PersistError> {
-        let (line, no) = self.next_line()?;
-        if line == expected {
-            Ok(())
-        } else {
-            Err(parse_err(no, &format!("expected '{expected}', found '{line}'")))
-        }
-    }
-
-    fn field<T: std::str::FromStr>(&mut self, tag: &str) -> Result<T, PersistError> {
-        let (line, no) = self.next_line()?;
-        let mut toks = line.split_whitespace();
-        if toks.next() != Some(tag) {
-            return Err(parse_err(no, &format!("expected '{tag}'")));
-        }
-        parse_num(toks.next(), no, tag)
     }
 }

@@ -227,10 +227,8 @@ fn insert_rec(node: &mut Node, point: &[f64], graph: GraphId) -> Option<(Mbr, No
             let axis = (0..dim)
                 .max_by(|&a, &b| {
                     let s = |ax: usize| {
-                        let lo = children
-                            .iter()
-                            .map(|(m, _)| m.min[ax])
-                            .fold(f64::INFINITY, f64::min);
+                        let lo =
+                            children.iter().map(|(m, _)| m.min[ax]).fold(f64::INFINITY, f64::min);
                         let hi = children
                             .iter()
                             .map(|(m, _)| m.max[ax])

@@ -146,11 +146,8 @@ mod tests {
 
     #[test]
     fn small_queries() {
-        let items = vec![
-            (vec![0.0], GraphId(0)),
-            (vec![1.0], GraphId(1)),
-            (vec![10.0], GraphId(2)),
-        ];
+        let items =
+            vec![(vec![0.0], GraphId(0)), (vec![1.0], GraphId(1)), (vec![10.0], GraphId(2))];
         let t = VpTree::build(items, l1);
         assert_eq!(collect(&t, &vec![0.0], 0.0), vec![(0, 0.0)]);
         assert_eq!(collect(&t, &vec![0.5], 0.5), vec![(0, 0.5), (1, 0.5)]);

@@ -99,9 +99,9 @@ mod tests {
             "gSpan with minsup=1 must find exactly the exhaustive set"
         );
         for p in &mined {
-            let id = exhaustive
-                .lookup(&p.code.to_sequence())
-                .unwrap_or_else(|| panic!("gSpan pattern missing from exhaustive set: {:?}", p.code));
+            let id = exhaustive.lookup(&p.code.to_sequence()).unwrap_or_else(|| {
+                panic!("gSpan pattern missing from exhaustive set: {:?}", p.code)
+            });
             assert_eq!(exhaustive.get(id).support, p.support, "support mismatch for {:?}", p.code);
         }
     }

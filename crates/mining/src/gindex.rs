@@ -59,7 +59,10 @@ impl Default for GindexConfig {
 ///
 /// The single-edge structure is always selected (Example 4's fallback:
 /// every query can at least be partitioned into edges).
-pub fn select_features(structures: &[pis_graph::LabeledGraph], config: &GindexConfig) -> FeatureSet {
+pub fn select_features(
+    structures: &[pis_graph::LabeledGraph],
+    config: &GindexConfig,
+) -> FeatureSet {
     let min_support =
         ((structures.len() as f64 * config.min_support_fraction).ceil() as usize).max(1);
     let gspan_cfg = GspanConfig {
@@ -85,7 +88,9 @@ pub fn select_features(structures: &[pis_graph::LabeledGraph], config: &GindexCo
         if selected.len() >= config.max_features {
             break;
         }
-        if p.graph.edge_count() == 1 || is_discriminative(&p, &selected, config.discriminative_ratio, structures.len()) {
+        if p.graph.edge_count() == 1
+            || is_discriminative(&p, &selected, config.discriminative_ratio, structures.len())
+        {
             selected.push(p);
         }
     }

@@ -110,10 +110,7 @@ pub fn mine(db: &[LabeledGraph], config: &GspanConfig) -> Vec<MinedPattern> {
                     edge_label: e.attr.label,
                     to_label: lv,
                 };
-                seeds
-                    .entry(edge)
-                    .or_default()
-                    .push(Emb { graph: gid as u32, map: vec![u, v] });
+                seeds.entry(edge).or_default().push(Emb { graph: gid as u32, map: vec![u, v] });
             }
         }
     }
@@ -327,10 +324,7 @@ mod tests {
         ]);
         let cfg = GspanConfig { min_support: 1, max_edges: 4, ..GspanConfig::default() };
         for p in mine(&db, &cfg) {
-            let by_iso = db
-                .iter()
-                .filter(|g| is_subgraph(&p.graph, g, IsoConfig::LABELED))
-                .count();
+            let by_iso = db.iter().filter(|g| is_subgraph(&p.graph, g, IsoConfig::LABELED)).count();
             assert_eq!(p.support, by_iso, "support mismatch for {:?}", p.code);
         }
     }
@@ -383,7 +377,8 @@ mod tests {
     #[test]
     fn min_edges_suppresses_small_reports_but_growth_continues() {
         let db = erased(&[cycle_graph(4, Label(0), Label(0)), cycle_graph(4, Label(0), Label(0))]);
-        let cfg = GspanConfig { min_support: 2, min_edges: 3, max_edges: 4, ..GspanConfig::default() };
+        let cfg =
+            GspanConfig { min_support: 2, min_edges: 3, max_edges: 4, ..GspanConfig::default() };
         let patterns = mine(&db, &cfg);
         assert!(!patterns.is_empty());
         assert!(patterns.iter().all(|p| p.graph.edge_count() >= 3));
@@ -400,10 +395,7 @@ mod tests {
             ..GspanConfig::default()
         };
         for p in mine(&db, &cfg) {
-            let by_iso = db
-                .iter()
-                .filter(|g| is_subgraph(&p.graph, g, IsoConfig::LABELED))
-                .count();
+            let by_iso = db.iter().filter(|g| is_subgraph(&p.graph, g, IsoConfig::LABELED)).count();
             assert!(p.support <= by_iso, "reported support must never exceed truth");
         }
     }

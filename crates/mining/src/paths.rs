@@ -21,8 +21,7 @@ pub fn path_features(structures: &[LabeledGraph], max_len: usize) -> FeatureSet 
     let mut set = FeatureSet::new();
     for len in 1..=max_len {
         let p = path_graph(len + 1, Label::ERASED, Label::ERASED);
-        let support =
-            structures.iter().filter(|g| is_subgraph(&p, g, IsoConfig::LABELED)).count();
+        let support = structures.iter().filter(|g| is_subgraph(&p, g, IsoConfig::LABELED)).count();
         if support == 0 && len > 1 {
             // No graph is long enough; longer paths cannot match either.
             break;

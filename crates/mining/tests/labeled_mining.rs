@@ -19,10 +19,7 @@ fn labeled_supports_are_exact() {
     let patterns = mine(&db, &cfg);
     assert!(!patterns.is_empty(), "carbon-carbon chains must be frequent");
     for p in &patterns {
-        let truth = db
-            .iter()
-            .filter(|g| is_subgraph(&p.graph, g, IsoConfig::LABELED))
-            .count();
+        let truth = db.iter().filter(|g| is_subgraph(&p.graph, g, IsoConfig::LABELED)).count();
         assert_eq!(p.support, truth, "support mismatch for {:?}", p.code);
         assert!(p.support >= 8);
         assert_eq!(p.supporting.len(), p.support);
@@ -68,10 +65,7 @@ fn carbon_chain_is_the_most_frequent_two_edge_pattern() {
     let db = molecule_db(40, 21);
     let cfg = GspanConfig { min_support: 2, max_edges: 2, min_edges: 2, ..GspanConfig::default() };
     let patterns = mine(&db, &cfg);
-    let best = patterns
-        .iter()
-        .max_by_key(|p| p.support)
-        .expect("some 2-edge pattern is frequent");
+    let best = patterns.iter().max_by_key(|p| p.support).expect("some 2-edge pattern is frequent");
     // All carbon vertices (label 0).
     assert!(best.graph.vertex_ids().all(|v| best.graph.vertex(v).label.0 == 0));
 }

@@ -63,10 +63,7 @@ fn enumerate_k_sets(
 ) {
     for i in start..remaining.len() {
         let v = remaining[i];
-        if current
-            .iter()
-            .any(|&u| graph.neighbors(u).contains(&(v as u32)))
-        {
+        if current.iter().any(|&u| graph.neighbors(u).contains(&(v as u32))) {
             continue;
         }
         current.push(v);
@@ -102,10 +99,7 @@ mod tests {
     fn k2_beats_greedy_on_star() {
         // Hub 2.0 vs three leaves 1.5: greedy takes the hub; k=2 takes
         // two leaves in round one (3.0 > 2.0), then the third.
-        let g = OverlapGraph::from_parts(
-            vec![2.0, 1.5, 1.5, 1.5],
-            vec![(0, 1), (0, 2), (0, 3)],
-        );
+        let g = OverlapGraph::from_parts(vec![2.0, 1.5, 1.5, 1.5], vec![(0, 1), (0, 2), (0, 3)]);
         let greedy = greedy_mwis(&g);
         let enhanced = enhanced_greedy_mwis(&g, 2);
         assert!(selection_weight(&g, &enhanced) > selection_weight(&g, &greedy));
@@ -114,10 +108,7 @@ mod tests {
 
     #[test]
     fn k_larger_than_graph_is_exact_on_small_instances() {
-        let g = OverlapGraph::from_parts(
-            vec![1.0, 2.0, 3.0, 2.5],
-            vec![(0, 1), (1, 2), (2, 3)],
-        );
+        let g = OverlapGraph::from_parts(vec![1.0, 2.0, 3.0, 2.5], vec![(0, 1), (1, 2), (2, 3)]);
         let sel = enhanced_greedy_mwis(&g, 4);
         let mut sorted = sel.clone();
         sorted.sort_unstable();

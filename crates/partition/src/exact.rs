@@ -92,10 +92,7 @@ mod tests {
 
     #[test]
     fn star_instance_prefers_leaves() {
-        let g = OverlapGraph::from_parts(
-            vec![2.0, 1.5, 1.5, 1.5],
-            vec![(0, 1), (0, 2), (0, 3)],
-        );
+        let g = OverlapGraph::from_parts(vec![2.0, 1.5, 1.5, 1.5], vec![(0, 1), (0, 2), (0, 3)]);
         let opt = exact_mwis(&g);
         assert_eq!(opt, vec![1, 2, 3]);
     }

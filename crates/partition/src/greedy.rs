@@ -56,10 +56,7 @@ mod tests {
     #[test]
     fn greedy_is_maximal() {
         // No remaining node can be added to the result.
-        let g = OverlapGraph::from_parts(
-            vec![5.0, 1.0, 1.0, 1.0],
-            vec![(0, 1), (0, 2), (0, 3)],
-        );
+        let g = OverlapGraph::from_parts(vec![5.0, 1.0, 1.0, 1.0], vec![(0, 1), (0, 2), (0, 3)]);
         let sel = greedy_mwis(&g);
         assert_eq!(sel, vec![0]);
     }
@@ -68,10 +65,7 @@ mod tests {
     fn greedy_can_be_suboptimal_by_at_most_c() {
         // Star: hub weight 2, three leaves weight 1.5 each. Greedy takes
         // the hub (2.0); optimal takes the leaves (4.5).
-        let g = OverlapGraph::from_parts(
-            vec![2.0, 1.5, 1.5, 1.5],
-            vec![(0, 1), (0, 2), (0, 3)],
-        );
+        let g = OverlapGraph::from_parts(vec![2.0, 1.5, 1.5, 1.5], vec![(0, 1), (0, 2), (0, 3)]);
         let sel = greedy_mwis(&g);
         assert_eq!(sel, vec![0]);
         // c = 3 here; ratio 2/4.5 ≈ 0.44 ≥ 1/3, within Theorem 2's bound.

@@ -125,11 +125,7 @@ mod tests {
 
     #[test]
     fn overlap_edges_from_shared_vertices() {
-        let g = OverlapGraph::new(&[
-            (1.0, v(&[0, 1, 2])),
-            (2.0, v(&[2, 3])),
-            (3.0, v(&[4, 5])),
-        ]);
+        let g = OverlapGraph::new(&[(1.0, v(&[0, 1, 2])), (2.0, v(&[2, 3])), (3.0, v(&[4, 5]))]);
         assert_eq!(g.len(), 3);
         assert_eq!(g.neighbors(0), &[1]);
         assert_eq!(g.neighbors(1), &[0]);

@@ -44,10 +44,7 @@ fn main() {
 
     let after = system.search(&query, 2.0);
     println!("after arrivals: {} answers within sigma=2", after.answers.len());
-    assert!(
-        after.answers.len() >= before.answers.len(),
-        "inserting graphs can only add answers"
-    );
+    assert!(after.answers.len() >= before.answers.len(), "inserting graphs can only add answers");
     // Old answers must survive (ids are stable).
     for a in &before.answers {
         assert!(after.answers.contains(a), "existing answer lost after insertions");

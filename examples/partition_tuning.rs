@@ -22,7 +22,11 @@ fn main() {
     let query = sample_query_set(&db, 12, 1, 5).remove(0);
     let sigma = 2.0;
 
-    println!("query: {} vertices / {} edges, sigma = {sigma}\n", query.vertex_count(), query.edge_count());
+    println!(
+        "query: {} vertices / {} edges, sigma = {sigma}\n",
+        query.vertex_count(),
+        query.edge_count()
+    );
 
     // The exact MWIS solver is capped at 128 overlap-graph nodes; check
     // the fragment pool first.
@@ -86,8 +90,7 @@ fn main() {
     for lambda in [0.25, 4.0] {
         for epsilon in [0.0, 1.0] {
             for algo in [PartitionAlgo::Greedy, PartitionAlgo::EnhancedGreedy(2)] {
-                let cfg =
-                    PisConfig { lambda, epsilon, partition: algo, ..PisConfig::default() };
+                let cfg = PisConfig { lambda, epsilon, partition: algo, ..PisConfig::default() };
                 assert_eq!(
                     system.search_with(&query, sigma, cfg).answers,
                     reference,

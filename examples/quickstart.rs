@@ -53,7 +53,11 @@ fn main() {
     }
     let query = qb.build();
 
-    println!("database: {} molecules, query: {} edges", system.database().len(), query.edge_count());
+    println!(
+        "database: {} molecules, query: {} edges",
+        system.database().len(),
+        query.edge_count()
+    );
     for sigma in [0.0, 1.0, 2.0, 3.0] {
         let outcome = system.search(&query, sigma);
         let ids: Vec<u32> = outcome.answers.iter().map(|g| g.0).collect();

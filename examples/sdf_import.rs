@@ -96,16 +96,13 @@ fn main() {
 
     // Load from a real file when given, else the embedded sample.
     let text = match std::env::args().nth(1) {
-        Some(path) => std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
         None => SAMPLE_SDF.to_string(),
     };
     let load = parse_sdf(&text, &atoms, &bonds);
-    println!(
-        "parsed {} molecules ({} records skipped)",
-        load.molecules.len(),
-        load.skipped
-    );
+    println!("parsed {} molecules ({} records skipped)", load.molecules.len(), load.skipped);
     println!("{}", DatasetStats::compute(&load.molecules));
 
     let system = PisSystem::builder()

@@ -12,10 +12,8 @@ use pis::prelude::*;
 
 fn main() {
     // Weighted molecules: bond lengths in Å with per-molecule jitter.
-    let generator = MoleculeGenerator::new(MoleculeConfig {
-        weighted: true,
-        ..MoleculeConfig::default()
-    });
+    let generator =
+        MoleculeGenerator::new(MoleculeConfig { weighted: true, ..MoleculeConfig::default() });
     let db = generator.database(300, 9);
     println!("database: {}", DatasetStats::compute(&db));
 

@@ -124,8 +124,7 @@ impl<'a> Flags<'a> {
 }
 
 fn load_db(path: &str) -> Result<Vec<LabeledGraph>, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse_database(&text).map_err(|e| format!("{path}: {e}"))
 }
 
@@ -150,8 +149,7 @@ fn cmd_import(args: &[&String]) -> Result<(), String> {
     let flags = Flags::parse(args, &["out"])?;
     let input = flags.positional(0, "input .sdf file")?;
     let out = PathBuf::from(flags.required("out")?);
-    let text =
-        std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let text = std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
     let load = parse_sdf(&text, &AtomVocabulary::default(), &BondVocabulary::default());
     std::fs::write(&out, write_database(&load.molecules)).map_err(|e| e.to_string())?;
     println!(
@@ -240,8 +238,7 @@ fn cmd_search(args: &[&String]) -> Result<(), String> {
         let start = Instant::now();
         let (answers, distances, candidates) = match flags.value("baseline") {
             None => {
-                let searcher =
-                    pis::core::PisSearcher::new(&index, &db, PisConfig::default());
+                let searcher = pis::core::PisSearcher::new(&index, &db, PisConfig::default());
                 let o = searcher.search(q, sigma);
                 if explain {
                     print!("{}", pis::core::explain(&o, &index, sigma));

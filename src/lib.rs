@@ -215,7 +215,12 @@ impl PisSystem {
     }
 
     /// Runs the search with an overridden configuration.
-    pub fn search_with(&self, query: &LabeledGraph, sigma: f64, config: PisConfig) -> SearchOutcome {
+    pub fn search_with(
+        &self,
+        query: &LabeledGraph,
+        sigma: f64,
+        config: PisConfig,
+    ) -> SearchOutcome {
         PisSearcher::new(&self.index, &self.database, config).search(query, sigma)
     }
 
@@ -337,10 +342,7 @@ mod tests {
             .exhaustive_features(2)
             .index_config(IndexConfig { backend: Backend::Trie, ..IndexConfig::default() })
             .build(db);
-        assert_eq!(
-            via_backend.search(&q, 1.0).answers,
-            trie_system.search(&q, 1.0).answers
-        );
+        assert_eq!(via_backend.search(&q, 1.0).answers, trie_system.search(&q, 1.0).answers);
     }
 
     #[test]
@@ -366,7 +368,7 @@ mod tests {
             let mut builder = PisSystem::builder();
             builder.features = source;
             let system = builder.build(tiny_db());
-            assert!(system.index().features().len() >= 1);
+            assert!(!system.index().features().is_empty());
         }
     }
 }

@@ -120,15 +120,12 @@ fn full_pipeline() {
         "--baseline",
         "topo",
     ]));
-    let pis_counts: Vec<&str> =
-        out.lines().filter(|l| l.contains("answers from")).collect();
-    let topo_counts: Vec<&str> =
-        topo.lines().filter(|l| l.contains("answers from")).collect();
+    let pis_counts: Vec<&str> = out.lines().filter(|l| l.contains("answers from")).collect();
+    let topo_counts: Vec<&str> = topo.lines().filter(|l| l.contains("answers from")).collect();
     assert_eq!(pis_counts.len(), topo_counts.len());
     for (p, t) in pis_counts.iter().zip(&topo_counts) {
-        let answers = |s: &str| {
-            s.split("): ").nth(1).and_then(|x| x.split(' ').next().map(String::from))
-        };
+        let answers =
+            |s: &str| s.split("): ").nth(1).and_then(|x| x.split(' ').next().map(String::from));
         assert_eq!(answers(p), answers(t), "PIS and topoPrune answer counts differ");
     }
 

@@ -60,7 +60,7 @@ fn disconnected_query_agrees_with_oracle() {
     // Two disjoint edges as a query: the paper's machinery never needs
     // connectivity of Q, only of fragments.
     let db = vec![
-        ring(&[1, 1, 1, 1]),          // can host both edges
+        ring(&[1, 1, 1, 1]), // can host both edges
         {
             // A single edge: cannot host two disjoint edges.
             let mut b = GraphBuilder::new();

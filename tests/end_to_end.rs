@@ -88,14 +88,8 @@ fn feature_sources_agree_on_answers() {
 fn trie_and_vptree_systems_agree() {
     let db = MoleculeGenerator::default().database(30, 21);
     let queries = sample_query_set(&db, 6, 3, 4);
-    let trie = PisSystem::builder()
-        .exhaustive_features(3)
-        .backend(Backend::Trie)
-        .build(db.clone());
-    let vp = PisSystem::builder()
-        .exhaustive_features(3)
-        .backend(Backend::VpTree)
-        .build(db.clone());
+    let trie = PisSystem::builder().exhaustive_features(3).backend(Backend::Trie).build(db.clone());
+    let vp = PisSystem::builder().exhaustive_features(3).backend(Backend::VpTree).build(db.clone());
     for q in &queries {
         for sigma in [0.0, 1.0, 3.0] {
             assert_eq!(
@@ -209,10 +203,7 @@ fn save_load_round_trip_preserves_answers() {
     loaded.insert_graph(extra.clone());
     system.insert_graph(extra);
     let q = &queries[0];
-    assert_eq!(
-        answers_as_usize(&system.search(q, 2.0)),
-        answers_as_usize(&loaded.search(q, 2.0))
-    );
+    assert_eq!(answers_as_usize(&system.search(q, 2.0)), answers_as_usize(&loaded.search(q, 2.0)));
     let a = system.knn(q, 3);
     let b = loaded.knn(q, 3);
     assert_eq!(a.neighbors, b.neighbors);

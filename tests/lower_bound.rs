@@ -66,10 +66,8 @@ fn eq2_on_the_running_example() {
     assert_eq!(dq, 3.0);
     for piece in 1..=3 {
         let parts = carve_partition(&q, piece);
-        let sum: f64 = parts
-            .iter()
-            .filter_map(|p| min_superimposed_distance_brute(p, &g, &md))
-            .sum();
+        let sum: f64 =
+            parts.iter().filter_map(|p| min_superimposed_distance_brute(p, &g, &md)).sum();
         assert!(
             sum <= dq + 1e-9,
             "partition into {piece}-edge pieces violated Eq. 2: {sum} > {dq}"

@@ -45,14 +45,9 @@ fn incremental_growth_never_diverges() {
     // Grow a system one graph at a time and, at checkpoints, compare
     // against a bulk rebuild on the same corpus.
     let all = MoleculeGenerator::default().database(120, 77);
-    let features = GindexConfig {
-        max_edges: 4,
-        min_support_fraction: 0.05,
-        ..GindexConfig::default()
-    };
-    let mut live = PisSystem::builder()
-        .gindex_features(features.clone())
-        .build(all[..40].to_vec());
+    let features =
+        GindexConfig { max_edges: 4, min_support_fraction: 0.05, ..GindexConfig::default() };
+    let mut live = PisSystem::builder().gindex_features(features.clone()).build(all[..40].to_vec());
     let queries = sample_query_set(&all[..40], 10, 5, 9);
     for (i, g) in all[40..].iter().enumerate() {
         live.insert_graph(g.clone());

@@ -1,0 +1,214 @@
+//! Offline stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness.
+//!
+//! This workspace builds with no crates.io access, so external
+//! dev-dependencies are replaced by minimal local implementations (see
+//! `vendor/README.md`). The `benches/` sources compile unchanged; what
+//! changes is the measurement backend:
+//!
+//! * no statistical analysis, outlier detection or HTML reports —
+//!   each benchmark runs a warmup pass plus a bounded timing loop and
+//!   prints mean wall time per iteration;
+//! * under `cargo test` (cargo passes `--test` to `harness = false`
+//!   bench targets) every benchmark body runs **once**, keeping tier-1
+//!   runs fast while still smoke-testing the bench code.
+//!
+//! Numbers printed here are honest wall-clock means but carry none of
+//! real Criterion's variance control; treat them as probe output, not
+//! publishable measurements.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export: benches import `black_box` from either here or
+/// `std::hint`.
+pub use std::hint::black_box;
+
+/// Wall-time budget for one benchmark's measurement loop.
+const TIME_BUDGET: Duration = Duration::from_millis(300);
+
+/// The benchmark context handed to `criterion_group!` targets.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes harness=false bench targets with `--test` under
+        // `cargo test` and `--bench` under `cargo bench`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), test_mode: self.test_mode, sample_size: 100 }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(None, &id, self.test_mode, 100, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Caps the number of timed iterations (the real crate's number of
+    /// statistical samples; here simply an iteration bound).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(Some(&self.name), &id, self.test_mode, self.sample_size, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_one(Some(&self.name), &id, self.test_mode, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report finalization in the real crate; a no-op
+    /// here).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id for `name` at parameter value `parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { name: name.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    /// An id carrying only a parameter (grouped under the group name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { name: String::new(), parameter: Some(parameter.to_string()) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { name: name.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name, parameter: None }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.parameter {
+            Some(p) if self.name.is_empty() => write!(f, "{p}"),
+            Some(p) => write!(f, "{}/{p}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// Passed to benchmark closures; owns the timing loop.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    /// Mean wall time per iteration of the last `iter` call.
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`: warmup once, then iterate until `sample_size`
+    /// iterations or the time budget is spent. In test mode runs the
+    /// routine exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.mean = None;
+            return;
+        }
+        black_box(routine()); // warmup
+        let start = Instant::now();
+        let mut iters = 0u32;
+        while iters < self.sample_size as u32 && start.elapsed() < TIME_BUDGET {
+            black_box(routine());
+            iters += 1;
+        }
+        self.mean = Some(start.elapsed() / iters.max(1));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: Option<&str>,
+    id: &BenchmarkId,
+    test_mode: bool,
+    sample_size: usize,
+    mut f: F,
+) {
+    let mut bencher = Bencher { test_mode, sample_size, mean: None };
+    f(&mut bencher);
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    match bencher.mean {
+        Some(mean) => println!("bench {label:<48} {mean:>12.2?}/iter"),
+        None => println!("bench {label:<48} ok (test mode)"),
+    }
+}
+
+/// Bundles benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

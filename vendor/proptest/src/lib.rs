@@ -1,0 +1,134 @@
+//! Offline stand-in for the
+//! [`proptest`](https://crates.io/crates/proptest) crate.
+//!
+//! This workspace builds with no crates.io access, so external test
+//! dependencies are replaced by minimal local implementations (see
+//! `vendor/README.md`). The subset provided is exactly what the PIS
+//! test suite uses:
+//!
+//! * the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//!   `prop_filter`, implemented for integer and float ranges, tuples
+//!   (arity 1–8) and [`Just`];
+//! * [`collection::vec`] and [`sample::select`];
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`, plus
+//!   [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`];
+//! * a [`test_runner::TestRunner`] that runs each property over a
+//!   deterministic seeded stream of cases.
+//!
+//! **Deliberate simplification:** there is no shrinking. A failing case
+//! reports the exact generated inputs (regenerated from the saved RNG
+//! state), which for this suite's small strategies is close enough to a
+//! minimal counterexample to debug from. Case streams are deterministic
+//! per test, so failures reproduce across runs.
+
+pub mod strategy;
+
+pub mod collection;
+pub mod sample;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+
+/// The glob-import surface: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Fails the current property (returns `Err(TestCaseError)` from the
+/// enclosing `proptest!` body) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current property unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            l,
+            r,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current property unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: `(left != right)`\n  both: `{:?}`", l);
+    }};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ..) { .. }`
+/// becomes a `#[test]` that runs the body over generated cases.
+///
+/// Supports the same shape the real crate does for this suite:
+/// an optional leading `#![proptest_config(expr)]`, doc comments and
+/// `#[test]` attributes on each function, and `return Ok(())` /
+/// `prop_assert*!` inside bodies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_functions! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_functions! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_functions {
+    { ($config:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+      )*
+    } => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut runner = $crate::test_runner::TestRunner::new_for_test(
+                    config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let strategy = ( $( $strat, )+ );
+                runner.run(&strategy, |( $($pat,)+ )| {
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}

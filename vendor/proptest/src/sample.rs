@@ -1,0 +1,26 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// A strategy drawing uniformly from a fixed, non-empty set of values.
+pub fn select<T: Clone + core::fmt::Debug>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "select requires at least one value");
+    Select { values }
+}
+
+/// See [`select`].
+#[derive(Clone, Debug)]
+pub struct Select<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone + core::fmt::Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.values[rng.random_range(0..self.values.len())].clone()
+    }
+}

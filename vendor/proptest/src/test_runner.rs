@@ -1,0 +1,157 @@
+//! The case runner behind the `proptest!` macro.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::strategy::Strategy;
+
+/// Configuration for one property (`#![proptest_config(..)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Maximum rejected cases (`TestCaseError::Reject`) tolerated
+    /// before the property fails for under-sampling.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A default configuration overriding only `cases`.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 1024 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property is violated (assertion failure).
+    Fail(String),
+    /// The input was rejected (does not count as failure).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Drives a strategy through `config.cases` generated cases.
+///
+/// The RNG is seeded from the test's fully-qualified name, so each
+/// property sees a case stream that is stable across runs and
+/// independent of execution order — a failure report is reproducible
+/// by just re-running the test.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: StdRng,
+    name: &'static str,
+}
+
+impl TestRunner {
+    /// A runner with an anonymous deterministic stream.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config, rng: StdRng::seed_from_u64(0x5eed), name: "property" }
+    }
+
+    /// A runner whose stream is derived from the test name (used by the
+    /// `proptest!` macro).
+    pub fn new_for_test(config: ProptestConfig, name: &'static str) -> Self {
+        let mut hasher = DefaultHasher::new();
+        name.hash(&mut hasher);
+        TestRunner { config, rng: StdRng::seed_from_u64(hasher.finish()), name }
+    }
+
+    /// Runs `test` on `config.cases` generated inputs, panicking (with
+    /// the regenerated failing input) on the first failure.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F)
+    where
+        S: Strategy,
+        S::Value: core::fmt::Debug,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut rejects = 0u32;
+        let mut case = 0u32;
+        while case < self.config.cases {
+            // Snapshot the RNG so a failing input can be regenerated
+            // for the report (values may be consumed by `test`).
+            let before = self.rng.clone();
+            let value = strategy.generate(&mut self.rng);
+            match test(value) {
+                Ok(()) => case += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= self.config.max_global_rejects,
+                        "{}: too many rejected cases ({rejects})",
+                        self.name
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    let mut replay = before;
+                    let input = strategy.generate(&mut replay);
+                    panic!("{} failed at case {case}\ninput: {input:#?}\n{msg}", self.name);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_a_true_property() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(50));
+        runner.run(&(0usize..100), |x| {
+            if x >= 100 {
+                return Err(TestCaseError::fail("out of range"));
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn reports_a_false_property() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(50));
+        runner.run(&(0usize..100), |x| {
+            if x > 10 {
+                return Err(TestCaseError::fail("too big"));
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn case_streams_are_deterministic() {
+        let collect = || {
+            let mut out = Vec::new();
+            let mut runner =
+                TestRunner::new_for_test(ProptestConfig::with_cases(20), "stream_test");
+            runner.run(&(0usize..1000), |x| {
+                out.push(x);
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+}
