@@ -4,39 +4,42 @@
 #![allow(missing_docs)] // criterion_group! generates undocumented items
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pis_bench::{ExperimentScale, TestBed};
-use pis_core::{naive_scan, topo_prune, PisConfig, PisSearcher};
+use pis_bench::{pipeline_workload, TestBed};
+use pis_core::{naive_scan, topo_prune, PisConfig, PisSearcher, SearchScratch};
 use pis_distance::MutationDistance;
 use std::hint::black_box;
 
 fn bench_pipeline(c: &mut Criterion) {
-    let scale = ExperimentScale { db_size: 200, query_count: 5, ..ExperimentScale::smoke() };
-    let bed = TestBed::build(&scale, 5);
-    let queries = bed.query_set(16);
+    let bed = TestBed::build(&pipeline_workload::scale(), pipeline_workload::MAX_FRAGMENT_EDGES);
+    let queries = bed.query_set(pipeline_workload::QUERY_EDGES);
     let md = MutationDistance::edge_hamming();
 
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(10);
 
-    for sigma in [1.0f64, 2.0, 4.0] {
+    for sigma in pipeline_workload::SIGMAS {
         let prune_only =
             PisConfig { verify: false, structure_check: false, ..PisConfig::default() };
         let searcher = PisSearcher::new(&bed.index, &bed.db, prune_only);
+        // The pis rows reuse one SearchScratch across queries — the
+        // intended steady-state serving pattern.
         group.bench_with_input(BenchmarkId::new("pis_prune", sigma), &sigma, |b, &s| {
+            let mut scratch = SearchScratch::new();
             b.iter(|| {
                 let mut candidates = 0usize;
                 for q in &queries {
-                    candidates += searcher.search(q, s).candidates.len();
+                    candidates += searcher.search_with_scratch(q, s, &mut scratch).candidates.len();
                 }
                 black_box(candidates)
             })
         });
         group.bench_with_input(BenchmarkId::new("pis_full", sigma), &sigma, |b, &s| {
             let full = PisSearcher::new(&bed.index, &bed.db, PisConfig::default());
+            let mut scratch = SearchScratch::new();
             b.iter(|| {
                 let mut answers = 0usize;
                 for q in &queries {
-                    answers += full.search(q, s).answers.len();
+                    answers += full.search_with_scratch(q, s, &mut scratch).answers.len();
                 }
                 black_box(answers)
             })

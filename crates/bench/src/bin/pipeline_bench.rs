@@ -1,0 +1,256 @@
+//! Machine-readable end-to-end pipeline benchmark — the perf
+//! trajectory's data source.
+//!
+//! Times the optimized candidate funnel ([`PisSearcher::search_with_scratch`])
+//! against the seed pipeline kept as executable specification
+//! ([`PisSearcher::search_reference`]) on the same Q16 workload the
+//! Criterion `bench_pipeline` uses, and writes the results as JSON:
+//!
+//! ```text
+//! cargo run --release -p pis-bench --bin pipeline_bench -- \
+//!     [--scale smoke|bench|default|full] [--iters N] [--out PATH]
+//!
+//!   --scale  smoke  = 100 graphs (CI);  bench = 200 graphs, the
+//!            Criterion bench_pipeline setting (default);  default /
+//!            full = the harness scales (2 000 / 10 000 graphs)
+//!   --iters  timing repetitions per experiment (default 5; the JSON
+//!            records min and mean)
+//!   --out    output path (default BENCH_pipeline.json)
+//! ```
+//!
+//! Every experiment row carries its candidate/answer total, so the JSON
+//! doubles as a correctness fingerprint: optimized and reference rows
+//! at the same sigma must report identical counts.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use pis_bench::pipeline_workload::{MAX_FRAGMENT_EDGES, QUERY_EDGES, SIGMAS};
+use pis_bench::{pipeline_workload, ExperimentScale, TestBed};
+use pis_core::{naive_scan, topo_prune, PisConfig, PisSearcher, SearchScratch};
+use pis_distance::MutationDistance;
+use pis_graph::LabeledGraph;
+
+/// Criterion `bench_pipeline` wall times of the *seed* pipeline,
+/// measured at the `bench` scale immediately before the funnel rework
+/// landed (commit f01dbf4) — the perf trajectory's first recorded
+/// point. `(name, sigma, ms_per_iter)`; one iter = the whole query set.
+const PRE_REWORK_CRITERION_MS: [(&str, f64, f64); 6] = [
+    ("pis_prune", 1.0, 16.23),
+    ("pis_prune", 2.0, 25.33),
+    ("pis_prune", 4.0, 45.83),
+    ("pis_full", 1.0, 27.14),
+    ("pis_full", 2.0, 49.02),
+    ("pis_full", 4.0, 74.34),
+];
+
+fn main() {
+    let mut scale_name = "bench".to_string();
+    let mut iters = 5usize;
+    let mut out_path = "BENCH_pipeline.json".to_string();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale_name = argv.get(i).expect("--scale needs a value").clone();
+            }
+            "--iters" => {
+                i += 1;
+                iters = argv.get(i).expect("--iters needs a value").parse().expect("iters: usize");
+            }
+            "--out" => {
+                i += 1;
+                out_path = argv.get(i).expect("--out needs a value").clone();
+            }
+            other => panic!("unknown argument '{other}'"),
+        }
+        i += 1;
+    }
+    let scale = match scale_name.as_str() {
+        "smoke" => ExperimentScale { db_size: 100, query_count: 4, ..ExperimentScale::smoke() },
+        "bench" => pipeline_workload::scale(),
+        "default" => ExperimentScale::default_scale(),
+        "full" => ExperimentScale::full(),
+        other => panic!("unknown scale '{other}'"),
+    };
+
+    eprintln!("[pipeline_bench] building testbed (db={} graphs)...", scale.db_size);
+    let bed = TestBed::build(&scale, MAX_FRAGMENT_EDGES);
+    let queries = bed.query_set(QUERY_EDGES);
+    let md = MutationDistance::edge_hamming();
+
+    let prune_cfg = PisConfig { verify: false, structure_check: false, ..PisConfig::default() };
+    let pruner = PisSearcher::new(&bed.index, &bed.db, prune_cfg);
+    let full = PisSearcher::new(&bed.index, &bed.db, PisConfig::default());
+
+    let mut rows: Vec<Row> = Vec::new();
+    for sigma in SIGMAS {
+        let mut scratch = SearchScratch::new();
+        rows.push(measure("pis_prune", "optimized", sigma, iters, || {
+            queries
+                .iter()
+                .map(|q| pruner.search_with_scratch(q, sigma, &mut scratch).candidates.len())
+                .sum()
+        }));
+        let mut scratch = SearchScratch::new();
+        rows.push(measure("pis_full", "optimized", sigma, iters, || {
+            queries
+                .iter()
+                .map(|q| full.search_with_scratch(q, sigma, &mut scratch).answers.len())
+                .sum()
+        }));
+        rows.push(measure("pis_prune", "reference", sigma, iters, || {
+            queries.iter().map(|q| pruner.search_reference(q, sigma).candidates.len()).sum()
+        }));
+        rows.push(measure("pis_full", "reference", sigma, iters, || {
+            queries.iter().map(|q| full.search_reference(q, sigma).answers.len()).sum()
+        }));
+        rows.push(measure("topo_prune", "baseline", sigma, iters, || {
+            queries.iter().map(|q| topo_prune(&bed.index, &bed.db, q, sigma).answers.len()).sum()
+        }));
+        rows.push(measure("naive_scan", "baseline", sigma, iters, || {
+            queries.iter().map(|q| naive_scan(&bed.db, q, &md, sigma).answers.len()).sum()
+        }));
+    }
+    check_fingerprints(&rows);
+
+    let json = render_json(&scale, &queries, iters, &rows);
+    std::fs::write(&out_path, &json).expect("cannot write benchmark JSON");
+    println!("{json}");
+    eprintln!("[pipeline_bench] wrote {out_path}");
+}
+
+struct Row {
+    name: &'static str,
+    variant: &'static str,
+    sigma: f64,
+    min_ms: f64,
+    mean_ms: f64,
+    /// Candidate (prune rows) or answer (full rows) total over the
+    /// query set — the correctness fingerprint.
+    count: usize,
+}
+
+/// Times `iters` runs of `work` (after one warm-up) and records the
+/// count the last run produced.
+fn measure(
+    name: &'static str,
+    variant: &'static str,
+    sigma: f64,
+    iters: usize,
+    mut work: impl FnMut() -> usize,
+) -> Row {
+    let mut count = work(); // warm-up
+    let mut min_ms = f64::INFINITY;
+    let mut total_ms = 0.0;
+    for _ in 0..iters.max(1) {
+        let t = Instant::now();
+        count = work();
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        min_ms = min_ms.min(ms);
+        total_ms += ms;
+    }
+    eprintln!("[pipeline_bench] {name}/{variant} sigma={sigma}: {min_ms:.2}ms (count {count})");
+    Row { name, variant, sigma, min_ms, mean_ms: total_ms / iters.max(1) as f64, count }
+}
+
+/// Optimized and reference rows of the same experiment must agree on
+/// their candidate/answer totals.
+fn check_fingerprints(rows: &[Row]) {
+    for a in rows.iter().filter(|r| r.variant == "optimized") {
+        let b = rows
+            .iter()
+            .find(|r| r.variant == "reference" && r.name == a.name && r.sigma == a.sigma)
+            .expect("every optimized row has a reference twin");
+        assert_eq!(
+            a.count, b.count,
+            "optimized and reference pipelines disagree at {}/{}",
+            a.name, a.sigma
+        );
+    }
+}
+
+fn render_json(
+    scale: &ExperimentScale,
+    queries: &[LabeledGraph],
+    iters: usize,
+    rows: &[Row],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"pipeline\",");
+    let _ = writeln!(
+        s,
+        "  \"scale\": {{\"db_size\": {}, \"queries\": {}, \"query_edges\": {}, \"max_fragment_edges\": {}, \"seed\": {}}},",
+        scale.db_size,
+        queries.len(),
+        QUERY_EDGES,
+        MAX_FRAGMENT_EDGES,
+        scale.seed
+    );
+    let _ = writeln!(s, "  \"iters\": {iters},");
+    s.push_str("  \"experiments\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"variant\": \"{}\", \"sigma\": {}, \"min_ms\": {:.3}, \"mean_ms\": {:.3}, \"count\": {}}}{}",
+            r.name, r.variant, r.sigma, r.min_ms, r.mean_ms, r.count, comma
+        );
+    }
+    s.push_str("  ],\n");
+    // Convenience summary: optimized-vs-reference speedups per sigma.
+    s.push_str("  \"speedup_vs_reference\": {\n");
+    for (ni, name) in ["pis_prune", "pis_full"].iter().enumerate() {
+        let _ = write!(s, "    \"{name}\": {{");
+        for (si, sigma) in SIGMAS.iter().enumerate() {
+            let opt = rows
+                .iter()
+                .find(|r| r.name == *name && r.variant == "optimized" && r.sigma == *sigma)
+                .expect("row exists");
+            let reference = rows
+                .iter()
+                .find(|r| r.name == *name && r.variant == "reference" && r.sigma == *sigma)
+                .expect("row exists");
+            let comma = if si + 1 == SIGMAS.len() { "" } else { ", " };
+            let _ = write!(s, "\"{}\": {:.2}{}", sigma, reference.min_ms / opt.min_ms, comma);
+        }
+        let _ = writeln!(s, "}}{}", if ni == 0 { "," } else { "" });
+    }
+    // At the scale the pre-rework baseline was recorded at, also report
+    // the speedup against it (measured on the same machine class and
+    // workload; see PRE_REWORK_CRITERION_MS).
+    if scale.db_size == pipeline_workload::scale().db_size {
+        s.push_str("  },\n  \"pre_rework_baseline\": {\n");
+        for (ni, name) in ["pis_prune", "pis_full"].iter().enumerate() {
+            let _ = write!(s, "    \"{name}\": {{");
+            for (si, sigma) in SIGMAS.iter().enumerate() {
+                let baseline_ms = PRE_REWORK_CRITERION_MS
+                    .iter()
+                    .find(|(n, sg, _)| n == name && sg == sigma)
+                    .map(|(_, _, ms)| *ms)
+                    .expect("baseline recorded for every experiment");
+                let opt = rows
+                    .iter()
+                    .find(|r| r.name == *name && r.variant == "optimized" && r.sigma == *sigma)
+                    .expect("row exists");
+                let comma = if si + 1 == SIGMAS.len() { "" } else { ", " };
+                let _ = write!(
+                    s,
+                    "\"{}\": {{\"baseline_ms\": {:.2}, \"now_ms\": {:.2}, \"speedup\": {:.2}}}{}",
+                    sigma,
+                    baseline_ms,
+                    opt.min_ms,
+                    baseline_ms / opt.min_ms,
+                    comma
+                );
+            }
+            let _ = writeln!(s, "}}{}", if ni == 0 { "," } else { "" });
+        }
+    }
+    s.push_str("  }\n");
+    s.push_str("}\n");
+    s
+}

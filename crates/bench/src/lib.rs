@@ -56,6 +56,26 @@ impl ExperimentScale {
     }
 }
 
+/// The canonical end-to-end pipeline workload, shared by the Criterion
+/// `bench_pipeline` bench and the `pipeline_bench` JSON bin so their
+/// numbers stay comparable (and comparable to the recorded perf
+/// trajectory in `BENCH_pipeline.json`).
+pub mod pipeline_workload {
+    use super::ExperimentScale;
+
+    /// Indexed fragment size.
+    pub const MAX_FRAGMENT_EDGES: usize = 5;
+    /// Query edge count (the paper's Q16 set).
+    pub const QUERY_EDGES: usize = 16;
+    /// Thresholds swept.
+    pub const SIGMAS: [f64; 3] = [1.0, 2.0, 4.0];
+
+    /// The scale both benchmarks run at.
+    pub fn scale() -> ExperimentScale {
+        ExperimentScale { db_size: 200, query_count: 5, ..ExperimentScale::smoke() }
+    }
+}
+
 /// A built evaluation environment.
 pub struct TestBed {
     /// The synthetic database.

@@ -10,9 +10,9 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use pis_graph::LabeledGraph;
+use pis_graph::{LabeledGraph, ScopedPool};
 
-use crate::search::PisSearcher;
+use crate::search::{PisSearcher, SearchScratch};
 
 /// Aggregate statistics of one funnel stage across a workload.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -95,27 +95,50 @@ impl fmt::Display for WorkloadReport {
 }
 
 /// Runs every query at `sigma` and aggregates the funnel.
+///
+/// Queries fan out across the shared [`ScopedPool`] (each worker reuses
+/// one [`SearchScratch`] for its whole chunk); per-query latency is
+/// still measured inside the worker, so under parallel execution it
+/// reports in-thread wall time, not end-to-end queueing delay.
 pub fn run_workload(
     searcher: &PisSearcher<'_>,
     queries: &[LabeledGraph],
     sigma: f64,
 ) -> WorkloadReport {
+    /// Fewer queries than this stay on the calling thread.
+    const PARALLEL_QUERY_THRESHOLD: usize = 8;
     let started = Instant::now();
+    let per_query = ScopedPool::default().map_with(
+        queries,
+        PARALLEL_QUERY_THRESHOLD,
+        SearchScratch::new,
+        |scratch, _, q| {
+            let t = Instant::now();
+            let outcome = searcher.search_with_scratch(q, sigma, scratch);
+            let latency_ms = t.elapsed().as_secs_f64() * 1e3;
+            (
+                outcome.stats.query_fragments as f64,
+                outcome.stats.candidates_after_intersection as f64,
+                outcome.stats.candidates_after_partition as f64,
+                outcome.stats.candidates_after_structure as f64,
+                outcome.answers.len() as f64,
+                latency_ms,
+            )
+        },
+    );
     let mut fragments = Vec::with_capacity(queries.len());
     let mut inter = Vec::with_capacity(queries.len());
     let mut part = Vec::with_capacity(queries.len());
     let mut structure = Vec::with_capacity(queries.len());
     let mut answers = Vec::with_capacity(queries.len());
     let mut latency = Vec::with_capacity(queries.len());
-    for q in queries {
-        let t = Instant::now();
-        let outcome = searcher.search(q, sigma);
-        latency.push(t.elapsed().as_secs_f64() * 1e3);
-        fragments.push(outcome.stats.query_fragments as f64);
-        inter.push(outcome.stats.candidates_after_intersection as f64);
-        part.push(outcome.stats.candidates_after_partition as f64);
-        structure.push(outcome.stats.candidates_after_structure as f64);
-        answers.push(outcome.answers.len() as f64);
+    for (f, i, p, s, a, l) in per_query {
+        fragments.push(f);
+        inter.push(i);
+        part.push(p);
+        structure.push(s);
+        answers.push(a);
+        latency.push(l);
     }
     WorkloadReport {
         queries: queries.len(),

@@ -12,8 +12,7 @@
 
 use pis_graph::{GraphId, LabeledGraph};
 
-use crate::search::{distance_dyn, PisSearcher};
-use crate::verify::min_superimposed_distance;
+use crate::search::{PisSearcher, SearchScratch};
 
 /// One k-NN result.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -57,27 +56,26 @@ impl PisSearcher<'_> {
         if k == 0 {
             return outcome;
         }
-        let distance = distance_dyn(self.index().distance());
         let mut config = self.config().clone();
         config.verify = false;
         config.structure_check = true;
         let prune = PisSearcher::new(self.index(), self.database(), config);
 
+        // One scratch serves every doubling round: widening re-runs the
+        // funnel over the same database, so all buffers carry over.
+        let mut scratch = SearchScratch::new();
+        let mut neighbors: Vec<Neighbor> = Vec::new();
         let mut radius = initial_radius;
         loop {
-            let candidates = prune.search(query, radius).candidates;
-            let mut neighbors: Vec<Neighbor> = Vec::new();
-            for gid in candidates {
-                outcome.verification_calls += 1;
-                if let Some(d) = min_superimposed_distance(
-                    query,
-                    &self.database()[gid.index()],
-                    distance,
-                    radius,
-                ) {
-                    neighbors.push(Neighbor { graph: gid, distance: d });
-                }
-            }
+            prune.search_into(query, radius, &mut scratch);
+            let candidates = scratch.candidates();
+            outcome.verification_calls += candidates.len();
+            neighbors.clear();
+            neighbors.extend(
+                self.verify_candidates(query, candidates, radius)
+                    .into_iter()
+                    .map(|(graph, distance)| Neighbor { graph, distance }),
+            );
             neighbors.sort_by(|a, b| {
                 a.distance
                     .partial_cmp(&b.distance)

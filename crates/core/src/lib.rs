@@ -33,5 +33,5 @@ pub use batch::{run_workload, WorkloadReport};
 pub use config::{PartitionAlgo, PisConfig};
 pub use explain::explain;
 pub use knn::{KnnOutcome, Neighbor};
-pub use search::{PisSearcher, SearchOutcome, SearchStats};
+pub use search::{PisSearcher, SearchOutcome, SearchScratch, SearchStats};
 pub use verify::min_superimposed_distance;

@@ -15,10 +15,33 @@
 //!    `Σ_{g ∈ P} d(g, G)` exceeds `σ` is pruned (lines 21–23);
 //! 6. optionally, survivors are verified with the branch-and-bound
 //!    matcher (step 3 of the PIS framework).
+//!
+//! # Performance (`DESIGN.md` §6)
+//!
+//! The funnel is engineered around three ideas:
+//!
+//! * **dense state** — the candidate set is a [`GraphBitSet`] (one bit
+//!   per database graph; intersections are word-parallel `AND`s) and
+//!   the partition lower bound accumulates in a generation-stamped
+//!   per-graph array, so step 5 reads hits sequentially instead of
+//!   binary-searching per candidate;
+//! * **reuse** — all of that state lives in a [`SearchScratch`] that
+//!   callers ([`PisSearcher::search_with_scratch`], `knn`'s radius
+//!   doubling, `run_workload`) thread through repeated searches, making
+//!   the steady-state serial funnel allocation-free;
+//! * **deduplication** — automorphic query fragments produce identical
+//!   `(feature, vector)` probes; each unique probe runs one range query
+//!   (memoized in the scratch), and large probe sets fan out across the
+//!   shared [`ScopedPool`].
+//!
+//! [`PisSearcher::search_reference`] keeps the seed's straight-line
+//! implementation as an executable specification; differential tests
+//! hold the optimized funnel to byte-identical outcomes against it.
 
 use pis_distance::SuperimposedDistance;
-use pis_graph::{GraphId, LabeledGraph};
-use pis_index::{FragmentIndex, IndexDistance, QueryFragment};
+use pis_graph::util::FxHashMap;
+use pis_graph::{GraphBitSet, GraphId, LabeledGraph, ScopedPool};
+use pis_index::{FragmentIndex, FragmentVector, IndexDistance, QueryFragment, RangeScratch};
 use pis_partition::{
     enhanced_greedy_mwis, exact_mwis, greedy_mwis, selection_weight, OverlapGraph,
 };
@@ -80,8 +103,112 @@ pub struct SearchOutcome {
 }
 
 /// A query fragment with its range-query hits (sorted by graph id) and
-/// its selectivity `w(g)`.
+/// its selectivity `w(g)` — the unit of the reference pipeline.
 type ScoredFragment = (QueryFragment, Vec<(GraphId, f64)>, f64);
+
+/// Unique probes below this count stay on the calling thread; above it
+/// the range queries fan out across the pool.
+const PARALLEL_FRAGMENT_THRESHOLD: usize = 48;
+
+/// Reusable state for the optimized candidate funnel.
+///
+/// One scratch serves any number of sequential searches (it re-sizes to
+/// the database on every call); after warm-up the serial funnel
+/// performs no heap allocation outside the returned [`SearchOutcome`]
+/// and the per-query fragment enumeration. (When a large probe set
+/// fans out across the pool, workers trade per-slot buffer allocations
+/// for core scaling.) Scratches are independent — one per thread for
+/// concurrent searches.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    /// Range-query dense accumulator (shared across the whole search).
+    range: RangeScratch,
+    /// The live candidate set `CQ`.
+    candidates: GraphBitSet,
+    /// Per-fragment membership mask, re-filled per intersection.
+    mask: GraphBitSet,
+    /// Partition lower-bound accumulator, stamped by `generation`.
+    bound: Vec<f64>,
+    /// How many partition fragments contained each graph, same stamp.
+    seen_in: Vec<u32>,
+    /// Generation stamp validating `bound`/`seen_in` slots.
+    stamp: Vec<u64>,
+    generation: u64,
+    /// Memo of unique `(feature, vector)` probes → slot index.
+    memo: FxHashMap<Vec<u64>, usize>,
+    /// Reusable probe-key assembly buffer.
+    key_buf: Vec<u64>,
+    /// Per-slot range-query hits (buffers reused across searches).
+    hits: Vec<Vec<(GraphId, f64)>>,
+    /// Per-slot selectivity `w(g)`.
+    weights: Vec<f64>,
+    /// Slots in use this search.
+    slots_used: usize,
+    /// Per-fragment slot assignment.
+    slot_of: Vec<usize>,
+    /// Fragment index that first produced each slot.
+    unique_fragment: Vec<usize>,
+    /// Which slots have already been intersected into `candidates`.
+    intersected: Vec<bool>,
+    /// The final candidate list of the last search, ascending.
+    cand_buf: Vec<GraphId>,
+}
+
+impl SearchScratch {
+    /// An empty scratch; it sizes itself on first use.
+    pub fn new() -> Self {
+        SearchScratch::default()
+    }
+
+    /// Candidates produced by the last `search_into` (sorted by id).
+    pub(crate) fn candidates(&self) -> &[GraphId] {
+        &self.cand_buf
+    }
+
+    /// Prepares for a search over `n` database graphs.
+    fn begin(&mut self, n: usize) {
+        self.candidates.reset(n);
+        self.mask.reset(n);
+        if self.bound.len() < n {
+            self.bound.resize(n, 0.0);
+            self.seen_in.resize(n, 0);
+            self.stamp.resize(n, 0);
+        }
+        self.memo.clear();
+        self.weights.clear();
+        self.slots_used = 0;
+        self.slot_of.clear();
+        self.unique_fragment.clear();
+        self.intersected.clear();
+        self.cand_buf.clear();
+    }
+
+    /// Maps a fragment to its unique-probe slot, allocating a new slot
+    /// for first-seen `(feature, vector)` pairs.
+    fn assign_slot(&mut self, fragment_idx: usize, fragment: &QueryFragment) {
+        self.key_buf.clear();
+        self.key_buf.push(fragment.feature.0 as u64);
+        match &fragment.vector {
+            FragmentVector::Labels(v) => self.key_buf.extend(v.iter().map(|l| l.0 as u64)),
+            FragmentVector::Weights(v) => self.key_buf.extend(v.iter().map(|w| w.to_bits())),
+        }
+        let slot = match self.memo.get(&self.key_buf) {
+            Some(&s) => s,
+            None => {
+                let s = self.slots_used;
+                self.slots_used += 1;
+                if self.hits.len() < self.slots_used {
+                    self.hits.push(Vec::new());
+                }
+                self.memo.insert(self.key_buf.clone(), s);
+                self.unique_fragment.push(fragment_idx);
+                self.intersected.push(false);
+                s
+            }
+        };
+        self.slot_of.push(slot);
+    }
+}
 
 /// The PIS search pipeline bound to an index and its database.
 pub struct PisSearcher<'a> {
@@ -121,7 +248,225 @@ impl<'a> PisSearcher<'a> {
 
     /// Runs Algorithm 2 (plus the structure check and verification if
     /// configured) for one query.
+    ///
+    /// Allocates a fresh [`SearchScratch`] per call; callers issuing
+    /// many searches should hold one and use
+    /// [`PisSearcher::search_with_scratch`].
     pub fn search(&self, query: &LabeledGraph, sigma: f64) -> SearchOutcome {
+        self.search_with_scratch(query, sigma, &mut SearchScratch::new())
+    }
+
+    /// [`PisSearcher::search`] with caller-provided scratch state, so
+    /// repeated searches reuse every internal buffer.
+    pub fn search_with_scratch(
+        &self,
+        query: &LabeledGraph,
+        sigma: f64,
+        scratch: &mut SearchScratch,
+    ) -> SearchOutcome {
+        let mut stats = self.search_into(query, sigma, scratch);
+        let candidates = scratch.cand_buf.clone();
+        let mut answers = Vec::new();
+        let mut answer_distances = Vec::new();
+        if self.config.verify {
+            stats.verification_calls = candidates.len();
+            for (gid, d) in self.verify_candidates(query, &candidates, sigma) {
+                answers.push(gid);
+                answer_distances.push(d);
+            }
+        }
+        SearchOutcome { candidates, answers, answer_distances, stats }
+    }
+
+    /// The pruning funnel (Algorithm 2 lines 3–23 plus the structure
+    /// check): leaves the candidate list in `scratch` and returns the
+    /// stage counters. Verification is the caller's business.
+    pub(crate) fn search_into(
+        &self,
+        query: &LabeledGraph,
+        sigma: f64,
+        scratch: &mut SearchScratch,
+    ) -> SearchStats {
+        let n = self.database.len();
+        let mut stats = SearchStats::default();
+
+        // Lines 3–4: enumerate indexed fragments.
+        let fragments = self.index.enumerate_query_fragments(query);
+        stats.query_fragments = fragments.len();
+
+        // Lines 6–18: one range query per *unique* `(feature, vector)`
+        // probe — automorphic fragments share hits and selectivity.
+        scratch.begin(n);
+        for (i, fragment) in fragments.iter().enumerate() {
+            scratch.assign_slot(i, fragment);
+        }
+        self.run_range_queries(&fragments, sigma, scratch);
+        for s in 0..scratch.slots_used {
+            scratch.weights.push(selectivity(&scratch.hits[s], n, sigma, self.config.lambda));
+        }
+
+        // `CQ` seeds from the first fragment's hits (the zero-fragment
+        // query keeps the full universe) and shrinks by word-parallel
+        // intersection; duplicate probes are idempotent and skipped.
+        if fragments.is_empty() {
+            scratch.candidates.fill();
+        } else {
+            let first = scratch.slot_of[0];
+            for &(g, _) in &scratch.hits[first] {
+                scratch.candidates.insert(g);
+            }
+            scratch.intersected[first] = true;
+            for fi in 1..fragments.len() {
+                let slot = scratch.slot_of[fi];
+                if scratch.intersected[slot] {
+                    continue;
+                }
+                scratch.intersected[slot] = true;
+                scratch.mask.clear();
+                for &(g, _) in &scratch.hits[slot] {
+                    scratch.mask.insert(g);
+                }
+                scratch.candidates.intersect_with(&scratch.mask);
+                if scratch.candidates.is_empty() {
+                    break;
+                }
+            }
+        }
+        stats.candidates_after_intersection = scratch.candidates.count();
+
+        // Line 5: drop fragments with selectivity <= epsilon.
+        let pool: Vec<usize> = (0..fragments.len())
+            .filter(|&fi| scratch.weights[scratch.slot_of[fi]] > self.config.epsilon)
+            .collect();
+        stats.fragments_in_pool = pool.len();
+
+        // Lines 19–20: overlapping-relation graph + MWIS partition.
+        let overlap_input: Vec<(f64, Vec<pis_graph::VertexId>)> = pool
+            .iter()
+            .map(|&fi| (scratch.weights[scratch.slot_of[fi]], fragments[fi].vertices.clone()))
+            .collect();
+        let overlap = OverlapGraph::new(&overlap_input);
+        let selection = match self.config.partition {
+            PartitionAlgo::Greedy => greedy_mwis(&overlap),
+            PartitionAlgo::EnhancedGreedy(k) => enhanced_greedy_mwis(&overlap, k),
+            PartitionAlgo::Exact => exact_mwis(&overlap),
+        };
+        stats.partition_size = selection.len();
+        stats.partition_weight = selection_weight(&overlap, &selection);
+
+        // Lines 21–23: partition lower-bound pruning. Each partition
+        // fragment's hits stream into a dense stamped accumulator; a
+        // candidate survives iff every partition fragment contained it
+        // and the summed bound stays within sigma.
+        let partition: Vec<usize> = selection.iter().map(|&i| pool[i]).collect();
+        stats.partition = partition
+            .iter()
+            .map(|&fi| PartitionFragment {
+                feature: fragments[fi].feature,
+                vertices: fragments[fi].vertices.len(),
+                weight: scratch.weights[scratch.slot_of[fi]],
+            })
+            .collect();
+        scratch.generation += 1;
+        let generation = scratch.generation;
+        for &fi in &partition {
+            for &(g, d) in &scratch.hits[scratch.slot_of[fi]] {
+                if !scratch.candidates.contains(g) {
+                    continue;
+                }
+                let i = g.index();
+                if scratch.stamp[i] != generation {
+                    scratch.stamp[i] = generation;
+                    scratch.bound[i] = d;
+                    scratch.seen_in[i] = 1;
+                } else {
+                    scratch.bound[i] += d;
+                    scratch.seen_in[i] += 1;
+                }
+            }
+        }
+        let members = partition.len() as u32;
+        for g in scratch.candidates.iter() {
+            let i = g.index();
+            let keep = members == 0
+                || (scratch.stamp[i] == generation
+                    && scratch.seen_in[i] == members
+                    && scratch.bound[i] <= sigma);
+            if keep {
+                scratch.cand_buf.push(g);
+            }
+        }
+        stats.candidates_after_partition = scratch.cand_buf.len();
+
+        // The gIndex substrate's exact containment test (the paper
+        // builds PIS on gIndex, so its candidates are always
+        // structure-containing graphs).
+        if self.config.structure_check {
+            let database = self.database;
+            scratch.cand_buf.retain(|gid| {
+                pis_graph::iso::is_subgraph(
+                    query,
+                    &database[gid.index()],
+                    pis_graph::iso::IsoConfig::STRUCTURE,
+                )
+            });
+        }
+        stats.candidates_after_structure = scratch.cand_buf.len();
+        stats
+    }
+
+    /// Runs one range query per unique probe slot, serially through the
+    /// shared scratch or fanned out across the pool for large probe
+    /// sets.
+    fn run_range_queries(
+        &self,
+        fragments: &[QueryFragment],
+        sigma: f64,
+        scratch: &mut SearchScratch,
+    ) {
+        let pool = ScopedPool::default();
+        let unique = scratch.slots_used;
+        // Inside a pool worker (e.g. a `run_workload` fan-out) a nested
+        // map would run serially anyway — take the scratch-reusing
+        // serial path directly instead of allocating per-probe buffers.
+        if pool.workers() > 1 && !ScopedPool::in_worker() && unique >= PARALLEL_FRAGMENT_THRESHOLD {
+            let index = self.index;
+            let results: Vec<Vec<(GraphId, f64)>> = pool.map_with(
+                &scratch.unique_fragment,
+                PARALLEL_FRAGMENT_THRESHOLD,
+                RangeScratch::new,
+                |range, _, &fi| {
+                    let f = &fragments[fi];
+                    let mut out = Vec::new();
+                    index.range_query_normalized_into(f.feature, &f.vector, sigma, range, &mut out);
+                    out
+                },
+            );
+            for (s, hits) in results.into_iter().enumerate() {
+                scratch.hits[s] = hits;
+            }
+        } else {
+            for s in 0..unique {
+                let f = &fragments[scratch.unique_fragment[s]];
+                self.index.range_query_normalized_into(
+                    f.feature,
+                    &f.vector,
+                    sigma,
+                    &mut scratch.range,
+                    &mut scratch.hits[s],
+                );
+            }
+        }
+    }
+
+    /// The seed's straight-line transcription of Algorithm 2, kept as an
+    /// executable specification of the optimized funnel: per-fragment
+    /// `Vec` intersection, per-candidate binary-search pruning, no
+    /// memoization, no scratch. Differential tests
+    /// (`tests/proptest_funnel.rs`) and the `pipeline_bench` baseline
+    /// hold [`PisSearcher::search`] to byte-identical `candidates`,
+    /// `answers` and `SearchStats` against this path.
+    pub fn search_reference(&self, query: &LabeledGraph, sigma: f64) -> SearchOutcome {
         let n = self.database.len();
         let mut stats = SearchStats::default();
 
@@ -137,9 +482,7 @@ impl<'a> PisSearcher<'a> {
         for fragment in fragments {
             let hits = self.index.range_query(fragment.feature, &fragment.vector, sigma);
             let w = selectivity(&hits, n, sigma, self.config.lambda);
-            if !candidates.is_empty() {
-                candidates = intersect_with_hits(&candidates, &hits);
-            }
+            candidates = intersect_with_hits(&candidates, &hits);
             scored.push((fragment, hits, w));
         }
         stats.candidates_after_intersection = candidates.len();
@@ -186,9 +529,6 @@ impl<'a> PisSearcher<'a> {
         });
         stats.candidates_after_partition = candidates.len();
 
-        // The gIndex substrate's exact containment test (the paper
-        // builds PIS on gIndex, so its candidates are always
-        // structure-containing graphs).
         if self.config.structure_check {
             candidates.retain(|gid| {
                 pis_graph::iso::is_subgraph(
@@ -214,9 +554,10 @@ impl<'a> PisSearcher<'a> {
         SearchOutcome { candidates, answers, answer_distances, stats }
     }
 
-    /// Verifies candidates, in parallel when the batch is large enough
-    /// to amortize thread startup. Results stay in candidate order.
-    fn verify_candidates(
+    /// Verifies candidates through the shared pool when the batch is
+    /// large enough to amortize thread startup. Results stay in
+    /// candidate order.
+    pub(crate) fn verify_candidates(
         &self,
         query: &LabeledGraph,
         candidates: &[GraphId],
@@ -229,26 +570,11 @@ impl<'a> PisSearcher<'a> {
             min_superimposed_distance(query, &self.database[gid.index()], distance, sigma)
                 .map(|d| (gid, d))
         };
-        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        if candidates.len() < PARALLEL_THRESHOLD || workers <= 1 {
-            return candidates.iter().copied().filter_map(verify_one).collect();
-        }
-        let chunk = candidates.len().div_ceil(workers);
-        let mut results: Vec<Vec<(GraphId, f64)>> = Vec::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = candidates
-                .chunks(chunk)
-                .map(|part| {
-                    scope.spawn(move || {
-                        part.iter().copied().filter_map(verify_one).collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                results.push(h.join().expect("verification worker panicked"));
-            }
-        });
-        results.into_iter().flatten().collect()
+        ScopedPool::default()
+            .map(candidates, PARALLEL_THRESHOLD, |_, &gid| verify_one(gid))
+            .into_iter()
+            .flatten()
+            .collect()
     }
 }
 
@@ -341,6 +667,47 @@ mod tests {
                     assert!(outcome.candidates.contains(a), "candidate set lost answer {a}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn optimized_funnel_equals_reference() {
+        let db = example_db();
+        let index = build_index(&db, 4);
+        let searcher = PisSearcher::new(&index, &db, PisConfig::default());
+        let mut scratch = SearchScratch::new();
+        for q in [
+            cycle_with_edge_labels(&[1, 1, 1, 1, 1, 1]),
+            cycle_with_edge_labels(&[1, 2, 1, 2, 1, 2]),
+        ] {
+            for sigma in [0.0, 1.0, 2.0, 4.0] {
+                let fast = searcher.search_with_scratch(&q, sigma, &mut scratch);
+                let reference = searcher.search_reference(&q, sigma);
+                assert_eq!(fast.candidates, reference.candidates, "sigma={sigma}");
+                assert_eq!(fast.answers, reference.answers, "sigma={sigma}");
+                assert_eq!(fast.stats, reference.stats, "sigma={sigma}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_leak_state_across_searches() {
+        let db = example_db();
+        let index = build_index(&db, 4);
+        let searcher = PisSearcher::new(&index, &db, PisConfig::default());
+        let mut scratch = SearchScratch::new();
+        let queries = [
+            cycle_with_edge_labels(&[1, 1, 1, 1, 1, 1]),
+            cycle_with_edge_labels(&[2, 2, 2, 2, 2, 2]),
+            cycle_with_edge_labels(&[1, 1, 1, 1, 1, 1]),
+        ];
+        let sigmas = [4.0, 0.0, 1.0];
+        for (q, sigma) in queries.iter().zip(sigmas) {
+            let reused = searcher.search_with_scratch(q, sigma, &mut scratch);
+            let fresh = searcher.search(q, sigma);
+            assert_eq!(reused.candidates, fresh.candidates);
+            assert_eq!(reused.answers, fresh.answers);
+            assert_eq!(reused.stats, fresh.stats);
         }
     }
 

@@ -1,0 +1,190 @@
+//! A dense bitset over database graph ids.
+//!
+//! The PIS candidate funnel repeatedly intersects "which graphs are
+//! still alive" sets whose universe is the whole database. A dense
+//! one-bit-per-graph representation makes every intersection a
+//! word-parallel `AND` over `n/64` words and makes membership tests a
+//! single shift — the constant factors the funnel lives on (`DESIGN.md`
+//! §6). The set is reusable: [`GraphBitSet::reset`] re-sizes and clears
+//! without giving back its allocation.
+
+use crate::ids::GraphId;
+
+/// Word width of the backing storage.
+const BITS: usize = u64::BITS as usize;
+
+/// A fixed-universe set of [`GraphId`]s backed by `u64` words.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GraphBitSet {
+    words: Vec<u64>,
+    /// Universe size in bits; the last word may be partial.
+    len: usize,
+}
+
+impl GraphBitSet {
+    /// An empty set over a universe of `len` graphs.
+    pub fn new(len: usize) -> Self {
+        GraphBitSet { words: vec![0; len.div_ceil(BITS)], len }
+    }
+
+    /// The universe size (number of addressable graphs, not the number
+    /// of members).
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    /// Clears the set and re-sizes its universe, keeping the allocation.
+    pub fn reset(&mut self, len: usize) {
+        self.len = len;
+        self.words.clear();
+        self.words.resize(len.div_ceil(BITS), 0);
+    }
+
+    /// Removes every member (universe unchanged).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Inserts every graph of the universe.
+    pub fn fill(&mut self) {
+        self.words.fill(u64::MAX);
+        // Mask the tail so `count`/iteration never see phantom members.
+        let tail = self.len % BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Adds `g` to the set. `g` must lie inside the universe: debug
+    /// builds panic on violation; release builds (this is the funnel's
+    /// innermost loop) skip the check, and an out-of-universe id either
+    /// panics on the word index or sets a phantom tail bit that later
+    /// iteration would surface.
+    #[inline]
+    pub fn insert(&mut self, g: GraphId) {
+        debug_assert!(g.index() < self.len, "graph id outside the bitset universe");
+        self.words[g.index() / BITS] |= 1u64 << (g.index() % BITS);
+    }
+
+    /// Whether `g` is a member.
+    #[inline]
+    pub fn contains(&self, g: GraphId) -> bool {
+        let w = g.index() / BITS;
+        w < self.words.len() && (self.words[w] >> (g.index() % BITS)) & 1 == 1
+    }
+
+    /// Word-parallel intersection: `self &= other`.
+    ///
+    /// # Panics
+    /// Panics if the universes differ.
+    pub fn intersect_with(&mut self, other: &GraphBitSet) {
+        assert_eq!(self.len, other.len, "bitset universes differ");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Number of members (popcount).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = GraphId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(GraphId((wi * BITS + b) as u32))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(set: &GraphBitSet) -> Vec<u32> {
+        set.iter().map(|g| g.0).collect()
+    }
+
+    #[test]
+    fn insert_and_contains_across_word_boundaries() {
+        let mut s = GraphBitSet::new(130);
+        assert!(s.is_empty());
+        for i in [0u32, 63, 64, 127, 129] {
+            s.insert(GraphId(i));
+        }
+        assert_eq!(s.count(), 5);
+        assert!(s.contains(GraphId(64)));
+        assert!(!s.contains(GraphId(65)));
+        assert_eq!(ids(&s), vec![0, 63, 64, 127, 129]);
+    }
+
+    #[test]
+    fn fill_masks_the_tail() {
+        let mut s = GraphBitSet::new(70);
+        s.fill();
+        assert_eq!(s.count(), 70);
+        assert_eq!(s.iter().last(), Some(GraphId(69)));
+        // A multiple-of-64 universe has no tail to mask.
+        let mut t = GraphBitSet::new(128);
+        t.fill();
+        assert_eq!(t.count(), 128);
+    }
+
+    #[test]
+    fn intersection_is_word_parallel_and() {
+        let mut a = GraphBitSet::new(200);
+        let mut b = GraphBitSet::new(200);
+        for i in (0..200).step_by(2) {
+            a.insert(GraphId(i));
+        }
+        for i in (0..200).step_by(3) {
+            b.insert(GraphId(i));
+        }
+        a.intersect_with(&b);
+        assert_eq!(ids(&a), (0..200).step_by(6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reset_keeps_nothing() {
+        let mut s = GraphBitSet::new(10);
+        s.fill();
+        s.reset(65);
+        assert_eq!(s.universe(), 65);
+        assert!(s.is_empty());
+        s.insert(GraphId(64));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn iter_yields_ascending_ids() {
+        let mut s = GraphBitSet::new(100);
+        for i in [90u32, 5, 40] {
+            s.insert(GraphId(i));
+        }
+        assert_eq!(ids(&s), vec![5, 40, 90]);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let mut s = GraphBitSet::new(0);
+        s.fill();
+        assert_eq!(s.count(), 0);
+        assert!(s.iter().next().is_none());
+    }
+}

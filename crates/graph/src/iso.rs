@@ -134,22 +134,63 @@ struct PlanStep {
     checks: Vec<(VertexId, EdgeId)>,
 }
 
+/// Targets above this size skip the adjacency-matrix bitset (quadratic
+/// memory); `edge_between` scans take over. Molecular graphs sit around
+/// 25 vertices, so in practice the matrix is always on.
+const ADJ_BITS_MAX_VERTICES: usize = 4096;
+
+/// Dense target adjacency: one bitset row per vertex, so the matcher's
+/// edge-existence checks are a shift and a mask instead of an
+/// adjacency-list scan.
+struct AdjBits {
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl AdjBits {
+    fn build(g: &LabeledGraph) -> Option<AdjBits> {
+        let n = g.vertex_count();
+        if n > ADJ_BITS_MAX_VERTICES {
+            return None;
+        }
+        let words_per_row = n.div_ceil(64);
+        let mut bits = vec![0u64; n * words_per_row];
+        for e in g.edges() {
+            let (u, v) = (e.source.index(), e.target.index());
+            bits[u * words_per_row + v / 64] |= 1 << (v % 64);
+            bits[v * words_per_row + u / 64] |= 1 << (u % 64);
+        }
+        Some(AdjBits { words_per_row, bits })
+    }
+
+    #[inline]
+    fn contains(&self, u: VertexId, v: VertexId) -> bool {
+        (self.bits[u.index() * self.words_per_row + v.index() / 64] >> (v.index() % 64)) & 1 == 1
+    }
+}
+
 /// VF2-style matcher for one `(pattern, target)` pair.
 ///
 /// The matcher precomputes a connected matching order over the pattern
-/// once and can then run several searches.
+/// once and can then run several searches. The order is guided by the
+/// target (see `build_plan`): vertices with many already-placed
+/// neighbors go first so every structural constraint fires as early as
+/// possible, with rare-labeled and high-degree vertices breaking ties.
 pub struct SubgraphMatcher<'a> {
     pattern: &'a LabeledGraph,
     target: &'a LabeledGraph,
     config: IsoConfig,
     plan: Vec<PlanStep>,
+    adj: Option<AdjBits>,
 }
 
 impl<'a> SubgraphMatcher<'a> {
-    /// Builds a matcher; cost is linear in the pattern size.
+    /// Builds a matcher; cost is near-linear in the two graph sizes
+    /// (plus one adjacency-bitset row per target vertex).
     pub fn new(pattern: &'a LabeledGraph, target: &'a LabeledGraph, config: IsoConfig) -> Self {
-        let plan = build_plan(pattern);
-        SubgraphMatcher { pattern, target, config, plan }
+        let plan = build_plan(pattern, target, config);
+        let adj = AdjBits::build(target);
+        SubgraphMatcher { pattern, target, config, plan, adj }
     }
 
     /// Runs the search, driving `visitor`.
@@ -160,7 +201,10 @@ impl<'a> SubgraphMatcher<'a> {
         }
         let mut map: Vec<VertexId> = vec![VertexId(u32::MAX); n];
         let mut used = vec![false; self.target.vertex_count()];
-        let _ = self.recurse(0, &mut map, &mut used, visitor);
+        // One reusable buffer for every complete embedding the visitor
+        // sees: `clone_from` keeps its allocation alive across hits.
+        let mut embedding = Embedding { map: Vec::with_capacity(n) };
+        let _ = self.recurse(0, &mut map, &mut used, &mut embedding, visitor);
     }
 
     fn recurse(
@@ -168,28 +212,28 @@ impl<'a> SubgraphMatcher<'a> {
         depth: usize,
         map: &mut Vec<VertexId>,
         used: &mut [bool],
+        embedding: &mut Embedding,
         visitor: &mut dyn MatchVisitor,
     ) -> ControlFlow<()> {
         if depth == self.plan.len() {
-            let embedding = Embedding { map: map.clone() };
-            return visitor.complete(&embedding);
+            embedding.map.clone_from(map);
+            return visitor.complete(embedding);
         }
         let step = &self.plan[depth];
         let p = step.vertex;
         match step.anchor {
             Some(q) => {
-                // Candidates: neighbors of the image of the anchor.
+                // Candidates: neighbors of the image of the anchor. The
+                // slice borrows the target for 'a, disjoint from
+                // `map`/`used`.
                 let image = map[q.index()];
-                // Clone-free iteration: adjacency slices borrow target,
-                // which is disjoint from `map`/`used`.
-                for i in 0..self.target.neighbors(image).len() {
-                    let (t, _) = self.target.neighbors(image)[i];
-                    self.try_candidate(depth, p, t, map, used, visitor)?;
+                for &(t, _) in self.target.neighbors(image) {
+                    self.try_candidate(depth, p, t, map, used, embedding, visitor)?;
                 }
             }
             None => {
                 for t in 0..self.target.vertex_count() as u32 {
-                    self.try_candidate(depth, p, VertexId(t), map, used, visitor)?;
+                    self.try_candidate(depth, p, VertexId(t), map, used, embedding, visitor)?;
                 }
             }
         }
@@ -197,6 +241,7 @@ impl<'a> SubgraphMatcher<'a> {
     }
 
     #[inline]
+    #[allow(clippy::too_many_arguments)] // private hot path; the args are the search state
     fn try_candidate(
         &self,
         depth: usize,
@@ -204,6 +249,7 @@ impl<'a> SubgraphMatcher<'a> {
         t: VertexId,
         map: &mut Vec<VertexId>,
         used: &mut [bool],
+        embedding: &mut Embedding,
         visitor: &mut dyn MatchVisitor,
     ) -> ControlFlow<()> {
         if used[t.index()] {
@@ -219,13 +265,27 @@ impl<'a> SubgraphMatcher<'a> {
         }
         let step = &self.plan[depth];
         for &(q, pe) in &step.checks {
-            let Some(te) = self.target.edge_between(map[q.index()], t) else {
-                return ControlFlow::Continue(());
-            };
-            if self.config.respect_edge_labels
-                && self.pattern.edge(pe).attr.label != self.target.edge(te).attr.label
-            {
-                return ControlFlow::Continue(());
+            let tq = map[q.index()];
+            if let Some(adj) = &self.adj {
+                if !adj.contains(tq, t) {
+                    return ControlFlow::Continue(());
+                }
+                if self.config.respect_edge_labels {
+                    let te =
+                        self.target.edge_between(tq, t).expect("adjacency bit implies an edge");
+                    if self.pattern.edge(pe).attr.label != self.target.edge(te).attr.label {
+                        return ControlFlow::Continue(());
+                    }
+                }
+            } else {
+                let Some(te) = self.target.edge_between(tq, t) else {
+                    return ControlFlow::Continue(());
+                };
+                if self.config.respect_edge_labels
+                    && self.pattern.edge(pe).attr.label != self.target.edge(te).attr.label
+                {
+                    return ControlFlow::Continue(());
+                }
             }
         }
         if !visitor.assign(p, t) {
@@ -233,7 +293,7 @@ impl<'a> SubgraphMatcher<'a> {
         }
         map[p.index()] = t;
         used[t.index()] = true;
-        let flow = self.recurse(depth + 1, map, used, visitor);
+        let flow = self.recurse(depth + 1, map, used, embedding, visitor);
         used[t.index()] = false;
         map[p.index()] = VertexId(u32::MAX);
         visitor.unassign(p, t);
@@ -286,48 +346,72 @@ impl<'a> SubgraphMatcher<'a> {
     }
 }
 
-/// Matching order: BFS from the highest-degree vertex of every component,
-/// so each step after a component's first always has a matched anchor.
-fn build_plan(pattern: &LabeledGraph) -> Vec<PlanStep> {
+/// Matching order: connectivity-first greedy selection, guided by the
+/// target.
+///
+/// At every step the next pattern vertex is the unplaced one with
+///
+/// 1. the most already-placed neighbors (every placed neighbor is a
+///    structural constraint that fires the moment the vertex is tried —
+///    the core idea of VF2++'s ordering),
+/// 2. then the rarest label among target vertices (label-respecting
+///    configs only: fewer candidate images, smaller branching factor),
+/// 3. then the highest pattern degree (dense regions constrain first),
+/// 4. then the smallest id (determinism).
+///
+/// Because criterion 1 dominates, a vertex adjacent to the placed
+/// prefix is always preferred over starting a new region: each
+/// component is matched contiguously and every step after a
+/// component's first has an anchor.
+fn build_plan(pattern: &LabeledGraph, target: &LabeledGraph, config: IsoConfig) -> Vec<PlanStep> {
     let n = pattern.vertex_count();
+    // How many target vertices could host each pattern vertex, by label.
+    // Erased/uniform labels make this a constant, disabling criterion 2.
+    let rarity: Vec<usize> = if config.respect_vertex_labels {
+        pattern
+            .vertex_ids()
+            .map(|p| {
+                let label = pattern.vertex(p).label;
+                target.vertex_ids().filter(|&t| target.vertex(t).label == label).count()
+            })
+            .collect()
+    } else {
+        vec![0; n]
+    };
     let mut placed = vec![false; n];
+    let mut back_degree = vec![0usize; n];
     let mut plan: Vec<PlanStep> = Vec::with_capacity(n);
-    // Component roots in order of decreasing degree (ties: smaller id),
-    // so dense parts of the pattern constrain the search first.
-    let mut roots: Vec<VertexId> = pattern.vertex_ids().collect();
-    roots.sort_by_key(|v| (usize::MAX - pattern.degree(*v), v.0));
-    for root in roots {
-        if placed[root.index()] {
-            continue;
-        }
-        placed[root.index()] = true;
-        plan.push(PlanStep { vertex: root, anchor: None, checks: Vec::new() });
-        let mut queue = std::collections::VecDeque::from([root]);
-        while let Some(v) = queue.pop_front() {
-            // Visit neighbors by decreasing degree for better pruning.
-            let mut nbrs: Vec<VertexId> = pattern.neighbors(v).iter().map(|&(w, _)| w).collect();
-            nbrs.sort_by_key(|w| (usize::MAX - pattern.degree(*w), w.0));
-            for w in nbrs {
-                if placed[w.index()] {
-                    continue;
-                }
-                placed[w.index()] = true;
-                let checks: Vec<(VertexId, EdgeId)> = pattern
-                    .neighbors(w)
-                    .iter()
-                    .filter(|(q, _)| placed[q.index()] && *q != w)
-                    .map(|&(q, e)| (q, e))
-                    .collect();
-                // `w` was reached from `v`, so `v` is always in checks.
-                plan.push(PlanStep { vertex: w, anchor: Some(v), checks });
-                queue.push_back(w);
+    for _ in 0..n {
+        let mut best: Option<VertexId> = None;
+        let mut best_key = (0usize, usize::MAX, 0usize, u32::MAX);
+        for v in pattern.vertex_ids() {
+            if placed[v.index()] {
+                continue;
+            }
+            // Lexicographic: back-degree desc, rarity asc, degree desc,
+            // id asc — encoded so the largest tuple wins.
+            let key = (
+                back_degree[v.index()] + 1,
+                usize::MAX - rarity[v.index()],
+                pattern.degree(v),
+                u32::MAX - v.0,
+            );
+            if best.is_none() || key > best_key {
+                best = Some(v);
+                best_key = key;
             }
         }
+        let v = best.expect("an unplaced vertex remains");
+        placed[v.index()] = true;
+        for &(w, _) in pattern.neighbors(v) {
+            back_degree[w.index()] += 1;
+        }
+        // Anchor: the earliest-placed neighbor (its image bounds the
+        // candidate set); filled in below once positions are final.
+        plan.push(PlanStep { vertex: v, anchor: None, checks: Vec::new() });
     }
     debug_assert_eq!(plan.len(), n);
-    // checks listed above only include vertices placed *before* w by
-    // construction of BFS? No: `placed` may include vertices queued after
-    // w in the same BFS level. Re-derive checks strictly by plan position.
+    // Derive anchors and checks strictly by plan position.
     let mut position = vec![usize::MAX; n];
     for (i, step) in plan.iter().enumerate() {
         position[step.vertex.index()] = i;
@@ -339,6 +423,7 @@ fn build_plan(pattern: &LabeledGraph) -> Vec<PlanStep> {
             .filter(|(q, _)| position[q.index()] < i)
             .map(|&(q, e)| (q, e))
             .collect();
+        step.anchor = step.checks.iter().min_by_key(|(q, _)| position[q.index()]).map(|&(q, _)| q);
     }
     plan
 }

@@ -15,11 +15,15 @@
 //! * [`enumerate`] — connected-subgraph enumeration with canonical
 //!   deduplication, used for exhaustive feature generation.
 //! * [`io`] — a small line-oriented text format for graph databases.
+//! * [`bitset`] / [`pool`] — a dense [`GraphBitSet`] over database ids
+//!   and the shared [`ScopedPool`] chunking utility, the performance
+//!   substrate of the candidate funnel (`DESIGN.md` §6).
 //!
 //! The crate is dependency-free and `#![forbid(unsafe_code)]` (enforced
 //! workspace-wide).
 
 pub mod algo;
+pub mod bitset;
 pub mod canonical;
 pub mod enumerate;
 pub mod error;
@@ -27,9 +31,12 @@ pub mod graph;
 pub mod ids;
 pub mod io;
 pub mod iso;
+pub mod pool;
 pub mod util;
 
+pub use bitset::GraphBitSet;
 pub use error::GraphError;
 pub use graph::{Edge, EdgeAttr, GraphBuilder, LabeledGraph, VertexAttr};
 pub use ids::{EdgeId, GraphId, Label, VertexId};
 pub use iso::{Embedding, IsoConfig, SubgraphMatcher};
+pub use pool::ScopedPool;

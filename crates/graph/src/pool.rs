@@ -1,0 +1,219 @@
+//! The workspace's one scoped thread-pool utility.
+//!
+//! Index build, candidate verification, batch workloads and per-fragment
+//! range queries all want the same thing: "map this slice across the
+//! cores, keep the results in input order, and don't bother below a
+//! break-even batch size". Before this module each site hand-rolled its
+//! own `std::thread::scope` chunking; they now share this one, so the
+//! chunking policy, the break-even guard and the panic story live in a
+//! single place.
+//!
+//! Threads are scoped (borrowed inputs need no `'static`) and spawned
+//! per call — at one job per core per call the spawn cost is noise next
+//! to the work each site ships, and a persistent pool would drag in
+//! channels and lifetime plumbing the workspace otherwise avoids.
+//!
+//! Fan-outs do not nest: a `map` issued from inside a pool worker runs
+//! serially (a thread-local marks worker threads), so composed sites —
+//! a batch of queries whose searches would each fan out verification —
+//! stay at one thread per core instead of workers².
+
+std::thread_local! {
+    /// Set inside pool workers so nested `map` calls run serially —
+    /// an outer fan-out already owns the cores, and stacking fan-outs
+    /// (e.g. a batch of queries each verifying candidates in parallel)
+    /// would oversubscribe workers² threads.
+    static IN_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// A chunking policy over scoped threads.
+#[derive(Clone, Copy, Debug)]
+pub struct ScopedPool {
+    workers: usize,
+}
+
+impl ScopedPool {
+    /// A pool with `workers` threads; `0` means one per available core.
+    pub fn new(workers: usize) -> Self {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            workers
+        };
+        ScopedPool { workers }
+    }
+
+    /// Number of worker threads the pool will use.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Whether the current thread is a pool worker. Fan-outs issued
+    /// from workers run serially; callers that keep dedicated state for
+    /// the parallel branch (fresh per-worker buffers instead of a
+    /// shared scratch) should check this and take their serial,
+    /// state-reusing path directly.
+    pub fn in_worker() -> bool {
+        IN_POOL_WORKER.with(|w| w.get())
+    }
+
+    /// Maps `f` over `items`, returning results in input order.
+    ///
+    /// Runs serially when the pool has one worker or `items` is shorter
+    /// than `min_parallel` (below break-even, threads cost more than
+    /// they save); otherwise chunks the slice across scoped threads.
+    pub fn map<T, R>(
+        &self,
+        items: &[T],
+        min_parallel: usize,
+        f: impl Fn(usize, &T) -> R + Sync,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+    {
+        self.map_with(items, min_parallel, || (), |(), i, item| f(i, item))
+    }
+
+    /// Like [`ScopedPool::map`], but hands every worker its own state
+    /// built by `init` — scratch buffers, RNGs, anything `f` wants to
+    /// reuse across the items of one chunk. The serial path builds the
+    /// state once and reuses it for every item.
+    pub fn map_with<S, T, R>(
+        &self,
+        items: &[T],
+        min_parallel: usize,
+        init: impl Fn() -> S + Sync,
+        f: impl Fn(&mut S, usize, &T) -> R + Sync,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+    {
+        if self.workers <= 1
+            || items.len() < min_parallel.max(2)
+            || IN_POOL_WORKER.with(|w| w.get())
+        {
+            let mut state = init();
+            return items.iter().enumerate().map(|(i, item)| f(&mut state, i, item)).collect();
+        }
+        let chunk = items.len().div_ceil(self.workers);
+        let mut results: Vec<Vec<R>> = Vec::with_capacity(items.len().div_ceil(chunk));
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .enumerate()
+                .map(|(ci, part)| {
+                    let f = &f;
+                    let init = &init;
+                    scope.spawn(move || {
+                        IN_POOL_WORKER.with(|w| w.set(true));
+                        let mut state = init();
+                        part.iter()
+                            .enumerate()
+                            .map(|(i, item)| f(&mut state, ci * chunk + i, item))
+                            .collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("scoped pool worker panicked"));
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+}
+
+impl Default for ScopedPool {
+    /// One worker per available core.
+    fn default() -> Self {
+        ScopedPool::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_stay_in_input_order() {
+        let items: Vec<u32> = (0..100).collect();
+        for workers in [1, 2, 7] {
+            let pool = ScopedPool::new(workers);
+            let doubled = pool.map(&items, 0, |i, &x| (i, x * 2));
+            assert_eq!(doubled.len(), 100);
+            for (i, (idx, v)) in doubled.iter().enumerate() {
+                assert_eq!(*idx, i);
+                assert_eq!(*v, items[i] * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn below_break_even_runs_serially_with_one_state() {
+        let pool = ScopedPool::new(8);
+        // Count how many states get built: serial path builds exactly one.
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        let out = pool.map_with(
+            &[1, 2, 3],
+            64,
+            || counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst),
+            |_, _, &x: &i32| x,
+        );
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_within_a_chunk() {
+        let pool = ScopedPool::new(2);
+        // Each worker's state counts the items it saw; totals must cover
+        // the input exactly once.
+        let seen: Vec<usize> = pool.map_with(
+            &[0u8; 64],
+            2,
+            || 0usize,
+            |state, _, _| {
+                *state += 1;
+                *state
+            },
+        );
+        assert_eq!(seen.len(), 64);
+        // Counts restart per worker but each item was visited once.
+        assert!(seen.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn zero_workers_means_available_parallelism() {
+        assert!(ScopedPool::new(0).workers() >= 1);
+        assert!(ScopedPool::default().workers() >= 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let pool = ScopedPool::new(4);
+        let out: Vec<i32> = pool.map(&[] as &[i32], 0, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn nested_fan_outs_run_serially_in_workers() {
+        // An inner map issued from inside a pool worker must not spawn
+        // its own threads: its per-call state counter stays at one
+        // state for all items (the serial path), whereas a top-level
+        // inner map with the same shape would chunk across workers.
+        let outer = ScopedPool::new(4);
+        let states_per_inner: Vec<usize> = outer.map(&[(); 8], 2, |_, _| {
+            let counter = std::sync::atomic::AtomicUsize::new(0);
+            let inner = ScopedPool::new(4);
+            inner.map_with(
+                &[(); 16],
+                2,
+                || counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst),
+                |_, _, _| (),
+            );
+            counter.load(std::sync::atomic::Ordering::SeqCst)
+        });
+        assert!(states_per_inner.iter().all(|&n| n == 1), "nested map spawned workers");
+    }
+}

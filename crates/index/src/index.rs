@@ -12,8 +12,8 @@ use std::ops::ControlFlow;
 
 use pis_distance::{LinearDistance, MutationDistance};
 use pis_graph::iso::{IsoConfig, SubgraphMatcher};
-use pis_graph::util::{FxHashMap, FxHashSet};
-use pis_graph::{GraphId, Label, LabeledGraph};
+use pis_graph::util::FxHashSet;
+use pis_graph::{GraphId, Label, LabeledGraph, ScopedPool};
 use pis_mining::{FeatureId, FeatureSet};
 
 use crate::fragment::{label_vector, weight_vector, FragmentVector, QueryFragment};
@@ -122,6 +122,40 @@ impl Default for IndexConfig {
     }
 }
 
+/// Reusable state for [`FragmentIndex::range_query_normalized_into`]:
+/// a generation-stamped dense per-graph minimum, so repeated range
+/// queries neither hash nor allocate. One scratch serves any number of
+/// sequential queries against indexes of any size (it grows to the
+/// largest database seen).
+#[derive(Clone, Debug, Default)]
+pub struct RangeScratch {
+    /// Which generation last wrote each graph's slot.
+    stamp: Vec<u64>,
+    /// Minimum distance seen this generation (valid iff stamp matches).
+    best: Vec<f64>,
+    /// Graphs touched this generation — the hits, in visit order.
+    touched: Vec<GraphId>,
+    /// Monotone query counter.
+    generation: u64,
+}
+
+impl RangeScratch {
+    /// An empty scratch; it sizes itself on first use.
+    pub fn new() -> Self {
+        RangeScratch::default()
+    }
+
+    /// Opens a new generation over a universe of `n` graphs.
+    fn begin(&mut self, n: usize) {
+        self.generation += 1;
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.best.resize(n, 0.0);
+        }
+        self.touched.clear();
+    }
+}
+
 pub(crate) enum ClassImpl {
     Trie(LabelTrie),
     VpLabels(VpTree<Vec<Label>>),
@@ -166,41 +200,11 @@ impl FragmentIndex {
             }
             _ => {}
         }
-        let n_threads = if config.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        } else {
-            config.threads
-        };
+        // Features are independent: map them across the shared pool and
+        // reassemble in feature order.
         let ids: Vec<FeatureId> = features.iter().map(|f| f.id).collect();
-        let classes: Vec<ClassIndex> = if n_threads <= 1 || ids.len() <= 1 {
-            ids.iter().map(|&f| build_class(db, &features, f, &distance, config)).collect()
-        } else {
-            // Features are independent: chunk them across scoped threads
-            // and reassemble in feature order.
-            let chunk = ids.len().div_ceil(n_threads);
-            let mut results: Vec<Option<Vec<ClassIndex>>> = Vec::new();
-            results.resize_with(ids.len().div_ceil(chunk), || None);
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for (ci, ids_chunk) in ids.chunks(chunk).enumerate() {
-                    let features = &features;
-                    let distance = &distance;
-                    handles.push((
-                        ci,
-                        scope.spawn(move || {
-                            ids_chunk
-                                .iter()
-                                .map(|&f| build_class(db, features, f, distance, config))
-                                .collect::<Vec<_>>()
-                        }),
-                    ));
-                }
-                for (ci, h) in handles {
-                    results[ci] = Some(h.join().expect("index build worker panicked"));
-                }
-            });
-            results.into_iter().flatten().flatten().collect()
-        };
+        let classes: Vec<ClassIndex> = ScopedPool::new(config.threads)
+            .map(&ids, 2, |_, &f| build_class(db, &features, f, &distance, config));
         FragmentIndex { features, distance, classes, graph_count: db.len(), config: config.clone() }
     }
 
@@ -301,16 +305,49 @@ impl FragmentIndex {
         vector: &FragmentVector,
         sigma: f64,
     ) -> Vec<(GraphId, f64)> {
-        let class = &self.classes[feature.index()];
-        let ecount = self.features.get(feature).edge_count();
         // Stored vectors are normalized; normalize the probe so
         // externally-built vectors compare correctly.
+        let ecount = self.features.get(feature).edge_count();
         let mut normalized = vector.clone();
         self.distance.normalize(ecount, &mut normalized);
-        let vector = &normalized;
-        let mut best: FxHashMap<GraphId, f64> = FxHashMap::default();
+        let mut scratch = RangeScratch::default();
+        let mut out = Vec::new();
+        self.range_query_normalized_into(feature, &normalized, sigma, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`FragmentIndex::range_query`] without the per-call allocations:
+    /// the per-graph minimum is kept in `scratch`'s dense accumulator
+    /// (no hash map) and hits are appended to `out` (cleared first),
+    /// sorted by graph id.
+    ///
+    /// The probe `vector` must already be normalized for this index —
+    /// true of every vector produced by
+    /// [`FragmentIndex::enumerate_query_fragments`]. Normalization is
+    /// idempotent, so a pre-normalized probe through [`Self::range_query`]
+    /// and this method return identical hits.
+    pub fn range_query_normalized_into(
+        &self,
+        feature: FeatureId,
+        vector: &FragmentVector,
+        sigma: f64,
+        scratch: &mut RangeScratch,
+        out: &mut Vec<(GraphId, f64)>,
+    ) {
+        let class = &self.classes[feature.index()];
+        let ecount = self.features.get(feature).edge_count();
+        scratch.begin(self.graph_count);
+        let RangeScratch { stamp, best, touched, generation } = scratch;
+        let generation = *generation;
         let visit = |g: GraphId, d: f64| {
-            best.entry(g).and_modify(|cur| *cur = cur.min(d)).or_insert(d);
+            let i = g.index();
+            if stamp[i] != generation {
+                stamp[i] = generation;
+                best[i] = d;
+                touched.push(g);
+            } else if d < best[i] {
+                best[i] = d;
+            }
         };
         match (&class.imp, vector, &self.distance) {
             (
@@ -356,29 +393,41 @@ impl FragmentIndex {
             }
             _ => panic!("fragment vector kind does not match the class backend"),
         }
-        let mut out: Vec<(GraphId, f64)> = best.into_iter().collect();
-        out.sort_by_key(|&(g, _)| g);
-        out
+        out.clear();
+        scratch.touched.sort_unstable();
+        out.extend(scratch.touched.iter().map(|&g| (g, scratch.best[g.index()])));
     }
 
     /// Enumerates the indexed fragments of a query graph (Algorithm 2,
     /// lines 3–4), deduplicated by `(feature, vertex image, edge image)`
     /// so automorphic re-readings issue one range query each.
+    ///
+    /// The dedup key is assembled in one reusable buffer
+    /// (`[feature, sorted vertices…, sorted edges…]`) and checked with a
+    /// borrowed `contains` first, so the common duplicate case — every
+    /// automorphic re-reading after the first — allocates nothing.
     pub fn enumerate_query_fragments(&self, query: &LabeledGraph) -> Vec<QueryFragment> {
         let mut out = Vec::new();
-        let mut seen: FxHashSet<(u32, Vec<u32>, Vec<u32>)> = FxHashSet::default();
+        let mut seen: FxHashSet<Vec<u32>> = FxHashSet::default();
+        let mut key: Vec<u32> = Vec::new();
         for feature in self.features.iter() {
             let matcher = SubgraphMatcher::new(&feature.structure, query, IsoConfig::STRUCTURE);
             matcher.for_each(|emb| {
-                let mut vertices: Vec<u32> = emb.vertex_map().iter().map(|v| v.0).collect();
-                vertices.sort_unstable();
-                let mut edges: Vec<u32> = feature
-                    .structure
-                    .edge_ids()
-                    .map(|e| emb.edge_image(&feature.structure, query, e).0)
-                    .collect();
-                edges.sort_unstable();
-                if seen.insert((feature.id.0, vertices.clone(), edges)) {
+                key.clear();
+                key.push(feature.id.0);
+                let vertex_slots = key.len();
+                key.extend(emb.vertex_map().iter().map(|v| v.0));
+                key[vertex_slots..].sort_unstable();
+                let edge_slots = key.len();
+                key.extend(
+                    feature
+                        .structure
+                        .edge_ids()
+                        .map(|e| emb.edge_image(&feature.structure, query, e).0),
+                );
+                key[edge_slots..].sort_unstable();
+                if !seen.contains(key.as_slice()) {
+                    seen.insert(key.clone());
                     let mut vector = match &self.distance {
                         IndexDistance::Mutation(_) => {
                             FragmentVector::Labels(label_vector(&feature.structure, query, emb))
@@ -390,7 +439,10 @@ impl FragmentIndex {
                     self.distance.normalize(feature.structure.edge_count(), &mut vector);
                     out.push(QueryFragment {
                         feature: feature.id,
-                        vertices: vertices.into_iter().map(pis_graph::VertexId).collect(),
+                        vertices: key[vertex_slots..edge_slots]
+                            .iter()
+                            .map(|&v| pis_graph::VertexId(v))
+                            .collect(),
                         vector,
                     });
                 }
@@ -761,7 +813,7 @@ mod tests {
         let query = cycle_graph(6, Label(0), Label(1));
         let frags = index.enumerate_query_fragments(&query);
         // 1-edge fragments: 6 sites; 2-edge path fragments: 6 sites.
-        let mut by_feature: FxHashMap<u32, usize> = FxHashMap::default();
+        let mut by_feature: pis_graph::util::FxHashMap<u32, usize> = Default::default();
         for f in &frags {
             *by_feature.entry(f.feature.0).or_insert(0) += 1;
         }

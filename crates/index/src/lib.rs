@@ -31,6 +31,6 @@ pub mod trie;
 pub mod vptree;
 
 pub use fragment::{FragmentVector, QueryFragment};
-pub use index::{Backend, FragmentIndex, IndexConfig, IndexDistance};
+pub use index::{Backend, FragmentIndex, IndexConfig, IndexDistance, RangeScratch};
 pub use persist::{load_index, save_index, PersistError};
 pub use trie::LabelTrie;

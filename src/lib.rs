@@ -60,7 +60,7 @@ use pis_mining::{FeatureSet, GindexConfig};
 /// Everything needed for typical use.
 pub mod prelude {
     pub use crate::{FeatureSource, PisSystem, PisSystemBuilder};
-    pub use pis_core::{PartitionAlgo, PisConfig, SearchOutcome, SearchStats};
+    pub use pis_core::{PartitionAlgo, PisConfig, SearchOutcome, SearchScratch, SearchStats};
     pub use pis_datasets::{DatasetStats, MoleculeConfig, MoleculeGenerator};
     pub use pis_distance::{LinearDistance, MutationDistance, ScoreMatrix, SuperimposedDistance};
     pub use pis_graph::{
@@ -207,11 +207,18 @@ impl PisSystem {
         &self.config
     }
 
+    /// A searcher bound to this system's index, database and
+    /// configuration. Hold one (plus a `SearchScratch`) to run many
+    /// queries without re-allocating the funnel's internal state.
+    pub fn searcher(&self) -> PisSearcher<'_> {
+        PisSearcher::new(&self.index, &self.database, self.config.clone())
+    }
+
     /// Answers an SSSD query: all graphs within superimposed distance
     /// `sigma` of `query` (Definition 2), via Algorithm 2 plus
     /// verification.
     pub fn search(&self, query: &LabeledGraph, sigma: f64) -> SearchOutcome {
-        PisSearcher::new(&self.index, &self.database, self.config.clone()).search(query, sigma)
+        self.searcher().search(query, sigma)
     }
 
     /// Runs the search with an overridden configuration.
@@ -227,7 +234,7 @@ impl PisSystem {
     /// Finds the `k` structurally matching graphs nearest to `query`
     /// (top-k form of SSSD, via progressive radius widening).
     pub fn knn(&self, query: &LabeledGraph, k: usize) -> pis_core::KnnOutcome {
-        let searcher = PisSearcher::new(&self.index, &self.database, self.config.clone());
+        let searcher = self.searcher();
         // Mutation distances are bounded by the per-element maxima times
         // the query size; linear distances get a generous cap.
         let max_radius = match self.index.distance() {

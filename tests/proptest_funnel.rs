@@ -1,0 +1,173 @@
+//! Differential equivalence suite for the optimized candidate funnel.
+//!
+//! `PisSearcher::search_reference` keeps the seed's straight-line
+//! transcription of Algorithm 2 (per-fragment `Vec` intersection,
+//! per-candidate binary-search pruning, no memoization, no scratch
+//! reuse) as an executable specification. These properties hold the
+//! optimized path — bitset funnel, dense partition accumulator,
+//! range-query memoization, scratch reuse, and the target-guided VF2
+//! ordering behind it — to **byte-identical** `candidates`, `answers`,
+//! `answer_distances` and `SearchStats` across random databases, both
+//! distances, and all three partition algorithms.
+
+mod common;
+
+use common::{connected_graph, graph_database};
+use pis::core::{PartitionAlgo, PisConfig, PisSearcher, SearchScratch};
+use pis::prelude::*;
+use proptest::prelude::*;
+
+/// Asserts full outcome equality between the optimized funnel (run
+/// twice through the same scratch, so reuse is exercised) and the
+/// reference pipeline.
+fn assert_equivalent(
+    searcher: &PisSearcher<'_>,
+    scratch: &mut SearchScratch,
+    query: &LabeledGraph,
+    sigma: f64,
+) -> Result<(), TestCaseError> {
+    let reference = searcher.search_reference(query, sigma);
+    for round in 0..2 {
+        let fast = searcher.search_with_scratch(query, sigma, scratch);
+        prop_assert_eq!(&fast.candidates, &reference.candidates, "candidates, round {}", round);
+        prop_assert_eq!(&fast.answers, &reference.answers, "answers, round {}", round);
+        prop_assert_eq!(
+            &fast.answer_distances,
+            &reference.answer_distances,
+            "distances, round {}",
+            round
+        );
+        prop_assert_eq!(&fast.stats, &reference.stats, "stats, round {}", round);
+    }
+    Ok(())
+}
+
+/// Re-labels a graph's weights from its labels so the linear distance
+/// has something to measure (the proptest strategies emit zero
+/// weights).
+fn weighted_from_labels(g: &LabeledGraph) -> LabeledGraph {
+    let mut b = GraphBuilder::new();
+    for v in g.vertex_ids() {
+        let attr = g.vertex(v);
+        b.add_vertex(VertexAttr { label: attr.label, weight: attr.label.0 as f64 * 0.5 });
+    }
+    for e in g.edges() {
+        b.add_edge(
+            e.source,
+            e.target,
+            EdgeAttr { label: e.attr.label, weight: 1.0 + e.attr.label.0 as f64 },
+        )
+        .expect("copying a simple graph");
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Mutation distance, all partition algorithms, tuning swept.
+    #[test]
+    fn funnel_equals_reference_mutation(
+        db in graph_database(8, 6, 3),
+        query in connected_graph(5, 2, 3),
+        sigma in 0.0f64..4.0,
+        algo in prop::sample::select(vec![
+            PartitionAlgo::Greedy,
+            PartitionAlgo::EnhancedGreedy(2),
+            PartitionAlgo::Exact,
+        ]),
+        epsilon in prop::sample::select(vec![0.0, 0.3]),
+        lambda in prop::sample::select(vec![0.5, 1.0, 2.0]),
+    ) {
+        let system = PisSystem::builder()
+            .mutation_distance(MutationDistance::edge_hamming())
+            .exhaustive_features(3)
+            .search_config(PisConfig { partition: algo, epsilon, lambda, ..PisConfig::default() })
+            .build(db);
+        let searcher = system.searcher();
+        let mut scratch = SearchScratch::new();
+        assert_equivalent(&searcher, &mut scratch, &query, sigma)?;
+    }
+
+    /// The unit mutation distance (vertex labels scored too) takes the
+    /// trie through non-trivial vertex slots.
+    #[test]
+    fn funnel_equals_reference_unit_distance(
+        db in graph_database(6, 5, 2),
+        query in connected_graph(4, 1, 2),
+        sigma in 0.0f64..3.0,
+    ) {
+        let system = PisSystem::builder()
+            .mutation_distance(MutationDistance::unit())
+            .exhaustive_features(3)
+            .build(db);
+        let searcher = system.searcher();
+        let mut scratch = SearchScratch::new();
+        assert_equivalent(&searcher, &mut scratch, &query, sigma)?;
+    }
+
+    /// Linear distance over the R-tree backend: weight vectors exercise
+    /// the `f64`-keyed memo and the scaled-geometry range queries.
+    #[test]
+    fn funnel_equals_reference_linear(
+        db in graph_database(6, 5, 3),
+        query in connected_graph(4, 1, 3),
+        sigma in 0.0f64..3.0,
+        algo in prop::sample::select(vec![
+            PartitionAlgo::Greedy,
+            PartitionAlgo::EnhancedGreedy(2),
+            PartitionAlgo::Exact,
+        ]),
+    ) {
+        let db: Vec<LabeledGraph> = db.iter().map(weighted_from_labels).collect();
+        let query = weighted_from_labels(&query);
+        let system = PisSystem::builder()
+            .linear_distance(LinearDistance::edges_only())
+            .exhaustive_features(3)
+            .search_config(PisConfig { partition: algo, ..PisConfig::default() })
+            .build(db);
+        let searcher = system.searcher();
+        let mut scratch = SearchScratch::new();
+        assert_equivalent(&searcher, &mut scratch, &query, sigma)?;
+    }
+
+    /// One scratch across a whole shifting workload (different queries,
+    /// sigmas rising and falling) never leaks state between searches.
+    #[test]
+    fn scratch_survives_a_mixed_workload(
+        db in graph_database(7, 5, 3),
+        queries in proptest::collection::vec(connected_graph(5, 2, 3), 1..4),
+        sigmas in proptest::collection::vec(0.0f64..4.0, 1..4),
+    ) {
+        let system = PisSystem::builder().exhaustive_features(3).build(db);
+        let searcher = system.searcher();
+        let mut scratch = SearchScratch::new();
+        for q in &queries {
+            for &sigma in &sigmas {
+                assert_equivalent(&searcher, &mut scratch, q, sigma)?;
+            }
+        }
+    }
+
+    /// Pruning-only configurations (the figures' setting) agree too —
+    /// candidates are the observable there, not answers.
+    #[test]
+    fn funnel_equals_reference_prune_only(
+        db in graph_database(8, 6, 3),
+        query in connected_graph(5, 2, 3),
+        sigma in 0.0f64..4.0,
+        structure_check in prop::sample::select(vec![true, false]),
+    ) {
+        let system = PisSystem::builder()
+            .exhaustive_features(3)
+            .search_config(PisConfig {
+                verify: false,
+                structure_check,
+                ..PisConfig::default()
+            })
+            .build(db);
+        let searcher = system.searcher();
+        let mut scratch = SearchScratch::new();
+        assert_equivalent(&searcher, &mut scratch, &query, sigma)?;
+    }
+}
