@@ -1,0 +1,366 @@
+//! CI perf regression gate over `pipeline_bench` snapshots.
+//!
+//! Compares a freshly generated `BENCH_pipeline.json` against the
+//! committed snapshot of the same scale and **fails (exit 1)** when any
+//! gated experiment's optimized `min_ms` degrades beyond the threshold
+//! (default: >20%, i.e. ratio 1.2):
+//!
+//! ```text
+//! cargo run --release -p pis-bench --bin perf_gate -- \
+//!     --fresh bench_results/BENCH_pipeline.json \
+//!     --committed BENCH_pipeline_smoke.json \
+//!     [--threshold 1.2] [--experiment pis_full] [--mode normalized|absolute]
+//! ```
+//!
+//! The default `normalized` mode compares each snapshot's
+//! optimized-to-reference `min_ms` ratio (the reference pipeline runs
+//! in the same process on the same data, so machine speed cancels) —
+//! the committed baseline can therefore come from any machine, and CI
+//! runners of different generations gate identically. `absolute` mode
+//! compares raw optimized `min_ms` and is only meaningful when both
+//! snapshots come from the same machine class.
+//!
+//! Besides timing, the gate cross-checks the snapshots' *correctness
+//! fingerprints*: the workload is seeded, so candidate/answer counts
+//! are machine-independent and any count mismatch means behavior
+//! changed — regenerate the committed snapshot deliberately in that
+//! case (`pipeline_bench --scale smoke --iters 3 --out
+//! BENCH_pipeline_smoke.json`).
+//!
+//! The parser handles exactly the JSON `pipeline_bench` emits (one
+//! experiment object per line); it is not a general JSON reader.
+
+use std::process::ExitCode;
+
+/// One parsed experiment row.
+#[derive(Clone, Debug, PartialEq)]
+struct Row {
+    name: String,
+    variant: String,
+    sigma: f64,
+    min_ms: f64,
+    count: u64,
+}
+
+/// The fields of a snapshot the gate compares.
+#[derive(Clone, Debug, PartialEq)]
+struct Snapshot {
+    db_size: u64,
+    queries: u64,
+    rows: Vec<Row>,
+}
+
+fn main() -> ExitCode {
+    let mut fresh_path = String::new();
+    let mut committed_path = String::new();
+    let mut threshold = 1.2f64;
+    let mut experiment = "pis_full".to_string();
+    let mut normalized = true;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--fresh" => {
+                i += 1;
+                fresh_path = argv.get(i).expect("--fresh needs a path").clone();
+            }
+            "--committed" => {
+                i += 1;
+                committed_path = argv.get(i).expect("--committed needs a path").clone();
+            }
+            "--threshold" => {
+                i += 1;
+                threshold = argv
+                    .get(i)
+                    .expect("--threshold needs a value")
+                    .parse()
+                    .expect("threshold: f64");
+            }
+            "--experiment" => {
+                i += 1;
+                experiment = argv.get(i).expect("--experiment needs a name").clone();
+            }
+            "--mode" => {
+                i += 1;
+                normalized = match argv.get(i).expect("--mode needs a value").as_str() {
+                    "normalized" => true,
+                    "absolute" => false,
+                    other => panic!("unknown mode '{other}' (normalized|absolute)"),
+                };
+            }
+            other => panic!("unknown argument '{other}'"),
+        }
+        i += 1;
+    }
+    assert!(
+        !fresh_path.is_empty() && !committed_path.is_empty(),
+        "--fresh and --committed are required"
+    );
+    let fresh_text = std::fs::read_to_string(&fresh_path)
+        .unwrap_or_else(|e| panic!("cannot read fresh snapshot {fresh_path}: {e}"));
+    let committed_text = std::fs::read_to_string(&committed_path)
+        .unwrap_or_else(|e| panic!("cannot read committed snapshot {committed_path}: {e}"));
+    let fresh = parse_snapshot(&fresh_text).expect("fresh snapshot parses");
+    let committed = parse_snapshot(&committed_text).expect("committed snapshot parses");
+    match gate(&fresh, &committed, &experiment, threshold, normalized) {
+        Ok(report) => {
+            println!("{report}");
+            println!("[perf_gate] OK: {experiment} within {threshold}x of {committed_path}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("[perf_gate] FAIL: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Runs the comparison; `Ok` carries a human-readable report, `Err` the
+/// failure reason. In `normalized` mode the gated quantity is the
+/// optimized-to-reference `min_ms` ratio of each snapshot (machine
+/// speed cancels); otherwise raw optimized `min_ms`.
+fn gate(
+    fresh: &Snapshot,
+    committed: &Snapshot,
+    experiment: &str,
+    threshold: f64,
+    normalized: bool,
+) -> Result<String, String> {
+    if (fresh.db_size, fresh.queries) != (committed.db_size, committed.queries) {
+        return Err(format!(
+            "scale mismatch: fresh db={} q={} vs committed db={} q={} — \
+             snapshots must be generated at the same pipeline_bench scale",
+            fresh.db_size, fresh.queries, committed.db_size, committed.queries
+        ));
+    }
+    let find = |snap: &Snapshot, name: &str, variant: &str, sigma: f64| {
+        snap.rows
+            .iter()
+            .find(|r| r.name == name && r.variant == variant && r.sigma == sigma)
+            .cloned()
+            .ok_or_else(|| format!("snapshot lacks row {name}/{variant} sigma {sigma}"))
+    };
+    let mut report = String::new();
+    for c in &committed.rows {
+        let f = find(fresh, &c.name, &c.variant, c.sigma).map_err(|e| format!("fresh {e}"))?;
+        // Correctness fingerprint: the workload is seeded, so counts
+        // are machine-independent.
+        if f.count != c.count {
+            return Err(format!(
+                "count mismatch at {}/{} sigma {}: fresh {} vs committed {} — \
+                 behavior changed; regenerate the committed snapshot if intended",
+                c.name, c.variant, c.sigma, f.count, c.count
+            ));
+        }
+        let gated = c.name == experiment && c.variant == "optimized";
+        // Gated quantity: the machine-cancelling normalized ratio, or
+        // the raw min_ms ratio in absolute mode.
+        let ratio = if gated && normalized {
+            let f_ref = find(fresh, &c.name, "reference", c.sigma)
+                .map_err(|e| format!("fresh {e} (needed to normalize)"))?;
+            let c_ref = find(committed, &c.name, "reference", c.sigma)
+                .map_err(|e| format!("committed {e} (needed to normalize)"))?;
+            (f.min_ms / f_ref.min_ms) / (c.min_ms / c_ref.min_ms)
+        } else {
+            f.min_ms / c.min_ms
+        };
+        report.push_str(&format!(
+            "{:>10}/{:<9} sigma {:>3}: committed {:>8.3}ms fresh {:>8.3}ms ratio {:.2}{}\n",
+            c.name,
+            c.variant,
+            c.sigma,
+            c.min_ms,
+            f.min_ms,
+            ratio,
+            if gated {
+                if normalized {
+                    "  [gated, vs reference]"
+                } else {
+                    "  [gated]"
+                }
+            } else {
+                ""
+            }
+        ));
+        if gated && ratio > threshold {
+            return Err(format!(
+                "{} optimized sigma {} degraded {:.0}% {}: {:.3}ms -> {:.3}ms (threshold {:.0}%)",
+                c.name,
+                c.sigma,
+                (ratio - 1.0) * 100.0,
+                if normalized { "relative to the in-run reference pipeline" } else { "" },
+                c.min_ms,
+                f.min_ms,
+                (threshold - 1.0) * 100.0
+            ));
+        }
+    }
+    Ok(report)
+}
+
+/// Parses the subset of `pipeline_bench`'s JSON the gate needs: the
+/// `scale` line and every object in the `experiments` array.
+fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
+    let mut db_size = None;
+    let mut queries = None;
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with("\"scale\"") {
+            db_size = Some(num_field(t, "db_size")? as u64);
+            queries = Some(num_field(t, "queries")? as u64);
+        } else if t.starts_with("{\"name\"") {
+            rows.push(Row {
+                name: str_field(t, "name")?,
+                variant: str_field(t, "variant")?,
+                sigma: num_field(t, "sigma")?,
+                min_ms: num_field(t, "min_ms")?,
+                count: num_field(t, "count")? as u64,
+            });
+        }
+    }
+    if rows.is_empty() {
+        return Err("no experiment rows found".to_string());
+    }
+    Ok(Snapshot {
+        db_size: db_size.ok_or("missing scale.db_size")?,
+        queries: queries.ok_or("missing scale.queries")?,
+        rows,
+    })
+}
+
+/// Extracts `"key": <number>` from a single JSON line.
+fn num_field(line: &str, key: &str) -> Result<f64, String> {
+    let tail = field_tail(line, key)?;
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().map_err(|_| format!("invalid number for '{key}' in: {line}"))
+}
+
+/// Extracts `"key": "<string>"` from a single JSON line.
+fn str_field(line: &str, key: &str) -> Result<String, String> {
+    let tail = field_tail(line, key)?;
+    let tail = tail.strip_prefix('"').ok_or_else(|| format!("'{key}' is not a string"))?;
+    let end = tail.find('"').ok_or_else(|| format!("unterminated string for '{key}'"))?;
+    Ok(tail[..end].to_string())
+}
+
+fn field_tail<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat).ok_or_else(|| format!("missing field '{key}' in: {line}"))?;
+    Ok(line[at + pat.len()..].trim_start())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SNAP: &str = r#"{
+  "bench": "pipeline",
+  "scale": {"db_size": 100, "queries": 4, "query_edges": 16, "max_fragment_edges": 5, "seed": 20060403},
+  "iters": 3,
+  "experiments": [
+    {"name": "pis_prune", "variant": "optimized", "sigma": 1, "min_ms": 4.000, "mean_ms": 4.2, "count": 10},
+    {"name": "pis_full", "variant": "optimized", "sigma": 1, "min_ms": 5.000, "mean_ms": 5.2, "count": 3},
+    {"name": "pis_full", "variant": "reference", "sigma": 1, "min_ms": 10.000, "mean_ms": 10.2, "count": 3}
+  ]
+}
+"#;
+
+    fn snap(min_full: f64, count_full: u64) -> Snapshot {
+        let mut s = parse_snapshot(SNAP).unwrap();
+        let row =
+            s.rows.iter_mut().find(|r| r.name == "pis_full" && r.variant == "optimized").unwrap();
+        row.min_ms = min_full;
+        row.count = count_full;
+        s
+    }
+
+    /// Scales every timing by `factor` — a uniformly slower/faster
+    /// machine.
+    fn rescaled(base: &Snapshot, factor: f64) -> Snapshot {
+        let mut s = base.clone();
+        for r in &mut s.rows {
+            r.min_ms *= factor;
+        }
+        s
+    }
+
+    #[test]
+    fn parses_pipeline_bench_output() {
+        let s = parse_snapshot(SNAP).unwrap();
+        assert_eq!((s.db_size, s.queries), (100, 4));
+        assert_eq!(s.rows.len(), 3);
+        assert_eq!(s.rows[0].name, "pis_prune");
+        assert_eq!(s.rows[0].variant, "optimized");
+        assert_eq!(s.rows[0].min_ms, 4.0);
+        assert_eq!(s.rows[1].count, 3);
+        assert_eq!(s.rows[2].variant, "reference");
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let committed = snap(5.0, 3);
+        let fresh = snap(5.9, 3); // +18% < 20%
+        assert!(gate(&fresh, &committed, "pis_full", 1.2, false).is_ok());
+        assert!(gate(&fresh, &committed, "pis_full", 1.2, true).is_ok());
+    }
+
+    #[test]
+    fn regression_fails() {
+        let committed = snap(5.0, 3);
+        let fresh = snap(6.5, 3); // +30%, reference unchanged
+        for normalized in [false, true] {
+            let err = gate(&fresh, &committed, "pis_full", 1.2, normalized).unwrap_err();
+            assert!(err.contains("degraded"), "{err}");
+        }
+    }
+
+    #[test]
+    fn normalized_mode_cancels_machine_speed() {
+        // The fresh snapshot comes from a uniformly 2x slower machine:
+        // raw min_ms doubles everywhere, so the absolute gate trips,
+        // but optimized/reference is unchanged and the normalized gate
+        // (the CI default) passes.
+        let committed = snap(5.0, 3);
+        let fresh = rescaled(&committed, 2.0);
+        assert!(gate(&fresh, &committed, "pis_full", 1.2, false).is_err());
+        assert!(gate(&fresh, &committed, "pis_full", 1.2, true).is_ok());
+        // A genuine optimized-only regression on that slower machine
+        // still fails the normalized gate.
+        let mut bad = fresh.clone();
+        bad.rows
+            .iter_mut()
+            .find(|r| r.name == "pis_full" && r.variant == "optimized")
+            .unwrap()
+            .min_ms *= 1.5;
+        assert!(gate(&bad, &committed, "pis_full", 1.2, true).is_err());
+    }
+
+    #[test]
+    fn ungated_experiments_only_report() {
+        // pis_prune regresses but only pis_full is gated.
+        let committed = parse_snapshot(SNAP).unwrap();
+        let mut fresh = parse_snapshot(SNAP).unwrap();
+        fresh.rows[0].min_ms = 40.0;
+        assert!(gate(&fresh, &committed, "pis_full", 1.2, true).is_ok());
+    }
+
+    #[test]
+    fn count_mismatch_fails() {
+        let committed = snap(5.0, 3);
+        let fresh = snap(5.0, 4);
+        let err = gate(&fresh, &committed, "pis_full", 1.2, true).unwrap_err();
+        assert!(err.contains("count mismatch"), "{err}");
+    }
+
+    #[test]
+    fn scale_mismatch_fails() {
+        let committed = snap(5.0, 3);
+        let mut fresh = snap(5.0, 3);
+        fresh.db_size = 200;
+        let err = gate(&fresh, &committed, "pis_full", 1.2, true).unwrap_err();
+        assert!(err.contains("scale mismatch"), "{err}");
+    }
+}

@@ -44,6 +44,18 @@ const PRE_REWORK_CRITERION_MS: [(&str, f64, f64); 6] = [
     ("pis_full", 4.0, 74.34),
 ];
 
+/// Optimized-funnel wall times at the `bench` scale immediately before
+/// the flat-trie arena landed (PR 2's committed `BENCH_pipeline.json`,
+/// commit 9005382) — the perf trajectory's second recorded point.
+const PRE_FLAT_TRIE_MS: [(&str, f64, f64); 6] = [
+    ("pis_prune", 1.0, 8.073),
+    ("pis_prune", 2.0, 12.570),
+    ("pis_prune", 4.0, 19.742),
+    ("pis_full", 1.0, 9.928),
+    ("pis_full", 2.0, 16.823),
+    ("pis_full", 4.0, 26.798),
+];
+
 fn main() {
     let mut scale_name = "bench".to_string();
     let mut iters = 5usize;
@@ -219,38 +231,55 @@ fn render_json(
         }
         let _ = writeln!(s, "}}{}", if ni == 0 { "," } else { "" });
     }
-    // At the scale the pre-rework baseline was recorded at, also report
-    // the speedup against it (measured on the same machine class and
-    // workload; see PRE_REWORK_CRITERION_MS).
+    // At the scale the recorded baselines were measured at, also report
+    // the speedup against each prior PR's committed numbers (same
+    // machine class and workload).
     if scale.db_size == pipeline_workload::scale().db_size {
-        s.push_str("  },\n  \"pre_rework_baseline\": {\n");
-        for (ni, name) in ["pis_prune", "pis_full"].iter().enumerate() {
-            let _ = write!(s, "    \"{name}\": {{");
-            for (si, sigma) in SIGMAS.iter().enumerate() {
-                let baseline_ms = PRE_REWORK_CRITERION_MS
-                    .iter()
-                    .find(|(n, sg, _)| n == name && sg == sigma)
-                    .map(|(_, _, ms)| *ms)
-                    .expect("baseline recorded for every experiment");
-                let opt = rows
-                    .iter()
-                    .find(|r| r.name == *name && r.variant == "optimized" && r.sigma == *sigma)
-                    .expect("row exists");
-                let comma = if si + 1 == SIGMAS.len() { "" } else { ", " };
-                let _ = write!(
-                    s,
-                    "\"{}\": {{\"baseline_ms\": {:.2}, \"now_ms\": {:.2}, \"speedup\": {:.2}}}{}",
-                    sigma,
-                    baseline_ms,
-                    opt.min_ms,
-                    baseline_ms / opt.min_ms,
-                    comma
-                );
-            }
-            let _ = writeln!(s, "}}{}", if ni == 0 { "," } else { "" });
-        }
+        s.push_str("  },\n");
+        baseline_section(&mut s, "pre_rework_baseline", &PRE_REWORK_CRITERION_MS, rows, true);
+        baseline_section(&mut s, "pre_flat_trie_baseline", &PRE_FLAT_TRIE_MS, rows, false);
+    } else {
+        s.push_str("  }\n");
     }
-    s.push_str("  }\n");
     s.push_str("}\n");
     s
+}
+
+/// Renders one `"name": {experiment: {sigma: {baseline_ms, now_ms,
+/// speedup}}}` block comparing the current optimized rows against a
+/// recorded baseline table.
+fn baseline_section(
+    s: &mut String,
+    section: &str,
+    table: &[(&str, f64, f64)],
+    rows: &[Row],
+    trailing_comma: bool,
+) {
+    let _ = writeln!(s, "  \"{section}\": {{");
+    for (ni, name) in ["pis_prune", "pis_full"].iter().enumerate() {
+        let _ = write!(s, "    \"{name}\": {{");
+        for (si, sigma) in SIGMAS.iter().enumerate() {
+            let baseline_ms = table
+                .iter()
+                .find(|(n, sg, _)| n == name && sg == sigma)
+                .map(|(_, _, ms)| *ms)
+                .expect("baseline recorded for every experiment");
+            let opt = rows
+                .iter()
+                .find(|r| r.name == *name && r.variant == "optimized" && r.sigma == *sigma)
+                .expect("row exists");
+            let comma = if si + 1 == SIGMAS.len() { "" } else { ", " };
+            let _ = write!(
+                s,
+                "\"{}\": {{\"baseline_ms\": {:.2}, \"now_ms\": {:.2}, \"speedup\": {:.2}}}{}",
+                sigma,
+                baseline_ms,
+                opt.min_ms,
+                baseline_ms / opt.min_ms,
+                comma
+            );
+        }
+        let _ = writeln!(s, "}}{}", if ni == 0 { "," } else { "" });
+    }
+    let _ = writeln!(s, "  }}{}", if trailing_comma { "," } else { "" });
 }

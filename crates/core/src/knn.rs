@@ -9,7 +9,17 @@
 //! fewer than `k` verified answers exist, double `σ` — the partition
 //! lower bound guarantees no graph outside the final radius can beat the
 //! k-th best inside it.
+//!
+//! Radius doubling is monotone: the candidate set at `2σ` is a superset
+//! of the one at `σ`, so every candidate already verified in an earlier
+//! round keeps its (radius-independent) exact distance. Each widening
+//! round therefore seeds from the previous round's resolved set and
+//! verifies only the candidates the larger radius newly admitted —
+//! re-verification of a candidate happens only if its earlier
+//! branch-and-bound proved `d > σ_old` (the bound must be retried with
+//! the bigger budget).
 
+use pis_graph::util::FxHashMap;
 use pis_graph::{GraphId, LabeledGraph};
 
 use crate::search::{PisSearcher, SearchScratch};
@@ -33,6 +43,11 @@ pub struct KnnOutcome {
     pub radius: f64,
     /// Total verification calls across all radius rounds.
     pub verification_calls: usize,
+    /// Verifications skipped because an earlier (smaller-radius) round
+    /// already resolved the candidate's exact distance.
+    pub reused_verifications: usize,
+    /// Radius-doubling rounds run.
+    pub rounds: usize,
 }
 
 impl PisSearcher<'_> {
@@ -51,8 +66,13 @@ impl PisSearcher<'_> {
         max_radius: f64,
     ) -> KnnOutcome {
         assert!(initial_radius >= 0.0 && max_radius >= initial_radius, "invalid radius bounds");
-        let mut outcome =
-            KnnOutcome { neighbors: Vec::new(), radius: initial_radius, verification_calls: 0 };
+        let mut outcome = KnnOutcome {
+            neighbors: Vec::new(),
+            radius: initial_radius,
+            verification_calls: 0,
+            reused_verifications: 0,
+            rounds: 0,
+        };
         if k == 0 {
             return outcome;
         }
@@ -64,18 +84,34 @@ impl PisSearcher<'_> {
         // One scratch serves every doubling round: widening re-runs the
         // funnel over the same database, so all buffers carry over.
         let mut scratch = SearchScratch::new();
+        // Exact distances resolved in earlier rounds — the seed each
+        // widened round starts from. `min_superimposed_distance` returns
+        // the true minimum whenever it returns at all, so a resolved
+        // distance is valid at every larger radius.
+        let mut resolved: FxHashMap<GraphId, f64> = FxHashMap::default();
+        let mut unresolved: Vec<GraphId> = Vec::new();
         let mut neighbors: Vec<Neighbor> = Vec::new();
         let mut radius = initial_radius;
         loop {
+            outcome.rounds += 1;
             prune.search_into(query, radius, &mut scratch);
             let candidates = scratch.candidates();
-            outcome.verification_calls += candidates.len();
             neighbors.clear();
-            neighbors.extend(
-                self.verify_candidates(query, candidates, radius)
-                    .into_iter()
-                    .map(|(graph, distance)| Neighbor { graph, distance }),
-            );
+            unresolved.clear();
+            for &g in candidates {
+                match resolved.get(&g) {
+                    Some(&distance) => {
+                        outcome.reused_verifications += 1;
+                        neighbors.push(Neighbor { graph: g, distance });
+                    }
+                    None => unresolved.push(g),
+                }
+            }
+            outcome.verification_calls += unresolved.len();
+            for (graph, distance) in self.verify_candidates(query, &unresolved, radius) {
+                resolved.insert(graph, distance);
+                neighbors.push(Neighbor { graph, distance });
+            }
             neighbors.sort_by(|a, b| {
                 a.distance
                     .partial_cmp(&b.distance)
@@ -178,6 +214,43 @@ mod tests {
         let knn = searcher.knn(&query, 10, 1.0, 8.0);
         assert_eq!(knn.neighbors.len(), 2);
         assert_eq!(knn.radius, 8.0, "radius must widen to the cap before giving up");
+    }
+
+    #[test]
+    fn widening_rounds_reuse_resolved_distances() {
+        // Query at distance 0/1/3/6 from the four rings; k = 3 with a
+        // tiny initial radius forces several doubling rounds, and the
+        // early candidates (d = 0, 1) must not be re-verified when the
+        // radius widens past 3 and 6.
+        let db = vec![
+            ring(&[1, 1, 1, 1, 1, 1]),
+            ring(&[1, 1, 1, 1, 1, 2]),
+            ring(&[1, 1, 2, 1, 2, 2]),
+            ring(&[2, 2, 2, 2, 2, 2]),
+        ];
+        let index = setup(&db);
+        let searcher = PisSearcher::new(&index, &db, PisConfig::default());
+        let query = ring(&[1, 1, 1, 1, 1, 1]);
+        let knn = searcher.knn(&query, 4, 0.5, 10.0);
+        let got: Vec<(u32, f64)> = knn.neighbors.iter().map(|n| (n.graph.0, n.distance)).collect();
+        assert_eq!(got, vec![(0, 0.0), (1, 1.0), (2, 3.0), (3, 6.0)]);
+        assert!(knn.rounds >= 3, "expected several widening rounds, got {}", knn.rounds);
+        assert!(
+            knn.reused_verifications > 0,
+            "widening must seed from the previous round's resolved candidates"
+        );
+        // Each graph's distance is resolved exactly once across all
+        // rounds (re-verification only retries unresolved candidates).
+        assert!(
+            knn.verification_calls <= db.len() * knn.rounds,
+            "sanity: calls bounded by candidates x rounds"
+        );
+        assert!(
+            knn.verification_calls < db.len() + knn.reused_verifications,
+            "reuse must strictly reduce verification work: {} calls, {} reused",
+            knn.verification_calls,
+            knn.reused_verifications
+        );
     }
 
     #[test]

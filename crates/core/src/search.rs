@@ -28,7 +28,9 @@
 //! * **reuse** — all of that state lives in a [`SearchScratch`] that
 //!   callers ([`PisSearcher::search_with_scratch`], `knn`'s radius
 //!   doubling, `run_workload`) thread through repeated searches, making
-//!   the steady-state serial funnel allocation-free;
+//!   the steady-state serial funnel allocation-free — including
+//!   fragment enumeration, which fills the scratch-owned arena-backed
+//!   `FragmentBuffer` instead of materializing per-fragment `Vec`s;
 //! * **deduplication** — automorphic query fragments produce identical
 //!   `(feature, vector)` probes; each unique probe runs one range query
 //!   (memoized in the scratch), and large probe sets fan out across the
@@ -41,7 +43,9 @@
 use pis_distance::SuperimposedDistance;
 use pis_graph::util::FxHashMap;
 use pis_graph::{GraphBitSet, GraphId, LabeledGraph, ScopedPool};
-use pis_index::{FragmentIndex, FragmentVector, IndexDistance, QueryFragment, RangeScratch};
+use pis_index::{
+    FragmentBuffer, FragmentIndex, FragmentVectorRef, IndexDistance, QueryFragment, RangeScratch,
+};
 use pis_partition::{
     enhanced_greedy_mwis, exact_mwis, greedy_mwis, selection_weight, OverlapGraph,
 };
@@ -113,14 +117,17 @@ const PARALLEL_FRAGMENT_THRESHOLD: usize = 48;
 /// Reusable state for the optimized candidate funnel.
 ///
 /// One scratch serves any number of sequential searches (it re-sizes to
-/// the database on every call); after warm-up the serial funnel
-/// performs no heap allocation outside the returned [`SearchOutcome`]
-/// and the per-query fragment enumeration. (When a large probe set
-/// fans out across the pool, workers trade per-slot buffer allocations
-/// for core scaling.) Scratches are independent — one per thread for
-/// concurrent searches.
+/// the database on every call); after warm-up the serial funnel —
+/// fragment enumeration included, via the arena-backed
+/// [`FragmentBuffer`] — performs no heap allocation outside the
+/// returned [`SearchOutcome`]. (When a large probe set fans out across
+/// the pool, workers trade per-slot buffer allocations for core
+/// scaling.) Scratches are independent — one per thread for concurrent
+/// searches.
 #[derive(Debug, Default)]
 pub struct SearchScratch {
+    /// Arena-backed store for the query's enumerated fragments.
+    fragments: FragmentBuffer,
     /// Range-query dense accumulator (shared across the whole search).
     range: RangeScratch,
     /// The live candidate set `CQ`.
@@ -185,12 +192,17 @@ impl SearchScratch {
 
     /// Maps a fragment to its unique-probe slot, allocating a new slot
     /// for first-seen `(feature, vector)` pairs.
-    fn assign_slot(&mut self, fragment_idx: usize, fragment: &QueryFragment) {
+    fn assign_slot(
+        &mut self,
+        fragment_idx: usize,
+        feature: pis_mining::FeatureId,
+        vector: FragmentVectorRef<'_>,
+    ) {
         self.key_buf.clear();
-        self.key_buf.push(fragment.feature.0 as u64);
-        match &fragment.vector {
-            FragmentVector::Labels(v) => self.key_buf.extend(v.iter().map(|l| l.0 as u64)),
-            FragmentVector::Weights(v) => self.key_buf.extend(v.iter().map(|w| w.to_bits())),
+        self.key_buf.push(feature.0 as u64);
+        match vector {
+            FragmentVectorRef::Labels(v) => self.key_buf.extend(v.iter().map(|l| l.0 as u64)),
+            FragmentVectorRef::Weights(v) => self.key_buf.extend(v.iter().map(|w| w.to_bits())),
         }
         let slot = match self.memo.get(&self.key_buf) {
             Some(&s) => s,
@@ -290,15 +302,17 @@ impl<'a> PisSearcher<'a> {
         let n = self.database.len();
         let mut stats = SearchStats::default();
 
-        // Lines 3–4: enumerate indexed fragments.
-        let fragments = self.index.enumerate_query_fragments(query);
+        // Lines 3–4: enumerate indexed fragments into the scratch-owned
+        // arena (taken out for the duration of the borrow).
+        let mut fragments = std::mem::take(&mut scratch.fragments);
+        self.index.enumerate_query_fragments_into(query, &mut fragments);
         stats.query_fragments = fragments.len();
 
         // Lines 6–18: one range query per *unique* `(feature, vector)`
         // probe — automorphic fragments share hits and selectivity.
         scratch.begin(n);
-        for (i, fragment) in fragments.iter().enumerate() {
-            scratch.assign_slot(i, fragment);
+        for i in 0..fragments.len() {
+            scratch.assign_slot(i, fragments.feature(i), fragments.vector(i));
         }
         self.run_range_queries(&fragments, sigma, scratch);
         for s in 0..scratch.slots_used {
@@ -340,12 +354,11 @@ impl<'a> PisSearcher<'a> {
             .collect();
         stats.fragments_in_pool = pool.len();
 
-        // Lines 19–20: overlapping-relation graph + MWIS partition.
-        let overlap_input: Vec<(f64, Vec<pis_graph::VertexId>)> = pool
-            .iter()
-            .map(|&fi| (scratch.weights[scratch.slot_of[fi]], fragments[fi].vertices.clone()))
-            .collect();
-        let overlap = OverlapGraph::new(&overlap_input);
+        // Lines 19–20: overlapping-relation graph + MWIS partition (the
+        // vertex sets are borrowed straight from the arena).
+        let overlap = OverlapGraph::from_sets(
+            pool.iter().map(|&fi| (scratch.weights[scratch.slot_of[fi]], fragments.vertices(fi))),
+        );
         let selection = match self.config.partition {
             PartitionAlgo::Greedy => greedy_mwis(&overlap),
             PartitionAlgo::EnhancedGreedy(k) => enhanced_greedy_mwis(&overlap, k),
@@ -362,8 +375,8 @@ impl<'a> PisSearcher<'a> {
         stats.partition = partition
             .iter()
             .map(|&fi| PartitionFragment {
-                feature: fragments[fi].feature,
-                vertices: fragments[fi].vertices.len(),
+                feature: fragments.feature(fi),
+                vertices: fragments.vertices(fi).len(),
                 weight: scratch.weights[scratch.slot_of[fi]],
             })
             .collect();
@@ -412,6 +425,7 @@ impl<'a> PisSearcher<'a> {
             });
         }
         stats.candidates_after_structure = scratch.cand_buf.len();
+        scratch.fragments = fragments;
         stats
     }
 
@@ -420,7 +434,7 @@ impl<'a> PisSearcher<'a> {
     /// sets.
     fn run_range_queries(
         &self,
-        fragments: &[QueryFragment],
+        fragments: &FragmentBuffer,
         sigma: f64,
         scratch: &mut SearchScratch,
     ) {
@@ -436,9 +450,14 @@ impl<'a> PisSearcher<'a> {
                 PARALLEL_FRAGMENT_THRESHOLD,
                 RangeScratch::new,
                 |range, _, &fi| {
-                    let f = &fragments[fi];
                     let mut out = Vec::new();
-                    index.range_query_normalized_into(f.feature, &f.vector, sigma, range, &mut out);
+                    index.range_query_normalized_into(
+                        fragments.feature(fi),
+                        fragments.vector(fi),
+                        sigma,
+                        range,
+                        &mut out,
+                    );
                     out
                 },
             );
@@ -447,10 +466,10 @@ impl<'a> PisSearcher<'a> {
             }
         } else {
             for s in 0..unique {
-                let f = &fragments[scratch.unique_fragment[s]];
+                let fi = scratch.unique_fragment[s];
                 self.index.range_query_normalized_into(
-                    f.feature,
-                    &f.vector,
+                    fragments.feature(fi),
+                    fragments.vector(fi),
                     sigma,
                     &mut scratch.range,
                     &mut scratch.hits[s],

@@ -23,6 +23,9 @@ pub struct ScoreMatrix {
     /// Row-major `size × size` costs.
     costs: Vec<f64>,
     default_mismatch: f64,
+    /// Cached "every cost is zero" flag — lets the vector kernels skip
+    /// whole segments of the paper's ignored-label settings in O(1).
+    zero: bool,
 }
 
 /// Errors raised by [`ScoreMatrix`] constructors.
@@ -68,13 +71,13 @@ impl ScoreMatrix {
         for i in 0..size {
             costs[i * size + i] = 0.0;
         }
-        ScoreMatrix { size, costs, default_mismatch: mismatch }
+        ScoreMatrix { size, costs, default_mismatch: mismatch, zero: mismatch == 0.0 }
     }
 
     /// The all-zero matrix: label differences cost nothing (used to
     /// ignore vertex labels, as the paper's evaluation does).
     pub fn zero(size: usize) -> Self {
-        ScoreMatrix { size, costs: vec![0.0; size * size], default_mismatch: 0.0 }
+        ScoreMatrix { size, costs: vec![0.0; size * size], default_mismatch: 0.0, zero: true }
     }
 
     /// Builds a matrix from a generator; validates symmetry, zero
@@ -108,7 +111,8 @@ impl ScoreMatrix {
         if !(default_mismatch.is_finite() && default_mismatch >= 0.0) {
             return Err(ScoreMatrixError::InvalidCost(size, size));
         }
-        Ok(ScoreMatrix { size, costs, default_mismatch })
+        let zero = default_mismatch == 0.0 && costs.iter().all(|&c| c == 0.0);
+        Ok(ScoreMatrix { size, costs, default_mismatch, zero })
     }
 
     /// Number of labels with explicit entries.
@@ -133,6 +137,55 @@ impl ScoreMatrix {
         } else {
             self.default_mismatch
         }
+    }
+
+    /// Batched form of [`ScoreMatrix::cost`]: writes `cost(a, bs[k])`
+    /// into `out[k]` for every `k`. The hot inner loop of the flat
+    /// trie's frontier descent — one call per trie level costs a whole
+    /// alphabet of stored labels against the query label, scanning the
+    /// matrix row contiguously so the loop autovectorizes instead of
+    /// re-resolving the row per child node.
+    ///
+    /// # Panics
+    /// Panics if `bs.len() != out.len()`.
+    pub fn costs_into(&self, a: Label, bs: &[Label], out: &mut [f64]) {
+        assert_eq!(bs.len(), out.len(), "cost output must match the label batch");
+        let i = a.index();
+        if i < self.size {
+            let row = &self.costs[i * self.size..(i + 1) * self.size];
+            for (o, &b) in out.iter_mut().zip(bs) {
+                let j = b.index();
+                *o = if b == a {
+                    0.0
+                } else if j < self.size {
+                    row[j]
+                } else {
+                    self.default_mismatch
+                };
+            }
+        } else {
+            for (o, &b) in out.iter_mut().zip(bs) {
+                *o = if b == a { 0.0 } else { self.default_mismatch };
+            }
+        }
+    }
+
+    /// Sum of `cost(a[k], b[k])` over a pair of equal-length label
+    /// slices — one segment of a class-canonical vector scored in a
+    /// single pass (no per-position segment branch, so the loop is a
+    /// straight row-gather the compiler can unroll).
+    pub fn segment_cost(&self, a: &[Label], b: &[Label]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        // An all-zero matrix (the paper's ignored-vertex-labels setting)
+        // contributes nothing; skip the scan entirely.
+        if self.zero {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for (&la, &lb) in a.iter().zip(b) {
+            total += self.cost(la, lb);
+        }
+        total
     }
 
     /// The largest explicit entry (used for pruning bounds).
@@ -261,6 +314,46 @@ mod tests {
         })
         .unwrap();
         assert!(!bad.is_metric());
+    }
+
+    #[test]
+    fn costs_into_matches_scalar_cost() {
+        let m = ScoreMatrix::from_fn(3, 2.0, |a, b| {
+            if a == b {
+                0.0
+            } else {
+                (a.0 as f64 - b.0 as f64).abs()
+            }
+        })
+        .unwrap();
+        // In-range and out-of-range query labels, mixed stored labels.
+        for q in [Label(0), Label(1), Label(7)] {
+            let stored = [Label(0), Label(1), Label(2), Label(7), Label(9)];
+            let mut out = vec![f64::NAN; stored.len()];
+            m.costs_into(q, &stored, &mut out);
+            for (&s, &c) in stored.iter().zip(&out) {
+                assert_eq!(c, m.cost(q, s), "q={q:?} s={s:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cost output")]
+    fn costs_into_rejects_length_mismatch() {
+        let m = ScoreMatrix::unit(2);
+        let mut out = vec![0.0; 1];
+        m.costs_into(Label(0), &[Label(1), Label(2)], &mut out);
+    }
+
+    #[test]
+    fn segment_cost_sums_pairs() {
+        let m = ScoreMatrix::unit(0);
+        let a = [Label(1), Label(2), Label(3)];
+        let b = [Label(1), Label(9), Label(3)];
+        assert_eq!(m.segment_cost(&a, &b), 1.0);
+        // The all-zero matrix short-circuits.
+        assert_eq!(ScoreMatrix::zero(4).segment_cost(&a, &b), 0.0);
+        assert_eq!(m.segment_cost(&[], &[]), 0.0);
     }
 
     #[test]

@@ -65,11 +65,12 @@ impl MutationDistance {
     /// zero-cost levels before any pruning could happen.)
     pub fn label_vector_cost(&self, edge_count: usize, a: &[Label], b: &[Label]) -> f64 {
         debug_assert_eq!(a.len(), b.len());
-        let mut total = 0.0;
-        for (pos, (&la, &lb)) in a.iter().zip(b).enumerate() {
-            total += self.position_cost(pos, edge_count, la, lb);
-        }
-        total
+        // Segment-split so each loop scans one score matrix without a
+        // per-position branch (and all-zero segments cost nothing,
+        // including the scan).
+        let cut = edge_count.min(a.len());
+        self.edge_scores.segment_cost(&a[..cut], &b[..cut])
+            + self.vertex_scores.segment_cost(&a[cut..], &b[cut..])
     }
 
     /// Cost contributed by position `pos` of a class-canonical label
@@ -81,6 +82,30 @@ impl MutationDistance {
             self.edge_scores.cost(a, b)
         } else {
             self.vertex_scores.cost(a, b)
+        }
+    }
+
+    /// Batched form of [`MutationDistance::position_cost`]: fills
+    /// `out[k]` with the cost of mutating `query` into `stored[k]` at
+    /// vector position `pos`. One call costs a whole trie level's
+    /// distinct-label alphabet, which is what lets the flat trie's
+    /// frontier descent price each label once instead of once per child
+    /// node.
+    ///
+    /// # Panics
+    /// Panics if `stored.len() != out.len()`.
+    pub fn position_costs_into(
+        &self,
+        pos: usize,
+        edge_count: usize,
+        query: Label,
+        stored: &[Label],
+        out: &mut [f64],
+    ) {
+        if pos < edge_count {
+            self.edge_scores.costs_into(query, stored, out);
+        } else {
+            self.vertex_scores.costs_into(query, stored, out);
         }
     }
 
@@ -166,6 +191,21 @@ mod tests {
         let d = MutationDistance::new(ScoreMatrix::uniform(0, 2.0), ScoreMatrix::unit(0));
         assert_eq!(d.position_cost(0, 1, Label(0), Label(1)), 1.0); // edge slot
         assert_eq!(d.position_cost(1, 1, Label(0), Label(1)), 2.0); // vertex slot
+    }
+
+    #[test]
+    fn batched_position_costs_match_scalar() {
+        let d = MutationDistance::new(ScoreMatrix::uniform(0, 2.0), ScoreMatrix::unit(0));
+        let stored = [Label(0), Label(1), Label(5), Label(1)];
+        let mut out = vec![0.0; stored.len()];
+        for (pos, edge_count) in [(0usize, 1usize), (1, 1), (2, 4)] {
+            for q in [Label(0), Label(1), Label(9)] {
+                d.position_costs_into(pos, edge_count, q, &stored, &mut out);
+                for (&s, &c) in stored.iter().zip(&out) {
+                    assert_eq!(c, d.position_cost(pos, edge_count, q, s));
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,563 @@
+//! Cache-resident trie layout: a level-major arena with
+//! frontier-batched range descent.
+//!
+//! The pointer trie ([`crate::trie::LabelTrie`]) is the natural *build*
+//! structure — cheap inserts, one heap node per prefix — but a terrible
+//! *query* structure: every descent chases `Vec<(Label, Node)>` child
+//! allocations scattered across the heap and recurses once per branch,
+//! and the per-position cost function is re-evaluated for every child
+//! even though a level's children repeat a handful of labels.
+//!
+//! [`FlatTrie`] freezes the same logical trie into contiguous,
+//! level-major arrays:
+//!
+//! * all nodes of one level are adjacent (`level_start` delimits
+//!   levels), and a node's children are a contiguous run in the next
+//!   level addressed by CSR-style `child_start`/`child_len` offsets;
+//! * node labels live in one SoA `labels` array scanned
+//!   word-contiguously during descent, plus a per-level distinct-label
+//!   alphabet and a per-node `label_idx` into it;
+//! * leaf posting lists are concatenated into one `postings` array in
+//!   entry order — which makes **every** node's subtree postings a
+//!   contiguous range (`sub_start`/`sub_len`), not just a leaf's.
+//!
+//! [`FlatTrie::range_query`] replaces recursion with an iterative
+//! level-by-level frontier: all levels' distinct labels are priced
+//! up-front through a batched cost callback (see
+//! `MutationDistance::position_costs_into`), surviving children are
+//! appended to the next frontier, and the descent **stops early at the
+//! first level from which every remaining level prices to zero**
+//! (under the paper's edge-Hamming distance the normalized vertex
+//! suffix always does), emitting whole subtree posting ranges instead
+//! of walking cost-free levels. All frontier state lives in a
+//! caller-owned [`TrieFrontier`], so steady-state descents allocate
+//! nothing. Per-path cost accumulation performs the same f64 additions
+//! in the same order as the pointer trie (skipped levels contribute
+//! exactly `+0.0`), so reported distances are byte-identical to the
+//! reference.
+
+use pis_graph::{GraphId, Label};
+
+use crate::trie::LabelTrie;
+
+/// A frozen fixed-depth trie over label sequences (level-major arena).
+#[derive(Clone, Debug)]
+pub struct FlatTrie {
+    depth: usize,
+    /// Node index range of level `l` is `level_start[l]..level_start[l+1]`
+    /// (empty vec when `depth == 0`).
+    level_start: Vec<u32>,
+    /// Per node: the label on the edge from its parent.
+    labels: Vec<Label>,
+    /// Per node: absolute index of its label's cost slot (see
+    /// `alphabet`; slots are level-major like everything else).
+    label_idx: Vec<u32>,
+    /// Per internal node: its child run in the next level (zeros for
+    /// leaves, whose "children" are the posting range below).
+    child_start: Vec<u32>,
+    /// Per internal node: child run length.
+    child_len: Vec<u32>,
+    /// Per node: the contiguous `postings` range covered by its whole
+    /// subtree (for a leaf: its own posting list).
+    sub_start: Vec<u32>,
+    sub_len: Vec<u32>,
+    /// All `(sequence, graph)` entries' graph ids, in sorted entry
+    /// order — simultaneously the concatenation of all leaf posting
+    /// lists and of every subtree range.
+    postings: Vec<GraphId>,
+    /// Distinct labels of level `l`:
+    /// `alphabet[alphabet_start[l]..alphabet_start[l+1]]`, sorted
+    /// ascending. Query-time level costs are computed into a buffer
+    /// with this exact layout.
+    alphabet_start: Vec<u32>,
+    alphabet: Vec<Label>,
+}
+
+/// Reusable frontier buffers for [`FlatTrie::range_query`]. One scratch
+/// serves any number of sequential queries against tries of any shape.
+#[derive(Clone, Debug, Default)]
+pub struct TrieFrontier {
+    /// Live nodes of the current level.
+    nodes: Vec<u32>,
+    /// Accumulated cost of each live node, parallel to `nodes`.
+    costs: Vec<f64>,
+    /// Double buffers for the next level.
+    next_nodes: Vec<u32>,
+    next_costs: Vec<f64>,
+    /// Per-distinct-label costs of **all** levels, laid out like the
+    /// trie's `alphabet` array.
+    label_costs: Vec<f64>,
+}
+
+impl TrieFrontier {
+    /// An empty scratch; it sizes itself on first use.
+    pub fn new() -> Self {
+        TrieFrontier::default()
+    }
+}
+
+impl FlatTrie {
+    /// Builds the arena from `(sequence, graph)` entries (any order;
+    /// duplicates are dropped, matching [`LabelTrie::insert`]'s dedup).
+    ///
+    /// # Panics
+    /// Panics if any sequence length differs from `depth`.
+    pub fn from_entries(depth: usize, mut entries: Vec<(Vec<Label>, GraphId)>) -> Self {
+        for (seq, _) in &entries {
+            assert_eq!(seq.len(), depth, "sequence length must equal trie depth");
+        }
+        entries.sort_unstable();
+        entries.dedup();
+        FlatTrie::from_sorted(depth, &entries)
+    }
+
+    /// Freezes an insert-friendly [`LabelTrie`] builder into the arena
+    /// layout. The two answer identical queries; only the memory layout
+    /// changes.
+    pub fn freeze(builder: &LabelTrie) -> Self {
+        let mut entries: Vec<(Vec<Label>, GraphId)> = Vec::with_capacity(builder.len());
+        builder.for_each_entry(|seq, g| entries.push((seq.to_vec(), g)));
+        // `for_each_entry` yields lexicographic order with ascending
+        // graph ids — already sorted and deduplicated.
+        FlatTrie::from_sorted(builder.depth(), &entries)
+    }
+
+    /// `entries` must be sorted by `(sequence, graph)` and deduplicated.
+    fn from_sorted(depth: usize, entries: &[(Vec<Label>, GraphId)]) -> Self {
+        let n = entries.len();
+        let mut trie = FlatTrie {
+            depth,
+            level_start: Vec::with_capacity(depth + 1),
+            labels: Vec::new(),
+            label_idx: Vec::new(),
+            child_start: Vec::new(),
+            child_len: Vec::new(),
+            sub_start: Vec::new(),
+            sub_len: Vec::new(),
+            postings: entries.iter().map(|(_, g)| *g).collect(),
+            alphabet_start: Vec::with_capacity(depth + 1),
+            alphabet: Vec::new(),
+        };
+        if depth == 0 {
+            // The virtual root is the only (leaf) node; its postings are
+            // the whole array.
+            return trie;
+        }
+        // Level-by-level construction: each node is a distinct prefix,
+        // represented during the build by its contiguous entry range
+        // (entries are sorted, so equal prefixes are adjacent) — which
+        // is exactly its subtree posting range.
+        let mut parent_ranges: Vec<(u32, u32)> =
+            if n > 0 { vec![(0, n as u32)] } else { Vec::new() };
+        for l in 0..depth {
+            trie.level_start.push(trie.labels.len() as u32);
+            let mut next_ranges: Vec<(u32, u32)> = Vec::new();
+            for (pi, &(s, e)) in parent_ranges.iter().enumerate() {
+                let first_child = trie.labels.len() as u32;
+                let mut i = s;
+                while i < e {
+                    let label = entries[i as usize].0[l];
+                    let mut j = i + 1;
+                    while j < e && entries[j as usize].0[l] == label {
+                        j += 1;
+                    }
+                    trie.labels.push(label);
+                    trie.child_start.push(0);
+                    trie.child_len.push(0);
+                    trie.sub_start.push(i);
+                    trie.sub_len.push(j - i);
+                    next_ranges.push((i, j));
+                    i = j;
+                }
+                if l > 0 {
+                    // Parent `pi` of the previous level owns exactly the
+                    // children just created.
+                    let p = (trie.level_start[l - 1] + pi as u32) as usize;
+                    trie.child_start[p] = first_child;
+                    trie.child_len[p] = trie.labels.len() as u32 - first_child;
+                }
+            }
+            parent_ranges = next_ranges;
+        }
+        trie.level_start.push(trie.labels.len() as u32);
+        // Per-level distinct-label alphabets + absolute per-node cost
+        // slots (computed once here so descents only index).
+        trie.label_idx = vec![0; trie.labels.len()];
+        let mut distinct: Vec<Label> = Vec::new();
+        for l in 0..depth {
+            let base = trie.alphabet.len() as u32;
+            trie.alphabet_start.push(base);
+            let (s, e) = (trie.level_start[l] as usize, trie.level_start[l + 1] as usize);
+            distinct.clear();
+            distinct.extend_from_slice(&trie.labels[s..e]);
+            distinct.sort_unstable();
+            distinct.dedup();
+            for node in s..e {
+                let k = distinct
+                    .binary_search(&trie.labels[node])
+                    .expect("every node label is in the level alphabet");
+                trie.label_idx[node] = base + k as u32;
+            }
+            trie.alphabet.extend_from_slice(&distinct);
+        }
+        trie.alphabet_start.push(trie.alphabet.len() as u32);
+        trie
+    }
+
+    /// The uniform sequence length.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of `(sequence, graph)` pairs stored (after dedup).
+    pub fn len(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Whether the trie stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.postings.is_empty()
+    }
+
+    /// Number of arena nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Merges more `(sequence, graph)` entries into the arena by a
+    /// one-shot rebuild — O(stored + added). Incremental insertion is
+    /// not the arena's strength (see `FragmentIndex::insert_graph`);
+    /// batching a whole graph's sequences per call keeps it one rebuild
+    /// per class.
+    ///
+    /// # Panics
+    /// Panics if any sequence length differs from the trie depth.
+    pub fn insert_batch(&mut self, additions: Vec<(Vec<Label>, GraphId)>) {
+        if additions.is_empty() {
+            return;
+        }
+        let mut merged: Vec<(Vec<Label>, GraphId)> =
+            Vec::with_capacity(self.len() + additions.len());
+        self.for_each_entry(|seq, g| merged.push((seq.to_vec(), g)));
+        merged.extend(additions);
+        *self = FlatTrie::from_entries(self.depth, merged);
+    }
+
+    /// Visits every stored `(sequence, graph)` pair in lexicographic
+    /// sequence order (ascending graph ids within a sequence) — the
+    /// same deterministic order as [`LabelTrie::for_each_entry`], which
+    /// keeps persisted bytes identical across layouts.
+    pub fn for_each_entry(&self, mut visit: impl FnMut(&[Label], GraphId)) {
+        if self.depth == 0 {
+            for &g in &self.postings {
+                visit(&[], g);
+            }
+            return;
+        }
+        let mut path = vec![Label(0); self.depth];
+        let root_range = (self.level_start[0], self.level_start[1]);
+        self.walk_entries(0, root_range, &mut path, &mut visit);
+    }
+
+    fn walk_entries(
+        &self,
+        level: usize,
+        (start, end): (u32, u32),
+        path: &mut [Label],
+        visit: &mut impl FnMut(&[Label], GraphId),
+    ) {
+        for node in start as usize..end as usize {
+            path[level] = self.labels[node];
+            if level + 1 == self.depth {
+                let (s, n) = (self.sub_start[node], self.sub_len[node]);
+                for &g in &self.postings[s as usize..(s + n) as usize] {
+                    visit(path, g);
+                }
+            } else {
+                let (cs, cl) = (self.child_start[node], self.child_len[node]);
+                self.walk_entries(level + 1, (cs, cs + cl), path, visit);
+            }
+        }
+    }
+
+    /// Visits every stored `(graph, cost)` whose sequence is within
+    /// `sigma` of `query` — the iterative, frontier-batched equivalent
+    /// of [`LabelTrie::range_query`]. `level_costs(pos, query_label,
+    /// stored_labels, out)` prices a whole level's distinct labels in
+    /// one call (the batched kernel); each frontier node then pays one
+    /// table lookup per child, and the descent short-circuits through
+    /// any all-zero-cost suffix by emitting whole subtree posting
+    /// ranges. A graph stored under several qualifying sequences is
+    /// visited once per sequence; the caller keeps the minimum.
+    ///
+    /// # Panics
+    /// Panics if `query.len() != depth`.
+    pub fn range_query(
+        &self,
+        query: &[Label],
+        sigma: f64,
+        mut level_costs: impl FnMut(usize, Label, &[Label], &mut [f64]),
+        scratch: &mut TrieFrontier,
+        mut visit: impl FnMut(GraphId, f64),
+    ) {
+        assert_eq!(query.len(), self.depth, "query length must equal trie depth");
+        if self.depth == 0 {
+            for &g in &self.postings {
+                visit(g, 0.0);
+            }
+            return;
+        }
+        let TrieFrontier { nodes, costs, next_nodes, next_costs, label_costs } = scratch;
+        // Price every level's alphabet up front (one batched call per
+        // level into the alphabet-shaped buffer)...
+        label_costs.clear();
+        label_costs.resize(self.alphabet.len(), 0.0);
+        for (l, &q) in query.iter().enumerate() {
+            let (s, e) = (self.alphabet_start[l] as usize, self.alphabet_start[l + 1] as usize);
+            level_costs(l, q, &self.alphabet[s..e], &mut label_costs[s..e]);
+        }
+        // ...then find the first level from which every remaining level
+        // prices to zero: below it, descent cannot change a path's cost,
+        // so whole subtrees resolve at once. Under the edge-Hamming
+        // evaluation distance this is the entire vertex suffix.
+        let mut zero_from = self.depth;
+        while zero_from > 0 {
+            let (s, e) = (
+                self.alphabet_start[zero_from - 1] as usize,
+                self.alphabet_start[zero_from] as usize,
+            );
+            if label_costs[s..e].iter().any(|&c| c != 0.0) {
+                break;
+            }
+            zero_from -= 1;
+        }
+        if zero_from == 0 {
+            // The whole query is cost-free against everything stored
+            // (and costs are non-negative, so sigma >= 0 admits all).
+            if sigma >= 0.0 {
+                for &g in &self.postings {
+                    visit(g, 0.0);
+                }
+            }
+            return;
+        }
+        nodes.clear();
+        costs.clear();
+        // Level 0: the virtual root's children are the whole first
+        // level.
+        for node in self.level_start[0]..self.level_start[1] {
+            let c = label_costs[self.label_idx[node as usize] as usize];
+            if c <= sigma {
+                nodes.push(node);
+                costs.push(c);
+            }
+        }
+        for _l in 1..zero_from {
+            next_nodes.clear();
+            next_costs.clear();
+            for (&node, &acc) in nodes.iter().zip(costs.iter()) {
+                let cs = self.child_start[node as usize];
+                let ce = cs + self.child_len[node as usize];
+                for child in cs..ce {
+                    let c = acc + label_costs[self.label_idx[child as usize] as usize];
+                    if c <= sigma {
+                        next_nodes.push(child);
+                        next_costs.push(c);
+                    }
+                }
+            }
+            std::mem::swap(nodes, next_nodes);
+            std::mem::swap(costs, next_costs);
+            if nodes.is_empty() {
+                return;
+            }
+        }
+        // The frontier sits at level `zero_from - 1`; every deeper level
+        // adds exactly 0.0, so each surviving node's whole subtree
+        // posting range carries its accumulated cost.
+        for (&node, &acc) in nodes.iter().zip(costs.iter()) {
+            let s = self.sub_start[node as usize] as usize;
+            let e = s + self.sub_len[node as usize] as usize;
+            for &g in &self.postings[s..e] {
+                visit(g, acc);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(xs: &[u32]) -> Vec<Label> {
+        xs.iter().map(|&x| Label(x)).collect()
+    }
+
+    /// Unit Hamming cost regardless of position, batched form.
+    fn hamming(_pos: usize, q: Label, stored: &[Label], out: &mut [f64]) {
+        for (o, &s) in out.iter_mut().zip(stored) {
+            *o = if s == q { 0.0 } else { 1.0 };
+        }
+    }
+
+    fn collect(trie: &FlatTrie, query: &[Label], sigma: f64) -> Vec<(u32, f64)> {
+        let mut out = Vec::new();
+        let mut scratch = TrieFrontier::new();
+        trie.range_query(query, sigma, hamming, &mut scratch, |g, c| out.push((g.0, c)));
+        out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        out
+    }
+
+    fn from_builder(entries: &[(Vec<Label>, GraphId)], depth: usize) -> (LabelTrie, FlatTrie) {
+        let mut builder = LabelTrie::new(depth);
+        for (seq, g) in entries {
+            builder.insert(seq, *g);
+        }
+        let flat = FlatTrie::freeze(&builder);
+        (builder, flat)
+    }
+
+    #[test]
+    fn exact_and_near_matches() {
+        let entries = vec![
+            (l(&[1, 2, 3]), GraphId(0)),
+            (l(&[1, 2, 4]), GraphId(1)),
+            (l(&[9, 9, 9]), GraphId(2)),
+        ];
+        let (_, t) = from_builder(&entries, 3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(collect(&t, &l(&[1, 2, 3]), 0.0), vec![(0, 0.0)]);
+        assert_eq!(collect(&t, &l(&[1, 2, 3]), 1.0), vec![(0, 0.0), (1, 1.0)]);
+        assert_eq!(collect(&t, &l(&[1, 2, 3]), 3.0), vec![(0, 0.0), (1, 1.0), (2, 3.0)]);
+    }
+
+    #[test]
+    fn duplicate_pairs_deduplicated() {
+        let t = FlatTrie::from_entries(
+            2,
+            vec![(l(&[1, 1]), GraphId(7)), (l(&[1, 1]), GraphId(7)), (l(&[1, 1]), GraphId(8))],
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(collect(&t, &l(&[1, 1]), 0.0), vec![(7, 0.0), (8, 0.0)]);
+    }
+
+    #[test]
+    fn matches_pointer_trie_on_random_data() {
+        // Differential check including duplicate `(sequence, graph)`
+        // pairs, several sigmas, and a position-dependent cost whose
+        // zero-cost suffix exercises the subtree short-circuit.
+        let mut entries = Vec::new();
+        let mut x = 1u64;
+        for g in 0..80u32 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let seq = l(&[
+                (x >> 8) as u32 % 4,
+                (x >> 16) as u32 % 3,
+                (x >> 24) as u32 % 3,
+                (x >> 32) as u32 % 2,
+            ]);
+            entries.push((seq, GraphId(g % 20)));
+        }
+        let (builder, flat) = from_builder(&entries, 4);
+        assert_eq!(builder.len(), flat.len());
+        // Hamming on the first two positions, free afterwards — the
+        // descent must stop at level 2 and emit subtree ranges.
+        let scalar = |pos: usize, a: Label, b: Label| {
+            if a == b || pos >= 2 {
+                0.0
+            } else {
+                1.0
+            }
+        };
+        let batched = |pos: usize, q: Label, stored: &[Label], out: &mut [f64]| {
+            for (o, &s) in out.iter_mut().zip(stored) {
+                *o = scalar(pos, q, s);
+            }
+        };
+        let mut scratch = TrieFrontier::new();
+        for query in [l(&[0, 0, 0, 0]), l(&[1, 2, 1, 1]), l(&[3, 2, 2, 0])] {
+            for sigma in [0.0, 1.0, 2.0, 4.0] {
+                let mut expected = Vec::new();
+                builder.range_query(&query, sigma, scalar, |g, c| expected.push((g.0, c)));
+                expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                let mut got = Vec::new();
+                flat.range_query(&query, sigma, batched, &mut scratch, |g, c| got.push((g.0, c)));
+                got.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                assert_eq!(got, expected, "sigma={sigma} query={query:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_zero_costs_emit_everything_at_zero() {
+        let entries =
+            vec![(l(&[1, 2]), GraphId(0)), (l(&[3, 4]), GraphId(1)), (l(&[3, 4]), GraphId(2))];
+        let t = FlatTrie::from_entries(2, entries);
+        let free = |_pos: usize, _q: Label, stored: &[Label], out: &mut [f64]| {
+            for (o, _) in out.iter_mut().zip(stored) {
+                *o = 0.0;
+            }
+        };
+        let mut out = Vec::new();
+        t.range_query(&l(&[9, 9]), 0.0, free, &mut TrieFrontier::new(), |g, c| out.push((g.0, c)));
+        out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(out, vec![(0, 0.0), (1, 0.0), (2, 0.0)]);
+    }
+
+    #[test]
+    fn entry_iteration_matches_pointer_trie() {
+        let entries = vec![
+            (l(&[2, 1]), GraphId(5)),
+            (l(&[1, 1]), GraphId(3)),
+            (l(&[1, 2]), GraphId(3)),
+            (l(&[1, 1]), GraphId(1)),
+        ];
+        let (builder, flat) = from_builder(&entries, 2);
+        let mut a = Vec::new();
+        builder.for_each_entry(|s, g| a.push((s.to_vec(), g)));
+        let mut b = Vec::new();
+        flat.for_each_entry(|s, g| b.push((s.to_vec(), g)));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn insert_batch_equals_bulk_build() {
+        let first = vec![(l(&[1, 2]), GraphId(0)), (l(&[2, 2]), GraphId(1))];
+        let second = vec![(l(&[1, 2]), GraphId(2)), (l(&[0, 1]), GraphId(2))];
+        let mut incremental = FlatTrie::from_entries(2, first.clone());
+        incremental.insert_batch(second.clone());
+        let bulk = FlatTrie::from_entries(2, first.into_iter().chain(second).collect());
+        let mut a = Vec::new();
+        incremental.for_each_entry(|s, g| a.push((s.to_vec(), g)));
+        let mut b = Vec::new();
+        bulk.for_each_entry(|s, g| b.push((s.to_vec(), g)));
+        assert_eq!(a, b);
+        assert_eq!(incremental.len(), bulk.len());
+    }
+
+    #[test]
+    fn empty_and_depth_zero_tries() {
+        let empty = FlatTrie::from_entries(2, Vec::new());
+        assert!(empty.is_empty());
+        assert!(collect(&empty, &l(&[0, 0]), 10.0).is_empty());
+        let zero = FlatTrie::from_entries(0, vec![(Vec::new(), GraphId(4))]);
+        assert_eq!(zero.len(), 1);
+        assert_eq!(collect(&zero, &[], 0.0), vec![(4, 0.0)]);
+        let mut seen = Vec::new();
+        zero.for_each_entry(|s, g| seen.push((s.len(), g.0)));
+        assert_eq!(seen, vec![(0, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence length")]
+    fn wrong_length_rejected() {
+        let _ = FlatTrie::from_entries(3, vec![(l(&[1]), GraphId(0))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "query length")]
+    fn wrong_query_length_rejected() {
+        let t = FlatTrie::from_entries(2, vec![(l(&[1, 1]), GraphId(0))]);
+        let _ = collect(&t, &l(&[1]), 1.0);
+    }
+}

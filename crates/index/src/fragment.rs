@@ -13,6 +13,7 @@
 //! edge-only: putting the cost-bearing slots first lets the trie prune
 //! before reaching the zero-cost vertex suffix.
 
+use pis_graph::util::FxHashSet;
 use pis_graph::{Embedding, Label, LabeledGraph, VertexId};
 use pis_mining::FeatureId;
 
@@ -24,6 +25,62 @@ pub enum FragmentVector {
     Labels(Vec<Label>),
     /// Edge weights then vertex weights.
     Weights(Vec<f64>),
+}
+
+/// A borrowed fragment vector — the slice view the query funnel passes
+/// around so arena-backed fragments ([`FragmentBuffer`]) never
+/// materialize per-fragment `Vec`s.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FragmentVectorRef<'a> {
+    /// Edge labels then vertex labels.
+    Labels(&'a [Label]),
+    /// Edge weights then vertex weights.
+    Weights(&'a [f64]),
+}
+
+impl<'a> FragmentVectorRef<'a> {
+    /// The vector length (vertex slots + edge slots).
+    pub fn len(&self) -> usize {
+        match self {
+            FragmentVectorRef::Labels(v) => v.len(),
+            FragmentVectorRef::Weights(v) => v.len(),
+        }
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The label slots.
+    ///
+    /// # Panics
+    /// Panics if this is a weight vector.
+    pub fn labels(&self) -> &'a [Label] {
+        match self {
+            FragmentVectorRef::Labels(v) => v,
+            FragmentVectorRef::Weights(_) => panic!("expected a label vector, found weights"),
+        }
+    }
+
+    /// The weight slots.
+    ///
+    /// # Panics
+    /// Panics if this is a label vector.
+    pub fn weights(&self) -> &'a [f64] {
+        match self {
+            FragmentVectorRef::Weights(v) => v,
+            FragmentVectorRef::Labels(_) => panic!("expected a weight vector, found labels"),
+        }
+    }
+
+    /// Copies the slice into an owned [`FragmentVector`].
+    pub fn to_owned_vector(&self) -> FragmentVector {
+        match self {
+            FragmentVectorRef::Labels(v) => FragmentVector::Labels(v.to_vec()),
+            FragmentVectorRef::Weights(v) => FragmentVector::Weights(v.to_vec()),
+        }
+    }
 }
 
 impl FragmentVector {
@@ -61,6 +118,14 @@ impl FragmentVector {
             FragmentVector::Labels(_) => panic!("expected a weight vector, found labels"),
         }
     }
+
+    /// Borrows the vector as a [`FragmentVectorRef`].
+    pub fn as_view(&self) -> FragmentVectorRef<'_> {
+        match self {
+            FragmentVector::Labels(v) => FragmentVectorRef::Labels(v),
+            FragmentVector::Weights(v) => FragmentVectorRef::Weights(v),
+        }
+    }
 }
 
 /// Reads the label vector of an embedding: target labels of the
@@ -73,14 +138,25 @@ pub fn label_vector(
     embedding: &Embedding,
 ) -> Vec<Label> {
     let mut v = Vec::with_capacity(feature.vertex_count() + feature.edge_count());
+    label_vector_into(feature, target, embedding, &mut v);
+    v
+}
+
+/// Appends the label vector of an embedding to `out` (the
+/// allocation-free form of [`label_vector`], used by arena fills).
+pub fn label_vector_into(
+    feature: &LabeledGraph,
+    target: &LabeledGraph,
+    embedding: &Embedding,
+    out: &mut Vec<Label>,
+) {
     for e in feature.edge_ids() {
         let te = embedding.edge_image(feature, target, e);
-        v.push(target.edge(te).attr.label);
+        out.push(target.edge(te).attr.label);
     }
     for p in feature.vertex_ids() {
-        v.push(target.vertex(embedding.vertex_image(p)).label);
+        out.push(target.vertex(embedding.vertex_image(p)).label);
     }
-    v
 }
 
 /// Reads the weight vector of an embedding (same layout as
@@ -91,14 +167,25 @@ pub fn weight_vector(
     embedding: &Embedding,
 ) -> Vec<f64> {
     let mut v = Vec::with_capacity(feature.vertex_count() + feature.edge_count());
+    weight_vector_into(feature, target, embedding, &mut v);
+    v
+}
+
+/// Appends the weight vector of an embedding to `out` (the
+/// allocation-free form of [`weight_vector`]).
+pub fn weight_vector_into(
+    feature: &LabeledGraph,
+    target: &LabeledGraph,
+    embedding: &Embedding,
+    out: &mut Vec<f64>,
+) {
     for e in feature.edge_ids() {
         let te = embedding.edge_image(feature, target, e);
-        v.push(target.edge(te).attr.weight);
+        out.push(target.edge(te).attr.weight);
     }
     for p in feature.vertex_ids() {
-        v.push(target.vertex(embedding.vertex_image(p)).weight);
+        out.push(target.vertex(embedding.vertex_image(p)).weight);
     }
-    v
 }
 
 /// An indexed fragment of a *query* graph: what Algorithm 2 enumerates
@@ -120,6 +207,97 @@ impl QueryFragment {
     /// Number of query vertices covered.
     pub fn vertex_count(&self) -> usize {
         self.vertices.len()
+    }
+}
+
+/// Arena-backed storage for one query's enumerated fragments — the
+/// allocation-free counterpart of `Vec<QueryFragment>`.
+///
+/// All fragments share four flat arrays (features, vertex images,
+/// vector slots, offsets); the dedup set recycles its key allocations
+/// through an internal pool. Held inside the searcher's scratch and
+/// reused across queries, `FragmentIndex::enumerate_query_fragments_into`
+/// performs no steady-state heap allocation.
+#[derive(Debug, Default)]
+pub struct FragmentBuffer {
+    /// Feature of fragment `i`.
+    pub(crate) features: Vec<FeatureId>,
+    /// Vertex images, concatenated; fragment `i` owns
+    /// `verts[vert_start[i]..vert_start[i + 1]]` (sorted ascending).
+    pub(crate) vert_start: Vec<u32>,
+    pub(crate) verts: Vec<VertexId>,
+    /// Vector slots, concatenated into `labels` (mutation distance) or
+    /// `weights` (linear distance) depending on `label_kind`.
+    pub(crate) vec_start: Vec<u32>,
+    pub(crate) labels: Vec<Label>,
+    pub(crate) weights: Vec<f64>,
+    pub(crate) label_kind: bool,
+    /// Dedup keys of this query's fragments.
+    pub(crate) seen: FxHashSet<Vec<u32>>,
+    /// Recycled key allocations (refilled from `seen` on reset).
+    pub(crate) key_pool: Vec<Vec<u32>>,
+    /// Reusable key-assembly buffer.
+    pub(crate) key_buf: Vec<u32>,
+}
+
+impl FragmentBuffer {
+    /// An empty buffer; it sizes itself on first use.
+    pub fn new() -> Self {
+        FragmentBuffer::default()
+    }
+
+    /// Resets for a new query, keeping every allocation (dedup keys are
+    /// drained into the recycling pool).
+    pub(crate) fn reset(&mut self, label_kind: bool) {
+        self.features.clear();
+        self.vert_start.clear();
+        self.vert_start.push(0);
+        self.verts.clear();
+        self.vec_start.clear();
+        self.vec_start.push(0);
+        self.labels.clear();
+        self.weights.clear();
+        self.label_kind = label_kind;
+        self.key_pool.extend(self.seen.drain());
+    }
+
+    /// Number of fragments stored.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether no fragments are stored.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Feature (equivalence class) of fragment `i`.
+    pub fn feature(&self, i: usize) -> FeatureId {
+        self.features[i]
+    }
+
+    /// Sorted query vertices covered by fragment `i`.
+    pub fn vertices(&self, i: usize) -> &[VertexId] {
+        &self.verts[self.vert_start[i] as usize..self.vert_start[i + 1] as usize]
+    }
+
+    /// The (normalized) vector of fragment `i`, borrowed from the arena.
+    pub fn vector(&self, i: usize) -> FragmentVectorRef<'_> {
+        let (s, e) = (self.vec_start[i] as usize, self.vec_start[i + 1] as usize);
+        if self.label_kind {
+            FragmentVectorRef::Labels(&self.labels[s..e])
+        } else {
+            FragmentVectorRef::Weights(&self.weights[s..e])
+        }
+    }
+
+    /// Materializes fragment `i` as an owned [`QueryFragment`].
+    pub fn to_query_fragment(&self, i: usize) -> QueryFragment {
+        QueryFragment {
+            feature: self.feature(i),
+            vertices: self.vertices(i).to_vec(),
+            vector: self.vector(i).to_owned_vector(),
+        }
     }
 }
 

@@ -16,9 +16,12 @@ use pis_graph::util::FxHashSet;
 use pis_graph::{GraphId, Label, LabeledGraph, ScopedPool};
 use pis_mining::{FeatureId, FeatureSet};
 
-use crate::fragment::{label_vector, weight_vector, FragmentVector, QueryFragment};
+use crate::flat_trie::{FlatTrie, TrieFrontier};
+use crate::fragment::{
+    label_vector, label_vector_into, weight_vector, weight_vector_into, FragmentBuffer,
+    FragmentVector, FragmentVectorRef, QueryFragment,
+};
 use crate::rtree::RTree;
-use crate::trie::LabelTrie;
 use crate::vptree::VpTree;
 
 /// Which range-search structure each class uses.
@@ -75,25 +78,48 @@ impl IndexDistance {
     /// query vectors.
     pub fn normalize(&self, edge_count: usize, vector: &mut FragmentVector) {
         match (self, vector) {
-            (IndexDistance::Mutation(md), FragmentVector::Labels(v)) => {
-                let cut = edge_count.min(v.len());
-                if md.edge_scores().max_cost() == 0.0 {
-                    v[..cut].fill(Label::ERASED);
-                }
-                if md.vertex_scores().max_cost() == 0.0 {
-                    v[cut..].fill(Label::ERASED);
-                }
+            (IndexDistance::Mutation(_), FragmentVector::Labels(v)) => {
+                self.normalize_labels(edge_count, v)
             }
-            (IndexDistance::Linear(ld), FragmentVector::Weights(v)) => {
-                let cut = edge_count.min(v.len());
-                if ld.edge_scale() == 0.0 {
-                    v[..cut].fill(0.0);
-                }
-                if ld.vertex_scale() == 0.0 {
-                    v[cut..].fill(0.0);
-                }
+            (IndexDistance::Linear(_), FragmentVector::Weights(v)) => {
+                self.normalize_weights(edge_count, v)
             }
             _ => panic!("fragment vector kind does not match the index distance"),
+        }
+    }
+
+    /// Slice form of [`IndexDistance::normalize`] for label vectors
+    /// (arena-backed fragments normalize in place).
+    ///
+    /// # Panics
+    /// Panics on a linear-distance index.
+    pub fn normalize_labels(&self, edge_count: usize, v: &mut [Label]) {
+        let IndexDistance::Mutation(md) = self else {
+            panic!("fragment vector kind does not match the index distance")
+        };
+        let cut = edge_count.min(v.len());
+        if md.edge_scores().max_cost() == 0.0 {
+            v[..cut].fill(Label::ERASED);
+        }
+        if md.vertex_scores().max_cost() == 0.0 {
+            v[cut..].fill(Label::ERASED);
+        }
+    }
+
+    /// Slice form of [`IndexDistance::normalize`] for weight vectors.
+    ///
+    /// # Panics
+    /// Panics on a mutation-distance index.
+    pub fn normalize_weights(&self, edge_count: usize, v: &mut [f64]) {
+        let IndexDistance::Linear(ld) = self else {
+            panic!("fragment vector kind does not match the index distance")
+        };
+        let cut = edge_count.min(v.len());
+        if ld.edge_scale() == 0.0 {
+            v[..cut].fill(0.0);
+        }
+        if ld.vertex_scale() == 0.0 {
+            v[cut..].fill(0.0);
         }
     }
 }
@@ -137,6 +163,8 @@ pub struct RangeScratch {
     touched: Vec<GraphId>,
     /// Monotone query counter.
     generation: u64,
+    /// Frontier buffers for the flat trie's level-by-level descent.
+    frontier: TrieFrontier,
 }
 
 impl RangeScratch {
@@ -157,10 +185,10 @@ impl RangeScratch {
 }
 
 pub(crate) enum ClassImpl {
-    Trie(LabelTrie),
-    VpLabels(VpTree<Vec<Label>>),
+    Trie(FlatTrie),
+    VpLabels(VpTree<Label>),
     RTree(RTree),
-    VpWeights(VpTree<Vec<f64>>),
+    VpWeights(VpTree<f64>),
 }
 
 pub(crate) struct ClassIndex {
@@ -238,10 +266,12 @@ impl FragmentIndex {
     /// caller must append the same graph to its database (the facade's
     /// `PisSystem::insert_graph` keeps both in sync).
     ///
-    /// Trie and R-tree classes insert in place; VP-tree classes are
+    /// R-tree classes insert in place. Trie classes merge the graph's
+    /// sequences into the frozen arena with one O(class) rebuild per
+    /// class ([`FlatTrie::insert_batch`]); VP-tree classes are likewise
     /// rebuilt from their items (VP-trees do not take in-place inserts
-    /// without losing balance), so prefer the default backends for
-    /// insert-heavy workloads.
+    /// without losing balance). For insert-heavy workloads, batch
+    /// arrivals and rebuild the index periodically.
     pub fn insert_graph(&mut self, g: &LabeledGraph) -> GraphId {
         let gid = GraphId(self.graph_count as u32);
         self.graph_count += 1;
@@ -249,6 +279,7 @@ impl FragmentIndex {
             let feature = self.features.get(FeatureId(class_idx as u32));
             let structure = &feature.structure;
             let ecount = structure.edge_count();
+            let slots = structure.vertex_count() + structure.edge_count();
             let entries = collect_graph_entries(structure, g, &self.distance, &self.config);
             if !entries.any {
                 continue;
@@ -260,9 +291,7 @@ impl FragmentIndex {
             class.entries += entries.labels.len() + entries.weights.len();
             match (&mut class.imp, &self.distance) {
                 (ClassImpl::Trie(trie), _) => {
-                    for v in &entries.labels {
-                        trie.insert(v, gid);
-                    }
+                    trie.insert_batch(entries.labels.into_iter().map(|v| (v, gid)).collect());
                 }
                 (ClassImpl::RTree(rt), IndexDistance::Linear(ld)) => {
                     for v in &entries.weights {
@@ -271,21 +300,23 @@ impl FragmentIndex {
                 }
                 (ClassImpl::VpLabels(_), IndexDistance::Mutation(md)) => {
                     let md = md.clone();
-                    let imp = std::mem::replace(&mut class.imp, ClassImpl::Trie(LabelTrie::new(0)));
+                    let placeholder = ClassImpl::Trie(FlatTrie::from_entries(0, Vec::new()));
+                    let imp = std::mem::replace(&mut class.imp, placeholder);
                     let ClassImpl::VpLabels(vp) = imp else { unreachable!() };
                     let mut items = vp.into_items();
                     items.extend(entries.labels.into_iter().map(|v| (v, gid)));
-                    class.imp = ClassImpl::VpLabels(VpTree::build(items, move |a, b| {
+                    class.imp = ClassImpl::VpLabels(VpTree::build(slots, items, move |a, b| {
                         md.label_vector_cost(ecount, a, b)
                     }));
                 }
                 (ClassImpl::VpWeights(_), IndexDistance::Linear(ld)) => {
                     let ld = *ld;
-                    let imp = std::mem::replace(&mut class.imp, ClassImpl::Trie(LabelTrie::new(0)));
+                    let placeholder = ClassImpl::Trie(FlatTrie::from_entries(0, Vec::new()));
+                    let imp = std::mem::replace(&mut class.imp, placeholder);
                     let ClassImpl::VpWeights(vp) = imp else { unreachable!() };
                     let mut items = vp.into_items();
                     items.extend(entries.weights.into_iter().map(|v| (v, gid)));
-                    class.imp = ClassImpl::VpWeights(VpTree::build(items, move |a, b| {
+                    class.imp = ClassImpl::VpWeights(VpTree::build(slots, items, move |a, b| {
                         ld.weight_vector_cost(ecount, a, b)
                     }));
                 }
@@ -312,14 +343,21 @@ impl FragmentIndex {
         self.distance.normalize(ecount, &mut normalized);
         let mut scratch = RangeScratch::default();
         let mut out = Vec::new();
-        self.range_query_normalized_into(feature, &normalized, sigma, &mut scratch, &mut out);
+        self.range_query_normalized_into(
+            feature,
+            normalized.as_view(),
+            sigma,
+            &mut scratch,
+            &mut out,
+        );
         out
     }
 
     /// [`FragmentIndex::range_query`] without the per-call allocations:
-    /// the per-graph minimum is kept in `scratch`'s dense accumulator
-    /// (no hash map) and hits are appended to `out` (cleared first),
-    /// sorted by graph id.
+    /// the probe is a borrowed [`FragmentVectorRef`] (arena-backed
+    /// fragments never materialize vectors), the per-graph minimum is
+    /// kept in `scratch`'s dense accumulator (no hash map) and hits are
+    /// appended to `out` (cleared first), sorted by graph id.
     ///
     /// The probe `vector` must already be normalized for this index —
     /// true of every vector produced by
@@ -329,7 +367,7 @@ impl FragmentIndex {
     pub fn range_query_normalized_into(
         &self,
         feature: FeatureId,
-        vector: &FragmentVector,
+        vector: FragmentVectorRef<'_>,
         sigma: f64,
         scratch: &mut RangeScratch,
         out: &mut Vec<(GraphId, f64)>,
@@ -337,7 +375,7 @@ impl FragmentIndex {
         let class = &self.classes[feature.index()];
         let ecount = self.features.get(feature).edge_count();
         scratch.begin(self.graph_count);
-        let RangeScratch { stamp, best, touched, generation } = scratch;
+        let RangeScratch { stamp, best, touched, generation, frontier } = scratch;
         let generation = *generation;
         let visit = |g: GraphId, d: f64| {
             let i = g.index();
@@ -352,29 +390,32 @@ impl FragmentIndex {
         match (&class.imp, vector, &self.distance) {
             (
                 ClassImpl::Trie(trie),
-                FragmentVector::Labels(labels),
+                FragmentVectorRef::Labels(labels),
                 IndexDistance::Mutation(md),
             ) => {
+                // Frontier descent with batched per-level costs: every
+                // distinct stored label of a level is priced once.
                 trie.range_query(
                     labels,
                     sigma,
-                    |pos, a, b| md.position_cost(pos, ecount, a, b),
+                    |pos, q, stored, costs| md.position_costs_into(pos, ecount, q, stored, costs),
+                    frontier,
                     visit,
                 );
             }
             (
                 ClassImpl::VpLabels(vp),
-                FragmentVector::Labels(labels),
+                FragmentVectorRef::Labels(labels),
                 IndexDistance::Mutation(md),
             ) => {
                 vp.range_query(
                     labels,
                     sigma,
-                    |a: &Vec<Label>, b: &Vec<Label>| md.label_vector_cost(ecount, a, b),
+                    |a: &[Label], b: &[Label]| md.label_vector_cost(ecount, a, b),
                     visit,
                 );
             }
-            (ClassImpl::RTree(rt), FragmentVector::Weights(ws), IndexDistance::Linear(ld)) => {
+            (ClassImpl::RTree(rt), FragmentVectorRef::Weights(ws), IndexDistance::Linear(ld)) => {
                 // The tree stores *scale-transformed* coordinates (see
                 // `scale_weights`), turning the weighted L1 of the
                 // linear distance into a plain L1 — so the query vector
@@ -382,12 +423,16 @@ impl FragmentIndex {
                 let scaled = scale_weights(ld, ecount, ws);
                 rt.range_query(&scaled, sigma, visit);
             }
-            (ClassImpl::VpWeights(vp), FragmentVector::Weights(ws), IndexDistance::Linear(ld)) => {
+            (
+                ClassImpl::VpWeights(vp),
+                FragmentVectorRef::Weights(ws),
+                IndexDistance::Linear(ld),
+            ) => {
                 let ld = *ld;
                 vp.range_query(
                     ws,
                     sigma,
-                    move |a: &Vec<f64>, b: &Vec<f64>| ld.weight_vector_cost(ecount, a, b),
+                    move |a: &[f64], b: &[f64]| ld.weight_vector_cost(ecount, a, b),
                     visit,
                 );
             }
@@ -402,54 +447,71 @@ impl FragmentIndex {
     /// lines 3–4), deduplicated by `(feature, vertex image, edge image)`
     /// so automorphic re-readings issue one range query each.
     ///
-    /// The dedup key is assembled in one reusable buffer
-    /// (`[feature, sorted vertices…, sorted edges…]`) and checked with a
-    /// borrowed `contains` first, so the common duplicate case — every
-    /// automorphic re-reading after the first — allocates nothing.
+    /// Materializes owned [`QueryFragment`]s through a throwaway arena;
+    /// hot callers hold a [`FragmentBuffer`] and use
+    /// [`FragmentIndex::enumerate_query_fragments_into`] instead.
     pub fn enumerate_query_fragments(&self, query: &LabeledGraph) -> Vec<QueryFragment> {
-        let mut out = Vec::new();
-        let mut seen: FxHashSet<Vec<u32>> = FxHashSet::default();
-        let mut key: Vec<u32> = Vec::new();
+        let mut buf = FragmentBuffer::new();
+        self.enumerate_query_fragments_into(query, &mut buf);
+        (0..buf.len()).map(|i| buf.to_query_fragment(i)).collect()
+    }
+
+    /// [`FragmentIndex::enumerate_query_fragments`] without the per-call
+    /// allocations: fragments land in the caller's arena-backed
+    /// [`FragmentBuffer`] (cleared first). The dedup key is assembled in
+    /// one reusable buffer (`[feature, sorted vertices…, sorted
+    /// edges…]`) and checked with a borrowed `contains` first, and key
+    /// allocations are recycled across queries — so the steady state of
+    /// a reused buffer allocates nothing.
+    pub fn enumerate_query_fragments_into(&self, query: &LabeledGraph, buf: &mut FragmentBuffer) {
+        buf.reset(self.distance.is_mutation());
         for feature in self.features.iter() {
+            let ecount = feature.structure.edge_count();
             let matcher = SubgraphMatcher::new(&feature.structure, query, IsoConfig::STRUCTURE);
             matcher.for_each(|emb| {
-                key.clear();
-                key.push(feature.id.0);
-                let vertex_slots = key.len();
-                key.extend(emb.vertex_map().iter().map(|v| v.0));
-                key[vertex_slots..].sort_unstable();
-                let edge_slots = key.len();
-                key.extend(
+                buf.key_buf.clear();
+                buf.key_buf.push(feature.id.0);
+                let vertex_slots = buf.key_buf.len();
+                buf.key_buf.extend(emb.vertex_map().iter().map(|v| v.0));
+                buf.key_buf[vertex_slots..].sort_unstable();
+                let edge_slots = buf.key_buf.len();
+                buf.key_buf.extend(
                     feature
                         .structure
                         .edge_ids()
                         .map(|e| emb.edge_image(&feature.structure, query, e).0),
                 );
-                key[edge_slots..].sort_unstable();
-                if !seen.contains(key.as_slice()) {
-                    seen.insert(key.clone());
-                    let mut vector = match &self.distance {
+                buf.key_buf[edge_slots..].sort_unstable();
+                if !buf.seen.contains(buf.key_buf.as_slice()) {
+                    let mut key = buf.key_pool.pop().unwrap_or_default();
+                    key.clear();
+                    key.extend_from_slice(&buf.key_buf);
+                    buf.seen.insert(key);
+                    buf.features.push(feature.id);
+                    buf.verts.extend(
+                        buf.key_buf[vertex_slots..edge_slots]
+                            .iter()
+                            .map(|&v| pis_graph::VertexId(v)),
+                    );
+                    buf.vert_start.push(buf.verts.len() as u32);
+                    let start =
+                        *buf.vec_start.last().expect("reset seeds the offset table") as usize;
+                    match &self.distance {
                         IndexDistance::Mutation(_) => {
-                            FragmentVector::Labels(label_vector(&feature.structure, query, emb))
+                            label_vector_into(&feature.structure, query, emb, &mut buf.labels);
+                            self.distance.normalize_labels(ecount, &mut buf.labels[start..]);
+                            buf.vec_start.push(buf.labels.len() as u32);
                         }
                         IndexDistance::Linear(_) => {
-                            FragmentVector::Weights(weight_vector(&feature.structure, query, emb))
+                            weight_vector_into(&feature.structure, query, emb, &mut buf.weights);
+                            self.distance.normalize_weights(ecount, &mut buf.weights[start..]);
+                            buf.vec_start.push(buf.weights.len() as u32);
                         }
-                    };
-                    self.distance.normalize(feature.structure.edge_count(), &mut vector);
-                    out.push(QueryFragment {
-                        feature: feature.id,
-                        vertices: key[vertex_slots..edge_slots]
-                            .iter()
-                            .map(|&v| pis_graph::VertexId(v))
-                            .collect(),
-                        vector,
-                    });
+                    }
                 }
                 ControlFlow::Continue(())
             });
         }
-        out
     }
 }
 
@@ -567,15 +629,13 @@ fn build_class(
     let ecount = structure.edge_count();
     let imp = match (distance, config.backend) {
         (IndexDistance::Mutation(_), Backend::Default | Backend::Trie) => {
-            let mut trie = LabelTrie::new(slots);
-            for (v, gid) in &label_entries {
-                trie.insert(v, *gid);
-            }
-            ClassImpl::Trie(trie)
+            // One-shot freeze into the level-major arena — the build
+            // path never constructs pointer nodes at all.
+            ClassImpl::Trie(FlatTrie::from_entries(slots, label_entries))
         }
         (IndexDistance::Mutation(md), Backend::VpTree) => {
             let md = md.clone();
-            ClassImpl::VpLabels(VpTree::build(label_entries, move |a, b| {
+            ClassImpl::VpLabels(VpTree::build(slots, label_entries, move |a, b| {
                 md.label_vector_cost(ecount, a, b)
             }))
         }
@@ -588,7 +648,7 @@ fn build_class(
         }
         (IndexDistance::Linear(ld), Backend::VpTree) => {
             let ld = *ld;
-            ClassImpl::VpWeights(VpTree::build(weight_entries, move |a, b| {
+            ClassImpl::VpWeights(VpTree::build(slots, weight_entries, move |a, b| {
                 ld.weight_vector_cost(ecount, a, b)
             }))
         }

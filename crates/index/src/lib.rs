@@ -6,8 +6,11 @@
 //! canonical order) is stored in a per-equivalence-class index that
 //! answers range queries `d(g, g') ≤ σ`:
 //!
-//! * [`trie::LabelTrie`] — categorical labels under the mutation
-//!   distance (cost-bounded trie descent);
+//! * [`flat_trie::FlatTrie`] — categorical labels under the mutation
+//!   distance: a cache-resident level-major arena descended level by
+//!   level with batched per-label costs (the insert-friendly pointer
+//!   [`trie::LabelTrie`] is retained as the builder and executable
+//!   reference);
 //! * [`rtree::RTree`] — numeric weights under the linear distance (L1
 //!   ball queries, the paper's Example 3);
 //! * [`vptree::VpTree`] — any metric distance (the "metric-based index
@@ -23,6 +26,7 @@
 //! re-readings. This is what lets a query-side fragment issue a single
 //! range query and still minimize over all superpositions (Eq. 3).
 
+pub mod flat_trie;
 pub mod fragment;
 pub mod index;
 pub mod persist;
@@ -30,7 +34,8 @@ pub mod rtree;
 pub mod trie;
 pub mod vptree;
 
-pub use fragment::{FragmentVector, QueryFragment};
+pub use flat_trie::{FlatTrie, TrieFrontier};
+pub use fragment::{FragmentBuffer, FragmentVector, FragmentVectorRef, QueryFragment};
 pub use index::{Backend, FragmentIndex, IndexConfig, IndexDistance, RangeScratch};
 pub use persist::{load_index, save_index, PersistError};
 pub use trie::LabelTrie;

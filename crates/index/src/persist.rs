@@ -21,9 +21,9 @@ use pis_graph::canonical::min_dfs_code;
 use pis_graph::{GraphId, Label};
 use pis_mining::FeatureSet;
 
+use crate::flat_trie::FlatTrie;
 use crate::index::{Backend, ClassImpl, ClassIndex, FragmentIndex, IndexConfig, IndexDistance};
 use crate::rtree::RTree;
-use crate::trie::LabelTrie;
 use crate::vptree::VpTree;
 
 /// Format magic + version.
@@ -122,7 +122,7 @@ pub fn save_index<W: Write>(index: &FragmentIndex, mut w: W) -> io::Result<()> {
             }
             ClassImpl::VpLabels(vp) => {
                 for (seq, gid) in vp.items() {
-                    write_label_entry(&mut w, seq, *gid)?;
+                    write_label_entry(&mut w, seq, gid)?;
                 }
             }
             ClassImpl::RTree(rt) => {
@@ -139,7 +139,7 @@ pub fn save_index<W: Write>(index: &FragmentIndex, mut w: W) -> io::Result<()> {
             }
             ClassImpl::VpWeights(vp) => {
                 for (p, gid) in vp.items() {
-                    write_weight_entry(&mut w, p, *gid)?;
+                    write_weight_entry(&mut w, p, gid)?;
                 }
             }
         }
@@ -256,15 +256,13 @@ pub fn load_index<R: BufRead>(r: R) -> Result<FragmentIndex, PersistError> {
 
         let imp = match (backend.as_str(), &distance) {
             ("trie", _) => {
-                let mut trie = LabelTrie::new(slots);
-                for (v, gid) in &label_entries {
-                    trie.insert(v, *gid);
-                }
-                ClassImpl::Trie(trie)
+                // Saved entries are lexicographic; the arena builder
+                // re-sorts defensively and freezes in one shot.
+                ClassImpl::Trie(FlatTrie::from_entries(slots, label_entries))
             }
             ("vplabels", IndexDistance::Mutation(md)) => {
                 let md = md.clone();
-                ClassImpl::VpLabels(VpTree::build(label_entries, move |a, b| {
+                ClassImpl::VpLabels(VpTree::build(slots, label_entries, move |a, b| {
                     md.label_vector_cost(ecount, a, b)
                 }))
             }
@@ -278,7 +276,7 @@ pub fn load_index<R: BufRead>(r: R) -> Result<FragmentIndex, PersistError> {
             }
             ("vpweights", IndexDistance::Linear(ld)) => {
                 let ld = *ld;
-                ClassImpl::VpWeights(VpTree::build(weight_entries, move |a, b| {
+                ClassImpl::VpWeights(VpTree::build(slots, weight_entries, move |a, b| {
                     ld.weight_vector_cost(ecount, a, b)
                 }))
             }
@@ -574,6 +572,27 @@ mod tests {
             .expect("query has fragments");
         let hits = loaded.range_query(q.feature, &q.vector, 0.0);
         assert!(hits.iter().any(|(g, _)| g.index() == 2), "inserted graph must be findable");
+    }
+
+    #[test]
+    fn save_load_save_is_byte_identical() {
+        // The frozen arena must persist exactly like the pointer trie
+        // did: lexicographic entries, ascending graph ids — so a second
+        // save of the loaded index reproduces the bytes.
+        let db = vec![ring(&[1, 1, 1, 1]), ring(&[1, 2, 1, 2]), ring(&[2, 2, 2, 2])];
+        let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+        let index = FragmentIndex::build(
+            &db,
+            exhaustive_features(&structures, 3),
+            IndexDistance::Mutation(MutationDistance::edge_hamming()),
+            &IndexConfig::default(),
+        );
+        let mut first = Vec::new();
+        save_index(&index, &mut first).unwrap();
+        let loaded = load_index(first.as_slice()).unwrap();
+        let mut second = Vec::new();
+        save_index(&loaded, &mut second).unwrap();
+        assert_eq!(first, second, "save → load → save must be the identity");
     }
 
     #[test]

@@ -6,26 +6,37 @@
 //! `ScoreMatrix::is_metric`) and the linear distance. Ablations A2/A3
 //! compare it against the specialized trie and R-tree.
 //!
+//! Storage is SoA: all item vectors share one flat `data` array of
+//! fixed `stride` (class vectors are uniform length), so the distance
+//! evaluation at every tree node reads contiguous memory instead of
+//! chasing a `Vec<Vec<_>>` double indirection.
+//!
 //! Build: recursively pick a vantage point, split the rest at the median
 //! distance. Query: standard two-sided triangle pruning.
 
 use pis_graph::GraphId;
 
-/// A VP-tree over items of type `T` under a caller-supplied metric.
+/// A VP-tree over fixed-stride vectors of scalar `T` under a
+/// caller-supplied metric.
 ///
 /// The metric is passed at build and query time (not stored), keeping
 /// the structure `Clone`/`Debug`-friendly; callers must use the same
 /// metric for both or results are undefined.
 #[derive(Clone, Debug)]
-pub struct VpTree<T> {
+pub struct VpTree<T: Copy> {
     nodes: Vec<VpNode>,
-    items: Vec<(T, GraphId)>,
+    /// Item vectors, concatenated: item `i` is
+    /// `data[i * stride..(i + 1) * stride]`.
+    data: Vec<T>,
+    /// Graph id of each item, parallel to the logical item order.
+    graphs: Vec<GraphId>,
+    stride: usize,
     root: Option<u32>,
 }
 
 #[derive(Clone, Debug)]
 struct VpNode {
-    /// Index of the vantage item in `items`.
+    /// Logical index of the vantage item.
     item: u32,
     /// Median distance separating inside from outside.
     radius: f64,
@@ -33,16 +44,39 @@ struct VpNode {
     outside: Option<u32>,
 }
 
-impl<T> VpTree<T> {
-    /// Builds a tree from items under `metric`.
-    pub fn build(items: Vec<(T, GraphId)>, metric: impl Fn(&T, &T) -> f64) -> Self {
-        let mut order: Vec<u32> = (0..items.len() as u32).collect();
-        let mut tree = VpTree { nodes: Vec::with_capacity(items.len()), items, root: None };
+impl<T: Copy> VpTree<T> {
+    /// Builds a tree over vectors of exactly `stride` scalars under
+    /// `metric`.
+    ///
+    /// # Panics
+    /// Panics if any item's vector length differs from `stride`.
+    pub fn build(
+        stride: usize,
+        items: Vec<(Vec<T>, GraphId)>,
+        metric: impl Fn(&[T], &[T]) -> f64,
+    ) -> Self {
+        let mut data = Vec::with_capacity(items.len() * stride);
+        let mut graphs = Vec::with_capacity(items.len());
+        for (v, g) in items {
+            assert_eq!(v.len(), stride, "item vector length must equal the tree stride");
+            data.extend_from_slice(&v);
+            graphs.push(g);
+        }
+        let mut order: Vec<u32> = (0..graphs.len() as u32).collect();
+        let mut tree =
+            VpTree { nodes: Vec::with_capacity(graphs.len()), data, graphs, stride, root: None };
         tree.root = tree.build_rec(&mut order, &metric);
         tree
     }
 
-    fn build_rec(&mut self, order: &mut [u32], metric: &impl Fn(&T, &T) -> f64) -> Option<u32> {
+    /// The vector of logical item `i`.
+    #[inline]
+    fn item(&self, i: u32) -> &[T] {
+        let s = i as usize * self.stride;
+        &self.data[s..s + self.stride]
+    }
+
+    fn build_rec(&mut self, order: &mut [u32], metric: &impl Fn(&[T], &[T]) -> f64) -> Option<u32> {
         let (&vantage, rest) = order.split_first()?;
         let node_id = self.nodes.len() as u32;
         self.nodes.push(VpNode { item: vantage, radius: 0.0, inside: None, outside: None });
@@ -50,9 +84,8 @@ impl<T> VpTree<T> {
             return Some(node_id);
         }
         // Partition the rest at the median distance from the vantage.
-        let v_item = &self.items[vantage as usize].0;
         let mut with_dist: Vec<(f64, u32)> =
-            rest.iter().map(|&i| (metric(v_item, &self.items[i as usize].0), i)).collect();
+            rest.iter().map(|&i| (metric(self.item(vantage), self.item(i)), i)).collect();
         with_dist.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("metric must be finite"));
         let mid = with_dist.len() / 2;
         let radius = with_dist[mid].0;
@@ -68,52 +101,66 @@ impl<T> VpTree<T> {
 
     /// Number of stored items.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.graphs.len()
+    }
+
+    /// The uniform vector length.
+    pub fn stride(&self) -> usize {
+        self.stride
     }
 
     /// Consumes the tree, returning its items (used to rebuild after
     /// incremental additions — VP-trees do not support in-place
     /// insertion without degrading balance).
-    pub fn into_items(self) -> Vec<(T, GraphId)> {
-        self.items
+    pub fn into_items(self) -> Vec<(Vec<T>, GraphId)> {
+        self.graphs
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (self.data[i * self.stride..(i + 1) * self.stride].to_vec(), g))
+            .collect()
     }
 
     /// The stored items (persistence and diagnostics).
-    pub fn items(&self) -> &[(T, GraphId)] {
-        &self.items
+    pub fn items(&self) -> impl Iterator<Item = (&[T], GraphId)> + '_ {
+        self.graphs.iter().enumerate().map(|(i, &g)| (self.item(i as u32), g))
     }
 
     /// Whether the tree is empty.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.graphs.is_empty()
     }
 
     /// Visits every `(graph, distance)` within `sigma` of `query` under
     /// `metric` (must be the build metric).
+    ///
+    /// # Panics
+    /// Panics if `query.len() != stride` on a non-empty tree.
     pub fn range_query(
         &self,
-        query: &T,
+        query: &[T],
         sigma: f64,
-        metric: impl Fn(&T, &T) -> f64,
+        metric: impl Fn(&[T], &[T]) -> f64,
         mut visit: impl FnMut(GraphId, f64),
     ) {
+        if !self.is_empty() {
+            assert_eq!(query.len(), self.stride, "query length must equal the tree stride");
+        }
         self.search(self.root, query, sigma, &metric, &mut visit);
     }
 
     fn search(
         &self,
         node: Option<u32>,
-        query: &T,
+        query: &[T],
         sigma: f64,
-        metric: &impl Fn(&T, &T) -> f64,
+        metric: &impl Fn(&[T], &[T]) -> f64,
         visit: &mut impl FnMut(GraphId, f64),
     ) {
         let Some(id) = node else { return };
         let n = &self.nodes[id as usize];
-        let (item, graph) = &self.items[n.item as usize];
-        let d = metric(query, item);
+        let d = metric(query, self.item(n.item));
         if d <= sigma {
-            visit(*graph, d);
+            visit(self.graphs[n.item as usize], d);
         }
         // Triangle pruning: the inside ball holds items within `radius`
         // of the vantage; reachable iff d - sigma <= radius. The outside
@@ -132,12 +179,11 @@ impl<T> VpTree<T> {
 mod tests {
     use super::*;
 
-    #[allow(clippy::ptr_arg)] // the metric signature is Fn(&T, &T) with T = Vec<f64>
-    fn l1(a: &Vec<f64>, b: &Vec<f64>) -> f64 {
+    fn l1(a: &[f64], b: &[f64]) -> f64 {
         a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
     }
 
-    fn collect(t: &VpTree<Vec<f64>>, q: &Vec<f64>, sigma: f64) -> Vec<(u32, f64)> {
+    fn collect(t: &VpTree<f64>, q: &[f64], sigma: f64) -> Vec<(u32, f64)> {
         let mut out = Vec::new();
         t.range_query(q, sigma, l1, |g, d| out.push((g.0, d)));
         out.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -148,10 +194,10 @@ mod tests {
     fn small_queries() {
         let items =
             vec![(vec![0.0], GraphId(0)), (vec![1.0], GraphId(1)), (vec![10.0], GraphId(2))];
-        let t = VpTree::build(items, l1);
-        assert_eq!(collect(&t, &vec![0.0], 0.0), vec![(0, 0.0)]);
-        assert_eq!(collect(&t, &vec![0.5], 0.5), vec![(0, 0.5), (1, 0.5)]);
-        assert_eq!(collect(&t, &vec![0.0], 100.0).len(), 3);
+        let t = VpTree::build(1, items, l1);
+        assert_eq!(collect(&t, &[0.0], 0.0), vec![(0, 0.0)]);
+        assert_eq!(collect(&t, &[0.5], 0.5), vec![(0, 0.5), (1, 0.5)]);
+        assert_eq!(collect(&t, &[0.0], 100.0).len(), 3);
     }
 
     #[test]
@@ -167,8 +213,8 @@ mod tests {
             items.push((p, GraphId(g)));
         }
         let reference = items.clone();
-        let t = VpTree::build(items, l1);
-        let query = vec![10.0, 10.0];
+        let t = VpTree::build(2, items, l1);
+        let query = [10.0, 10.0];
         for sigma in [0.25, 1.5, 6.0] {
             let mut expected: Vec<(u32, f64)> = reference
                 .iter()
@@ -183,8 +229,7 @@ mod tests {
     #[test]
     fn works_with_discrete_hamming_metric() {
         // Label vectors under unit Hamming distance (a metric).
-        #[allow(clippy::ptr_arg)] // the metric signature is Fn(&T, &T) with T = Vec<u32>
-        fn hamming(a: &Vec<u32>, b: &Vec<u32>) -> f64 {
+        fn hamming(a: &[u32], b: &[u32]) -> f64 {
             a.iter().zip(b).filter(|(x, y)| x != y).count() as f64
         }
         let items = vec![
@@ -192,31 +237,47 @@ mod tests {
             (vec![1, 2, 4], GraphId(1)),
             (vec![7, 8, 9], GraphId(2)),
         ];
-        let t = VpTree::build(items, hamming);
+        let t = VpTree::build(3, items, hamming);
         let mut out = Vec::new();
-        t.range_query(&vec![1, 2, 3], 1.0, hamming, |g, d| out.push((g.0, d)));
+        t.range_query(&[1, 2, 3], 1.0, hamming, |g, d| out.push((g.0, d)));
         out.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(out, vec![(0, 0.0), (1, 1.0)]);
     }
 
     #[test]
     fn empty_tree() {
-        let t: VpTree<Vec<f64>> = VpTree::build(vec![], l1);
+        let t: VpTree<f64> = VpTree::build(1, vec![], l1);
         assert!(t.is_empty());
-        assert!(collect(&t, &vec![0.0], 10.0).is_empty());
+        assert!(collect(&t, &[0.0], 10.0).is_empty());
     }
 
     #[test]
     fn single_item() {
-        let t = VpTree::build(vec![(vec![2.0], GraphId(9))], l1);
-        assert_eq!(collect(&t, &vec![2.5], 0.5), vec![(9, 0.5)]);
-        assert!(collect(&t, &vec![2.5], 0.4).is_empty());
+        let t = VpTree::build(1, vec![(vec![2.0], GraphId(9))], l1);
+        assert_eq!(collect(&t, &[2.5], 0.5), vec![(9, 0.5)]);
+        assert!(collect(&t, &[2.5], 0.4).is_empty());
     }
 
     #[test]
     fn duplicate_points_all_reported() {
         let items = vec![(vec![1.0], GraphId(0)), (vec![1.0], GraphId(1)), (vec![1.0], GraphId(2))];
-        let t = VpTree::build(items, l1);
-        assert_eq!(collect(&t, &vec![1.0], 0.0).len(), 3);
+        let t = VpTree::build(1, items, l1);
+        assert_eq!(collect(&t, &[1.0], 0.0).len(), 3);
+    }
+
+    #[test]
+    fn soa_round_trips_items() {
+        let items = vec![(vec![1.0, 2.0], GraphId(3)), (vec![4.0, 5.0], GraphId(1))];
+        let t = VpTree::build(2, items.clone(), l1);
+        assert_eq!(t.stride(), 2);
+        let listed: Vec<(Vec<f64>, GraphId)> = t.items().map(|(v, g)| (v.to_vec(), g)).collect();
+        assert_eq!(listed, items);
+        assert_eq!(t.into_items(), items);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector length")]
+    fn mismatched_stride_rejected() {
+        let _ = VpTree::build(2, vec![(vec![1.0], GraphId(0))], l1);
     }
 }

@@ -19,26 +19,60 @@ impl OverlapGraph {
     /// Builds `Q̃` from `(weight, query-vertex set)` pairs; the vertex
     /// sets need not be sorted.
     pub fn new(fragments: &[(f64, Vec<VertexId>)]) -> Self {
-        let n = fragments.len();
-        let sorted_sets: Vec<Vec<VertexId>> = fragments
-            .iter()
-            .map(|(_, vs)| {
-                let mut s = vs.clone();
-                s.sort_unstable();
-                s.dedup();
-                s
+        OverlapGraph::from_sets(fragments.iter().map(|(w, vs)| (*w, vs.as_slice())))
+    }
+
+    /// Borrowed-slice form of [`OverlapGraph::new`] — arena-backed
+    /// fragment stores hand in their vertex slices without cloning per
+    /// fragment.
+    ///
+    /// Query graphs are small, so when every vertex id fits a 128-bit
+    /// mask (the overwhelmingly common case) each of the `O(n²)` pair
+    /// tests is a single `AND` instead of a sorted-list merge; larger
+    /// vertex spaces fall back to the merge path.
+    pub fn from_sets<'a>(fragments: impl IntoIterator<Item = (f64, &'a [VertexId])>) -> Self {
+        let mut weights: Vec<f64> = Vec::new();
+        let sets: Vec<&[VertexId]> = fragments
+            .into_iter()
+            .map(|(w, vs)| {
+                weights.push(w);
+                vs
             })
             .collect();
+        let n = weights.len();
         let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                if sorted_intersects(&sorted_sets[i], &sorted_sets[j]) {
-                    adj[i].push(j as u32);
-                    adj[j].push(i as u32);
+        let max_v = sets.iter().flat_map(|vs| vs.iter()).map(|v| v.0).max();
+        if max_v.is_none_or(|m| m < 128) {
+            let masks: Vec<u128> =
+                sets.iter().map(|vs| vs.iter().fold(0u128, |m, v| m | (1 << v.0))).collect();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if masks[i] & masks[j] != 0 {
+                        adj[i].push(j as u32);
+                        adj[j].push(i as u32);
+                    }
+                }
+            }
+        } else {
+            let sorted_sets: Vec<Vec<VertexId>> = sets
+                .iter()
+                .map(|vs| {
+                    let mut s = vs.to_vec();
+                    s.sort_unstable();
+                    s.dedup();
+                    s
+                })
+                .collect();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if sorted_intersects(&sorted_sets[i], &sorted_sets[j]) {
+                        adj[i].push(j as u32);
+                        adj[j].push(i as u32);
+                    }
                 }
             }
         }
-        OverlapGraph { weights: fragments.iter().map(|(w, _)| *w).collect(), adj }
+        OverlapGraph { weights, adj }
     }
 
     /// Builds `Q̃` from explicit weights and edges (test/ablation use).

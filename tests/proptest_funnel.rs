@@ -149,6 +149,49 @@ proptest! {
         }
     }
 
+    /// The knn radius schedule's seed reuse (resolved distances carried
+    /// across doubling rounds) never changes the answer: neighbors match
+    /// the brute-force ranking exactly, and reuse only ever removes
+    /// verification work.
+    #[test]
+    fn knn_seed_reuse_matches_brute_force(
+        db in graph_database(8, 6, 3),
+        query in connected_graph(5, 2, 3),
+        k in 1usize..6,
+        initial_radius in prop::sample::select(vec![0.25, 0.5, 1.0]),
+    ) {
+        let system = PisSystem::builder()
+            .mutation_distance(MutationDistance::edge_hamming())
+            .exhaustive_features(3)
+            .build(db.clone());
+        let searcher = system.searcher();
+        let max_radius = (query.edge_count() as f64).max(1.0);
+        let knn = searcher.knn(&query, k, initial_radius, max_radius);
+        // Brute-force ranking: exact min distance per containing graph.
+        let md = MutationDistance::edge_hamming();
+        let mut expected: Vec<(usize, f64)> = db
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| {
+                pis::distance::oracle::min_superimposed_distance_brute(&query, g, &md)
+                    .map(|d| (i, d))
+            })
+            .filter(|&(_, d)| d <= knn.radius)
+            .collect();
+        expected.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        expected.truncate(k);
+        let got: Vec<(usize, f64)> =
+            knn.neighbors.iter().map(|n| (n.graph.index(), n.distance)).collect();
+        prop_assert_eq!(got, expected, "k {} radius {}", k, knn.radius);
+        // Reuse accounting: every reused verification corresponds to a
+        // candidate resolved in an earlier round, so across `rounds`
+        // rounds the total work never exceeds the no-reuse schedule.
+        prop_assert!(knn.rounds >= 1);
+        if knn.rounds == 1 {
+            prop_assert_eq!(knn.reused_verifications, 0, "nothing to reuse in round one");
+        }
+    }
+
     /// Pruning-only configurations (the figures' setting) agree too —
     /// candidates are the observable there, not answers.
     #[test]

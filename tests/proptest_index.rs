@@ -116,6 +116,118 @@ proptest! {
         }
     }
 
+    /// The frozen arena answers range queries **byte-identically** to
+    /// the retained pointer-trie reference: same graphs, same f64
+    /// distances (the frontier descent performs the same additions in
+    /// the same order), across sigmas, position-dependent costs (unit
+    /// distance scores vertex slots too) and duplicate
+    /// `(sequence, graph)` storage.
+    #[test]
+    fn flat_trie_byte_identical_to_pointer_reference(
+        db in graph_database(6, 5, 3),
+        query in connected_graph(4, 2, 3),
+        sigma in 0.0f64..4.0,
+        unit in prop::sample::select(vec![false, true]),
+    ) {
+        let md = if unit { MutationDistance::unit() } else { MutationDistance::edge_hamming() };
+        let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+        let index = FragmentIndex::build(
+            &db,
+            exhaustive_features(&structures, 3),
+            IndexDistance::Mutation(md.clone()),
+            &IndexConfig::default(),
+        );
+        for qf in index.enumerate_query_fragments(&query) {
+            let feature = index.features().get(qf.feature);
+            let ecount = feature.edge_count();
+            // Rebuild the class's logical content in the pointer trie
+            // (duplicates included: insert dedups exactly like the
+            // arena builder does).
+            let mut reference = pis::index::LabelTrie::new(qf.vector.len());
+            for (gid, g) in db.iter().enumerate() {
+                let matcher = pis::graph::iso::SubgraphMatcher::new(
+                    &feature.structure,
+                    g,
+                    pis::graph::iso::IsoConfig::STRUCTURE,
+                );
+                matcher.for_each(|emb| {
+                    let mut v = pis::index::fragment::label_vector(&feature.structure, g, emb);
+                    index.distance().normalize_labels(ecount, &mut v);
+                    reference.insert(&v, GraphId(gid as u32));
+                    std::ops::ControlFlow::Continue(())
+                });
+            }
+            // Reference hits: pointer-trie descent + per-graph minimum.
+            let mut best: std::collections::BTreeMap<u32, f64> = Default::default();
+            reference.range_query(
+                qf.vector.labels(),
+                sigma,
+                |pos, a, b| md.position_cost(pos, ecount, a, b),
+                |g, d| {
+                    best.entry(g.0)
+                        .and_modify(|m| if d < *m { *m = d })
+                        .or_insert(d);
+                },
+            );
+            let expected: Vec<(GraphId, f64)> =
+                best.into_iter().map(|(g, d)| (GraphId(g), d)).collect();
+            let hits = index.range_query(qf.feature, &qf.vector, sigma);
+            // Byte-identical: exact f64 equality, not tolerance.
+            prop_assert_eq!(hits, expected, "sigma {}", sigma);
+        }
+    }
+
+    /// All flat-layout backends of the linear distance (SoA R-tree
+    /// coordinates, SoA VP-tree vectors) agree with each other.
+    #[test]
+    fn linear_backends_agree(
+        db in graph_database(5, 5, 3),
+        query in connected_graph(4, 1, 3),
+        sigma in 0.0f64..2.0,
+    ) {
+        // Give the weights something to measure (strategies emit zeros).
+        let reweight = |g: &LabeledGraph| {
+            let mut b = GraphBuilder::new();
+            for v in g.vertex_ids() {
+                let attr = g.vertex(v);
+                b.add_vertex(VertexAttr { label: attr.label, weight: attr.label.0 as f64 });
+            }
+            for e in g.edges() {
+                b.add_edge(e.source, e.target, EdgeAttr {
+                    label: e.attr.label,
+                    weight: 1.0 + e.attr.label.0 as f64 * 0.5,
+                }).expect("copying a simple graph");
+            }
+            b.build()
+        };
+        let db: Vec<LabeledGraph> = db.iter().map(reweight).collect();
+        let query = reweight(&query);
+        let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+        let features = exhaustive_features(&structures, 3);
+        let ld = IndexDistance::Linear(LinearDistance::edges_only());
+        let rt = FragmentIndex::build(
+            &db,
+            features.clone(),
+            ld.clone(),
+            &IndexConfig { backend: Backend::RTree, ..IndexConfig::default() },
+        );
+        let vp = FragmentIndex::build(
+            &db,
+            features,
+            ld,
+            &IndexConfig { backend: Backend::VpTree, ..IndexConfig::default() },
+        );
+        for qf in rt.enumerate_query_fragments(&query) {
+            let a = rt.range_query(qf.feature, &qf.vector, sigma);
+            let b = vp.range_query(qf.feature, &qf.vector, sigma);
+            prop_assert_eq!(a.len(), b.len(), "hit counts differ at sigma {}", sigma);
+            for ((g1, d1), (g2, d2)) in a.iter().zip(&b) {
+                prop_assert_eq!(g1, g2);
+                prop_assert!((d1 - d2).abs() < 1e-9, "{} vs {}", d1, d2);
+            }
+        }
+    }
+
     /// Incremental insertion matches bulk construction on arbitrary
     /// splits.
     #[test]
