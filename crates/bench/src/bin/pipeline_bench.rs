@@ -21,6 +21,12 @@
 //! Every experiment row carries its candidate/answer total, so the JSON
 //! doubles as a correctness fingerprint: optimized and reference rows
 //! at the same sigma must report identical counts.
+//!
+//! Besides the end-to-end experiments, a `partition` row per sigma
+//! isolates the partition stage of the optimized prune runs (building
+//! the overlapping-relation graph `Q̃` + MWIS selection, timed by
+//! `SearchScratch::take_partition_nanos`) so `perf_gate` can watch this
+//! stage alone; its count fingerprint is the pis_prune candidate total.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -54,6 +60,19 @@ const PRE_FLAT_TRIE_MS: [(&str, f64, f64); 6] = [
     ("pis_full", 1.0, 9.928),
     ("pis_full", 2.0, 16.823),
     ("pis_full", 4.0, 26.798),
+];
+
+/// Optimized-funnel wall times at the `bench` scale immediately before
+/// the mask-native partition stage landed (PR 3's committed
+/// `BENCH_pipeline.json`, commit c62e6f3) — the perf trajectory's third
+/// recorded point.
+const PRE_MASK_PARTITION_MS: [(&str, f64, f64); 6] = [
+    ("pis_prune", 1.0, 4.586),
+    ("pis_prune", 2.0, 6.409),
+    ("pis_prune", 4.0, 9.128),
+    ("pis_full", 1.0, 6.916),
+    ("pis_full", 2.0, 10.356),
+    ("pis_full", 4.0, 16.837),
 ];
 
 fn main() {
@@ -106,6 +125,18 @@ fn main() {
                 .map(|q| pruner.search_with_scratch(q, sigma, &mut scratch).candidates.len())
                 .sum()
         }));
+        // The partition phase (building Q̃ + MWIS) of the same prune
+        // runs, timed by the scratch's internal phase counter. Its count
+        // fingerprint is the pis_prune candidate total, so the perf gate
+        // cross-checks it like any other row.
+        let mut scratch = SearchScratch::new();
+        rows.push(measure_phase("partition", "optimized", sigma, iters, || {
+            let count = queries
+                .iter()
+                .map(|q| pruner.search_with_scratch(q, sigma, &mut scratch).candidates.len())
+                .sum();
+            (count, scratch.take_partition_nanos() as f64 / 1e6)
+        }));
         let mut scratch = SearchScratch::new();
         rows.push(measure("pis_full", "optimized", sigma, iters, || {
             queries
@@ -145,8 +176,8 @@ struct Row {
     count: usize,
 }
 
-/// Times `iters` runs of `work` (after one warm-up) and records the
-/// count the last run produced.
+/// Times `iters` wall-clocked runs of `work` (after one warm-up) and
+/// records the count the last run produced.
 fn measure(
     name: &'static str,
     variant: &'static str,
@@ -154,13 +185,29 @@ fn measure(
     iters: usize,
     mut work: impl FnMut() -> usize,
 ) -> Row {
-    let mut count = work(); // warm-up
+    measure_phase(name, variant, sigma, iters, || {
+        let t = Instant::now();
+        let count = work();
+        (count, t.elapsed().as_secs_f64() * 1e3)
+    })
+}
+
+/// Shared measurement loop: `work` returns `(count, ms)` per run —
+/// wall-clocked by [`measure`], or self-reported for sub-phases whose
+/// time the workload tracks itself (the partition rows).
+fn measure_phase(
+    name: &'static str,
+    variant: &'static str,
+    sigma: f64,
+    iters: usize,
+    mut work: impl FnMut() -> (usize, f64),
+) -> Row {
+    let (mut count, _) = work(); // warm-up
     let mut min_ms = f64::INFINITY;
     let mut total_ms = 0.0;
     for _ in 0..iters.max(1) {
-        let t = Instant::now();
-        count = work();
-        let ms = t.elapsed().as_secs_f64() * 1e3;
+        let (c, ms) = work();
+        count = c;
         min_ms = min_ms.min(ms);
         total_ms += ms;
     }
@@ -169,17 +216,21 @@ fn measure(
 }
 
 /// Optimized and reference rows of the same experiment must agree on
-/// their candidate/answer totals.
+/// their candidate/answer totals, and the partition-phase rows (which
+/// run the same prune traversal) must reproduce the pis_prune
+/// fingerprints exactly.
 fn check_fingerprints(rows: &[Row]) {
     for a in rows.iter().filter(|r| r.variant == "optimized") {
+        let twin_name = if a.name == "partition" { "pis_prune" } else { a.name };
+        let twin_variant = if a.name == "partition" { "optimized" } else { "reference" };
         let b = rows
             .iter()
-            .find(|r| r.variant == "reference" && r.name == a.name && r.sigma == a.sigma)
-            .expect("every optimized row has a reference twin");
+            .find(|r| r.variant == twin_variant && r.name == twin_name && r.sigma == a.sigma)
+            .expect("every optimized row has a fingerprint twin");
         assert_eq!(
             a.count, b.count,
-            "optimized and reference pipelines disagree at {}/{}",
-            a.name, a.sigma
+            "fingerprint mismatch between {}/{} and {}/{} at sigma {}",
+            a.name, a.variant, twin_name, twin_variant, a.sigma
         );
     }
 }
@@ -237,7 +288,14 @@ fn render_json(
     if scale.db_size == pipeline_workload::scale().db_size {
         s.push_str("  },\n");
         baseline_section(&mut s, "pre_rework_baseline", &PRE_REWORK_CRITERION_MS, rows, true);
-        baseline_section(&mut s, "pre_flat_trie_baseline", &PRE_FLAT_TRIE_MS, rows, false);
+        baseline_section(&mut s, "pre_flat_trie_baseline", &PRE_FLAT_TRIE_MS, rows, true);
+        baseline_section(
+            &mut s,
+            "pre_mask_partition_baseline",
+            &PRE_MASK_PARTITION_MS,
+            rows,
+            false,
+        );
     } else {
         s.push_str("  }\n");
     }

@@ -8,7 +8,10 @@ pub enum PartitionAlgo {
     Greedy,
     /// `EnhancedGreedy(k)`; the paper evaluates `k = 2`.
     EnhancedGreedy(usize),
-    /// Exact branch-and-bound MWIS (ablation A1; small queries only).
+    /// Exact branch-and-bound MWIS (ablation A1). Pools beyond the
+    /// solver's node cap demote to `EnhancedGreedy(2)` instead of
+    /// failing; `SearchStats::exact_fallback` reports when that
+    /// happened.
     Exact,
 }
 

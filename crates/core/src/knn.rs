@@ -43,8 +43,12 @@ pub struct KnnOutcome {
     pub radius: f64,
     /// Total verification calls across all radius rounds.
     pub verification_calls: usize,
-    /// Verifications skipped because an earlier (smaller-radius) round
-    /// already resolved the candidate's exact distance.
+    /// Distinct candidates whose exact distance, resolved in an earlier
+    /// (smaller-radius) round, was reused instead of re-verified. Each
+    /// candidate counts once no matter how many widening rounds
+    /// re-encounter it, so the statistic stays comparable across runs
+    /// with different round counts (it is a lower bound on the
+    /// verification calls the seeding avoided, not their total).
     pub reused_verifications: usize,
     /// Radius-doubling rounds run.
     pub rounds: usize,
@@ -87,8 +91,10 @@ impl PisSearcher<'_> {
         // Exact distances resolved in earlier rounds — the seed each
         // widened round starts from. `min_superimposed_distance` returns
         // the true minimum whenever it returns at all, so a resolved
-        // distance is valid at every larger radius.
-        let mut resolved: FxHashMap<GraphId, f64> = FxHashMap::default();
+        // distance is valid at every larger radius. The flag marks
+        // entries already counted toward `reused_verifications`, keeping
+        // that statistic a count of distinct reuses.
+        let mut resolved: FxHashMap<GraphId, (f64, bool)> = FxHashMap::default();
         let mut unresolved: Vec<GraphId> = Vec::new();
         let mut neighbors: Vec<Neighbor> = Vec::new();
         let mut radius = initial_radius;
@@ -99,9 +105,12 @@ impl PisSearcher<'_> {
             neighbors.clear();
             unresolved.clear();
             for &g in candidates {
-                match resolved.get(&g) {
-                    Some(&distance) => {
-                        outcome.reused_verifications += 1;
+                match resolved.get_mut(&g) {
+                    Some(&mut (distance, ref mut counted)) => {
+                        if !*counted {
+                            *counted = true;
+                            outcome.reused_verifications += 1;
+                        }
                         neighbors.push(Neighbor { graph: g, distance });
                     }
                     None => unresolved.push(g),
@@ -109,7 +118,7 @@ impl PisSearcher<'_> {
             }
             outcome.verification_calls += unresolved.len();
             for (graph, distance) in self.verify_candidates(query, &unresolved, radius) {
-                resolved.insert(graph, distance);
+                resolved.insert(graph, (distance, false));
                 neighbors.push(Neighbor { graph, distance });
             }
             neighbors.sort_by(|a, b| {
@@ -239,17 +248,22 @@ mod tests {
             knn.reused_verifications > 0,
             "widening must seed from the previous round's resolved candidates"
         );
-        // Each graph's distance is resolved exactly once across all
-        // rounds (re-verification only retries unresolved candidates).
+        // Reuse is counted per distinct candidate, so it can never
+        // exceed the number of graphs whose distance was ever resolved —
+        // no matter how many widening rounds re-encounter them. (The
+        // graph admitted in the final round is never reused, hence the
+        // strict bound.)
         assert!(
-            knn.verification_calls <= db.len() * knn.rounds,
-            "sanity: calls bounded by candidates x rounds"
+            knn.reused_verifications < db.len(),
+            "distinct reuses must stay below the database size: {} reused across {} rounds",
+            knn.reused_verifications,
+            knn.rounds
         );
         assert!(
-            knn.verification_calls < db.len() + knn.reused_verifications,
-            "reuse must strictly reduce verification work: {} calls, {} reused",
-            knn.verification_calls,
-            knn.reused_verifications
+            knn.reused_verifications <= knn.verification_calls,
+            "a candidate must be verified before it can be reused: {} reused, {} calls",
+            knn.reused_verifications,
+            knn.verification_calls
         );
     }
 

@@ -29,8 +29,10 @@
 //!   callers ([`PisSearcher::search_with_scratch`], `knn`'s radius
 //!   doubling, `run_workload`) thread through repeated searches, making
 //!   the steady-state serial funnel allocation-free — including
-//!   fragment enumeration, which fills the scratch-owned arena-backed
-//!   `FragmentBuffer` instead of materializing per-fragment `Vec`s;
+//!   fragment enumeration (the scratch-owned arena-backed
+//!   `FragmentBuffer`) and the partition stage, where `Q̃` rebuilds in
+//!   place through a `PartitionScratch` and the mask-native MWIS
+//!   solvers fill a reused selection buffer (`DESIGN.md` §6.6);
 //! * **deduplication** — automorphic query fragments produce identical
 //!   `(feature, vector)` probes; each unique probe runs one range query
 //!   (memoized in the scratch), and large probe sets fan out across the
@@ -46,8 +48,12 @@ use pis_graph::{GraphBitSet, GraphId, LabeledGraph, ScopedPool};
 use pis_index::{
     FragmentBuffer, FragmentIndex, FragmentVectorRef, IndexDistance, QueryFragment, RangeScratch,
 };
+use pis_partition::reference::{
+    enhanced_greedy_mwis_ref, exact_mwis_ref, greedy_mwis_ref, AdjOverlapGraph,
+};
 use pis_partition::{
-    enhanced_greedy_mwis, exact_mwis, greedy_mwis, selection_weight, OverlapGraph,
+    enhanced_greedy_mwis_with, exact_mwis_with, greedy_mwis_with, selection_weight, OverlapGraph,
+    PartitionScratch, EXACT_MWIS_MAX_NODES,
 };
 
 use crate::config::{PartitionAlgo, PisConfig};
@@ -88,6 +94,10 @@ pub struct SearchStats {
     pub candidates_after_structure: usize,
     /// Verification calls performed (equals candidates when verifying).
     pub verification_calls: usize,
+    /// Whether [`PartitionAlgo::Exact`] was demoted to
+    /// `EnhancedGreedy(2)` because the fragment pool exceeded the exact
+    /// solver's node cap ([`EXACT_MWIS_MAX_NODES`]).
+    pub exact_fallback: bool,
     /// The chosen partition's members (explain output).
     pub partition: Vec<PartitionFragment>,
 }
@@ -159,6 +169,17 @@ pub struct SearchScratch {
     intersected: Vec<bool>,
     /// The final candidate list of the last search, ascending.
     cand_buf: Vec<GraphId>,
+    /// Fragment indices surviving the ε selectivity filter (the pool).
+    pool: Vec<usize>,
+    /// The overlapping-relation graph `Q̃`, rebuilt in place per search.
+    overlap: OverlapGraph,
+    /// Working memory for `Q̃` construction and the MWIS solvers.
+    partition: PartitionScratch,
+    /// MWIS output buffer (indices into `pool`).
+    selection: Vec<usize>,
+    /// Nanoseconds spent in the partition stage (`Q̃` build + MWIS)
+    /// since the last [`SearchScratch::take_partition_nanos`].
+    partition_nanos: u64,
 }
 
 impl SearchScratch {
@@ -170,6 +191,14 @@ impl SearchScratch {
     /// Candidates produced by the last `search_into` (sorted by id).
     pub(crate) fn candidates(&self) -> &[GraphId] {
         &self.cand_buf
+    }
+
+    /// Returns the nanoseconds spent in the partition stage (building
+    /// `Q̃` and solving the MWIS) since the last call, and resets the
+    /// counter. `pipeline_bench` uses this to report the stage as its
+    /// own phase.
+    pub fn take_partition_nanos(&mut self) -> u64 {
+        std::mem::take(&mut self.partition_nanos)
     }
 
     /// Prepares for a search over `n` database graphs.
@@ -188,6 +217,8 @@ impl SearchScratch {
         self.unique_fragment.clear();
         self.intersected.clear();
         self.cand_buf.clear();
+        self.pool.clear();
+        self.selection.clear();
     }
 
     /// Maps a fragment to its unique-probe slot, allocating a new slot
@@ -349,29 +380,51 @@ impl<'a> PisSearcher<'a> {
         stats.candidates_after_intersection = scratch.candidates.count();
 
         // Line 5: drop fragments with selectivity <= epsilon.
-        let pool: Vec<usize> = (0..fragments.len())
-            .filter(|&fi| scratch.weights[scratch.slot_of[fi]] > self.config.epsilon)
-            .collect();
-        stats.fragments_in_pool = pool.len();
-
-        // Lines 19–20: overlapping-relation graph + MWIS partition (the
-        // vertex sets are borrowed straight from the arena).
-        let overlap = OverlapGraph::from_sets(
-            pool.iter().map(|&fi| (scratch.weights[scratch.slot_of[fi]], fragments.vertices(fi))),
+        scratch.pool.clear();
+        scratch.pool.extend(
+            (0..fragments.len())
+                .filter(|&fi| scratch.weights[scratch.slot_of[fi]] > self.config.epsilon),
         );
-        let selection = match self.config.partition {
-            PartitionAlgo::Greedy => greedy_mwis(&overlap),
-            PartitionAlgo::EnhancedGreedy(k) => enhanced_greedy_mwis(&overlap, k),
-            PartitionAlgo::Exact => exact_mwis(&overlap),
-        };
-        stats.partition_size = selection.len();
-        stats.partition_weight = selection_weight(&overlap, &selection);
+        stats.fragments_in_pool = scratch.pool.len();
+
+        // Lines 19–20: overlapping-relation graph + MWIS partition. The
+        // vertex sets are borrowed straight from the arena and `Q̃` is
+        // rebuilt in place through the partition scratch, so in steady
+        // state this whole stage allocates nothing.
+        let partition_start = std::time::Instant::now();
+        {
+            let weights = &scratch.weights;
+            let slot_of = &scratch.slot_of;
+            scratch.overlap.rebuild_from_sets(
+                &mut scratch.partition,
+                scratch.pool.iter().map(|&fi| (weights[slot_of[fi]], fragments.vertices(fi))),
+            );
+        }
+        let (algo, fell_back) = effective_partition_algo(self.config.partition, scratch.pool.len());
+        stats.exact_fallback = fell_back;
+        match algo {
+            PartitionAlgo::Greedy => {
+                greedy_mwis_with(&scratch.overlap, &mut scratch.partition, &mut scratch.selection)
+            }
+            PartitionAlgo::EnhancedGreedy(k) => enhanced_greedy_mwis_with(
+                &scratch.overlap,
+                k,
+                &mut scratch.partition,
+                &mut scratch.selection,
+            ),
+            PartitionAlgo::Exact => {
+                exact_mwis_with(&scratch.overlap, &mut scratch.partition, &mut scratch.selection)
+            }
+        }
+        scratch.partition_nanos += partition_start.elapsed().as_nanos() as u64;
+        stats.partition_size = scratch.selection.len();
+        stats.partition_weight = selection_weight(&scratch.overlap, &scratch.selection);
 
         // Lines 21–23: partition lower-bound pruning. Each partition
         // fragment's hits stream into a dense stamped accumulator; a
         // candidate survives iff every partition fragment contained it
         // and the summed bound stays within sigma.
-        let partition: Vec<usize> = selection.iter().map(|&i| pool[i]).collect();
+        let partition: Vec<usize> = scratch.selection.iter().map(|&i| scratch.pool[i]).collect();
         stats.partition = partition
             .iter()
             .map(|&fi| PartitionFragment {
@@ -511,17 +564,20 @@ impl<'a> PisSearcher<'a> {
             scored.iter().filter(|(_, _, w)| *w > self.config.epsilon).collect();
         stats.fragments_in_pool = pool.len();
 
-        // Lines 19–20: overlapping-relation graph + MWIS partition.
+        // Lines 19–20: overlapping-relation graph + MWIS partition, on
+        // the retained pointer-adjacency reference implementations.
         let overlap_input: Vec<(f64, Vec<pis_graph::VertexId>)> =
             pool.iter().map(|(f, _, w)| (*w, f.vertices.clone())).collect();
-        let overlap = OverlapGraph::new(&overlap_input);
-        let selection = match self.config.partition {
-            PartitionAlgo::Greedy => greedy_mwis(&overlap),
-            PartitionAlgo::EnhancedGreedy(k) => enhanced_greedy_mwis(&overlap, k),
-            PartitionAlgo::Exact => exact_mwis(&overlap),
+        let overlap = AdjOverlapGraph::new(&overlap_input);
+        let (algo, fell_back) = effective_partition_algo(self.config.partition, pool.len());
+        stats.exact_fallback = fell_back;
+        let selection = match algo {
+            PartitionAlgo::Greedy => greedy_mwis_ref(&overlap),
+            PartitionAlgo::EnhancedGreedy(k) => enhanced_greedy_mwis_ref(&overlap, k),
+            PartitionAlgo::Exact => exact_mwis_ref(&overlap),
         };
         stats.partition_size = selection.len();
-        stats.partition_weight = selection_weight(&overlap, &selection);
+        stats.partition_weight = overlap.selection_weight(&selection);
 
         // Lines 21–23: partition lower-bound pruning.
         let partition: Vec<&ScoredFragment> = selection.iter().map(|&i| pool[i]).collect();
@@ -594,6 +650,23 @@ impl<'a> PisSearcher<'a> {
             .into_iter()
             .flatten()
             .collect()
+    }
+}
+
+/// EnhancedGreedy order used when the exact solver's node cap forces a
+/// fallback (the paper's evaluated approximation setting).
+const EXACT_FALLBACK_K: usize = 2;
+
+/// Resolves the configured partition algorithm against the fragment
+/// pool size: [`PartitionAlgo::Exact`] above [`EXACT_MWIS_MAX_NODES`]
+/// demotes to `EnhancedGreedy(2)` instead of panicking mid-search.
+/// Returns the algorithm to run and whether a fallback happened.
+fn effective_partition_algo(configured: PartitionAlgo, pool_len: usize) -> (PartitionAlgo, bool) {
+    match configured {
+        PartitionAlgo::Exact if pool_len > EXACT_MWIS_MAX_NODES => {
+            (PartitionAlgo::EnhancedGreedy(EXACT_FALLBACK_K), true)
+        }
+        algo => (algo, false),
     }
 }
 
@@ -809,6 +882,62 @@ mod tests {
         }
         assert_eq!(answer_sets[0], answer_sets[1]);
         assert_eq!(answer_sets[1], answer_sets[2]);
+    }
+
+    #[test]
+    fn exact_partition_survives_a_pool_beyond_the_solver_cap() {
+        // Two 80-edge paths differing only in edge label: the query's
+        // 1- and 2-edge fragments all have positive selectivity
+        // (graph 1 matches each at distance >= 1), so the epsilon
+        // filter keeps a pool far above EXACT_MWIS_MAX_NODES. Exact
+        // partitioning used to panic here; it must now demote to
+        // EnhancedGreedy(2), flag the fallback, and return the same
+        // answers as configuring EnhancedGreedy(2) directly.
+        let db = vec![
+            pis_graph::graph::path_graph(81, Label(0), Label(1)),
+            pis_graph::graph::path_graph(81, Label(0), Label(2)),
+        ];
+        let index = build_index(&db, 2);
+        let query = pis_graph::graph::path_graph(81, Label(0), Label(1));
+        let sigma = 1.0;
+        let exact_cfg = PisConfig { partition: PartitionAlgo::Exact, ..PisConfig::default() };
+        let searcher = PisSearcher::new(&index, &db, exact_cfg);
+        let outcome = searcher.search(&query, sigma);
+        assert!(
+            outcome.stats.fragments_in_pool > pis_partition::EXACT_MWIS_MAX_NODES,
+            "test must exercise a pool beyond the cap, got {}",
+            outcome.stats.fragments_in_pool
+        );
+        assert!(outcome.stats.exact_fallback, "fallback must be surfaced in the stats");
+        assert_eq!(outcome.answers, vec![GraphId(0)]);
+
+        // The optimized funnel and the reference pipeline agree on the
+        // fallback path too.
+        let reference = searcher.search_reference(&query, sigma);
+        assert_eq!(outcome.candidates, reference.candidates);
+        assert_eq!(outcome.stats, reference.stats);
+
+        // Byte-identical to asking for EnhancedGreedy(2) outright,
+        // except for the fallback flag.
+        let eg_cfg =
+            PisConfig { partition: PartitionAlgo::EnhancedGreedy(2), ..PisConfig::default() };
+        let eg = PisSearcher::new(&index, &db, eg_cfg).search(&query, sigma);
+        assert_eq!(outcome.candidates, eg.candidates);
+        assert_eq!(outcome.answers, eg.answers);
+        assert!(!eg.stats.exact_fallback);
+        assert_eq!(outcome.stats.partition, eg.stats.partition);
+    }
+
+    #[test]
+    fn exact_partition_runs_exactly_at_or_below_the_cap() {
+        // Small pools keep the true exact solver (no fallback flag).
+        let db = example_db();
+        let index = build_index(&db, 4);
+        let cfg = PisConfig { partition: PartitionAlgo::Exact, ..PisConfig::default() };
+        let searcher = PisSearcher::new(&index, &db, cfg);
+        let o = searcher.search(&cycle_with_edge_labels(&[1, 1, 1, 1, 1, 1]), 2.0);
+        assert!(o.stats.fragments_in_pool <= pis_partition::EXACT_MWIS_MAX_NODES);
+        assert!(!o.stats.exact_fallback);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Exact maximum weighted independent set.
+//! Exact maximum weighted independent set, mask-native.
 //!
 //! Branch-and-bound over the node set: branch on the highest-degree
 //! remaining node (include — dropping its closed neighborhood — or
@@ -6,8 +6,18 @@
 //! cannot beat the incumbent. Exponential worst case; intended for the
 //! small overlapping-relation graphs of real queries (tens of nodes) and
 //! for measuring the greedy algorithms' optimality ratio (ablation A1).
+//!
+//! The alive set is a multi-word mask held in a depth-indexed arena:
+//! the bound and the pivot come from one bit-scan (popcounting
+//! `neighbor_mask(v) & alive` per live node), and including the pivot
+//! removes its closed neighborhood with a single word-parallel AND-NOT
+//! into the next arena level. Selections are byte-identical to
+//! [`crate::reference::exact_mwis_ref`] — the pivot rule (`max_by_key`
+//! keeps the *last* maximum) and the floating-point summation order are
+//! both preserved.
 
 use crate::overlap::OverlapGraph;
+use crate::scratch::{mask_and_count, mask_clear, PartitionScratch, BITS};
 
 /// Upper bound on the instance size accepted by [`exact_mwis`].
 pub const EXACT_MWIS_MAX_NODES: usize = 128;
@@ -17,60 +27,129 @@ pub const EXACT_MWIS_MAX_NODES: usize = 128;
 /// # Panics
 /// Panics if the graph has more than [`EXACT_MWIS_MAX_NODES`] nodes.
 pub fn exact_mwis(graph: &OverlapGraph) -> Vec<usize> {
+    let mut selection = Vec::new();
+    exact_mwis_with(graph, &mut PartitionScratch::new(), &mut selection);
+    selection
+}
+
+/// [`exact_mwis`] with caller-owned working memory: `selection` is
+/// cleared and filled with the optimal node indices (sorted).
+///
+/// # Panics
+/// Panics if the graph has more than [`EXACT_MWIS_MAX_NODES`] nodes.
+pub fn exact_mwis_with(
+    graph: &OverlapGraph,
+    scratch: &mut PartitionScratch,
+    selection: &mut Vec<usize>,
+) {
     assert!(
         graph.len() <= EXACT_MWIS_MAX_NODES,
         "exact MWIS capped at {EXACT_MWIS_MAX_NODES} nodes ({} given)",
         graph.len()
     );
-    let mut best: Vec<usize> = Vec::new();
+    let wpr = graph.words_per_row();
+    scratch.stack.clear();
+    scratch.stack.resize(wpr, 0);
+    for wi in 0..wpr {
+        scratch.stack[wi] = graph.full_row_word(wi);
+    }
+    scratch.current.clear();
+    scratch.incumbent.clear();
     let mut best_weight = f64::NEG_INFINITY;
-    let mut current: Vec<usize> = Vec::new();
-    let alive: Vec<bool> = vec![true; graph.len()];
-    branch(graph, alive, 0.0, &mut current, &mut best, &mut best_weight);
-    best.sort_unstable();
-    best
+    branch(
+        graph,
+        &mut scratch.stack,
+        0,
+        0.0,
+        &mut scratch.current,
+        &mut scratch.incumbent,
+        &mut best_weight,
+    );
+    selection.clear();
+    selection.extend_from_slice(&scratch.incumbent);
+    selection.sort_unstable();
 }
 
+/// One branch-and-bound node; the alive mask lives at arena level
+/// `depth` (`stack[depth*wpr..(depth+1)*wpr]`). Excluding the pivot
+/// mutates the current level in place and recurses at the same depth —
+/// every call removes at least one vertex, so nesting is bounded by the
+/// node count.
 fn branch(
     graph: &OverlapGraph,
-    alive: Vec<bool>,
+    stack: &mut Vec<u64>,
+    depth: usize,
     current_weight: f64,
     current: &mut Vec<usize>,
     best: &mut Vec<usize>,
     best_weight: &mut f64,
 ) {
-    // Bound: even taking every remaining node cannot beat the incumbent.
-    let remaining_weight: f64 =
-        (0..graph.len()).filter(|&v| alive[v]).map(|v| graph.weight(v)).sum();
+    let wpr = graph.words_per_row();
+    // Bound first, from a cheap weight-only bit-scan (ascending node
+    // order, like the reference): even taking every remaining node
+    // cannot beat the incumbent. Bound-pruned calls dominate the search
+    // tree, so the per-node degree popcounts below must not run here.
+    let mut remaining_weight = 0.0;
+    {
+        let alive = &stack[depth * wpr..(depth + 1) * wpr];
+        for (wi, &word) in alive.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let v = wi * BITS + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                remaining_weight += graph.weight(v);
+            }
+        }
+    }
     if current_weight + remaining_weight <= *best_weight {
         return;
     }
-    // Pick the highest-degree remaining node to branch on.
-    let pivot = (0..graph.len())
-        .filter(|&v| alive[v])
-        .max_by_key(|&v| graph.neighbors(v).iter().filter(|&&w| alive[w as usize]).count());
+    // Pivot: highest alive-degree node via AND+popcount per live node
+    // (`>=` keeps the last maximum, matching the reference's
+    // `max_by_key`).
+    let mut pivot: Option<usize> = None;
+    let mut pivot_degree = 0;
+    {
+        let alive = &stack[depth * wpr..(depth + 1) * wpr];
+        for (wi, &word) in alive.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let v = wi * BITS + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let degree = mask_and_count(graph.neighbor_mask(v), alive);
+                if pivot.is_none() || degree >= pivot_degree {
+                    pivot = Some(v);
+                    pivot_degree = degree;
+                }
+            }
+        }
+    }
     let Some(v) = pivot else {
         if current_weight > *best_weight {
             *best_weight = current_weight;
-            *best = current.clone();
+            best.clone_from(current);
         }
         return;
     };
 
-    // Include v.
-    let mut with_v = alive.clone();
-    with_v[v] = false;
-    for &w in graph.neighbors(v) {
-        with_v[w as usize] = false;
+    // Include v: the next arena level gets alive minus v's closed
+    // neighborhood in one AND-NOT pass.
+    if stack.len() < (depth + 2) * wpr {
+        stack.resize((depth + 2) * wpr, 0);
     }
+    let (level, rest) = stack[depth * wpr..].split_at_mut(wpr);
+    let neighbors = graph.neighbor_mask(v);
+    for wi in 0..wpr {
+        rest[wi] = level[wi] & !neighbors[wi];
+    }
+    mask_clear(&mut rest[..wpr], v);
     current.push(v);
-    branch(graph, with_v, current_weight + graph.weight(v), current, best, best_weight);
+    branch(graph, stack, depth + 1, current_weight + graph.weight(v), current, best, best_weight);
     current.pop();
 
-    // Exclude v.
-    let mut without_v = alive;
-    without_v[v] = false;
-    branch(graph, without_v, current_weight, current, best, best_weight);
+    // Exclude v: drop it from the current level and continue in place.
+    mask_clear(&mut stack[depth * wpr..(depth + 1) * wpr], v);
+    branch(graph, stack, depth, current_weight, current, best, best_weight);
 }
 
 #[cfg(test)]
@@ -136,6 +215,28 @@ mod tests {
         assert!(exact_mwis(&g).is_empty());
         let g = OverlapGraph::from_parts(vec![5.0], vec![]);
         assert_eq!(exact_mwis(&g), vec![0]);
+    }
+
+    #[test]
+    fn multi_word_clique_past_64_nodes() {
+        // 70 clique nodes need two mask words; the optimum picks the
+        // single heaviest node plus the two isolated ones. (A clique
+        // keeps the weak remaining-weight bound linear — sparse graphs
+        // this size would blow the branch-and-bound up.)
+        let n = 70;
+        let mut weights: Vec<f64> = (0..n).map(|i| 1.0 + i as f64 * 0.1).collect();
+        weights.push(0.5);
+        weights.push(0.0);
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                edges.push((u, v));
+            }
+        }
+        let g = OverlapGraph::from_parts(weights, edges);
+        let opt = exact_mwis(&g);
+        assert!(g.is_independent(&opt));
+        assert_eq!(opt, vec![69, 70, 71]);
     }
 
     #[test]

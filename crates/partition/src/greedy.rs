@@ -1,36 +1,59 @@
-//! `Greedy()` — Algorithm 1 of the paper.
+//! `Greedy()` — Algorithm 1 of the paper, mask-native.
 //!
 //! Repeatedly selects the maximum-weight remaining node and removes it
 //! together with its neighbors. Runs in `O(c·n)` scans where `c` is the
 //! maximum independent-set size, with optimality ratio `1/c`
 //! (Theorem 2). Ties break toward the smaller node index so results are
-//! deterministic.
+//! deterministic, byte-identical to
+//! [`crate::reference::greedy_mwis_ref`].
+//!
+//! The removed set lives in a covered-vertex mask: each round's scan
+//! iterates only the words with live bits, and retiring the chosen node
+//! with its whole neighborhood is one word-parallel
+//! `covered |= neighbor_mask(v)` — no per-neighbor loop.
 
 use crate::overlap::OverlapGraph;
+use crate::scratch::{mask_or, mask_set, PartitionScratch, BITS};
 
 /// Runs Algorithm 1; returns the selected node indices in selection
 /// order.
 pub fn greedy_mwis(graph: &OverlapGraph) -> Vec<usize> {
-    let n = graph.len();
-    let mut alive = vec![true; n];
     let mut selection = Vec::new();
+    greedy_mwis_with(graph, &mut PartitionScratch::new(), &mut selection);
+    selection
+}
+
+/// [`greedy_mwis`] with caller-owned working memory: `selection` is
+/// cleared and filled in selection order.
+pub fn greedy_mwis_with(
+    graph: &OverlapGraph,
+    scratch: &mut PartitionScratch,
+    selection: &mut Vec<usize>,
+) {
+    selection.clear();
+    let wpr = graph.words_per_row();
+    scratch.covered.clear();
+    scratch.covered.resize(wpr, 0);
     loop {
-        // Scan Lv for the maximum-weight remaining node.
+        // Scan Lv for the maximum-weight remaining node (strict > keeps
+        // the smallest index on ties, matching the reference).
         let mut best: Option<usize> = None;
-        for (v, &is_alive) in alive.iter().enumerate() {
-            if is_alive && best.is_none_or(|b| graph.weight(v) > graph.weight(b)) {
-                best = Some(v);
+        for wi in 0..wpr {
+            let mut bits = !scratch.covered[wi] & graph.full_row_word(wi);
+            while bits != 0 {
+                let v = wi * BITS + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if best.is_none_or(|b| graph.weight(v) > graph.weight(b)) {
+                    best = Some(v);
+                }
             }
         }
         let Some(v) = best else { break };
         selection.push(v);
-        alive[v] = false;
-        for &w in graph.neighbors(v) {
-            alive[w as usize] = false;
-        }
+        mask_set(&mut scratch.covered, v);
+        mask_or(&mut scratch.covered, graph.neighbor_mask(v));
     }
-    debug_assert!(graph.is_independent(&selection));
-    selection
+    debug_assert!(graph.is_independent(selection));
 }
 
 #[cfg(test)]
@@ -92,5 +115,17 @@ mod tests {
         let mut sel = greedy_mwis(&g);
         sel.sort_unstable();
         assert_eq!(sel, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn scratch_reuse_across_calls() {
+        let mut scratch = PartitionScratch::new();
+        let mut sel = Vec::new();
+        let big = OverlapGraph::from_parts(vec![1.0; 200], (0..199).map(|i| (i, i + 1)).collect());
+        greedy_mwis_with(&big, &mut scratch, &mut sel);
+        assert_eq!(sel.len(), 100);
+        let small = OverlapGraph::from_parts(vec![3.0, 1.0], vec![(0, 1)]);
+        greedy_mwis_with(&small, &mut scratch, &mut sel);
+        assert_eq!(sel, vec![0]);
     }
 }

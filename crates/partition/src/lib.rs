@@ -7,8 +7,9 @@
 //!
 //! * [`overlap::OverlapGraph`] — the overlapping-relation graph `Q̃`
 //!   (Figure 6): one node per indexed query fragment, weighted by
-//!   selectivity, with edges between fragments that share query
-//!   vertices;
+//!   selectivity, with word-parallel neighbor-mask adjacency built from
+//!   vertex→fragment incidence (edges are generated only among
+//!   fragments that actually share a query vertex);
 //! * [`greedy::greedy_mwis`] — Algorithm 1, `O(c·n)` with optimality
 //!   ratio `1/c` (Theorem 2);
 //! * [`enhanced::enhanced_greedy_mwis`] — EnhancedGreedy(k), `O(cᵏnᵏ)`
@@ -16,17 +17,29 @@
 //!   `w(S)/w(S_opt)` is at most 1 and reduces to Theorem 2's `1/c` at
 //!   `k = 1`, so `k/c` is the intended bound);
 //! * [`exact::exact_mwis`] — exact branch-and-bound for ablations and
-//!   tests (≤ 128 nodes).
+//!   tests (≤ 128 nodes);
+//! * [`scratch::PartitionScratch`] — caller-owned working memory: the
+//!   `*_with` solver variants and
+//!   [`OverlapGraph::rebuild_from_sets`](overlap::OverlapGraph::rebuild_from_sets)
+//!   draw every buffer from it, so a reused scratch makes the whole
+//!   partition stage allocation-free in steady state;
+//! * [`mod@reference`] — the original pointer-adjacency graph and solvers,
+//!   retained as the executable specification: proptests hold every
+//!   mask-native path to byte-identical adjacency and selections
+//!   against it.
 
 pub mod enhanced;
 pub mod exact;
 pub mod greedy;
 pub mod overlap;
+pub mod reference;
+pub mod scratch;
 
-pub use enhanced::enhanced_greedy_mwis;
-pub use exact::exact_mwis;
-pub use greedy::greedy_mwis;
+pub use enhanced::{enhanced_greedy_mwis, enhanced_greedy_mwis_with};
+pub use exact::{exact_mwis, exact_mwis_with, EXACT_MWIS_MAX_NODES};
+pub use greedy::{greedy_mwis, greedy_mwis_with};
 pub use overlap::OverlapGraph;
+pub use scratch::PartitionScratch;
 
 /// Total weight of a vertex selection.
 pub fn selection_weight(graph: &OverlapGraph, selection: &[usize]) -> f64 {

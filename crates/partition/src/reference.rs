@@ -1,0 +1,295 @@
+//! Pointer-adjacency reference implementations of `Q̃` and the MWIS
+//! solvers — the executable specification of the mask-native crate.
+//!
+//! [`AdjOverlapGraph`] keeps the original `Vec<Vec<u32>>` adjacency and
+//! builds every pair through a sorted-list merge; the `*_mwis_ref`
+//! solvers are the original boolean-array algorithms, untouched. The
+//! crate's proptests (and `PisSearcher::search_reference` one layer up)
+//! hold the mask-native [`crate::OverlapGraph`] and solvers to
+//! byte-identical adjacency and selections against this module.
+
+use pis_graph::VertexId;
+
+/// The reference overlapping-relation graph: sorted adjacency lists.
+#[derive(Clone, Debug, Default)]
+pub struct AdjOverlapGraph {
+    weights: Vec<f64>,
+    adj: Vec<Vec<u32>>,
+}
+
+impl AdjOverlapGraph {
+    /// Builds `Q̃` from `(weight, query-vertex set)` pairs via the
+    /// all-pairs sorted-merge test.
+    pub fn new(fragments: &[(f64, Vec<VertexId>)]) -> Self {
+        AdjOverlapGraph::from_sets(fragments.iter().map(|(w, vs)| (*w, vs.as_slice())))
+    }
+
+    /// Borrowed-slice form of [`AdjOverlapGraph::new`].
+    pub fn from_sets<'a>(fragments: impl IntoIterator<Item = (f64, &'a [VertexId])>) -> Self {
+        let mut weights: Vec<f64> = Vec::new();
+        let sorted_sets: Vec<Vec<VertexId>> = fragments
+            .into_iter()
+            .map(|(w, vs)| {
+                weights.push(w);
+                let mut s = vs.to_vec();
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect();
+        let n = weights.len();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if sorted_intersects(&sorted_sets[i], &sorted_sets[j]) {
+                    adj[i].push(j as u32);
+                    adj[j].push(i as u32);
+                }
+            }
+        }
+        AdjOverlapGraph { weights, adj }
+    }
+
+    /// Builds `Q̃` from explicit weights and edges.
+    pub fn from_parts(weights: Vec<f64>, edges: Vec<(usize, usize)>) -> Self {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); weights.len()];
+        for (u, v) in edges {
+            assert!(u != v && u < weights.len() && v < weights.len(), "invalid overlap edge");
+            adj[u].push(v as u32);
+            adj[v].push(u as u32);
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+            a.dedup();
+        }
+        AdjOverlapGraph { weights, adj }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Weight of node `v`.
+    #[inline]
+    pub fn weight(&self, v: usize) -> f64 {
+        self.weights[v]
+    }
+
+    /// Sorted neighbor list of node `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.adj[v]
+    }
+
+    /// Whether `selection` is an independent set.
+    pub fn is_independent(&self, selection: &[usize]) -> bool {
+        let mut chosen = vec![false; self.len()];
+        for &v in selection {
+            if v >= self.len() || chosen[v] {
+                return false;
+            }
+            chosen[v] = true;
+        }
+        selection.iter().all(|&v| !self.adj[v].iter().any(|&n| chosen[n as usize]))
+    }
+
+    /// Total weight of a selection.
+    pub fn selection_weight(&self, selection: &[usize]) -> f64 {
+        selection.iter().map(|&v| self.weight(v)).sum()
+    }
+}
+
+/// Do two sorted, deduplicated vertex lists share an element?
+fn sorted_intersects(a: &[VertexId], b: &[VertexId]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Reference Algorithm 1: max-weight node per round, boolean alive
+/// array.
+pub fn greedy_mwis_ref(graph: &AdjOverlapGraph) -> Vec<usize> {
+    let n = graph.len();
+    let mut alive = vec![true; n];
+    let mut selection = Vec::new();
+    loop {
+        let mut best: Option<usize> = None;
+        for (v, &is_alive) in alive.iter().enumerate() {
+            if is_alive && best.is_none_or(|b| graph.weight(v) > graph.weight(b)) {
+                best = Some(v);
+            }
+        }
+        let Some(v) = best else { break };
+        selection.push(v);
+        alive[v] = false;
+        for &w in graph.neighbors(v) {
+            alive[w as usize] = false;
+        }
+    }
+    debug_assert!(graph.is_independent(&selection));
+    selection
+}
+
+/// Reference EnhancedGreedy(k): best independent ≤k-subset per round,
+/// linear `contains` independence tests.
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn enhanced_greedy_mwis_ref(graph: &AdjOverlapGraph, k: usize) -> Vec<usize> {
+    assert!(k >= 1, "EnhancedGreedy requires k >= 1");
+    let n = graph.len();
+    let mut alive = vec![true; n];
+    let mut selection = Vec::new();
+    loop {
+        let remaining: Vec<usize> = (0..n).filter(|&v| alive[v]).collect();
+        if remaining.is_empty() {
+            break;
+        }
+        let mut best: Vec<usize> = Vec::new();
+        let mut best_weight = f64::NEG_INFINITY;
+        let mut current: Vec<usize> = Vec::new();
+        enumerate_k_sets_ref(graph, &remaining, 0, k, &mut current, &mut |set| {
+            let w: f64 = set.iter().map(|&v| graph.weight(v)).sum();
+            if w > best_weight {
+                best_weight = w;
+                best = set.to_vec();
+            }
+        });
+        if best.is_empty() {
+            break;
+        }
+        for &v in &best {
+            selection.push(v);
+            alive[v] = false;
+            for &w in graph.neighbors(v) {
+                alive[w as usize] = false;
+            }
+        }
+    }
+    debug_assert!(graph.is_independent(&selection));
+    selection
+}
+
+/// Enumerates all non-empty independent subsets of `remaining` with at
+/// most `k` elements (lexicographic order over `remaining`).
+fn enumerate_k_sets_ref(
+    graph: &AdjOverlapGraph,
+    remaining: &[usize],
+    start: usize,
+    k: usize,
+    current: &mut Vec<usize>,
+    f: &mut impl FnMut(&[usize]),
+) {
+    for i in start..remaining.len() {
+        let v = remaining[i];
+        if current.iter().any(|&u| graph.neighbors(u).contains(&(v as u32))) {
+            continue;
+        }
+        current.push(v);
+        f(current);
+        if current.len() < k {
+            enumerate_k_sets_ref(graph, remaining, i + 1, k, current, f);
+        }
+        current.pop();
+    }
+}
+
+/// Reference exact MWIS: branch-and-bound on boolean alive arrays.
+///
+/// # Panics
+/// Panics if the graph has more than
+/// [`crate::exact::EXACT_MWIS_MAX_NODES`] nodes.
+pub fn exact_mwis_ref(graph: &AdjOverlapGraph) -> Vec<usize> {
+    assert!(
+        graph.len() <= crate::exact::EXACT_MWIS_MAX_NODES,
+        "exact MWIS capped at {} nodes ({} given)",
+        crate::exact::EXACT_MWIS_MAX_NODES,
+        graph.len()
+    );
+    let mut best: Vec<usize> = Vec::new();
+    let mut best_weight = f64::NEG_INFINITY;
+    let mut current: Vec<usize> = Vec::new();
+    let alive: Vec<bool> = vec![true; graph.len()];
+    branch_ref(graph, alive, 0.0, &mut current, &mut best, &mut best_weight);
+    best.sort_unstable();
+    best
+}
+
+fn branch_ref(
+    graph: &AdjOverlapGraph,
+    alive: Vec<bool>,
+    current_weight: f64,
+    current: &mut Vec<usize>,
+    best: &mut Vec<usize>,
+    best_weight: &mut f64,
+) {
+    // Bound: even taking every remaining node cannot beat the incumbent.
+    let remaining_weight: f64 =
+        (0..graph.len()).filter(|&v| alive[v]).map(|v| graph.weight(v)).sum();
+    if current_weight + remaining_weight <= *best_weight {
+        return;
+    }
+    // Pick the highest-degree remaining node to branch on.
+    let pivot = (0..graph.len())
+        .filter(|&v| alive[v])
+        .max_by_key(|&v| graph.neighbors(v).iter().filter(|&&w| alive[w as usize]).count());
+    let Some(v) = pivot else {
+        if current_weight > *best_weight {
+            *best_weight = current_weight;
+            *best = current.clone();
+        }
+        return;
+    };
+
+    // Include v.
+    let mut with_v = alive.clone();
+    with_v[v] = false;
+    for &w in graph.neighbors(v) {
+        with_v[w as usize] = false;
+    }
+    current.push(v);
+    branch_ref(graph, with_v, current_weight + graph.weight(v), current, best, best_weight);
+    current.pop();
+
+    // Exclude v.
+    let mut without_v = alive;
+    without_v[v] = false;
+    branch_ref(graph, without_v, current_weight, current, best, best_weight);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(ids: &[u32]) -> Vec<VertexId> {
+        ids.iter().map(|&i| VertexId(i)).collect()
+    }
+
+    #[test]
+    fn merge_construction_matches_hand_graph() {
+        let g = AdjOverlapGraph::new(&[(1.0, v(&[0, 1, 2])), (2.0, v(&[2, 3])), (3.0, v(&[4]))]);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert!(g.neighbors(2).is_empty());
+    }
+
+    #[test]
+    fn reference_solvers_agree_on_a_star() {
+        let g = AdjOverlapGraph::from_parts(vec![2.0, 1.5, 1.5, 1.5], vec![(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(greedy_mwis_ref(&g), vec![0]);
+        assert_eq!(enhanced_greedy_mwis_ref(&g, 2), vec![1, 2, 3]);
+        assert_eq!(exact_mwis_ref(&g), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Differential equivalence suite for the mask-native partition stage.
+//!
+//! The pointer-adjacency graph and solvers retained in
+//! `pis_partition::reference` are the executable specification; these
+//! properties hold the mask-native `OverlapGraph` (vertex→fragment
+//! incidence construction, multi-word neighbor rows) and the three MWIS
+//! solvers to **byte-identical** adjacency and selections across vertex
+//! id ranges (below and far beyond the old 128-id u128 cutoff),
+//! duplicate vertices, empty sets, >128-node instances, and zero-weight
+//! nodes.
+
+use pis_graph::VertexId;
+use pis_partition::reference::{
+    enhanced_greedy_mwis_ref, exact_mwis_ref, greedy_mwis_ref, AdjOverlapGraph,
+};
+use pis_partition::{
+    enhanced_greedy_mwis, exact_mwis, greedy_mwis, OverlapGraph, EXACT_MWIS_MAX_NODES,
+};
+use proptest::prelude::*;
+
+/// Mask adjacency decoded into sorted neighbor lists, one per node.
+fn mask_adjacency(g: &OverlapGraph) -> Vec<Vec<usize>> {
+    (0..g.len()).map(|v| g.neighbors(v).collect()).collect()
+}
+
+/// Reference adjacency as `usize` lists, one per node.
+fn ref_adjacency(g: &AdjOverlapGraph) -> Vec<Vec<usize>> {
+    (0..g.len()).map(|v| g.neighbors(v).iter().map(|&n| n as usize).collect()).collect()
+}
+
+/// Builds both graph representations from the same fragment sets.
+fn both_from_sets(sets: &[Vec<u32>]) -> (OverlapGraph, AdjOverlapGraph) {
+    let frags: Vec<(f64, Vec<VertexId>)> =
+        sets.iter().map(|vs| (1.0, vs.iter().map(|&v| VertexId(v)).collect())).collect();
+    (OverlapGraph::new(&frags), AdjOverlapGraph::new(&frags))
+}
+
+/// Builds both graph representations from the same weights and edges.
+fn both_from_parts(
+    weights: &[f64],
+    raw_edges: &[(usize, usize)],
+) -> (OverlapGraph, AdjOverlapGraph) {
+    let n = weights.len();
+    let edges: Vec<(usize, usize)> = if n < 2 {
+        Vec::new()
+    } else {
+        raw_edges
+            .iter()
+            .filter_map(|&(a, b)| {
+                let (u, v) = (a % n, b % n);
+                (u != v).then_some((u.min(v), u.max(v)))
+            })
+            .collect()
+    };
+    (
+        OverlapGraph::from_parts(weights.to_vec(), edges.clone()),
+        AdjOverlapGraph::from_parts(weights.to_vec(), edges),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Incidence-built mask adjacency equals the all-pairs sorted-merge
+    /// reference across mixed vertex-id ranges (small dense ids force
+    /// duplicates and heavy sharing; ids near `u32::MAX` would overflow
+    /// any fixed-width mask of vertex ids), duplicate vertices inside a
+    /// set, and empty sets.
+    #[test]
+    fn mask_adjacency_matches_sorted_merge(
+        sets in proptest::collection::vec(
+            proptest::collection::vec(0u32..40, 0..6),
+            0..50,
+        ),
+        wide_sets in proptest::collection::vec(
+            proptest::collection::vec(0u32..4_000_000_000, 0..4),
+            0..10,
+        ),
+    ) {
+        let mut all = sets;
+        all.extend(wide_sets);
+        let (mask, reference) = both_from_sets(&all);
+        prop_assert_eq!(mask.len(), reference.len());
+        prop_assert_eq!(mask_adjacency(&mask), ref_adjacency(&reference));
+    }
+
+    /// Greedy and EnhancedGreedy(k) return byte-identical selections to
+    /// the pointer reference, including >128-node (multi-word) instances
+    /// and zero-weight nodes.
+    #[test]
+    fn greedy_solvers_match_pointer_reference(
+        weights in proptest::collection::vec(
+            prop::sample::select(vec![0.0, 0.25, 0.5, 1.0, 1.5, 4.0]),
+            0..150,
+        ),
+        raw_edges in proptest::collection::vec((0usize..1 << 16, 0usize..1 << 16), 0..500),
+    ) {
+        let (mask, reference) = both_from_parts(&weights, &raw_edges);
+        prop_assert_eq!(greedy_mwis(&mask), greedy_mwis_ref(&reference));
+        for k in [1, 2] {
+            prop_assert_eq!(
+                enhanced_greedy_mwis(&mask, k),
+                enhanced_greedy_mwis_ref(&reference, k),
+                "k={}", k
+            );
+        }
+    }
+
+    /// Exact branch-and-bound matches the pointer reference on small
+    /// random instances of any shape (the weak remaining-weight bound
+    /// makes large sparse instances intractable for both).
+    #[test]
+    fn exact_solver_matches_pointer_reference(
+        weights in proptest::collection::vec(
+            prop::sample::select(vec![0.0, 0.5, 1.0, 2.5, 7.0]),
+            0..18,
+        ),
+        raw_edges in proptest::collection::vec((0usize..1 << 16, 0usize..1 << 16), 0..80),
+    ) {
+        let (mask, reference) = both_from_parts(&weights, &raw_edges);
+        let opt = exact_mwis(&mask);
+        prop_assert_eq!(&opt, &exact_mwis_ref(&reference));
+        prop_assert!(mask.is_independent(&opt));
+    }
+
+    /// Exact equivalence on multi-word (>64-node) instances: a clique
+    /// plus isolated nodes keeps the branch-and-bound linear while the
+    /// masks span two words.
+    #[test]
+    fn exact_solver_matches_reference_past_64_nodes(
+        clique in 60usize..EXACT_MWIS_MAX_NODES - 8,
+        isolated in 0usize..8,
+        heavy in 0usize..60,
+    ) {
+        let n = clique + isolated;
+        let mut weights = vec![1.0; n];
+        weights[heavy % clique] = 3.0;
+        let mut edges = Vec::new();
+        for u in 0..clique {
+            for v in (u + 1)..clique {
+                edges.push((u, v));
+            }
+        }
+        let mask = OverlapGraph::from_parts(weights.clone(), edges.clone());
+        let reference = AdjOverlapGraph::from_parts(weights, edges);
+        prop_assert_eq!(exact_mwis(&mask), exact_mwis_ref(&reference));
+    }
+}
+
+/// Selections also agree when both graphs are built from the same
+/// fragment vertex sets end to end (construction + solver).
+#[test]
+fn end_to_end_sets_to_selection_agreement() {
+    // 140 interval fragments over a long path of query vertices: node i
+    // covers {i, i+1, i+2}, so the overlap graph is a 140-node band
+    // graph needing multi-word rows.
+    let sets: Vec<Vec<u32>> = (0..140u32).map(|i| vec![i, i + 1, i + 2]).collect();
+    let frags: Vec<(f64, Vec<VertexId>)> = sets
+        .iter()
+        .enumerate()
+        .map(|(i, vs)| (0.5 + (i % 7) as f64 * 0.3, vs.iter().map(|&v| VertexId(v)).collect()))
+        .collect();
+    let mask = OverlapGraph::new(&frags);
+    let reference = AdjOverlapGraph::new(&frags);
+    assert_eq!(mask_adjacency(&mask), ref_adjacency(&reference));
+    assert_eq!(greedy_mwis(&mask), greedy_mwis_ref(&reference));
+    assert_eq!(enhanced_greedy_mwis(&mask, 2), enhanced_greedy_mwis_ref(&reference, 2));
+}

@@ -183,29 +183,48 @@ proptest! {
         let got: Vec<(usize, f64)> =
             knn.neighbors.iter().map(|n| (n.graph.index(), n.distance)).collect();
         prop_assert_eq!(got, expected, "k {} radius {}", k, knn.radius);
-        // Reuse accounting: every reused verification corresponds to a
-        // candidate resolved in an earlier round, so across `rounds`
-        // rounds the total work never exceeds the no-reuse schedule.
+        // Reuse accounting: reuses are counted per distinct candidate,
+        // so they can never exceed the verifications that resolved them
+        // (or the database size), no matter how many widening rounds
+        // re-encounter the same resolved candidates.
         prop_assert!(knn.rounds >= 1);
         if knn.rounds == 1 {
             prop_assert_eq!(knn.reused_verifications, 0, "nothing to reuse in round one");
         }
+        prop_assert!(
+            knn.reused_verifications <= knn.verification_calls,
+            "distinct reuses ({}) exceed verification calls ({})",
+            knn.reused_verifications, knn.verification_calls
+        );
+        prop_assert!(
+            knn.reused_verifications <= db.len(),
+            "distinct reuses ({}) exceed the database size ({})",
+            knn.reused_verifications, db.len()
+        );
     }
 
     /// Pruning-only configurations (the figures' setting) agree too —
-    /// candidates are the observable there, not answers.
+    /// candidates are the observable there, not answers. All three
+    /// partition algorithms run, so the mask-native stage is held to
+    /// the pointer reference across every solver the config can pick.
     #[test]
     fn funnel_equals_reference_prune_only(
         db in graph_database(8, 6, 3),
         query in connected_graph(5, 2, 3),
         sigma in 0.0f64..4.0,
         structure_check in prop::sample::select(vec![true, false]),
+        algo in prop::sample::select(vec![
+            PartitionAlgo::Greedy,
+            PartitionAlgo::EnhancedGreedy(2),
+            PartitionAlgo::Exact,
+        ]),
     ) {
         let system = PisSystem::builder()
             .exhaustive_features(3)
             .search_config(PisConfig {
                 verify: false,
                 structure_check,
+                partition: algo,
                 ..PisConfig::default()
             })
             .build(db);
