@@ -75,6 +75,19 @@ const PRE_MASK_PARTITION_MS: [(&str, f64, f64); 6] = [
     ("pis_full", 4.0, 16.837),
 ];
 
+/// Optimized-funnel wall times at the `bench` scale immediately before
+/// the batched multi-probe range descent landed (PR 4's committed
+/// `BENCH_pipeline.json`, commit ccb898f) — the perf trajectory's
+/// fourth recorded point.
+const PRE_BATCHED_DESCENT_MS: [(&str, f64, f64); 6] = [
+    ("pis_prune", 1.0, 2.978),
+    ("pis_prune", 2.0, 4.601),
+    ("pis_prune", 4.0, 7.656),
+    ("pis_full", 1.0, 4.670),
+    ("pis_full", 2.0, 8.019),
+    ("pis_full", 4.0, 15.267),
+];
+
 fn main() {
     let mut scale_name = "bench".to_string();
     let mut iters = 5usize;
@@ -113,7 +126,7 @@ fn main() {
     let md = MutationDistance::edge_hamming();
 
     let prune_cfg = PisConfig { verify: false, structure_check: false, ..PisConfig::default() };
-    let pruner = PisSearcher::new(&bed.index, &bed.db, prune_cfg);
+    let pruner = PisSearcher::new(&bed.index, &bed.db, prune_cfg.clone());
     let full = PisSearcher::new(&bed.index, &bed.db, PisConfig::default());
 
     let mut rows: Vec<Row> = Vec::new();
@@ -137,6 +150,19 @@ fn main() {
                 .sum();
             (count, scratch.take_partition_nanos() as f64 / 1e6)
         }));
+        // The range-query phase of the same prune runs. Its count
+        // fingerprint is the total range-query hits over the query set
+        // (distinct (probe, graph) pairs — machine-independent, and
+        // identical between the batched and the per-probe descent), so
+        // a count drift flags a behavior change in the phase itself.
+        let mut scratch = SearchScratch::new();
+        rows.push(measure_phase("range_query", "optimized", sigma, iters, || {
+            for q in queries.iter() {
+                pruner.search_with_scratch(q, sigma, &mut scratch);
+            }
+            let (nanos, hits) = scratch.take_range_query_stats();
+            (hits as usize, nanos as f64 / 1e6)
+        }));
         let mut scratch = SearchScratch::new();
         rows.push(measure("pis_full", "optimized", sigma, iters, || {
             queries
@@ -159,7 +185,7 @@ fn main() {
     }
     check_fingerprints(&rows);
 
-    let json = render_json(&scale, &queries, iters, &rows);
+    let json = render_json(&scale, &queries, iters, &prune_cfg, &rows);
     std::fs::write(&out_path, &json).expect("cannot write benchmark JSON");
     println!("{json}");
     eprintln!("[pipeline_bench] wrote {out_path}");
@@ -221,6 +247,12 @@ fn measure_phase(
 /// fingerprints exactly.
 fn check_fingerprints(rows: &[Row]) {
     for a in rows.iter().filter(|r| r.variant == "optimized") {
+        // The range_query phase row has no in-run twin (its hit count is
+        // not a candidate/answer total); `perf_gate` cross-checks it
+        // against the committed snapshot instead.
+        if a.name == "range_query" {
+            continue;
+        }
         let twin_name = if a.name == "partition" { "pis_prune" } else { a.name };
         let twin_variant = if a.name == "partition" { "optimized" } else { "reference" };
         let b = rows
@@ -239,6 +271,7 @@ fn render_json(
     scale: &ExperimentScale,
     queries: &[LabeledGraph],
     iters: usize,
+    cfg: &PisConfig,
     rows: &[Row],
 ) -> String {
     let mut s = String::new();
@@ -254,6 +287,14 @@ fn render_json(
         scale.seed
     );
     let _ = writeln!(s, "  \"iters\": {iters},");
+    // The parallel break-even thresholds the run searched with, so
+    // many-core tuning runs (which override them through `PisConfig`)
+    // stay reproducible from the artifact alone.
+    let _ = writeln!(
+        s,
+        "  \"thresholds\": {{\"parallel_fragment\": {}, \"parallel_verify\": {}}},",
+        cfg.parallel_fragment_threshold, cfg.parallel_verify_threshold
+    );
     s.push_str("  \"experiments\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
@@ -289,10 +330,11 @@ fn render_json(
         s.push_str("  },\n");
         baseline_section(&mut s, "pre_rework_baseline", &PRE_REWORK_CRITERION_MS, rows, true);
         baseline_section(&mut s, "pre_flat_trie_baseline", &PRE_FLAT_TRIE_MS, rows, true);
+        baseline_section(&mut s, "pre_mask_partition_baseline", &PRE_MASK_PARTITION_MS, rows, true);
         baseline_section(
             &mut s,
-            "pre_mask_partition_baseline",
-            &PRE_MASK_PARTITION_MS,
+            "pre_batched_descent_baseline",
+            &PRE_BATCHED_DESCENT_MS,
             rows,
             false,
         );

@@ -37,7 +37,25 @@ pub struct PisConfig {
     /// Verify candidates (step 3). Disable to measure pruning in
     /// isolation, as the paper's figures do.
     pub verify: bool,
+    /// Break-even point of the range-query fan-out: below this many
+    /// unique probes a search prices them serially through the shared
+    /// scratch; at or above it, probe groups spread across the thread
+    /// pool. Tune upward on boxes where thread startup dominates, or
+    /// downward on many-core machines with large probe sets
+    /// ([`DEFAULT_PARALLEL_FRAGMENT_THRESHOLD`] is the measured
+    /// break-even on commodity 8–16 core hardware).
+    pub parallel_fragment_threshold: usize,
+    /// Break-even point of candidate verification: batches smaller than
+    /// this verify on the calling thread
+    /// ([`DEFAULT_PARALLEL_VERIFY_THRESHOLD`]).
+    pub parallel_verify_threshold: usize,
 }
+
+/// Default [`PisConfig::parallel_fragment_threshold`].
+pub const DEFAULT_PARALLEL_FRAGMENT_THRESHOLD: usize = 48;
+
+/// Default [`PisConfig::parallel_verify_threshold`].
+pub const DEFAULT_PARALLEL_VERIFY_THRESHOLD: usize = 64;
 
 impl Default for PisConfig {
     fn default() -> Self {
@@ -47,6 +65,8 @@ impl Default for PisConfig {
             partition: PartitionAlgo::Greedy,
             structure_check: true,
             verify: true,
+            parallel_fragment_threshold: DEFAULT_PARALLEL_FRAGMENT_THRESHOLD,
+            parallel_verify_threshold: DEFAULT_PARALLEL_VERIFY_THRESHOLD,
         }
     }
 }
@@ -63,5 +83,7 @@ mod tests {
         assert_eq!(c.partition, PartitionAlgo::Greedy);
         assert!(c.structure_check);
         assert!(c.verify);
+        assert_eq!(c.parallel_fragment_threshold, DEFAULT_PARALLEL_FRAGMENT_THRESHOLD);
+        assert_eq!(c.parallel_verify_threshold, DEFAULT_PARALLEL_VERIFY_THRESHOLD);
     }
 }

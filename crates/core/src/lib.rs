@@ -30,7 +30,10 @@ pub mod verify;
 
 pub use baseline::{naive_scan, topo_prune, BaselineOutcome};
 pub use batch::{run_workload, WorkloadReport};
-pub use config::{PartitionAlgo, PisConfig};
+pub use config::{
+    PartitionAlgo, PisConfig, DEFAULT_PARALLEL_FRAGMENT_THRESHOLD,
+    DEFAULT_PARALLEL_VERIFY_THRESHOLD,
+};
 pub use explain::explain;
 pub use knn::{KnnOutcome, Neighbor};
 pub use search::{PisSearcher, SearchOutcome, SearchScratch, SearchStats};

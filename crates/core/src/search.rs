@@ -120,10 +120,6 @@ pub struct SearchOutcome {
 /// its selectivity `w(g)` — the unit of the reference pipeline.
 type ScoredFragment = (QueryFragment, Vec<(GraphId, f64)>, f64);
 
-/// Unique probes below this count stay on the calling thread; above it
-/// the range queries fan out across the pool.
-const PARALLEL_FRAGMENT_THRESHOLD: usize = 48;
-
 /// Reusable state for the optimized candidate funnel.
 ///
 /// One scratch serves any number of sequential searches (it re-sizes to
@@ -180,6 +176,12 @@ pub struct SearchScratch {
     /// Nanoseconds spent in the partition stage (`Q̃` build + MWIS)
     /// since the last [`SearchScratch::take_partition_nanos`].
     partition_nanos: u64,
+    /// Nanoseconds spent running range queries since the last
+    /// [`SearchScratch::take_range_query_stats`].
+    range_nanos: u64,
+    /// Range-query hits (distinct `(probe, graph)` pairs) produced in
+    /// the same window — the phase's correctness fingerprint.
+    range_hits: u64,
 }
 
 impl SearchScratch {
@@ -199,6 +201,16 @@ impl SearchScratch {
     /// own phase.
     pub fn take_partition_nanos(&mut self) -> u64 {
         std::mem::take(&mut self.partition_nanos)
+    }
+
+    /// Returns `(nanoseconds, hits)` of the range-query phase — the
+    /// time spent answering the unique probes of each search, and the
+    /// total hits they produced (distinct `(probe, graph)` pairs, the
+    /// phase's machine-independent fingerprint) — since the last call,
+    /// and resets both counters. `pipeline_bench` reports the phase as
+    /// its own gated row.
+    pub fn take_range_query_stats(&mut self) -> (u64, u64) {
+        (std::mem::take(&mut self.range_nanos), std::mem::take(&mut self.range_hits))
     }
 
     /// Prepares for a search over `n` database graphs.
@@ -482,53 +494,78 @@ impl<'a> PisSearcher<'a> {
         stats
     }
 
-    /// Runs one range query per unique probe slot, serially through the
-    /// shared scratch or fanned out across the pool for large probe
-    /// sets.
+    /// Runs the range queries of one search: unique probe slots are
+    /// grouped into *sibling batches* — consecutive slots of the same
+    /// feature (the enumeration is feature-major, so equal features are
+    /// always adjacent) — and each batch is answered in one pass by
+    /// [`FragmentIndex::range_query_batch_normalized_into`], which
+    /// prices every level's alphabet once per distinct query label and
+    /// descends the class arena once for the whole group. Lone probes
+    /// keep the scalar descent. Large probe sets fan the batches out
+    /// across the pool instead.
     fn run_range_queries(
         &self,
         fragments: &FragmentBuffer,
         sigma: f64,
         scratch: &mut SearchScratch,
     ) {
+        let start = std::time::Instant::now();
         let pool = ScopedPool::default();
         let unique = scratch.slots_used;
         // Inside a pool worker (e.g. a `run_workload` fan-out) a nested
         // map would run serially anyway — take the scratch-reusing
         // serial path directly instead of allocating per-probe buffers.
-        if pool.workers() > 1 && !ScopedPool::in_worker() && unique >= PARALLEL_FRAGMENT_THRESHOLD {
+        if pool.workers() > 1
+            && !ScopedPool::in_worker()
+            && unique >= self.config.parallel_fragment_threshold
+        {
             let index = self.index;
-            let results: Vec<Vec<(GraphId, f64)>> = pool.map_with(
-                &scratch.unique_fragment,
-                PARALLEL_FRAGMENT_THRESHOLD,
-                RangeScratch::new,
-                |range, _, &fi| {
-                    let mut out = Vec::new();
-                    index.range_query_normalized_into(
-                        fragments.feature(fi),
-                        fragments.vector(fi),
+            let unique_fragment = &scratch.unique_fragment;
+            let groups = sibling_groups(fragments, unique_fragment);
+            let results: Vec<Vec<Vec<(GraphId, f64)>>> =
+                pool.map_with(&groups, 2, RangeScratch::new, |range, _, &(s, e)| {
+                    let mut outs: Vec<Vec<(GraphId, f64)>> = vec![Vec::new(); e - s];
+                    index.range_query_batch_normalized_into(
+                        fragments.feature(unique_fragment[s]),
+                        e - s,
+                        |i| fragments.vector(unique_fragment[s + i]),
                         sigma,
                         range,
-                        &mut out,
+                        &mut outs,
                     );
-                    out
-                },
-            );
-            for (s, hits) in results.into_iter().enumerate() {
-                scratch.hits[s] = hits;
+                    outs
+                });
+            for (&(s, _), outs) in groups.iter().zip(results) {
+                for (k, hits) in outs.into_iter().enumerate() {
+                    scratch.hits[s + k] = hits;
+                }
             }
         } else {
-            for s in 0..unique {
-                let fi = scratch.unique_fragment[s];
-                self.index.range_query_normalized_into(
-                    fragments.feature(fi),
-                    fragments.vector(fi),
-                    sigma,
-                    &mut scratch.range,
-                    &mut scratch.hits[s],
-                );
-            }
+            let SearchScratch { range, hits, unique_fragment, .. } = scratch;
+            for_each_sibling_group(fragments, unique_fragment, |s, e| {
+                let feature = fragments.feature(unique_fragment[s]);
+                if e - s == 1 {
+                    self.index.range_query_normalized_into(
+                        feature,
+                        fragments.vector(unique_fragment[s]),
+                        sigma,
+                        range,
+                        &mut hits[s],
+                    );
+                } else {
+                    self.index.range_query_batch_normalized_into(
+                        feature,
+                        e - s,
+                        |i| fragments.vector(unique_fragment[s + i]),
+                        sigma,
+                        range,
+                        &mut hits[s..e],
+                    );
+                }
+            });
         }
+        scratch.range_nanos += start.elapsed().as_nanos() as u64;
+        scratch.range_hits += scratch.hits[..unique].iter().map(|h| h.len() as u64).sum::<u64>();
     }
 
     /// The seed's straight-line transcription of Algorithm 2, kept as an
@@ -638,19 +675,50 @@ impl<'a> PisSearcher<'a> {
         candidates: &[GraphId],
         sigma: f64,
     ) -> Vec<(GraphId, f64)> {
-        /// Below this batch size threads cost more than they save.
-        const PARALLEL_THRESHOLD: usize = 64;
         let distance = distance_dyn(self.index.distance());
         let verify_one = |gid: GraphId| {
             min_superimposed_distance(query, &self.database[gid.index()], distance, sigma)
                 .map(|d| (gid, d))
         };
+        // Below the configured batch size threads cost more than they
+        // save.
         ScopedPool::default()
-            .map(candidates, PARALLEL_THRESHOLD, |_, &gid| verify_one(gid))
+            .map(candidates, self.config.parallel_verify_threshold, |_, &gid| verify_one(gid))
             .into_iter()
             .flatten()
             .collect()
     }
+}
+
+/// Visits the unique probe slots as maximal runs `[s, e)` of equal
+/// feature — the sibling batches of the range-query phase. Fragment
+/// enumeration is feature-major, so one linear scan finds every group;
+/// the callback form keeps the serial funnel allocation-free while the
+/// parallel fan-out collects the same groups through
+/// [`sibling_groups`].
+fn for_each_sibling_group(
+    fragments: &FragmentBuffer,
+    unique_fragment: &[usize],
+    mut visit: impl FnMut(usize, usize),
+) {
+    let mut s = 0;
+    while s < unique_fragment.len() {
+        let feature = fragments.feature(unique_fragment[s]);
+        let mut e = s + 1;
+        while e < unique_fragment.len() && fragments.feature(unique_fragment[e]) == feature {
+            e += 1;
+        }
+        visit(s, e);
+        s = e;
+    }
+}
+
+/// The collected form of [`for_each_sibling_group`], for the parallel
+/// fan-out's work list.
+fn sibling_groups(fragments: &FragmentBuffer, unique_fragment: &[usize]) -> Vec<(usize, usize)> {
+    let mut groups = Vec::new();
+    for_each_sibling_group(fragments, unique_fragment, |s, e| groups.push((s, e)));
+    groups
 }
 
 /// EnhancedGreedy order used when the exact solver's node cap forces a

@@ -109,6 +109,41 @@ impl MutationDistance {
         }
     }
 
+    /// Multi-query form of [`MutationDistance::position_costs_into`]:
+    /// prices every distinct query label of a probe batch against one
+    /// trie level's alphabet in a single call (row `qi` covers
+    /// `queries[qi]`; see [`ScoreMatrix::costs_into_multi`]).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != queries.len() * stored.len()`.
+    pub fn position_costs_into_multi(
+        &self,
+        pos: usize,
+        edge_count: usize,
+        queries: &[Label],
+        stored: &[Label],
+        out: &mut [f64],
+    ) {
+        if pos < edge_count {
+            self.edge_scores.costs_into_multi(queries, stored, out);
+        } else {
+            self.vertex_scores.costs_into_multi(queries, stored, out);
+        }
+    }
+
+    /// Whether vector position `pos` can never contribute cost (its
+    /// score matrix is all-zero), for **any** query label. O(1) — this
+    /// is the shared zero-prefix detection of the batched descent: one
+    /// flag check replaces a per-probe scan of the priced level.
+    #[inline]
+    pub fn position_is_zero(&self, pos: usize, edge_count: usize) -> bool {
+        if pos < edge_count {
+            self.edge_scores.is_zero()
+        } else {
+            self.vertex_scores.is_zero()
+        }
+    }
+
     /// Whether both matrices are metrics (VP-tree backend precondition).
     pub fn is_metric(&self) -> bool {
         self.vertex_scores.is_metric() && self.edge_scores.is_metric()
@@ -206,6 +241,33 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn multi_query_position_costs_match_scalar_rows() {
+        let d = MutationDistance::new(ScoreMatrix::uniform(0, 2.0), ScoreMatrix::unit(0));
+        let stored = [Label(0), Label(1), Label(5)];
+        let queries = [Label(0), Label(5), Label(0)];
+        let mut multi = vec![f64::NAN; queries.len() * stored.len()];
+        let mut row = vec![f64::NAN; stored.len()];
+        for (pos, edge_count) in [(0usize, 2usize), (2, 2), (1, 0)] {
+            d.position_costs_into_multi(pos, edge_count, &queries, &stored, &mut multi);
+            for (qi, &q) in queries.iter().enumerate() {
+                d.position_costs_into(pos, edge_count, q, &stored, &mut row);
+                assert_eq!(&multi[qi * stored.len()..(qi + 1) * stored.len()], &row[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn position_zero_tracks_segment_matrices() {
+        let d = MutationDistance::edge_hamming(); // zero vertex matrix
+        assert!(!d.position_is_zero(0, 2));
+        assert!(!d.position_is_zero(1, 2));
+        assert!(d.position_is_zero(2, 2));
+        let unit = MutationDistance::unit();
+        assert!(!unit.position_is_zero(0, 1));
+        assert!(!unit.position_is_zero(1, 1));
     }
 
     #[test]

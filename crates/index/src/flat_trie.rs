@@ -40,6 +40,62 @@ use pis_graph::{GraphId, Label};
 
 use crate::trie::LabelTrie;
 
+/// Lane width of the unrolled frontier expansion: child costs are
+/// gathered into a buffer of this many slots, added and compared as
+/// lanes, and survivors compacted through a bit mask — the scalar
+/// `push`-per-child loop only runs on the sub-lane tail. Eight f64
+/// lanes span one cache line and match the widest vector registers in
+/// common deployment (AVX-512); narrower ISAs simply split the lanes.
+const LANES: usize = 8;
+
+/// Expands one contiguous child range `cs..ce` in [`LANES`]-wide chunks:
+/// gather each child's cost slot (`table[idx[child] - idx_base]`), add
+/// the inherited `acc`, compare against `sigma` as lanes, then compact
+/// the survivor mask in ascending-child order (bit scan instead of a
+/// branch per child). Survivors' `(child, cost)` pairs are appended in
+/// exactly the order the scalar loop would produce, and each cost is
+/// the same single `acc + slot` addition — byte-identical output.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn expand_children_wide(
+    idx: &[u32],
+    idx_base: u32,
+    table: &[f64],
+    (cs, ce): (u32, u32),
+    acc: f64,
+    sigma: f64,
+    out_nodes: &mut Vec<u32>,
+    out_costs: &mut Vec<f64>,
+) {
+    let mut lane = [0.0f64; LANES];
+    let mut child = cs as usize;
+    let end = ce as usize;
+    while child + LANES <= end {
+        for (k, slot) in lane.iter_mut().enumerate() {
+            *slot = acc + table[(idx[child + k] - idx_base) as usize];
+        }
+        let mut mask = 0u32;
+        for (k, &c) in lane.iter().enumerate() {
+            mask |= u32::from(c <= sigma) << k;
+        }
+        while mask != 0 {
+            let k = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            out_nodes.push((child + k) as u32);
+            out_costs.push(lane[k]);
+        }
+        child += LANES;
+    }
+    while child < end {
+        let c = acc + table[(idx[child] - idx_base) as usize];
+        if c <= sigma {
+            out_nodes.push(child as u32);
+            out_costs.push(c);
+        }
+        child += 1;
+    }
+}
+
 /// A frozen fixed-depth trie over label sequences (level-major arena).
 #[derive(Clone, Debug)]
 pub struct FlatTrie {
@@ -93,6 +149,74 @@ impl TrieFrontier {
     /// An empty scratch; it sizes itself on first use.
     pub fn new() -> Self {
         TrieFrontier::default()
+    }
+}
+
+/// Reusable state for [`FlatTrie::range_query_batch`]: the shared
+/// per-level pricing table and the node-major multi-probe frontier.
+/// One scratch serves any number of sequential batches against tries
+/// of any shape; steady-state batches allocate nothing.
+#[derive(Clone, Debug, Default)]
+pub struct BatchFrontier {
+    /// Cost rows, level-major then row-major: level `l` holds one row
+    /// per *distinct* query label of the batch at that level, each row
+    /// spanning the level's alphabet.
+    costs: Vec<f64>,
+    /// Distinct-label gathering buffer (per level during pricing).
+    distinct: Vec<Label>,
+    /// Whether each distinct row of the current level is all-zero.
+    distinct_zero: Vec<bool>,
+    /// Per probe per level (`p * depth + l`): offset of the probe's
+    /// cost row in `costs`.
+    row_of: Vec<u32>,
+    /// Per probe per level: whether that row prices everything to zero.
+    row_zero: Vec<bool>,
+    /// Per probe: first level from which every remaining level prices
+    /// to zero (the probe's zero-suffix boundary).
+    zero_from: Vec<u32>,
+    /// Frontier, node-major: `nodes[g]` carries the probe entries
+    /// `group_start[g]..group_start[g + 1]` of the parallel
+    /// `probes`/`accs` arrays — sibling probes alive on the same node
+    /// share one arena read per child.
+    nodes: Vec<u32>,
+    group_start: Vec<u32>,
+    probes: Vec<u32>,
+    accs: Vec<f64>,
+    /// Double buffers for the next level.
+    next_nodes: Vec<u32>,
+    next_group_start: Vec<u32>,
+    next_probes: Vec<u32>,
+    next_accs: Vec<f64>,
+    /// Staging for the rare levels where *some* (not all) probes of a
+    /// group retire into their zero suffix.
+    group_probes: Vec<u32>,
+    group_accs: Vec<f64>,
+    /// Probe-major regrouping of the frontier (counting sort), used
+    /// when sibling occupancy collapses and the descent switches to
+    /// per-probe wide expansion: probe `p` owns
+    /// `by_probe_start[p]..by_probe_start[p + 1]` of the sorted arrays.
+    by_probe_start: Vec<u32>,
+    sorted_nodes: Vec<u32>,
+    sorted_accs: Vec<f64>,
+}
+
+impl BatchFrontier {
+    /// An empty scratch; it sizes itself on first use.
+    pub fn new() -> Self {
+        BatchFrontier::default()
+    }
+
+    fn reset(&mut self, nprobes: usize, depth: usize) {
+        self.costs.clear();
+        self.row_of.clear();
+        self.row_of.resize(nprobes * depth, 0);
+        self.row_zero.clear();
+        self.row_zero.resize(nprobes * depth, false);
+        self.zero_from.clear();
+        self.nodes.clear();
+        self.group_start.clear();
+        self.probes.clear();
+        self.accs.clear();
     }
 }
 
@@ -358,13 +482,16 @@ impl FlatTrie {
             for (&node, &acc) in nodes.iter().zip(costs.iter()) {
                 let cs = self.child_start[node as usize];
                 let ce = cs + self.child_len[node as usize];
-                for child in cs..ce {
-                    let c = acc + label_costs[self.label_idx[child as usize] as usize];
-                    if c <= sigma {
-                        next_nodes.push(child);
-                        next_costs.push(c);
-                    }
-                }
+                expand_children_wide(
+                    &self.label_idx,
+                    0,
+                    label_costs,
+                    (cs, ce),
+                    acc,
+                    sigma,
+                    next_nodes,
+                    next_costs,
+                );
             }
             std::mem::swap(nodes, next_nodes);
             std::mem::swap(costs, next_costs);
@@ -382,6 +509,407 @@ impl FlatTrie {
                 visit(g, acc);
             }
         }
+    }
+
+    /// Prices and descends a whole *probe batch* — `nprobes` query
+    /// sequences against this class, concatenated row-major in `probes`
+    /// (`probes.len() == nprobes * depth`) — in one arena pass.
+    ///
+    /// Pricing is shared: each level's alphabet is priced **once per
+    /// distinct query label of the batch**
+    /// (`level_costs_multi(level, distinct_queries, stored, rows)`,
+    /// see `MutationDistance::position_costs_into_multi`), so sibling
+    /// probes repeating a label never re-pay the kernel.
+    /// `level_zero(level)` is the shared zero-prefix detector: return
+    /// `true` when the level prices to zero for *every* query label
+    /// (e.g. `MutationDistance::position_is_zero`), and the kernel call
+    /// is skipped outright.
+    ///
+    /// The descent walks the arena level by level with a node-major
+    /// frontier: probes alive on the same node share one read of its
+    /// child range, single-probe nodes take the same wide-lane
+    /// expansion as [`FlatTrie::range_query`], and each probe
+    /// short-circuits through its own all-zero suffix independently.
+    /// Every resolved subtree is reported as
+    /// `emit(probe, cost, postings)` *during* the descent — emissions
+    /// of different probes interleave, but per probe the flattened
+    /// `(graph, cost)` multiset (exact f64 costs) is identical to a
+    /// scalar [`FlatTrie::range_query`] with the same query and
+    /// `sigma`, so an order-insensitive accumulator (e.g. a per-probe
+    /// minimum table) reproduces the scalar hits byte-for-byte.
+    ///
+    /// # Panics
+    /// Panics if `probes.len() != nprobes * depth`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn range_query_batch(
+        &self,
+        nprobes: usize,
+        probes: &[Label],
+        sigma: f64,
+        mut level_costs_multi: impl FnMut(usize, &[Label], &[Label], &mut [f64]),
+        mut level_zero: impl FnMut(usize) -> bool,
+        scratch: &mut BatchFrontier,
+        mut emit: impl FnMut(u32, f64, &[GraphId]),
+    ) {
+        let depth = self.depth;
+        assert_eq!(
+            probes.len(),
+            nprobes * depth,
+            "probe batch must hold nprobes sequences of trie depth"
+        );
+        scratch.reset(nprobes, depth);
+        if nprobes == 0 || self.postings.is_empty() {
+            return;
+        }
+        if depth == 0 {
+            // The virtual root is a leaf: every probe matches the whole
+            // store at cost zero.
+            for p in 0..nprobes {
+                emit(p as u32, 0.0, &self.postings);
+            }
+            return;
+        }
+        // --- Shared pricing: one kernel row per (level, distinct query
+        // label); every probe's row offset is resolved up front. The
+        // same pass accumulates the worst-case path cost, which decides
+        // the descent mode below. ---
+        let mut max_total = 0.0f64;
+        for l in 0..depth {
+            let (a0, a1) = (self.alphabet_start[l] as usize, self.alphabet_start[l + 1] as usize);
+            let alpha = &self.alphabet[a0..a1];
+            let alen = alpha.len();
+            scratch.distinct.clear();
+            for p in 0..nprobes {
+                scratch.distinct.push(probes[p * depth + l]);
+            }
+            scratch.distinct.sort_unstable();
+            scratch.distinct.dedup();
+            let base = scratch.costs.len();
+            scratch.costs.resize(base + scratch.distinct.len() * alen, 0.0);
+            scratch.distinct_zero.clear();
+            if level_zero(l) {
+                // The level cannot price anything for any query label —
+                // the zero-filled rows are already exact, skip the
+                // kernel and the per-row scans.
+                scratch.distinct_zero.resize(scratch.distinct.len(), true);
+            } else {
+                let rows = &mut scratch.costs[base..];
+                level_costs_multi(l, &scratch.distinct, alpha, rows);
+                scratch
+                    .distinct_zero
+                    .extend(rows.chunks_exact(alen).map(|row| row.iter().all(|&c| c == 0.0)));
+                max_total += rows.iter().copied().fold(0.0, f64::max);
+            }
+            for p in 0..nprobes {
+                let di = scratch
+                    .distinct
+                    .binary_search(&probes[p * depth + l])
+                    .expect("every probe label was gathered");
+                scratch.row_of[p * depth + l] = (base + di * alen) as u32;
+                scratch.row_zero[p * depth + l] = scratch.distinct_zero[di];
+            }
+        }
+        // Per-probe zero-suffix boundary; probes whose whole query
+        // prices to zero resolve to the full store immediately.
+        let mut max_zero = 0u32;
+        for p in 0..nprobes {
+            let mut zf = depth as u32;
+            while zf > 0 && scratch.row_zero[p * depth + zf as usize - 1] {
+                zf -= 1;
+            }
+            scratch.zero_from.push(zf);
+            max_zero = max_zero.max(zf);
+            if zf == 0 && sigma >= 0.0 {
+                // Costs are non-negative, so sigma >= 0 admits all.
+                emit(p as u32, 0.0, &self.postings);
+            }
+        }
+        if max_zero == 0 {
+            return;
+        }
+        let BatchFrontier {
+            costs,
+            row_of,
+            zero_from,
+            nodes,
+            group_start,
+            probes: fprobes,
+            accs,
+            next_nodes,
+            next_group_start,
+            next_probes,
+            next_accs,
+            group_probes,
+            group_accs,
+            by_probe_start,
+            sorted_nodes,
+            sorted_accs,
+            ..
+        } = scratch;
+        // --- Descent mode. When `sigma` covers at least half the
+        // worst-case path cost, most paths survive most levels, the
+        // sibling probes stay stacked on the same frontier nodes, and
+        // the node-major descent amortizes every arena read across
+        // them. Below that, survivor sets separate fast and per-probe
+        // wide-lane descents over the shared pricing table win — the
+        // group bookkeeping would outweigh the sharing. ---
+        let (l0s, l0e) = (self.level_start[0], self.level_start[1]);
+        if 2.0 * sigma < max_total || nprobes == 1 {
+            for p in 0..nprobes {
+                if zero_from[p] == 0 {
+                    continue;
+                }
+                let row0 = row_of[p * depth] as usize;
+                nodes.clear();
+                accs.clear();
+                for node in l0s..l0e {
+                    // Level-0 cost slots start at 0.
+                    let c = costs[row0 + self.label_idx[node as usize] as usize];
+                    if c <= sigma {
+                        nodes.push(node);
+                        accs.push(c);
+                    }
+                }
+                self.descend_probe(
+                    p, 1, sigma, costs, row_of, zero_from, nodes, accs, next_nodes, next_accs,
+                    &mut emit,
+                );
+            }
+            return;
+        }
+        // Seed with level 0 (node-major so sibling probes group).
+        group_start.push(0);
+        for node in l0s..l0e {
+            let rel = self.label_idx[node as usize] as usize; // level-0 slots start at 0
+            let mut began = false;
+            for p in 0..nprobes {
+                if zero_from[p] == 0 {
+                    continue;
+                }
+                let c = costs[row_of[p * depth] as usize + rel];
+                if c <= sigma {
+                    if !began {
+                        nodes.push(node);
+                        began = true;
+                    }
+                    fprobes.push(p as u32);
+                    accs.push(c);
+                }
+            }
+            if began {
+                group_start.push(fprobes.len() as u32);
+            }
+        }
+        let mut frontier_level = 0usize;
+        loop {
+            if nodes.is_empty() {
+                return;
+            }
+            let lvl = frontier_level + 1;
+            if lvl >= max_zero as usize {
+                // Every remaining probe's zero suffix starts here: each
+                // entry resolves to its node's whole subtree range.
+                for g in 0..nodes.len() {
+                    let node = nodes[g] as usize;
+                    let sub = self.subtree_postings(node);
+                    for i in group_start[g] as usize..group_start[g + 1] as usize {
+                        emit(fprobes[i], accs[i], sub);
+                    }
+                }
+                return;
+            }
+            // Adaptive lane occupancy: node-major groups pay off while
+            // several sibling probes ride each frontier node (one arena
+            // read serves them all). Once the average occupancy drops
+            // under 2 — selective sigmas separate the probes quickly —
+            // the group bookkeeping is pure overhead, so regroup the
+            // frontier probe-major (stable counting sort) and finish
+            // each probe with the scalar wide-lane descent, still on
+            // the shared pricing table.
+            if fprobes.len() < 2 * nodes.len() {
+                by_probe_start.clear();
+                by_probe_start.resize(nprobes + 1, 0);
+                for &p in fprobes.iter() {
+                    by_probe_start[p as usize + 1] += 1;
+                }
+                for p in 0..nprobes {
+                    by_probe_start[p + 1] += by_probe_start[p];
+                }
+                let total = fprobes.len();
+                sorted_nodes.clear();
+                sorted_nodes.resize(total, 0);
+                sorted_accs.clear();
+                sorted_accs.resize(total, 0.0);
+                group_probes.clear();
+                group_probes.extend_from_slice(by_probe_start);
+                for g in 0..nodes.len() {
+                    for i in group_start[g] as usize..group_start[g + 1] as usize {
+                        let cursor = &mut group_probes[fprobes[i] as usize];
+                        let pos = *cursor as usize;
+                        *cursor += 1;
+                        sorted_nodes[pos] = nodes[g];
+                        sorted_accs[pos] = accs[i];
+                    }
+                }
+                for p in 0..nprobes {
+                    let (ps, pe) = (by_probe_start[p] as usize, by_probe_start[p + 1] as usize);
+                    if ps == pe {
+                        continue;
+                    }
+                    nodes.clear();
+                    nodes.extend_from_slice(&sorted_nodes[ps..pe]);
+                    accs.clear();
+                    accs.extend_from_slice(&sorted_accs[ps..pe]);
+                    self.descend_probe(
+                        p, lvl, sigma, costs, row_of, zero_from, nodes, accs, next_nodes,
+                        next_accs, &mut emit,
+                    );
+                }
+                return;
+            }
+            let any_retiring = zero_from.iter().any(|&zf| zf as usize == lvl);
+            let alpha_base = self.alphabet_start[lvl];
+            next_nodes.clear();
+            next_group_start.clear();
+            next_group_start.push(0);
+            next_probes.clear();
+            next_accs.clear();
+            for g in 0..nodes.len() {
+                let node = nodes[g] as usize;
+                let (es, ee) = (group_start[g] as usize, group_start[g + 1] as usize);
+                // The group's live entries; on the rare levels where
+                // some (not all) probes retire into their zero suffix,
+                // the retirees emit their subtree range here and the
+                // survivors are staged aside.
+                let (mut live_probes, mut live_accs): (&[u32], &[f64]) =
+                    (&fprobes[es..ee], &accs[es..ee]);
+                if any_retiring {
+                    group_probes.clear();
+                    group_accs.clear();
+                    let sub = self.subtree_postings(node);
+                    for i in es..ee {
+                        if zero_from[fprobes[i] as usize] as usize == lvl {
+                            emit(fprobes[i], accs[i], sub);
+                        } else {
+                            group_probes.push(fprobes[i]);
+                            group_accs.push(accs[i]);
+                        }
+                    }
+                    if group_probes.is_empty() {
+                        continue;
+                    }
+                    (live_probes, live_accs) = (group_probes.as_slice(), group_accs.as_slice());
+                }
+                let cs = self.child_start[node];
+                let ce = cs + self.child_len[node];
+                if let (&[p], &[acc]) = (live_probes, live_accs) {
+                    // Single live probe on this node: take the same
+                    // wide-lane expansion as the scalar descent, each
+                    // survivor becoming its own next-level group.
+                    let row = row_of[p as usize * depth + lvl] as usize;
+                    let before = next_nodes.len();
+                    expand_children_wide(
+                        &self.label_idx,
+                        alpha_base,
+                        &costs[row..],
+                        (cs, ce),
+                        acc,
+                        sigma,
+                        next_nodes,
+                        next_accs,
+                    );
+                    for _ in before..next_nodes.len() {
+                        next_probes.push(p);
+                        next_group_start.push(next_probes.len() as u32);
+                    }
+                } else {
+                    // Shared arena reads: one label load per child, all
+                    // sibling probes priced from their own row lane.
+                    for child in cs..ce {
+                        let rel = (self.label_idx[child as usize] - alpha_base) as usize;
+                        let mut began = false;
+                        for (&p, &acc) in live_probes.iter().zip(live_accs.iter()) {
+                            let row = row_of[p as usize * depth + lvl] as usize;
+                            let c = acc + costs[row + rel];
+                            if c <= sigma {
+                                if !began {
+                                    next_nodes.push(child);
+                                    began = true;
+                                }
+                                next_probes.push(p);
+                                next_accs.push(c);
+                            }
+                        }
+                        if began {
+                            next_group_start.push(next_probes.len() as u32);
+                        }
+                    }
+                }
+            }
+            std::mem::swap(nodes, next_nodes);
+            std::mem::swap(group_start, next_group_start);
+            std::mem::swap(fprobes, next_probes);
+            std::mem::swap(accs, next_accs);
+            frontier_level = lvl;
+        }
+    }
+
+    /// Finishes one probe's batched descent from a frontier sitting at
+    /// level `from_level - 1`: expands through the probe's remaining
+    /// cost-bearing levels with the wide-lane loop over its rows of the
+    /// shared pricing table (exactly the scalar descent's inner loop),
+    /// then emits each survivor's subtree posting range.
+    #[allow(clippy::too_many_arguments)]
+    fn descend_probe(
+        &self,
+        p: usize,
+        from_level: usize,
+        sigma: f64,
+        costs: &[f64],
+        row_of: &[u32],
+        zero_from: &[u32],
+        nodes: &mut Vec<u32>,
+        accs: &mut Vec<f64>,
+        next_nodes: &mut Vec<u32>,
+        next_accs: &mut Vec<f64>,
+        emit: &mut impl FnMut(u32, f64, &[GraphId]),
+    ) {
+        let depth = self.depth;
+        for lvl in from_level..zero_from[p] as usize {
+            let row = row_of[p * depth + lvl] as usize;
+            let base = self.alphabet_start[lvl];
+            next_nodes.clear();
+            next_accs.clear();
+            for (&node, &acc) in nodes.iter().zip(accs.iter()) {
+                let cs = self.child_start[node as usize];
+                let ce = cs + self.child_len[node as usize];
+                expand_children_wide(
+                    &self.label_idx,
+                    base,
+                    &costs[row..],
+                    (cs, ce),
+                    acc,
+                    sigma,
+                    next_nodes,
+                    next_accs,
+                );
+            }
+            std::mem::swap(nodes, next_nodes);
+            std::mem::swap(accs, next_accs);
+            if nodes.is_empty() {
+                return;
+            }
+        }
+        for (&node, &acc) in nodes.iter().zip(accs.iter()) {
+            emit(p as u32, acc, self.subtree_postings(node as usize));
+        }
+    }
+
+    /// The contiguous postings range covered by `node`'s whole subtree.
+    #[inline]
+    fn subtree_postings(&self, node: usize) -> &[GraphId] {
+        let s = self.sub_start[node] as usize;
+        &self.postings[s..s + self.sub_len[node] as usize]
     }
 }
 
@@ -546,6 +1074,239 @@ mod tests {
         let mut seen = Vec::new();
         zero.for_each_entry(|s, g| seen.push((s.len(), g.0)));
         assert_eq!(seen, vec![(0, 4)]);
+    }
+
+    /// Batched form of [`hamming`] for `range_query_batch`.
+    fn hamming_multi(_pos: usize, queries: &[Label], stored: &[Label], out: &mut [f64]) {
+        for (qi, &q) in queries.iter().enumerate() {
+            for (k, &s) in stored.iter().enumerate() {
+                out[qi * stored.len() + k] = if s == q { 0.0 } else { 1.0 };
+            }
+        }
+    }
+
+    /// Collects a batch probe's hits sorted, via the scalar descent.
+    fn collect_scalar(trie: &FlatTrie, query: &[Label], sigma: f64) -> Vec<(u32, u64)> {
+        let mut out = Vec::new();
+        let mut scratch = TrieFrontier::new();
+        trie.range_query(query, sigma, hamming, &mut scratch, |g, c| out.push((g.0, c.to_bits())));
+        out.sort_unstable();
+        out
+    }
+
+    /// Runs a batch and flattens each probe's emitted ranges into its
+    /// visit list.
+    fn run_batch(trie: &FlatTrie, probes: &[Vec<Label>], sigma: f64) -> Vec<Vec<(u32, u64)>> {
+        let flat: Vec<Label> = probes.iter().flat_map(|p| p.iter().copied()).collect();
+        let mut scratch = BatchFrontier::new();
+        let mut visits: Vec<Vec<(u32, u64)>> = vec![Vec::new(); probes.len()];
+        trie.range_query_batch(
+            probes.len(),
+            &flat,
+            sigma,
+            hamming_multi,
+            |_| false,
+            &mut scratch,
+            |p, acc, graphs| {
+                visits[p as usize].extend(graphs.iter().map(|g| (g.0, acc.to_bits())));
+            },
+        );
+        visits
+    }
+
+    /// Asserts every probe of a batch reproduces the scalar visit
+    /// multiset bit-for-bit (costs compared by their f64 bits).
+    fn assert_batch_matches_scalar(trie: &FlatTrie, probes: &[Vec<Label>], sigma: f64) {
+        let depth = trie.depth();
+        for (pi, (probe, mut got)) in probes.iter().zip(run_batch(trie, probes, sigma)).enumerate()
+        {
+            assert_eq!(probe.len(), depth);
+            got.sort_unstable();
+            assert_eq!(got, collect_scalar(trie, probe, sigma), "probe {pi} sigma {sigma}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_on_random_data() {
+        let mut entries = Vec::new();
+        let mut x = 7u64;
+        for g in 0..120u32 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let seq = l(&[
+                (x >> 8) as u32 % 5,
+                (x >> 16) as u32 % 4,
+                (x >> 24) as u32 % 3,
+                (x >> 32) as u32 % 3,
+            ]);
+            entries.push((seq, GraphId(g % 30)));
+        }
+        let t = FlatTrie::from_entries(4, entries);
+        // Duplicate probes included: the batch must price them once and
+        // answer them identically.
+        let probes = vec![
+            l(&[0, 0, 0, 0]),
+            l(&[1, 2, 1, 1]),
+            l(&[0, 0, 0, 0]),
+            l(&[4, 3, 2, 2]),
+            l(&[2, 1, 0, 1]),
+        ];
+        for sigma in [0.0, 1.0, 2.0, 4.0] {
+            assert_batch_matches_scalar(&t, &probes, sigma);
+        }
+    }
+
+    #[test]
+    fn batch_zero_suffix_boundaries_match_scalar() {
+        // Position-dependent costs: free from level `cut` on, so probes
+        // retire at different levels depending on their own labels too.
+        let entries = vec![
+            (l(&[1, 2, 3, 4]), GraphId(0)),
+            (l(&[1, 2, 3, 5]), GraphId(1)),
+            (l(&[1, 9, 3, 4]), GraphId(2)),
+            (l(&[2, 2, 3, 4]), GraphId(3)),
+            (l(&[2, 2, 4, 4]), GraphId(4)),
+        ];
+        let t = FlatTrie::from_entries(4, entries);
+        for cut in 0..=4usize {
+            let scalar = |pos: usize, a: Label, b: Label| {
+                if a == b || pos >= cut {
+                    0.0
+                } else {
+                    1.0
+                }
+            };
+            let batched = |pos: usize, qs: &[Label], stored: &[Label], out: &mut [f64]| {
+                for (qi, &q) in qs.iter().enumerate() {
+                    for (k, &s) in stored.iter().enumerate() {
+                        out[qi * stored.len() + k] = scalar(pos, q, s);
+                    }
+                }
+            };
+            let probes = [l(&[1, 2, 3, 4]), l(&[2, 2, 9, 9]), l(&[9, 9, 9, 9])];
+            let flat: Vec<Label> = probes.iter().flat_map(|p| p.iter().copied()).collect();
+            for sigma in [0.0, 1.0, 2.0] {
+                let mut batch = BatchFrontier::new();
+                // Exercise both zero-detection paths: the shared
+                // level_zero flag and the per-row scan.
+                for shared_zero in [false, true] {
+                    let mut visits: Vec<Vec<(u32, u64)>> = vec![Vec::new(); probes.len()];
+                    t.range_query_batch(
+                        probes.len(),
+                        &flat,
+                        sigma,
+                        batched,
+                        |pos| shared_zero && pos >= cut,
+                        &mut batch,
+                        |p, acc, graphs| {
+                            visits[p as usize].extend(graphs.iter().map(|g| (g.0, acc.to_bits())));
+                        },
+                    );
+                    for (pi, probe) in probes.iter().enumerate() {
+                        let mut got = visits[pi].clone();
+                        got.sort_unstable();
+                        let mut expected = Vec::new();
+                        let mut tf = TrieFrontier::new();
+                        t.range_query(
+                            probe,
+                            sigma,
+                            |pos, q, stored, out| {
+                                for (o, &s) in out.iter_mut().zip(stored) {
+                                    *o = scalar(pos, q, s);
+                                }
+                            },
+                            &mut tf,
+                            |g, c| expected.push((g.0, c.to_bits())),
+                        );
+                        expected.sort_unstable();
+                        assert_eq!(got, expected, "cut {cut} sigma {sigma} probe {pi}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_on_empty_singleton_and_depth_zero_tries() {
+        let empty = FlatTrie::from_entries(2, Vec::new());
+        let mut batch = BatchFrontier::new();
+        empty.range_query_batch(
+            2,
+            &l(&[0, 0, 1, 1]),
+            5.0,
+            hamming_multi,
+            |_| false,
+            &mut batch,
+            |_, _, _| panic!("empty trie emitted a range"),
+        );
+        let singleton = FlatTrie::from_entries(2, vec![(l(&[3, 7]), GraphId(9))]);
+        assert_batch_matches_scalar(&singleton, &[l(&[3, 7]), l(&[3, 8]), l(&[0, 0])], 1.0);
+        let zero =
+            FlatTrie::from_entries(0, vec![(Vec::new(), GraphId(4)), (Vec::new(), GraphId(5))]);
+        let visits = {
+            let mut visits: Vec<Vec<(u32, f64)>> = vec![Vec::new(); 3];
+            zero.range_query_batch(3, &[], 0.0, hamming_multi, |_| false, &mut batch, {
+                let visits = &mut visits;
+                move |p, acc, graphs| {
+                    visits[p as usize].extend(graphs.iter().map(|g| (g.0, acc)));
+                }
+            });
+            visits
+        };
+        for got in visits {
+            assert_eq!(got, vec![(4, 0.0), (5, 0.0)]);
+        }
+        // An empty batch is a no-op.
+        singleton.range_query_batch(
+            0,
+            &[],
+            1.0,
+            hamming_multi,
+            |_| false,
+            &mut batch,
+            |_, _, _| panic!("zero probes emitted a range"),
+        );
+    }
+
+    #[test]
+    fn wide_expansion_handles_all_tail_lengths() {
+        // One root with `n` children for n around the lane width,
+        // including sub-lane, exact-multiple, and ragged counts: every
+        // child must be found, in ascending order, for full and
+        // selective sigmas.
+        for n in [1usize, 3, 7, 8, 9, 15, 16, 17, 31] {
+            let mut entries = Vec::new();
+            for i in 0..n as u32 {
+                entries.push((l(&[5, i]), GraphId(i)));
+            }
+            let t = FlatTrie::from_entries(2, entries);
+            // sigma large: all children survive the level-1 expansion.
+            let all = collect(&t, &l(&[5, 0]), n as f64 + 1.0);
+            assert_eq!(all.len(), n, "n={n}");
+            assert!(all.iter().enumerate().all(|(i, &(g, _))| g as usize == i));
+            // sigma 0: only the exact child survives.
+            for probe in 0..n as u32 {
+                let exact = collect(&t, &l(&[5, probe]), 0.0);
+                assert_eq!(exact, vec![(probe, 0.0)], "n={n} probe={probe}");
+            }
+            // The batch path takes the single-probe wide expansion too.
+            assert_batch_matches_scalar(&t, &[l(&[5, 0]), l(&[5, n as u32 / 2])], 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probe batch")]
+    fn batch_length_mismatch_rejected() {
+        let t = FlatTrie::from_entries(2, vec![(l(&[1, 1]), GraphId(0))]);
+        let mut batch = BatchFrontier::new();
+        t.range_query_batch(
+            2,
+            &l(&[1, 1, 2]),
+            1.0,
+            hamming_multi,
+            |_| false,
+            &mut batch,
+            |_, _, _| {},
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ use pis_graph::util::FxHashSet;
 use pis_graph::{GraphId, Label, LabeledGraph, ScopedPool};
 use pis_mining::{FeatureId, FeatureSet};
 
-use crate::flat_trie::{FlatTrie, TrieFrontier};
+use crate::flat_trie::{BatchFrontier, FlatTrie, TrieFrontier};
 use crate::fragment::{
     label_vector, label_vector_into, weight_vector, weight_vector_into, FragmentBuffer,
     FragmentVector, FragmentVectorRef, QueryFragment,
@@ -165,6 +165,13 @@ pub struct RangeScratch {
     generation: u64,
     /// Frontier buffers for the flat trie's level-by-level descent.
     frontier: TrieFrontier,
+    /// Multi-probe frontier for the flat trie's batched descent.
+    batch: BatchFrontier,
+    /// Probe-label flattening buffer for the batched descent.
+    probe_labels: Vec<Label>,
+    /// Per-probe per-class-graph minimum rows of the trie paths
+    /// (∞-initialized; trie postings are class-local slots).
+    class_best: Vec<f64>,
 }
 
 impl RangeScratch {
@@ -291,12 +298,18 @@ impl FragmentIndex {
             class.entries += entries.labels.len() + entries.weights.len();
             match (&mut class.imp, &self.distance) {
                 (ClassImpl::Trie(trie), _) => {
-                    trie.insert_batch(entries.labels.into_iter().map(|v| (v, gid)).collect());
+                    // Trie postings are class-local slots; the graph was
+                    // just appended, so its slot is the last one.
+                    let local = GraphId((class.graphs.len() - 1) as u32);
+                    trie.insert_batch(entries.labels.into_iter().map(|v| (v, local)).collect());
                 }
                 (ClassImpl::RTree(rt), IndexDistance::Linear(ld)) => {
                     for v in &entries.weights {
                         rt.insert(&scale_weights(ld, ecount, v), gid);
                     }
+                    // One O(tree) re-flatten per inserted graph, the
+                    // R-tree counterpart of the trie's O(class) rebuild.
+                    rt.freeze();
                 }
                 (ClassImpl::VpLabels(_), IndexDistance::Mutation(md)) => {
                     let md = md.clone();
@@ -374,8 +387,41 @@ impl FragmentIndex {
     ) {
         let class = &self.classes[feature.index()];
         let ecount = self.features.get(feature).edge_count();
+        if let (
+            ClassImpl::Trie(trie),
+            FragmentVectorRef::Labels(labels),
+            IndexDistance::Mutation(md),
+        ) = (&class.imp, vector, &self.distance)
+        {
+            // Frontier descent with batched per-level costs: every
+            // distinct stored label of a level is priced once. Trie
+            // postings are *class-local* slots, so the per-graph
+            // minimum accumulates in a compact ∞-initialized row (one
+            // slot per class graph, no generation stamps) and the
+            // readout sweeps the row in slot order — class graphs are
+            // sorted ascending, so the hits come out id-sorted without
+            // a per-probe sort.
+            let c = class.graphs.len();
+            let RangeScratch { frontier, class_best, .. } = scratch;
+            class_best.clear();
+            class_best.resize(c, f64::INFINITY);
+            trie.range_query(
+                labels,
+                sigma,
+                |pos, q, stored, costs| md.position_costs_into(pos, ecount, q, stored, costs),
+                frontier,
+                |g, d| {
+                    let b = &mut class_best[g.index()];
+                    if d < *b {
+                        *b = d;
+                    }
+                },
+            );
+            emit_class_hits(&class.graphs, class_best, out);
+            return;
+        }
         scratch.begin(self.graph_count);
-        let RangeScratch { stamp, best, touched, generation, frontier } = scratch;
+        let RangeScratch { stamp, best, touched, generation, .. } = scratch;
         let generation = *generation;
         let visit = |g: GraphId, d: f64| {
             let i = g.index();
@@ -388,21 +434,6 @@ impl FragmentIndex {
             }
         };
         match (&class.imp, vector, &self.distance) {
-            (
-                ClassImpl::Trie(trie),
-                FragmentVectorRef::Labels(labels),
-                IndexDistance::Mutation(md),
-            ) => {
-                // Frontier descent with batched per-level costs: every
-                // distinct stored label of a level is priced once.
-                trie.range_query(
-                    labels,
-                    sigma,
-                    |pos, q, stored, costs| md.position_costs_into(pos, ecount, q, stored, costs),
-                    frontier,
-                    visit,
-                );
-            }
             (
                 ClassImpl::VpLabels(vp),
                 FragmentVectorRef::Labels(labels),
@@ -441,6 +472,74 @@ impl FragmentIndex {
         out.clear();
         scratch.touched.sort_unstable();
         out.extend(scratch.touched.iter().map(|&g| (g, scratch.best[g.index()])));
+    }
+
+    /// Batched form of [`FragmentIndex::range_query_normalized_into`]:
+    /// answers `nprobes` sibling probes — distinct normalized vectors of
+    /// the *same* class, yielded by `probe(i)` — in one pass,
+    /// writing probe `i`'s hits (sorted by graph id, minimum distance
+    /// per graph) into `outs[i]`.
+    ///
+    /// On a trie class this runs [`FlatTrie::range_query_batch`]: each
+    /// level's alphabet is priced once per distinct query label across
+    /// the whole batch and the arena is descended once with per-probe
+    /// cost lanes, instead of one full descent per probe. Every other
+    /// backend falls back to per-probe queries. Either way `outs[i]` is
+    /// identical — exact f64 distances included — to a per-probe
+    /// [`FragmentIndex::range_query_normalized_into`] call.
+    ///
+    /// # Panics
+    /// Panics if `outs.len() != nprobes` or a probe's vector kind does
+    /// not match the class backend.
+    pub fn range_query_batch_normalized_into<'q>(
+        &self,
+        feature: FeatureId,
+        nprobes: usize,
+        probe: impl Fn(usize) -> FragmentVectorRef<'q>,
+        sigma: f64,
+        scratch: &mut RangeScratch,
+        outs: &mut [Vec<(GraphId, f64)>],
+    ) {
+        assert_eq!(outs.len(), nprobes, "one output buffer per probe");
+        let class = &self.classes[feature.index()];
+        let ecount = self.features.get(feature).edge_count();
+        if let (ClassImpl::Trie(trie), IndexDistance::Mutation(md)) = (&class.imp, &self.distance) {
+            scratch.probe_labels.clear();
+            for i in 0..nprobes {
+                scratch.probe_labels.extend_from_slice(probe(i).labels());
+            }
+            // One ∞-initialized per-graph minimum row per probe (trie
+            // postings are class-local slots); emitted subtree ranges
+            // fold straight into their probe's row during the descent.
+            let c = class.graphs.len();
+            let RangeScratch { batch, probe_labels, class_best, .. } = scratch;
+            class_best.clear();
+            class_best.resize(nprobes * c, f64::INFINITY);
+            trie.range_query_batch(
+                nprobes,
+                probe_labels,
+                sigma,
+                |pos, qs, stored, out| md.position_costs_into_multi(pos, ecount, qs, stored, out),
+                |pos| md.position_is_zero(pos, ecount),
+                batch,
+                |p, acc, slots| {
+                    let row = &mut class_best[p as usize * c..(p as usize + 1) * c];
+                    for &s in slots {
+                        let b = &mut row[s.index()];
+                        if acc < *b {
+                            *b = acc;
+                        }
+                    }
+                },
+            );
+            for (p, out) in outs.iter_mut().enumerate() {
+                emit_class_hits(&class.graphs, &class_best[p * c..(p + 1) * c], out);
+            }
+        } else {
+            for (i, out) in outs.iter_mut().enumerate() {
+                self.range_query_normalized_into(feature, probe(i), sigma, scratch, out);
+            }
+        }
     }
 
     /// Enumerates the indexed fragments of a query graph (Algorithm 2,
@@ -513,6 +612,33 @@ impl FragmentIndex {
             });
         }
     }
+}
+
+/// Reads an ∞-initialized per-class minimum row back into a hit list:
+/// class graphs are sorted ascending, so sweeping slots in order yields
+/// id-sorted hits without a per-probe sort. Shared by the scalar and
+/// batched trie paths so their outputs stay structurally identical.
+fn emit_class_hits(graphs: &[GraphId], row: &[f64], out: &mut Vec<(GraphId, f64)>) {
+    out.clear();
+    out.extend(graphs.iter().zip(row).filter(|(_, b)| b.is_finite()).map(|(&g, &b)| (g, b)));
+}
+
+/// Rewrites trie entries' graph ids as class-local slots — each id's
+/// position in the class's sorted posting list. Sorting by local slot
+/// equals sorting by graph id, so the trie's layout (and its persisted
+/// byte stream after translating back) is unchanged.
+fn to_local_entries(
+    entries: Vec<(Vec<Label>, GraphId)>,
+    graphs: &[GraphId],
+) -> Vec<(Vec<Label>, GraphId)> {
+    entries
+        .into_iter()
+        .map(|(v, g)| {
+            let slot =
+                graphs.binary_search(&g).expect("every trie entry's graph is in the posting list");
+            (v, GraphId(slot as u32))
+        })
+        .collect()
 }
 
 /// Applies the linear distance's per-segment scales to a raw weight
@@ -630,8 +756,11 @@ fn build_class(
     let imp = match (distance, config.backend) {
         (IndexDistance::Mutation(_), Backend::Default | Backend::Trie) => {
             // One-shot freeze into the level-major arena — the build
-            // path never constructs pointer nodes at all.
-            ClassImpl::Trie(FlatTrie::from_entries(slots, label_entries))
+            // path never constructs pointer nodes at all. Postings are
+            // stored as *class-local* slots into the sorted `graphs`
+            // posting list, so range readouts sweep a compact per-class
+            // row (see `range_query_normalized_into`).
+            ClassImpl::Trie(FlatTrie::from_entries(slots, to_local_entries(label_entries, &graphs)))
         }
         (IndexDistance::Mutation(md), Backend::VpTree) => {
             let md = md.clone();
@@ -644,6 +773,10 @@ fn build_class(
             for (v, gid) in &weight_entries {
                 rt.insert(&scale_weights(ld, ecount, v), *gid);
             }
+            // Flatten the built pointer tree into the CSR/SoA query
+            // arena (queries descend contiguous bounds and point
+            // blocks; the pointer path stays as builder/reference).
+            rt.freeze();
             ClassImpl::RTree(rt)
         }
         (IndexDistance::Linear(ld), Backend::VpTree) => {
@@ -863,6 +996,87 @@ mod tests {
                 assert!((d - brute).abs() < 1e-9, "index {d} vs brute {brute}");
                 let _ = ld.vertex_cost(VertexAttr::default(), VertexAttr::default());
             }
+        }
+    }
+
+    #[test]
+    fn batched_range_queries_equal_per_probe_queries() {
+        let db = small_db();
+        let index = build_md(&db, 4, Backend::Default);
+        let query = cycle_with_edge_labels(&[1, 1, 1, 2, 1, 1]);
+        let frags = index.enumerate_query_fragments(&query);
+        // Group the fragments per feature (the enumeration order is
+        // feature-major already) and answer each group both ways.
+        let mut scratch = RangeScratch::new();
+        let mut i = 0;
+        let mut grouped = 0;
+        while i < frags.len() {
+            let feature = frags[i].feature;
+            let mut j = i + 1;
+            while j < frags.len() && frags[j].feature == feature {
+                j += 1;
+            }
+            for sigma in [0.0, 1.0, 2.0, 6.0] {
+                let mut outs: Vec<Vec<(GraphId, f64)>> = vec![Vec::new(); j - i];
+                index.range_query_batch_normalized_into(
+                    feature,
+                    j - i,
+                    |k| frags[i + k].vector.as_view(),
+                    sigma,
+                    &mut scratch,
+                    &mut outs,
+                );
+                for (k, out) in outs.iter().enumerate() {
+                    let expected = index.range_query(feature, &frags[i + k].vector, sigma);
+                    assert_eq!(out, &expected, "sigma {sigma} probe {k}");
+                }
+            }
+            grouped += 1;
+            i = j;
+        }
+        assert!(grouped > 1, "test should cover several classes");
+    }
+
+    #[test]
+    fn batched_range_queries_fall_back_per_probe_on_linear_backends() {
+        let mk = |ws: [f64; 3]| {
+            let mut b = GraphBuilder::new();
+            let vs = b.add_vertices(3, VertexAttr::labeled(Label(0)));
+            for (i, w) in ws.into_iter().enumerate() {
+                b.add_edge(vs[i], vs[(i + 1) % 3], EdgeAttr { label: Label(0), weight: w })
+                    .unwrap();
+            }
+            b.build()
+        };
+        let db = vec![mk([1.0, 1.0, 1.0]), mk([1.0, 1.5, 2.0]), mk([4.0, 4.0, 4.0])];
+        let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+        let features = exhaustive_features(&structures, 3);
+        let ld = LinearDistance::edges_only();
+        let index =
+            FragmentIndex::build(&db, features, IndexDistance::Linear(ld), &IndexConfig::default());
+        let query = mk([1.0, 1.25, 2.0]);
+        let frags = index.enumerate_query_fragments(&query);
+        let mut scratch = RangeScratch::new();
+        let mut i = 0;
+        while i < frags.len() {
+            let feature = frags[i].feature;
+            let mut j = i + 1;
+            while j < frags.len() && frags[j].feature == feature {
+                j += 1;
+            }
+            let mut outs: Vec<Vec<(GraphId, f64)>> = vec![Vec::new(); j - i];
+            index.range_query_batch_normalized_into(
+                feature,
+                j - i,
+                |k| frags[i + k].vector.as_view(),
+                0.5,
+                &mut scratch,
+                &mut outs,
+            );
+            for (k, out) in outs.iter().enumerate() {
+                assert_eq!(out, &index.range_query(feature, &frags[i + k].vector, 0.5));
+            }
+            i = j;
         }
     }
 

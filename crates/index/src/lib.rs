@@ -34,7 +34,7 @@ pub mod rtree;
 pub mod trie;
 pub mod vptree;
 
-pub use flat_trie::{FlatTrie, TrieFrontier};
+pub use flat_trie::{BatchFrontier, FlatTrie, TrieFrontier};
 pub use fragment::{FragmentBuffer, FragmentVector, FragmentVectorRef, QueryFragment};
 pub use index::{Backend, FragmentIndex, IndexConfig, IndexDistance, RangeScratch};
 pub use persist::{load_index, save_index, PersistError};

@@ -109,12 +109,14 @@ pub fn save_index<W: Write>(index: &FragmentIndex, mut w: W) -> io::Result<()> {
         // scale-transformed; the loader re-inserts them raw).
         match &class.imp {
             ClassImpl::Trie(trie) => {
+                // Trie postings are class-local slots; persist the
+                // global graph ids so the on-disk format is unchanged.
                 let mut err = None;
-                trie.for_each_entry(|seq, gid| {
+                trie.for_each_entry(|seq, local| {
                     if err.is_some() {
                         return;
                     }
-                    err = write_label_entry(&mut w, seq, gid).err();
+                    err = write_label_entry(&mut w, seq, class.graphs[local.index()]).err();
                 });
                 if let Some(e) = err {
                     return Err(e);
@@ -240,6 +242,18 @@ pub fn load_index<R: BufRead>(r: R) -> Result<FragmentIndex, PersistError> {
                         v.push(Label(parse_num(toks.next(), no, "label slot")?));
                     }
                     let gid = GraphId(parse_num(toks.next(), no, "entry graph id")?);
+                    // Saved trie entries carry global graph ids; the
+                    // in-memory trie stores class-local slots into the
+                    // (already parsed) posting list — translate here,
+                    // where the offending line is known.
+                    let gid = if backend == "trie" {
+                        let slot = graphs.binary_search(&gid).map_err(|_| {
+                            parse_err(no, "trie entry graph id missing from the class posting list")
+                        })?;
+                        GraphId(slot as u32)
+                    } else {
+                        gid
+                    };
                     label_entries.push((v, gid));
                 }
                 Some("W") => {
@@ -256,8 +270,9 @@ pub fn load_index<R: BufRead>(r: R) -> Result<FragmentIndex, PersistError> {
 
         let imp = match (backend.as_str(), &distance) {
             ("trie", _) => {
-                // Saved entries are lexicographic; the arena builder
-                // re-sorts defensively and freezes in one shot.
+                // Saved entries are lexicographic (ids already
+                // translated to class-local slots above); the arena
+                // builder re-sorts defensively and freezes in one shot.
                 ClassImpl::Trie(FlatTrie::from_entries(slots, label_entries))
             }
             ("vplabels", IndexDistance::Mutation(md)) => {
@@ -267,11 +282,13 @@ pub fn load_index<R: BufRead>(r: R) -> Result<FragmentIndex, PersistError> {
                 }))
             }
             ("rtree", _) => {
-                // Stored points are already scale-transformed.
+                // Stored points are already scale-transformed; freeze
+                // the rebuilt tree into its query arena.
                 let mut rt = RTree::new(slots);
                 for (v, gid) in &weight_entries {
                     rt.insert(v, *gid);
                 }
+                rt.freeze();
                 ClassImpl::RTree(rt)
             }
             ("vpweights", IndexDistance::Linear(ld)) => {

@@ -7,7 +7,21 @@
 //! least-enlargement insertion with longest-axis median splits. The L1
 //! distance from a query point to a rectangle lower-bounds the distance
 //! to every point inside, which makes subtree pruning exact.
+//!
+//! Like the trie (`DESIGN.md` §6.5), the pointer tree is kept as the
+//! *build* structure only: [`RTree::freeze`] flattens it into a
+//! level-major arena — CSR `child_start`/`child_len` child runs, SoA
+//! `bounds_min`/`bounds_max` rectangle blocks, and every leaf's points
+//! concatenated row-major — and [`RTree::range_query`] then descends
+//! the arena, scanning each node's child rectangles and each leaf's
+//! point block contiguously through the batched L1 kernels
+//! (`pis_distance::mbr_l1_costs_into` / `l1_costs_into`) instead of
+//! chasing per-node `Vec` allocations. Inserting marks the arena stale
+//! and queries fall back to the identical pointer descent until the
+//! next freeze, so the pointer path doubles as the executable
+//! reference ([`RTree::range_query_reference`]).
 
+use pis_distance::{l1_costs_into, mbr_l1_costs_into};
 use pis_graph::GraphId;
 
 /// Maximum entries per node before a split.
@@ -67,18 +81,52 @@ enum Node {
     Inner(Vec<(Mbr, Node)>),
 }
 
+/// The frozen query layout: the pointer tree flattened breadth-first
+/// into one arena. A node is inner iff `child_len > 0`; children are a
+/// contiguous CSR run of arena slots, bounding rectangles live in SoA
+/// blocks (`dim` coordinates per node), and every leaf's points sit
+/// row-major in one `points` block so the batched L1 kernels stream
+/// them without pointer chasing.
+#[derive(Clone, Debug, Default)]
+struct FlatRTree {
+    child_start: Vec<u32>,
+    child_len: Vec<u32>,
+    bounds_min: Vec<f64>,
+    bounds_max: Vec<f64>,
+    /// Leaf point run (`pt_start[n] * dim` indexes `points`).
+    pt_start: Vec<u32>,
+    pt_len: Vec<u32>,
+    points: Vec<f64>,
+    graphs: Vec<GraphId>,
+}
+
+impl FlatRTree {
+    /// Appends one (still child-less) arena slot bounded by `mbr`.
+    fn push_node(&mut self, mbr: &Mbr) -> usize {
+        self.child_start.push(0);
+        self.child_len.push(0);
+        self.pt_start.push(0);
+        self.pt_len.push(0);
+        self.bounds_min.extend_from_slice(&mbr.min);
+        self.bounds_max.extend_from_slice(&mbr.max);
+        self.child_start.len() - 1
+    }
+}
+
 /// An R-tree over fixed-dimension points with L1 range queries.
 #[derive(Clone, Debug)]
 pub struct RTree {
     dim: usize,
     root: Node,
     entries: usize,
+    /// The frozen arena; `None` while inserts have outdated it.
+    flat: Option<FlatRTree>,
 }
 
 impl RTree {
     /// An empty tree over `dim`-dimensional points.
     pub fn new(dim: usize) -> Self {
-        RTree { dim, root: Node::Leaf(Vec::new()), entries: 0 }
+        RTree { dim, root: Node::Leaf(Vec::new()), entries: 0, flat: None }
     }
 
     /// The point dimensionality.
@@ -104,6 +152,7 @@ impl RTree {
     pub fn insert(&mut self, point: &[f64], graph: GraphId) {
         assert_eq!(point.len(), self.dim, "point dimensionality must equal tree dim");
         self.entries += 1;
+        self.flat = None;
         if let Some((right_mbr, right)) = insert_rec(&mut self.root, point, graph) {
             // Root split: grow the tree by one level.
             let old_root = std::mem::replace(&mut self.root, Node::Inner(Vec::new()));
@@ -112,11 +161,77 @@ impl RTree {
         }
     }
 
-    /// Visits every `(graph, L1 distance)` within `sigma` of `query`.
+    /// Flattens the pointer tree into the level-major query arena
+    /// (breadth-first; O(tree)). Call once after a batch of inserts —
+    /// the fragment index freezes after its build loop and after each
+    /// inserted graph, mirroring the trie's one-rebuild-per-graph
+    /// contract. Queries on an unfrozen tree fall back to the pointer
+    /// descent, so freezing is a pure optimization, never a soundness
+    /// requirement.
+    pub fn freeze(&mut self) {
+        let mut flat = FlatRTree::default();
+        let root_mbr = node_mbr(&self.root)
+            .unwrap_or(Mbr { min: vec![0.0; self.dim], max: vec![0.0; self.dim] });
+        flat.push_node(&root_mbr);
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(&self.root);
+        let mut idx = 0usize;
+        while let Some(node) = queue.pop_front() {
+            match node {
+                Node::Leaf(points) => {
+                    flat.pt_start[idx] = flat.graphs.len() as u32;
+                    flat.pt_len[idx] = points.len() as u32;
+                    for (p, g) in points {
+                        flat.points.extend_from_slice(p);
+                        flat.graphs.push(*g);
+                    }
+                }
+                Node::Inner(children) => {
+                    flat.child_start[idx] = flat.child_start.len() as u32;
+                    flat.child_len[idx] = children.len() as u32;
+                    for (mbr, child) in children {
+                        flat.push_node(mbr);
+                        queue.push_back(child);
+                    }
+                }
+            }
+            idx += 1;
+        }
+        self.flat = Some(flat);
+    }
+
+    /// Whether the frozen arena is current (queries take the flat path).
+    pub fn is_frozen(&self) -> bool {
+        self.flat.is_some()
+    }
+
+    /// Visits every `(graph, L1 distance)` within `sigma` of `query` —
+    /// through the frozen arena when current, else through the pointer
+    /// tree. Both paths visit the same points in the same order with
+    /// identical f64 distances (the batched kernels sum coordinates in
+    /// the same order as the scalar loops).
     ///
     /// # Panics
     /// Panics if `query.len() != dim`.
     pub fn range_query(&self, query: &[f64], sigma: f64, mut visit: impl FnMut(GraphId, f64)) {
+        assert_eq!(query.len(), self.dim, "query dimensionality must equal tree dim");
+        match &self.flat {
+            Some(flat) => search_flat(flat, self.dim, query, sigma, &mut visit),
+            None => search(&self.root, query, sigma, &mut visit),
+        }
+    }
+
+    /// The pointer-tree descent, kept as the executable reference for
+    /// the arena path (and the fallback for unfrozen trees).
+    ///
+    /// # Panics
+    /// Panics if `query.len() != dim`.
+    pub fn range_query_reference(
+        &self,
+        query: &[f64],
+        sigma: f64,
+        mut visit: impl FnMut(GraphId, f64),
+    ) {
         assert_eq!(query.len(), self.dim, "query dimensionality must equal tree dim");
         search(&self.root, query, sigma, &mut visit);
     }
@@ -257,6 +372,51 @@ fn spread(points: &[(Vec<f64>, GraphId)], axis: usize) -> f64 {
     hi - lo
 }
 
+/// Iterative arena descent: one batched rectangle scan per inner node,
+/// one batched point scan per leaf, children visited in the same
+/// depth-first order as the recursive pointer [`search`].
+fn search_flat(
+    flat: &FlatRTree,
+    dim: usize,
+    query: &[f64],
+    sigma: f64,
+    visit: &mut impl FnMut(GraphId, f64),
+) {
+    let mut stack: Vec<u32> = vec![0];
+    let mut dists: Vec<f64> = Vec::new();
+    while let Some(n) = stack.pop() {
+        let n = n as usize;
+        let cl = flat.child_len[n] as usize;
+        if cl > 0 {
+            let cs = flat.child_start[n] as usize;
+            dists.clear();
+            dists.resize(cl, 0.0);
+            mbr_l1_costs_into(
+                query,
+                &flat.bounds_min[cs * dim..(cs + cl) * dim],
+                &flat.bounds_max[cs * dim..(cs + cl) * dim],
+                &mut dists,
+            );
+            // Reverse push so the leftmost qualifying child pops first.
+            for i in (0..cl).rev() {
+                if dists[i] <= sigma {
+                    stack.push((cs + i) as u32);
+                }
+            }
+        } else {
+            let (ps, pl) = (flat.pt_start[n] as usize, flat.pt_len[n] as usize);
+            dists.clear();
+            dists.resize(pl, 0.0);
+            l1_costs_into(query, &flat.points[ps * dim..(ps + pl) * dim], &mut dists);
+            for (i, &d) in dists.iter().enumerate() {
+                if d <= sigma {
+                    visit(flat.graphs[ps + i], d);
+                }
+            }
+        }
+    }
+}
+
 fn search(node: &Node, query: &[f64], sigma: f64, visit: &mut impl FnMut(GraphId, f64)) {
     match node {
         Node::Leaf(points) => {
@@ -327,6 +487,78 @@ mod tests {
             expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
             assert_eq!(collect(&t, &query, sigma), expected, "sigma={sigma}");
         }
+    }
+
+    /// Deterministic point cloud shared by the arena tests.
+    fn random_tree(n: u32, dim: usize) -> (RTree, Vec<Vec<f64>>) {
+        let mut t = RTree::new(dim);
+        let mut points = Vec::new();
+        let mut x = 42u64;
+        for g in 0..n {
+            let mut p = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                p.push(((x >> 33) % 1000) as f64 / 100.0);
+            }
+            t.insert(&p, GraphId(g));
+            points.push(p);
+        }
+        (t, points)
+    }
+
+    #[test]
+    fn frozen_arena_matches_pointer_reference() {
+        // Same visits, same order, bit-identical distances — across
+        // splits, several sigmas, and ragged leaf/child counts.
+        for n in [1u32, 7, 8, 9, 60, 500] {
+            let (mut t, _) = random_tree(n, 3);
+            assert!(!t.is_frozen());
+            t.freeze();
+            assert!(t.is_frozen());
+            for sigma in [0.0, 0.5, 2.0, 7.5, 100.0] {
+                let query = [5.0, 5.0, 5.0];
+                let mut arena = Vec::new();
+                t.range_query(&query, sigma, |g, d| arena.push((g.0, d.to_bits())));
+                let mut reference = Vec::new();
+                t.range_query_reference(&query, sigma, |g, d| reference.push((g.0, d.to_bits())));
+                assert_eq!(arena, reference, "n={n} sigma={sigma}");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_invalidates_the_arena_and_queries_stay_correct() {
+        let (mut t, _) = random_tree(50, 2);
+        t.freeze();
+        assert!(t.is_frozen());
+        t.insert(&[1.0, 1.0], GraphId(999));
+        assert!(!t.is_frozen(), "insert must mark the arena stale");
+        // Unfrozen queries fall back to the pointer path and see the
+        // new point.
+        let mut found = false;
+        t.range_query(&[1.0, 1.0], 0.0, |g, _| found |= g.0 == 999);
+        assert!(found);
+        // Re-freezing restores the arena with the new point included.
+        t.freeze();
+        let mut found = false;
+        t.range_query(&[1.0, 1.0], 0.0, |g, _| found |= g.0 == 999);
+        assert!(found);
+    }
+
+    #[test]
+    fn frozen_empty_and_zero_dim_trees() {
+        let mut t = RTree::new(4);
+        t.freeze();
+        let mut any = false;
+        t.range_query(&[0.0; 4], 100.0, |_, _| any = true);
+        assert!(!any);
+        // Zero-dimensional points are all at distance zero.
+        let mut z = RTree::new(0);
+        z.insert(&[], GraphId(3));
+        z.freeze();
+        let mut got = Vec::new();
+        z.range_query(&[], 0.0, |g, d| got.push((g.0, d)));
+        assert_eq!(got, vec![(3, 0.0)]);
     }
 
     #[test]

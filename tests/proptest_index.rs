@@ -228,6 +228,159 @@ proptest! {
         }
     }
 
+    /// The batched multi-probe descent answers every sibling group —
+    /// duplicate probes included — **byte-identically** (f64 bits, not
+    /// tolerance) to per-probe range queries, across both the
+    /// edge-Hamming setting (whole-vertex zero suffix) and the unit
+    /// distance (no zero suffix), and across sigmas spanning the
+    /// zero-suffix short-circuit and both descent modes.
+    #[test]
+    fn batched_range_queries_byte_identical_to_per_probe(
+        db in graph_database(6, 5, 3),
+        query in connected_graph(4, 2, 3),
+        sigma in 0.0f64..4.0,
+        unit in prop::sample::select(vec![false, true]),
+    ) {
+        let md = if unit { MutationDistance::unit() } else { MutationDistance::edge_hamming() };
+        let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+        let index = FragmentIndex::build(
+            &db,
+            exhaustive_features(&structures, 3),
+            IndexDistance::Mutation(md),
+            &IndexConfig::default(),
+        );
+        let frags = index.enumerate_query_fragments(&query);
+        let mut scratch = pis::index::RangeScratch::new();
+        let mut i = 0;
+        while i < frags.len() {
+            let feature = frags[i].feature;
+            let mut j = i + 1;
+            while j < frags.len() && frags[j].feature == feature {
+                j += 1;
+            }
+            // Repeat the group's first probes so the batch prices
+            // duplicates through the shared rows.
+            let mut probe_of: Vec<usize> = (i..j).collect();
+            probe_of.extend(i..j.min(i + 2));
+            let mut outs: Vec<Vec<(GraphId, f64)>> = vec![Vec::new(); probe_of.len()];
+            index.range_query_batch_normalized_into(
+                feature,
+                probe_of.len(),
+                |k| frags[probe_of[k]].vector.as_view(),
+                sigma,
+                &mut scratch,
+                &mut outs,
+            );
+            for (k, out) in outs.iter().enumerate() {
+                let mut expected = Vec::new();
+                index.range_query_normalized_into(
+                    feature,
+                    frags[probe_of[k]].vector.as_view(),
+                    sigma,
+                    &mut scratch,
+                    &mut expected,
+                );
+                let got: Vec<(u32, u64)> =
+                    out.iter().map(|&(g, d)| (g.0, d.to_bits())).collect();
+                let want: Vec<(u32, u64)> =
+                    expected.iter().map(|&(g, d)| (g.0, d.to_bits())).collect();
+                prop_assert_eq!(got, want, "feature {} probe {} sigma {}", feature, k, sigma);
+            }
+            i = j;
+        }
+    }
+
+    /// The batch entry point of a linear-distance (R-tree) index — the
+    /// per-probe fallback — agrees bit-for-bit with scalar range
+    /// queries too.
+    #[test]
+    fn batched_linear_range_queries_equal_per_probe(
+        db in graph_database(5, 5, 3),
+        query in connected_graph(4, 1, 3),
+        sigma in 0.0f64..2.0,
+    ) {
+        let reweight = |g: &LabeledGraph| {
+            let mut b = GraphBuilder::new();
+            for v in g.vertex_ids() {
+                let attr = g.vertex(v);
+                b.add_vertex(VertexAttr { label: attr.label, weight: attr.label.0 as f64 });
+            }
+            for e in g.edges() {
+                b.add_edge(e.source, e.target, EdgeAttr {
+                    label: e.attr.label,
+                    weight: 1.0 + e.attr.label.0 as f64 * 0.5,
+                }).expect("copying a simple graph");
+            }
+            b.build()
+        };
+        let db: Vec<LabeledGraph> = db.iter().map(reweight).collect();
+        let query = reweight(&query);
+        let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+        let index = FragmentIndex::build(
+            &db,
+            exhaustive_features(&structures, 3),
+            IndexDistance::Linear(LinearDistance::edges_only()),
+            &IndexConfig { backend: Backend::RTree, ..IndexConfig::default() },
+        );
+        let frags = index.enumerate_query_fragments(&query);
+        let mut scratch = pis::index::RangeScratch::new();
+        let mut i = 0;
+        while i < frags.len() {
+            let feature = frags[i].feature;
+            let mut j = i + 1;
+            while j < frags.len() && frags[j].feature == feature {
+                j += 1;
+            }
+            let mut outs: Vec<Vec<(GraphId, f64)>> = vec![Vec::new(); j - i];
+            index.range_query_batch_normalized_into(
+                feature,
+                j - i,
+                |k| frags[i + k].vector.as_view(),
+                sigma,
+                &mut scratch,
+                &mut outs,
+            );
+            for (k, out) in outs.iter().enumerate() {
+                let mut expected = Vec::new();
+                index.range_query_normalized_into(
+                    feature,
+                    frags[i + k].vector.as_view(),
+                    sigma,
+                    &mut scratch,
+                    &mut expected,
+                );
+                let got: Vec<(u32, u64)> =
+                    out.iter().map(|&(g, d)| (g.0, d.to_bits())).collect();
+                let want: Vec<(u32, u64)> =
+                    expected.iter().map(|&(g, d)| (g.0, d.to_bits())).collect();
+                prop_assert_eq!(got, want);
+            }
+            i = j;
+        }
+    }
+
+    /// The frozen R-tree arena visits the same points in the same order
+    /// with bit-identical distances as the retained pointer descent.
+    #[test]
+    fn rtree_arena_matches_pointer_reference(
+        points in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0, 0.0f64..10.0), 1..120),
+        qx in 0.0f64..10.0,
+        qy in 0.0f64..10.0,
+        sigma in 0.0f64..12.0,
+    ) {
+        let mut t = pis::index::rtree::RTree::new(3);
+        for (g, &(x, y, z)) in points.iter().enumerate() {
+            t.insert(&[x, y, z], GraphId(g as u32));
+        }
+        t.freeze();
+        let q = [qx, qy, 5.0];
+        let mut arena = Vec::new();
+        t.range_query(&q, sigma, |g, d| arena.push((g.0, d.to_bits())));
+        let mut reference = Vec::new();
+        t.range_query_reference(&q, sigma, |g, d| reference.push((g.0, d.to_bits())));
+        prop_assert_eq!(arena, reference);
+    }
+
     /// Incremental insertion matches bulk construction on arbitrary
     /// splits.
     #[test]
