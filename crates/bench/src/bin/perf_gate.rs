@@ -262,6 +262,7 @@ mod tests {
   "iters": 3,
   "experiments": [
     {"name": "pis_prune", "variant": "optimized", "sigma": 1, "min_ms": 4.000, "mean_ms": 4.2, "count": 10},
+    {"name": "verification", "variant": "optimized", "sigma": 1, "min_ms": 2.000, "mean_ms": 2.1, "count": 13},
     {"name": "pis_full", "variant": "optimized", "sigma": 1, "min_ms": 5.000, "mean_ms": 5.2, "count": 3},
     {"name": "pis_full", "variant": "reference", "sigma": 1, "min_ms": 10.000, "mean_ms": 10.2, "count": 3}
   ]
@@ -291,12 +292,27 @@ mod tests {
     fn parses_pipeline_bench_output() {
         let s = parse_snapshot(SNAP).unwrap();
         assert_eq!((s.db_size, s.queries), (100, 4));
-        assert_eq!(s.rows.len(), 3);
+        assert_eq!(s.rows.len(), 4);
         assert_eq!(s.rows[0].name, "pis_prune");
         assert_eq!(s.rows[0].variant, "optimized");
         assert_eq!(s.rows[0].min_ms, 4.0);
-        assert_eq!(s.rows[1].count, 3);
-        assert_eq!(s.rows[2].variant, "reference");
+        assert_eq!(s.rows[1].name, "verification");
+        assert_eq!(s.rows[1].count, 13);
+        assert_eq!(s.rows[2].count, 3);
+        assert_eq!(s.rows[3].variant, "reference");
+    }
+
+    #[test]
+    fn verification_row_count_is_cross_checked() {
+        // The verification phase row carries `calls + answers` rather
+        // than a candidate total, but its fingerprint is gated all the
+        // same: a drift means verification behavior changed.
+        let committed = parse_snapshot(SNAP).unwrap();
+        let mut fresh = parse_snapshot(SNAP).unwrap();
+        fresh.rows.iter_mut().find(|r| r.name == "verification").unwrap().count += 1;
+        let err = gate(&fresh, &committed, "pis_full", 1.2, true).unwrap_err();
+        assert!(err.contains("count mismatch"), "{err}");
+        assert!(err.contains("verification"), "{err}");
     }
 
     #[test]

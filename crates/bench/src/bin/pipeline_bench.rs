@@ -27,6 +27,10 @@
 //! the overlapping-relation graph `Q̃` + MWIS selection, timed by
 //! `SearchScratch::take_partition_nanos`) so `perf_gate` can watch this
 //! stage alone; its count fingerprint is the pis_prune candidate total.
+//! A `verification` row per sigma does the same for the verification
+//! stage of the optimized full runs (timed by
+//! `SearchScratch::take_verify_stats`); its count fingerprint is
+//! `verify calls + answers`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -86,6 +90,19 @@ const PRE_BATCHED_DESCENT_MS: [(&str, f64, f64); 6] = [
     ("pis_full", 1.0, 4.670),
     ("pis_full", 2.0, 8.019),
     ("pis_full", 4.0, 15.267),
+];
+
+/// Optimized-funnel wall times at the `bench` scale immediately before
+/// the bound-propagating verifier landed (PR 5's committed
+/// `BENCH_pipeline.json`, commit bb8990a) — the perf trajectory's fifth
+/// recorded point.
+const PRE_BOUNDED_VERIFY_MS: [(&str, f64, f64); 6] = [
+    ("pis_prune", 1.0, 2.271),
+    ("pis_prune", 2.0, 3.526),
+    ("pis_prune", 4.0, 5.599),
+    ("pis_full", 1.0, 4.138),
+    ("pis_full", 2.0, 7.756),
+    ("pis_full", 4.0, 12.219),
 ];
 
 fn main() {
@@ -170,6 +187,22 @@ fn main() {
                 .map(|q| full.search_with_scratch(q, sigma, &mut scratch).answers.len())
                 .sum()
         }));
+        // The verification phase of the same full runs, timed by the
+        // verifier's internal stats counter (wall time inside
+        // `VerifyScratch` on the serial path; summed across workers when
+        // the batch goes parallel). Its count fingerprint is the
+        // machine-independent pair `verify calls + answers`, so a drift
+        // in either the candidates reaching verification or the verified
+        // answers flags a behavior change in the phase itself.
+        let mut scratch = SearchScratch::new();
+        rows.push(measure_phase("verification", "optimized", sigma, iters, || {
+            let answers: usize = queries
+                .iter()
+                .map(|q| full.search_with_scratch(q, sigma, &mut scratch).answers.len())
+                .sum();
+            let stats = scratch.take_verify_stats();
+            (stats.calls as usize + answers, stats.nanos as f64 / 1e6)
+        }));
         rows.push(measure("pis_prune", "reference", sigma, iters, || {
             queries.iter().map(|q| pruner.search_reference(q, sigma).candidates.len()).sum()
         }));
@@ -247,10 +280,11 @@ fn measure_phase(
 /// fingerprints exactly.
 fn check_fingerprints(rows: &[Row]) {
     for a in rows.iter().filter(|r| r.variant == "optimized") {
-        // The range_query phase row has no in-run twin (its hit count is
-        // not a candidate/answer total); `perf_gate` cross-checks it
-        // against the committed snapshot instead.
-        if a.name == "range_query" {
+        // The range_query and verification phase rows have no in-run
+        // twin (their counts are phase statistics, not candidate/answer
+        // totals); `perf_gate` cross-checks them against the committed
+        // snapshot instead.
+        if a.name == "range_query" || a.name == "verification" {
             continue;
         }
         let twin_name = if a.name == "partition" { "pis_prune" } else { a.name };
@@ -335,6 +369,13 @@ fn render_json(
             &mut s,
             "pre_batched_descent_baseline",
             &PRE_BATCHED_DESCENT_MS,
+            rows,
+            true,
+        );
+        baseline_section(
+            &mut s,
+            "pre_bounded_verify_baseline",
+            &PRE_BOUNDED_VERIFY_MS,
             rows,
             false,
         );

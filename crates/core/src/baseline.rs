@@ -16,7 +16,7 @@ use pis_graph::{GraphId, LabeledGraph};
 use pis_index::FragmentIndex;
 
 use crate::search::distance_dyn;
-use crate::verify::min_superimposed_distance;
+use crate::verify::VerifyScratch;
 
 /// Result of a baseline run.
 #[derive(Clone, Debug)]
@@ -39,12 +39,14 @@ pub fn naive_scan(
     sigma: f64,
 ) -> BaselineOutcome {
     let candidates: Vec<GraphId> = (0..database.len() as u32).map(GraphId).collect();
+    // One verifier scratch across the whole scan: the query's match plan
+    // is built once and every candidate reuses the DFS buffers.
+    let mut verify = VerifyScratch::new();
+    verify.begin_query(query);
     let answers = candidates
         .iter()
         .copied()
-        .filter(|g| {
-            min_superimposed_distance(query, &database[g.index()], distance, sigma).is_some()
-        })
+        .filter(|g| verify.distance_within(query, &database[g.index()], distance, sigma).is_some())
         .collect();
     BaselineOutcome { verification_calls: candidates.len(), candidates, answers }
 }
@@ -80,12 +82,12 @@ pub fn topo_prune(
         .filter(|g| is_subgraph(query, &database[g.index()], IsoConfig::STRUCTURE))
         .collect();
     let distance = distance_dyn(index.distance());
+    let mut verify = VerifyScratch::new();
+    verify.begin_query(query);
     let answers: Vec<GraphId> = candidates
         .iter()
         .copied()
-        .filter(|g| {
-            min_superimposed_distance(query, &database[g.index()], distance, sigma).is_some()
-        })
+        .filter(|g| verify.distance_within(query, &database[g.index()], distance, sigma).is_some())
         .collect();
     BaselineOutcome { verification_calls: candidates.len(), candidates, answers }
 }

@@ -49,6 +49,13 @@ pub struct PisConfig {
     /// this verify on the calling thread
     /// ([`DEFAULT_PARALLEL_VERIFY_THRESHOLD`]).
     pub parallel_verify_threshold: usize,
+    /// k-NN verification order: `true` (default) verifies candidates
+    /// cheapest partition lower bound first, so early exact distances
+    /// tighten the shared budget and let the scheduler skip candidates
+    /// whose bound already exceeds the provisional k-th distance.
+    /// `false` keeps candidate-id stream order (the seed schedule);
+    /// both orders return identical neighbors.
+    pub best_first_verify: bool,
 }
 
 /// Default [`PisConfig::parallel_fragment_threshold`].
@@ -67,6 +74,7 @@ impl Default for PisConfig {
             verify: true,
             parallel_fragment_threshold: DEFAULT_PARALLEL_FRAGMENT_THRESHOLD,
             parallel_verify_threshold: DEFAULT_PARALLEL_VERIFY_THRESHOLD,
+            best_first_verify: true,
         }
     }
 }
@@ -85,5 +93,6 @@ mod tests {
         assert!(c.verify);
         assert_eq!(c.parallel_fragment_threshold, DEFAULT_PARALLEL_FRAGMENT_THRESHOLD);
         assert_eq!(c.parallel_verify_threshold, DEFAULT_PARALLEL_VERIFY_THRESHOLD);
+        assert!(c.best_first_verify);
     }
 }

@@ -18,11 +18,25 @@
 //! re-verification of a candidate happens only if its earlier
 //! branch-and-bound proved `d > σ_old` (the bound must be retried with
 //! the bigger budget).
+//!
+//! Under [`PisConfig::best_first_verify`] (the default) each round
+//! verifies its unresolved candidates **cheapest partition lower bound
+//! first**: early exact distances tighten the provisional k-th-best,
+//! every later candidate is verified against the tightened budget
+//! `min(σ, k-th best)` instead of the full radius, and once `k`
+//! neighbors are in hand candidates whose lower bound already exceeds
+//! the k-th distance are skipped outright (their true distance can only
+//! be larger, and the bounds arrive in ascending order, so the rest of
+//! the list is skippable too — which only ever happens on the terminal
+//! round). The returned neighbors are identical to stream-order
+//! verification; only the work differs.
+//!
+//! [`PisConfig::best_first_verify`]: crate::PisConfig::best_first_verify
 
 use pis_graph::util::FxHashMap;
 use pis_graph::{GraphId, LabeledGraph};
 
-use crate::search::{PisSearcher, SearchScratch};
+use crate::search::{distance_dyn, PisSearcher, SearchScratch};
 
 /// One k-NN result.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -95,16 +109,25 @@ impl PisSearcher<'_> {
         // entries already counted toward `reused_verifications`, keeping
         // that statistic a count of distinct reuses.
         let mut resolved: FxHashMap<GraphId, (f64, bool)> = FxHashMap::default();
-        let mut unresolved: Vec<GraphId> = Vec::new();
+        let mut unresolved: Vec<(f64, GraphId)> = Vec::new();
+        let mut stream_ids: Vec<GraphId> = Vec::new();
         let mut neighbors: Vec<Neighbor> = Vec::new();
+        let by_distance_then_id = |a: &Neighbor, b: &Neighbor| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("distances are finite")
+                .then(a.graph.cmp(&b.graph))
+        };
+        let distance = distance_dyn(self.index().distance());
         let mut radius = initial_radius;
         loop {
             outcome.rounds += 1;
             prune.search_into(query, radius, &mut scratch);
             let candidates = scratch.candidates();
+            let bounds = scratch.candidate_bounds();
             neighbors.clear();
             unresolved.clear();
-            for &g in candidates {
+            for (&g, &lb) in candidates.iter().zip(bounds) {
                 match resolved.get_mut(&g) {
                     Some(&mut (distance, ref mut counted)) => {
                         if !*counted {
@@ -113,21 +136,54 @@ impl PisSearcher<'_> {
                         }
                         neighbors.push(Neighbor { graph: g, distance });
                     }
-                    None => unresolved.push(g),
+                    None => unresolved.push((lb, g)),
                 }
             }
-            outcome.verification_calls += unresolved.len();
-            for (graph, distance) in self.verify_candidates(query, &unresolved, radius) {
-                resolved.insert(graph, (distance, false));
-                neighbors.push(Neighbor { graph, distance });
+            if self.config().best_first_verify {
+                // Cheapest-first: ascending partition lower bound, ids
+                // breaking ties for determinism.
+                unresolved.sort_by(|a, b| {
+                    a.0.partial_cmp(&b.0).expect("bounds are finite").then(a.1.cmp(&b.1))
+                });
+                neighbors.sort_by(by_distance_then_id);
+                neighbors.truncate(k);
+                let verify = scratch.verify_scratch();
+                verify.begin_query(query);
+                for &(lb, g) in &unresolved {
+                    let kth = (neighbors.len() == k).then(|| neighbors[k - 1].distance);
+                    if let Some(kth) = kth {
+                        // True distance ≥ lb > k-th best: can't place.
+                        // Bounds ascend, so the rest of the list can't
+                        // either — and with k answers in hand this is
+                        // the terminal round, so skipping is final.
+                        if lb > kth {
+                            break;
+                        }
+                    }
+                    let budget = kth.map_or(radius, |kth| radius.min(kth));
+                    outcome.verification_calls += 1;
+                    if let Some(d) =
+                        verify.distance_within(query, &self.database()[g.index()], distance, budget)
+                    {
+                        resolved.insert(g, (d, false));
+                        let pos = neighbors.partition_point(|n| (n.distance, n.graph) < (d, g));
+                        neighbors.insert(pos, Neighbor { graph: g, distance: d });
+                        neighbors.truncate(k);
+                    }
+                }
+            } else {
+                stream_ids.clear();
+                stream_ids.extend(unresolved.iter().map(|&(_, g)| g));
+                outcome.verification_calls += stream_ids.len();
+                for (graph, distance) in
+                    self.verify_candidates(query, &stream_ids, radius, scratch.verify_scratch())
+                {
+                    resolved.insert(graph, (distance, false));
+                    neighbors.push(Neighbor { graph, distance });
+                }
+                neighbors.sort_by(by_distance_then_id);
+                neighbors.truncate(k);
             }
-            neighbors.sort_by(|a, b| {
-                a.distance
-                    .partial_cmp(&b.distance)
-                    .expect("distances are finite")
-                    .then(a.graph.cmp(&b.graph))
-            });
-            neighbors.truncate(k);
             // Enough answers within the radius: anything outside is
             // farther than the k-th best, so the result is final.
             if neighbors.len() == k || radius >= max_radius {

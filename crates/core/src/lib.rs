@@ -37,4 +37,6 @@ pub use config::{
 pub use explain::explain;
 pub use knn::{KnnOutcome, Neighbor};
 pub use search::{PisSearcher, SearchOutcome, SearchScratch, SearchStats};
-pub use verify::min_superimposed_distance;
+pub use verify::{
+    min_superimposed_distance, min_superimposed_distance_reference, VerifyScratch, VerifyStats,
+};

@@ -58,7 +58,7 @@ use pis_partition::{
 
 use crate::config::{PartitionAlgo, PisConfig};
 use crate::selectivity::selectivity;
-use crate::verify::min_superimposed_distance;
+use crate::verify::{min_superimposed_distance_reference, VerifyScratch, VerifyStats};
 
 /// One fragment chosen into the partition (for explain output).
 #[derive(Clone, Debug, PartialEq)]
@@ -165,6 +165,14 @@ pub struct SearchScratch {
     intersected: Vec<bool>,
     /// The final candidate list of the last search, ascending.
     cand_buf: Vec<GraphId>,
+    /// Partition-stage lower bound of each final candidate, parallel to
+    /// `cand_buf` (0 when the partition is empty). `knn` orders its
+    /// verifications cheapest-first by these.
+    cand_lb: Vec<f64>,
+    /// Verifier state: match plan, adjacency bitset, DFS buffers and
+    /// remaining-cost tables, amortized across every candidate of every
+    /// search through this scratch.
+    verify: VerifyScratch,
     /// Fragment indices surviving the ε selectivity filter (the pool).
     pool: Vec<usize>,
     /// The overlapping-relation graph `Q̃`, rebuilt in place per search.
@@ -193,6 +201,26 @@ impl SearchScratch {
     /// Candidates produced by the last `search_into` (sorted by id).
     pub(crate) fn candidates(&self) -> &[GraphId] {
         &self.cand_buf
+    }
+
+    /// Partition lower bounds parallel to
+    /// [`SearchScratch::candidates`].
+    pub(crate) fn candidate_bounds(&self) -> &[f64] {
+        &self.cand_lb
+    }
+
+    /// The verifier scratch folded into this search scratch (`knn`
+    /// drives per-candidate verification through it directly).
+    pub(crate) fn verify_scratch(&mut self) -> &mut VerifyScratch {
+        &mut self.verify
+    }
+
+    /// Returns the verification-phase counters (calls, precheck
+    /// refutations, DFS nodes expanded/pruned, nanos) accumulated since
+    /// the last call, and resets them. `pipeline_bench` reports the
+    /// phase as its own `verification` row.
+    pub fn take_verify_stats(&mut self) -> VerifyStats {
+        self.verify.take_stats()
     }
 
     /// Returns the nanoseconds spent in the partition stage (building
@@ -229,6 +257,7 @@ impl SearchScratch {
         self.unique_fragment.clear();
         self.intersected.clear();
         self.cand_buf.clear();
+        self.cand_lb.clear();
         self.pool.clear();
         self.selection.clear();
     }
@@ -325,7 +354,7 @@ impl<'a> PisSearcher<'a> {
         let mut answer_distances = Vec::new();
         if self.config.verify {
             stats.verification_calls = candidates.len();
-            for (gid, d) in self.verify_candidates(query, &candidates, sigma) {
+            for (gid, d) in self.verify_candidates(query, &candidates, sigma, &mut scratch.verify) {
                 answers.push(gid);
                 answer_distances.push(d);
             }
@@ -472,22 +501,56 @@ impl<'a> PisSearcher<'a> {
                     && scratch.bound[i] <= sigma);
             if keep {
                 scratch.cand_buf.push(g);
+                scratch.cand_lb.push(if members == 0 { 0.0 } else { scratch.bound[i] });
             }
         }
         stats.candidates_after_partition = scratch.cand_buf.len();
 
         // The gIndex substrate's exact containment test (the paper
         // builds PIS on gIndex, so its candidates are always
-        // structure-containing graphs).
+        // structure-containing graphs). The lower bounds stay in
+        // lockstep with the surviving candidates. The query's match plan
+        // is target-independent, so each check reuses the verify
+        // scratch's plan, adjacency bitset and DFS buffers instead of
+        // rebuilding them per candidate; large batches spread across the
+        // pool like verification does (most checks are refutations,
+        // which pay for a full DFS).
         if self.config.structure_check {
             let database = self.database;
-            scratch.cand_buf.retain(|gid| {
-                pis_graph::iso::is_subgraph(
-                    query,
-                    &database[gid.index()],
-                    pis_graph::iso::IsoConfig::STRUCTURE,
+            let pool = ScopedPool::default();
+            let parallel_keep: Option<Vec<bool>> = (pool.workers() > 1
+                && !ScopedPool::in_worker()
+                && scratch.cand_buf.len() >= self.config.parallel_verify_threshold.max(2))
+            .then(|| {
+                pool.map_with(
+                    &scratch.cand_buf,
+                    self.config.parallel_verify_threshold,
+                    || {
+                        let mut verify = VerifyScratch::new();
+                        verify.begin_query(query);
+                        verify
+                    },
+                    |verify, _, &gid| verify.contains_structure(query, &database[gid.index()]),
                 )
             });
+            if parallel_keep.is_none() {
+                scratch.verify.begin_query(query);
+            }
+            let mut kept = 0;
+            for i in 0..scratch.cand_buf.len() {
+                let gid = scratch.cand_buf[i];
+                let keep = match &parallel_keep {
+                    Some(flags) => flags[i],
+                    None => scratch.verify.contains_structure(query, &database[gid.index()]),
+                };
+                if keep {
+                    scratch.cand_buf[kept] = gid;
+                    scratch.cand_lb[kept] = scratch.cand_lb[i];
+                    kept += 1;
+                }
+            }
+            scratch.cand_buf.truncate(kept);
+            scratch.cand_lb.truncate(kept);
         }
         stats.candidates_after_structure = scratch.cand_buf.len();
         scratch.fragments = fragments;
@@ -652,41 +715,98 @@ impl<'a> PisSearcher<'a> {
         }
         stats.candidates_after_structure = candidates.len();
 
-        // Step 3: candidate verification.
+        // Step 3: candidate verification, on the seed's one-shot
+        // verifier (no remaining-cost bound, no scratch, no precheck).
         let mut answers = Vec::new();
         let mut answer_distances = Vec::new();
         if self.config.verify {
             stats.verification_calls = candidates.len();
-            for (gid, d) in self.verify_candidates(query, &candidates, sigma) {
-                answers.push(gid);
-                answer_distances.push(d);
+            let distance = distance_dyn(self.index.distance());
+            for &gid in &candidates {
+                if let Some(d) = min_superimposed_distance_reference(
+                    query,
+                    &self.database[gid.index()],
+                    distance,
+                    sigma,
+                ) {
+                    answers.push(gid);
+                    answer_distances.push(d);
+                }
             }
         }
 
         SearchOutcome { candidates, answers, answer_distances, stats }
     }
 
-    /// Verifies candidates through the shared pool when the batch is
-    /// large enough to amortize thread startup. Results stay in
-    /// candidate order.
+    /// Verifies candidates with the bound-propagating verifier, through
+    /// the shared pool when the batch is large enough to amortize thread
+    /// startup. Results stay in candidate order; phase counters land in
+    /// `verify` either way (parallel lanes verify through per-worker
+    /// scratches and merge their counters back).
     pub(crate) fn verify_candidates(
         &self,
         query: &LabeledGraph,
         candidates: &[GraphId],
         sigma: f64,
+        verify: &mut VerifyScratch,
     ) -> Vec<(GraphId, f64)> {
-        let distance = distance_dyn(self.index.distance());
-        let verify_one = |gid: GraphId| {
-            min_superimposed_distance(query, &self.database[gid.index()], distance, sigma)
-                .map(|d| (gid, d))
-        };
-        // Below the configured batch size threads cost more than they
-        // save.
-        ScopedPool::default()
-            .map(candidates, self.config.parallel_verify_threshold, |_, &gid| verify_one(gid))
-            .into_iter()
-            .flatten()
-            .collect()
+        // Dispatch on the concrete distance once per batch so the whole
+        // branch-and-bound loop monomorphizes (per-element cost calls
+        // inline) instead of paying virtual dispatch per DFS node.
+        match self.index.distance() {
+            IndexDistance::Mutation(md) => {
+                self.verify_candidates_with(query, candidates, sigma, verify, md)
+            }
+            IndexDistance::Linear(ld) => {
+                self.verify_candidates_with(query, candidates, sigma, verify, ld)
+            }
+        }
+    }
+
+    fn verify_candidates_with<D: SuperimposedDistance>(
+        &self,
+        query: &LabeledGraph,
+        candidates: &[GraphId],
+        sigma: f64,
+        verify: &mut VerifyScratch,
+        distance: &D,
+    ) -> Vec<(GraphId, f64)> {
+        let pool = ScopedPool::default();
+        if pool.workers() > 1
+            && !ScopedPool::in_worker()
+            && candidates.len() >= self.config.parallel_verify_threshold.max(2)
+        {
+            let database = self.database;
+            let results = pool.map_with(
+                candidates,
+                self.config.parallel_verify_threshold,
+                || {
+                    let mut scratch = VerifyScratch::new();
+                    scratch.begin_query(query);
+                    scratch
+                },
+                |scratch, _, &gid| {
+                    let d = scratch.distance_within(query, &database[gid.index()], distance, sigma);
+                    (d.map(|d| (gid, d)), scratch.take_stats())
+                },
+            );
+            let mut out = Vec::new();
+            for (hit, stats) in results {
+                verify.absorb_stats(&stats);
+                out.extend(hit);
+            }
+            out
+        } else {
+            verify.begin_query(query);
+            candidates
+                .iter()
+                .filter_map(|&gid| {
+                    verify
+                        .distance_within(query, &self.database[gid.index()], distance, sigma)
+                        .map(|d| (gid, d))
+                })
+                .collect()
+        }
     }
 }
 

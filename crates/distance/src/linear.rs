@@ -7,9 +7,9 @@
 //! fragment index answers LD range queries as L1 ball queries over
 //! weight vectors (the paper's Example 3).
 
-use pis_graph::{EdgeAttr, VertexAttr};
+use pis_graph::{EdgeAttr, LabeledGraph, VertexAttr};
 
-use crate::traits::SuperimposedDistance;
+use crate::traits::{min_edge_costs_generic, min_vertex_costs_generic, SuperimposedDistance};
 
 /// L1 distance over vertex and edge weights, with optional per-side
 /// scaling (set a scale to 0 to ignore that side, mirroring the paper's
@@ -146,6 +146,36 @@ impl SuperimposedDistance for LinearDistance {
     fn edge_cost(&self, a: EdgeAttr, b: EdgeAttr) -> f64 {
         self.edge_scale * (a.weight - b.weight).abs()
     }
+
+    fn min_vertex_costs_into(
+        &self,
+        pattern: &LabeledGraph,
+        target: &LabeledGraph,
+        out: &mut Vec<f64>,
+    ) {
+        // A zero scale (the paper's edge-only experiments) makes every
+        // vertex cost 0; skip the quadratic scan.
+        if self.vertex_scale == 0.0 {
+            out.clear();
+            out.resize(pattern.vertex_count(), 0.0);
+        } else {
+            min_vertex_costs_generic(self, pattern, target, out);
+        }
+    }
+
+    fn min_edge_costs_into(
+        &self,
+        pattern: &LabeledGraph,
+        target: &LabeledGraph,
+        out: &mut Vec<f64>,
+    ) {
+        if self.edge_scale == 0.0 {
+            out.clear();
+            out.resize(pattern.edge_count(), 0.0);
+        } else {
+            min_edge_costs_generic(self, pattern, target, out);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -240,5 +270,24 @@ mod tests {
     fn mbr_block_rejects_length_mismatch() {
         let mut out = [0.0; 1];
         mbr_l1_costs_into(&[1.0], &[1.0, 2.0], &[1.0], &mut out);
+    }
+
+    #[test]
+    fn zero_scale_min_tables_short_circuit() {
+        let d = LinearDistance::edges_only();
+        let q = weighted_path(&[5.0, 5.0, 5.0], &[1.0, 2.0]);
+        let g = weighted_path(&[0.0, 0.0], &[9.0]);
+        let mut out = Vec::new();
+        // Vertex scale 0: all-zero floors even though the middle vertex
+        // has no degree-compatible image.
+        d.min_vertex_costs_into(&q, &g, &mut out);
+        assert_eq!(out, vec![0.0; 3]);
+        // Edge scale 1: the generic scan runs and reports infeasibility.
+        d.min_edge_costs_into(&q, &g, &mut out);
+        assert_eq!(out, vec![f64::INFINITY; 2]);
+        // Against a large-enough target the floors are |w − w'| minima.
+        let g = weighted_path(&[0.0, 0.0, 0.0], &[1.5, 4.0]);
+        d.min_edge_costs_into(&q, &g, &mut out);
+        assert_eq!(out, vec![0.5, 0.5]);
     }
 }

@@ -6,10 +6,10 @@
 //! labels are ignored and each mismatched edge label costs 1 ("the
 //! number of edges whose labels are mismatched").
 
-use pis_graph::{EdgeAttr, Label, VertexAttr};
+use pis_graph::{EdgeAttr, Label, LabeledGraph, VertexAttr};
 
 use crate::matrix::ScoreMatrix;
-use crate::traits::SuperimposedDistance;
+use crate::traits::{min_edge_costs_generic, min_vertex_costs_generic, SuperimposedDistance};
 
 /// Score-matrix-based mutation distance over categorical labels.
 #[derive(Clone, Debug)]
@@ -168,6 +168,128 @@ impl SuperimposedDistance for MutationDistance {
     fn max_edge_cost(&self) -> Option<f64> {
         Some(self.edge_scores.max_cost())
     }
+
+    fn min_vertex_costs_into(
+        &self,
+        pattern: &LabeledGraph,
+        target: &LabeledGraph,
+        out: &mut Vec<f64>,
+    ) {
+        // All-zero matrix (the paper's edge-Hamming setting): every
+        // floor is 0 without scanning — weaker than the degree-filtered
+        // scan's ∞ on infeasible vertices, but still admissible.
+        if self.vertex_scores.is_zero() {
+            out.clear();
+            out.resize(pattern.vertex_count(), 0.0);
+        } else {
+            min_vertex_costs_generic(self, pattern, target, out);
+        }
+    }
+
+    fn min_edge_costs_into(
+        &self,
+        pattern: &LabeledGraph,
+        target: &LabeledGraph,
+        out: &mut Vec<f64>,
+    ) {
+        if self.edge_scores.is_zero() {
+            out.clear();
+            out.resize(pattern.edge_count(), 0.0);
+        } else {
+            min_edge_costs_generic(self, pattern, target, out);
+        }
+    }
+
+    /// Label-histogram deficit bound, per segment: at most `count_t(l)`
+    /// query elements of label `l` can land on a same-label target
+    /// element, so the remaining `count_q(l) − count_t(l)` each pay at
+    /// least the cheapest relabeling `min_{l'≠l present in target}
+    /// cost(l, l')`. Per-element floors sum independently of where the
+    /// elements actually land, so the bound is admissible for every
+    /// monomorphism; under edge-Hamming it equals the structure-free
+    /// minimum number of mismatched edges.
+    fn pair_lower_bound(&self, pattern: &LabeledGraph, target: &LabeledGraph) -> f64 {
+        let edges = label_deficit_bound(
+            &self.edge_scores,
+            pattern.edges().iter().map(|e| e.attr.label),
+            target.edges().iter().map(|e| e.attr.label),
+        );
+        if edges.is_infinite() {
+            return edges;
+        }
+        edges
+            + label_deficit_bound(
+                &self.vertex_scores,
+                pattern.vertex_ids().map(|v| pattern.vertex(v).label),
+                target.vertex_ids().map(|v| target.vertex(v).label),
+            )
+    }
+
+    /// Mutation costs depend only on labels, so the score matrix answers
+    /// this exactly: the cheapest relabeling of `from` into any other
+    /// label the target actually has (`∞` when the target offers no
+    /// alternative, i.e. every image would have to keep the label).
+    fn edge_label_substitution_floor(&self, from: Label, target_labels: &[Label]) -> Option<f64> {
+        let mut cheapest = f64::INFINITY;
+        for &lt in target_labels {
+            if lt != from {
+                cheapest = cheapest.min(self.edge_scores.cost(from, lt));
+            }
+        }
+        Some(cheapest)
+    }
+
+    /// Mutation edge costs *are* label-pair costs, so the floor is the
+    /// score matrix entry itself.
+    fn edge_label_cost_floor(&self, from: Label, to: Label) -> Option<f64> {
+        Some(self.edge_scores.cost(from, to))
+    }
+}
+
+/// `Σ_l max(0, count_q(l) − count_t(l)) · min_{l'≠l ∈ target} cost(l, l')`
+/// over one label segment, or `∞` when the query has more elements than
+/// the target can injectively host at all.
+fn label_deficit_bound(
+    scores: &ScoreMatrix,
+    q_labels: impl Iterator<Item = Label>,
+    t_labels: impl Iterator<Item = Label>,
+) -> f64 {
+    let mut q: Vec<u32> = q_labels.map(|l| l.0).collect();
+    let mut t: Vec<u32> = t_labels.map(|l| l.0).collect();
+    if q.len() > t.len() {
+        return f64::INFINITY;
+    }
+    if scores.is_zero() || q.is_empty() {
+        return 0.0;
+    }
+    q.sort_unstable();
+    t.sort_unstable();
+    let mut t_distinct = t.clone();
+    t_distinct.dedup();
+    let mut bound = 0.0;
+    let mut i = 0;
+    while i < q.len() {
+        let l = q[i];
+        let mut run = 1;
+        while i + run < q.len() && q[i + run] == l {
+            run += 1;
+        }
+        let same = t.partition_point(|&x| x <= l) - t.partition_point(|&x| x < l);
+        if run > same {
+            let mut cheapest = f64::INFINITY;
+            for &lt in &t_distinct {
+                if lt != l {
+                    cheapest = cheapest.min(scores.cost(Label(l), Label(lt)));
+                }
+            }
+            bound += (run - same) as f64 * cheapest;
+            if bound.is_infinite() {
+                return f64::INFINITY;
+            }
+        }
+        i += run;
+    }
+    bound
 }
 
 #[cfg(test)]
@@ -281,5 +403,80 @@ mod tests {
         let d = MutationDistance::unit();
         assert_eq!(d.max_vertex_cost(), Some(1.0));
         assert_eq!(d.max_edge_cost(), Some(1.0));
+    }
+
+    #[test]
+    fn zero_matrix_min_tables_are_all_zero() {
+        let d = MutationDistance::edge_hamming();
+        // 3-path into 2-path: the generic vertex scan would report ∞
+        // for the degree-2 middle vertex, but the zero-matrix fast path
+        // claims only 0 — weaker yet admissible.
+        let q = path_graph(3, Label(1), Label(0));
+        let g = path_graph(2, Label(2), Label(0));
+        let mut out = Vec::new();
+        d.min_vertex_costs_into(&q, &g, &mut out);
+        assert_eq!(out, vec![0.0; 3]);
+        // Edge matrix is unit, so edges go through the generic scan.
+        d.min_edge_costs_into(&q, &g, &mut out);
+        assert_eq!(out, vec![f64::INFINITY; 2]);
+    }
+
+    #[test]
+    fn pair_lower_bound_counts_label_deficits() {
+        let d = MutationDistance::edge_hamming();
+        // Query ring 1,2,1,2,1,2 vs target ring 2,2,2,2,2,2: three
+        // label-1 edges have no same-label image, each paying ≥ 1.
+        let ring = |labels: &[u32]| {
+            let mut b = pis_graph::GraphBuilder::new();
+            let vs = b.add_vertices(labels.len(), VertexAttr::labeled(Label(0)));
+            for (i, &l) in labels.iter().enumerate() {
+                b.add_edge(vs[i], vs[(i + 1) % labels.len()], EdgeAttr::labeled(Label(l))).unwrap();
+            }
+            b.build()
+        };
+        let q = ring(&[1, 2, 1, 2, 1, 2]);
+        let g = ring(&[2, 2, 2, 2, 2, 2]);
+        assert_eq!(d.pair_lower_bound(&q, &g), 3.0);
+        // And the bound is tight from below: the true distance is 3.
+        // A matching multiset gives bound 0 even when structure differs.
+        assert_eq!(d.pair_lower_bound(&q, &ring(&[1, 1, 1, 2, 2, 2])), 0.0);
+    }
+
+    #[test]
+    fn pair_lower_bound_refutes_oversized_queries() {
+        let d = MutationDistance::edge_hamming();
+        let q = path_graph(4, Label(0), Label(0));
+        let g = path_graph(3, Label(0), Label(0));
+        assert!(d.pair_lower_bound(&q, &g).is_infinite());
+    }
+
+    #[test]
+    fn pair_lower_bound_never_exceeds_true_distance() {
+        // Exhaustive check on small rings: bound ≤ brute-force minimum
+        // superposition cost whenever a monomorphism exists.
+        let d = MutationDistance::unit();
+        let ring = |vl: [u32; 4], el: [u32; 4]| {
+            let mut b = pis_graph::GraphBuilder::new();
+            let vs: Vec<_> =
+                vl.iter().map(|&l| b.add_vertex(VertexAttr::labeled(Label(l)))).collect();
+            for (i, &l) in el.iter().enumerate() {
+                b.add_edge(vs[i], vs[(i + 1) % 4], EdgeAttr::labeled(Label(l))).unwrap();
+            }
+            b.build()
+        };
+        let q = ring([0, 1, 0, 1], [2, 3, 2, 3]);
+        for g in [
+            ring([0, 0, 0, 0], [2, 2, 2, 2]),
+            ring([1, 1, 0, 0], [3, 3, 3, 2]),
+            ring([0, 1, 0, 1], [2, 3, 2, 3]),
+        ] {
+            let best = embeddings(&q, &g, IsoConfig::STRUCTURE)
+                .iter()
+                .map(|e| d.superposition_cost(&q, &g, e))
+                .fold(f64::INFINITY, f64::min);
+            assert!(best.is_finite());
+            let lb = d.pair_lower_bound(&q, &g);
+            assert!(lb <= best + 1e-12, "precheck {lb} exceeds true distance {best}");
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! The superimposed-distance abstraction.
 
-use pis_graph::{EdgeAttr, Embedding, LabeledGraph, VertexAttr};
+use pis_graph::{EdgeAttr, Embedding, Label, LabeledGraph, VertexAttr};
 
 /// A distance measure applied to two superimposed graphs (Section 2).
 ///
@@ -54,6 +54,138 @@ pub trait SuperimposedDistance: Sync {
     fn max_edge_cost(&self) -> Option<f64> {
         None
     }
+
+    /// Fills `out` (indexed by pattern vertex) with an admissible floor
+    /// on the vertex cost each pattern vertex pays under **any**
+    /// monomorphism of `pattern` into `target`: the minimum
+    /// [`vertex_cost`](SuperimposedDistance::vertex_cost) over target
+    /// vertices of degree ≥ the pattern vertex's degree (neighbors map
+    /// injectively, so every image has at least the pattern degree).
+    /// When no target vertex is degree-compatible the floor is
+    /// `f64::INFINITY` — no monomorphism can map that vertex at all.
+    ///
+    /// Implementations may override with a faster but still admissible
+    /// table (e.g. all-zero when vertex costs are identically zero).
+    fn min_vertex_costs_into(
+        &self,
+        pattern: &LabeledGraph,
+        target: &LabeledGraph,
+        out: &mut Vec<f64>,
+    ) {
+        min_vertex_costs_generic(self, pattern, target, out);
+    }
+
+    /// Fills `out` (indexed by pattern edge) with an admissible floor on
+    /// the edge cost each pattern edge pays under any monomorphism: the
+    /// minimum [`edge_cost`](SuperimposedDistance::edge_cost) over
+    /// target edges whose sorted endpoint degrees dominate the pattern
+    /// edge's (`lo_t ≥ lo_q` and `hi_t ≥ hi_q` — a necessary condition
+    /// for hosting the edge in either orientation). `f64::INFINITY` when
+    /// no target edge qualifies.
+    fn min_edge_costs_into(
+        &self,
+        pattern: &LabeledGraph,
+        target: &LabeledGraph,
+        out: &mut Vec<f64>,
+    ) {
+        min_edge_costs_generic(self, pattern, target, out);
+    }
+
+    /// An admissible lower bound on the superposition cost of **any**
+    /// monomorphism of `pattern` into `target`, cheap enough to run
+    /// before the subgraph search. `f64::INFINITY` asserts that no
+    /// monomorphism exists. The default claims nothing.
+    fn pair_lower_bound(&self, _pattern: &LabeledGraph, _target: &LabeledGraph) -> f64 {
+        0.0
+    }
+
+    /// The cheapest cost this distance can charge an edge labeled `from`
+    /// that is forced onto a *differently labeled* target edge, where
+    /// `target_labels` lists the distinct edge labels the target offers.
+    /// Powers capacity-deficit suffix bounds: once more `from`-labeled
+    /// query edges remain than the target supplies, each extra one pays
+    /// at least this floor. `None` means the distance cannot bound
+    /// relabeling by label alone (e.g. weight-based costs), disabling
+    /// the deficit refinement; the default claims nothing.
+    fn edge_label_substitution_floor(&self, _from: Label, _target_labels: &[Label]) -> Option<f64> {
+        None
+    }
+
+    /// An admissible floor on [`edge_cost`] between *any* edge labeled
+    /// `from` and *any* edge labeled `to`. Powers label-driven forward
+    /// checking: once a query vertex is placed, each of its unpaid edges
+    /// is confined to the image's incident edges, so it pays at least
+    /// the cheapest such floor. `None` means the distance cannot bound
+    /// edge costs by labels alone (e.g. weight-based costs), disabling
+    /// forward checking; the default claims nothing.
+    ///
+    /// [`edge_cost`]: SuperimposedDistance::edge_cost
+    fn edge_label_cost_floor(&self, _from: Label, _to: Label) -> Option<f64> {
+        None
+    }
+}
+
+/// The generic degree-filtered scan behind
+/// [`SuperimposedDistance::min_vertex_costs_into`], callable from
+/// overrides that only fast-path special cases.
+pub fn min_vertex_costs_generic<D: SuperimposedDistance + ?Sized>(
+    distance: &D,
+    pattern: &LabeledGraph,
+    target: &LabeledGraph,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.reserve(pattern.vertex_count());
+    for p in pattern.vertex_ids() {
+        let pa = pattern.vertex(p);
+        let pd = pattern.degree(p);
+        let mut floor = f64::INFINITY;
+        for t in target.vertex_ids() {
+            if target.degree(t) < pd {
+                continue;
+            }
+            let c = distance.vertex_cost(pa, target.vertex(t));
+            if c < floor {
+                floor = c;
+                if floor == 0.0 {
+                    break;
+                }
+            }
+        }
+        out.push(floor);
+    }
+}
+
+/// The generic degree-filtered scan behind
+/// [`SuperimposedDistance::min_edge_costs_into`].
+pub fn min_edge_costs_generic<D: SuperimposedDistance + ?Sized>(
+    distance: &D,
+    pattern: &LabeledGraph,
+    target: &LabeledGraph,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.reserve(pattern.edge_count());
+    for e in pattern.edges() {
+        let (da, db) = (pattern.degree(e.source), pattern.degree(e.target));
+        let (lo_q, hi_q) = if da <= db { (da, db) } else { (db, da) };
+        let mut floor = f64::INFINITY;
+        for te in target.edges() {
+            let (ta, tb) = (target.degree(te.source), target.degree(te.target));
+            let (lo_t, hi_t) = if ta <= tb { (ta, tb) } else { (tb, ta) };
+            if lo_t < lo_q || hi_t < hi_q {
+                continue;
+            }
+            let c = distance.edge_cost(e.attr, te.attr);
+            if c < floor {
+                floor = c;
+                if floor == 0.0 {
+                    break;
+                }
+            }
+        }
+        out.push(floor);
+    }
 }
 
 #[cfg(test)]
@@ -85,5 +217,41 @@ mod tests {
         for e in &embs {
             assert_eq!(VertexDiff.superposition_cost(&q, &g, e), 6.0);
         }
+    }
+
+    #[test]
+    fn min_vertex_costs_respect_degree_feasibility() {
+        // Pattern 3-path (degrees 1,2,1) into a 2-path (degrees 1,1):
+        // the middle pattern vertex has no degree-compatible image.
+        let q = path_graph(3, Label(3), Label(0));
+        let g = path_graph(2, Label(0), Label(0));
+        let mut out = Vec::new();
+        VertexDiff.min_vertex_costs_into(&q, &g, &mut out);
+        assert_eq!(out, vec![3.0, f64::INFINITY, 3.0]);
+        // Against a 3-path every vertex has a compatible image.
+        let g = path_graph(3, Label(1), Label(0));
+        VertexDiff.min_vertex_costs_into(&q, &g, &mut out);
+        assert_eq!(out, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn min_edge_costs_respect_sorted_degree_domination() {
+        // Each 3-path edge has sorted endpoint degrees (1,2); a 2-path
+        // edge only offers (1,1), so no edge can host it.
+        let q = path_graph(3, Label(0), Label(0));
+        let g = path_graph(2, Label(0), Label(0));
+        let mut out = Vec::new();
+        VertexDiff.min_edge_costs_into(&q, &g, &mut out);
+        assert_eq!(out, vec![f64::INFINITY, f64::INFINITY]);
+        let g = path_graph(4, Label(0), Label(0));
+        VertexDiff.min_edge_costs_into(&q, &g, &mut out);
+        assert_eq!(out, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn default_pair_lower_bound_claims_nothing() {
+        let q = path_graph(2, Label(0), Label(0));
+        let g = path_graph(2, Label(9), Label(0));
+        assert_eq!(VertexDiff.pair_lower_bound(&q, &g), 0.0);
     }
 }

@@ -14,6 +14,16 @@
 //! The engine exposes a [`MatchVisitor`] hook invoked on every partial
 //! assignment, which is how `pis-core` implements the branch-and-bound
 //! minimum-superimposed-distance verifier without duplicating the search.
+//!
+//! Repeated searches amortize their setup: the matching order lives in a
+//! reusable flat [`MatchPlan`] arena (target-independent under
+//! [`IsoConfig::STRUCTURE`], so one plan serves a query against every
+//! candidate), the target adjacency bitset ([`AdjBits`]) rebuilds in
+//! place, and [`SubgraphMatcher::search_with_buffers`] threads
+//! caller-owned [`SearchBuffers`] through the DFS instead of allocating
+//! per call. [`MatchPlan::suffix_lower_bounds`] folds caller-supplied
+//! per-element cost floors into per-depth remaining-cost bounds — the
+//! admissible heuristic behind `pis-core`'s bound-propagating verifier.
 
 use std::ops::ControlFlow;
 
@@ -46,7 +56,7 @@ impl Default for IsoConfig {
 }
 
 /// A complete mapping of pattern vertices into a target graph.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Embedding {
     map: Vec<VertexId>,
 }
@@ -122,16 +132,218 @@ impl<F: FnMut(&Embedding) -> ControlFlow<()>> MatchVisitor for CollectVisitor<F>
     }
 }
 
-/// Per-depth data of the precomputed matching plan.
-struct PlanStep {
-    /// Pattern vertex matched at this depth.
-    vertex: VertexId,
-    /// An already-matched pattern neighbor used to anchor candidate
-    /// generation (None only for the first vertex of a component).
-    anchor: Option<VertexId>,
+/// The precomputed matching order, stored as a flat level-major arena:
+/// one entry per depth holding the pattern vertex matched there, the
+/// anchor that bounds its candidate images, and a `[check_start,
+/// check_start+1, …)` slice into one shared `checks` array of
+/// already-matched neighbors. Rebuilding in place keeps every allocation
+/// alive, so the plan of a query can be built once and reused across an
+/// entire candidate list (under [`IsoConfig::STRUCTURE`] the order is
+/// target-independent; see [`MatchPlan::rebuild_for_pattern`]).
+#[derive(Clone, Debug, Default)]
+pub struct MatchPlan {
+    /// Pattern vertex matched at each depth.
+    vertices: Vec<VertexId>,
+    /// An already-matched pattern neighbor anchoring candidate
+    /// generation at each depth (`u32::MAX` for the first vertex of a
+    /// component, which scans the whole target).
+    anchors: Vec<VertexId>,
+    /// CSR offsets into `checks`: depth `d` owns
+    /// `checks[check_start[d]..check_start[d + 1]]`.
+    check_start: Vec<u32>,
     /// All already-matched pattern neighbors and the connecting pattern
-    /// edge; every one must map to a target edge.
+    /// edge, concatenated depth-major; every one must map to a target
+    /// edge.
     checks: Vec<(VertexId, EdgeId)>,
+    /// Scratch: per-vertex placement flag (reused across rebuilds).
+    placed: Vec<bool>,
+    /// Scratch: how many placed neighbors each unplaced vertex has.
+    back_degree: Vec<usize>,
+    /// Scratch: plan position of each pattern vertex.
+    position: Vec<usize>,
+    /// Scratch: per-vertex candidate-image counts (label rarity).
+    rarity: Vec<usize>,
+}
+
+impl MatchPlan {
+    /// An empty plan; it sizes itself on first rebuild.
+    pub fn new() -> Self {
+        MatchPlan::default()
+    }
+
+    /// Number of depths (= pattern vertices) in the plan.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether the plan is empty (empty pattern).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// The pattern vertex matched at `depth`.
+    #[inline]
+    pub fn vertex(&self, depth: usize) -> VertexId {
+        self.vertices[depth]
+    }
+
+    /// The already-matched neighbors (and connecting pattern edges)
+    /// checked when matching `depth`.
+    #[inline]
+    pub fn checks(&self, depth: usize) -> &[(VertexId, EdgeId)] {
+        &self.checks[self.check_start[depth] as usize..self.check_start[depth + 1] as usize]
+    }
+
+    #[inline]
+    fn anchor(&self, depth: usize) -> Option<VertexId> {
+        let a = self.anchors[depth];
+        (a != VertexId(u32::MAX)).then_some(a)
+    }
+
+    /// Rebuilds the plan for a structure-only search
+    /// ([`IsoConfig::STRUCTURE`]). The order depends only on the
+    /// pattern, so one plan serves the pattern against every target —
+    /// the matcher produced by [`SubgraphMatcher::with_parts`] runs the
+    /// exact same DFS as a freshly built one.
+    pub fn rebuild_for_pattern(&mut self, pattern: &LabeledGraph) {
+        self.rebuild_inner(pattern, None);
+    }
+
+    /// Rebuilds the plan for a `(pattern, target, config)` triple —
+    /// label-respecting configs use the target's label frequencies to
+    /// order rare-labeled vertices first.
+    pub fn rebuild(&mut self, pattern: &LabeledGraph, target: &LabeledGraph, config: IsoConfig) {
+        self.rebuild_inner(pattern, config.respect_vertex_labels.then_some(target));
+    }
+
+    /// Matching order: connectivity-first greedy selection.
+    ///
+    /// At every step the next pattern vertex is the unplaced one with
+    ///
+    /// 1. the most already-placed neighbors (every placed neighbor is a
+    ///    structural constraint that fires the moment the vertex is
+    ///    tried — the core idea of VF2++'s ordering),
+    /// 2. then the rarest label among target vertices (label-respecting
+    ///    configs only: fewer candidate images, smaller branching
+    ///    factor),
+    /// 3. then the highest pattern degree (dense regions constrain
+    ///    first),
+    /// 4. then the smallest id (determinism).
+    ///
+    /// Because criterion 1 dominates, a vertex adjacent to the placed
+    /// prefix is always preferred over starting a new region: each
+    /// component is matched contiguously and every step after a
+    /// component's first has an anchor.
+    fn rebuild_inner(&mut self, pattern: &LabeledGraph, rarity_target: Option<&LabeledGraph>) {
+        let n = pattern.vertex_count();
+        // How many target vertices could host each pattern vertex, by
+        // label. Erased/uniform labels make this a constant, disabling
+        // criterion 2.
+        self.rarity.clear();
+        match rarity_target {
+            Some(target) => self.rarity.extend(pattern.vertex_ids().map(|p| {
+                let label = pattern.vertex(p).label;
+                target.vertex_ids().filter(|&t| target.vertex(t).label == label).count()
+            })),
+            None => self.rarity.resize(n, 0),
+        }
+        self.placed.clear();
+        self.placed.resize(n, false);
+        self.back_degree.clear();
+        self.back_degree.resize(n, 0);
+        self.vertices.clear();
+        for _ in 0..n {
+            let mut best: Option<VertexId> = None;
+            let mut best_key = (0usize, usize::MAX, 0usize, u32::MAX);
+            for v in pattern.vertex_ids() {
+                if self.placed[v.index()] {
+                    continue;
+                }
+                // Lexicographic: back-degree desc, rarity asc, degree
+                // desc, id asc — encoded so the largest tuple wins.
+                let key = (
+                    self.back_degree[v.index()] + 1,
+                    usize::MAX - self.rarity[v.index()],
+                    pattern.degree(v),
+                    u32::MAX - v.0,
+                );
+                if best.is_none() || key > best_key {
+                    best = Some(v);
+                    best_key = key;
+                }
+            }
+            let v = best.expect("an unplaced vertex remains");
+            self.placed[v.index()] = true;
+            for &(w, _) in pattern.neighbors(v) {
+                self.back_degree[w.index()] += 1;
+            }
+            self.vertices.push(v);
+        }
+        debug_assert_eq!(self.vertices.len(), n);
+        // Derive anchors and checks strictly by plan position. The
+        // anchor is the earliest-placed checked neighbor (its image
+        // bounds the candidate set).
+        self.position.clear();
+        self.position.resize(n, usize::MAX);
+        for (i, &v) in self.vertices.iter().enumerate() {
+            self.position[v.index()] = i;
+        }
+        self.anchors.clear();
+        self.check_start.clear();
+        self.checks.clear();
+        self.check_start.push(0);
+        for (i, &v) in self.vertices.iter().enumerate() {
+            let mut anchor = VertexId(u32::MAX);
+            let mut anchor_pos = usize::MAX;
+            for &(q, e) in pattern.neighbors(v) {
+                let pos = self.position[q.index()];
+                if pos < i {
+                    self.checks.push((q, e));
+                    if pos < anchor_pos {
+                        anchor_pos = pos;
+                        anchor = q;
+                    }
+                }
+            }
+            self.anchors.push(anchor);
+            self.check_start.push(self.checks.len() as u32);
+        }
+    }
+
+    /// Folds per-element cost floors into per-depth remaining-cost
+    /// bounds: `out[d]` is a lower bound on the cost still to be paid
+    /// once the first `d` plan steps are assigned, with `out[len()] =
+    /// 0`.
+    ///
+    /// `vertex_floor[p]` must lower-bound the vertex cost of pattern
+    /// vertex `p` under any feasible image, and `edge_floor[e]` the edge
+    /// cost of pattern edge `e` under any feasible image. Each edge is
+    /// attributed to the depth of its later-placed endpoint — exactly
+    /// the step whose `checks` pay it during the DFS — so `out[d]`
+    /// covers precisely the cost components no partial assignment of
+    /// depth `d` has accumulated yet. Both floors may be
+    /// `f64::INFINITY` (no feasible image at all), which propagates into
+    /// the suffix and lets callers refute the whole pair up front.
+    pub fn suffix_lower_bounds(
+        &self,
+        vertex_floor: &[f64],
+        edge_floor: &[f64],
+        out: &mut Vec<f64>,
+    ) {
+        let n = self.len();
+        out.clear();
+        out.resize(n + 1, 0.0);
+        let mut acc = 0.0;
+        for d in (0..n).rev() {
+            acc += vertex_floor[self.vertex(d).index()];
+            for &(_, e) in self.checks(d) {
+                acc += edge_floor[e.index()];
+            }
+            out[d] = acc;
+        }
+    }
 }
 
 /// Targets above this size skip the adjacency-matrix bitset (quadratic
@@ -141,163 +353,232 @@ const ADJ_BITS_MAX_VERTICES: usize = 4096;
 
 /// Dense target adjacency: one bitset row per vertex, so the matcher's
 /// edge-existence checks are a shift and a mask instead of an
-/// adjacency-list scan.
-struct AdjBits {
+/// adjacency-list scan. Rebuilding in place keeps the bit storage
+/// allocated across targets.
+#[derive(Clone, Debug, Default)]
+pub struct AdjBits {
     words_per_row: usize,
     bits: Vec<u64>,
 }
 
 impl AdjBits {
-    fn build(g: &LabeledGraph) -> Option<AdjBits> {
-        let n = g.vertex_count();
-        if n > ADJ_BITS_MAX_VERTICES {
-            return None;
-        }
-        let words_per_row = n.div_ceil(64);
-        let mut bits = vec![0u64; n * words_per_row];
-        for e in g.edges() {
-            let (u, v) = (e.source.index(), e.target.index());
-            bits[u * words_per_row + v / 64] |= 1 << (v % 64);
-            bits[v * words_per_row + u / 64] |= 1 << (u % 64);
-        }
-        Some(AdjBits { words_per_row, bits })
+    /// Empty storage; populate with [`AdjBits::rebuild`].
+    pub fn new() -> Self {
+        AdjBits::default()
     }
 
+    /// Rebuilds the adjacency matrix for `g`, reusing the bit storage.
+    /// Returns `false` (leaving the matrix unusable) when `g` is too
+    /// large for quadratic memory; callers then fall back to
+    /// `edge_between` scans.
+    pub fn rebuild(&mut self, g: &LabeledGraph) -> bool {
+        let n = g.vertex_count();
+        if n > ADJ_BITS_MAX_VERTICES {
+            return false;
+        }
+        self.words_per_row = n.div_ceil(64);
+        self.bits.clear();
+        self.bits.resize(n * self.words_per_row, 0);
+        for e in g.edges() {
+            let (u, v) = (e.source.index(), e.target.index());
+            self.bits[u * self.words_per_row + v / 64] |= 1 << (v % 64);
+            self.bits[v * self.words_per_row + u / 64] |= 1 << (u % 64);
+        }
+        true
+    }
+
+    fn build(g: &LabeledGraph) -> Option<AdjBits> {
+        let mut adj = AdjBits::new();
+        adj.rebuild(g).then_some(adj)
+    }
+
+    /// Whether `u` and `v` are adjacent.
     #[inline]
-    fn contains(&self, u: VertexId, v: VertexId) -> bool {
+    pub fn contains(&self, u: VertexId, v: VertexId) -> bool {
         (self.bits[u.index() * self.words_per_row + v.index() / 64] >> (v.index() % 64)) & 1 == 1
     }
+}
+
+/// Targets above this size skip the dense edge-id grid (quadratic
+/// `u32` memory, 16× an [`AdjBits`] row set); `edge_between` scans take
+/// over, exactly as for the bitset.
+const EDGE_GRID_MAX_VERTICES: usize = 1024;
+
+/// Dense target edge lookup: the edge id connecting each vertex pair,
+/// so cost-accounting visitors resolve the edge an adjacency bit
+/// implies in O(1) instead of rescanning a neighbor list. Rebuilding in
+/// place keeps the storage allocated across targets.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeGrid {
+    stride: usize,
+    ids: Vec<u32>,
+}
+
+impl EdgeGrid {
+    /// Empty storage; populate with [`EdgeGrid::rebuild`].
+    pub fn new() -> Self {
+        EdgeGrid::default()
+    }
+
+    /// Rebuilds the grid for `g`, reusing the id storage. Returns
+    /// `false` (leaving the grid unusable) when `g` is too large for
+    /// quadratic memory; callers then fall back to `edge_between`.
+    pub fn rebuild(&mut self, g: &LabeledGraph) -> bool {
+        let n = g.vertex_count();
+        if n > EDGE_GRID_MAX_VERTICES {
+            return false;
+        }
+        self.stride = n;
+        self.ids.clear();
+        self.ids.resize(n * n, u32::MAX);
+        for (i, e) in g.edges().iter().enumerate() {
+            let (u, v) = (e.source.index(), e.target.index());
+            self.ids[u * n + v] = i as u32;
+            self.ids[v * n + u] = i as u32;
+        }
+        true
+    }
+
+    /// The edge between `u` and `v`, if any.
+    #[inline]
+    pub fn get(&self, u: VertexId, v: VertexId) -> Option<EdgeId> {
+        let id = self.ids[u.index() * self.stride + v.index()];
+        (id != u32::MAX).then_some(EdgeId(id))
+    }
+}
+
+/// Reusable DFS state of one search: the partial map, the used-vertex
+/// flags and the embedding handed to the visitor. One buffer set serves
+/// any number of sequential [`SubgraphMatcher::search_with_buffers`]
+/// calls of any size (buffers re-size per call), making the steady-state
+/// search allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct SearchBuffers {
+    map: Vec<VertexId>,
+    used: Vec<bool>,
+    embedding: Embedding,
+}
+
+impl SearchBuffers {
+    /// Empty buffers; they size themselves per search.
+    pub fn new() -> Self {
+        SearchBuffers::default()
+    }
+}
+
+/// The plan a matcher runs: built for this pair, or borrowed from a
+/// caller amortizing one plan across many targets.
+enum PlanSource<'a> {
+    Owned(MatchPlan),
+    Borrowed(&'a MatchPlan),
+}
+
+/// The adjacency matrix a matcher consults (`None` = target too large).
+enum AdjSource<'a> {
+    Owned(Option<AdjBits>),
+    Borrowed(Option<&'a AdjBits>),
 }
 
 /// VF2-style matcher for one `(pattern, target)` pair.
 ///
 /// The matcher precomputes a connected matching order over the pattern
 /// once and can then run several searches. The order is guided by the
-/// target (see `build_plan`): vertices with many already-placed
-/// neighbors go first so every structural constraint fires as early as
-/// possible, with rare-labeled and high-degree vertices breaking ties.
+/// target (see [`MatchPlan::rebuild`]): vertices with many
+/// already-placed neighbors go first so every structural constraint
+/// fires as early as possible, with rare-labeled and high-degree
+/// vertices breaking ties.
 pub struct SubgraphMatcher<'a> {
     pattern: &'a LabeledGraph,
     target: &'a LabeledGraph,
     config: IsoConfig,
-    plan: Vec<PlanStep>,
-    adj: Option<AdjBits>,
+    plan: PlanSource<'a>,
+    adj: AdjSource<'a>,
+}
+
+/// The borrow-resolved search state threaded through the DFS.
+struct SearchCtx<'s> {
+    pattern: &'s LabeledGraph,
+    target: &'s LabeledGraph,
+    config: IsoConfig,
+    plan: &'s MatchPlan,
+    adj: Option<&'s AdjBits>,
 }
 
 impl<'a> SubgraphMatcher<'a> {
     /// Builds a matcher; cost is near-linear in the two graph sizes
     /// (plus one adjacency-bitset row per target vertex).
     pub fn new(pattern: &'a LabeledGraph, target: &'a LabeledGraph, config: IsoConfig) -> Self {
-        let plan = build_plan(pattern, target, config);
+        let mut plan = MatchPlan::new();
+        plan.rebuild(pattern, target, config);
         let adj = AdjBits::build(target);
-        SubgraphMatcher { pattern, target, config, plan, adj }
+        SubgraphMatcher {
+            pattern,
+            target,
+            config,
+            plan: PlanSource::Owned(plan),
+            adj: AdjSource::Owned(adj),
+        }
+    }
+
+    /// A matcher over caller-owned parts: a plan already rebuilt for
+    /// `(pattern, target, config)` (or for `pattern` alone under
+    /// [`IsoConfig::STRUCTURE`], where the order is target-independent)
+    /// and an optional adjacency matrix already rebuilt for `target`.
+    /// Runs the exact same DFS as [`SubgraphMatcher::new`] without
+    /// paying the setup — the amortization behind `pis-core`'s
+    /// `VerifyScratch`.
+    pub fn with_parts(
+        pattern: &'a LabeledGraph,
+        target: &'a LabeledGraph,
+        config: IsoConfig,
+        plan: &'a MatchPlan,
+        adj: Option<&'a AdjBits>,
+    ) -> Self {
+        debug_assert_eq!(plan.len(), pattern.vertex_count(), "plan built for another pattern");
+        SubgraphMatcher {
+            pattern,
+            target,
+            config,
+            plan: PlanSource::Borrowed(plan),
+            adj: AdjSource::Borrowed(adj),
+        }
+    }
+
+    fn ctx(&self) -> SearchCtx<'_> {
+        SearchCtx {
+            pattern: self.pattern,
+            target: self.target,
+            config: self.config,
+            plan: match &self.plan {
+                PlanSource::Owned(p) => p,
+                PlanSource::Borrowed(p) => p,
+            },
+            adj: match &self.adj {
+                AdjSource::Owned(a) => a.as_ref(),
+                AdjSource::Borrowed(a) => *a,
+            },
+        }
     }
 
     /// Runs the search, driving `visitor`.
     pub fn search(&self, visitor: &mut dyn MatchVisitor) {
+        self.search_with_buffers(&mut SearchBuffers::new(), visitor)
+    }
+
+    /// [`SubgraphMatcher::search`] with caller-owned DFS buffers, so
+    /// repeated searches allocate nothing.
+    pub fn search_with_buffers(&self, bufs: &mut SearchBuffers, visitor: &mut dyn MatchVisitor) {
         let n = self.pattern.vertex_count();
         if n > self.target.vertex_count() || self.pattern.edge_count() > self.target.edge_count() {
             return;
         }
-        let mut map: Vec<VertexId> = vec![VertexId(u32::MAX); n];
-        let mut used = vec![false; self.target.vertex_count()];
-        // One reusable buffer for every complete embedding the visitor
-        // sees: `clone_from` keeps its allocation alive across hits.
-        let mut embedding = Embedding { map: Vec::with_capacity(n) };
-        let _ = self.recurse(0, &mut map, &mut used, &mut embedding, visitor);
-    }
-
-    fn recurse(
-        &self,
-        depth: usize,
-        map: &mut Vec<VertexId>,
-        used: &mut [bool],
-        embedding: &mut Embedding,
-        visitor: &mut dyn MatchVisitor,
-    ) -> ControlFlow<()> {
-        if depth == self.plan.len() {
-            embedding.map.clone_from(map);
-            return visitor.complete(embedding);
-        }
-        let step = &self.plan[depth];
-        let p = step.vertex;
-        match step.anchor {
-            Some(q) => {
-                // Candidates: neighbors of the image of the anchor. The
-                // slice borrows the target for 'a, disjoint from
-                // `map`/`used`.
-                let image = map[q.index()];
-                for &(t, _) in self.target.neighbors(image) {
-                    self.try_candidate(depth, p, t, map, used, embedding, visitor)?;
-                }
-            }
-            None => {
-                for t in 0..self.target.vertex_count() as u32 {
-                    self.try_candidate(depth, p, VertexId(t), map, used, embedding, visitor)?;
-                }
-            }
-        }
-        ControlFlow::Continue(())
-    }
-
-    #[inline]
-    #[allow(clippy::too_many_arguments)] // private hot path; the args are the search state
-    fn try_candidate(
-        &self,
-        depth: usize,
-        p: VertexId,
-        t: VertexId,
-        map: &mut Vec<VertexId>,
-        used: &mut [bool],
-        embedding: &mut Embedding,
-        visitor: &mut dyn MatchVisitor,
-    ) -> ControlFlow<()> {
-        if used[t.index()] {
-            return ControlFlow::Continue(());
-        }
-        if self.target.degree(t) < self.pattern.degree(p) {
-            return ControlFlow::Continue(());
-        }
-        if self.config.respect_vertex_labels
-            && self.pattern.vertex(p).label != self.target.vertex(t).label
-        {
-            return ControlFlow::Continue(());
-        }
-        let step = &self.plan[depth];
-        for &(q, pe) in &step.checks {
-            let tq = map[q.index()];
-            if let Some(adj) = &self.adj {
-                if !adj.contains(tq, t) {
-                    return ControlFlow::Continue(());
-                }
-                if self.config.respect_edge_labels {
-                    let te =
-                        self.target.edge_between(tq, t).expect("adjacency bit implies an edge");
-                    if self.pattern.edge(pe).attr.label != self.target.edge(te).attr.label {
-                        return ControlFlow::Continue(());
-                    }
-                }
-            } else {
-                let Some(te) = self.target.edge_between(tq, t) else {
-                    return ControlFlow::Continue(());
-                };
-                if self.config.respect_edge_labels
-                    && self.pattern.edge(pe).attr.label != self.target.edge(te).attr.label
-                {
-                    return ControlFlow::Continue(());
-                }
-            }
-        }
-        if !visitor.assign(p, t) {
-            return ControlFlow::Continue(());
-        }
-        map[p.index()] = t;
-        used[t.index()] = true;
-        let flow = self.recurse(depth + 1, map, used, embedding, visitor);
-        used[t.index()] = false;
-        map[p.index()] = VertexId(u32::MAX);
-        visitor.unassign(p, t);
-        flow
+        bufs.map.clear();
+        bufs.map.resize(n, VertexId(u32::MAX));
+        bufs.used.clear();
+        bufs.used.resize(self.target.vertex_count(), false);
+        let ctx = self.ctx();
+        let SearchBuffers { map, used, embedding } = bufs;
+        let _ = ctx.recurse(0, map, used, embedding, visitor);
     }
 
     /// Calls `f` for every embedding; stop early by returning `Break`.
@@ -346,86 +627,120 @@ impl<'a> SubgraphMatcher<'a> {
     }
 }
 
-/// Matching order: connectivity-first greedy selection, guided by the
-/// target.
-///
-/// At every step the next pattern vertex is the unplaced one with
-///
-/// 1. the most already-placed neighbors (every placed neighbor is a
-///    structural constraint that fires the moment the vertex is tried —
-///    the core idea of VF2++'s ordering),
-/// 2. then the rarest label among target vertices (label-respecting
-///    configs only: fewer candidate images, smaller branching factor),
-/// 3. then the highest pattern degree (dense regions constrain first),
-/// 4. then the smallest id (determinism).
-///
-/// Because criterion 1 dominates, a vertex adjacent to the placed
-/// prefix is always preferred over starting a new region: each
-/// component is matched contiguously and every step after a
-/// component's first has an anchor.
-fn build_plan(pattern: &LabeledGraph, target: &LabeledGraph, config: IsoConfig) -> Vec<PlanStep> {
-    let n = pattern.vertex_count();
-    // How many target vertices could host each pattern vertex, by label.
-    // Erased/uniform labels make this a constant, disabling criterion 2.
-    let rarity: Vec<usize> = if config.respect_vertex_labels {
-        pattern
-            .vertex_ids()
-            .map(|p| {
-                let label = pattern.vertex(p).label;
-                target.vertex_ids().filter(|&t| target.vertex(t).label == label).count()
-            })
-            .collect()
-    } else {
-        vec![0; n]
-    };
-    let mut placed = vec![false; n];
-    let mut back_degree = vec![0usize; n];
-    let mut plan: Vec<PlanStep> = Vec::with_capacity(n);
-    for _ in 0..n {
-        let mut best: Option<VertexId> = None;
-        let mut best_key = (0usize, usize::MAX, 0usize, u32::MAX);
-        for v in pattern.vertex_ids() {
-            if placed[v.index()] {
-                continue;
+impl SearchCtx<'_> {
+    fn recurse(
+        &self,
+        depth: usize,
+        map: &mut Vec<VertexId>,
+        used: &mut [bool],
+        embedding: &mut Embedding,
+        visitor: &mut dyn MatchVisitor,
+    ) -> ControlFlow<()> {
+        if depth == self.plan.len() {
+            // One reusable buffer for every complete embedding the
+            // visitor sees: `clone_from` keeps its allocation alive
+            // across hits.
+            embedding.map.clone_from(map);
+            return visitor.complete(embedding);
+        }
+        let p = self.plan.vertex(depth);
+        match self.plan.anchor(depth) {
+            Some(q) => {
+                // Candidates: neighbors of the image of the anchor. The
+                // slice borrows the target, disjoint from `map`/`used`.
+                let image = map[q.index()];
+                for &(t, _) in self.target.neighbors(image) {
+                    self.try_candidate(depth, p, t, map, used, embedding, visitor)?;
+                }
             }
-            // Lexicographic: back-degree desc, rarity asc, degree desc,
-            // id asc — encoded so the largest tuple wins.
-            let key = (
-                back_degree[v.index()] + 1,
-                usize::MAX - rarity[v.index()],
-                pattern.degree(v),
-                u32::MAX - v.0,
-            );
-            if best.is_none() || key > best_key {
-                best = Some(v);
-                best_key = key;
+            None => {
+                for t in 0..self.target.vertex_count() as u32 {
+                    self.try_candidate(depth, p, VertexId(t), map, used, embedding, visitor)?;
+                }
             }
         }
-        let v = best.expect("an unplaced vertex remains");
-        placed[v.index()] = true;
-        for &(w, _) in pattern.neighbors(v) {
-            back_degree[w.index()] += 1;
+        ControlFlow::Continue(())
+    }
+
+    #[inline]
+    #[allow(clippy::too_many_arguments)] // private hot path; the args are the search state
+    fn try_candidate(
+        &self,
+        depth: usize,
+        p: VertexId,
+        t: VertexId,
+        map: &mut Vec<VertexId>,
+        used: &mut [bool],
+        embedding: &mut Embedding,
+        visitor: &mut dyn MatchVisitor,
+    ) -> ControlFlow<()> {
+        if used[t.index()] {
+            return ControlFlow::Continue(());
         }
-        // Anchor: the earliest-placed neighbor (its image bounds the
-        // candidate set); filled in below once positions are final.
-        plan.push(PlanStep { vertex: v, anchor: None, checks: Vec::new() });
+        if self.target.degree(t) < self.pattern.degree(p) {
+            return ControlFlow::Continue(());
+        }
+        if self.config.respect_vertex_labels
+            && self.pattern.vertex(p).label != self.target.vertex(t).label
+        {
+            return ControlFlow::Continue(());
+        }
+        for &(q, pe) in self.plan.checks(depth) {
+            let tq = map[q.index()];
+            if let Some(adj) = self.adj {
+                if !adj.contains(tq, t) {
+                    return ControlFlow::Continue(());
+                }
+                if self.config.respect_edge_labels {
+                    let te =
+                        self.target.edge_between(tq, t).expect("adjacency bit implies an edge");
+                    if self.pattern.edge(pe).attr.label != self.target.edge(te).attr.label {
+                        return ControlFlow::Continue(());
+                    }
+                }
+            } else {
+                let Some(te) = self.target.edge_between(tq, t) else {
+                    return ControlFlow::Continue(());
+                };
+                if self.config.respect_edge_labels
+                    && self.pattern.edge(pe).attr.label != self.target.edge(te).attr.label
+                {
+                    return ControlFlow::Continue(());
+                }
+            }
+        }
+        // One-level lookahead: `p` still has `deg(p) - placed` neighbors
+        // waiting to be placed (the plan fixes which neighbors are
+        // already mapped at each depth), and injectivity forces each
+        // onto a distinct unused neighbor of `t`. Skip `t` outright when
+        // it cannot supply that many — the subtree holds no complete
+        // embedding, so every visitor sees the same results.
+        let need = self.pattern.degree(p) - self.plan.checks(depth).len();
+        if need > 0 {
+            let mut have = 0;
+            for &(u, _) in self.target.neighbors(t) {
+                if !used[u.index()] {
+                    have += 1;
+                    if have == need {
+                        break;
+                    }
+                }
+            }
+            if have < need {
+                return ControlFlow::Continue(());
+            }
+        }
+        if !visitor.assign(p, t) {
+            return ControlFlow::Continue(());
+        }
+        map[p.index()] = t;
+        used[t.index()] = true;
+        let flow = self.recurse(depth + 1, map, used, embedding, visitor);
+        used[t.index()] = false;
+        map[p.index()] = VertexId(u32::MAX);
+        visitor.unassign(p, t);
+        flow
     }
-    debug_assert_eq!(plan.len(), n);
-    // Derive anchors and checks strictly by plan position.
-    let mut position = vec![usize::MAX; n];
-    for (i, step) in plan.iter().enumerate() {
-        position[step.vertex.index()] = i;
-    }
-    for (i, step) in plan.iter_mut().enumerate() {
-        step.checks = pattern
-            .neighbors(step.vertex)
-            .iter()
-            .filter(|(q, _)| position[q.index()] < i)
-            .map(|&(q, e)| (q, e))
-            .collect();
-        step.anchor = step.checks.iter().min_by_key(|(q, _)| position[q.index()]).map(|&(q, _)| q);
-    }
-    plan
 }
 
 /// Convenience: does `pattern ⊆ target` (structure-only by default)?
@@ -610,5 +925,85 @@ mod tests {
         images.sort();
         images.dedup();
         assert_eq!(images.len(), 6); // 6 distinct 3-vertex windows on C6
+    }
+
+    #[test]
+    fn borrowed_parts_run_the_same_search() {
+        // A structure plan built from the pattern alone, plus a rebuilt
+        // adjacency matrix, must enumerate the exact same embeddings in
+        // the exact same order as the owning constructor — across
+        // several targets sharing one plan and one bitset allocation.
+        let p = path_graph(3, l(0), l(0));
+        let mut plan = MatchPlan::new();
+        plan.rebuild_for_pattern(&p);
+        let mut adj = AdjBits::new();
+        let mut bufs = SearchBuffers::new();
+        for t in [
+            cycle_graph(6, l(0), l(0)),
+            complete_graph(4, l(0), l(0)),
+            star_graph(4, l(0), l(0)),
+            path_graph(2, l(0), l(0)), // pattern larger than target
+        ] {
+            let built = adj.rebuild(&t);
+            assert!(built);
+            let borrowed =
+                SubgraphMatcher::with_parts(&p, &t, IsoConfig::STRUCTURE, &plan, Some(&adj));
+            let mut got = Vec::new();
+            let mut collect = CollectVisitor {
+                on_complete: |e: &Embedding| {
+                    got.push(e.clone());
+                    ControlFlow::Continue(())
+                },
+            };
+            borrowed.search_with_buffers(&mut bufs, &mut collect);
+            assert_eq!(got, embeddings(&p, &t, IsoConfig::STRUCTURE));
+        }
+    }
+
+    #[test]
+    fn plan_rebuild_matches_fresh_plan() {
+        // Rebuilding a dirty plan in place yields the same order, checks
+        // and anchors as a fresh one.
+        let graphs =
+            [cycle_graph(5, l(0), l(1)), star_graph(4, l(2), l(0)), path_graph(6, l(0), l(0))];
+        let mut reused = MatchPlan::new();
+        for g in &graphs {
+            reused.rebuild_for_pattern(g);
+            let mut fresh = MatchPlan::new();
+            fresh.rebuild_for_pattern(g);
+            assert_eq!(reused.len(), fresh.len());
+            for d in 0..fresh.len() {
+                assert_eq!(reused.vertex(d), fresh.vertex(d));
+                assert_eq!(reused.anchor(d), fresh.anchor(d));
+                assert_eq!(reused.checks(d), fresh.checks(d));
+            }
+        }
+    }
+
+    #[test]
+    fn suffix_lower_bounds_accumulate_by_plan_depth() {
+        // Triangle: every vertex costs 1, every edge costs 10. The plan
+        // places 3 vertices; depth 1 still owes 2 vertices + all edges
+        // checked from depth 1 on. Attribution: the triangle's 3 edges
+        // split 1 at depth 1 (first anchored step) and 2 at depth 2.
+        let g = cycle_graph(3, l(0), l(0));
+        let mut plan = MatchPlan::new();
+        plan.rebuild_for_pattern(&g);
+        let vertex_floor = vec![1.0; 3];
+        let edge_floor = vec![10.0; 3];
+        let mut suffix = Vec::new();
+        plan.suffix_lower_bounds(&vertex_floor, &edge_floor, &mut suffix);
+        assert_eq!(suffix, vec![33.0, 32.0, 21.0, 0.0]);
+    }
+
+    #[test]
+    fn suffix_lower_bounds_propagate_infinity() {
+        let g = path_graph(2, l(0), l(0));
+        let mut plan = MatchPlan::new();
+        plan.rebuild_for_pattern(&g);
+        let mut suffix = Vec::new();
+        plan.suffix_lower_bounds(&[0.0, f64::INFINITY], &[0.0], &mut suffix);
+        assert!(suffix[0].is_infinite());
+        assert_eq!(*suffix.last().unwrap(), 0.0);
     }
 }

@@ -1,0 +1,206 @@
+//! Admissibility of [`MatchPlan::suffix_lower_bounds`], checked
+//! exhaustively.
+//!
+//! The verifier prunes a DFS branch when `paid + suffix[depth]` exceeds
+//! the budget, which is lossless only if `suffix[d]` never exceeds the
+//! cost any completion actually pays from depth `d` on. These tests
+//! enumerate *every* simple target graph on up to 6 vertices (all edge
+//! subsets of `K4`/`K5`, plus labeled `K6` itself), every embedding of a
+//! pattern family into each, and every depth of the plan — and assert
+//! the suffix bound is below the true remaining cost at each one, with
+//! the floor tables built exactly like the distance kernels build them
+//! (degree-compatible vertex minima, sorted-degree-dominating edge
+//! minima).
+
+use pis_graph::iso::{IsoConfig, MatchPlan, SubgraphMatcher};
+use pis_graph::{EdgeAttr, GraphBuilder, Label, LabeledGraph, VertexAttr};
+
+/// Toy per-element cost: absolute label difference. Strictly positive
+/// off-diagonal, zero on the diagonal — the same shape as a mutation
+/// score matrix.
+fn cost(a: Label, b: Label) -> f64 {
+    (a.0 as f64 - b.0 as f64).abs()
+}
+
+/// Builds the graph on `n` vertices with the given edges; labels are a
+/// deterministic function of position so different edge subsets get
+/// different-but-collision-rich labelings.
+fn labeled(n: usize, edges: &[(usize, usize)], scheme: u32) -> LabeledGraph {
+    let mut b = GraphBuilder::new();
+    let vs: Vec<_> =
+        (0..n).map(|i| b.add_vertex(VertexAttr::labeled(Label((i as u32 + scheme) % 3)))).collect();
+    for &(u, v) in edges {
+        b.add_edge(vs[u], vs[v], EdgeAttr::labeled(Label((u as u32 + v as u32 + scheme) % 3)))
+            .expect("edge subsets are simple");
+    }
+    b.build()
+}
+
+/// All simple graphs on exactly `n` vertices: one graph per subset of
+/// the `n(n-1)/2` possible edges.
+fn all_graphs(n: usize, scheme: u32) -> Vec<LabeledGraph> {
+    let pairs: Vec<(usize, usize)> = (0..n).flat_map(|u| (u + 1..n).map(move |v| (u, v))).collect();
+    (0u32..1 << pairs.len())
+        .map(|mask| {
+            let edges: Vec<(usize, usize)> = pairs
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &p)| p)
+                .collect();
+            labeled(n, &edges, scheme)
+        })
+        .collect()
+}
+
+/// Floor tables mirroring `pis_distance`'s generic kernels: per pattern
+/// vertex the cheapest degree-compatible target vertex, per pattern edge
+/// the cheapest target edge whose sorted endpoint degrees dominate.
+fn floors(pattern: &LabeledGraph, target: &LabeledGraph) -> (Vec<f64>, Vec<f64>) {
+    let vertex_floor: Vec<f64> = pattern
+        .vertex_ids()
+        .map(|p| {
+            target
+                .vertex_ids()
+                .filter(|&t| target.degree(t) >= pattern.degree(p))
+                .map(|t| cost(pattern.vertex(p).label, target.vertex(t).label))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    let sorted_degrees = |g: &LabeledGraph, u, v| {
+        let (a, b) = (g.degree(u), g.degree(v));
+        (a.min(b), a.max(b))
+    };
+    let edge_floor: Vec<f64> = pattern
+        .edges()
+        .iter()
+        .map(|pe| {
+            let (plo, phi) = sorted_degrees(pattern, pe.source, pe.target);
+            target
+                .edges()
+                .iter()
+                .filter(|te| {
+                    let (tlo, thi) = sorted_degrees(target, te.source, te.target);
+                    tlo >= plo && thi >= phi
+                })
+                .map(|te| cost(pe.attr.label, te.attr.label))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    (vertex_floor, edge_floor)
+}
+
+/// For every embedding of `pattern` into `target` and every plan depth,
+/// asserts `suffix[d] ≤` the cost the embedding actually pays from depth
+/// `d` on (vertex cost at each step plus the edges its checks close).
+fn assert_admissible(pattern: &LabeledGraph, target: &LabeledGraph) {
+    let mut plan = MatchPlan::new();
+    plan.rebuild_for_pattern(pattern);
+    let (vertex_floor, edge_floor) = floors(pattern, target);
+    let mut suffix = Vec::new();
+    plan.suffix_lower_bounds(&vertex_floor, &edge_floor, &mut suffix);
+    let n = plan.len();
+    assert_eq!(suffix.len(), n + 1);
+    assert_eq!(suffix[n], 0.0, "nothing remains past the last depth");
+    for d in 0..n {
+        assert!(suffix[d] >= suffix[d + 1], "suffix bounds must decrease monotonically");
+    }
+    for emb in SubgraphMatcher::new(pattern, target, IsoConfig::STRUCTURE).all() {
+        // Cost paid at each plan depth by this embedding.
+        let step_cost: Vec<f64> = (0..n)
+            .map(|d| {
+                let p = plan.vertex(d);
+                let mut c = cost(pattern.vertex(p).label, target.vertex(emb.vertex_image(p)).label);
+                for &(_, pe) in plan.checks(d) {
+                    let te = emb.edge_image(pattern, target, pe);
+                    c += cost(pattern.edge(pe).attr.label, target.edge(te).attr.label);
+                }
+                c
+            })
+            .collect();
+        let mut remaining = 0.0;
+        for d in (0..n).rev() {
+            remaining += step_cost[d];
+            assert!(
+                suffix[d] <= remaining,
+                "suffix[{d}] = {} exceeds true remaining cost {} \
+                 (pattern {:?}, embedding {:?})",
+                suffix[d],
+                remaining,
+                pattern,
+                emb.vertex_map()
+            );
+        }
+        // An embedding exists, so no floor on its steps may be infinite.
+        assert!(suffix[0].is_finite(), "a matched pair cannot have an infinite floor");
+    }
+}
+
+/// The pattern family: every connected graph on 2–3 vertices plus two
+/// 4-vertex shapes (path and triangle-with-tail), under both label
+/// schemes.
+fn patterns() -> Vec<LabeledGraph> {
+    let mut out = Vec::new();
+    for scheme in [0, 1] {
+        out.push(labeled(2, &[(0, 1)], scheme));
+        out.push(labeled(3, &[(0, 1), (1, 2)], scheme));
+        out.push(labeled(3, &[(0, 1), (0, 2)], scheme));
+        out.push(labeled(3, &[(0, 1), (1, 2), (0, 2)], scheme));
+        out.push(labeled(4, &[(0, 1), (1, 2), (2, 3)], scheme));
+        out.push(labeled(4, &[(0, 1), (1, 2), (0, 2), (2, 3)], scheme));
+    }
+    out
+}
+
+#[test]
+fn suffix_bound_is_admissible_on_all_4_vertex_targets() {
+    for target in all_graphs(4, 0).iter().chain(all_graphs(4, 1).iter()) {
+        for pattern in &patterns() {
+            assert_admissible(pattern, target);
+        }
+    }
+}
+
+#[test]
+fn suffix_bound_is_admissible_on_all_5_vertex_targets() {
+    for target in &all_graphs(5, 0) {
+        for pattern in &patterns() {
+            assert_admissible(pattern, target);
+        }
+    }
+}
+
+#[test]
+fn suffix_bound_is_admissible_on_dense_6_vertex_targets() {
+    // All 2^15 six-vertex graphs would dominate the suite's runtime;
+    // K6 and K6-minus-a-perfect-matching cover the embedding-richest
+    // ones, where a too-tight bound has the most chances to overshoot.
+    let complete: Vec<(usize, usize)> =
+        (0..6).flat_map(|u| (u + 1..6).map(move |v| (u, v))).collect();
+    let minus_matching: Vec<(usize, usize)> =
+        complete.iter().copied().filter(|&e| ![(0, 1), (2, 3), (4, 5)].contains(&e)).collect();
+    for scheme in [0, 1] {
+        for edges in [&complete, &minus_matching] {
+            let target = labeled(6, edges, scheme);
+            for pattern in &patterns() {
+                assert_admissible(pattern, &target);
+            }
+        }
+    }
+}
+
+#[test]
+fn no_compatible_image_floors_to_infinity() {
+    // A 3-star pattern needs a degree-3 target vertex; a triangle target
+    // has none, so the center's floor — and the whole suffix — must be
+    // infinite, refuting the pair before any DFS runs.
+    let star = labeled(4, &[(0, 1), (0, 2), (0, 3)], 0);
+    let triangle = labeled(3, &[(0, 1), (1, 2), (0, 2)], 0);
+    let mut plan = MatchPlan::new();
+    plan.rebuild_for_pattern(&star);
+    let (vertex_floor, edge_floor) = floors(&star, &triangle);
+    let mut suffix = Vec::new();
+    plan.suffix_lower_bounds(&vertex_floor, &edge_floor, &mut suffix);
+    assert!(suffix[0].is_infinite());
+    assert!(SubgraphMatcher::new(&star, &triangle, IsoConfig::STRUCTURE).all().is_empty());
+}

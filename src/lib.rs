@@ -60,7 +60,10 @@ use pis_mining::{FeatureSet, GindexConfig};
 /// Everything needed for typical use.
 pub mod prelude {
     pub use crate::{FeatureSource, PisSystem, PisSystemBuilder};
-    pub use pis_core::{PartitionAlgo, PisConfig, SearchOutcome, SearchScratch, SearchStats};
+    pub use pis_core::{
+        PartitionAlgo, PisConfig, SearchOutcome, SearchScratch, SearchStats, VerifyScratch,
+        VerifyStats,
+    };
     pub use pis_datasets::{DatasetStats, MoleculeConfig, MoleculeGenerator};
     pub use pis_distance::{LinearDistance, MutationDistance, ScoreMatrix, SuperimposedDistance};
     pub use pis_graph::{

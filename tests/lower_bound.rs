@@ -75,8 +75,51 @@ fn eq2_on_the_running_example() {
     }
 }
 
+#[test]
+fn eq2_edge_hamming_with_duplicate_labels() {
+    // Duplicate edge labels are where fragment bounds are loosest: each
+    // carved piece can claim the target's cheap edges independently,
+    // while the whole query competes for them once. The query asks for
+    // four label-1 edges but the alternating target supplies only
+    // three, so every superposition pays at least one substitution.
+    let md = MutationDistance::edge_hamming();
+    let q = ring(&[1, 1, 1, 1, 2, 2]);
+    let g = ring(&[1, 2, 1, 2, 1, 2]);
+    let dq = min_superimposed_distance_brute(&q, &g, &md).expect("isomorphic rings");
+    assert_eq!(dq, 3.0);
+    for piece in 1..=3 {
+        let parts = carve_partition(&q, piece);
+        let sum: f64 =
+            parts.iter().filter_map(|p| min_superimposed_distance_brute(p, &g, &md)).sum();
+        assert!(sum <= dq + 1e-9, "piece {piece}: Eq. 2 violated: {sum} > {dq}");
+    }
+    // The verifier's pair precheck sees exactly this deficit: one
+    // missing label-1 edge at unit substitution cost. It must stay
+    // below the true distance (admissible) while still being positive
+    // (it refutes nothing here, but tightens the suffix bound).
+    let lb = md.pair_lower_bound(&q, &g);
+    assert_eq!(lb, 1.0);
+    assert!(lb <= dq);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The pair-level precheck bound stays below the true distance on
+    /// random contained pairs — for both mutation score matrices, and
+    /// regardless of how many duplicate labels the strategies emit.
+    #[test]
+    fn pair_lower_bound_is_admissible(
+        q in connected_graph(5, 2, 2),
+        g in connected_graph(7, 3, 2),
+        unit in prop::sample::select(vec![false, true]),
+    ) {
+        let md = if unit { MutationDistance::unit() } else { MutationDistance::edge_hamming() };
+        if let Some(dq) = min_superimposed_distance_brute(&q, &g, &md) {
+            let lb = md.pair_lower_bound(&q, &g);
+            prop_assert!(lb <= dq + 1e-9, "pair bound {} exceeds true distance {}", lb, dq);
+        }
+    }
 
     /// Eq. (2) under the mutation distance on random pairs.
     #[test]

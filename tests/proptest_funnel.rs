@@ -203,6 +203,51 @@ proptest! {
         );
     }
 
+    /// Best-first verification scheduling (the default) is a pure work
+    /// optimization: against stream-order scheduling
+    /// (`best_first_verify: false`, the seed schedule) it returns the
+    /// identical neighbor set with bit-identical distances, the same
+    /// final radius, the same round count and the same distinct-reuse
+    /// statistic — while never making *more* verification calls. Only
+    /// the terminal round ever tightens budgets or skips, so every
+    /// widening decision is shared between the two schedules.
+    #[test]
+    fn best_first_knn_matches_stream_order(
+        db in graph_database(8, 6, 3),
+        query in connected_graph(5, 2, 3),
+        k in 1usize..6,
+        initial_radius in prop::sample::select(vec![0.25, 0.5, 1.0]),
+    ) {
+        let system = PisSystem::builder()
+            .mutation_distance(MutationDistance::edge_hamming())
+            .exhaustive_features(3)
+            .build(db);
+        let best_first = system.searcher();
+        let stream = PisSearcher::new(
+            system.index(),
+            system.database(),
+            PisConfig { best_first_verify: false, ..PisConfig::default() },
+        );
+        let max_radius = (query.edge_count() as f64).max(1.0);
+        let a = best_first.knn(&query, k, initial_radius, max_radius);
+        let b = stream.knn(&query, k, initial_radius, max_radius);
+        let pairs = |o: &pis::core::KnnOutcome| -> Vec<(GraphId, u64)> {
+            o.neighbors.iter().map(|n| (n.graph, n.distance.to_bits())).collect()
+        };
+        prop_assert_eq!(pairs(&a), pairs(&b), "neighbor sets diverge");
+        prop_assert_eq!(a.radius.to_bits(), b.radius.to_bits(), "final radius diverges");
+        prop_assert_eq!(a.rounds, b.rounds, "widening schedule diverges");
+        prop_assert_eq!(
+            a.reused_verifications, b.reused_verifications,
+            "cross-round reuse diverges"
+        );
+        prop_assert!(
+            a.verification_calls <= b.verification_calls,
+            "best-first must not verify more: {} vs {}",
+            a.verification_calls, b.verification_calls
+        );
+    }
+
     /// Pruning-only configurations (the figures' setting) agree too —
     /// candidates are the observable there, not answers. All three
     /// partition algorithms run, so the mask-native stage is held to
