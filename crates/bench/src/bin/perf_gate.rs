@@ -48,6 +48,11 @@ struct Snapshot {
     db_size: u64,
     queries: u64,
     rows: Vec<Row>,
+    /// `enabled_count_drift` of the snapshot's `budget` line, when
+    /// present: the answer-count difference between a budget-disabled
+    /// run and an enabled-but-unlimited one. Anything but zero means
+    /// the budget machinery changed behavior.
+    budget_drift: Option<u64>,
 }
 
 fn main() -> ExitCode {
@@ -133,6 +138,16 @@ fn gate(
             fresh.db_size, fresh.queries, committed.db_size, committed.queries
         ));
     }
+    // The budget fingerprint: an enabled-but-unlimited budget must
+    // answer exactly like the disabled default.
+    if let Some(drift) = fresh.budget_drift {
+        if drift != 0 {
+            return Err(format!(
+                "budget line reports enabled_count_drift {drift}: enabling an \
+                 unlimited budget changed answer counts"
+            ));
+        }
+    }
     let find = |snap: &Snapshot, name: &str, variant: &str, sigma: f64| {
         snap.rows
             .iter()
@@ -203,12 +218,15 @@ fn gate(
 fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
     let mut db_size = None;
     let mut queries = None;
+    let mut budget_drift = None;
     let mut rows = Vec::new();
     for line in text.lines() {
         let t = line.trim();
         if t.starts_with("\"scale\"") {
             db_size = Some(num_field(t, "db_size")? as u64);
             queries = Some(num_field(t, "queries")? as u64);
+        } else if t.starts_with("\"budget\"") {
+            budget_drift = Some(num_field(t, "enabled_count_drift")? as u64);
         } else if t.starts_with("{\"name\"") {
             rows.push(Row {
                 name: str_field(t, "name")?,
@@ -226,6 +244,7 @@ fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
         db_size: db_size.ok_or("missing scale.db_size")?,
         queries: queries.ok_or("missing scale.queries")?,
         rows,
+        budget_drift,
     })
 }
 
@@ -313,6 +332,25 @@ mod tests {
         let err = gate(&fresh, &committed, "pis_full", 1.2, true).unwrap_err();
         assert!(err.contains("count mismatch"), "{err}");
         assert!(err.contains("verification"), "{err}");
+    }
+
+    #[test]
+    fn budget_line_is_parsed_and_gated() {
+        let with_budget = SNAP.replace(
+            "  \"iters\": 3,",
+            "  \"iters\": 3,\n  \"budget\": {\"overhead_ns_per_query\": 120, \
+             \"enabled_count_drift\": 0, \"tripped_checkpoints\": 9, \"tripped_work_units\": 640},",
+        );
+        let fresh = parse_snapshot(&with_budget).unwrap();
+        assert_eq!(fresh.budget_drift, Some(0));
+        let committed = parse_snapshot(SNAP).unwrap();
+        assert_eq!(committed.budget_drift, None, "older snapshots lack the line");
+        assert!(gate(&fresh, &committed, "pis_full", 1.2, true).is_ok());
+        // A nonzero drift means the budget machinery changed behavior.
+        let mut drifted = fresh.clone();
+        drifted.budget_drift = Some(2);
+        let err = gate(&drifted, &committed, "pis_full", 1.2, true).unwrap_err();
+        assert!(err.contains("enabled_count_drift"), "{err}");
     }
 
     #[test]

@@ -37,7 +37,9 @@ use std::time::Instant;
 
 use pis_bench::pipeline_workload::{MAX_FRAGMENT_EDGES, QUERY_EDGES, SIGMAS};
 use pis_bench::{pipeline_workload, ExperimentScale, TestBed};
-use pis_core::{naive_scan, topo_prune, PisConfig, PisSearcher, SearchScratch};
+use pis_core::{
+    naive_scan, topo_prune, Completeness, PisConfig, PisSearcher, QueryBudget, SearchScratch,
+};
 use pis_distance::MutationDistance;
 use pis_graph::LabeledGraph;
 
@@ -217,8 +219,17 @@ fn main() {
         }));
     }
     check_fingerprints(&rows);
+    let budget = measure_budget(&full, &queries, iters);
+    eprintln!(
+        "[pipeline_bench] budget: {:.0}ns/query overhead enabled-vs-disabled, \
+         count drift {}, {} checkpoints / {} work units on tripped runs",
+        budget.overhead_ns_per_query,
+        budget.enabled_count_drift,
+        budget.tripped_checkpoints,
+        budget.tripped_work_units
+    );
 
-    let json = render_json(&scale, &queries, iters, &prune_cfg, &rows);
+    let json = render_json(&scale, &queries, iters, &prune_cfg, &rows, &budget);
     std::fs::write(&out_path, &json).expect("cannot write benchmark JSON");
     println!("{json}");
     eprintln!("[pipeline_bench] wrote {out_path}");
@@ -274,6 +285,72 @@ fn measure_phase(
     Row { name, variant, sigma, min_ms, mean_ms: total_ms / iters.max(1) as f64, count }
 }
 
+/// The JSON `budget` line: what the budget machinery costs and does on
+/// this workload.
+struct BudgetLine {
+    /// Per-query overhead (min over iters) of an enabled but
+    /// never-tripping budget over the disabled default — the price of
+    /// checkpoint accounting when a caller sets any limit.
+    overhead_ns_per_query: f64,
+    /// Total answer-count difference between those two runs. Must be
+    /// zero — an unlimited budget may not change behavior; `perf_gate`
+    /// fails on any other value.
+    enabled_count_drift: u64,
+    /// Checkpoints consulted across deliberately tripped runs (a small
+    /// node budget), summed over the query set.
+    tripped_checkpoints: u64,
+    /// Work units charged across those tripped runs.
+    tripped_work_units: u64,
+}
+
+/// Measures the budget machinery on the full pipeline at the largest
+/// sigma (the most checkpoints per query).
+fn measure_budget(full: &PisSearcher<'_>, queries: &[LabeledGraph], iters: usize) -> BudgetLine {
+    let sigma = *SIGMAS.last().expect("sigma set is non-empty");
+    let disabled = QueryBudget::unlimited();
+    let enabled = QueryBudget { node_limit: Some(u64::MAX), ..QueryBudget::default() };
+    let mut scratch = SearchScratch::new();
+    let mut run = |budget: &QueryBudget| -> (usize, f64) {
+        let t = Instant::now();
+        let answers = queries
+            .iter()
+            .map(|q| {
+                full.search_budgeted_with_scratch(q, sigma, budget, &mut scratch).answers.len()
+            })
+            .sum();
+        (answers, t.elapsed().as_nanos() as f64)
+    };
+    run(&disabled); // warm-up
+    let mut disabled_ns = f64::INFINITY;
+    let mut enabled_ns = f64::INFINITY;
+    let mut drift = 0u64;
+    for _ in 0..iters.max(1) {
+        let (a, ns) = run(&disabled);
+        disabled_ns = disabled_ns.min(ns);
+        let (b, ns) = run(&enabled);
+        enabled_ns = enabled_ns.min(ns);
+        drift += a.abs_diff(b) as u64;
+    }
+    // Deliberately tripped runs: the truncated outcomes report how many
+    // checkpoints were consulted on the way down.
+    let tripping = QueryBudget { node_limit: Some(64), ..QueryBudget::default() };
+    let mut tripped_checkpoints = 0u64;
+    let mut tripped_work_units = 0u64;
+    for q in queries {
+        let outcome = full.search_budgeted_with_scratch(q, sigma, &tripping, &mut scratch);
+        if let Completeness::Truncated { stats, .. } = outcome.completeness {
+            tripped_checkpoints += stats.checkpoints;
+            tripped_work_units += stats.work_units;
+        }
+    }
+    BudgetLine {
+        overhead_ns_per_query: (enabled_ns - disabled_ns) / queries.len().max(1) as f64,
+        enabled_count_drift: drift,
+        tripped_checkpoints,
+        tripped_work_units,
+    }
+}
+
 /// Optimized and reference rows of the same experiment must agree on
 /// their candidate/answer totals, and the partition-phase rows (which
 /// run the same prune traversal) must reproduce the pis_prune
@@ -307,6 +384,7 @@ fn render_json(
     iters: usize,
     cfg: &PisConfig,
     rows: &[Row],
+    budget: &BudgetLine,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -328,6 +406,18 @@ fn render_json(
         s,
         "  \"thresholds\": {{\"parallel_fragment\": {}, \"parallel_verify\": {}}},",
         cfg.parallel_fragment_threshold, cfg.parallel_verify_threshold
+    );
+    // The budget machinery, measured rather than asserted: overhead of
+    // enabled-but-unlimited over disabled, behavior drift between the
+    // two (gated to zero by `perf_gate`), and checkpoint counters from
+    // tripped runs.
+    let _ = writeln!(
+        s,
+        "  \"budget\": {{\"overhead_ns_per_query\": {:.0}, \"enabled_count_drift\": {}, \"tripped_checkpoints\": {}, \"tripped_work_units\": {}}},",
+        budget.overhead_ns_per_query,
+        budget.enabled_count_drift,
+        budget.tripped_checkpoints,
+        budget.tripped_work_units
     );
     s.push_str("  \"experiments\": [\n");
     for (i, r) in rows.iter().enumerate() {

@@ -79,6 +79,11 @@ pub struct WorkloadReport {
     pub latency: Aggregate,
     /// Total wall time of the run.
     pub total_time: Duration,
+    /// Queries whose outcome was budget-truncated (0 when the
+    /// searcher's configured [`QueryBudget`](pis_graph::budget::QueryBudget)
+    /// is unlimited). Truncated queries still contribute their
+    /// best-effort counts to every aggregate.
+    pub truncated: usize,
 }
 
 impl fmt::Display for WorkloadReport {
@@ -90,6 +95,9 @@ impl fmt::Display for WorkloadReport {
         writeln!(f, "  after structure check  {}", self.after_structure)?;
         writeln!(f, "  answers                {}", self.answers)?;
         writeln!(f, "  latency (ms)           {}", self.latency)?;
+        if self.truncated > 0 {
+            writeln!(f, "  truncated              {} of {} queries", self.truncated, self.queries)?;
+        }
         write!(f, "  total                  {:?}", self.total_time)
     }
 }
@@ -123,6 +131,7 @@ pub fn run_workload(
                 outcome.stats.candidates_after_structure as f64,
                 outcome.answers.len() as f64,
                 latency_ms,
+                !outcome.completeness.is_exact(),
             )
         },
     );
@@ -132,13 +141,15 @@ pub fn run_workload(
     let mut structure = Vec::with_capacity(queries.len());
     let mut answers = Vec::with_capacity(queries.len());
     let mut latency = Vec::with_capacity(queries.len());
-    for (f, i, p, s, a, l) in per_query {
+    let mut truncated = 0;
+    for (f, i, p, s, a, l, t) in per_query {
         fragments.push(f);
         inter.push(i);
         part.push(p);
         structure.push(s);
         answers.push(a);
         latency.push(l);
+        truncated += usize::from(t);
     }
     WorkloadReport {
         queries: queries.len(),
@@ -150,6 +161,7 @@ pub fn run_workload(
         answers: Aggregate::of(&answers),
         latency: Aggregate::of(&latency),
         total_time: started.elapsed(),
+        truncated,
     }
 }
 
@@ -201,6 +213,32 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("workload: 2 queries"));
         assert!(text.contains("after partition bound"));
+    }
+
+    #[test]
+    fn workload_counts_truncated_queries() {
+        let db = vec![ring(&[1, 1, 1, 1]), ring(&[1, 1, 2, 2]), ring(&[2, 2, 2, 2])];
+        let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+        let index = FragmentIndex::build(
+            &db,
+            exhaustive_features(&structures, 3),
+            IndexDistance::Mutation(MutationDistance::edge_hamming()),
+            &IndexConfig::default(),
+        );
+        let config = PisConfig {
+            budget: pis_graph::budget::QueryBudget { node_limit: Some(1), ..Default::default() },
+            ..PisConfig::default()
+        };
+        let searcher = PisSearcher::new(&index, &db, config);
+        let queries = vec![ring(&[1, 1, 1, 1]), ring(&[2, 2, 2, 2])];
+        let report = run_workload(&searcher, &queries, 1.0);
+        assert_eq!(report.truncated, 2, "a one-unit budget truncates every query");
+        assert!(report.to_string().contains("truncated"));
+        // An unlimited workload reports zero and omits the line.
+        let searcher = PisSearcher::new(&index, &db, PisConfig::default());
+        let report = run_workload(&searcher, &queries, 1.0);
+        assert_eq!(report.truncated, 0);
+        assert!(!report.to_string().contains("truncated"));
     }
 
     #[test]

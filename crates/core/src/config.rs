@@ -1,5 +1,7 @@
 //! Search-time configuration.
 
+use pis_graph::budget::QueryBudget;
+
 /// Which MWIS algorithm picks the partition (Section 5).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum PartitionAlgo {
@@ -56,6 +58,14 @@ pub struct PisConfig {
     /// `false` keeps candidate-id stream order (the seed schedule);
     /// both orders return identical neighbors.
     pub best_first_verify: bool,
+    /// Per-query resource budget (deadline, work-unit limit,
+    /// cancellation token). The default is unlimited; searches under a
+    /// limited budget degrade gracefully and mark their outcome
+    /// [`Truncated`](crate::Completeness::Truncated) instead of
+    /// blocking. A per-call budget
+    /// ([`PisSearcher::search_budgeted`](crate::PisSearcher::search_budgeted))
+    /// overrides this one.
+    pub budget: QueryBudget,
 }
 
 /// Default [`PisConfig::parallel_fragment_threshold`].
@@ -75,6 +85,7 @@ impl Default for PisConfig {
             parallel_fragment_threshold: DEFAULT_PARALLEL_FRAGMENT_THRESHOLD,
             parallel_verify_threshold: DEFAULT_PARALLEL_VERIFY_THRESHOLD,
             best_first_verify: true,
+            budget: QueryBudget::unlimited(),
         }
     }
 }
@@ -94,5 +105,6 @@ mod tests {
         assert_eq!(c.parallel_fragment_threshold, DEFAULT_PARALLEL_FRAGMENT_THRESHOLD);
         assert_eq!(c.parallel_verify_threshold, DEFAULT_PARALLEL_VERIFY_THRESHOLD);
         assert!(c.best_first_verify);
+        assert!(!c.budget.is_limited(), "the default budget is unlimited");
     }
 }

@@ -1,0 +1,113 @@
+//! Typed errors for API-boundary validation.
+//!
+//! The search entry points accept floating-point parameters and
+//! user-supplied query graphs; a NaN threshold or an infinite edge
+//! weight would otherwise propagate silently through the funnel (NaN
+//! comparisons are all-false, so pruning decisions become arbitrary).
+//! The `try_` variants reject such inputs up front with a [`QueryError`]
+//! instead.
+
+use std::fmt;
+
+use pis_graph::LabeledGraph;
+
+/// A query rejected at the API boundary before any search work ran.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum QueryError {
+    /// The threshold `σ` must be finite and non-negative.
+    InvalidSigma(f64),
+    /// A query vertex or edge carries a non-finite weight.
+    NonFiniteQueryWeight,
+    /// kNN radius bounds must be finite with
+    /// `0 ≤ initial_radius ≤ max_radius`.
+    InvalidRadiusBounds {
+        /// The rejected initial radius.
+        initial_radius: f64,
+        /// The rejected radius cap.
+        max_radius: f64,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::InvalidSigma(sigma) => {
+                write!(f, "invalid sigma {sigma}: must be finite and non-negative")
+            }
+            QueryError::NonFiniteQueryWeight => {
+                write!(f, "query graph carries a non-finite vertex or edge weight")
+            }
+            QueryError::InvalidRadiusBounds { initial_radius, max_radius } => write!(
+                f,
+                "invalid radius bounds [{initial_radius}, {max_radius}]: \
+                 need finite 0 <= initial <= max"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Validates the query graph's weights.
+pub(crate) fn validate_query(query: &LabeledGraph) -> Result<(), QueryError> {
+    let vertex_weights =
+        (0..query.vertex_count()).map(|v| query.vertex(pis_graph::VertexId(v as u32)).weight);
+    let edge_weights = query.edges().iter().map(|e| e.attr.weight);
+    if vertex_weights.chain(edge_weights).any(|w| !w.is_finite()) {
+        return Err(QueryError::NonFiniteQueryWeight);
+    }
+    Ok(())
+}
+
+/// Validates a range-query threshold.
+pub(crate) fn validate_sigma(sigma: f64) -> Result<(), QueryError> {
+    if !sigma.is_finite() || sigma < 0.0 {
+        return Err(QueryError::InvalidSigma(sigma));
+    }
+    Ok(())
+}
+
+/// Validates kNN radius bounds.
+pub(crate) fn validate_radii(initial_radius: f64, max_radius: f64) -> Result<(), QueryError> {
+    if !initial_radius.is_finite()
+        || !max_radius.is_finite()
+        || initial_radius < 0.0
+        || max_radius < initial_radius
+    {
+        return Err(QueryError::InvalidRadiusBounds { initial_radius, max_radius });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma_validation() {
+        assert!(validate_sigma(0.0).is_ok());
+        assert!(validate_sigma(3.5).is_ok());
+        assert_eq!(validate_sigma(-1.0), Err(QueryError::InvalidSigma(-1.0)));
+        assert!(matches!(validate_sigma(f64::NAN), Err(QueryError::InvalidSigma(_))));
+        assert!(matches!(validate_sigma(f64::INFINITY), Err(QueryError::InvalidSigma(_))));
+    }
+
+    #[test]
+    fn radius_validation() {
+        assert!(validate_radii(0.5, 2.0).is_ok());
+        assert!(validate_radii(0.0, 0.0).is_ok());
+        assert!(validate_radii(5.0, 1.0).is_err());
+        assert!(validate_radii(f64::NAN, 1.0).is_err());
+        assert!(validate_radii(0.0, f64::INFINITY).is_err());
+        assert!(validate_radii(-0.5, 1.0).is_err());
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = QueryError::InvalidSigma(f64::NAN);
+        assert!(e.to_string().contains("sigma"));
+        let e = QueryError::InvalidRadiusBounds { initial_radius: 2.0, max_radius: 1.0 };
+        assert!(e.to_string().contains("radius"));
+        assert!(QueryError::NonFiniteQueryWeight.to_string().contains("weight"));
+    }
+}

@@ -9,7 +9,7 @@ use std::fmt::Write as _;
 
 use pis_index::FragmentIndex;
 
-use crate::search::SearchOutcome;
+use crate::search::{Completeness, SearchOutcome};
 
 /// Renders the pruning funnel of one search.
 ///
@@ -63,6 +63,21 @@ pub fn explain(outcome: &SearchOutcome, index: &FragmentIndex, sigma: f64) -> St
     );
     let _ = writeln!(out, "  verification         {:>8}  calls", s.verification_calls);
     let _ = writeln!(out, "  answers              {:>8}", outcome.answers.len());
+    if let Completeness::Truncated { phase, stats } = &outcome.completeness {
+        let _ = writeln!(
+            out,
+            "  possible             {:>8}  (verification interrupted)",
+            outcome.possible.len()
+        );
+        let _ = writeln!(
+            out,
+            "  TRUNCATED in {} after {} checkpoints / {} work units; \
+             answers are verified, `possible` graphs are undecided",
+            phase.name(),
+            stats.checkpoints,
+            stats.work_units
+        );
+    }
     out
 }
 

@@ -33,10 +33,12 @@
 //!
 //! [`PisConfig::best_first_verify`]: crate::PisConfig::best_first_verify
 
+use pis_graph::budget::{BudgetState, CheckpointSite, QueryBudget};
 use pis_graph::util::FxHashMap;
 use pis_graph::{GraphId, LabeledGraph};
 
-use crate::search::{distance_dyn, PisSearcher, SearchScratch};
+use crate::error::{validate_query, validate_radii, QueryError};
+use crate::search::{distance_dyn, Completeness, PisSearcher, SearchScratch};
 
 /// One k-NN result.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -51,10 +53,20 @@ pub struct Neighbor {
 #[derive(Clone, Debug)]
 pub struct KnnOutcome {
     /// Up to `k` nearest graphs, ordered by distance then id. Fewer than
-    /// `k` when the database holds fewer structural matches.
+    /// `k` when the database holds fewer structural matches — or when
+    /// the budget tripped, in which case they are the best neighbors
+    /// found so far (each with its exact distance).
     pub neighbors: Vec<Neighbor>,
     /// The final search radius used.
     pub radius: f64,
+    /// The largest radius the search fully certified: every structural
+    /// match within it is guaranteed to appear in `neighbors` (up to
+    /// `k`). Equals `radius` when the search completed; the last fully
+    /// finished doubling round's radius when the budget tripped (`0.0`
+    /// if no round finished).
+    pub certified_radius: f64,
+    /// Whether the search ran to completion or its budget tripped.
+    pub completeness: Completeness,
     /// Total verification calls across all radius rounds.
     pub verification_calls: usize,
     /// Distinct candidates whose exact distance, resolved in an earlier
@@ -83,10 +95,56 @@ impl PisSearcher<'_> {
         initial_radius: f64,
         max_radius: f64,
     ) -> KnnOutcome {
+        let budget = BudgetState::new(&self.config().budget);
+        self.knn_with_state(query, k, initial_radius, max_radius, &budget)
+    }
+
+    /// [`PisSearcher::knn`] under a per-call [`QueryBudget`]. When the
+    /// budget trips, the outcome holds the best-so-far neighbors, the
+    /// radius the search actually certified
+    /// ([`KnnOutcome::certified_radius`]), and a
+    /// [`Truncated`](Completeness::Truncated) marker.
+    pub fn knn_budgeted(
+        &self,
+        query: &LabeledGraph,
+        k: usize,
+        initial_radius: f64,
+        max_radius: f64,
+        budget: &QueryBudget,
+    ) -> KnnOutcome {
+        let state = BudgetState::new(budget);
+        self.knn_with_state(query, k, initial_radius, max_radius, &state)
+    }
+
+    /// [`PisSearcher::knn`] with boundary validation: rejects
+    /// non-finite or inverted radius bounds and non-finite query
+    /// weights with a typed [`QueryError`] instead of panicking.
+    pub fn try_knn(
+        &self,
+        query: &LabeledGraph,
+        k: usize,
+        initial_radius: f64,
+        max_radius: f64,
+    ) -> Result<KnnOutcome, QueryError> {
+        validate_radii(initial_radius, max_radius)?;
+        validate_query(query)?;
+        Ok(self.knn(query, k, initial_radius, max_radius))
+    }
+
+    fn knn_with_state(
+        &self,
+        query: &LabeledGraph,
+        k: usize,
+        initial_radius: f64,
+        max_radius: f64,
+        budget: &BudgetState,
+    ) -> KnnOutcome {
         assert!(initial_radius >= 0.0 && max_radius >= initial_radius, "invalid radius bounds");
         let mut outcome = KnnOutcome {
             neighbors: Vec::new(),
             radius: initial_radius,
+            certified_radius: initial_radius,
+            completeness: Completeness::Exact,
             verification_calls: 0,
             reused_verifications: 0,
             rounds: 0,
@@ -120,9 +178,19 @@ impl PisSearcher<'_> {
         };
         let distance = distance_dyn(self.index().distance());
         let mut radius = initial_radius;
+        // The largest radius whose round fully completed under the
+        // budget — the correctness the outcome can still promise after
+        // a trip.
+        let mut certified = 0.0f64;
         loop {
+            // One checkpoint per doubling round: a deadline or
+            // cancellation observed between rounds stops the widening
+            // before another full funnel pass starts.
+            if !budget.checkpoint(CheckpointSite::Knn, 1) {
+                break;
+            }
             outcome.rounds += 1;
-            prune.search_into(query, radius, &mut scratch);
+            prune.search_into(query, radius, &mut scratch, budget);
             let candidates = scratch.candidates();
             let bounds = scratch.candidate_bounds();
             neighbors.clear();
@@ -160,39 +228,64 @@ impl PisSearcher<'_> {
                             break;
                         }
                     }
-                    let budget = kth.map_or(radius, |kth| radius.min(kth));
+                    let sigma = kth.map_or(radius, |kth| radius.min(kth));
                     outcome.verification_calls += 1;
-                    if let Some(d) =
-                        verify.distance_within(query, &self.database()[g.index()], distance, budget)
-                    {
-                        resolved.insert(g, (d, false));
-                        let pos = neighbors.partition_point(|n| (n.distance, n.graph) < (d, g));
-                        neighbors.insert(pos, Neighbor { graph: g, distance: d });
-                        neighbors.truncate(k);
+                    match verify.distance_within_budgeted(
+                        query,
+                        &self.database()[g.index()],
+                        distance,
+                        sigma,
+                        budget,
+                    ) {
+                        Ok(Some(d)) => {
+                            resolved.insert(g, (d, false));
+                            let pos = neighbors.partition_point(|n| (n.distance, n.graph) < (d, g));
+                            neighbors.insert(pos, Neighbor { graph: g, distance: d });
+                            neighbors.truncate(k);
+                        }
+                        Ok(None) => {}
+                        // Tripped mid-DFS: this candidate and the rest
+                        // of the list stay unresolved; the round cannot
+                        // complete.
+                        Err(_) => break,
                     }
                 }
             } else {
                 stream_ids.clear();
                 stream_ids.extend(unresolved.iter().map(|&(_, g)| g));
                 outcome.verification_calls += stream_ids.len();
-                for (graph, distance) in
-                    self.verify_candidates(query, &stream_ids, radius, scratch.verify_scratch())
-                {
+                let (resolved_now, _unverified) = self.verify_candidates_budgeted(
+                    query,
+                    &stream_ids,
+                    radius,
+                    scratch.verify_scratch(),
+                    budget,
+                );
+                for (graph, distance) in resolved_now {
                     resolved.insert(graph, (distance, false));
                     neighbors.push(Neighbor { graph, distance });
                 }
                 neighbors.sort_by(by_distance_then_id);
                 neighbors.truncate(k);
             }
+            // A tripped round proves nothing about the graphs it did
+            // not finish — stop widening and report best-so-far.
+            if budget.is_tripped() {
+                break;
+            }
+            certified = radius;
             // Enough answers within the radius: anything outside is
             // farther than the k-th best, so the result is final.
             if neighbors.len() == k || radius >= max_radius {
-                outcome.neighbors = neighbors;
-                outcome.radius = radius;
-                return outcome;
+                break;
             }
             radius = (radius.max(0.5) * 2.0).min(max_radius);
         }
+        outcome.neighbors = neighbors;
+        outcome.radius = radius;
+        outcome.certified_radius = if budget.is_tripped() { certified } else { radius };
+        outcome.completeness = Completeness::of_state(budget);
+        outcome
     }
 }
 
@@ -340,5 +433,82 @@ mod tests {
         let index = setup(&db);
         let searcher = PisSearcher::new(&index, &db, PisConfig::default());
         let _ = searcher.knn(&ring(&[1, 1, 1]), 1, 5.0, 1.0);
+    }
+
+    #[test]
+    fn unlimited_knn_certifies_its_final_radius() {
+        let db = vec![ring(&[1, 1, 1, 1, 1, 1]), ring(&[1, 1, 1, 1, 1, 2])];
+        let index = setup(&db);
+        let searcher = PisSearcher::new(&index, &db, PisConfig::default());
+        let knn = searcher.knn(&ring(&[1, 1, 1, 1, 1, 1]), 2, 0.5, 8.0);
+        assert!(knn.completeness.is_exact());
+        assert_eq!(knn.certified_radius, knn.radius);
+    }
+
+    #[test]
+    fn budget_trip_returns_best_so_far_with_certified_radius() {
+        use crate::search::Completeness;
+        use pis_distance::oracle::min_superimposed_distance_brute;
+        let db = vec![
+            ring(&[1, 1, 1, 1, 1, 1]),
+            ring(&[1, 1, 1, 1, 1, 2]),
+            ring(&[1, 1, 2, 1, 2, 2]),
+            ring(&[2, 2, 2, 2, 2, 2]),
+        ];
+        let index = setup(&db);
+        let searcher = PisSearcher::new(&index, &db, PisConfig::default());
+        let query = ring(&[1, 1, 1, 1, 1, 1]);
+        let md = MutationDistance::edge_hamming();
+        // Sweep budgets from starvation upward: every truncation point
+        // must stay sound (exact distances, certified radius at most
+        // the final radius), and a generous budget must be exact.
+        let mut saw_truncated = false;
+        let mut saw_exact = false;
+        for limit in [1u64, 64, 256, 4096, 1 << 20] {
+            let budget =
+                pis_graph::budget::QueryBudget { node_limit: Some(limit), ..Default::default() };
+            let knn = searcher.knn_budgeted(&query, 4, 0.5, 10.0, &budget);
+            assert!(knn.certified_radius <= knn.radius);
+            for n in &knn.neighbors {
+                let exact = min_superimposed_distance_brute(&query, &db[n.graph.index()], &md)
+                    .expect("a reported neighbor structurally matches");
+                assert_eq!(n.distance, exact, "best-so-far distances are exact");
+            }
+            match &knn.completeness {
+                Completeness::Truncated { .. } => {
+                    saw_truncated = true;
+                }
+                Completeness::Exact => {
+                    saw_exact = true;
+                    assert_eq!(knn.neighbors.len(), 4);
+                    assert_eq!(knn.certified_radius, knn.radius);
+                }
+            }
+        }
+        assert!(saw_truncated, "the starved budgets must truncate");
+        assert!(saw_exact, "the generous budget must complete");
+    }
+
+    #[test]
+    fn try_knn_rejects_bad_inputs() {
+        use crate::error::QueryError;
+        let db = vec![ring(&[1, 1, 1])];
+        let index = setup(&db);
+        let searcher = PisSearcher::new(&index, &db, PisConfig::default());
+        let q = ring(&[1, 1, 1]);
+        assert!(matches!(
+            searcher.try_knn(&q, 1, 5.0, 1.0),
+            Err(QueryError::InvalidRadiusBounds { .. })
+        ));
+        assert!(matches!(
+            searcher.try_knn(&q, 1, f64::NAN, 1.0),
+            Err(QueryError::InvalidRadiusBounds { .. })
+        ));
+        assert!(matches!(
+            searcher.try_knn(&q, 1, 0.0, f64::INFINITY),
+            Err(QueryError::InvalidRadiusBounds { .. })
+        ));
+        let ok = searcher.try_knn(&q, 1, 0.5, 4.0).unwrap();
+        assert_eq!(ok.neighbors.len(), 1);
     }
 }

@@ -22,6 +22,7 @@
 pub mod baseline;
 pub mod batch;
 pub mod config;
+pub mod error;
 pub mod explain;
 pub mod knn;
 pub mod search;
@@ -34,9 +35,13 @@ pub use config::{
     PartitionAlgo, PisConfig, DEFAULT_PARALLEL_FRAGMENT_THRESHOLD,
     DEFAULT_PARALLEL_VERIFY_THRESHOLD,
 };
+pub use error::QueryError;
 pub use explain::explain;
 pub use knn::{KnnOutcome, Neighbor};
-pub use search::{PisSearcher, SearchOutcome, SearchScratch, SearchStats};
+pub use pis_graph::budget::{BudgetStats, QueryBudget};
+pub use search::{
+    Completeness, PisSearcher, SearchOutcome, SearchScratch, SearchStats, TruncationPhase,
+};
 pub use verify::{
     min_superimposed_distance, min_superimposed_distance_reference, VerifyScratch, VerifyStats,
 };

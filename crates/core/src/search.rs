@@ -43,6 +43,7 @@
 //! hold the optimized funnel to byte-identical outcomes against it.
 
 use pis_distance::SuperimposedDistance;
+use pis_graph::budget::{BudgetState, BudgetStats, CheckpointSite, QueryBudget};
 use pis_graph::util::FxHashMap;
 use pis_graph::{GraphBitSet, GraphId, LabeledGraph, ScopedPool};
 use pis_index::{
@@ -52,11 +53,12 @@ use pis_partition::reference::{
     enhanced_greedy_mwis_ref, exact_mwis_ref, greedy_mwis_ref, AdjOverlapGraph,
 };
 use pis_partition::{
-    enhanced_greedy_mwis_with, exact_mwis_with, greedy_mwis_with, selection_weight, OverlapGraph,
-    PartitionScratch, EXACT_MWIS_MAX_NODES,
+    enhanced_greedy_mwis_with, exact_mwis_budgeted_with, greedy_mwis_with, selection_weight,
+    OverlapGraph, PartitionScratch, EXACT_MWIS_MAX_NODES,
 };
 
 use crate::config::{PartitionAlgo, PisConfig};
+use crate::error::{validate_query, validate_sigma, QueryError};
 use crate::selectivity::selectivity;
 use crate::verify::{min_superimposed_distance_reference, VerifyScratch, VerifyStats};
 
@@ -102,6 +104,84 @@ pub struct SearchStats {
     pub partition: Vec<PartitionFragment>,
 }
 
+/// The funnel phase in which a query budget first reported exhaustion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TruncationPhase {
+    /// The index range-query descent.
+    RangeDescent,
+    /// The exact-MWIS partition solver.
+    Partition,
+    /// The exact structure check.
+    StructureCheck,
+    /// Candidate distance verification.
+    Verify,
+    /// The kNN radius-doubling driver.
+    Knn,
+}
+
+impl TruncationPhase {
+    fn from_site(site: CheckpointSite) -> TruncationPhase {
+        match site {
+            CheckpointSite::RangeDescent => TruncationPhase::RangeDescent,
+            CheckpointSite::Partition => TruncationPhase::Partition,
+            CheckpointSite::StructureCheck => TruncationPhase::StructureCheck,
+            CheckpointSite::Verify => TruncationPhase::Verify,
+            CheckpointSite::Knn => TruncationPhase::Knn,
+        }
+    }
+
+    /// Stable lowercase name (explain and CLI output).
+    pub fn name(self) -> &'static str {
+        match self {
+            TruncationPhase::RangeDescent => "range-descent",
+            TruncationPhase::Partition => "partition",
+            TruncationPhase::StructureCheck => "structure-check",
+            TruncationPhase::Verify => "verify",
+            TruncationPhase::Knn => "knn",
+        }
+    }
+}
+
+/// Whether a search ran to completion or was cut short by its
+/// [`QueryBudget`].
+///
+/// Truncated results stay *sound*: every reported answer is verified,
+/// and nothing is silently dropped — candidates whose verification was
+/// interrupted are returned separately
+/// ([`SearchOutcome::possible`]), and pruning under an exhausted budget
+/// only ever widens the candidate superset, never narrows it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Completeness {
+    /// The full algorithm ran; results are exact.
+    Exact,
+    /// The budget tripped; results are best-effort (verified answers
+    /// plus unverified survivors).
+    Truncated {
+        /// The phase in which the budget first tripped.
+        phase: TruncationPhase,
+        /// Checkpoint counters at the end of the query.
+        stats: BudgetStats,
+    },
+}
+
+impl Completeness {
+    /// Whether the search ran to completion.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Completeness::Exact)
+    }
+
+    /// Reads the completeness of a finished query off its budget state.
+    pub(crate) fn of_state(budget: &BudgetState) -> Completeness {
+        match budget.trip_site() {
+            None => Completeness::Exact,
+            Some(site) => Completeness::Truncated {
+                phase: TruncationPhase::from_site(site),
+                stats: budget.stats(),
+            },
+        }
+    }
+}
+
 /// Result of one PIS search.
 #[derive(Clone, Debug)]
 pub struct SearchOutcome {
@@ -112,6 +192,13 @@ pub struct SearchOutcome {
     /// Exact minimum superimposed distance of each answer, parallel to
     /// `answers` (free — verification computes it anyway).
     pub answer_distances: Vec<f64>,
+    /// Candidates whose verification the budget interrupted: none is
+    /// disproved, any might be an answer. Empty on an
+    /// [`Exact`](Completeness::Exact) search. Together,
+    /// `answers ∪ possible` is a superset of the exact answer set.
+    pub possible: Vec<GraphId>,
+    /// Whether the search ran to completion.
+    pub completeness: Completeness,
     /// Stage counters.
     pub stats: SearchStats,
 }
@@ -163,6 +250,11 @@ pub struct SearchScratch {
     unique_fragment: Vec<usize>,
     /// Which slots have already been intersected into `candidates`.
     intersected: Vec<bool>,
+    /// Whether each slot's range query ran to completion under the
+    /// query budget. An incomplete slot's hits are empty and must not
+    /// prune (its true hit set is unknown): the slot is skipped by the
+    /// intersection and excluded from the fragment pool.
+    slot_complete: Vec<bool>,
     /// The final candidate list of the last search, ascending.
     cand_buf: Vec<GraphId>,
     /// Partition-stage lower bound of each final candidate, parallel to
@@ -256,6 +348,7 @@ impl SearchScratch {
         self.slot_of.clear();
         self.unique_fragment.clear();
         self.intersected.clear();
+        self.slot_complete.clear();
         self.cand_buf.clear();
         self.cand_lb.clear();
         self.pool.clear();
@@ -287,6 +380,7 @@ impl SearchScratch {
                 self.memo.insert(self.key_buf.clone(), s);
                 self.unique_fragment.push(fragment_idx);
                 self.intersected.push(false);
+                self.slot_complete.push(true);
                 s
             }
         };
@@ -348,28 +442,109 @@ impl<'a> PisSearcher<'a> {
         sigma: f64,
         scratch: &mut SearchScratch,
     ) -> SearchOutcome {
-        let mut stats = self.search_into(query, sigma, scratch);
+        let budget = BudgetState::new(&self.config.budget);
+        self.search_with_state(query, sigma, &budget, scratch)
+    }
+
+    /// [`PisSearcher::search`] under a per-call [`QueryBudget`] that
+    /// overrides the configured one. When the budget trips, the
+    /// outcome's [`SearchOutcome::completeness`] is
+    /// [`Truncated`](Completeness::Truncated) and unverified survivors
+    /// land in [`SearchOutcome::possible`].
+    pub fn search_budgeted(
+        &self,
+        query: &LabeledGraph,
+        sigma: f64,
+        budget: &QueryBudget,
+    ) -> SearchOutcome {
+        self.search_budgeted_with_scratch(query, sigma, budget, &mut SearchScratch::new())
+    }
+
+    /// [`PisSearcher::search_budgeted`] with caller-provided scratch.
+    pub fn search_budgeted_with_scratch(
+        &self,
+        query: &LabeledGraph,
+        sigma: f64,
+        budget: &QueryBudget,
+        scratch: &mut SearchScratch,
+    ) -> SearchOutcome {
+        let state = BudgetState::new(budget);
+        self.search_with_state(query, sigma, &state, scratch)
+    }
+
+    /// [`PisSearcher::search`] with boundary validation: rejects a
+    /// non-finite or negative `sigma` and non-finite query weights with
+    /// a typed [`QueryError`] instead of computing garbage.
+    pub fn try_search(
+        &self,
+        query: &LabeledGraph,
+        sigma: f64,
+    ) -> Result<SearchOutcome, QueryError> {
+        self.try_search_with_scratch(query, sigma, &mut SearchScratch::new())
+    }
+
+    /// [`PisSearcher::try_search`] with caller-provided scratch.
+    pub fn try_search_with_scratch(
+        &self,
+        query: &LabeledGraph,
+        sigma: f64,
+        scratch: &mut SearchScratch,
+    ) -> Result<SearchOutcome, QueryError> {
+        validate_sigma(sigma)?;
+        validate_query(query)?;
+        Ok(self.search_with_scratch(query, sigma, scratch))
+    }
+
+    /// The shared body of every search entry point: runs the funnel and
+    /// verification under one resolved budget state and assembles the
+    /// outcome (completeness included).
+    fn search_with_state(
+        &self,
+        query: &LabeledGraph,
+        sigma: f64,
+        budget: &BudgetState,
+        scratch: &mut SearchScratch,
+    ) -> SearchOutcome {
+        let mut stats = self.search_into(query, sigma, scratch, budget);
         let candidates = scratch.cand_buf.clone();
         let mut answers = Vec::new();
         let mut answer_distances = Vec::new();
+        let mut possible = Vec::new();
         if self.config.verify {
             stats.verification_calls = candidates.len();
-            for (gid, d) in self.verify_candidates(query, &candidates, sigma, &mut scratch.verify) {
+            let (resolved, unverified) = self.verify_candidates_budgeted(
+                query,
+                &candidates,
+                sigma,
+                &mut scratch.verify,
+                budget,
+            );
+            for (gid, d) in resolved {
                 answers.push(gid);
                 answer_distances.push(d);
             }
+            possible = unverified;
         }
-        SearchOutcome { candidates, answers, answer_distances, stats }
+        let completeness = Completeness::of_state(budget);
+        SearchOutcome { candidates, answers, answer_distances, possible, completeness, stats }
     }
 
     /// The pruning funnel (Algorithm 2 lines 3–23 plus the structure
     /// check): leaves the candidate list in `scratch` and returns the
     /// stage counters. Verification is the caller's business.
+    ///
+    /// Under an exhausted budget every stage degrades to a *sound
+    /// superset*: incomplete range queries neither prune nor join the
+    /// fragment pool, a tripped exact partition demotes to
+    /// `EnhancedGreedy(2)`, and interrupted structure checks keep their
+    /// candidate. The flow is deliberately linear — no early returns —
+    /// so the fragment arena always returns to the scratch.
     pub(crate) fn search_into(
         &self,
         query: &LabeledGraph,
         sigma: f64,
         scratch: &mut SearchScratch,
+        budget: &BudgetState,
     ) -> SearchStats {
         let n = self.database.len();
         let mut stats = SearchStats::default();
@@ -386,28 +561,37 @@ impl<'a> PisSearcher<'a> {
         for i in 0..fragments.len() {
             scratch.assign_slot(i, fragments.feature(i), fragments.vector(i));
         }
-        self.run_range_queries(&fragments, sigma, scratch);
+        self.run_range_queries(&fragments, sigma, scratch, budget);
         for s in 0..scratch.slots_used {
-            scratch.weights.push(selectivity(&scratch.hits[s], n, sigma, self.config.lambda));
+            // An incomplete slot's hits are cleared; a selectivity
+            // computed from them would be fiction. The placeholder never
+            // matters: incomplete slots are barred from the pool below.
+            let w = if scratch.slot_complete[s] {
+                selectivity(&scratch.hits[s], n, sigma, self.config.lambda)
+            } else {
+                0.0
+            };
+            scratch.weights.push(w);
         }
 
-        // `CQ` seeds from the first fragment's hits (the zero-fragment
-        // query keeps the full universe) and shrinks by word-parallel
-        // intersection; duplicate probes are idempotent and skipped.
-        if fragments.is_empty() {
-            scratch.candidates.fill();
-        } else {
-            let first = scratch.slot_of[0];
-            for &(g, _) in &scratch.hits[first] {
-                scratch.candidates.insert(g);
+        // `CQ` seeds from the first completed fragment's hits (the
+        // zero-fragment query — and the fully truncated one — keeps the
+        // full universe) and shrinks by word-parallel intersection;
+        // duplicate probes are idempotent and skipped, incomplete slots
+        // must not prune.
+        let mut seeded = false;
+        for fi in 0..fragments.len() {
+            let slot = scratch.slot_of[fi];
+            if scratch.intersected[slot] || !scratch.slot_complete[slot] {
+                continue;
             }
-            scratch.intersected[first] = true;
-            for fi in 1..fragments.len() {
-                let slot = scratch.slot_of[fi];
-                if scratch.intersected[slot] {
-                    continue;
+            scratch.intersected[slot] = true;
+            if !seeded {
+                seeded = true;
+                for &(g, _) in &scratch.hits[slot] {
+                    scratch.candidates.insert(g);
                 }
-                scratch.intersected[slot] = true;
+            } else {
                 scratch.mask.clear();
                 for &(g, _) in &scratch.hits[slot] {
                     scratch.mask.insert(g);
@@ -418,14 +602,20 @@ impl<'a> PisSearcher<'a> {
                 }
             }
         }
+        if !seeded {
+            scratch.candidates.fill();
+        }
         stats.candidates_after_intersection = scratch.candidates.count();
 
-        // Line 5: drop fragments with selectivity <= epsilon.
+        // Line 5: drop fragments with selectivity <= epsilon. Fragments
+        // whose range query was cut short carry no trustworthy hits or
+        // weight — partitioning on them would prune unsoundly, so they
+        // never enter the pool.
         scratch.pool.clear();
-        scratch.pool.extend(
-            (0..fragments.len())
-                .filter(|&fi| scratch.weights[scratch.slot_of[fi]] > self.config.epsilon),
-        );
+        scratch.pool.extend((0..fragments.len()).filter(|&fi| {
+            let slot = scratch.slot_of[fi];
+            scratch.slot_complete[slot] && scratch.weights[slot] > self.config.epsilon
+        }));
         stats.fragments_in_pool = scratch.pool.len();
 
         // Lines 19–20: overlapping-relation graph + MWIS partition. The
@@ -454,7 +644,25 @@ impl<'a> PisSearcher<'a> {
                 &mut scratch.selection,
             ),
             PartitionAlgo::Exact => {
-                exact_mwis_with(&scratch.overlap, &mut scratch.partition, &mut scratch.selection)
+                let completed = exact_mwis_budgeted_with(
+                    &scratch.overlap,
+                    &mut scratch.partition,
+                    &mut scratch.selection,
+                    budget,
+                );
+                if !completed {
+                    // Same demotion as the node-cap fallback: the
+                    // incumbent of an interrupted branch-and-bound is
+                    // not the optimum, so the polynomial greedy takes
+                    // over and the stats flag it.
+                    stats.exact_fallback = true;
+                    enhanced_greedy_mwis_with(
+                        &scratch.overlap,
+                        EXACT_FALLBACK_K,
+                        &mut scratch.partition,
+                        &mut scratch.selection,
+                    );
+                }
             }
         }
         scratch.partition_nanos += partition_start.elapsed().as_nanos() as u64;
@@ -530,7 +738,14 @@ impl<'a> PisSearcher<'a> {
                         verify.begin_query(query);
                         verify
                     },
-                    |verify, _, &gid| verify.contains_structure(query, &database[gid.index()]),
+                    |verify, _, &gid| {
+                        // A check the budget interrupts keeps its
+                        // candidate — refutation needs a completed DFS.
+                        budget.is_tripped()
+                            || verify
+                                .contains_structure_budgeted(query, &database[gid.index()], budget)
+                                .unwrap_or(true)
+                    },
                 )
             });
             if parallel_keep.is_none() {
@@ -541,7 +756,13 @@ impl<'a> PisSearcher<'a> {
                 let gid = scratch.cand_buf[i];
                 let keep = match &parallel_keep {
                     Some(flags) => flags[i],
-                    None => scratch.verify.contains_structure(query, &database[gid.index()]),
+                    None => {
+                        budget.is_tripped()
+                            || scratch
+                                .verify
+                                .contains_structure_budgeted(query, &database[gid.index()], budget)
+                                .unwrap_or(true)
+                    }
                 };
                 if keep {
                     scratch.cand_buf[kept] = gid;
@@ -571,6 +792,7 @@ impl<'a> PisSearcher<'a> {
         fragments: &FragmentBuffer,
         sigma: f64,
         scratch: &mut SearchScratch,
+        budget: &BudgetState,
     ) {
         let start = std::time::Instant::now();
         let pool = ScopedPool::default();
@@ -585,45 +807,57 @@ impl<'a> PisSearcher<'a> {
             let index = self.index;
             let unique_fragment = &scratch.unique_fragment;
             let groups = sibling_groups(fragments, unique_fragment);
-            let results: Vec<Vec<Vec<(GraphId, f64)>>> =
+            // One group's per-slot hit lists plus its completeness flag
+            // (false = the batch descent tripped the budget mid-group).
+            type GroupHits = (Vec<Vec<(GraphId, f64)>>, bool);
+            let results: Vec<GroupHits> =
                 pool.map_with(&groups, 2, RangeScratch::new, |range, _, &(s, e)| {
                     let mut outs: Vec<Vec<(GraphId, f64)>> = vec![Vec::new(); e - s];
-                    index.range_query_batch_normalized_into(
+                    let complete = index.range_query_batch_normalized_budgeted_into(
                         fragments.feature(unique_fragment[s]),
                         e - s,
                         |i| fragments.vector(unique_fragment[s + i]),
                         sigma,
                         range,
+                        budget,
                         &mut outs,
                     );
-                    outs
+                    (outs, complete)
                 });
-            for (&(s, _), outs) in groups.iter().zip(results) {
+            for (&(s, _), (outs, complete)) in groups.iter().zip(results) {
                 for (k, hits) in outs.into_iter().enumerate() {
                     scratch.hits[s + k] = hits;
+                    scratch.slot_complete[s + k] = complete;
                 }
             }
         } else {
-            let SearchScratch { range, hits, unique_fragment, .. } = scratch;
+            let SearchScratch { range, hits, unique_fragment, slot_complete, .. } = scratch;
             for_each_sibling_group(fragments, unique_fragment, |s, e| {
                 let feature = fragments.feature(unique_fragment[s]);
-                if e - s == 1 {
-                    self.index.range_query_normalized_into(
+                let complete = if e - s == 1 {
+                    self.index.range_query_normalized_budgeted_into(
                         feature,
                         fragments.vector(unique_fragment[s]),
                         sigma,
                         range,
+                        budget,
                         &mut hits[s],
-                    );
+                    )
                 } else {
-                    self.index.range_query_batch_normalized_into(
+                    // A batch descent prices all siblings in one pass;
+                    // a trip mid-descent invalidates the whole group.
+                    self.index.range_query_batch_normalized_budgeted_into(
                         feature,
                         e - s,
                         |i| fragments.vector(unique_fragment[s + i]),
                         sigma,
                         range,
+                        budget,
                         &mut hits[s..e],
-                    );
+                    )
+                };
+                for flag in &mut slot_complete[s..e] {
+                    *flag = complete;
                 }
             });
         }
@@ -735,7 +969,14 @@ impl<'a> PisSearcher<'a> {
             }
         }
 
-        SearchOutcome { candidates, answers, answer_distances, stats }
+        SearchOutcome {
+            candidates,
+            answers,
+            answer_distances,
+            possible: Vec::new(),
+            completeness: Completeness::Exact,
+            stats,
+        }
     }
 
     /// Verifies candidates with the bound-propagating verifier, through
@@ -743,22 +984,28 @@ impl<'a> PisSearcher<'a> {
     /// startup. Results stay in candidate order; phase counters land in
     /// `verify` either way (parallel lanes verify through per-worker
     /// scratches and merge their counters back).
-    pub(crate) fn verify_candidates(
+    ///
+    /// Returns the verified `(graph, distance)` answers plus the
+    /// candidates whose verification the budget interrupted (never
+    /// disproved — the caller reports them as `possible`). Pass
+    /// [`BudgetState::unlimited`] for the plain exhaustive pass.
+    pub(crate) fn verify_candidates_budgeted(
         &self,
         query: &LabeledGraph,
         candidates: &[GraphId],
         sigma: f64,
         verify: &mut VerifyScratch,
-    ) -> Vec<(GraphId, f64)> {
+        budget: &BudgetState,
+    ) -> (Vec<(GraphId, f64)>, Vec<GraphId>) {
         // Dispatch on the concrete distance once per batch so the whole
         // branch-and-bound loop monomorphizes (per-element cost calls
         // inline) instead of paying virtual dispatch per DFS node.
         match self.index.distance() {
             IndexDistance::Mutation(md) => {
-                self.verify_candidates_with(query, candidates, sigma, verify, md)
+                self.verify_candidates_with(query, candidates, sigma, verify, md, budget)
             }
             IndexDistance::Linear(ld) => {
-                self.verify_candidates_with(query, candidates, sigma, verify, ld)
+                self.verify_candidates_with(query, candidates, sigma, verify, ld, budget)
             }
         }
     }
@@ -770,8 +1017,11 @@ impl<'a> PisSearcher<'a> {
         sigma: f64,
         verify: &mut VerifyScratch,
         distance: &D,
-    ) -> Vec<(GraphId, f64)> {
+        budget: &BudgetState,
+    ) -> (Vec<(GraphId, f64)>, Vec<GraphId>) {
         let pool = ScopedPool::default();
+        let mut out = Vec::new();
+        let mut possible = Vec::new();
         if pool.workers() > 1
             && !ScopedPool::in_worker()
             && candidates.len() >= self.config.parallel_verify_threshold.max(2)
@@ -786,27 +1036,53 @@ impl<'a> PisSearcher<'a> {
                     scratch
                 },
                 |scratch, _, &gid| {
-                    let d = scratch.distance_within(query, &database[gid.index()], distance, sigma);
-                    (d.map(|d| (gid, d)), scratch.take_stats())
+                    // A trip observed before this candidate starts means
+                    // its DFS could never complete — skip straight to
+                    // `possible` instead of burning the checkpoint
+                    // interval first.
+                    let d = if budget.is_tripped() {
+                        Err(pis_graph::budget::Interrupted)
+                    } else {
+                        scratch.distance_within_budgeted(
+                            query,
+                            &database[gid.index()],
+                            distance,
+                            sigma,
+                            budget,
+                        )
+                    };
+                    (d, scratch.take_stats())
                 },
             );
-            let mut out = Vec::new();
-            for (hit, stats) in results {
+            for (&gid, (resolved, stats)) in candidates.iter().zip(results) {
                 verify.absorb_stats(&stats);
-                out.extend(hit);
+                match resolved {
+                    Ok(Some(d)) => out.push((gid, d)),
+                    Ok(None) => {}
+                    Err(_) => possible.push(gid),
+                }
             }
-            out
         } else {
             verify.begin_query(query);
-            candidates
-                .iter()
-                .filter_map(|&gid| {
-                    verify
-                        .distance_within(query, &self.database[gid.index()], distance, sigma)
-                        .map(|d| (gid, d))
-                })
-                .collect()
+            for &gid in candidates {
+                if budget.is_tripped() {
+                    possible.push(gid);
+                    continue;
+                }
+                match verify.distance_within_budgeted(
+                    query,
+                    &self.database[gid.index()],
+                    distance,
+                    sigma,
+                    budget,
+                ) {
+                    Ok(Some(d)) => out.push((gid, d)),
+                    Ok(None) => {}
+                    Err(_) => possible.push(gid),
+                }
+            }
         }
+        (out, possible)
     }
 }
 
@@ -1146,5 +1422,127 @@ mod tests {
         let db = example_db();
         let index = build_index(&db, 2);
         let _ = PisSearcher::new(&index, &db[..2], PisConfig::default());
+    }
+
+    #[test]
+    fn unlimited_search_is_exact() {
+        let db = example_db();
+        let index = build_index(&db, 4);
+        let searcher = PisSearcher::new(&index, &db, PisConfig::default());
+        let o = searcher.search(&cycle_with_edge_labels(&[1, 1, 1, 1, 1, 1]), 2.0);
+        assert_eq!(o.completeness, Completeness::Exact);
+        assert!(o.possible.is_empty());
+    }
+
+    #[test]
+    fn tiny_node_budget_truncates_soundly() {
+        use pis_graph::budget::QueryBudget;
+        let db = example_db();
+        let index = build_index(&db, 4);
+        let searcher = PisSearcher::new(&index, &db, PisConfig::default());
+        let q = cycle_with_edge_labels(&[1, 1, 1, 1, 1, 2]);
+        let sigma = 2.0;
+        let exact = searcher.search(&q, sigma);
+        let budget = QueryBudget { node_limit: Some(1), ..QueryBudget::default() };
+        let truncated = searcher.search_budgeted(&q, sigma, &budget);
+        let Completeness::Truncated { phase, stats } = &truncated.completeness else {
+            panic!("a one-unit budget must truncate this query");
+        };
+        assert_eq!(*phase, TruncationPhase::RangeDescent, "the first phase trips first");
+        assert!(stats.checkpoints > 0);
+        // Soundness: verified answers are a subset of the exact answers,
+        // and nothing exact is lost — it is either verified or possible.
+        for a in &truncated.answers {
+            assert!(exact.answers.contains(a), "truncated answer {a} is not exact");
+        }
+        for a in &exact.answers {
+            assert!(
+                truncated.answers.contains(a) || truncated.possible.contains(a),
+                "exact answer {a} lost by truncation"
+            );
+        }
+        // The candidate superset survives total range-query truncation.
+        for a in &exact.candidates {
+            assert!(truncated.candidates.contains(a));
+        }
+    }
+
+    #[test]
+    fn cancelled_search_returns_unverified_survivors_as_possible() {
+        use pis_graph::budget::QueryBudget;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let db = example_db();
+        let index = build_index(&db, 4);
+        let searcher = PisSearcher::new(&index, &db, PisConfig::default());
+        let q = cycle_with_edge_labels(&[1, 1, 1, 1, 1, 1]);
+        let exact = searcher.search(&q, 2.0);
+        let cancel = Arc::new(AtomicBool::new(true)); // cancelled from the start
+        let budget = QueryBudget { cancel: Some(cancel.clone()), ..QueryBudget::default() };
+        let o = searcher.search_budgeted(&q, 2.0, &budget);
+        assert!(!o.completeness.is_exact());
+        assert!(o.answers.is_empty(), "a pre-cancelled query cannot verify anything");
+        for a in &exact.answers {
+            assert!(o.possible.contains(a), "cancelled query lost answer {a}");
+        }
+        // Un-cancelling restores exact behavior on the same budget spec.
+        cancel.store(false, Ordering::Relaxed);
+        let o = searcher.search_budgeted(&q, 2.0, &budget);
+        assert_eq!(o.completeness, Completeness::Exact);
+        assert_eq!(o.answers, exact.answers);
+    }
+
+    #[test]
+    fn scratch_reuse_after_truncation_matches_fresh_scratch() {
+        use pis_graph::budget::QueryBudget;
+        let db = example_db();
+        let index = build_index(&db, 4);
+        let searcher = PisSearcher::new(&index, &db, PisConfig::default());
+        let q = cycle_with_edge_labels(&[1, 2, 1, 2, 1, 2]);
+        let mut scratch = SearchScratch::new();
+        let budget = QueryBudget { node_limit: Some(1), ..QueryBudget::default() };
+        let aborted = searcher.search_budgeted_with_scratch(&q, 2.0, &budget, &mut scratch);
+        assert!(!aborted.completeness.is_exact());
+        // The scratch must carry no truncation residue into later
+        // searches: outcomes through it are byte-identical to a fresh
+        // scratch.
+        for (q2, sigma) in [
+            (cycle_with_edge_labels(&[1, 1, 1, 1, 1, 1]), 2.0),
+            (cycle_with_edge_labels(&[1, 2, 1, 2, 1, 2]), 0.0),
+        ] {
+            let reused = searcher.search_with_scratch(&q2, sigma, &mut scratch);
+            let fresh = searcher.search(&q2, sigma);
+            assert_eq!(reused.candidates, fresh.candidates);
+            assert_eq!(reused.answers, fresh.answers);
+            assert_eq!(
+                reused.answer_distances.iter().map(|d| d.to_bits()).collect::<Vec<_>>(),
+                fresh.answer_distances.iter().map(|d| d.to_bits()).collect::<Vec<_>>()
+            );
+            assert_eq!(reused.stats, fresh.stats);
+            assert_eq!(reused.completeness, Completeness::Exact);
+        }
+    }
+
+    #[test]
+    fn try_search_rejects_invalid_inputs() {
+        use crate::error::QueryError;
+        let db = example_db();
+        let index = build_index(&db, 3);
+        let searcher = PisSearcher::new(&index, &db, PisConfig::default());
+        let q = cycle_with_edge_labels(&[1, 1, 1, 1, 1, 1]);
+        assert!(matches!(searcher.try_search(&q, f64::NAN), Err(QueryError::InvalidSigma(_))));
+        assert!(matches!(searcher.try_search(&q, -1.0), Err(QueryError::InvalidSigma(_))));
+        assert!(matches!(searcher.try_search(&q, f64::INFINITY), Err(QueryError::InvalidSigma(_))));
+        let mut b = pis_graph::GraphBuilder::new();
+        let vs = b.add_vertices(2, VertexAttr::labeled(Label(0)));
+        b.add_edge(vs[0], vs[1], EdgeAttr { label: Label(1), weight: f64::NAN }).unwrap();
+        let poisoned = b.build();
+        assert!(matches!(
+            searcher.try_search(&poisoned, 1.0),
+            Err(QueryError::NonFiniteQueryWeight)
+        ));
+        // Valid inputs pass through to the normal search.
+        let ok = searcher.try_search(&q, 1.0).unwrap();
+        assert_eq!(ok.answers, searcher.search(&q, 1.0).answers);
     }
 }

@@ -33,10 +33,17 @@ use std::ops::ControlFlow;
 use std::time::Instant;
 
 use pis_distance::SuperimposedDistance;
+use pis_graph::budget::{BudgetState, CheckpointSite, Interrupted};
 use pis_graph::iso::{
     AdjBits, EdgeGrid, IsoConfig, MatchPlan, MatchVisitor, SearchBuffers, SubgraphMatcher,
 };
 use pis_graph::{EdgeId, Embedding, Label, LabeledGraph, VertexId};
+
+/// Assignments between budget checkpoints inside the verification and
+/// structure-check DFS loops: frequent enough to bound overshoot to a
+/// fraction of a millisecond, rare enough that the counter is the only
+/// per-assign overhead.
+const DFS_CHECK_INTERVAL: u32 = 1024;
 
 /// Exact minimum superimposed distance, bounded by `sigma`.
 ///
@@ -175,7 +182,34 @@ impl VerifyScratch {
         distance: &D,
         bound: f64,
     ) -> Option<f64> {
-        self.run(query, target, distance, bound, true)
+        let result = self.run(query, target, distance, bound, true, BudgetState::unlimited());
+        debug_assert!(result.is_ok(), "the unlimited budget never interrupts verification");
+        result.unwrap_or(None)
+    }
+
+    /// [`VerifyScratch::distance_within`] under a query budget: the DFS
+    /// charges one [`CheckpointSite::Verify`] batch every
+    /// `DFS_CHECK_INTERVAL` assignments. `Err(Interrupted)` means the
+    /// search unwound before exploring every superposition — even a best
+    /// distance found so far is unusable then, because a cheaper
+    /// unexplored superposition could exist (and a `None`-so-far could
+    /// still hide an answer), so the candidate stays *unverified* rather
+    /// than *refuted*.
+    pub fn distance_within_budgeted<D: SuperimposedDistance + ?Sized>(
+        &mut self,
+        query: &LabeledGraph,
+        target: &LabeledGraph,
+        distance: &D,
+        bound: f64,
+        budget: &BudgetState,
+    ) -> Result<Option<f64>, Interrupted> {
+        // One zero-unit checkpoint per candidate: bounds deadline and
+        // cancellation latency to a single verification even on targets
+        // too small for the DFS ever to reach the assignment interval.
+        if !budget.checkpoint(CheckpointSite::Verify, 0) {
+            return Err(Interrupted);
+        }
+        self.run(query, target, distance, bound, true, budget)
     }
 
     /// Structure-only containment (`Q ⊆ G` up to labels) of the query
@@ -186,10 +220,31 @@ impl VerifyScratch {
     /// runs hundreds of these per query, most of them refutations, so
     /// the amortization matters as much here as in the verifier proper.
     pub fn contains_structure(&mut self, query: &LabeledGraph, target: &LabeledGraph) -> bool {
+        let result = self.contains_structure_budgeted(query, target, BudgetState::unlimited());
+        debug_assert!(result.is_ok(), "the unlimited budget never interrupts structure checks");
+        result.unwrap_or(false)
+    }
+
+    /// [`VerifyScratch::contains_structure`] under a query budget:
+    /// charges one [`CheckpointSite::StructureCheck`] batch every
+    /// `DFS_CHECK_INTERVAL` assignments. On `Err(Interrupted)` the
+    /// containment question is unresolved — the candidate must be kept
+    /// (dropping it could lose an answer).
+    pub fn contains_structure_budgeted(
+        &mut self,
+        query: &LabeledGraph,
+        target: &LabeledGraph,
+        budget: &BudgetState,
+    ) -> Result<bool, Interrupted> {
+        // Zero-unit per-candidate checkpoint, as in
+        // [`VerifyScratch::distance_within_budgeted`].
+        if !budget.checkpoint(CheckpointSite::StructureCheck, 0) {
+            return Err(Interrupted);
+        }
         debug_assert_eq!(self.plan.len(), query.vertex_count(), "begin_query first");
         if query.vertex_count() > target.vertex_count() || query.edge_count() > target.edge_count()
         {
-            return false;
+            return Ok(false);
         }
         // Degree-sequence domination: every embedding maps a query
         // vertex of degree `d` onto a target vertex of degree ≥ `d`
@@ -212,7 +267,7 @@ impl VerifyScratch {
             cum_q += qh[d];
             cum_t += th[d];
             if cum_q > cum_t {
-                return false;
+                return Ok(false);
             }
         }
         let VerifyScratch { plan, adj, bufs, .. } = self;
@@ -222,9 +277,28 @@ impl VerifyScratch {
         let mut found = false;
         struct Exists<'a> {
             found: &'a mut bool,
+            budget: &'a BudgetState,
+            since_check: u32,
+            tripped: bool,
         }
         impl MatchVisitor for Exists<'_> {
             fn assign(&mut self, _p: VertexId, _t: VertexId) -> bool {
+                if self.tripped {
+                    return false;
+                }
+                self.since_check += 1;
+                if self.since_check >= DFS_CHECK_INTERVAL {
+                    self.since_check = 0;
+                    if !self
+                        .budget
+                        .checkpoint(CheckpointSite::StructureCheck, u64::from(DFS_CHECK_INTERVAL))
+                    {
+                        // Refusing every further assignment unwinds the
+                        // matcher along its cheapest path.
+                        self.tripped = true;
+                        return false;
+                    }
+                }
                 true
             }
             fn unassign(&mut self, _p: VertexId, _t: VertexId) {}
@@ -233,8 +307,15 @@ impl VerifyScratch {
                 ControlFlow::Break(())
             }
         }
-        matcher.search_with_buffers(bufs, &mut Exists { found: &mut found });
-        found
+        let mut visitor = Exists { found: &mut found, budget, since_check: 0, tripped: false };
+        matcher.search_with_buffers(bufs, &mut visitor);
+        if visitor.tripped && !found {
+            // A trip after a witness embedding was found keeps the
+            // (sound) positive answer; without one, containment is
+            // unresolved.
+            return Err(Interrupted);
+        }
+        Ok(found)
     }
 
     /// The optimized verifier with the remaining-cost bound disabled
@@ -248,7 +329,9 @@ impl VerifyScratch {
         distance: &D,
         bound: f64,
     ) -> Option<f64> {
-        self.run(query, target, distance, bound, false)
+        let result = self.run(query, target, distance, bound, false, BudgetState::unlimited());
+        debug_assert!(result.is_ok(), "the unlimited budget never interrupts verification");
+        result.unwrap_or(None)
     }
 
     fn run<D: SuperimposedDistance + ?Sized>(
@@ -258,9 +341,10 @@ impl VerifyScratch {
         distance: &D,
         bound: f64,
         remaining_lb: bool,
-    ) -> Option<f64> {
+        budget: &BudgetState,
+    ) -> Result<Option<f64>, Interrupted> {
         let start = Instant::now();
-        let result = self.run_timed(query, target, distance, bound, remaining_lb);
+        let result = self.run_timed(query, target, distance, bound, remaining_lb, budget);
         self.stats.nanos += start.elapsed().as_nanos() as u64;
         result
     }
@@ -272,7 +356,8 @@ impl VerifyScratch {
         distance: &D,
         bound: f64,
         remaining_lb: bool,
-    ) -> Option<f64> {
+        budget: &BudgetState,
+    ) -> Result<Option<f64>, Interrupted> {
         debug_assert_eq!(
             self.plan.len(),
             query.vertex_count(),
@@ -284,7 +369,7 @@ impl VerifyScratch {
             || distance.pair_lower_bound(query, target) > bound
         {
             self.stats.prechecked += 1;
-            return None;
+            return Ok(None);
         }
         let VerifyScratch {
             plan,
@@ -331,7 +416,7 @@ impl VerifyScratch {
             }
             if suffix[0] > bound {
                 stats.prechecked += 1;
-                return None;
+                return Ok(None);
             }
         } else {
             suffix.clear();
@@ -372,11 +457,20 @@ impl VerifyScratch {
             best: None,
             expanded: 0,
             pruned: 0,
+            budget,
+            since_check: 0,
+            tripped: false,
         };
         matcher.search_with_buffers(bufs, &mut visitor);
         stats.nodes_expanded += visitor.expanded;
         stats.nodes_pruned += visitor.pruned;
-        visitor.best
+        if visitor.tripped {
+            // Unexplored superpositions remain: a found best could be
+            // beaten and a miss could hide an answer, so neither is a
+            // sound result.
+            return Err(Interrupted);
+        }
+        Ok(visitor.best)
     }
 }
 
@@ -580,10 +674,27 @@ struct BoundedLbVisitor<'a, D: SuperimposedDistance + ?Sized> {
     best: Option<f64>,
     expanded: u64,
     pruned: u64,
+    /// Budget the DFS charges every `DFS_CHECK_INTERVAL` assignment
+    /// attempts; `tripped` makes every later assignment refuse, so the
+    /// matcher unwinds along its cheapest path.
+    budget: &'a BudgetState,
+    since_check: u32,
+    tripped: bool,
 }
 
 impl<D: SuperimposedDistance + ?Sized> MatchVisitor for BoundedLbVisitor<'_, D> {
     fn assign(&mut self, p: VertexId, t: VertexId) -> bool {
+        if self.tripped {
+            return false;
+        }
+        self.since_check += 1;
+        if self.since_check >= DFS_CHECK_INTERVAL {
+            self.since_check = 0;
+            if !self.budget.checkpoint(CheckpointSite::Verify, u64::from(DFS_CHECK_INTERVAL)) {
+                self.tripped = true;
+                return false;
+            }
+        }
         let depth = self.cost_stack.len();
         debug_assert_eq!(self.plan.vertex(depth), p, "assign depth tracks the plan");
         let mut delta = if self.zero_vertex_costs {

@@ -18,12 +18,18 @@
 //! * [`bitset`] / [`pool`] — a dense [`GraphBitSet`] over database ids
 //!   and the shared [`ScopedPool`] chunking utility, the performance
 //!   substrate of the candidate funnel (`DESIGN.md` §6).
+//! * [`budget`] — per-query [`QueryBudget`] limits and the cooperative
+//!   [`BudgetState`] checkpoints every long-running loop consults
+//!   (`DESIGN.md` §6.9).
 //!
-//! The crate is dependency-free and `#![forbid(unsafe_code)]` (enforced
-//! workspace-wide).
+//! The crate has no mandatory dependencies and is
+//! `#![forbid(unsafe_code)]` (enforced workspace-wide); the optional
+//! `failpoints` feature pulls in the vendored test-support registry for
+//! the fault-injection tier.
 
 pub mod algo;
 pub mod bitset;
+pub mod budget;
 pub mod canonical;
 pub mod enumerate;
 pub mod error;
@@ -35,6 +41,7 @@ pub mod pool;
 pub mod util;
 
 pub use bitset::GraphBitSet;
+pub use budget::{BudgetState, BudgetStats, CheckpointSite, Interrupted, QueryBudget};
 pub use error::GraphError;
 pub use graph::{Edge, EdgeAttr, GraphBuilder, LabeledGraph, VertexAttr};
 pub use ids::{EdgeId, GraphId, Label, VertexId};

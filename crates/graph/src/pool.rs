@@ -99,6 +99,11 @@ impl ScopedPool {
         }
         let chunk = items.len().div_ceil(self.workers);
         let mut results: Vec<Vec<R>> = Vec::with_capacity(items.len().div_ceil(chunk));
+        // Worker panics are caught per task, every worker is joined, and
+        // the *first* payload resurfaces on the calling thread — one
+        // panic, no leaked threads, and the pool (a plain policy struct)
+        // stays usable for the next call.
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
         std::thread::scope(|scope| {
             let handles: Vec<_> = items
                 .chunks(chunk)
@@ -108,18 +113,33 @@ impl ScopedPool {
                     let init = &init;
                     scope.spawn(move || {
                         IN_POOL_WORKER.with(|w| w.set(true));
-                        let mut state = init();
-                        part.iter()
-                            .enumerate()
-                            .map(|(i, item)| f(&mut state, ci * chunk + i, item))
-                            .collect::<Vec<R>>()
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let mut state = init();
+                            part.iter()
+                                .enumerate()
+                                .map(|(i, item)| f(&mut state, ci * chunk + i, item))
+                                .collect::<Vec<R>>()
+                        }))
                     })
                 })
                 .collect();
             for h in handles {
-                results.push(h.join().expect("scoped pool worker panicked"));
+                match h.join() {
+                    Ok(Ok(part)) => results.push(part),
+                    Ok(Err(payload)) => {
+                        first_panic.get_or_insert(payload);
+                    }
+                    // A panic that escaped catch_unwind (e.g. from a
+                    // panic hook) still surfaces.
+                    Err(payload) => {
+                        first_panic.get_or_insert(payload);
+                    }
+                }
             }
         });
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
         results.into_iter().flatten().collect()
     }
 }
@@ -194,6 +214,49 @@ mod tests {
         let pool = ScopedPool::new(4);
         let out: Vec<i32> = pool.map(&[] as &[i32], 0, |_, &x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_surfaces_once_and_pool_stays_usable() {
+        let pool = ScopedPool::new(4);
+        let items: Vec<u32> = (0..64).collect();
+        // Two workers panic; exactly one payload must resurface (the
+        // first in chunk order), all workers must be joined (scoped
+        // threads guarantee no leak), and the same pool must serve the
+        // next call normally.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map(&items, 2, |_, &x| {
+                if x % 16 == 7 {
+                    panic!("worker bang at {x}");
+                }
+                x
+            })
+        }));
+        let payload = caught.expect_err("the worker panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a message");
+        assert!(message.contains("worker bang"), "payload resurfaces verbatim: {message}");
+        // The pool is a plain chunking policy: the next call works.
+        let out = pool.map(&items, 2, |_, &x| x * 2);
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[10], 20);
+    }
+
+    #[test]
+    fn serial_path_panic_propagates_plainly() {
+        let pool = ScopedPool::new(1);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map(&[1, 2, 3], 0, |_, &x: &i32| {
+                if x == 2 {
+                    panic!("serial bang");
+                }
+                x
+            })
+        }));
+        assert!(caught.is_err());
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! exactly `+0.0`), so reported distances are byte-identical to the
 //! reference.
 
+use pis_graph::budget::{BudgetState, CheckpointSite};
 use pis_graph::{GraphId, Label};
 
 use crate::trie::LabelTrie;
@@ -420,16 +421,45 @@ impl FlatTrie {
         &self,
         query: &[Label],
         sigma: f64,
+        level_costs: impl FnMut(usize, Label, &[Label], &mut [f64]),
+        scratch: &mut TrieFrontier,
+        visit: impl FnMut(GraphId, f64),
+    ) {
+        let completed = self.range_query_budgeted(
+            query,
+            sigma,
+            level_costs,
+            scratch,
+            BudgetState::unlimited(),
+            visit,
+        );
+        debug_assert!(completed, "the unlimited budget never interrupts a descent");
+    }
+
+    /// [`FlatTrie::range_query`] under a budget: the descent consults
+    /// one [`CheckpointSite::RangeDescent`] checkpoint per frontier
+    /// level and returns `false` the moment the budget trips — visits
+    /// already made are then a meaningless prefix and the caller must
+    /// discard them (a partial descent's hit set is neither a subset
+    /// nor a superset of the true answer once minima are folded).
+    ///
+    /// # Panics
+    /// Panics if `query.len() != depth`.
+    pub fn range_query_budgeted(
+        &self,
+        query: &[Label],
+        sigma: f64,
         mut level_costs: impl FnMut(usize, Label, &[Label], &mut [f64]),
         scratch: &mut TrieFrontier,
+        budget: &BudgetState,
         mut visit: impl FnMut(GraphId, f64),
-    ) {
+    ) -> bool {
         assert_eq!(query.len(), self.depth, "query length must equal trie depth");
         if self.depth == 0 {
             for &g in &self.postings {
                 visit(g, 0.0);
             }
-            return;
+            return true;
         }
         let TrieFrontier { nodes, costs, next_nodes, next_costs, label_costs } = scratch;
         // Price every level's alphabet up front (one batched call per
@@ -463,7 +493,10 @@ impl FlatTrie {
                     visit(g, 0.0);
                 }
             }
-            return;
+            return true;
+        }
+        if !budget.checkpoint(CheckpointSite::RangeDescent, 1) {
+            return false;
         }
         nodes.clear();
         costs.clear();
@@ -477,6 +510,9 @@ impl FlatTrie {
             }
         }
         for _l in 1..zero_from {
+            if !budget.checkpoint(CheckpointSite::RangeDescent, 1) {
+                return false;
+            }
             next_nodes.clear();
             next_costs.clear();
             for (&node, &acc) in nodes.iter().zip(costs.iter()) {
@@ -496,7 +532,7 @@ impl FlatTrie {
             std::mem::swap(nodes, next_nodes);
             std::mem::swap(costs, next_costs);
             if nodes.is_empty() {
-                return;
+                return true;
             }
         }
         // The frontier sits at level `zero_from - 1`; every deeper level
@@ -509,6 +545,7 @@ impl FlatTrie {
                 visit(g, acc);
             }
         }
+        true
     }
 
     /// Prices and descends a whole *probe batch* — `nprobes` query
@@ -546,11 +583,45 @@ impl FlatTrie {
         nprobes: usize,
         probes: &[Label],
         sigma: f64,
+        level_costs_multi: impl FnMut(usize, &[Label], &[Label], &mut [f64]),
+        level_zero: impl FnMut(usize) -> bool,
+        scratch: &mut BatchFrontier,
+        emit: impl FnMut(u32, f64, &[GraphId]),
+    ) {
+        let completed = self.range_query_batch_budgeted(
+            nprobes,
+            probes,
+            sigma,
+            level_costs_multi,
+            level_zero,
+            scratch,
+            BudgetState::unlimited(),
+            emit,
+        );
+        debug_assert!(completed, "the unlimited budget never interrupts a descent");
+    }
+
+    /// [`FlatTrie::range_query_batch`] under a budget: one
+    /// [`CheckpointSite::RangeDescent`] checkpoint per frontier level
+    /// (and per per-probe descent level). Returns `false` the moment
+    /// the budget trips; emissions already made cover an unpredictable
+    /// probe subset, so the caller must discard the *whole batch's*
+    /// partial results.
+    ///
+    /// # Panics
+    /// Panics if `probes.len() != nprobes * depth`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn range_query_batch_budgeted(
+        &self,
+        nprobes: usize,
+        probes: &[Label],
+        sigma: f64,
         mut level_costs_multi: impl FnMut(usize, &[Label], &[Label], &mut [f64]),
         mut level_zero: impl FnMut(usize) -> bool,
         scratch: &mut BatchFrontier,
+        budget: &BudgetState,
         mut emit: impl FnMut(u32, f64, &[GraphId]),
-    ) {
+    ) -> bool {
         let depth = self.depth;
         assert_eq!(
             probes.len(),
@@ -559,7 +630,7 @@ impl FlatTrie {
         );
         scratch.reset(nprobes, depth);
         if nprobes == 0 || self.postings.is_empty() {
-            return;
+            return true;
         }
         if depth == 0 {
             // The virtual root is a leaf: every probe matches the whole
@@ -567,7 +638,7 @@ impl FlatTrie {
             for p in 0..nprobes {
                 emit(p as u32, 0.0, &self.postings);
             }
-            return;
+            return true;
         }
         // --- Shared pricing: one kernel row per (level, distinct query
         // label); every probe's row offset is resolved up front. The
@@ -625,7 +696,7 @@ impl FlatTrie {
             }
         }
         if max_zero == 0 {
-            return;
+            return true;
         }
         let BatchFrontier {
             costs,
@@ -659,6 +730,9 @@ impl FlatTrie {
                 if zero_from[p] == 0 {
                     continue;
                 }
+                if !budget.checkpoint(CheckpointSite::RangeDescent, 1) {
+                    return false;
+                }
                 let row0 = row_of[p * depth] as usize;
                 nodes.clear();
                 accs.clear();
@@ -670,12 +744,14 @@ impl FlatTrie {
                         accs.push(c);
                     }
                 }
-                self.descend_probe(
+                if !self.descend_probe(
                     p, 1, sigma, costs, row_of, zero_from, nodes, accs, next_nodes, next_accs,
-                    &mut emit,
-                );
+                    budget, &mut emit,
+                ) {
+                    return false;
+                }
             }
-            return;
+            return true;
         }
         // Seed with level 0 (node-major so sibling probes group).
         group_start.push(0);
@@ -703,7 +779,10 @@ impl FlatTrie {
         let mut frontier_level = 0usize;
         loop {
             if nodes.is_empty() {
-                return;
+                return true;
+            }
+            if !budget.checkpoint(CheckpointSite::RangeDescent, 1) {
+                return false;
             }
             let lvl = frontier_level + 1;
             if lvl >= max_zero as usize {
@@ -716,7 +795,7 @@ impl FlatTrie {
                         emit(fprobes[i], accs[i], sub);
                     }
                 }
-                return;
+                return true;
             }
             // Adaptive lane occupancy: node-major groups pay off while
             // several sibling probes ride each frontier node (one arena
@@ -760,12 +839,14 @@ impl FlatTrie {
                     nodes.extend_from_slice(&sorted_nodes[ps..pe]);
                     accs.clear();
                     accs.extend_from_slice(&sorted_accs[ps..pe]);
-                    self.descend_probe(
+                    if !self.descend_probe(
                         p, lvl, sigma, costs, row_of, zero_from, nodes, accs, next_nodes,
-                        next_accs, &mut emit,
-                    );
+                        next_accs, budget, &mut emit,
+                    ) {
+                        return false;
+                    }
                 }
-                return;
+                return true;
             }
             let any_retiring = zero_from.iter().any(|&zf| zf as usize == lvl);
             let alpha_base = self.alphabet_start[lvl];
@@ -858,7 +939,8 @@ impl FlatTrie {
     /// level `from_level - 1`: expands through the probe's remaining
     /// cost-bearing levels with the wide-lane loop over its rows of the
     /// shared pricing table (exactly the scalar descent's inner loop),
-    /// then emits each survivor's subtree posting range.
+    /// then emits each survivor's subtree posting range. Returns
+    /// `false` when the budget trips mid-descent.
     #[allow(clippy::too_many_arguments)]
     fn descend_probe(
         &self,
@@ -872,10 +954,14 @@ impl FlatTrie {
         accs: &mut Vec<f64>,
         next_nodes: &mut Vec<u32>,
         next_accs: &mut Vec<f64>,
+        budget: &BudgetState,
         emit: &mut impl FnMut(u32, f64, &[GraphId]),
-    ) {
+    ) -> bool {
         let depth = self.depth;
         for lvl in from_level..zero_from[p] as usize {
+            if !budget.checkpoint(CheckpointSite::RangeDescent, 1) {
+                return false;
+            }
             let row = row_of[p * depth + lvl] as usize;
             let base = self.alphabet_start[lvl];
             next_nodes.clear();
@@ -897,12 +983,13 @@ impl FlatTrie {
             std::mem::swap(nodes, next_nodes);
             std::mem::swap(accs, next_accs);
             if nodes.is_empty() {
-                return;
+                return true;
             }
         }
         for (&node, &acc) in nodes.iter().zip(accs.iter()) {
             emit(p as u32, acc, self.subtree_postings(node as usize));
         }
+        true
     }
 
     /// The contiguous postings range covered by `node`'s whole subtree.

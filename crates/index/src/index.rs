@@ -11,6 +11,7 @@
 use std::ops::ControlFlow;
 
 use pis_distance::{LinearDistance, MutationDistance};
+use pis_graph::budget::{BudgetState, CheckpointSite};
 use pis_graph::iso::{IsoConfig, SubgraphMatcher};
 use pis_graph::util::FxHashSet;
 use pis_graph::{GraphId, Label, LabeledGraph, ScopedPool};
@@ -385,6 +386,33 @@ impl FragmentIndex {
         scratch: &mut RangeScratch,
         out: &mut Vec<(GraphId, f64)>,
     ) {
+        let completed = self.range_query_normalized_budgeted_into(
+            feature,
+            vector,
+            sigma,
+            scratch,
+            BudgetState::unlimited(),
+            out,
+        );
+        debug_assert!(completed, "the unlimited budget never interrupts a range query");
+    }
+
+    /// [`FragmentIndex::range_query_normalized_into`] under a budget.
+    /// Returns `false` — with `out` cleared — when the budget trips
+    /// before the query finishes: a partial hit list is unusable (its
+    /// minima may be wrong and its absences mean nothing), so the
+    /// caller must treat the whole probe as unanswered. Trie classes
+    /// checkpoint per descent level; the other backends consult one
+    /// coarse checkpoint up front.
+    pub fn range_query_normalized_budgeted_into(
+        &self,
+        feature: FeatureId,
+        vector: FragmentVectorRef<'_>,
+        sigma: f64,
+        scratch: &mut RangeScratch,
+        budget: &BudgetState,
+        out: &mut Vec<(GraphId, f64)>,
+    ) -> bool {
         let class = &self.classes[feature.index()];
         let ecount = self.features.get(feature).edge_count();
         if let (
@@ -405,11 +433,12 @@ impl FragmentIndex {
             let RangeScratch { frontier, class_best, .. } = scratch;
             class_best.clear();
             class_best.resize(c, f64::INFINITY);
-            trie.range_query(
+            let completed = trie.range_query_budgeted(
                 labels,
                 sigma,
                 |pos, q, stored, costs| md.position_costs_into(pos, ecount, q, stored, costs),
                 frontier,
+                budget,
                 |g, d| {
                     let b = &mut class_best[g.index()];
                     if d < *b {
@@ -417,8 +446,16 @@ impl FragmentIndex {
                     }
                 },
             );
+            if !completed {
+                out.clear();
+                return false;
+            }
             emit_class_hits(&class.graphs, class_best, out);
-            return;
+            return true;
+        }
+        if !budget.checkpoint(CheckpointSite::RangeDescent, 1) {
+            out.clear();
+            return false;
         }
         scratch.begin(self.graph_count);
         let RangeScratch { stamp, best, touched, generation, .. } = scratch;
@@ -472,6 +509,7 @@ impl FragmentIndex {
         out.clear();
         scratch.touched.sort_unstable();
         out.extend(scratch.touched.iter().map(|&g| (g, scratch.best[g.index()])));
+        true
     }
 
     /// Batched form of [`FragmentIndex::range_query_normalized_into`]:
@@ -500,6 +538,34 @@ impl FragmentIndex {
         scratch: &mut RangeScratch,
         outs: &mut [Vec<(GraphId, f64)>],
     ) {
+        let completed = self.range_query_batch_normalized_budgeted_into(
+            feature,
+            nprobes,
+            probe,
+            sigma,
+            scratch,
+            BudgetState::unlimited(),
+            outs,
+        );
+        debug_assert!(completed, "the unlimited budget never interrupts a range query");
+    }
+
+    /// [`FragmentIndex::range_query_batch_normalized_into`] under a
+    /// budget. Returns `false` — with every probe's `outs[i]` cleared —
+    /// when the budget trips mid-batch: emissions interleave across
+    /// probes during the shared descent, so a trip invalidates the
+    /// whole sibling group, not just one probe.
+    #[allow(clippy::too_many_arguments)]
+    pub fn range_query_batch_normalized_budgeted_into<'q>(
+        &self,
+        feature: FeatureId,
+        nprobes: usize,
+        probe: impl Fn(usize) -> FragmentVectorRef<'q>,
+        sigma: f64,
+        scratch: &mut RangeScratch,
+        budget: &BudgetState,
+        outs: &mut [Vec<(GraphId, f64)>],
+    ) -> bool {
         assert_eq!(outs.len(), nprobes, "one output buffer per probe");
         let class = &self.classes[feature.index()];
         let ecount = self.features.get(feature).edge_count();
@@ -515,13 +581,14 @@ impl FragmentIndex {
             let RangeScratch { batch, probe_labels, class_best, .. } = scratch;
             class_best.clear();
             class_best.resize(nprobes * c, f64::INFINITY);
-            trie.range_query_batch(
+            let completed = trie.range_query_batch_budgeted(
                 nprobes,
                 probe_labels,
                 sigma,
                 |pos, qs, stored, out| md.position_costs_into_multi(pos, ecount, qs, stored, out),
                 |pos| md.position_is_zero(pos, ecount),
                 batch,
+                budget,
                 |p, acc, slots| {
                     let row = &mut class_best[p as usize * c..(p as usize + 1) * c];
                     for &s in slots {
@@ -532,14 +599,33 @@ impl FragmentIndex {
                     }
                 },
             );
+            if !completed {
+                for out in outs.iter_mut() {
+                    out.clear();
+                }
+                return false;
+            }
             for (p, out) in outs.iter_mut().enumerate() {
                 emit_class_hits(&class.graphs, &class_best[p * c..(p + 1) * c], out);
             }
         } else {
-            for (i, out) in outs.iter_mut().enumerate() {
-                self.range_query_normalized_into(feature, probe(i), sigma, scratch, out);
+            for i in 0..nprobes {
+                if !self.range_query_normalized_budgeted_into(
+                    feature,
+                    probe(i),
+                    sigma,
+                    scratch,
+                    budget,
+                    &mut outs[i],
+                ) {
+                    for out in outs.iter_mut() {
+                        out.clear();
+                    }
+                    return false;
+                }
             }
         }
+        true
     }
 
     /// Enumerates the indexed fragments of a query graph (Algorithm 2,

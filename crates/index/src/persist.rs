@@ -29,6 +29,16 @@ use crate::vptree::VpTree;
 /// Format magic + version.
 const MAGIC: &str = "PISIDX 1";
 
+/// Pre-allocation ceiling for counts parsed from untrusted input. The
+/// vectors still grow to whatever the stream actually contains; the cap
+/// only stops a corrupt count from reserving gigabytes up front.
+const PREALLOC_CAP: usize = 1 << 12;
+
+/// Largest accepted score-matrix size. Label alphabets in this system
+/// are tiny; the cap keeps `size * size` cells from overflowing or
+/// allocating unboundedly on corrupt input.
+const MAX_MATRIX_SIZE: usize = 1 << 12;
+
 /// Errors raised while loading a persisted index.
 #[derive(Debug)]
 pub enum PersistError {
@@ -180,7 +190,7 @@ pub fn load_index<R: BufRead>(r: R) -> Result<FragmentIndex, PersistError> {
     // Features.
     let feature_count: usize = lines.field("features")?;
     let mut features = FeatureSet::new();
-    let mut edge_counts = Vec::with_capacity(feature_count);
+    let mut edge_counts = Vec::with_capacity(feature_count.min(PREALLOC_CAP));
     for _ in 0..feature_count {
         let (line, no) = lines.next_line()?;
         let mut toks = line.split_whitespace();
@@ -193,11 +203,17 @@ pub fn load_index<R: BufRead>(r: R) -> Result<FragmentIndex, PersistError> {
             .collect::<Result<_, _>>()?;
         let code = sequence_to_code(&seq, no)?;
         edge_counts.push(code.edge_count());
-        features.insert(code, support);
+        let (_, fresh) = features.insert(code, support);
+        // The class loop below addresses features by position; a
+        // duplicated feature line would silently shift every later
+        // class onto the wrong feature (or index out of bounds).
+        if !fresh {
+            return Err(parse_err(no, "duplicate feature"));
+        }
     }
 
     // Classes.
-    let mut classes = Vec::with_capacity(feature_count);
+    let mut classes = Vec::with_capacity(edge_counts.len());
     for (ci, &ecount) in edge_counts.iter().enumerate() {
         let (line, no) = lines.next_line()?;
         let mut toks = line.split_whitespace();
@@ -225,6 +241,15 @@ pub fn load_index<R: BufRead>(r: R) -> Result<FragmentIndex, PersistError> {
         if graphs.len() != count {
             return Err(parse_err(no, "posting length mismatch"));
         }
+        // Postings are saved ascending; the trie entry translation
+        // below binary-searches them, and every id must name a graph
+        // that actually exists in the database this index claims.
+        if graphs.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(parse_err(no, "posting list not strictly ascending"));
+        }
+        if graphs.last().is_some_and(|g| g.index() >= graph_count) {
+            return Err(parse_err(no, "posting graph id out of range"));
+        }
 
         let entry_count: usize = lines.field("entries")?;
         let feature = features.get(pis_mining::FeatureId(ci as u32));
@@ -242,6 +267,9 @@ pub fn load_index<R: BufRead>(r: R) -> Result<FragmentIndex, PersistError> {
                         v.push(Label(parse_num(toks.next(), no, "label slot")?));
                     }
                     let gid = GraphId(parse_num(toks.next(), no, "entry graph id")?);
+                    if gid.index() >= graph_count {
+                        return Err(parse_err(no, "entry graph id out of range"));
+                    }
                     // Saved trie entries carry global graph ids; the
                     // in-memory trie stores class-local slots into the
                     // (already parsed) posting list — translate here,
@@ -262,6 +290,9 @@ pub fn load_index<R: BufRead>(r: R) -> Result<FragmentIndex, PersistError> {
                         v.push(parse_hex_f64(toks.next(), no)?);
                     }
                     let gid = GraphId(parse_num(toks.next(), no, "entry graph id")?);
+                    if gid.index() >= graph_count {
+                        return Err(parse_err(no, "entry graph id out of range"));
+                    }
                     weight_entries.push((v, gid));
                 }
                 _ => return Err(parse_err(no, "expected entry 'L' or 'W'")),
@@ -340,6 +371,12 @@ fn load_matrix<R: BufRead>(lines: &mut Lines<R>, tag: &str) -> Result<ScoreMatri
         return Err(parse_err(no, &format!("expected '{tag}'")));
     }
     let size: usize = parse_num(toks.next(), no, "matrix size")?;
+    if size > MAX_MATRIX_SIZE {
+        return Err(parse_err(
+            no,
+            &format!("matrix size {size} exceeds the {MAX_MATRIX_SIZE} cap"),
+        ));
+    }
     let default = parse_hex_f64(toks.next(), no)?;
     let mut costs = vec![0.0; size * size];
     for cell in costs.iter_mut() {
@@ -372,9 +409,16 @@ fn hex_f64(x: f64) -> String {
 
 fn parse_hex_f64(tok: Option<&str>, line: usize) -> Result<f64, PersistError> {
     let tok = tok.ok_or_else(|| parse_err(line, "missing float field"))?;
-    u64::from_str_radix(tok, 16)
+    let x = u64::from_str_radix(tok, 16)
         .map(f64::from_bits)
-        .map_err(|_| parse_err(line, &format!("invalid float bits '{tok}'")))
+        .map_err(|_| parse_err(line, &format!("invalid float bits '{tok}'")))?;
+    // NaN or infinite stored floats would poison every superimposed
+    // distance downstream (and break the vp-tree's total order); no
+    // honest save ever writes them.
+    if !x.is_finite() {
+        return Err(parse_err(line, &format!("non-finite float '{tok}'")));
+    }
+    Ok(x)
 }
 
 fn parse_num<T: std::str::FromStr>(
@@ -403,18 +447,51 @@ fn sequence_to_code(
     if seq.len() != 3 + edge_count * 5 {
         return Err(parse_err(line, "feature sequence length mismatch"));
     }
+    // `DfsCode::to_graph` trusts its indices (miner-produced codes are
+    // valid by construction); a persisted code is untrusted, so check
+    // here everything that would otherwise panic inside it: vertex ids
+    // beyond the connected bound V <= E + 1, self-loops, repeated
+    // edges, and index gaps that leave a vertex with no label.
     let mut edges = Vec::with_capacity(edge_count);
+    let vertex_cap = edge_count as u32 + 1;
     for k in 0..edge_count {
         let base = 3 + k * 5;
+        let (from, to) = (seq[base], seq[base + 1]);
+        if from >= vertex_cap || to >= vertex_cap {
+            return Err(parse_err(line, "feature vertex id out of range"));
+        }
+        if from == to {
+            return Err(parse_err(line, "feature edge is a self-loop"));
+        }
+        if edges
+            .iter()
+            .any(|e: &DfsEdge| (e.from, e.to) == (from, to) || (e.from, e.to) == (to, from))
+        {
+            return Err(parse_err(line, "feature edge repeated"));
+        }
         edges.push(DfsEdge {
-            from: seq[base],
-            to: seq[base + 1],
+            from,
+            to,
             from_label: Label(seq[base + 2]),
             edge_label: Label(seq[base + 3]),
             to_label: Label(seq[base + 4]),
         });
     }
+    if !edges.is_empty() {
+        let max_id = edges.iter().map(|e| e.from.max(e.to)).max().unwrap() as usize;
+        let mut seen = vec![false; max_id + 1];
+        for e in &edges {
+            seen[e.from as usize] = true;
+            seen[e.to as usize] = true;
+        }
+        if seen.iter().any(|&s| !s) {
+            return Err(parse_err(line, "feature vertex ids have gaps"));
+        }
+    }
     let code = DfsCode { edges, root_label: Label(seq[2]) };
+    if seq[0] as usize != code.vertex_count() {
+        return Err(parse_err(line, "feature vertex count mismatch"));
+    }
     // Defensive: the representative must be canonical, else lookups on
     // the loaded index would mis-hash.
     let canon = min_dfs_code(&code.to_graph())

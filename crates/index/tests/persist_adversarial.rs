@@ -1,0 +1,177 @@
+//! Adversarial corpus for [`pis_index::persist::load_index`].
+//!
+//! A persisted index is untrusted input: a truncated copy, a bit-flipped
+//! sector or a hand-edited file must come back as a typed
+//! [`PersistError`], never a panic or an unbounded allocation. The
+//! deterministic cases below each encode one panic the loader used to
+//! be vulnerable to; the proptest sweeps mutate a valid save at random
+//! positions and assert the loader survives every variant.
+
+use pis_distance::MutationDistance;
+use pis_graph::{EdgeAttr, GraphBuilder, Label, LabeledGraph, VertexAttr};
+use pis_index::persist::{load_index, save_index, PersistError};
+use pis_index::{Backend, FragmentIndex, IndexConfig, IndexDistance};
+use pis_mining::exhaustive::exhaustive_features;
+use proptest::prelude::*;
+
+fn ring(labels: &[u32]) -> LabeledGraph {
+    let mut b = GraphBuilder::new();
+    let n = labels.len();
+    let vs = b.add_vertices(n, VertexAttr::labeled(Label(0)));
+    for (i, &l) in labels.iter().enumerate() {
+        b.add_edge(vs[i], vs[(i + 1) % n], EdgeAttr::labeled(Label(l))).unwrap();
+    }
+    b.build()
+}
+
+/// A small but representative saved index (trie backend, mutation
+/// distance, several classes).
+fn valid_save(backend: Backend) -> Vec<u8> {
+    let db = vec![ring(&[1, 1, 1, 1]), ring(&[1, 2, 1, 2]), ring(&[2, 2, 2, 2])];
+    let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+    let index = FragmentIndex::build(
+        &db,
+        exhaustive_features(&structures, 3),
+        IndexDistance::Mutation(MutationDistance::edge_hamming()),
+        &IndexConfig { backend, ..IndexConfig::default() },
+    );
+    let mut buf = Vec::new();
+    save_index(&index, &mut buf).unwrap();
+    buf
+}
+
+/// Loads and demands a typed outcome: `Ok` (the mutation happened to be
+/// harmless) or a `PersistError` — anything else is a panic and fails
+/// the test on its own.
+fn load_survives(bytes: &[u8]) -> Result<(), String> {
+    match load_index(bytes) {
+        Ok(_) => Ok(()),
+        Err(PersistError::Io(_)) | Err(PersistError::Parse { .. }) => Ok(()),
+    }
+}
+
+#[test]
+fn out_of_range_ids_are_rejected() {
+    let text = String::from_utf8(valid_save(Backend::Trie)).unwrap();
+    // Posting ids at or past `graphs N` must be rejected, not carried
+    // into bitset indexing later.
+    let bad = text.replace("posting 3 0 1 2 ", "posting 3 0 1 99 ");
+    assert!(matches!(load_index(bad.as_bytes()), Err(PersistError::Parse { .. })), "{bad}");
+    // Unsorted postings would break the trie's slot translation.
+    let bad = text.replace("posting 3 0 1 2 ", "posting 3 2 1 0 ");
+    assert!(matches!(load_index(bad.as_bytes()), Err(PersistError::Parse { .. })));
+}
+
+#[test]
+fn non_finite_floats_are_rejected() {
+    let text = String::from_utf8(valid_save(Backend::Trie)).unwrap();
+    let finite_bits = text
+        .split_whitespace()
+        .find(|t| t.len() == 16 && u64::from_str_radix(t, 16).is_ok())
+        .expect("a save contains hex floats")
+        .to_string();
+    for bad_bits in ["7ff8000000000000", "7ff0000000000000", "fff0000000000000"] {
+        let bad = text.replacen(&finite_bits, bad_bits, 1);
+        assert!(
+            matches!(load_index(bad.as_bytes()), Err(PersistError::Parse { .. })),
+            "NaN/∞ bits {bad_bits} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn duplicate_features_are_rejected() {
+    let text = String::from_utf8(valid_save(Backend::Trie)).unwrap();
+    let feature_line =
+        text.lines().find(|l| l.starts_with("feature ")).expect("save has features").to_string();
+    // Duplicating a feature line (and bumping the count to match) used
+    // to desynchronize the positional class↔feature mapping and index
+    // out of bounds.
+    let count = text.lines().filter(|l| l.starts_with("feature ")).count();
+    let bad = text
+        .replace(&format!("features {count}"), &format!("features {}", count + 1))
+        .replacen(&feature_line, &format!("{feature_line}\n{feature_line}"), 1);
+    assert!(matches!(load_index(bad.as_bytes()), Err(PersistError::Parse { .. })));
+}
+
+#[test]
+fn malformed_feature_codes_are_rejected() {
+    // Hand-built streams around `sequence_to_code`: each used to panic
+    // inside `DfsCode::to_graph` before validation moved up front.
+    let head = "PISIDX 1\ngraphs 0\nmax_embeddings 100\n\
+                distance linear 3ff0000000000000 3ff0000000000000\nfeatures 1\n";
+    for (what, feature) in [
+        ("self-loop", "feature 1 2 1 0 0 0 0 0 0"),
+        ("vertex id out of range", "feature 1 2 1 0 4000000000 0 0 0 0"),
+        ("vertex id gap", "feature 1 4 3 0 0 2 0 0 0 2 3 0 0 0 0 3 0 0 0"),
+        ("repeated edge", "feature 1 2 2 0 1 0 0 0 0 1 0 0 0 0"),
+        ("vertex count mismatch", "feature 1 9 1 0 1 0 0 0 0"),
+    ] {
+        let bad = format!("{head}{feature}\n");
+        assert!(
+            matches!(load_index(bad.as_bytes()), Err(PersistError::Parse { .. })),
+            "{what} must be a typed parse error"
+        );
+    }
+}
+
+#[test]
+fn oversized_counts_do_not_allocate() {
+    // A corrupt count must fail on the missing data, not reserve
+    // gigabytes first.
+    let huge = "PISIDX 1\ngraphs 5\nmax_embeddings 100\n\
+                distance linear 3ff0000000000000 3ff0000000000000\n\
+                features 18446744073709551615\n";
+    assert!(load_index(huge.as_bytes()).is_err());
+    let huge_matrix = "PISIDX 1\ngraphs 5\nmax_embeddings 100\ndistance mutation\n\
+                       vertex_matrix 4294967295 3ff0000000000000\n";
+    assert!(load_index(huge_matrix.as_bytes()).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Truncating a valid save anywhere yields a typed error or a
+    /// harmless no-op (cutting trailing bytes past `end`), never a
+    /// panic.
+    #[test]
+    fn truncations_never_panic(frac in 0usize..10_000, backend in 0u8..2) {
+        let bytes = valid_save(if backend == 0 { Backend::Trie } else { Backend::VpTree });
+        let cut = bytes.len() * frac / 10_000;
+        prop_assert!(load_survives(&bytes[..cut]).is_ok());
+    }
+
+    /// Single-byte corruption (overwrite, insert, delete) at any
+    /// position never panics the loader.
+    #[test]
+    fn byte_mutations_never_panic(
+        pos in 0usize..10_000,
+        byte in 0u8..=255,
+        kind in 0u8..3,
+    ) {
+        let mut bytes = valid_save(Backend::Trie);
+        let pos = pos % bytes.len();
+        match kind {
+            0 => bytes[pos] = byte,
+            1 => bytes.insert(pos, byte),
+            _ => { bytes.remove(pos); }
+        }
+        prop_assert!(load_survives(&bytes).is_ok());
+    }
+
+    /// Duplicating any whole line (sections included) never panics.
+    #[test]
+    fn duplicated_lines_never_panic(which in 0usize..10_000) {
+        let text = String::from_utf8(valid_save(Backend::Trie)).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let dup = lines[which % lines.len()];
+        let mut mutated = Vec::with_capacity(lines.len() + 1);
+        for (i, l) in lines.iter().enumerate() {
+            mutated.push(*l);
+            if i == which % lines.len() {
+                mutated.push(dup);
+            }
+        }
+        prop_assert!(load_survives(mutated.join("\n").as_bytes()).is_ok());
+    }
+}

@@ -16,6 +16,8 @@
 //! keeps the *last* maximum) and the floating-point summation order are
 //! both preserved.
 
+use pis_graph::budget::{BudgetState, CheckpointSite};
+
 use crate::overlap::OverlapGraph;
 use crate::scratch::{mask_and_count, mask_clear, PartitionScratch, BITS};
 
@@ -42,6 +44,24 @@ pub fn exact_mwis_with(
     scratch: &mut PartitionScratch,
     selection: &mut Vec<usize>,
 ) {
+    let completed = exact_mwis_budgeted_with(graph, scratch, selection, BudgetState::unlimited());
+    debug_assert!(completed, "the unlimited budget never interrupts the exact solver");
+}
+
+/// [`exact_mwis_with`] under a query budget: charges one
+/// [`CheckpointSite::Partition`] unit per branch-and-bound node and
+/// returns whether the search ran to optimality. On `false` the
+/// selection holds the incumbent found so far — callers degrade to a
+/// greedy solve instead of trusting it.
+///
+/// # Panics
+/// Panics if the graph has more than [`EXACT_MWIS_MAX_NODES`] nodes.
+pub fn exact_mwis_budgeted_with(
+    graph: &OverlapGraph,
+    scratch: &mut PartitionScratch,
+    selection: &mut Vec<usize>,
+    budget: &BudgetState,
+) -> bool {
     assert!(
         graph.len() <= EXACT_MWIS_MAX_NODES,
         "exact MWIS capped at {EXACT_MWIS_MAX_NODES} nodes ({} given)",
@@ -56,7 +76,7 @@ pub fn exact_mwis_with(
     scratch.current.clear();
     scratch.incumbent.clear();
     let mut best_weight = f64::NEG_INFINITY;
-    branch(
+    let completed = branch(
         graph,
         &mut scratch.stack,
         0,
@@ -64,17 +84,21 @@ pub fn exact_mwis_with(
         &mut scratch.current,
         &mut scratch.incumbent,
         &mut best_weight,
+        budget,
     );
     selection.clear();
     selection.extend_from_slice(&scratch.incumbent);
     selection.sort_unstable();
+    completed
 }
 
 /// One branch-and-bound node; the alive mask lives at arena level
 /// `depth` (`stack[depth*wpr..(depth+1)*wpr]`). Excluding the pivot
 /// mutates the current level in place and recurses at the same depth —
 /// every call removes at least one vertex, so nesting is bounded by the
-/// node count.
+/// node count. Returns `false` when the budget tripped and the search
+/// unwound without exploring its remaining subtree.
+#[allow(clippy::too_many_arguments)]
 fn branch(
     graph: &OverlapGraph,
     stack: &mut Vec<u64>,
@@ -83,7 +107,11 @@ fn branch(
     current: &mut Vec<usize>,
     best: &mut Vec<usize>,
     best_weight: &mut f64,
-) {
+    budget: &BudgetState,
+) -> bool {
+    if !budget.checkpoint(CheckpointSite::Partition, 1) {
+        return false;
+    }
     let wpr = graph.words_per_row();
     // Bound first, from a cheap weight-only bit-scan (ascending node
     // order, like the reference): even taking every remaining node
@@ -102,7 +130,7 @@ fn branch(
         }
     }
     if current_weight + remaining_weight <= *best_weight {
-        return;
+        return true;
     }
     // Pivot: highest alive-degree node via AND+popcount per live node
     // (`>=` keeps the last maximum, matching the reference's
@@ -129,7 +157,7 @@ fn branch(
             *best_weight = current_weight;
             best.clone_from(current);
         }
-        return;
+        return true;
     };
 
     // Include v: the next arena level gets alive minus v's closed
@@ -144,12 +172,24 @@ fn branch(
     }
     mask_clear(&mut rest[..wpr], v);
     current.push(v);
-    branch(graph, stack, depth + 1, current_weight + graph.weight(v), current, best, best_weight);
+    let completed = branch(
+        graph,
+        stack,
+        depth + 1,
+        current_weight + graph.weight(v),
+        current,
+        best,
+        best_weight,
+        budget,
+    );
     current.pop();
+    if !completed {
+        return false;
+    }
 
     // Exclude v: drop it from the current level and continue in place.
     mask_clear(&mut stack[depth * wpr..(depth + 1) * wpr], v);
-    branch(graph, stack, depth, current_weight, current, best, best_weight);
+    branch(graph, stack, depth, current_weight, current, best, best_weight, budget)
 }
 
 #[cfg(test)]
@@ -244,6 +284,27 @@ mod tests {
     fn oversized_instance_rejected() {
         let g = OverlapGraph::from_parts(vec![1.0; 129], vec![]);
         let _ = exact_mwis(&g);
+    }
+
+    #[test]
+    fn budget_trip_unwinds_and_scratch_stays_usable() {
+        use pis_graph::budget::QueryBudget;
+        let g = OverlapGraph::from_parts(
+            vec![4.0, 2.0, 1.0, 10.0, 6.0, 7.0, 3.0],
+            (0..6).map(|i| (i, i + 1)).collect(),
+        );
+        let state =
+            BudgetState::new(&QueryBudget { node_limit: Some(2), ..QueryBudget::default() });
+        let mut scratch = PartitionScratch::new();
+        let mut sel = Vec::new();
+        let completed = exact_mwis_budgeted_with(&g, &mut scratch, &mut sel, &state);
+        assert!(!completed, "a 2-node budget cannot finish this instance");
+        assert!(state.is_tripped());
+        assert_eq!(state.trip_site(), Some(CheckpointSite::Partition));
+        // The same scratch re-solves to optimality once unconstrained.
+        let mut sel2 = Vec::new();
+        assert!(exact_mwis_budgeted_with(&g, &mut scratch, &mut sel2, BudgetState::unlimited()));
+        assert_eq!(sel2, exact_mwis(&g));
     }
 
     #[test]

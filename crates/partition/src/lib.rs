@@ -36,7 +36,7 @@ pub mod reference;
 pub mod scratch;
 
 pub use enhanced::{enhanced_greedy_mwis, enhanced_greedy_mwis_with};
-pub use exact::{exact_mwis, exact_mwis_with, EXACT_MWIS_MAX_NODES};
+pub use exact::{exact_mwis, exact_mwis_budgeted_with, exact_mwis_with, EXACT_MWIS_MAX_NODES};
 pub use greedy::{greedy_mwis, greedy_mwis_with};
 pub use overlap::OverlapGraph;
 pub use scratch::PartitionScratch;

@@ -45,9 +45,25 @@ usage:
   pis stats    DB.lg
   pis sample   DB.lg --edges M [--count N] [--seed S] --out QUERIES.lg
   pis build    DB.lg --out INDEX.pis [--max-edges L] [--features gindex|paths|exhaustive]
-  pis search   DB.lg --index INDEX.pis --query QUERIES.lg --sigma S [--baseline topo|naive] [--explain]
-  pis knn      DB.lg --index INDEX.pis --query QUERIES.lg -k K
+  pis search   DB.lg --index INDEX.pis --query QUERIES.lg --sigma S [--baseline topo|naive]
+               [--explain] [--time-limit-ms T] [--node-limit N]
+  pis knn      DB.lg --index INDEX.pis --query QUERIES.lg -k K [--time-limit-ms T] [--node-limit N]
   pis dot      DB.lg [--graph I]";
+
+/// Builds a [`QueryBudget`] from the shared `--time-limit-ms` /
+/// `--node-limit` flags (unlimited when neither is given).
+fn parse_budget(flags: &Flags<'_>) -> Result<QueryBudget, String> {
+    let mut budget = QueryBudget::unlimited();
+    if let Some(ms) = flags.value("time-limit-ms") {
+        let ms: u64 = ms.parse().map_err(|_| format!("invalid --time-limit-ms: '{ms}'"))?;
+        budget.time_limit = Some(std::time::Duration::from_millis(ms));
+    }
+    if let Some(n) = flags.value("node-limit") {
+        let n: u64 = n.parse().map_err(|_| format!("invalid --node-limit: '{n}'"))?;
+        budget.node_limit = Some(n);
+    }
+    Ok(budget)
+}
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut it = args.iter();
@@ -225,12 +241,16 @@ fn cmd_build(args: &[&String]) -> Result<(), String> {
 }
 
 fn cmd_search(args: &[&String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &["index", "query", "sigma", "baseline"])?;
+    let flags = Flags::parse(
+        args,
+        &["index", "query", "sigma", "baseline", "time-limit-ms", "node-limit"],
+    )?;
     let db = load_db(flags.positional(0, "database file")?)?;
     let index = load_idx(flags.required("index")?)?;
     let queries = load_db(flags.required("query")?)?;
     let sigma: f64 = flags.num("sigma", 2.0)?;
     let explain = flags.has("explain");
+    let budget = parse_budget(&flags)?;
     if db.len() != index.graph_count() {
         return Err("database and index sizes differ".into());
     }
@@ -238,10 +258,19 @@ fn cmd_search(args: &[&String]) -> Result<(), String> {
         let start = Instant::now();
         let (answers, distances, candidates) = match flags.value("baseline") {
             None => {
-                let searcher = pis::core::PisSearcher::new(&index, &db, PisConfig::default());
-                let o = searcher.search(q, sigma);
+                let config = PisConfig { budget: budget.clone(), ..PisConfig::default() };
+                let searcher = pis::core::PisSearcher::new(&index, &db, config);
+                let o = searcher.try_search(q, sigma).map_err(|e| format!("query {qi}: {e}"))?;
                 if explain {
                     print!("{}", pis::core::explain(&o, &index, sigma));
+                }
+                if let Completeness::Truncated { phase, .. } = &o.completeness {
+                    println!(
+                        "query {qi}: budget exhausted in {} — answers below are verified, \
+                         {} candidates left undecided",
+                        phase.name(),
+                        o.possible.len()
+                    );
                 }
                 (o.answers, o.answer_distances, o.candidates.len())
             }
@@ -275,21 +304,32 @@ fn cmd_search(args: &[&String]) -> Result<(), String> {
 }
 
 fn cmd_knn(args: &[&String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &["index", "query", "k"])?;
+    let flags = Flags::parse(args, &["index", "query", "k", "time-limit-ms", "node-limit"])?;
     let db = load_db(flags.positional(0, "database file")?)?;
     let index = load_idx(flags.required("index")?)?;
     let queries = load_db(flags.required("query")?)?;
     let k: usize = flags.num("k", 5)?;
-    let searcher = pis::core::PisSearcher::new(&index, &db, PisConfig::default());
+    let budget = parse_budget(&flags)?;
+    let config = PisConfig { budget, ..PisConfig::default() };
+    let searcher = pis::core::PisSearcher::new(&index, &db, config);
     for (qi, q) in queries.iter().enumerate() {
         let start = Instant::now();
-        let knn = searcher.knn(q, k, 1.0, (q.edge_count() + q.vertex_count()) as f64);
+        let knn = searcher
+            .try_knn(q, k, 1.0, (q.edge_count() + q.vertex_count()) as f64)
+            .map_err(|e| format!("query {qi}: {e}"))?;
         println!(
             "query {qi}: {} neighbors (radius {}) in {:?}",
             knn.neighbors.len(),
             knn.radius,
             start.elapsed()
         );
+        if !knn.completeness.is_exact() {
+            println!(
+                "query {qi}: budget exhausted — neighbors are best-so-far, \
+                 certified up to radius {}",
+                knn.certified_radius
+            );
+        }
         for n in &knn.neighbors {
             println!("  {} distance {}", n.graph, n.distance);
         }

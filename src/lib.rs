@@ -51,7 +51,9 @@ pub use pis_index as index;
 pub use pis_mining as mining;
 pub use pis_partition as partition;
 
-use pis_core::{BaselineOutcome, PisConfig, PisSearcher, SearchOutcome};
+use pis_core::{
+    BaselineOutcome, KnnOutcome, PisConfig, PisSearcher, QueryBudget, QueryError, SearchOutcome,
+};
 use pis_distance::{LinearDistance, MutationDistance};
 use pis_graph::{GraphId, LabeledGraph};
 use pis_index::{Backend, FragmentIndex, IndexConfig, IndexDistance};
@@ -61,7 +63,8 @@ use pis_mining::{FeatureSet, GindexConfig};
 pub mod prelude {
     pub use crate::{FeatureSource, PisSystem, PisSystemBuilder};
     pub use pis_core::{
-        PartitionAlgo, PisConfig, SearchOutcome, SearchScratch, SearchStats, VerifyScratch,
+        BudgetStats, Completeness, KnnOutcome, Neighbor, PartitionAlgo, PisConfig, QueryBudget,
+        QueryError, SearchOutcome, SearchScratch, SearchStats, TruncationPhase, VerifyScratch,
         VerifyStats,
     };
     pub use pis_datasets::{DatasetStats, MoleculeConfig, MoleculeGenerator};
@@ -234,12 +237,54 @@ impl PisSystem {
         PisSearcher::new(&self.index, &self.database, config).search(query, sigma)
     }
 
+    /// [`PisSystem::search`] with the inputs validated first: rejects
+    /// non-finite or negative `sigma` and queries carrying NaN/∞
+    /// weights with a typed [`QueryError`] instead of propagating
+    /// garbage through the funnel.
+    pub fn try_search(
+        &self,
+        query: &LabeledGraph,
+        sigma: f64,
+    ) -> Result<SearchOutcome, QueryError> {
+        self.searcher().try_search(query, sigma)
+    }
+
+    /// [`PisSystem::search`] under a per-call [`QueryBudget`]
+    /// (deadline, node budget, cancellation). See
+    /// [`SearchOutcome::completeness`] for whether the answer set is
+    /// exact or truncated-but-sound.
+    pub fn search_budgeted(
+        &self,
+        query: &LabeledGraph,
+        sigma: f64,
+        budget: &QueryBudget,
+    ) -> SearchOutcome {
+        self.searcher().search_budgeted(query, sigma, budget)
+    }
+
     /// Finds the `k` structurally matching graphs nearest to `query`
     /// (top-k form of SSSD, via progressive radius widening).
-    pub fn knn(&self, query: &LabeledGraph, k: usize) -> pis_core::KnnOutcome {
-        let searcher = self.searcher();
-        // Mutation distances are bounded by the per-element maxima times
-        // the query size; linear distances get a generous cap.
+    pub fn knn(&self, query: &LabeledGraph, k: usize) -> KnnOutcome {
+        self.searcher().knn(query, k, 1.0, self.knn_max_radius(query))
+    }
+
+    /// [`PisSystem::knn`] with validated inputs (finite radii, finite
+    /// query weights) reported as a typed [`QueryError`].
+    pub fn try_knn(&self, query: &LabeledGraph, k: usize) -> Result<KnnOutcome, QueryError> {
+        self.searcher().try_knn(query, k, 1.0, self.knn_max_radius(query))
+    }
+
+    /// [`PisSystem::knn`] under a per-call [`QueryBudget`]. On a tripped
+    /// budget the outcome holds the best neighbors found so far and a
+    /// `certified_radius` up to which the ranking is guaranteed.
+    pub fn knn_budgeted(&self, query: &LabeledGraph, k: usize, budget: &QueryBudget) -> KnnOutcome {
+        self.searcher().knn_budgeted(query, k, 1.0, self.knn_max_radius(query), budget)
+    }
+
+    /// The widest radius `knn` will ever explore for `query`: mutation
+    /// distances are bounded by the per-element maxima times the query
+    /// size; linear distances get a generous cap.
+    fn knn_max_radius(&self, query: &LabeledGraph) -> f64 {
         let max_radius = match self.index.distance() {
             IndexDistance::Mutation(md) => {
                 md.edge_scores().max_cost() * query.edge_count() as f64
@@ -247,7 +292,7 @@ impl PisSystem {
             }
             IndexDistance::Linear(_) => f64::MAX / 4.0,
         };
-        searcher.knn(query, k, 1.0, max_radius.max(1.0))
+        max_radius.max(1.0)
     }
 
     /// The structure-only baseline (Section 2).
@@ -362,6 +407,44 @@ mod tests {
         for (i, g) in db.iter().enumerate() {
             assert_eq!(system.graph(GraphId(i as u32)), g);
         }
+    }
+
+    #[test]
+    fn facade_budgeted_and_validated_entry_points() {
+        let db = tiny_db();
+        let system = PisSystem::builder().exhaustive_features(3).build(db.clone());
+        let q = db[0].clone();
+
+        // Validation rejects bad sigma; a valid call matches `search`.
+        assert!(matches!(system.try_search(&q, f64::NAN), Err(QueryError::InvalidSigma(_))));
+        let exact = system.search(&q, 1.0);
+        let tried = system.try_search(&q, 1.0).expect("valid query");
+        assert_eq!(tried.answers, exact.answers);
+        assert!(tried.completeness.is_exact());
+
+        // An unlimited per-call budget reproduces the exact outcome; an
+        // exhausted one truncates soundly (answers ⊆ exact).
+        let unlimited = system.search_budgeted(&q, 1.0, &QueryBudget::unlimited());
+        assert_eq!(unlimited.answers, exact.answers);
+        assert!(unlimited.completeness.is_exact());
+        let starved = system.search_budgeted(
+            &q,
+            1.0,
+            &QueryBudget { node_limit: Some(1), ..QueryBudget::default() },
+        );
+        assert!(!starved.completeness.is_exact());
+        assert!(starved.answers.iter().all(|g| exact.answers.contains(g)));
+
+        // kNN mirrors the same trio.
+        let knn = system.knn(&q, 2);
+        let tried = system.try_knn(&q, 2).expect("valid query");
+        assert_eq!(tried.neighbors, knn.neighbors);
+        let starved = system.knn_budgeted(
+            &q,
+            2,
+            &QueryBudget { node_limit: Some(1), ..QueryBudget::default() },
+        );
+        assert!(starved.certified_radius <= knn.radius);
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Fault-injection tier (runs only with `--features failpoints`).
+//!
+//! The `failpoints` feature compiles deterministic failpoint consults
+//! into every budget checkpoint (see `vendor/failpoints`), so these
+//! tests can force "the deadline elapsed exactly at checkpoint N of
+//! phase X" — or a worker panic at that spot — without racing a real
+//! clock. Each scenario asserts the robustness contract: truncated but
+//! sound, or panicked but reusable.
+#![cfg(feature = "failpoints")]
+
+mod common;
+
+use std::sync::Mutex;
+
+use common::ring;
+use pis::core::PisSearcher;
+use pis::distance::oracle::sssd_brute;
+use pis::prelude::*;
+
+/// The failpoint registry is process-global: every test serializes
+/// itself behind this lock and disarms on entry and exit.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn db() -> Vec<LabeledGraph> {
+    vec![
+        ring(&[1, 1, 1, 1, 1, 1]),
+        ring(&[1, 1, 1, 1, 1, 2]),
+        ring(&[1, 1, 1, 1, 2, 2]),
+        ring(&[1, 1, 1, 2, 2, 2]),
+        ring(&[2, 2, 2, 2, 2, 2]),
+        ring(&[1, 2, 1, 2, 1, 2]),
+    ]
+}
+
+fn system(partition: PartitionAlgo) -> PisSystem {
+    PisSystem::builder()
+        .mutation_distance(MutationDistance::edge_hamming())
+        .exhaustive_features(4)
+        .search_config(PisConfig { partition, ..PisConfig::default() })
+        .build(db())
+}
+
+/// Exact answer set of the brute-force oracle, as raw indices.
+fn exact(database: &[LabeledGraph], query: &LabeledGraph, sigma: f64) -> Vec<usize> {
+    sssd_brute(database, query, &MutationDistance::edge_hamming(), sigma)
+}
+
+/// Asserts the graceful-degradation contract of one outcome against the
+/// oracle: verified answers ⊆ exact, and exact ⊆ answers ∪ possible.
+fn assert_sound(outcome: &SearchOutcome, exact: &[usize], context: &str) {
+    for a in &outcome.answers {
+        assert!(exact.contains(&a.index()), "{context}: fabricated answer {a}");
+    }
+    for e in exact {
+        let covered = outcome.answers.iter().any(|g| g.index() == *e)
+            || outcome.possible.iter().any(|g| g.index() == *e);
+        assert!(covered, "{context}: true answer {e} silently dropped");
+    }
+}
+
+/// A deadline elapsing at checkpoint N of each phase — for every N until
+/// the phase stops consulting — yields a truncated-but-sound outcome.
+#[test]
+fn deadline_at_every_checkpoint_of_every_phase_is_sound() {
+    let _guard = SERIAL.lock().unwrap();
+    let query = ring(&[1, 1, 1, 1, 1, 1]);
+    let sigma = 2.0;
+    let oracle = exact(&db(), &query, sigma);
+    assert!(!oracle.is_empty(), "workload must have answers to protect");
+    for (site, algo) in [
+        ("range-descent", PartitionAlgo::Greedy),
+        ("partition", PartitionAlgo::Exact),
+        ("structure-check", PartitionAlgo::Greedy),
+        ("verify", PartitionAlgo::Greedy),
+    ] {
+        let system = system(algo);
+        let mut tripped_at_least_once = false;
+        for n in 1..40u64 {
+            failpoints::disarm_all();
+            failpoints::arm(site, n);
+            let outcome = system.search(&query, sigma);
+            failpoints::disarm_all();
+            assert_sound(&outcome, &oracle, &format!("{site} trip at consult {n}"));
+            match &outcome.completeness {
+                Completeness::Truncated { phase, .. } => {
+                    tripped_at_least_once = true;
+                    // The first tripping site is one of the armed
+                    // phase's checkpoints (an earlier phase can only
+                    // trip if it shares the site name, which none do).
+                    assert_eq!(phase.name(), site, "trip must be attributed to its phase");
+                }
+                Completeness::Exact => {
+                    // The site was consulted fewer than n times: the
+                    // whole search ran to completion and must be exact.
+                    let got: Vec<usize> = outcome.answers.iter().map(|g| g.index()).collect();
+                    assert_eq!(got, oracle, "untripped run must equal the oracle");
+                }
+            }
+        }
+        assert!(tripped_at_least_once, "site {site} was never consulted — dead checkpoint?");
+    }
+}
+
+/// A mid-verification deadline leaves the already-verified prefix in
+/// `answers` and every undecided candidate in `possible`.
+#[test]
+fn mid_verify_deadline_partitions_answers_and_possible() {
+    let _guard = SERIAL.lock().unwrap();
+    failpoints::disarm_all();
+    let query = ring(&[1, 1, 1, 1, 1, 1]);
+    let sigma = 2.0;
+    let oracle = exact(&db(), &query, sigma);
+    let system = system(PartitionAlgo::Greedy);
+    // Trip at the second verify consult: at most one candidate decided.
+    failpoints::arm("verify", 2);
+    let outcome = system.search(&query, sigma);
+    failpoints::disarm_all();
+    assert!(!outcome.completeness.is_exact(), "the verify failpoint must trip");
+    assert_sound(&outcome, &oracle, "mid-verify deadline");
+    assert!(!outcome.possible.is_empty(), "undecided candidates must be reported");
+    assert!(
+        outcome.answers.len() < oracle.len(),
+        "with the budget tripped mid-verify, some answers stay undecided"
+    );
+}
+
+/// A panic at a verification checkpoint (modeling a crashed worker)
+/// surfaces to the caller, and both the searcher and the scratch stay
+/// fully usable afterwards.
+#[test]
+fn checkpoint_panic_surfaces_and_searcher_stays_usable() {
+    let _guard = SERIAL.lock().unwrap();
+    failpoints::disarm_all();
+    let database = db();
+    let index = PisSystem::builder()
+        .mutation_distance(MutationDistance::edge_hamming())
+        .exhaustive_features(4)
+        .build(database.clone());
+    let searcher = PisSearcher::new(index.index(), &database, PisConfig::default());
+    let query = ring(&[1, 1, 1, 1, 1, 1]);
+    let sigma = 2.0;
+    let mut scratch = SearchScratch::new();
+
+    failpoints::arm_panic("verify", 1);
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        searcher.search_with_scratch(&query, sigma, &mut scratch)
+    }));
+    failpoints::disarm_all();
+    let payload = caught.expect_err("the injected panic must surface to the caller");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("panic payload is a message");
+    assert!(message.contains("failpoint panic"), "unexpected payload: {message}");
+
+    // Same searcher, same scratch: the next query is exact and equals a
+    // fresh-scratch run bit for bit.
+    let after = searcher.search_with_scratch(&query, sigma, &mut scratch);
+    let fresh = searcher.search_with_scratch(&query, sigma, &mut SearchScratch::new());
+    assert!(after.completeness.is_exact());
+    assert_eq!(after.answers, fresh.answers);
+    assert_eq!(after.candidates, fresh.candidates);
+    assert_eq!(after.stats, fresh.stats);
+    let oracle = exact(&database, &query, sigma);
+    let got: Vec<usize> = after.answers.iter().map(|g| g.index()).collect();
+    assert_eq!(got, oracle);
+}
+
+/// A kNN round tripping at its doubling checkpoint returns best-so-far
+/// neighbors with a certified radius no larger than the explored one.
+#[test]
+fn knn_round_trip_returns_certified_best_so_far() {
+    let _guard = SERIAL.lock().unwrap();
+    failpoints::disarm_all();
+    let system = system(PartitionAlgo::Greedy);
+    let query = ring(&[1, 1, 1, 1, 1, 1]);
+    let complete = system.knn(&query, 3);
+    assert!(complete.completeness.is_exact());
+    for n in 1..4u64 {
+        failpoints::disarm_all();
+        failpoints::arm("knn", n);
+        let outcome = system.knn(&query, 3);
+        failpoints::disarm_all();
+        assert!(outcome.certified_radius <= outcome.radius);
+        if !outcome.completeness.is_exact() {
+            // Best-so-far neighbors are a prefix of the complete
+            // ranking's answer set by distance.
+            for found in &outcome.neighbors {
+                assert!(
+                    complete.neighbors.iter().any(|c| c.distance <= found.distance),
+                    "truncated kNN reported a neighbor the complete run beats entirely"
+                );
+            }
+        }
+    }
+}

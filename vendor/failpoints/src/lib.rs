@@ -1,0 +1,128 @@
+//! Named fault-injection points for deterministic robustness tests.
+//!
+//! A *failpoint* is a named site in production code (a budget
+//! checkpoint, a loop header) that test code can arm to fire after a
+//! chosen number of hits. Production crates compile the consultation
+//! in only under their `failpoints` cargo feature, so release builds
+//! carry zero overhead and no registry.
+//!
+//! Semantics: [`arm`] / [`arm_panic`] register a countdown for a site
+//! name. Every [`consult`] call on that site decrements the countdown;
+//! when it reaches zero the point *fires* — and keeps firing on every
+//! later consult (sticky) — until [`disarm_all`] resets the registry.
+//! Sticky firing models a tripped deadline: once a budget is exhausted
+//! it stays exhausted.
+//!
+//! The registry is process-global; tests that arm failpoints must
+//! serialize themselves (e.g. behind a shared `Mutex`) because cargo
+//! runs tests in one process.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// What an armed failpoint does when it fires.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Action {
+    /// Report the site as tripped (models an exhausted budget).
+    Trip,
+    /// The consulting site should panic (models a worker crash).
+    Panic,
+}
+
+struct Armed {
+    /// Consults remaining before the point fires.
+    countdown: u64,
+    action: Action,
+}
+
+static REGISTRY: Mutex<Option<HashMap<&'static str, Armed>>> = Mutex::new(None);
+
+/// Arms `site` to trip on the `n`-th consult (1-based; `n = 1` fires
+/// immediately on the next consult). Replaces any previous arming.
+pub fn arm(site: &'static str, n: u64) {
+    arm_with(site, n, Action::Trip);
+}
+
+/// Arms `site` to request a panic on the `n`-th consult (1-based).
+pub fn arm_panic(site: &'static str, n: u64) {
+    arm_with(site, n, Action::Panic);
+}
+
+fn arm_with(site: &'static str, n: u64, action: Action) {
+    assert!(n > 0, "failpoints fire on a 1-based consult count");
+    let mut guard = REGISTRY.lock().expect("failpoint registry poisoned");
+    guard.get_or_insert_with(HashMap::new).insert(site, Armed { countdown: n, action });
+}
+
+/// Disarms every failpoint.
+pub fn disarm_all() {
+    let mut guard = REGISTRY.lock().expect("failpoint registry poisoned");
+    *guard = None;
+}
+
+/// Consults `site`: decrements its countdown and returns the action
+/// once the countdown is exhausted (sticky — every later consult keeps
+/// returning it). `None` while unarmed or still counting down.
+pub fn consult(site: &str) -> Option<Action> {
+    let mut guard = REGISTRY.lock().expect("failpoint registry poisoned");
+    let map = guard.as_mut()?;
+    let armed = map.get_mut(site)?;
+    if armed.countdown > 0 {
+        armed.countdown -= 1;
+    }
+    if armed.countdown == 0 {
+        Some(armed.action)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The registry is process-global: serialize the tests touching it.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn fires_on_nth_consult_and_stays_fired() {
+        let _guard = SERIAL.lock().unwrap();
+        disarm_all();
+        arm("site-a", 3);
+        assert_eq!(consult("site-a"), None);
+        assert_eq!(consult("site-a"), None);
+        assert_eq!(consult("site-a"), Some(Action::Trip));
+        assert_eq!(consult("site-a"), Some(Action::Trip), "sticky after firing");
+        disarm_all();
+        assert_eq!(consult("site-a"), None);
+    }
+
+    #[test]
+    fn unarmed_sites_never_fire() {
+        let _guard = SERIAL.lock().unwrap();
+        disarm_all();
+        assert_eq!(consult("nothing-armed-here"), None);
+    }
+
+    #[test]
+    fn panic_action_is_reported_not_raised() {
+        let _guard = SERIAL.lock().unwrap();
+        disarm_all();
+        arm_panic("site-b", 1);
+        assert_eq!(consult("site-b"), Some(Action::Panic));
+        disarm_all();
+    }
+
+    #[test]
+    fn rearming_replaces_the_countdown() {
+        let _guard = SERIAL.lock().unwrap();
+        disarm_all();
+        arm("site-c", 1);
+        assert_eq!(consult("site-c"), Some(Action::Trip));
+        arm("site-c", 2);
+        assert_eq!(consult("site-c"), None, "re-arm resets the countdown");
+        assert_eq!(consult("site-c"), Some(Action::Trip));
+        disarm_all();
+    }
+}
