@@ -53,6 +53,12 @@ struct Snapshot {
     /// run and an enabled-but-unlimited one. Anything but zero means
     /// the budget machinery changed behavior.
     budget_drift: Option<u64>,
+    /// `pending_count_drift` of the snapshot's `durability` line, when
+    /// present: the candidate-count difference between prune runs
+    /// answered from the LSM pending buffer and the same store after
+    /// compaction. Anything but zero means the buffer is visible in
+    /// answers.
+    pending_drift: Option<u64>,
 }
 
 fn main() -> ExitCode {
@@ -148,6 +154,16 @@ fn gate(
             ));
         }
     }
+    // The LSM fingerprint: queries answered through the pending buffer
+    // must match the compacted store exactly.
+    if let Some(drift) = fresh.pending_drift {
+        if drift != 0 {
+            return Err(format!(
+                "durability line reports pending_count_drift {drift}: the LSM \
+                 pending buffer changed candidate counts versus compaction"
+            ));
+        }
+    }
     let find = |snap: &Snapshot, name: &str, variant: &str, sigma: f64| {
         snap.rows
             .iter()
@@ -219,6 +235,7 @@ fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
     let mut db_size = None;
     let mut queries = None;
     let mut budget_drift = None;
+    let mut pending_drift = None;
     let mut rows = Vec::new();
     for line in text.lines() {
         let t = line.trim();
@@ -227,6 +244,8 @@ fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
             queries = Some(num_field(t, "queries")? as u64);
         } else if t.starts_with("\"budget\"") {
             budget_drift = Some(num_field(t, "enabled_count_drift")? as u64);
+        } else if t.starts_with("\"durability\"") {
+            pending_drift = Some(num_field(t, "pending_count_drift")? as u64);
         } else if t.starts_with("{\"name\"") {
             rows.push(Row {
                 name: str_field(t, "name")?,
@@ -245,6 +264,7 @@ fn parse_snapshot(text: &str) -> Result<Snapshot, String> {
         queries: queries.ok_or("missing scale.queries")?,
         rows,
         budget_drift,
+        pending_drift,
     })
 }
 
@@ -351,6 +371,26 @@ mod tests {
         drifted.budget_drift = Some(2);
         let err = gate(&drifted, &committed, "pis_full", 1.2, true).unwrap_err();
         assert!(err.contains("enabled_count_drift"), "{err}");
+    }
+
+    #[test]
+    fn durability_line_is_parsed_and_gated() {
+        let with_durability = SNAP.replace(
+            "  \"iters\": 3,",
+            "  \"iters\": 3,\n  \"durability\": {\"text_load_ms\": 12.400, \
+             \"binary_load_ms\": 1.700, \"text_bytes\": 900000, \"snapshot_bytes\": 600000, \
+             \"pending_small\": 6, \"pending_threshold\": 25, \"pending_count_drift\": 0},",
+        );
+        let fresh = parse_snapshot(&with_durability).unwrap();
+        assert_eq!(fresh.pending_drift, Some(0));
+        let committed = parse_snapshot(SNAP).unwrap();
+        assert_eq!(committed.pending_drift, None, "older snapshots lack the line");
+        assert!(gate(&fresh, &committed, "pis_full", 1.2, true).is_ok());
+        // A nonzero drift means the pending buffer leaked into answers.
+        let mut drifted = fresh.clone();
+        drifted.pending_drift = Some(1);
+        let err = gate(&drifted, &committed, "pis_full", 1.2, true).unwrap_err();
+        assert!(err.contains("pending_count_drift"), "{err}");
     }
 
     #[test]

@@ -31,6 +31,15 @@
 //! stage of the optimized full runs (timed by
 //! `SearchScratch::take_verify_stats`); its count fingerprint is
 //! `verify calls + answers`.
+//!
+//! The durability layer is measured too: `durability_load` rows time a
+//! full store load from the legacy text format versus the checksummed
+//! binary snapshot (same content: database + index; count fingerprint =
+//! entries + graphs), and `pending_scan` rows time the prune pipeline
+//! with 0 / a few / a merge-threshold's worth of LSM pending inserts
+//! stacked on a frozen base. A `durability` summary line carries
+//! `pending_count_drift` — pending-buffer answers versus post-compaction
+//! answers, gated to zero by `perf_gate`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -41,7 +50,11 @@ use pis_core::{
     naive_scan, topo_prune, Completeness, PisConfig, PisSearcher, QueryBudget, SearchScratch,
 };
 use pis_distance::MutationDistance;
+use pis_graph::io::{parse_database, write_database};
 use pis_graph::LabeledGraph;
+use pis_index::{
+    decode_snapshot, encode_snapshot, load_index, save_index, FragmentIndex, IndexConfig,
+};
 
 /// Criterion `bench_pipeline` wall times of the *seed* pipeline,
 /// measured at the `bench` scale immediately before the funnel rework
@@ -219,6 +232,15 @@ fn main() {
         }));
     }
     check_fingerprints(&rows);
+    let durability = measure_durability(&bed, &queries, &prune_cfg, iters, &mut rows);
+    eprintln!(
+        "[pipeline_bench] durability: text load {:.2}ms vs binary {:.2}ms ({:.1}x), \
+         pending count drift {}",
+        durability.text_load_ms,
+        durability.binary_load_ms,
+        durability.text_load_ms / durability.binary_load_ms,
+        durability.pending_count_drift
+    );
     let budget = measure_budget(&full, &queries, iters);
     eprintln!(
         "[pipeline_bench] budget: {:.0}ns/query overhead enabled-vs-disabled, \
@@ -229,7 +251,7 @@ fn main() {
         budget.tripped_work_units
     );
 
-    let json = render_json(&scale, &queries, iters, &prune_cfg, &rows, &budget);
+    let json = render_json(&scale, &queries, iters, &prune_cfg, &rows, &budget, &durability);
     std::fs::write(&out_path, &json).expect("cannot write benchmark JSON");
     println!("{json}");
     eprintln!("[pipeline_bench] wrote {out_path}");
@@ -351,6 +373,147 @@ fn measure_budget(full: &PisSearcher<'_>, queries: &[LabeledGraph], iters: usize
     }
 }
 
+/// The JSON `durability` line: what the persistence layer costs on this
+/// workload.
+struct DurabilityLine {
+    /// Min wall time to load the full store (database + index) from the
+    /// legacy line-oriented text format.
+    text_load_ms: f64,
+    /// Min wall time to load the same store from the checksummed binary
+    /// snapshot (header/table validation + CRC sweep included).
+    binary_load_ms: f64,
+    /// Serialized size of the text store (database + index files).
+    text_bytes: usize,
+    /// Serialized size of the binary snapshot.
+    snapshot_bytes: usize,
+    /// LSM pending inserts in the `pending_small` / `pending_threshold`
+    /// scan rows.
+    pending_small: usize,
+    pending_threshold: usize,
+    /// Total candidate-count difference between prune runs answered from
+    /// the frozen-base + pending buffer and the same store after
+    /// compaction, summed over every sigma. The LSM contract says the
+    /// buffer is invisible to answers, so this must be zero; `perf_gate`
+    /// fails on any other value.
+    pending_count_drift: u64,
+}
+
+/// Measures the durability layer: text-vs-binary load time (appended to
+/// `rows` as `durability_load` so the committed snapshot cross-checks
+/// the entry counts) and the query-time cost of an LSM pending buffer
+/// at three fill levels (`pending_scan` rows), plus the
+/// pending-vs-compacted answer drift.
+fn measure_durability(
+    bed: &TestBed,
+    queries: &[LabeledGraph],
+    prune_cfg: &PisConfig,
+    iters: usize,
+    rows: &mut Vec<Row>,
+) -> DurabilityLine {
+    // --- Load-path comparison: same content, two formats. ---
+    let db_text = write_database(&bed.db);
+    let mut index_text = Vec::new();
+    save_index(&bed.index, &mut index_text).expect("text serialization");
+    let snapshot = encode_snapshot(&bed.index, &bed.db);
+    // Count fingerprint for both variants: entries + graphs, so a format
+    // that silently drops content can't pass the gate.
+    let text_row = measure_phase("durability_load", "text", 0.0, iters, || {
+        let t = Instant::now();
+        let db = parse_database(&db_text).expect("text database round-trip");
+        let idx = load_index(&index_text[..]).expect("text index round-trip");
+        (idx.total_entries() + db.len(), t.elapsed().as_secs_f64() * 1e3)
+    });
+    let binary_row = measure_phase("durability_load", "binary", 0.0, iters, || {
+        let t = Instant::now();
+        let (idx, db) = decode_snapshot(&snapshot).expect("snapshot round-trip");
+        (idx.total_entries() + db.len(), t.elapsed().as_secs_f64() * 1e3)
+    });
+    assert_eq!(text_row.count, binary_row.count, "the two formats must load the same store");
+    let (text_load_ms, binary_load_ms) = (text_row.min_ms, binary_row.min_ms);
+    let text_bytes = db_text.len() + index_text.len();
+    let snapshot_bytes = snapshot.len();
+    rows.push(text_row);
+    rows.push(binary_row);
+
+    // --- Pending-scan overhead: rebuild the same index with the last k
+    // graphs held back and LSM-inserted, so the frozen structures cover
+    // n-k graphs and every query pays a k-graph pending scan per class.
+    let n = bed.db.len();
+    let pending_small = (n / 16).max(1);
+    let pending_threshold = (n / 4).max(2);
+    let base = |k: usize| -> FragmentIndex {
+        // A threshold the fills below never reach, so the buffer stays
+        // resident for the duration of the measurement.
+        let cfg = IndexConfig { merge_threshold: usize::MAX, ..IndexConfig::default() };
+        let mut idx = FragmentIndex::build(
+            &bed.db[..n - k],
+            bed.index.features().clone(),
+            bed.index.distance().clone(),
+            &cfg,
+        );
+        for g in &bed.db[n - k..] {
+            idx.insert_graph_pending(g);
+        }
+        idx
+    };
+    let sigma = SIGMAS[SIGMAS.len() / 2];
+    let mut fill_counts = Vec::new();
+    for (variant, k) in [
+        ("pending0", 0),
+        ("pending_small", pending_small),
+        ("pending_threshold", pending_threshold),
+    ] {
+        let idx = base(k);
+        let searcher = PisSearcher::new(&idx, &bed.db, prune_cfg.clone());
+        let mut scratch = SearchScratch::new();
+        let row = measure("pending_scan", variant, sigma, iters, || {
+            queries
+                .iter()
+                .map(|q| searcher.search_with_scratch(q, sigma, &mut scratch).candidates.len())
+                .sum()
+        });
+        fill_counts.push(row.count);
+        rows.push(row);
+    }
+    assert!(
+        fill_counts.windows(2).all(|w| w[0] == w[1]),
+        "pending fill level changed the candidate set: {fill_counts:?}"
+    );
+
+    // --- Drift check: the fullest pending buffer versus the same store
+    // compacted, across every sigma.
+    let mut idx = base(pending_threshold);
+    let answers = |idx: &FragmentIndex| -> Vec<usize> {
+        let searcher = PisSearcher::new(idx, &bed.db, prune_cfg.clone());
+        let mut scratch = SearchScratch::new();
+        SIGMAS
+            .iter()
+            .map(|&s| {
+                queries
+                    .iter()
+                    .map(|q| searcher.search_with_scratch(q, s, &mut scratch).candidates.len())
+                    .sum()
+            })
+            .collect()
+    };
+    let pending_answers = answers(&idx);
+    idx.compact();
+    assert_eq!(idx.pending_entries(), 0, "compaction must drain the buffer");
+    let compacted_answers = answers(&idx);
+    let pending_count_drift =
+        pending_answers.iter().zip(&compacted_answers).map(|(a, b)| a.abs_diff(*b) as u64).sum();
+
+    DurabilityLine {
+        text_load_ms,
+        binary_load_ms,
+        text_bytes,
+        snapshot_bytes,
+        pending_small,
+        pending_threshold,
+        pending_count_drift,
+    }
+}
+
 /// Optimized and reference rows of the same experiment must agree on
 /// their candidate/answer totals, and the partition-phase rows (which
 /// run the same prune traversal) must reproduce the pis_prune
@@ -385,6 +548,7 @@ fn render_json(
     cfg: &PisConfig,
     rows: &[Row],
     budget: &BudgetLine,
+    durability: &DurabilityLine,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -418,6 +582,20 @@ fn render_json(
         budget.enabled_count_drift,
         budget.tripped_checkpoints,
         budget.tripped_work_units
+    );
+    // The durability layer, measured the same way: load time per format,
+    // serialized sizes, the pending fill levels the scan rows used, and
+    // the pending-vs-compacted answer drift (gated to zero).
+    let _ = writeln!(
+        s,
+        "  \"durability\": {{\"text_load_ms\": {:.3}, \"binary_load_ms\": {:.3}, \"text_bytes\": {}, \"snapshot_bytes\": {}, \"pending_small\": {}, \"pending_threshold\": {}, \"pending_count_drift\": {}}},",
+        durability.text_load_ms,
+        durability.binary_load_ms,
+        durability.text_bytes,
+        durability.snapshot_bytes,
+        durability.pending_small,
+        durability.pending_threshold,
+        durability.pending_count_drift
     );
     s.push_str("  \"experiments\": [\n");
     for (i, r) in rows.iter().enumerate() {

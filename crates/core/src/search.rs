@@ -100,6 +100,11 @@ pub struct SearchStats {
     /// `EnhancedGreedy(2)` because the fragment pool exceeded the exact
     /// solver's node cap ([`EXACT_MWIS_MAX_NODES`]).
     pub exact_fallback: bool,
+    /// Classes whose R-tree was queried through its slow unfrozen path
+    /// because a freeze is pending. Stays 0 through the LSM insert
+    /// path; a persistent non-zero value means someone forgot to
+    /// compact after bulk mutation.
+    pub rtree_stale_classes: usize,
     /// The chosen partition's members (explain output).
     pub partition: Vec<PartitionFragment>,
 }
@@ -547,7 +552,10 @@ impl<'a> PisSearcher<'a> {
         budget: &BudgetState,
     ) -> SearchStats {
         let n = self.database.len();
-        let mut stats = SearchStats::default();
+        let mut stats = SearchStats {
+            rtree_stale_classes: self.index.rtree_stale_classes(),
+            ..SearchStats::default()
+        };
 
         // Lines 3–4: enumerate indexed fragments into the scratch-owned
         // arena (taken out for the duration of the borrow).
@@ -874,7 +882,10 @@ impl<'a> PisSearcher<'a> {
     /// `answers` and `SearchStats` against this path.
     pub fn search_reference(&self, query: &LabeledGraph, sigma: f64) -> SearchOutcome {
         let n = self.database.len();
-        let mut stats = SearchStats::default();
+        let mut stats = SearchStats {
+            rtree_stale_classes: self.index.rtree_stale_classes(),
+            ..SearchStats::default()
+        };
 
         // Lines 3–4: enumerate indexed fragments.
         let fragments = self.index.enumerate_query_fragments(query);

@@ -130,6 +130,36 @@ pub struct FlatTrie {
     alphabet: Vec<Label>,
 }
 
+/// Borrowed raw arena columns (snapshot serialization).
+pub(crate) struct TrieParts<'a> {
+    pub depth: usize,
+    pub level_start: &'a [u32],
+    pub labels: &'a [Label],
+    pub label_idx: &'a [u32],
+    pub child_start: &'a [u32],
+    pub child_len: &'a [u32],
+    pub sub_start: &'a [u32],
+    pub sub_len: &'a [u32],
+    pub postings: &'a [GraphId],
+    pub alphabet_start: &'a [u32],
+    pub alphabet: &'a [Label],
+}
+
+/// Owned raw arena columns for [`FlatTrie::from_parts`].
+pub(crate) struct TriePartsOwned {
+    pub depth: usize,
+    pub level_start: Vec<u32>,
+    pub labels: Vec<Label>,
+    pub label_idx: Vec<u32>,
+    pub child_start: Vec<u32>,
+    pub child_len: Vec<u32>,
+    pub sub_start: Vec<u32>,
+    pub sub_len: Vec<u32>,
+    pub postings: Vec<GraphId>,
+    pub alphabet_start: Vec<u32>,
+    pub alphabet: Vec<Label>,
+}
+
 /// Reusable frontier buffers for [`FlatTrie::range_query`]. One scratch
 /// serves any number of sequential queries against tries of any shape.
 #[derive(Clone, Debug, Default)]
@@ -347,6 +377,127 @@ impl FlatTrie {
     /// Number of arena nodes (diagnostics).
     pub fn node_count(&self) -> usize {
         self.labels.len()
+    }
+
+    /// Borrowed view of the raw arena columns, for the binary snapshot
+    /// writer. The snapshot loader feeds the same columns back through
+    /// [`FlatTrie::from_parts`].
+    pub(crate) fn parts(&self) -> TrieParts<'_> {
+        TrieParts {
+            depth: self.depth,
+            level_start: &self.level_start,
+            labels: &self.labels,
+            label_idx: &self.label_idx,
+            child_start: &self.child_start,
+            child_len: &self.child_len,
+            sub_start: &self.sub_start,
+            sub_len: &self.sub_len,
+            postings: &self.postings,
+            alphabet_start: &self.alphabet_start,
+            alphabet: &self.alphabet,
+        }
+    }
+
+    /// Rebuilds an arena from raw columns read out of an untrusted
+    /// binary snapshot, revalidating every structural invariant the
+    /// query paths index by. Anything out of range comes back as a
+    /// description, never a later panic.
+    ///
+    /// Posting graph ids are *not* range-checked here — the caller
+    /// knows the class size and validates them before handing over the
+    /// columns.
+    pub(crate) fn from_parts(p: TriePartsOwned) -> Result<FlatTrie, String> {
+        let TriePartsOwned {
+            depth,
+            level_start,
+            labels,
+            label_idx,
+            child_start,
+            child_len,
+            sub_start,
+            sub_len,
+            postings,
+            alphabet_start,
+            alphabet,
+        } = p;
+        let nodes = labels.len();
+        if label_idx.len() != nodes
+            || child_start.len() != nodes
+            || child_len.len() != nodes
+            || sub_start.len() != nodes
+            || sub_len.len() != nodes
+        {
+            return Err("node column lengths disagree".to_string());
+        }
+        if nodes > u32::MAX as usize || postings.len() > u32::MAX as usize {
+            return Err("arena exceeds u32 addressing".to_string());
+        }
+        if depth == 0 {
+            if nodes != 0 || !level_start.is_empty() || !alphabet_start.is_empty() {
+                return Err("depth-0 trie must have empty node arrays".to_string());
+            }
+        } else {
+            if level_start.len() != depth + 1 || alphabet_start.len() != depth + 1 {
+                return Err("level table length must be depth + 1".to_string());
+            }
+            if level_start[0] != 0 || alphabet_start[0] != 0 {
+                return Err("level tables must start at 0".to_string());
+            }
+            if level_start.windows(2).any(|w| w[0] > w[1])
+                || alphabet_start.windows(2).any(|w| w[0] > w[1])
+            {
+                return Err("level tables must be monotone".to_string());
+            }
+            if level_start[depth] as usize != nodes {
+                return Err("level table must cover every node".to_string());
+            }
+            if alphabet_start[depth] as usize != alphabet.len() {
+                return Err("alphabet table must cover every slot".to_string());
+            }
+            for l in 0..depth {
+                let slots = &alphabet[alphabet_start[l] as usize..alphabet_start[l + 1] as usize];
+                if slots.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(format!("level {l} alphabet is not strictly ascending"));
+                }
+                for n in level_start[l] as usize..level_start[l + 1] as usize {
+                    let idx = label_idx[n];
+                    if idx < alphabet_start[l] || idx >= alphabet_start[l + 1] {
+                        return Err(format!("node {n} label slot escapes level {l}"));
+                    }
+                    if alphabet[idx as usize] != labels[n] {
+                        return Err(format!("node {n} label disagrees with its slot"));
+                    }
+                    if l + 1 < depth {
+                        let lo = level_start[l + 1] as u64;
+                        let hi = level_start[l + 2] as u64;
+                        let cs = child_start[n] as u64;
+                        let ce = cs + child_len[n] as u64;
+                        if cs < lo || ce > hi {
+                            return Err(format!("node {n} child run escapes level {}", l + 1));
+                        }
+                    } else if child_start[n] != 0 || child_len[n] != 0 {
+                        return Err(format!("leaf node {n} carries a child run"));
+                    }
+                    let se = sub_start[n] as u64 + sub_len[n] as u64;
+                    if se > postings.len() as u64 {
+                        return Err(format!("node {n} subtree range escapes postings"));
+                    }
+                }
+            }
+        }
+        Ok(FlatTrie {
+            depth,
+            level_start,
+            labels,
+            label_idx,
+            child_start,
+            child_len,
+            sub_start,
+            sub_len,
+            postings,
+            alphabet_start,
+            alphabet,
+        })
     }
 
     /// Merges more `(sequence, graph)` entries into the arena by a

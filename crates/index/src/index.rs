@@ -22,6 +22,7 @@ use crate::fragment::{
     label_vector, label_vector_into, weight_vector, weight_vector_into, FragmentBuffer,
     FragmentVector, FragmentVectorRef, QueryFragment,
 };
+use crate::pending::PendingSet;
 use crate::rtree::RTree;
 use crate::vptree::VpTree;
 
@@ -137,6 +138,12 @@ pub struct IndexConfig {
     pub max_embeddings_per_fragment: usize,
     /// Number of build threads (0 = all available cores).
     pub threads: usize,
+    /// Pending-buffer merge threshold for
+    /// [`FragmentIndex::insert_graph_pending`]: once a class buffers
+    /// this many unmerged entries it is merged (re-frozen)
+    /// automatically. `0` disables automatic merging — pending entries
+    /// then accumulate until an explicit [`FragmentIndex::compact`].
+    pub merge_threshold: usize,
 }
 
 impl Default for IndexConfig {
@@ -145,6 +152,7 @@ impl Default for IndexConfig {
             backend: Backend::Default,
             max_embeddings_per_fragment: usize::MAX,
             threads: 0,
+            merge_threshold: 64,
         }
     }
 }
@@ -204,7 +212,17 @@ pub(crate) struct ClassIndex {
     /// Sorted distinct graphs containing this structure — the gIndex
     /// posting list used by topoPrune and structure-violation pruning.
     pub(crate) graphs: Vec<GraphId>,
+    /// Total stored entries, frozen *and* pending.
     pub(crate) entries: usize,
+    /// Unmerged entries inserted since the last freeze (LSM side set).
+    pub(crate) pending: PendingSet,
+}
+
+impl ClassIndex {
+    /// A class with nothing pending — fresh builds and restored saves.
+    pub(crate) fn restored(imp: ClassImpl, graphs: Vec<GraphId>, entries: usize) -> Self {
+        ClassIndex { imp, graphs, entries, pending: PendingSet::default() }
+    }
 }
 
 /// The PIS fragment-based index.
@@ -340,6 +358,143 @@ impl FragmentIndex {
         gid
     }
 
+    /// Incrementally indexes one more graph through the per-class
+    /// *pending buffers* — O(entries added) instead of one O(class)
+    /// arena rebuild per touched class. Range queries scan pending
+    /// entries with the same pricing kernels as the frozen structures,
+    /// so answers (f64 bits included) are identical to
+    /// [`FragmentIndex::insert_graph`]'s eager rebuild; once a class
+    /// accumulates [`IndexConfig::merge_threshold`] pending entries it
+    /// is merged and re-frozen automatically, and
+    /// [`FragmentIndex::compact`] forces every merge (required before
+    /// snapshotting).
+    pub fn insert_graph_pending(&mut self, g: &LabeledGraph) -> GraphId {
+        let gid = GraphId(self.graph_count as u32);
+        self.graph_count += 1;
+        let threshold = self.config.merge_threshold;
+        for class_idx in 0..self.classes.len() {
+            let feature = self.features.get(FeatureId(class_idx as u32));
+            let structure = &feature.structure;
+            let ecount = structure.edge_count();
+            let entries = collect_graph_entries(structure, g, &self.distance, &self.config);
+            if !entries.any {
+                continue;
+            }
+            let class = &mut self.classes[class_idx];
+            // `gid` exceeds every stored id, so appending keeps the
+            // posting list sorted.
+            class.graphs.push(gid);
+            class.entries += entries.labels.len() + entries.weights.len();
+            match (&class.imp, &self.distance) {
+                (ClassImpl::Trie(_), _) => {
+                    // Trie postings are class-local slots; the graph was
+                    // just appended, so its slot is the last one.
+                    let local = GraphId((class.graphs.len() - 1) as u32);
+                    class.pending.labels.extend(entries.labels.into_iter().map(|v| (v, local)));
+                }
+                (ClassImpl::RTree(_), IndexDistance::Linear(ld)) => {
+                    // Stored R-tree points are scale-transformed so the
+                    // weighted L1 becomes a plain L1; pending points get
+                    // the same transform and the pending scan prices
+                    // with the same plain L1.
+                    class.pending.weights.extend(
+                        entries.weights.iter().map(|v| (scale_weights(ld, ecount, v), gid)),
+                    );
+                }
+                (ClassImpl::VpLabels(_), _) => {
+                    class.pending.labels.extend(entries.labels.into_iter().map(|v| (v, gid)));
+                }
+                (ClassImpl::VpWeights(_), _) => {
+                    class.pending.weights.extend(entries.weights.into_iter().map(|v| (v, gid)));
+                }
+                _ => unreachable!("class backend always matches the index distance"),
+            }
+            if threshold > 0 && class.pending.len() >= threshold {
+                self.merge_class(class_idx);
+            }
+        }
+        gid
+    }
+
+    /// Merges class `ci`'s pending entries into its frozen structure
+    /// (one batch rebuild), leaving the pending buffer empty.
+    fn merge_class(&mut self, ci: usize) {
+        if self.classes[ci].pending.is_empty() {
+            return;
+        }
+        let feature = self.features.get(FeatureId(ci as u32));
+        let structure = &feature.structure;
+        let ecount = structure.edge_count();
+        let slots = structure.vertex_count() + structure.edge_count();
+        let class = &mut self.classes[ci];
+        let pending = std::mem::take(&mut class.pending);
+        match (&mut class.imp, &self.distance) {
+            (ClassImpl::Trie(trie), _) => trie.insert_batch(pending.labels),
+            (ClassImpl::RTree(rt), _) => {
+                // Pending points were scale-transformed at insert time.
+                for (v, gid) in &pending.weights {
+                    rt.insert(v, *gid);
+                }
+                rt.freeze();
+            }
+            (ClassImpl::VpLabels(_), IndexDistance::Mutation(md)) => {
+                let md = md.clone();
+                let placeholder = ClassImpl::Trie(FlatTrie::from_entries(0, Vec::new()));
+                let imp = std::mem::replace(&mut class.imp, placeholder);
+                let ClassImpl::VpLabels(vp) = imp else { unreachable!() };
+                let mut items = vp.into_items();
+                items.extend(pending.labels);
+                class.imp = ClassImpl::VpLabels(VpTree::build(slots, items, move |a, b| {
+                    md.label_vector_cost(ecount, a, b)
+                }));
+            }
+            (ClassImpl::VpWeights(_), IndexDistance::Linear(ld)) => {
+                let ld = *ld;
+                let placeholder = ClassImpl::Trie(FlatTrie::from_entries(0, Vec::new()));
+                let imp = std::mem::replace(&mut class.imp, placeholder);
+                let ClassImpl::VpWeights(vp) = imp else { unreachable!() };
+                let mut items = vp.into_items();
+                items.extend(pending.weights);
+                class.imp = ClassImpl::VpWeights(VpTree::build(slots, items, move |a, b| {
+                    ld.weight_vector_cost(ecount, a, b)
+                }));
+            }
+            _ => unreachable!("class backend always matches the index distance"),
+        }
+    }
+
+    /// Merges every class's pending buffer into its frozen structure
+    /// and re-freezes any stale R-tree. Query answers are unchanged;
+    /// compaction only restores the frozen-arena fast paths (and is the
+    /// required prelude to snapshotting).
+    pub fn compact(&mut self) {
+        for ci in 0..self.classes.len() {
+            self.merge_class(ci);
+        }
+        for class in &mut self.classes {
+            if let ClassImpl::RTree(rt) = &mut class.imp {
+                if !rt.is_frozen() {
+                    rt.freeze();
+                }
+            }
+        }
+    }
+
+    /// Total unmerged pending entries across all classes.
+    pub fn pending_entries(&self) -> usize {
+        self.classes.iter().map(|c| c.pending.len()).sum()
+    }
+
+    /// Number of R-tree classes whose frozen arena is stale (in-place
+    /// inserts since the last freeze push queries onto the slower
+    /// pointer reference path until the next freeze/compact).
+    pub fn rtree_stale_classes(&self) -> usize {
+        self.classes
+            .iter()
+            .filter(|c| matches!(&c.imp, ClassImpl::RTree(rt) if !rt.is_frozen()))
+            .count()
+    }
+
     /// Answers the range query of Eq. (3): for every graph `G` holding a
     /// fragment `g'` of class `feature` with `d(g, g') ≤ σ`, returns
     /// `(G, d(g, G))` where the distance is minimized over all such
@@ -450,6 +605,27 @@ impl FragmentIndex {
                 out.clear();
                 return false;
             }
+            if !class.pending.labels.is_empty() {
+                // Pending entries fold into the same per-slot minimum
+                // row before readout, priced with the exact positional
+                // kernel of the descent — identical bits to post-merge.
+                if !budget
+                    .checkpoint(CheckpointSite::RangeDescent, class.pending.labels.len() as u64)
+                {
+                    out.clear();
+                    return false;
+                }
+                class.pending.scan_labels_positional(
+                    sigma,
+                    |pos, stored| md.position_cost(pos, ecount, labels[pos], stored),
+                    |g, d| {
+                        let b = &mut class_best[g.index()];
+                        if d < *b {
+                            *b = d;
+                        }
+                    },
+                );
+            }
             emit_class_hits(&class.graphs, class_best, out);
             return true;
         }
@@ -460,7 +636,7 @@ impl FragmentIndex {
         scratch.begin(self.graph_count);
         let RangeScratch { stamp, best, touched, generation, .. } = scratch;
         let generation = *generation;
-        let visit = |g: GraphId, d: f64| {
+        let mut visit = |g: GraphId, d: f64| {
             let i = g.index();
             if stamp[i] != generation {
                 stamp[i] = generation;
@@ -470,6 +646,12 @@ impl FragmentIndex {
                 best[i] = d;
             }
         };
+        // Each backend arm also scans the class's pending buffer with
+        // the same cost function the frozen structure prices with, so a
+        // pending entry and its post-merge self emit identical bits.
+        let pending_units = class.pending.len() as u64;
+        let charge_pending =
+            || pending_units == 0 || budget.checkpoint(CheckpointSite::RangeDescent, pending_units);
         match (&class.imp, vector, &self.distance) {
             (
                 ClassImpl::VpLabels(vp),
@@ -480,7 +662,16 @@ impl FragmentIndex {
                     labels,
                     sigma,
                     |a: &[Label], b: &[Label]| md.label_vector_cost(ecount, a, b),
-                    visit,
+                    &mut visit,
+                );
+                if !charge_pending() {
+                    out.clear();
+                    return false;
+                }
+                class.pending.scan_labels(
+                    sigma,
+                    |stored| md.label_vector_cost(ecount, labels, stored),
+                    &mut visit,
                 );
             }
             (ClassImpl::RTree(rt), FragmentVectorRef::Weights(ws), IndexDistance::Linear(ld)) => {
@@ -489,7 +680,17 @@ impl FragmentIndex {
                 // linear distance into a plain L1 — so the query vector
                 // gets the same transform and distances come out exact.
                 let scaled = scale_weights(ld, ecount, ws);
-                rt.range_query(&scaled, sigma, visit);
+                rt.range_query(&scaled, sigma, &mut visit);
+                if !charge_pending() {
+                    out.clear();
+                    return false;
+                }
+                // Pending points were scale-transformed at insert time.
+                class.pending.scan_weights(
+                    sigma,
+                    |stored| crate::rtree::l1(&scaled, stored),
+                    &mut visit,
+                );
             }
             (
                 ClassImpl::VpWeights(vp),
@@ -501,7 +702,16 @@ impl FragmentIndex {
                     ws,
                     sigma,
                     move |a: &[f64], b: &[f64]| ld.weight_vector_cost(ecount, a, b),
-                    visit,
+                    &mut visit,
+                );
+                if !charge_pending() {
+                    out.clear();
+                    return false;
+                }
+                class.pending.scan_weights(
+                    sigma,
+                    |stored| ld.weight_vector_cost(ecount, ws, stored),
+                    &mut visit,
                 );
             }
             _ => panic!("fragment vector kind does not match the class backend"),
@@ -604,6 +814,32 @@ impl FragmentIndex {
                     out.clear();
                 }
                 return false;
+            }
+            if !class.pending.labels.is_empty() {
+                // Same per-probe pending scan as the scalar path (same
+                // kernel, same fold into the minimum row), charged as
+                // one checkpoint covering the whole sibling group.
+                let units = (nprobes * class.pending.labels.len()) as u64;
+                if !budget.checkpoint(CheckpointSite::RangeDescent, units) {
+                    for out in outs.iter_mut() {
+                        out.clear();
+                    }
+                    return false;
+                }
+                for p in 0..nprobes {
+                    let q = probe(p).labels();
+                    let row = &mut class_best[p * c..(p + 1) * c];
+                    class.pending.scan_labels_positional(
+                        sigma,
+                        |pos, stored| md.position_cost(pos, ecount, q[pos], stored),
+                        |g, d| {
+                            let b = &mut row[g.index()];
+                            if d < *b {
+                                *b = d;
+                            }
+                        },
+                    );
+                }
             }
             for (p, out) in outs.iter_mut().enumerate() {
                 emit_class_hits(&class.graphs, &class_best[p * c..(p + 1) * c], out);
@@ -878,7 +1114,7 @@ fn build_class(
             panic!("the trie backend indexes label vectors; use RTree or VpTree for the linear distance")
         }
     };
-    ClassIndex { imp, graphs, entries }
+    ClassIndex::restored(imp, graphs, entries)
 }
 
 #[cfg(test)]

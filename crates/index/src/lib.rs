@@ -26,16 +26,22 @@
 //! re-readings. This is what lets a query-side fragment issue a single
 //! range query and still minimize over all superpositions (Eq. 3).
 
+pub mod codec;
 pub mod flat_trie;
 pub mod fragment;
 pub mod index;
+pub mod pending;
 pub mod persist;
 pub mod rtree;
+pub mod snapshot;
 pub mod trie;
 pub mod vptree;
+pub mod wal;
 
 pub use flat_trie::{BatchFrontier, FlatTrie, TrieFrontier};
 pub use fragment::{FragmentBuffer, FragmentVector, FragmentVectorRef, QueryFragment};
 pub use index::{Backend, FragmentIndex, IndexConfig, IndexDistance, RangeScratch};
 pub use persist::{load_index, save_index, PersistError};
+pub use snapshot::{decode_snapshot, encode_snapshot, load_snapshot, write_snapshot};
 pub use trie::LabelTrie;
+pub use wal::{Wal, WalReplay};

@@ -1,0 +1,99 @@
+//! LSM-style per-class pending buffers.
+//!
+//! The frozen arenas ([`crate::flat_trie::FlatTrie`], the packed
+//! R-tree) buy query speed with immutability: one inserted graph costs
+//! an O(class) rebuild per touched class. A [`PendingSet`] restores
+//! cheap inserts without giving the layouts up — new entries append to
+//! a small unfrozen side list, range queries scan it linearly with the
+//! *same* pricing kernels as the frozen structure (so answers stay
+//! bit-identical to a fully merged class), and once the buffer reaches
+//! [`crate::IndexConfig::merge_threshold`] entries the class is merged
+//! and re-frozen in one batch.
+
+use pis_graph::{GraphId, Label};
+
+/// Entries inserted into a class since it was last frozen or merged.
+///
+/// Graph-id convention follows the owning backend: trie classes store
+/// class-local posting slots, every other backend stores global graph
+/// ids, and R-tree classes additionally store the points
+/// scale-transformed (exactly as the frozen structures do).
+#[derive(Clone, Debug, Default)]
+pub struct PendingSet {
+    /// Label-vector entries (trie / vp-label classes).
+    pub(crate) labels: Vec<(Vec<Label>, GraphId)>,
+    /// Weight-vector entries (R-tree / vp-weight classes).
+    pub(crate) weights: Vec<(Vec<f64>, GraphId)>,
+}
+
+impl PendingSet {
+    /// Number of buffered entries.
+    pub fn len(&self) -> usize {
+        self.labels.len() + self.weights.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty() && self.weights.is_empty()
+    }
+
+    /// Scans label entries with sequential position pricing — the exact
+    /// accumulation order of the trie descent (left-to-right sum of
+    /// per-position costs starting from the first position's cost), so
+    /// emitted distances are bit-identical to a post-merge descent.
+    /// Costs are non-negative, so the partial sum is monotone and the
+    /// scan abandons an entry as soon as it exceeds `sigma`.
+    pub(crate) fn scan_labels_positional(
+        &self,
+        sigma: f64,
+        mut position_cost: impl FnMut(usize, Label) -> f64,
+        mut visit: impl FnMut(GraphId, f64),
+    ) {
+        for (seq, gid) in &self.labels {
+            let mut acc = 0.0;
+            let mut live = true;
+            for (pos, &stored) in seq.iter().enumerate() {
+                acc += position_cost(pos, stored);
+                if acc > sigma {
+                    live = false;
+                    break;
+                }
+            }
+            if live {
+                visit(*gid, acc);
+            }
+        }
+    }
+
+    /// Scans label entries with a whole-vector metric (vp-label
+    /// classes), emitting entries within `sigma`.
+    pub(crate) fn scan_labels(
+        &self,
+        sigma: f64,
+        mut cost: impl FnMut(&[Label]) -> f64,
+        mut visit: impl FnMut(GraphId, f64),
+    ) {
+        for (seq, gid) in &self.labels {
+            let d = cost(seq);
+            if d <= sigma {
+                visit(*gid, d);
+            }
+        }
+    }
+
+    /// Scans weight entries with a whole-vector metric (R-tree /
+    /// vp-weight classes), emitting entries within `sigma`.
+    pub(crate) fn scan_weights(
+        &self,
+        sigma: f64,
+        mut cost: impl FnMut(&[f64]) -> f64,
+        mut visit: impl FnMut(GraphId, f64),
+    ) {
+        for (v, gid) in &self.weights {
+            let d = cost(v);
+            if d <= sigma {
+                visit(*gid, d);
+            }
+        }
+    }
+}

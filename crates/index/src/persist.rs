@@ -51,6 +51,15 @@ pub enum PersistError {
         /// Description of the problem.
         message: String,
     },
+    /// Corruption detected in a binary artifact (snapshot or WAL):
+    /// checksum mismatch, truncation, or an out-of-range structural
+    /// value.
+    Corrupt {
+        /// Byte offset the corruption was detected at.
+        offset: u64,
+        /// Description of the problem.
+        message: String,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -59,6 +68,9 @@ impl fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "index load I/O error: {e}"),
             PersistError::Parse { line, message } => {
                 write!(f, "index load parse error at line {line}: {message}")
+            }
+            PersistError::Corrupt { offset, message } => {
+                write!(f, "corrupt binary artifact at byte {offset}: {message}")
             }
         }
     }
@@ -154,6 +166,21 @@ pub fn save_index<W: Write>(index: &FragmentIndex, mut w: W) -> io::Result<()> {
                     write_weight_entry(&mut w, p, gid)?;
                 }
             }
+        }
+        // Pending (unmerged) entries ride along after the frozen ones —
+        // `entries` already counts them — so saving mid-stream loses
+        // nothing; they load back merged into the frozen structure.
+        for (seq, gid) in &class.pending.labels {
+            let global = if matches!(class.imp, ClassImpl::Trie(_)) {
+                // Trie pending ids are class-local slots.
+                class.graphs[gid.index()]
+            } else {
+                *gid
+            };
+            write_label_entry(&mut w, seq, global)?;
+        }
+        for (p, gid) in &class.pending.weights {
+            write_weight_entry(&mut w, p, *gid)?;
         }
     }
     writeln!(w, "end")?;
@@ -299,40 +326,10 @@ pub fn load_index<R: BufRead>(r: R) -> Result<FragmentIndex, PersistError> {
             }
         }
 
-        let imp = match (backend.as_str(), &distance) {
-            ("trie", _) => {
-                // Saved entries are lexicographic (ids already
-                // translated to class-local slots above); the arena
-                // builder re-sorts defensively and freezes in one shot.
-                ClassImpl::Trie(FlatTrie::from_entries(slots, label_entries))
-            }
-            ("vplabels", IndexDistance::Mutation(md)) => {
-                let md = md.clone();
-                ClassImpl::VpLabels(VpTree::build(slots, label_entries, move |a, b| {
-                    md.label_vector_cost(ecount, a, b)
-                }))
-            }
-            ("rtree", _) => {
-                // Stored points are already scale-transformed; freeze
-                // the rebuilt tree into its query arena.
-                let mut rt = RTree::new(slots);
-                for (v, gid) in &weight_entries {
-                    rt.insert(v, *gid);
-                }
-                rt.freeze();
-                ClassImpl::RTree(rt)
-            }
-            ("vpweights", IndexDistance::Linear(ld)) => {
-                let ld = *ld;
-                ClassImpl::VpWeights(VpTree::build(slots, weight_entries, move |a, b| {
-                    ld.weight_vector_cost(ecount, a, b)
-                }))
-            }
-            (other, _) => {
-                return Err(parse_err(0, &format!("backend '{other}' incompatible with distance")))
-            }
-        };
-        classes.push(ClassIndex { imp, graphs, entries: entry_count });
+        let imp =
+            build_class_impl(&backend, &distance, slots, ecount, label_entries, weight_entries)
+                .map_err(|m| parse_err(0, &m))?;
+        classes.push(ClassIndex::restored(imp, graphs, entry_count));
     }
     lines.expect_line("end")?;
 
@@ -350,7 +347,59 @@ pub fn load_index<R: BufRead>(r: R) -> Result<FragmentIndex, PersistError> {
         distance,
         classes,
         graph_count,
-        config: IndexConfig { backend, max_embeddings_per_fragment: max_embeddings, threads: 0 },
+        config: IndexConfig {
+            backend,
+            max_embeddings_per_fragment: max_embeddings,
+            threads: 0,
+            // The text format predates the pending buffer and does not
+            // store the threshold; loaded indexes get the default.
+            merge_threshold: IndexConfig::default().merge_threshold,
+        },
+    })
+}
+
+/// Builds a class backend from parsed entry lists — shared by this text
+/// loader and the binary snapshot loader so both restore classes
+/// through identical code paths (and therefore answer queries
+/// identically). Trie entries must already carry class-local slots.
+pub(crate) fn build_class_impl(
+    backend: &str,
+    distance: &IndexDistance,
+    slots: usize,
+    ecount: usize,
+    label_entries: Vec<(Vec<Label>, GraphId)>,
+    weight_entries: Vec<(Vec<f64>, GraphId)>,
+) -> Result<ClassImpl, String> {
+    Ok(match (backend, distance) {
+        ("trie", _) => {
+            // Saved entries are lexicographic (ids already translated
+            // to class-local slots); the arena builder re-sorts
+            // defensively and freezes in one shot.
+            ClassImpl::Trie(FlatTrie::from_entries(slots, label_entries))
+        }
+        ("vplabels", IndexDistance::Mutation(md)) => {
+            let md = md.clone();
+            ClassImpl::VpLabels(VpTree::build(slots, label_entries, move |a, b| {
+                md.label_vector_cost(ecount, a, b)
+            }))
+        }
+        ("rtree", _) => {
+            // Stored points are already scale-transformed; freeze the
+            // rebuilt tree into its query arena.
+            let mut rt = RTree::new(slots);
+            for (v, gid) in &weight_entries {
+                rt.insert(v, *gid);
+            }
+            rt.freeze();
+            ClassImpl::RTree(rt)
+        }
+        ("vpweights", IndexDistance::Linear(ld)) => {
+            let ld = *ld;
+            ClassImpl::VpWeights(VpTree::build(slots, weight_entries, move |a, b| {
+                ld.weight_vector_cost(ecount, a, b)
+            }))
+        }
+        (other, _) => return Err(format!("backend '{other}' incompatible with distance")),
     })
 }
 
@@ -434,8 +483,10 @@ fn parse_err(line: usize, message: &str) -> PersistError {
     PersistError::Parse { line, message: message.to_string() }
 }
 
-/// Rebuilds a DFS code from its `to_sequence` serialization.
-fn sequence_to_code(
+/// Rebuilds a DFS code from its `to_sequence` serialization (shared
+/// with the binary snapshot loader, which passes `line = 0` and maps
+/// the message into its own offset-tagged error).
+pub(crate) fn sequence_to_code(
     seq: &[u32],
     line: usize,
 ) -> Result<pis_graph::canonical::DfsCode, PersistError> {

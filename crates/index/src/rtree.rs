@@ -268,7 +268,7 @@ impl RTree {
     }
 }
 
-fn l1(a: &[f64], b: &[f64]) -> f64 {
+pub(crate) fn l1(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
 }
 

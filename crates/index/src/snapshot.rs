@@ -1,0 +1,727 @@
+//! Versioned binary snapshots of a [`FragmentIndex`] + its database.
+//!
+//! The text format ([`crate::persist`]) re-parses and rebuilds every
+//! class on load; a snapshot instead stores the frozen FlatTrie arena
+//! columns verbatim, so loading validates and bulk-copies them back
+//! with no re-sort, no re-canonicalization and no per-entry parsing.
+//!
+//! ## Layout (all integers little-endian)
+//!
+//! ```text
+//! magic "PISSNAP1"  (8 bytes)
+//! u32 version (= 1)
+//! u32 section_count (= 4)
+//! section table: per section { u32 kind, u64 offset, u64 len, u32 crc32 }
+//! section payloads (META, FEATURES, DATABASE, CLASSES — in kind order)
+//! u32 footer crc32 over every preceding byte
+//! ```
+//!
+//! Every structural count is bounds-checked against the bytes actually
+//! present, every float is rejected when non-finite, trie arenas are
+//! revalidated by `FlatTrie::from_parts`, and non-trie classes are
+//! rebuilt through the same `build_class_impl` as the text loader — so
+//! a loaded snapshot answers queries bit-identically and corrupt input
+//! of any shape surfaces as [`PersistError::Corrupt`], never a panic.
+//!
+//! The database graphs ride in the snapshot (one atomic rename covers
+//! index *and* database); the write-ahead log ([`crate::wal`]) replays
+//! on top of it.
+
+use std::path::Path;
+
+use pis_distance::{LinearDistance, MutationDistance, ScoreMatrix};
+use pis_graph::io::{parse_database, write_database};
+use pis_graph::{GraphId, Label, LabeledGraph};
+use pis_mining::FeatureSet;
+
+use crate::codec::{atomic_write, crc32, ByteReader, ByteWriter};
+use crate::flat_trie::{FlatTrie, TriePartsOwned};
+use crate::index::{Backend, ClassImpl, ClassIndex, FragmentIndex, IndexConfig, IndexDistance};
+use crate::persist::{build_class_impl, sequence_to_code, PersistError};
+
+const MAGIC: &[u8; 8] = b"PISSNAP1";
+const VERSION: u32 = 1;
+const SECTION_COUNT: u32 = 4;
+/// Bytes per section-table entry: kind + offset + len + crc.
+const TABLE_ENTRY: usize = 24;
+
+const KIND_META: u32 = 1;
+const KIND_FEATURES: u32 = 2;
+const KIND_DATABASE: u32 = 3;
+const KIND_CLASSES: u32 = 4;
+
+/// Serializes the index and its database into snapshot bytes.
+///
+/// # Panics
+/// Panics if the index has unmerged pending entries — snapshots capture
+/// only frozen structures; call [`FragmentIndex::compact`] first (the
+/// path-level [`write_snapshot`] does).
+pub fn encode_snapshot(index: &FragmentIndex, database: &[LabeledGraph]) -> Vec<u8> {
+    assert_eq!(index.pending_entries(), 0, "compact the index before snapshotting");
+    assert_eq!(index.graph_count, database.len(), "index and database out of sync");
+    let mut w = ByteWriter::new();
+    w.bytes(MAGIC);
+    w.u32(VERSION);
+    w.u32(SECTION_COUNT);
+    let table_at = w.len();
+    for _ in 0..SECTION_COUNT as usize * TABLE_ENTRY {
+        w.u8(0);
+    }
+    type SectionEncoder = fn(&FragmentIndex, &[LabeledGraph], &mut ByteWriter);
+    let sections: [(u32, SectionEncoder); 4] = [
+        (KIND_META, encode_meta),
+        (KIND_FEATURES, encode_features),
+        (KIND_DATABASE, encode_database),
+        (KIND_CLASSES, encode_classes),
+    ];
+    for (i, (kind, encode)) in sections.iter().enumerate() {
+        let offset = w.len();
+        encode(index, database, &mut w);
+        let crc = crc32(&w.as_slice()[offset..]);
+        let len = w.len() - offset;
+        let at = table_at + i * TABLE_ENTRY;
+        w.patch_u32(at, *kind);
+        w.patch_u64(at + 4, offset as u64);
+        w.patch_u64(at + 12, len as u64);
+        w.patch_u32(at + 20, crc);
+    }
+    let footer = crc32(w.as_slice());
+    w.u32(footer);
+    w.into_bytes()
+}
+
+fn encode_meta(index: &FragmentIndex, _db: &[LabeledGraph], w: &mut ByteWriter) {
+    w.u64(index.graph_count as u64);
+    w.u64(index.config.max_embeddings_per_fragment as u64);
+    w.u8(match index.config.backend {
+        Backend::Default => 0,
+        Backend::Trie => 1,
+        Backend::RTree => 2,
+        Backend::VpTree => 3,
+    });
+    w.u64(index.config.merge_threshold as u64);
+    match &index.distance {
+        IndexDistance::Mutation(md) => {
+            w.u8(0);
+            encode_matrix(md.vertex_scores(), w);
+            encode_matrix(md.edge_scores(), w);
+        }
+        IndexDistance::Linear(ld) => {
+            w.u8(1);
+            w.f64_bits(ld.vertex_scale());
+            w.f64_bits(ld.edge_scale());
+        }
+    }
+}
+
+fn encode_matrix(m: &ScoreMatrix, w: &mut ByteWriter) {
+    w.u32(m.size() as u32);
+    w.f64_bits(m.default_mismatch());
+    for i in 0..m.size() {
+        for j in 0..m.size() {
+            w.f64_bits(m.cost(Label(i as u32), Label(j as u32)));
+        }
+    }
+}
+
+fn encode_features(index: &FragmentIndex, _db: &[LabeledGraph], w: &mut ByteWriter) {
+    w.u32(index.features.len() as u32);
+    for feature in index.features.iter() {
+        w.u64(feature.support as u64);
+        let seq = feature.code.to_sequence();
+        w.u32(seq.len() as u32);
+        for x in seq {
+            w.u32(x);
+        }
+    }
+}
+
+fn encode_database(_index: &FragmentIndex, db: &[LabeledGraph], w: &mut ByteWriter) {
+    let text = write_database(db);
+    w.u64(text.len() as u64);
+    w.bytes(text.as_bytes());
+}
+
+fn encode_classes(index: &FragmentIndex, _db: &[LabeledGraph], w: &mut ByteWriter) {
+    w.u32(index.classes.len() as u32);
+    for class in &index.classes {
+        w.u8(match &class.imp {
+            ClassImpl::Trie(_) => 0,
+            ClassImpl::VpLabels(_) => 1,
+            ClassImpl::RTree(_) => 2,
+            ClassImpl::VpWeights(_) => 3,
+        });
+        w.u32(class.graphs.len() as u32);
+        for g in &class.graphs {
+            w.u32(g.0);
+        }
+        w.u64(class.entries as u64);
+        match &class.imp {
+            ClassImpl::Trie(trie) => {
+                let p = trie.parts();
+                w.u32(p.depth as u32);
+                w.u32(p.labels.len() as u32);
+                w.u32(p.postings.len() as u32);
+                w.u32(p.alphabet.len() as u32);
+                for &x in p.level_start {
+                    w.u32(x);
+                }
+                for &l in p.labels {
+                    w.u32(l.0);
+                }
+                for arr in [p.label_idx, p.child_start, p.child_len, p.sub_start, p.sub_len] {
+                    for &x in arr {
+                        w.u32(x);
+                    }
+                }
+                for &g in p.postings {
+                    w.u32(g.0);
+                }
+                for &x in p.alphabet_start {
+                    w.u32(x);
+                }
+                for &l in p.alphabet {
+                    w.u32(l.0);
+                }
+            }
+            ClassImpl::VpLabels(vp) => {
+                w.u32(vp.len() as u32);
+                for (seq, gid) in vp.items() {
+                    for l in seq {
+                        w.u32(l.0);
+                    }
+                    w.u32(gid.0);
+                }
+            }
+            ClassImpl::RTree(rt) => {
+                w.u32(rt.len() as u32);
+                let mut flat: Vec<(Vec<f64>, GraphId)> = Vec::with_capacity(rt.len());
+                rt.for_each_entry(|p, gid| flat.push((p.to_vec(), gid)));
+                for (p, gid) in flat {
+                    for x in p {
+                        w.f64_bits(x);
+                    }
+                    w.u32(gid.0);
+                }
+            }
+            ClassImpl::VpWeights(vp) => {
+                w.u32(vp.len() as u32);
+                for (p, gid) in vp.items() {
+                    for &x in p {
+                        w.f64_bits(x);
+                    }
+                    w.u32(gid.0);
+                }
+            }
+        }
+    }
+}
+
+/// Restores an index + database from snapshot bytes, validating the
+/// footer checksum, every section checksum, and every structural
+/// invariant before any array is trusted.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<(FragmentIndex, Vec<LabeledGraph>), PersistError> {
+    let header_len = MAGIC.len() + 8 + SECTION_COUNT as usize * TABLE_ENTRY;
+    if bytes.len() < header_len + 4 {
+        return Err(corrupt(bytes.len() as u64, "snapshot shorter than its header"));
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err(corrupt(0, "bad snapshot magic"));
+    }
+    let mut r = ByteReader::new(&bytes[MAGIC.len()..header_len], MAGIC.len() as u64);
+    let version = r.u32("version")?;
+    if version != VERSION {
+        return Err(corrupt(8, &format!("unsupported snapshot version {version}")));
+    }
+    let section_count = r.u32("section count")?;
+    if section_count != SECTION_COUNT {
+        return Err(corrupt(
+            12,
+            &format!("expected {SECTION_COUNT} sections, got {section_count}"),
+        ));
+    }
+    // Whole-file footer first: one cheap pass that catches truncation
+    // and most bit rot before any section is interpreted.
+    let footer_at = bytes.len() - 4;
+    let stored_footer = u32::from_le_bytes([
+        bytes[footer_at],
+        bytes[footer_at + 1],
+        bytes[footer_at + 2],
+        bytes[footer_at + 3],
+    ]);
+    if crc32(&bytes[..footer_at]) != stored_footer {
+        return Err(corrupt(footer_at as u64, "snapshot footer checksum mismatch"));
+    }
+    // Section table: bounds + per-section CRC, then slice out payloads.
+    let mut payloads: [Option<&[u8]>; 4] = [None; 4];
+    let mut offsets = [0u64; 4];
+    for i in 0..SECTION_COUNT as usize {
+        let kind = r.u32("section kind")?;
+        let offset = r.u64("section offset")?;
+        let len = r.u64("section length")?;
+        let crc = r.u32("section checksum")?;
+        if kind != i as u32 + 1 {
+            return Err(corrupt(r.offset(), &format!("section {i} has kind {kind}")));
+        }
+        if offset < header_len as u64 || offset + len > footer_at as u64 {
+            return Err(corrupt(r.offset(), &format!("section {i} range escapes the file")));
+        }
+        let payload = &bytes[offset as usize..(offset + len) as usize];
+        if crc32(payload) != crc {
+            return Err(corrupt(offset, &format!("section {i} checksum mismatch")));
+        }
+        payloads[i] = Some(payload);
+        offsets[i] = offset;
+    }
+    let section =
+        |k: usize| ByteReader::new(payloads[k - 1].expect("all sections sliced"), offsets[k - 1]);
+
+    let meta = decode_meta(&mut section(KIND_META as usize))?;
+    let (features, class_shapes) = decode_features(&mut section(KIND_FEATURES as usize))?;
+    let database = decode_database(&mut section(KIND_DATABASE as usize))?;
+    if database.len() != meta.graph_count {
+        return Err(corrupt(
+            offsets[KIND_DATABASE as usize - 1],
+            &format!(
+                "database holds {} graphs but the index claims {}",
+                database.len(),
+                meta.graph_count
+            ),
+        ));
+    }
+    let classes = decode_classes(&mut section(KIND_CLASSES as usize), &meta, &class_shapes)?;
+    let index = FragmentIndex {
+        features,
+        distance: meta.distance,
+        classes,
+        graph_count: meta.graph_count,
+        config: IndexConfig {
+            backend: meta.backend,
+            max_embeddings_per_fragment: meta.max_embeddings,
+            threads: 0,
+            merge_threshold: meta.merge_threshold,
+        },
+    };
+    Ok((index, database))
+}
+
+/// [`encode_snapshot`] + crash-safe rotation onto `path` (write temp,
+/// fsync, rename): a crash at any point leaves the previous snapshot
+/// intact. Compacts the index first — pending entries merge into the
+/// frozen structures the snapshot stores.
+pub fn write_snapshot(
+    path: &Path,
+    index: &mut FragmentIndex,
+    database: &[LabeledGraph],
+) -> Result<(), PersistError> {
+    index.compact();
+    let bytes = encode_snapshot(index, database);
+    atomic_write(path, &bytes)?;
+    Ok(())
+}
+
+/// Reads and [`decode_snapshot`]s the file at `path`.
+pub fn load_snapshot(path: &Path) -> Result<(FragmentIndex, Vec<LabeledGraph>), PersistError> {
+    let bytes = std::fs::read(path)?;
+    decode_snapshot(&bytes)
+}
+
+fn corrupt(offset: u64, message: &str) -> PersistError {
+    PersistError::Corrupt { offset, message: message.to_string() }
+}
+
+struct Meta {
+    graph_count: usize,
+    max_embeddings: usize,
+    backend: Backend,
+    merge_threshold: usize,
+    distance: IndexDistance,
+}
+
+/// Reads a `u32` count and caps it at what the remaining bytes could
+/// possibly hold, with `unit` bytes per counted element — corrupt
+/// counts then fail fast without reserving memory the data cannot back.
+fn bounded_count(r: &mut ByteReader<'_>, what: &str, unit: usize) -> Result<usize, PersistError> {
+    let x = r.u32(what)? as usize;
+    let cap = r.remaining() / unit.max(1);
+    if x > cap {
+        return Err(r.corrupt(&format!("{what} {x} exceeds the {cap} cap")));
+    }
+    Ok(x)
+}
+
+fn decode_meta(r: &mut ByteReader<'_>) -> Result<Meta, PersistError> {
+    let graph_count = r.u64("graph count")?;
+    if graph_count > u32::MAX as u64 {
+        return Err(r.corrupt("graph count exceeds u32 ids"));
+    }
+    let max_embeddings = r.u64("max embeddings")? as usize;
+    let backend = match r.u8("backend tag")? {
+        0 => Backend::Default,
+        1 => Backend::Trie,
+        2 => Backend::RTree,
+        3 => Backend::VpTree,
+        t => return Err(r.corrupt(&format!("unknown backend tag {t}"))),
+    };
+    let merge_threshold = r.u64("merge threshold")? as usize;
+    let distance = match r.u8("distance tag")? {
+        0 => {
+            let vertex = decode_matrix(r)?;
+            let edge = decode_matrix(r)?;
+            IndexDistance::Mutation(MutationDistance::new(vertex, edge))
+        }
+        1 => {
+            let vs = r.f64_finite("vertex scale")?;
+            let es = r.f64_finite("edge scale")?;
+            IndexDistance::Linear(LinearDistance::scaled(vs, es))
+        }
+        t => return Err(r.corrupt(&format!("unknown distance tag {t}"))),
+    };
+    if !r.is_exhausted() {
+        return Err(r.corrupt("trailing bytes in META section"));
+    }
+    Ok(Meta {
+        graph_count: graph_count as usize,
+        max_embeddings,
+        backend,
+        merge_threshold,
+        distance,
+    })
+}
+
+fn decode_matrix(r: &mut ByteReader<'_>) -> Result<ScoreMatrix, PersistError> {
+    let size = r.u32("matrix size")? as usize;
+    // Cells are 8 bytes each and there are size², so the remaining-byte
+    // bound must be taken on the squared count.
+    let cells = size.checked_mul(size).filter(|&c| c * 8 <= r.remaining() + 8);
+    let Some(cells) = cells else {
+        return Err(r.corrupt(&format!("matrix size {size} exceeds the section")));
+    };
+    let default = r.f64_finite("matrix default")?;
+    let mut costs = Vec::with_capacity(cells);
+    for _ in 0..cells {
+        costs.push(r.f64_finite("matrix cell")?);
+    }
+    ScoreMatrix::from_fn(size, default, |a, b| costs[a.index() * size + b.index()])
+        .map_err(|e| r.corrupt(&e.to_string()))
+}
+
+/// Per-class slot/edge counts derived from the features, in class
+/// (= feature) order.
+struct ClassShape {
+    slots: usize,
+    ecount: usize,
+}
+
+fn decode_features(r: &mut ByteReader<'_>) -> Result<(FeatureSet, Vec<ClassShape>), PersistError> {
+    let count = bounded_count(r, "feature count", 16)?;
+    let mut features = FeatureSet::new();
+    let mut shapes = Vec::with_capacity(count);
+    for _ in 0..count {
+        let support = r.u64("feature support")? as usize;
+        let seq_len = bounded_count(r, "feature sequence length", 4)?;
+        let mut seq = Vec::with_capacity(seq_len);
+        for _ in 0..seq_len {
+            seq.push(r.u32("feature sequence value")?);
+        }
+        // Full structural validation — canonicality included — shared
+        // with the text loader.
+        let code = sequence_to_code(&seq, 0).map_err(|e| r.corrupt(&e.to_string()))?;
+        shapes.push(ClassShape {
+            slots: code.vertex_count() + code.edge_count(),
+            ecount: code.edge_count(),
+        });
+        let (_, fresh) = features.insert(code, support);
+        if !fresh {
+            return Err(r.corrupt("duplicate feature"));
+        }
+    }
+    if !r.is_exhausted() {
+        return Err(r.corrupt("trailing bytes in FEATURES section"));
+    }
+    Ok((features, shapes))
+}
+
+fn decode_database(r: &mut ByteReader<'_>) -> Result<Vec<LabeledGraph>, PersistError> {
+    let len = r.count("database text length", r.remaining())?;
+    let text = std::str::from_utf8(r.bytes(len, "database text")?)
+        .map_err(|_| r.corrupt("database text is not UTF-8"))?;
+    let db = parse_database(text).map_err(|e| r.corrupt(&format!("database unparsable: {e}")))?;
+    if !r.is_exhausted() {
+        return Err(r.corrupt("trailing bytes in DATABASE section"));
+    }
+    Ok(db)
+}
+
+fn decode_classes(
+    r: &mut ByteReader<'_>,
+    meta: &Meta,
+    shapes: &[ClassShape],
+) -> Result<Vec<ClassIndex>, PersistError> {
+    let count = bounded_count(r, "class count", 1)?;
+    if count != shapes.len() {
+        return Err(r.corrupt(&format!("{count} classes for {} features", shapes.len())));
+    }
+    let mut classes = Vec::with_capacity(count);
+    for shape in shapes {
+        let tag = r.u8("class backend tag")?;
+        let posting_len = bounded_count(r, "posting length", 4)?;
+        let mut graphs = Vec::with_capacity(posting_len);
+        for _ in 0..posting_len {
+            graphs.push(GraphId(r.u32("posting graph id")?));
+        }
+        // Same invariants as the text loader: sorted strictly ascending
+        // and naming only graphs that exist.
+        if graphs.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(r.corrupt("posting list not strictly ascending"));
+        }
+        if graphs.last().is_some_and(|g| g.index() >= meta.graph_count) {
+            return Err(r.corrupt("posting graph id out of range"));
+        }
+        let entries = r.u64("entry count")? as usize;
+        let imp = match tag {
+            0 => decode_trie(r, shape, graphs.len())?,
+            1 => {
+                let items = decode_label_items(r, shape, meta.graph_count)?;
+                build_class_impl(
+                    "vplabels",
+                    &meta.distance,
+                    shape.slots,
+                    shape.ecount,
+                    items,
+                    Vec::new(),
+                )
+                .map_err(|m| r.corrupt(&m))?
+            }
+            2 => {
+                let items = decode_weight_items(r, shape, meta.graph_count)?;
+                build_class_impl(
+                    "rtree",
+                    &meta.distance,
+                    shape.slots,
+                    shape.ecount,
+                    Vec::new(),
+                    items,
+                )
+                .map_err(|m| r.corrupt(&m))?
+            }
+            3 => {
+                let items = decode_weight_items(r, shape, meta.graph_count)?;
+                build_class_impl(
+                    "vpweights",
+                    &meta.distance,
+                    shape.slots,
+                    shape.ecount,
+                    Vec::new(),
+                    items,
+                )
+                .map_err(|m| r.corrupt(&m))?
+            }
+            t => return Err(r.corrupt(&format!("unknown class backend tag {t}"))),
+        };
+        classes.push(ClassIndex::restored(imp, graphs, entries));
+    }
+    if !r.is_exhausted() {
+        return Err(r.corrupt("trailing bytes in CLASSES section"));
+    }
+    Ok(classes)
+}
+
+/// Bulk-copies a trie arena out of the section, then revalidates every
+/// structural invariant through [`FlatTrie::from_parts`]. Postings are
+/// class-local slots and are range-checked against the posting list
+/// here, where the class size is known.
+fn decode_trie(
+    r: &mut ByteReader<'_>,
+    shape: &ClassShape,
+    class_size: usize,
+) -> Result<ClassImpl, PersistError> {
+    let depth = r.u32("trie depth")? as usize;
+    // Queries index probe vectors of `slots` labels by trie level, so a
+    // depth mismatch would read out of bounds at query time.
+    if depth != shape.slots {
+        return Err(r.corrupt(&format!("trie depth {depth} != {} class slots", shape.slots)));
+    }
+    let nodes = bounded_count(r, "trie node count", 4)?;
+    let postings_len = bounded_count(r, "trie posting count", 4)?;
+    let alphabet_len = bounded_count(r, "trie alphabet count", 4)?;
+    let table_len = if depth == 0 { 0 } else { depth + 1 };
+    let read_u32s =
+        |n: usize, what: &str, r: &mut ByteReader<'_>| -> Result<Vec<u32>, PersistError> {
+            let mut v = Vec::with_capacity(n.min(r.remaining() / 4 + 1));
+            for _ in 0..n {
+                v.push(r.u32(what)?);
+            }
+            Ok(v)
+        };
+    let level_start = read_u32s(table_len, "trie level table", r)?;
+    let labels: Vec<Label> = read_u32s(nodes, "trie labels", r)?.into_iter().map(Label).collect();
+    let label_idx = read_u32s(nodes, "trie label slots", r)?;
+    let child_start = read_u32s(nodes, "trie child starts", r)?;
+    let child_len = read_u32s(nodes, "trie child lengths", r)?;
+    let sub_start = read_u32s(nodes, "trie subtree starts", r)?;
+    let sub_len = read_u32s(nodes, "trie subtree lengths", r)?;
+    let postings: Vec<GraphId> =
+        read_u32s(postings_len, "trie postings", r)?.into_iter().map(GraphId).collect();
+    if postings.iter().any(|g| g.index() >= class_size) {
+        return Err(r.corrupt("trie posting slot out of range"));
+    }
+    let alphabet_start = read_u32s(table_len, "trie alphabet table", r)?;
+    let alphabet: Vec<Label> =
+        read_u32s(alphabet_len, "trie alphabet", r)?.into_iter().map(Label).collect();
+    let trie = FlatTrie::from_parts(TriePartsOwned {
+        depth,
+        level_start,
+        labels,
+        label_idx,
+        child_start,
+        child_len,
+        sub_start,
+        sub_len,
+        postings,
+        alphabet_start,
+        alphabet,
+    })
+    .map_err(|m| r.corrupt(&m))?;
+    Ok(ClassImpl::Trie(trie))
+}
+
+fn decode_label_items(
+    r: &mut ByteReader<'_>,
+    shape: &ClassShape,
+    graph_count: usize,
+) -> Result<Vec<(Vec<Label>, GraphId)>, PersistError> {
+    let count = bounded_count(r, "label entry count", (shape.slots + 1) * 4)?;
+    let mut items = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut v = Vec::with_capacity(shape.slots);
+        for _ in 0..shape.slots {
+            v.push(Label(r.u32("label slot")?));
+        }
+        let gid = GraphId(r.u32("entry graph id")?);
+        if gid.index() >= graph_count {
+            return Err(r.corrupt("entry graph id out of range"));
+        }
+        items.push((v, gid));
+    }
+    Ok(items)
+}
+
+fn decode_weight_items(
+    r: &mut ByteReader<'_>,
+    shape: &ClassShape,
+    graph_count: usize,
+) -> Result<Vec<(Vec<f64>, GraphId)>, PersistError> {
+    let count = bounded_count(r, "weight entry count", shape.slots * 8 + 4)?;
+    let mut items = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut v = Vec::with_capacity(shape.slots);
+        for _ in 0..shape.slots {
+            v.push(r.f64_finite("weight slot")?);
+        }
+        let gid = GraphId(r.u32("entry graph id")?);
+        if gid.index() >= graph_count {
+            return Err(r.corrupt("entry graph id out of range"));
+        }
+        items.push((v, gid));
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist::save_index;
+    use pis_distance::MutationDistance;
+    use pis_graph::{EdgeAttr, GraphBuilder, VertexAttr};
+    use pis_mining::exhaustive::exhaustive_features;
+
+    fn ring(labels: &[u32]) -> LabeledGraph {
+        let mut b = GraphBuilder::new();
+        let n = labels.len();
+        let vs = b.add_vertices(n, VertexAttr::labeled(Label(0)));
+        for (i, &l) in labels.iter().enumerate() {
+            b.add_edge(vs[i], vs[(i + 1) % n], EdgeAttr { label: Label(l), weight: l as f64 })
+                .unwrap();
+        }
+        b.build()
+    }
+
+    fn sample(backend: Backend, distance: IndexDistance) -> (FragmentIndex, Vec<LabeledGraph>) {
+        let db = vec![ring(&[1, 1, 2, 1]), ring(&[1, 2, 1, 2]), ring(&[2, 2, 2, 2])];
+        let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+        let index = FragmentIndex::build(
+            &db,
+            exhaustive_features(&structures, 3),
+            distance,
+            &crate::IndexConfig { backend, ..crate::IndexConfig::default() },
+        );
+        (index, db)
+    }
+
+    fn text_save(index: &FragmentIndex) -> Vec<u8> {
+        let mut buf = Vec::new();
+        save_index(index, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn round_trip_is_text_identical_per_backend() {
+        for (backend, distance) in [
+            (Backend::Trie, IndexDistance::Mutation(MutationDistance::edge_hamming())),
+            (Backend::VpTree, IndexDistance::Mutation(MutationDistance::edge_hamming())),
+            (Backend::RTree, IndexDistance::Linear(LinearDistance::default())),
+            (Backend::VpTree, IndexDistance::Linear(LinearDistance::default())),
+        ] {
+            let (index, db) = sample(backend, distance);
+            let bytes = encode_snapshot(&index, &db);
+            let (loaded, db2) = decode_snapshot(&bytes).unwrap();
+            // The text save is a total serialization of index state;
+            // byte-identical saves mean byte-identical query behavior.
+            assert_eq!(text_save(&index), text_save(&loaded), "{backend:?}");
+            assert_eq!(write_database(&db), write_database(&db2));
+        }
+    }
+
+    #[test]
+    fn footer_catches_any_byte_flip() {
+        let (index, db) =
+            sample(Backend::Trie, IndexDistance::Mutation(MutationDistance::edge_hamming()));
+        let bytes = encode_snapshot(&index, &db);
+        for pos in [8, bytes.len() / 2, bytes.len() - 5] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            assert!(
+                matches!(decode_snapshot(&bad), Err(PersistError::Corrupt { .. })),
+                "flip at {pos} must be caught"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let (index, db) =
+            sample(Backend::Trie, IndexDistance::Mutation(MutationDistance::edge_hamming()));
+        let bytes = encode_snapshot(&index, &db);
+        for cut in [0, 4, 9, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                matches!(decode_snapshot(&bytes[..cut]), Err(PersistError::Corrupt { .. })),
+                "truncation to {cut} must be a typed error"
+            );
+        }
+    }
+
+    #[test]
+    fn atomic_rotation_round_trips_via_path() {
+        let dir = std::env::temp_dir().join(format!("pis-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.pis");
+        let (mut index, db) =
+            sample(Backend::Trie, IndexDistance::Mutation(MutationDistance::edge_hamming()));
+        write_snapshot(&path, &mut index, &db).unwrap();
+        let (loaded, db2) = load_snapshot(&path).unwrap();
+        assert_eq!(text_save(&index), text_save(&loaded));
+        assert_eq!(db2.len(), db.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

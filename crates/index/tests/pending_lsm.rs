@@ -1,0 +1,135 @@
+//! LSM pending-buffer equivalence: range queries over (frozen +
+//! pending) must be *bit-identical* (f64 payloads included) to queries
+//! over the merged index, for every backend, and the automatic
+//! threshold merge must not change a single answer.
+
+use pis_distance::{LinearDistance, MutationDistance};
+use pis_graph::{EdgeAttr, GraphBuilder, GraphId, Label, LabeledGraph, VertexAttr};
+use pis_index::{Backend, FragmentIndex, IndexConfig, IndexDistance};
+use pis_mining::exhaustive::exhaustive_features;
+
+fn ring(edge_labels: &[u32]) -> LabeledGraph {
+    let mut b = GraphBuilder::new();
+    let n = edge_labels.len();
+    let vs: Vec<_> =
+        (0..n).map(|i| b.add_vertex(VertexAttr::labeled(Label(i as u32 % 3)))).collect();
+    for (i, &l) in edge_labels.iter().enumerate() {
+        b.add_edge(vs[i], vs[(i + 1) % n], EdgeAttr { label: Label(l), weight: 0.25 + l as f64 })
+            .unwrap();
+    }
+    b.build()
+}
+
+fn base_db() -> Vec<LabeledGraph> {
+    vec![ring(&[1, 1, 2, 1]), ring(&[1, 2, 1, 2]), ring(&[2, 2, 2, 2])]
+}
+
+fn incoming() -> Vec<LabeledGraph> {
+    vec![ring(&[2, 1, 2, 1]), ring(&[1, 1, 1, 1]), ring(&[3, 2, 1, 2]), ring(&[1, 2, 3, 1, 2])]
+}
+
+fn build(backend: Backend, distance: &IndexDistance, merge_threshold: usize) -> FragmentIndex {
+    let db = base_db();
+    let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+    FragmentIndex::build(
+        &db,
+        exhaustive_features(&structures, 3),
+        distance.clone(),
+        &IndexConfig { backend, merge_threshold, ..IndexConfig::default() },
+    )
+}
+
+/// Every (feature, probe, sigma) answer set, canonically ordered with
+/// distances as raw bits so equality means bit-equality.
+fn all_answers(index: &FragmentIndex, queries: &[LabeledGraph]) -> Vec<(u32, GraphId, u64)> {
+    let mut out = Vec::new();
+    for (qi, q) in queries.iter().enumerate() {
+        for frag in index.enumerate_query_fragments(q) {
+            for sigma in [0.0, 0.75, 1.5, 3.0, 1e9] {
+                let mut hits = index.range_query(frag.feature, &frag.vector, sigma);
+                hits.sort_by_key(|&(g, d)| (g.0, d.to_bits()));
+                out.extend(hits.into_iter().map(|(g, d)| (qi as u32, g, d.to_bits())));
+            }
+        }
+    }
+    out
+}
+
+fn backends() -> [(Backend, IndexDistance); 4] {
+    [
+        (Backend::Trie, IndexDistance::Mutation(MutationDistance::edge_hamming())),
+        (Backend::VpTree, IndexDistance::Mutation(MutationDistance::edge_hamming())),
+        (Backend::RTree, IndexDistance::Linear(LinearDistance::default())),
+        (Backend::VpTree, IndexDistance::Linear(LinearDistance::default())),
+    ]
+}
+
+#[test]
+fn pending_queries_are_bit_identical_to_merged() {
+    for (backend, distance) in backends() {
+        // merge_threshold 0 disables auto-merge: `lsm` keeps its
+        // pending buffers, `merged` is compacted by hand.
+        let mut lsm = build(backend, &distance, 0);
+        let mut merged = build(backend, &distance, 0);
+        for g in incoming() {
+            lsm.insert_graph_pending(&g);
+            merged.insert_graph_pending(&g);
+        }
+        assert!(lsm.pending_entries() > 0, "{backend:?}: inserts must land in pending buffers");
+        merged.compact();
+        assert_eq!(merged.pending_entries(), 0);
+
+        let queries: Vec<LabeledGraph> = base_db().into_iter().chain(incoming()).collect();
+        assert_eq!(
+            all_answers(&lsm, &queries),
+            all_answers(&merged, &queries),
+            "{backend:?}: pending scan must match the merged structures bit-for-bit"
+        );
+    }
+}
+
+#[test]
+fn pending_matches_the_eager_insert_path() {
+    for (backend, distance) in backends() {
+        let mut lsm = build(backend, &distance, 0);
+        let mut eager = build(backend, &distance, 0);
+        for g in incoming() {
+            lsm.insert_graph_pending(&g);
+            eager.insert_graph(&g);
+        }
+        let queries: Vec<LabeledGraph> = base_db().into_iter().chain(incoming()).collect();
+        assert_eq!(all_answers(&lsm, &queries), all_answers(&eager, &queries), "{backend:?}");
+    }
+}
+
+#[test]
+fn threshold_merges_automatically_without_changing_answers() {
+    for (backend, distance) in backends() {
+        let mut auto = build(backend, &distance, 2);
+        let mut manual = build(backend, &distance, 0);
+        for g in incoming() {
+            auto.insert_graph_pending(&g);
+            manual.insert_graph_pending(&g);
+        }
+        // Threshold 2 with several entries per class per insert: every
+        // touched class must have crossed it and merged.
+        assert_eq!(auto.pending_entries(), 0, "{backend:?}: threshold merge did not fire");
+        manual.compact();
+        let queries: Vec<LabeledGraph> = base_db().into_iter().chain(incoming()).collect();
+        assert_eq!(all_answers(&auto, &queries), all_answers(&manual, &queries), "{backend:?}");
+    }
+}
+
+#[test]
+fn compact_leaves_no_stale_rtrees() {
+    let (backend, distance) = (Backend::RTree, IndexDistance::Linear(LinearDistance::default()));
+    let mut index = build(backend, &distance, 0);
+    for g in incoming() {
+        index.insert_graph_pending(&g);
+    }
+    // Pending inserts never unfreeze the frozen side.
+    assert_eq!(index.rtree_stale_classes(), 0);
+    index.compact();
+    assert_eq!(index.rtree_stale_classes(), 0);
+    assert_eq!(index.pending_entries(), 0);
+}

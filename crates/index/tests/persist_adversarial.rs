@@ -1,4 +1,7 @@
-//! Adversarial corpus for [`pis_index::persist::load_index`].
+//! Adversarial corpus for the persistence layer: the text format
+//! ([`pis_index::persist::load_index`]), the binary snapshot
+//! ([`pis_index::decode_snapshot`]) and the write-ahead log
+//! ([`pis_index::wal`]).
 //!
 //! A persisted index is untrusted input: a truncated copy, a bit-flipped
 //! sector or a hand-edited file must come back as a typed
@@ -8,9 +11,11 @@
 //! positions and assert the loader survives every variant.
 
 use pis_distance::MutationDistance;
-use pis_graph::{EdgeAttr, GraphBuilder, Label, LabeledGraph, VertexAttr};
+use pis_graph::{EdgeAttr, GraphBuilder, GraphId, Label, LabeledGraph, VertexAttr};
 use pis_index::persist::{load_index, save_index, PersistError};
-use pis_index::{Backend, FragmentIndex, IndexConfig, IndexDistance};
+use pis_index::{
+    decode_snapshot, encode_snapshot, wal, Backend, FragmentIndex, IndexConfig, IndexDistance,
+};
 use pis_mining::exhaustive::exhaustive_features;
 use proptest::prelude::*;
 
@@ -46,7 +51,9 @@ fn valid_save(backend: Backend) -> Vec<u8> {
 fn load_survives(bytes: &[u8]) -> Result<(), String> {
     match load_index(bytes) {
         Ok(_) => Ok(()),
-        Err(PersistError::Io(_)) | Err(PersistError::Parse { .. }) => Ok(()),
+        Err(PersistError::Io(_))
+        | Err(PersistError::Parse { .. })
+        | Err(PersistError::Corrupt { .. }) => Ok(()),
     }
 }
 
@@ -173,5 +180,226 @@ proptest! {
             }
         }
         prop_assert!(load_survives(mutated.join("\n").as_bytes()).is_ok());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Binary snapshot format
+// ---------------------------------------------------------------------
+
+/// A valid snapshot (index + database) for mutation over.
+fn valid_snapshot(backend: Backend) -> Vec<u8> {
+    let db = vec![ring(&[1, 1, 1, 1]), ring(&[1, 2, 1, 2]), ring(&[2, 2, 2, 2])];
+    let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+    let index = FragmentIndex::build(
+        &db,
+        exhaustive_features(&structures, 3),
+        IndexDistance::Mutation(MutationDistance::edge_hamming()),
+        &IndexConfig { backend, ..IndexConfig::default() },
+    );
+    encode_snapshot(&index, &db)
+}
+
+/// Decodes and demands a typed outcome — identical contract to
+/// [`load_survives`] for the binary format.
+fn snapshot_survives(bytes: &[u8]) -> Result<(), String> {
+    match decode_snapshot(bytes) {
+        Ok(_) => Ok(()),
+        Err(PersistError::Io(_))
+        | Err(PersistError::Parse { .. })
+        | Err(PersistError::Corrupt { .. }) => Ok(()),
+    }
+}
+
+/// Truncation at *every* byte boundary of the header and section table
+/// — the region whose fields drive all later offsets — is a typed
+/// error. (The proptest below sweeps the payload region too.)
+#[test]
+fn snapshot_header_truncations_are_exhaustively_typed() {
+    let bytes = valid_snapshot(Backend::Trie);
+    // magic(8) + version(4) + section_count(4) + 4 table entries of 24.
+    let header_len = 8 + 4 + 4 + 4 * 24;
+    assert!(bytes.len() > header_len);
+    for cut in 0..=header_len {
+        assert!(
+            matches!(decode_snapshot(&bytes[..cut]), Err(PersistError::Corrupt { .. })),
+            "header truncation to {cut} bytes must be a typed corruption error"
+        );
+    }
+}
+
+/// Every single-byte overwrite of the whole file is caught: the footer
+/// checksum covers every byte before it, and a flip inside the footer
+/// itself breaks the checksum comparison.
+#[test]
+fn snapshot_bit_flip_corpus_is_always_rejected() {
+    let bytes = valid_snapshot(Backend::Trie);
+    // Step through the file; XOR with a non-zero pattern at each spot.
+    for pos in (0..bytes.len()).step_by(7) {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0x20;
+        assert!(
+            matches!(decode_snapshot(&bad), Err(PersistError::Corrupt { .. })),
+            "bit flip at byte {pos} must be rejected"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Truncating a snapshot anywhere never panics the decoder.
+    #[test]
+    fn snapshot_truncations_never_panic(frac in 0usize..10_000, backend in 0u8..2) {
+        let bytes = valid_snapshot(if backend == 0 { Backend::Trie } else { Backend::VpTree });
+        let cut = bytes.len() * frac / 10_000;
+        prop_assert!(snapshot_survives(&bytes[..cut]).is_ok());
+    }
+
+    /// Single-byte corruption (overwrite, insert, delete) at any
+    /// position never panics the decoder.
+    #[test]
+    fn snapshot_byte_mutations_never_panic(
+        pos in 0usize..100_000,
+        byte in 0u8..=255,
+        kind in 0u8..3,
+    ) {
+        let mut bytes = valid_snapshot(Backend::Trie);
+        let pos = pos % bytes.len();
+        match kind {
+            0 => bytes[pos] = byte,
+            1 => bytes.insert(pos, byte),
+            _ => { bytes.remove(pos); }
+        }
+        prop_assert!(snapshot_survives(&bytes).is_ok());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Write-ahead log
+// ---------------------------------------------------------------------
+
+/// A valid WAL byte stream holding `graphs` as records `base..`.
+fn valid_wal(graphs: &[LabeledGraph], base: u32) -> Vec<u8> {
+    let mut bytes = wal::MAGIC.to_vec();
+    for (i, g) in graphs.iter().enumerate() {
+        bytes.extend_from_slice(&wal::encode_record(GraphId(base + i as u32), g));
+    }
+    bytes
+}
+
+/// The crash-tolerance line: a *torn tail* (any truncation past the
+/// magic) is accepted with the complete prefix intact, while corruption
+/// *inside* a complete record is rejected — fsynced history never
+/// silently shrinks.
+#[test]
+fn wal_torn_tail_is_accepted_mid_log_corruption_is_not() {
+    let graphs = [ring(&[1, 2, 1, 2]), ring(&[2, 2, 1, 1])];
+    let bytes = valid_wal(&graphs, 3);
+    let first_record_end = wal::MAGIC.len() + wal::encode_record(GraphId(3), &graphs[0]).len();
+
+    // Truncation at every byte boundary: a kill can only shorten the
+    // file, and every such file must open.
+    for cut in wal::MAGIC.len()..=bytes.len() {
+        let replay = wal::replay_bytes(&bytes[..cut]).unwrap_or_else(|e| {
+            panic!("truncation to {cut} bytes must be accepted as a torn tail, got {e}")
+        });
+        let expect = usize::from(cut >= first_record_end) + usize::from(cut >= bytes.len());
+        assert_eq!(replay.records.len(), expect, "complete prefix must survive (cut {cut})");
+        assert_eq!(replay.valid_len as usize + replay.torn_tail_bytes as usize, cut);
+    }
+
+    // A byte flip inside the *first* (complete, fsynced) record is not
+    // a torn tail: typed rejection, no silent data loss.
+    let mut bad = bytes.clone();
+    bad[wal::MAGIC.len() + 8 + 2] ^= 0x01;
+    assert!(matches!(wal::replay_bytes(&bad), Err(PersistError::Corrupt { .. })));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any single-byte mutation of a WAL stream is either survivable
+    /// (torn tail / happens to stay valid) or a typed error.
+    #[test]
+    fn wal_byte_mutations_never_panic(
+        pos in 0usize..100_000,
+        byte in 0u8..=255,
+        kind in 0u8..3,
+    ) {
+        let mut bytes = valid_wal(&[ring(&[1, 2, 1, 2]), ring(&[2, 2, 1, 1])], 0);
+        let pos = pos % bytes.len();
+        match kind {
+            0 => bytes[pos] = byte,
+            1 => bytes.insert(pos, byte),
+            _ => { bytes.remove(pos); }
+        }
+        match wal::replay_bytes(&bytes) {
+            Ok(_) | Err(PersistError::Corrupt { .. }) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot → WAL replay → query: bit-identity with the live index
+// ---------------------------------------------------------------------
+
+/// All (feature, probe, σ) answers, distances as raw bits.
+fn fingerprint(index: &FragmentIndex, queries: &[LabeledGraph]) -> Vec<(u32, GraphId, u64)> {
+    let mut out = Vec::new();
+    for (qi, q) in queries.iter().enumerate() {
+        for frag in index.enumerate_query_fragments(q) {
+            for sigma in [0.0, 1.0, 2.5, 1e9] {
+                let mut hits = index.range_query(frag.feature, &frag.vector, sigma);
+                hits.sort_by_key(|&(g, d)| (g.0, d.to_bits()));
+                out.extend(hits.into_iter().map(|(g, d)| (qi as u32, g, d.to_bits())));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The full durability pipeline — snapshot the frozen index, log
+    /// later inserts to a WAL, decode + replay — answers every range
+    /// query bit-identically (f64 payloads included) to the live
+    /// in-memory index that never touched disk.
+    #[test]
+    fn snapshot_plus_wal_replay_is_bit_identical_to_live(
+        extra in prop::collection::vec(prop::collection::vec(1u32..4, 4), 1..4),
+        backend in 0u8..2,
+    ) {
+        let backend = if backend == 0 { Backend::Trie } else { Backend::VpTree };
+        let mut db = vec![ring(&[1, 1, 1, 1]), ring(&[1, 2, 1, 2]), ring(&[2, 2, 2, 2])];
+        let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+        let features = exhaustive_features(&structures, 3);
+        let distance = IndexDistance::Mutation(MutationDistance::edge_hamming());
+        let config = IndexConfig { backend, ..IndexConfig::default() };
+
+        // Live side: never persisted.
+        let mut live = FragmentIndex::build(&db, features.clone(), distance.clone(), &config);
+        // Durable side: snapshot now, WAL the rest.
+        let durable_base = FragmentIndex::build(&db, features, distance, &config);
+        let snapshot = encode_snapshot(&durable_base, &db);
+        let incoming: Vec<LabeledGraph> = extra.iter().map(|ls| ring(ls)).collect();
+        let wal_bytes = valid_wal(&incoming, db.len() as u32);
+
+        for g in &incoming {
+            live.insert_graph_pending(g);
+            db.push(g.clone());
+        }
+
+        let (mut restored, restored_db) = decode_snapshot(&snapshot).unwrap();
+        let replay = wal::replay_bytes(&wal_bytes).unwrap();
+        prop_assert_eq!(replay.torn_tail_bytes, 0);
+        for (i, (gid, g)) in replay.records.into_iter().enumerate() {
+            prop_assert_eq!(gid.index(), restored_db.len() + i);
+            restored.insert_graph_pending(&g);
+        }
+
+        prop_assert_eq!(fingerprint(&live, &db), fingerprint(&restored, &db));
     }
 }

@@ -43,6 +43,9 @@
 //! | [`core`] | §3–6 | Algorithm 2, verification, baselines |
 //! | [`datasets`] | §7 | synthetic chemical generator, SDF, queries |
 
+pub mod durable;
+
+pub use durable::{DurableSystem, RecoveryReport};
 pub use pis_core as core;
 pub use pis_datasets as datasets;
 pub use pis_distance as distance;
@@ -61,7 +64,7 @@ use pis_mining::{FeatureSet, GindexConfig};
 
 /// Everything needed for typical use.
 pub mod prelude {
-    pub use crate::{FeatureSource, PisSystem, PisSystemBuilder};
+    pub use crate::{DurableSystem, FeatureSource, PisSystem, PisSystemBuilder, RecoveryReport};
     pub use pis_core::{
         BudgetStats, Completeness, KnnOutcome, Neighbor, PartitionAlgo, PisConfig, QueryBudget,
         QueryError, SearchOutcome, SearchScratch, SearchStats, TruncationPhase, VerifyScratch,
@@ -159,6 +162,13 @@ impl PisSystemBuilder {
         self
     }
 
+    /// Pending entries a class may accumulate before its LSM buffer is
+    /// merged into the frozen structure (0 disables auto-merge).
+    pub fn merge_threshold(mut self, threshold: usize) -> Self {
+        self.index_config.merge_threshold = threshold;
+        self
+    }
+
     /// Mines features, builds the fragment index and assembles the
     /// system.
     pub fn build(mut self, database: Vec<LabeledGraph>) -> PisSystem {
@@ -187,9 +197,9 @@ impl PisSystemBuilder {
 /// An assembled PIS deployment: the database, its fragment index and a
 /// search configuration.
 pub struct PisSystem {
-    database: Vec<LabeledGraph>,
-    index: FragmentIndex,
-    config: PisConfig,
+    pub(crate) database: Vec<LabeledGraph>,
+    pub(crate) index: FragmentIndex,
+    pub(crate) config: PisConfig,
 }
 
 impl PisSystem {
@@ -326,14 +336,55 @@ impl PisSystem {
         gid
     }
 
+    /// [`PisSystem::insert_graph`] through the index's LSM pending
+    /// buffers: O(entries added) per insert instead of a per-class
+    /// arena rebuild, with bit-identical query answers. Buffers merge
+    /// automatically at [`IndexConfig::merge_threshold`], or on
+    /// [`PisSystem::compact`].
+    pub fn insert_graph_pending(&mut self, graph: LabeledGraph) -> GraphId {
+        let gid = self.index.insert_graph_pending(&graph);
+        self.database.push(graph);
+        debug_assert_eq!(self.database.len(), self.index.graph_count());
+        gid
+    }
+
+    /// Merges every LSM pending buffer into its frozen structure and
+    /// re-freezes any stale R-tree.
+    pub fn compact(&mut self) {
+        self.index.compact();
+    }
+
     /// Persists the whole system (database + index) into a directory:
     /// `database.lg` (the text format of `pis_graph::io`) and
     /// `index.pis` (the fragment-index format of `pis_index::persist`).
+    /// Both files rotate crash-safely (temp + fsync + rename), so a
+    /// kill mid-save leaves the previous save intact.
     pub fn save_to(&self, dir: &std::path::Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
-        std::fs::write(dir.join("database.lg"), pis_graph::io::write_database(&self.database))?;
-        let file = std::fs::File::create(dir.join("index.pis"))?;
-        pis_index::save_index(&self.index, std::io::BufWriter::new(file))
+        pis_index::codec::atomic_write(
+            &dir.join("database.lg"),
+            pis_graph::io::write_database(&self.database).as_bytes(),
+        )?;
+        let mut buf = Vec::new();
+        pis_index::save_index(&self.index, &mut buf)?;
+        pis_index::codec::atomic_write(&dir.join("index.pis"), &buf)
+    }
+
+    /// Assembles a system from a database and an index built over it
+    /// (for example, loaded separately from disk).
+    pub fn from_parts(
+        database: Vec<LabeledGraph>,
+        index: FragmentIndex,
+        config: PisConfig,
+    ) -> std::io::Result<PisSystem> {
+        if database.len() != index.graph_count() {
+            return Err(std::io::Error::other(format!(
+                "database holds {} graphs but the index was built over {}",
+                database.len(),
+                index.graph_count()
+            )));
+        }
+        Ok(PisSystem { database, index, config })
     }
 
     /// Restores a system saved with [`PisSystem::save_to`]. The index
