@@ -21,10 +21,10 @@ fn bench_canonical(c: &mut Criterion) {
     group.sample_size(50);
     for (name, g) in &shapes {
         group.bench_with_input(BenchmarkId::new("min_dfs_code", name), g, |b, g| {
-            b.iter(|| black_box(min_dfs_code(g).expect("connected").code))
+            b.iter(|| black_box(min_dfs_code(g).expect("connected").code));
         });
         group.bench_with_input(BenchmarkId::new("naive_matrix", name), g, |b, g| {
-            b.iter(|| black_box(naive_canonical(g)))
+            b.iter(|| black_box(naive_canonical(g)));
         });
     }
 

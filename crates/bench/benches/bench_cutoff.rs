@@ -27,7 +27,7 @@ fn bench_cutoff(c: &mut Criterion) {
                     candidates += searcher.search(q, 2.0).candidates.len();
                 }
                 black_box(candidates)
-            })
+            });
         });
     }
     group.finish();

@@ -25,7 +25,7 @@ fn bench_fragment_size(c: &mut Criterion) {
                     candidates += searcher.search(q, 2.0).candidates.len();
                 }
                 black_box(candidates)
-            })
+            });
         });
     }
     group.finish();

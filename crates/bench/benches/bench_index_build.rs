@@ -29,7 +29,7 @@ fn bench_index_build(c: &mut Criterion) {
                         ..GindexConfig::default()
                     },
                 ))
-            })
+            });
         });
 
         let features = select_features(
@@ -44,7 +44,7 @@ fn bench_index_build(c: &mut Criterion) {
                     IndexDistance::Mutation(MutationDistance::edge_hamming()),
                     &IndexConfig::default(),
                 ))
-            })
+            });
         });
     }
     group.finish();

@@ -31,13 +31,13 @@ fn bench_iso(c: &mut Criterion) {
                 }
             }
             black_box(found)
-        })
+        });
     });
 
     group.bench_function("enumerate_path4_in_cycle12", |b| {
         let p = path_graph(4, Label(0), Label(0));
         let t = cycle_graph(12, Label(0), Label(0));
-        b.iter(|| black_box(embeddings(&p, &t, IsoConfig::STRUCTURE).len()))
+        b.iter(|| black_box(embeddings(&p, &t, IsoConfig::STRUCTURE).len()));
     });
 
     group.bench_function("bounded_verify_q12", |b| {
@@ -52,7 +52,7 @@ fn bench_iso(c: &mut Criterion) {
                 }
             }
             black_box(answers)
-        })
+        });
     });
 
     for size in [8usize, 16, 24] {
@@ -68,7 +68,7 @@ fn bench_iso(c: &mut Criterion) {
                     }
                 }
                 black_box(found)
-            })
+            });
         });
     }
     group.finish();

@@ -38,14 +38,14 @@ fn bench_partition(c: &mut Criterion) {
     for n in [20usize, 60, 200] {
         let g = synthetic_overlap(n, 3);
         group.bench_with_input(BenchmarkId::new("greedy", n), &g, |b, g| {
-            b.iter(|| black_box(greedy_mwis(g)))
+            b.iter(|| black_box(greedy_mwis(g)));
         });
         group.bench_with_input(BenchmarkId::new("enhanced2", n), &g, |b, g| {
-            b.iter(|| black_box(enhanced_greedy_mwis(g, 2)))
+            b.iter(|| black_box(enhanced_greedy_mwis(g, 2)));
         });
         if n <= 60 {
             group.bench_with_input(BenchmarkId::new("exact", n), &g, |b, g| {
-                b.iter(|| black_box(exact_mwis(g)))
+                b.iter(|| black_box(exact_mwis(g)));
             });
         }
     }

@@ -31,7 +31,7 @@ fn bench_pipeline(c: &mut Criterion) {
                     candidates += searcher.search_with_scratch(q, s, &mut scratch).candidates.len();
                 }
                 black_box(candidates)
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("pis_full", sigma), &sigma, |b, &s| {
             let full = PisSearcher::new(&bed.index, &bed.db, PisConfig::default());
@@ -42,7 +42,7 @@ fn bench_pipeline(c: &mut Criterion) {
                     answers += full.search_with_scratch(q, s, &mut scratch).answers.len();
                 }
                 black_box(answers)
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("topo_prune", sigma), &sigma, |b, &s| {
             b.iter(|| {
@@ -51,7 +51,7 @@ fn bench_pipeline(c: &mut Criterion) {
                     answers += topo_prune(&bed.index, &bed.db, q, s).answers.len();
                 }
                 black_box(answers)
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("naive_scan", sigma), &sigma, |b, &s| {
             b.iter(|| {
@@ -60,7 +60,7 @@ fn bench_pipeline(c: &mut Criterion) {
                     answers += naive_scan(&bed.db, q, &md, s).answers.len();
                 }
                 black_box(answers)
-            })
+            });
         });
     }
     group.finish();

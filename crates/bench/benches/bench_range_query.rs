@@ -41,10 +41,10 @@ fn bench_range_query(c: &mut Criterion) {
     let vp = build(&db, md, Backend::VpTree);
     for sigma in [1.0f64, 2.0, 4.0] {
         group.bench_with_input(BenchmarkId::new("md_trie", sigma), &sigma, |b, &s| {
-            b.iter(|| black_box(run_queries(&trie, &queries, s)))
+            b.iter(|| black_box(run_queries(&trie, &queries, s)));
         });
         group.bench_with_input(BenchmarkId::new("md_vptree", sigma), &sigma, |b, &s| {
-            b.iter(|| black_box(run_queries(&vp, &queries, s)))
+            b.iter(|| black_box(run_queries(&vp, &queries, s)));
         });
     }
 
@@ -58,10 +58,10 @@ fn bench_range_query(c: &mut Criterion) {
     let wvp = build(&wdb, ld, Backend::VpTree);
     for sigma in [0.1f64, 0.5] {
         group.bench_with_input(BenchmarkId::new("ld_rtree", sigma), &sigma, |b, &s| {
-            b.iter(|| black_box(run_queries(&rtree, &wqueries, s)))
+            b.iter(|| black_box(run_queries(&rtree, &wqueries, s)));
         });
         group.bench_with_input(BenchmarkId::new("ld_vptree", sigma), &sigma, |b, &s| {
-            b.iter(|| black_box(run_queries(&wvp, &wqueries, s)))
+            b.iter(|| black_box(run_queries(&wvp, &wqueries, s)));
         });
     }
     group.finish();

@@ -211,7 +211,7 @@ impl Runner {
             per_lambda.push(bucketize(&ms, &spec, 1));
         }
         let headers: Vec<String> =
-            ["bucket", "queries", "l=0.5", "l=1", "l=2"].iter().map(|s| s.to_string()).collect();
+            ["bucket", "queries", "l=0.5", "l=1", "l=2"].iter().map(ToString::to_string).collect();
         let mut rows = Vec::new();
         for b in 0..spec.len() {
             let mut row =
@@ -249,7 +249,7 @@ impl Runner {
         }
         let headers: Vec<String> = ["bucket", "queries", "size=4", "size=5", "size=6"]
             .iter()
-            .map(|s| s.to_string())
+            .map(ToString::to_string)
             .collect();
         let mut rows = Vec::new();
         for b in 0..spec.len() {
@@ -335,7 +335,7 @@ impl Runner {
         let headers: Vec<String> =
             ["algorithm", "avg partition weight", "avg |P|", "avg candidates", "avg time/query"]
                 .iter()
-                .map(|s| s.to_string())
+                .map(ToString::to_string)
                 .collect();
         let mut report =
             render_table("A1 — partition algorithm ablation (Q8, sigma=2)", &headers, &rows);
@@ -378,7 +378,7 @@ impl Runner {
         let p = bucketize(&path_ms, &spec, 1);
         let headers: Vec<String> = ["bucket", "queries", "gIndex ratio", "paths ratio"]
             .iter()
-            .map(|s| s.to_string())
+            .map(ToString::to_string)
             .collect();
         let mut rows = Vec::new();
         for b in 0..spec.len() {
@@ -412,7 +412,7 @@ fn series_table(
     ratios_only: bool,
 ) -> String {
     let mut headers: Vec<String> = vec!["bucket".into(), "queries".into()];
-    headers.extend(columns.iter().map(|s| s.to_string()));
+    headers.extend(columns.iter().map(ToString::to_string));
     let mut rows = Vec::new();
     for b in 0..series.names.len() {
         let mut row = vec![series.names[b].to_string(), series.counts[b].to_string()];

@@ -414,7 +414,7 @@ fn measure_durability(
     let db_text = write_database(&bed.db);
     let mut index_text = Vec::new();
     save_index(&bed.index, &mut index_text).expect("text serialization");
-    let snapshot = encode_snapshot(&bed.index, &bed.db);
+    let snapshot = encode_snapshot(&bed.index, &bed.db).expect("snapshot encodes");
     // Count fingerprint for both variants: entries + graphs, so a format
     // that silently drops content can't pass the gate.
     let text_row = measure_phase("durability_load", "text", 0.0, iters, || {

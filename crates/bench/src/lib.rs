@@ -8,6 +8,8 @@
 //! reduction ratios. The `figures` binary drives everything; Criterion
 //! micro-benches live under `benches/`.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 use pis_core::{PisConfig, PisSearcher};
@@ -273,7 +275,7 @@ pub fn bucketize(
 
 /// Renders an aligned text table (the harness's output format).
 pub fn render_table(title: &str, headers: &[String], rows: &[Vec<String>]) -> String {
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
             if i < widths.len() {

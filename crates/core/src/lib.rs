@@ -19,6 +19,8 @@
 //! [`search::SearchStats`] expose every intermediate candidate count the
 //! paper plots in Figures 8–12.
 
+#![forbid(unsafe_code)]
+
 pub mod baseline;
 pub mod batch;
 pub mod config;

@@ -643,7 +643,7 @@ impl<'a> PisSearcher<'a> {
         stats.exact_fallback = fell_back;
         match algo {
             PartitionAlgo::Greedy => {
-                greedy_mwis_with(&scratch.overlap, &mut scratch.partition, &mut scratch.selection)
+                greedy_mwis_with(&scratch.overlap, &mut scratch.partition, &mut scratch.selection);
             }
             PartitionAlgo::EnhancedGreedy(k) => enhanced_greedy_mwis_with(
                 &scratch.overlap,

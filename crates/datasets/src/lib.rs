@@ -19,6 +19,8 @@
 //!   test suite to exercise the system away from the molecular
 //!   distribution.
 
+#![forbid(unsafe_code)]
+
 pub mod chemistry;
 pub mod generator;
 pub mod query;

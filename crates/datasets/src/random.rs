@@ -144,7 +144,7 @@ mod tests {
         let gs = random_database(&sparse, 10, 7);
         let gd = random_database(&dense, 10, 7);
         let avg = |db: &[LabeledGraph]| {
-            db.iter().map(|g| g.edge_count()).sum::<usize>() as f64 / db.len() as f64
+            db.iter().map(LabeledGraph::edge_count).sum::<usize>() as f64 / db.len() as f64
         };
         assert_eq!(avg(&gs), 11.0); // pure trees
         assert!(avg(&gd) > 40.0);

@@ -1,0 +1,86 @@
+//! srclint: run the repo's static-analysis rules and fail on any
+//! unallowlisted finding.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p pis-devtools --bin srclint [-- --root DIR] [--config FILE]
+//! ```
+//!
+//! Exit status: 0 when clean, 1 on findings, 2 on config/IO errors.
+
+#![forbid(unsafe_code)]
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pis_devtools::config;
+use pis_devtools::rules::{self, LintConfig};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("srclint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut root_arg: Option<PathBuf> = None;
+    let mut config_arg: Option<PathBuf> = None;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root_arg =
+                    Some(PathBuf::from(args.next().ok_or("--root needs a directory argument")?));
+            }
+            "--config" => {
+                config_arg =
+                    Some(PathBuf::from(args.next().ok_or("--config needs a file argument")?));
+            }
+            "--help" | "-h" => {
+                println!("usage: srclint [--root DIR] [--config FILE]");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+
+    // Default root: walk up from the crate's own manifest dir (so the tool
+    // works from any cwd under the workspace), falling back to the cwd.
+    let root = match root_arg {
+        Some(r) => r,
+        None => {
+            let start = env::var_os("CARGO_MANIFEST_DIR")
+                .map_or_else(|| env::current_dir().unwrap_or_default(), PathBuf::from);
+            pis_devtools::find_workspace_root(&start)
+                .ok_or("could not locate workspace root (no srclint.toml found); pass --root")?
+        }
+    };
+    let config_path = config_arg.unwrap_or_else(|| root.join("srclint.toml"));
+
+    let text = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("{}: {e}", config_path.display()))?;
+    let table = config::parse(&text).map_err(|e| e.to_string())?;
+    let cfg = LintConfig::from_table(&table)?;
+
+    let report = rules::run(&root, &cfg).map_err(|e| e.to_string())?;
+    for f in &report.findings {
+        println!("{f}");
+    }
+    println!(
+        "srclint: {} finding(s), {} allowlisted, root {}",
+        report.findings.len(),
+        report.allowlisted,
+        root.display()
+    );
+    if report.findings.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
+}

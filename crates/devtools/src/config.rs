@@ -1,0 +1,357 @@
+//! Minimal TOML-subset parser for `srclint.toml`.
+//!
+//! The build environment has no registry access, so srclint parses its own
+//! config with a small hand-rolled reader. The supported subset is exactly
+//! what the committed config uses:
+//!
+//! - `[section]` and dotted `[section.sub]` table headers
+//! - `[[section]]` array-of-tables headers (the allowlist)
+//! - `key = "string"` (with `\"`, `\\`, `\n`, `\t` escapes)
+//! - `key = [ "a", "b" ]` string arrays, which may span multiple lines
+//! - `#` comments and blank lines
+//!
+//! Anything outside this subset is a hard error: a lint driver must never
+//! silently ignore config it does not understand.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed config value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// An array of quoted strings.
+    Arr(Vec<String>),
+    /// A nested table (`[a.b]` creates `Table` under `a`).
+    Table(Table),
+    /// An array of tables (`[[allow]]`).
+    TableArr(Vec<Table>),
+}
+
+/// An ordered key → value map.
+pub type Table = BTreeMap<String, Value>;
+
+/// A config parse error with 1-based line attribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line number in the config file.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "srclint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: usize, message: impl Into<String>) -> ConfigError {
+    ConfigError { line, message: message.into() }
+}
+
+/// Parse the TOML subset into a root table.
+pub fn parse(text: &str) -> Result<Table, ConfigError> {
+    let mut root = Table::new();
+    // Path of the table currently receiving `key = value` lines.
+    let mut current: Vec<String> = Vec::new();
+    // Whether `current` addresses the last element of an array-of-tables.
+    let mut current_is_arr = false;
+
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("[[") {
+            let name = rest
+                .strip_suffix("]]")
+                .ok_or_else(|| err(lineno, "unterminated [[header]]"))?
+                .trim();
+            if name.is_empty() || name.contains('.') {
+                return Err(err(lineno, "array-of-tables name must be a bare key"));
+            }
+            let entry = root.entry(name.to_string()).or_insert_with(|| Value::TableArr(Vec::new()));
+            match entry {
+                Value::TableArr(v) => v.push(Table::new()),
+                _ => return Err(err(lineno, format!("`{name}` is not an array of tables"))),
+            }
+            current = vec![name.to_string()];
+            current_is_arr = true;
+        } else if let Some(rest) = line.strip_prefix('[') {
+            let name =
+                rest.strip_suffix(']').ok_or_else(|| err(lineno, "unterminated [header]"))?.trim();
+            if name.is_empty() {
+                return Err(err(lineno, "empty table name"));
+            }
+            current = name.split('.').map(|s| s.trim().to_string()).collect();
+            if current.iter().any(String::is_empty) {
+                return Err(err(lineno, "empty path segment in table name"));
+            }
+            current_is_arr = false;
+            // Materialise the table path so empty sections still exist.
+            let _ = navigate(&mut root, &current, false, lineno)?;
+        } else if let Some(eq) = line.find('=') {
+            let key = line[..eq].trim().to_string();
+            if key.is_empty() {
+                return Err(err(lineno, "missing key before `=`"));
+            }
+            let mut rhs = line[eq + 1..].trim().to_string();
+            // Multi-line arrays: keep consuming lines until the bracket closes.
+            if rhs.starts_with('[') && !balanced_array(&rhs) {
+                for (_, cont) in lines.by_ref() {
+                    rhs.push(' ');
+                    rhs.push_str(strip_comment(cont).trim());
+                    if balanced_array(&rhs) {
+                        break;
+                    }
+                }
+                if !balanced_array(&rhs) {
+                    return Err(err(lineno, "unterminated array"));
+                }
+            }
+            let value = parse_value(&rhs, lineno)?;
+            let table = navigate(&mut root, &current, current_is_arr, lineno)?;
+            if table.insert(key.clone(), value).is_some() {
+                return Err(err(lineno, format!("duplicate key `{key}`")));
+            }
+        } else {
+            return Err(err(lineno, format!("unsupported syntax: `{line}`")));
+        }
+    }
+    Ok(root)
+}
+
+/// Walk (and create) the table at `path`; when `into_arr`, descend into the
+/// last element of the array-of-tables named by the single path segment.
+fn navigate<'a>(
+    root: &'a mut Table,
+    path: &[String],
+    into_arr: bool,
+    lineno: usize,
+) -> Result<&'a mut Table, ConfigError> {
+    if into_arr {
+        let name = path.first().ok_or_else(|| err(lineno, "no open table"))?;
+        return match root.get_mut(name) {
+            Some(Value::TableArr(v)) => match v.last_mut() {
+                Some(t) => Ok(t),
+                None => Err(err(lineno, "empty array of tables")),
+            },
+            _ => Err(err(lineno, format!("`{name}` is not an array of tables"))),
+        };
+    }
+    let mut cur = root;
+    for seg in path {
+        let entry = cur.entry(seg.clone()).or_insert_with(|| Value::Table(Table::new()));
+        cur = match entry {
+            Value::Table(t) => t,
+            _ => return Err(err(lineno, format!("`{seg}` is not a table"))),
+        };
+    }
+    Ok(cur)
+}
+
+/// Remove a trailing `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let b = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\\' if in_str => i += 1,
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Whether an array RHS has balanced quotes and closes its `[`.
+fn balanced_array(rhs: &str) -> bool {
+    let b = rhs.as_bytes();
+    let mut in_str = false;
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\\' if in_str => i += 1,
+            b'"' => in_str = !in_str,
+            b'[' if !in_str => depth += 1,
+            b']' if !in_str => depth -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    !in_str && depth == 0
+}
+
+fn parse_value(rhs: &str, lineno: usize) -> Result<Value, ConfigError> {
+    let rhs = rhs.trim();
+    if let Some(inner) = rhs.strip_prefix('[') {
+        let inner = inner.strip_suffix(']').ok_or_else(|| err(lineno, "unterminated array"))?;
+        let mut items = Vec::new();
+        let mut rest = inner.trim();
+        while !rest.is_empty() {
+            if rest == "," {
+                break; // trailing comma
+            }
+            let (s, tail) = parse_string(rest, lineno)?;
+            items.push(s);
+            rest = tail.trim_start();
+            if let Some(after) = rest.strip_prefix(',') {
+                rest = after.trim_start();
+            } else if !rest.is_empty() {
+                return Err(err(lineno, "expected `,` between array items"));
+            }
+        }
+        return Ok(Value::Arr(items));
+    }
+    if rhs.starts_with('"') {
+        let (s, tail) = parse_string(rhs, lineno)?;
+        if !tail.trim().is_empty() {
+            return Err(err(lineno, "trailing characters after string"));
+        }
+        return Ok(Value::Str(s));
+    }
+    Err(err(lineno, format!("unsupported value `{rhs}` (only strings and string arrays)")))
+}
+
+/// Parse one leading quoted string, returning (string, remaining text).
+fn parse_string(input: &str, lineno: usize) -> Result<(String, &str), ConfigError> {
+    let rest = input
+        .strip_prefix('"')
+        .ok_or_else(|| err(lineno, format!("expected string, found `{input}`")))?;
+    let b = rest.as_bytes();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => {
+                let esc = b.get(i + 1).ok_or_else(|| err(lineno, "dangling escape in string"))?;
+                out.push(match esc {
+                    b'"' => '"',
+                    b'\\' => '\\',
+                    b'n' => '\n',
+                    b't' => '\t',
+                    other => {
+                        return Err(err(
+                            lineno,
+                            format!("unsupported escape `\\{}`", *other as char),
+                        ))
+                    }
+                });
+                i += 2;
+            }
+            b'"' => return Ok((out, &rest[i + 1..])),
+            _ => {
+                // Copy one full UTF-8 character.
+                let ch_len = match b[i] {
+                    0x00..=0x7F => 1,
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    _ => 4,
+                };
+                out.push_str(&rest[i..(i + ch_len).min(rest.len())]);
+                i += ch_len;
+            }
+        }
+    }
+    Err(err(lineno, "unterminated string"))
+}
+
+/// Convenience accessors over a parsed [`Table`].
+pub trait TableExt {
+    /// Fetch a string-array value, or `None` if absent.
+    fn arr(&self, key: &str) -> Option<&[String]>;
+    /// Fetch a string value, or `None` if absent.
+    fn str_val(&self, key: &str) -> Option<&str>;
+    /// Fetch a nested table, or `None` if absent.
+    fn table(&self, key: &str) -> Option<&Table>;
+    /// Fetch an array of tables, or `None` if absent.
+    fn table_arr(&self, key: &str) -> Option<&[Table]>;
+}
+
+impl TableExt for Table {
+    fn arr(&self, key: &str) -> Option<&[String]> {
+        match self.get(key) {
+            Some(Value::Arr(v)) => Some(v),
+            _ => None,
+        }
+    }
+    fn str_val(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+    fn table(&self, key: &str) -> Option<&Table> {
+        match self.get(key) {
+            Some(Value::Table(t)) => Some(t),
+            _ => None,
+        }
+    }
+    fn table_arr(&self, key: &str) -> Option<&[Table]> {
+        match self.get(key) {
+            Some(Value::TableArr(v)) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_strings_and_arrays() {
+        let t = parse(
+            "# top comment\n[alpha]\nname = \"x\" # trailing\nfiles = [\"a.rs\", \"b.rs\"]\n\n[alpha.sub]\nk = \"v\"\n",
+        )
+        .unwrap();
+        let alpha = t.table("alpha").unwrap();
+        assert_eq!(alpha.str_val("name"), Some("x"));
+        assert_eq!(alpha.arr("files"), Some(&["a.rs".to_string(), "b.rs".to_string()][..]));
+        assert_eq!(alpha.table("sub").unwrap().str_val("k"), Some("v"));
+    }
+
+    #[test]
+    fn parses_multiline_arrays() {
+        let t = parse("[s]\nfiles = [\n  \"a.rs\",  # one\n  \"b.rs\",\n]\n").unwrap();
+        assert_eq!(t.table("s").unwrap().arr("files").map(<[String]>::len), Some(2));
+    }
+
+    #[test]
+    fn parses_array_of_tables() {
+        let t = parse("[[allow]]\nrule = \"r1\"\n[[allow]]\nrule = \"r2\"\n").unwrap();
+        let allow = t.table_arr("allow").unwrap();
+        assert_eq!(allow.len(), 2);
+        assert_eq!(allow[1].str_val("rule"), Some("r2"));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let t = parse("[s]\nk = \"a\\\"b\\\\c\"\n").unwrap();
+        assert_eq!(t.table("s").unwrap().str_val("k"), Some("a\"b\\c"));
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_comment() {
+        let t = parse("[s]\nk = \"a#b\"\n").unwrap();
+        assert_eq!(t.table("s").unwrap().str_val("k"), Some("a#b"));
+    }
+
+    #[test]
+    fn rejects_unknown_syntax() {
+        assert!(parse("[s]\nk = 12\n").is_err());
+        assert!(parse("just words\n").is_err());
+        assert!(parse("[s]\nk = \"unterminated\n").is_err());
+        assert!(parse("[s]\nk = \"a\"\nk = \"b\"\n").is_err());
+    }
+}

@@ -1,0 +1,426 @@
+//! A small hand-rolled Rust lexer for lint scanning.
+//!
+//! The rules in [`crate::rules`] are substring-level checks, so the lexer's
+//! job is to make substring matching *sound*: it produces a **masked** copy
+//! of the source in which comments and string/char-literal contents are
+//! replaced by spaces (newlines preserved, so byte offsets and line numbers
+//! are unchanged), and it computes the byte spans of `#[cfg(test)]` /
+//! `#[test]` items so rules can skip test-only code.
+//!
+//! The lexer understands: line comments, nested block comments, string
+//! literals with escapes, raw strings (`r"…"`, `r#"…"#`, any `#` depth),
+//! byte strings (`b"…"`, `br#"…"#`), char and byte-char literals, and the
+//! char-literal vs. lifetime ambiguity (`'a'` vs. `&'a str`).
+
+use std::ops::Range;
+
+/// A scanned source file: original text, masked text, and test-item spans.
+#[derive(Debug, Clone)]
+pub struct FileScan {
+    /// Source text with comments and literal contents blanked to spaces.
+    /// Same length as the original; newlines are preserved.
+    pub masked: String,
+    /// Byte ranges (over `masked`) covered by `#[cfg(test)]` or `#[test]`
+    /// items, including the attribute itself.
+    pub test_spans: Vec<Range<usize>>,
+}
+
+impl FileScan {
+    /// Lex `src` into a masked view plus test-item spans.
+    #[must_use]
+    pub fn new(src: &str) -> Self {
+        let masked = mask_source(src);
+        let test_spans = test_item_spans(&masked);
+        FileScan { masked, test_spans }
+    }
+
+    /// Whether byte offset `pos` falls inside a test-only item.
+    #[must_use]
+    pub fn in_test(&self, pos: usize) -> bool {
+        self.test_spans.iter().any(|r| r.contains(&pos))
+    }
+}
+
+/// Blank out comments and string/char literal contents, preserving length
+/// and newlines so offsets and line numbers survive.
+#[must_use]
+pub fn mask_source(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = vec![0u8; b.len()];
+    out.copy_from_slice(b);
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let end = line_end(b, i);
+                blank(&mut out, i..end);
+                i = end;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let end = block_comment_end(b, i);
+                blank(&mut out, i..end);
+                i = end;
+            }
+            b'"' => {
+                let end = string_end(b, i);
+                blank(&mut out, i..end);
+                i = end;
+            }
+            b'r' | b'b' if is_raw_or_byte_string_start(b, i) => {
+                let start = i;
+                let end = raw_or_byte_string_end(b, i);
+                blank(&mut out, start..end);
+                i = end;
+            }
+            b'\'' => {
+                if let Some(end) = char_literal_end(b, i) {
+                    blank(&mut out, i..end);
+                    i = end;
+                } else {
+                    // Lifetime (`'a`) or loop label: leave as-is.
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    // The masking only ever replaces bytes with ASCII spaces, and it always
+    // replaces whole literals/comments, so UTF-8 boundaries are respected.
+    String::from_utf8(out).unwrap_or_else(|_| mask_lossy(src))
+}
+
+/// Fallback used only if byte-level masking split a UTF-8 sequence (cannot
+/// happen for well-formed Rust, but the lexer must never panic on odd input).
+fn mask_lossy(src: &str) -> String {
+    src.chars().map(|c| if c == '\n' { '\n' } else { ' ' }).collect()
+}
+
+fn blank(out: &mut [u8], range: Range<usize>) {
+    for byte in &mut out[range] {
+        if *byte != b'\n' {
+            *byte = b' ';
+        }
+    }
+}
+
+fn line_end(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && b[i] != b'\n' {
+        i += 1;
+    }
+    i
+}
+
+fn block_comment_end(b: &[u8], mut i: usize) -> usize {
+    // `i` points at `/*`. Rust block comments nest.
+    let mut depth = 0usize;
+    while i < b.len() {
+        if i + 1 < b.len() && b[i] == b'/' && b[i + 1] == b'*' {
+            depth += 1;
+            i += 2;
+        } else if i + 1 < b.len() && b[i] == b'*' && b[i + 1] == b'/' {
+            depth -= 1;
+            i += 2;
+            if depth == 0 {
+                return i;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    b.len()
+}
+
+fn string_end(b: &[u8], mut i: usize) -> usize {
+    // `i` points at the opening `"`.
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    b.len()
+}
+
+fn is_raw_or_byte_string_start(b: &[u8], i: usize) -> bool {
+    // Reject when `r`/`b` is part of a longer identifier (e.g. `for`, `sub"`).
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    let rest = &b[i..];
+    match rest.first() {
+        Some(b'r') => raw_quote_offset(&rest[1..]).is_some(),
+        Some(b'b') => match rest.get(1) {
+            Some(b'"') => true,
+            Some(b'r') => raw_quote_offset(&rest[2..]).is_some(),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// For text immediately after `r`: if it is `#*"` return the offset of the
+/// quote, else `None`.
+fn raw_quote_offset(rest: &[u8]) -> Option<usize> {
+    let mut k = 0;
+    while rest.get(k) == Some(&b'#') {
+        k += 1;
+    }
+    (rest.get(k) == Some(&b'"')).then_some(k)
+}
+
+fn raw_or_byte_string_end(b: &[u8], i: usize) -> usize {
+    let rest = &b[i..];
+    // Skip the `r` / `b` / `br` prefix.
+    let mut j = i + 1;
+    if rest[0] == b'b' && rest.get(1) == Some(&b'r') {
+        j += 1;
+    }
+    if b[j - 1] == b'b' || (j >= 1 && b[j] == b'"') {
+        // `b"…"`: plain string with escapes.
+        if b[j] == b'"' && b[j - 1] == b'b' {
+            return string_end(b, j);
+        }
+    }
+    // Raw string: count `#`s after the prefix.
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(b.get(j), Some(&b'"'));
+    j += 1; // past the opening quote
+    while j < b.len() {
+        if b[j] == b'"' {
+            let mut k = 0;
+            while k < hashes && b.get(j + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return j + 1 + hashes;
+            }
+        }
+        j += 1;
+    }
+    b.len()
+}
+
+/// If `i` (pointing at `'`) starts a char literal, return its end offset;
+/// return `None` for lifetimes and loop labels.
+fn char_literal_end(b: &[u8], i: usize) -> Option<usize> {
+    // `b'x'` byte-char: the caller hands us the quote, the `b` prefix was
+    // already left unmasked (it is a plain identifier byte — harmless).
+    let next = *b.get(i + 1)?;
+    if next == b'\\' {
+        // Escape: scan to the closing quote (handles '\n', '\'', '\u{..}').
+        let mut j = i + 2;
+        while j < b.len() {
+            match b[j] {
+                b'\\' => j += 2,
+                b'\'' => return Some(j + 1),
+                _ => j += 1,
+            }
+        }
+        return Some(b.len());
+    }
+    // `'c'` only if the char after the (possibly multi-byte) char is `'`.
+    let mut j = i + 1;
+    // Advance one UTF-8 character.
+    j += utf8_len(b[j]);
+    if b.get(j) == Some(&b'\'') {
+        return Some(j + 1);
+    }
+    None
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Find byte spans of items annotated `#[cfg(test)]` or `#[test]` in masked
+/// source. A span runs from the attribute's `#` to the end of the annotated
+/// item (its closing `}` or `;` at the item's own nesting depth).
+fn test_item_spans(masked: &str) -> Vec<Range<usize>> {
+    let b = masked.as_bytes();
+    let mut spans: Vec<Range<usize>> = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] == b'#' && b.get(i + 1) == Some(&b'[') {
+            let attr_end = matching_bracket(b, i + 1).unwrap_or(b.len());
+            let attr = &masked[i + 2..attr_end.saturating_sub(1).max(i + 2)];
+            if is_test_attr(attr) {
+                let item_end = item_end_after(b, attr_end);
+                // Merge with a previous overlapping span (e.g. a test mod
+                // containing #[test] fns).
+                match spans.last_mut() {
+                    Some(last) if last.end >= i => last.end = last.end.max(item_end),
+                    _ => spans.push(i..item_end),
+                }
+                i = attr_end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Whether the attribute text (between `#[` and `]`) marks test-only code.
+fn is_test_attr(attr: &str) -> bool {
+    let t: String = attr.chars().filter(|c| !c.is_whitespace()).collect();
+    t == "test"
+        || t.starts_with("cfg(test")
+        || t.starts_with("cfg(all(test")
+        || t.starts_with("cfg(any(test")
+}
+
+/// Given `open` pointing at `[`, return the offset just past the matching `]`.
+fn matching_bracket(b: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < b.len() {
+        match b[i] {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Scan past any further attributes, then to the end of the next item:
+/// either a `;` at depth 0 or the matching `}` of the first `{`.
+fn item_end_after(b: &[u8], mut i: usize) -> usize {
+    // Skip subsequent attributes (e.g. #[cfg(test)] #[allow(...)] mod t {…}).
+    loop {
+        while i < b.len() && (b[i] as char).is_whitespace() {
+            i += 1;
+        }
+        if b.get(i) == Some(&b'#') && b.get(i + 1) == Some(&b'[') {
+            i = matching_bracket(b, i + 1).unwrap_or(b.len());
+        } else {
+            break;
+        }
+    }
+    let mut depth = 0usize;
+    while i < b.len() {
+        match b[i] {
+            b'{' | b'(' => depth += 1,
+            b')' => depth = depth.saturating_sub(1),
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            b';' if depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let m = mask_source("let x = 1; // unwrap()\n/* panic! */ let y = 2;");
+        assert!(!m.contains("unwrap"));
+        assert!(!m.contains("panic"));
+        assert!(m.contains("let x = 1;"));
+        assert!(m.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let m = mask_source("a /* outer /* inner */ still */ b");
+        assert!(m.starts_with('a'));
+        assert!(m.ends_with('b'));
+        assert!(!m.contains("inner"));
+        assert!(!m.contains("still"));
+    }
+
+    #[test]
+    fn masks_strings_and_raw_strings() {
+        let src = r####"let s = "has unwrap()"; let r = r#"panic!"#; let b = b"todo!";"####;
+        let m = mask_source(src);
+        assert!(!m.contains("unwrap"));
+        assert!(!m.contains("panic"));
+        assert!(!m.contains("todo"));
+        assert_eq!(m.len(), src.len());
+    }
+
+    #[test]
+    fn string_escapes_do_not_terminate_early() {
+        let m = mask_source(r#"let s = "a\"unwrap()\""; x.unwrap();"#);
+        assert_eq!(m.matches("unwrap").count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } let c = 'y'; x.unwrap()";
+        let m = mask_source(src);
+        assert!(m.contains("&'a str"));
+        assert!(!m.contains("'y'"));
+        assert!(m.contains("unwrap"));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let m = mask_source(r"let a = '\''; let b = '\n'; x.expect(y)");
+        assert!(m.contains("expect"));
+        assert!(!m.contains(r"\n"));
+    }
+
+    #[test]
+    fn newlines_survive_masking() {
+        let src = "line1 // c\nline2 /* x\ny */ line3\n\"s\ntr\"\n";
+        let m = mask_source(src);
+        assert_eq!(src.matches('\n').count(), m.matches('\n').count());
+        assert_eq!(src.len(), m.len());
+    }
+
+    #[test]
+    fn test_spans_cover_cfg_test_mod() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { y.unwrap(); }\n}\nfn b() {}\n";
+        let scan = FileScan::new(src);
+        let up = src.find("x.unwrap").unwrap_or(0);
+        let tp = src.find("y.unwrap").unwrap_or(0);
+        assert!(!scan.in_test(up));
+        assert!(scan.in_test(tp));
+        let bp = src.rfind("fn b").unwrap_or(0);
+        assert!(!scan.in_test(bp));
+    }
+
+    #[test]
+    fn test_spans_cover_test_fn_with_extra_attrs() {
+        let src = "#[test]\n#[should_panic]\nfn t() { boom(); }\nfn ok() {}\n";
+        let scan = FileScan::new(src);
+        assert!(scan.in_test(src.find("boom").unwrap_or(0)));
+        assert!(!scan.in_test(src.find("fn ok").unwrap_or(0)));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_span() {
+        let src = "#[cfg(feature = \"failpoints\")]\nfn f() { x.unwrap(); }\n";
+        let scan = FileScan::new(src);
+        assert!(!scan.in_test(src.find("x.unwrap").unwrap_or(0)));
+    }
+}

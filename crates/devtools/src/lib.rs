@@ -1,0 +1,39 @@
+//! `pis-devtools`: in-repo static analysis for the PIS workspace.
+//!
+//! The crate is deliberately std-only (the build has no registry access)
+//! and ships one binary, `srclint`, run as:
+//!
+//! ```text
+//! cargo run -p pis-devtools --bin srclint
+//! ```
+//!
+//! `srclint` enforces the repo-specific safety rules described in
+//! [`rules`] — panic-free hot paths, checked casts in the untrusted-byte
+//! codecs, float equality only in bit-identity modules, budget-checkpoint
+//! coverage, and `#![forbid(unsafe_code)]` on every crate root — driven by
+//! the committed `srclint.toml`. Exemptions live in that file's `[[allow]]`
+//! array and must each carry a justification; stale exemptions fail the run.
+//!
+//! See DESIGN.md §6.11 for the rule and invariant catalog.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+/// Locate the workspace root: the nearest ancestor of `start` containing
+/// both `Cargo.toml` and `srclint.toml`.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(dir) = cur {
+        if dir.join("srclint.toml").is_file() && dir.join("Cargo.toml").is_file() {
+            return Some(dir.to_path_buf());
+        }
+        cur = dir.parent();
+    }
+    None
+}

@@ -1,0 +1,677 @@
+//! The srclint rule set.
+//!
+//! Five repo-specific rules, each driven by the committed `srclint.toml`:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `panic-in-hot-path`  | no `unwrap()` / `expect(` / `panic!` / `todo!` / `unimplemented!` outside `#[cfg(test)]` in the configured hot-path and codec modules |
+//! | `lossy-cast-in-codec` | no bare `as` numeric casts in the configured codec modules (untrusted-byte decoding must use checked helpers) |
+//! | `float-eq` | `==` / `!=` against float operands only in allowlisted bit-identity modules |
+//! | `checkpoint-coverage` | every `CheckpointSite` variant has ≥1 `checkpoint(CheckpointSite::V` call in its configured phase module |
+//! | `forbid-unsafe-audit` | every configured crate root carries `#![forbid(unsafe_code)]` |
+//!
+//! Findings are matched against `[[allow]]` entries; an entry must carry a
+//! non-empty `justification` and must match at least one finding (stale
+//! entries are themselves findings), so the allowlist cannot rot.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::config::{Table, TableExt};
+use crate::lexer::FileScan;
+
+/// One lint finding, attributed to a file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (e.g. `panic-in-hot-path`).
+    pub rule: String,
+    /// Workspace-relative file path with `/` separators.
+    pub file: String,
+    /// 1-based line number (0 for file-level findings).
+    pub line: usize,
+    /// The offending source line, trimmed (from the *original* source, so
+    /// allowlist `contains` patterns can match string contents).
+    pub excerpt: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    {}",
+            self.file, self.line, self.rule, self.message, self.excerpt
+        )
+    }
+}
+
+/// A justified exemption from `srclint.toml`'s `[[allow]]` array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule the exemption applies to.
+    pub rule: String,
+    /// Workspace-relative file the exemption applies to.
+    pub file: String,
+    /// Substring the finding's excerpt must contain (empty = whole file).
+    pub contains: String,
+    /// Required non-empty rationale.
+    pub justification: String,
+}
+
+/// Parsed, validated srclint configuration.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    /// Files covered by `panic-in-hot-path`.
+    pub panic_files: Vec<String>,
+    /// Files covered by `lossy-cast-in-codec`.
+    pub cast_files: Vec<String>,
+    /// Directories (workspace-relative) scanned by `float-eq`.
+    pub float_scan_roots: Vec<String>,
+    /// Whole files exempt from `float-eq` (bit-identity modules).
+    pub float_allow_files: Vec<String>,
+    /// File defining `enum CheckpointSite`.
+    pub checkpoint_budget: String,
+    /// Variant name → phase modules expected to call `checkpoint(…)`.
+    pub checkpoint_sites: Vec<(String, Vec<String>)>,
+    /// Crate roots that must carry `#![forbid(unsafe_code)]`.
+    pub unsafe_roots: Vec<String>,
+    /// Justified exemptions.
+    pub allow: Vec<AllowEntry>,
+}
+
+impl LintConfig {
+    /// Build a validated config from a parsed `srclint.toml` table.
+    pub fn from_table(t: &Table) -> Result<Self, String> {
+        let section = |name: &str| -> Result<&Table, String> {
+            t.table(name).ok_or_else(|| format!("missing [{name}] section"))
+        };
+        let files_of = |tab: &Table, key: &str, ctx: &str| -> Result<Vec<String>, String> {
+            tab.arr(key)
+                .map(<[String]>::to_vec)
+                .ok_or_else(|| format!("missing `{key}` array in [{ctx}]"))
+        };
+
+        let panic_t = section("panic-in-hot-path")?;
+        let cast_t = section("lossy-cast-in-codec")?;
+        let float_t = section("float-eq")?;
+        let ckpt_t = section("checkpoint-coverage")?;
+        let unsafe_t = section("forbid-unsafe-audit")?;
+
+        let mut checkpoint_sites = Vec::new();
+        let sites = ckpt_t.table("sites").ok_or("missing [checkpoint-coverage.sites] table")?;
+        for (variant, _) in sites.iter() {
+            checkpoint_sites
+                .push((variant.clone(), files_of(sites, variant, "checkpoint-coverage.sites")?));
+        }
+
+        let mut allow = Vec::new();
+        for (i, e) in t.table_arr("allow").unwrap_or(&[]).iter().enumerate() {
+            let get = |key: &str| -> Result<String, String> {
+                e.str_val(key)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("[[allow]] entry {} is missing `{key}`", i + 1))
+            };
+            let entry = AllowEntry {
+                rule: get("rule")?,
+                file: get("file")?,
+                contains: e.str_val("contains").unwrap_or("").to_string(),
+                justification: get("justification")?,
+            };
+            if entry.justification.trim().is_empty() {
+                return Err(format!(
+                    "[[allow]] entry {} ({} in {}) has an empty justification — every exemption must say why",
+                    i + 1,
+                    entry.rule,
+                    entry.file
+                ));
+            }
+            allow.push(entry);
+        }
+
+        Ok(LintConfig {
+            panic_files: files_of(panic_t, "files", "panic-in-hot-path")?,
+            cast_files: files_of(cast_t, "files", "lossy-cast-in-codec")?,
+            float_scan_roots: files_of(float_t, "scan-roots", "float-eq")?,
+            float_allow_files: files_of(float_t, "allow-files", "float-eq")?,
+            checkpoint_budget: ckpt_t
+                .str_val("budget")
+                .ok_or("missing `budget` in [checkpoint-coverage]")?
+                .to_string(),
+            checkpoint_sites,
+            unsafe_roots: files_of(unsafe_t, "roots", "forbid-unsafe-audit")?,
+            allow,
+        })
+    }
+}
+
+/// Result of a full lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Findings that survived allowlisting (the failures).
+    pub findings: Vec<Finding>,
+    /// Number of findings suppressed by justified allow entries.
+    pub allowlisted: usize,
+}
+
+/// Run every rule over the workspace rooted at `root`.
+pub fn run(root: &Path, cfg: &LintConfig) -> io::Result<LintReport> {
+    let mut findings = Vec::new();
+
+    for rel in &cfg.panic_files {
+        let (src, scan) = load(root, rel)?;
+        findings.extend(panic_rule(&src, &scan, rel));
+    }
+    for rel in &cfg.cast_files {
+        let (src, scan) = load(root, rel)?;
+        findings.extend(cast_rule(&src, &scan, rel));
+    }
+    for rel in float_eq_targets(root, cfg)? {
+        let (src, scan) = load(root, &rel)?;
+        findings.extend(float_eq_rule(&src, &scan, &rel));
+    }
+    findings.extend(checkpoint_rule(root, cfg)?);
+    findings.extend(forbid_unsafe_rule(root, cfg)?);
+
+    Ok(apply_allowlist(findings, cfg))
+}
+
+/// Split raw findings into suppressed and surviving, and surface stale
+/// allow entries as findings of their own.
+pub fn apply_allowlist(raw: Vec<Finding>, cfg: &LintConfig) -> LintReport {
+    let mut used = vec![false; cfg.allow.len()];
+    let mut report = LintReport::default();
+    for f in raw {
+        let hit = cfg.allow.iter().enumerate().find(|(_, a)| {
+            a.rule == f.rule
+                && a.file == f.file
+                && (a.contains.is_empty() || f.excerpt.contains(&a.contains))
+        });
+        if let Some((i, _)) = hit {
+            used[i] = true;
+            report.allowlisted += 1;
+        } else {
+            report.findings.push(f);
+        }
+    }
+    for (i, a) in cfg.allow.iter().enumerate() {
+        if !used[i] {
+            report.findings.push(Finding {
+                rule: "stale-allow".to_string(),
+                file: a.file.clone(),
+                line: 0,
+                excerpt: a.contains.clone(),
+                message: format!(
+                    "allowlist entry for `{}` matched no finding — delete it or fix its pattern",
+                    a.rule
+                ),
+            });
+        }
+    }
+    report
+}
+
+fn load(root: &Path, rel: &str) -> io::Result<(String, FileScan)> {
+    let path = root.join(rel);
+    let src = fs::read_to_string(&path)
+        .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+    let scan = FileScan::new(&src);
+    Ok((src, scan))
+}
+
+fn line_of(text: &str, pos: usize) -> usize {
+    text.as_bytes()[..pos.min(text.len())].iter().filter(|&&b| b == b'\n').count() + 1
+}
+
+fn excerpt_at(src: &str, pos: usize) -> String {
+    let start = src[..pos.min(src.len())].rfind('\n').map_or(0, |i| i + 1);
+    let end = src[start..].find('\n').map_or(src.len(), |i| start + i);
+    src[start..end].trim().to_string()
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// `panic-in-hot-path`: panicking constructs outside `#[cfg(test)]`.
+pub fn panic_rule(src: &str, scan: &FileScan, rel: &str) -> Vec<Finding> {
+    const PATTERNS: [(&str, &str); 5] = [
+        (".unwrap()", "`unwrap()` in non-test code"),
+        (".expect(", "`expect(` in non-test code"),
+        ("panic!", "`panic!` in non-test code"),
+        ("todo!", "`todo!` in non-test code"),
+        ("unimplemented!", "`unimplemented!` in non-test code"),
+    ];
+    let masked = scan.masked.as_bytes();
+    let mut out = Vec::new();
+    for (pat, msg) in PATTERNS {
+        for pos in occurrences(&scan.masked, pat) {
+            // Word boundary on the left for the macro patterns, so e.g.
+            // a hypothetical `no_panic!` does not match `panic!`.
+            if !pat.starts_with('.') && pos > 0 && is_ident_byte(masked[pos - 1]) {
+                continue;
+            }
+            if scan.in_test(pos) {
+                continue;
+            }
+            out.push(Finding {
+                rule: "panic-in-hot-path".to_string(),
+                file: rel.to_string(),
+                line: line_of(&scan.masked, pos),
+                excerpt: excerpt_at(src, pos),
+                message: msg.to_string(),
+            });
+        }
+    }
+    out.sort_by_key(|f| f.line);
+    out
+}
+
+const NUMERIC_TYPES: [&str; 14] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// `lossy-cast-in-codec`: bare `as <numeric>` casts outside tests.
+pub fn cast_rule(src: &str, scan: &FileScan, rel: &str) -> Vec<Finding> {
+    let b = scan.masked.as_bytes();
+    let mut out = Vec::new();
+    for pos in occurrences(&scan.masked, "as") {
+        if pos > 0 && is_ident_byte(b[pos - 1]) {
+            continue;
+        }
+        if b.get(pos + 2).copied().is_some_and(is_ident_byte) {
+            continue;
+        }
+        if scan.in_test(pos) {
+            continue;
+        }
+        // Next token after whitespace must be a numeric primitive.
+        let mut j = pos + 2;
+        while j < b.len() && b[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let start = j;
+        while j < b.len() && is_ident_byte(b[j]) {
+            j += 1;
+        }
+        let ty = &scan.masked[start..j];
+        if NUMERIC_TYPES.contains(&ty) {
+            out.push(Finding {
+                rule: "lossy-cast-in-codec".to_string(),
+                file: rel.to_string(),
+                line: line_of(&scan.masked, pos),
+                excerpt: excerpt_at(src, pos),
+                message: format!("bare `as {ty}` cast in codec path — use a checked helper"),
+            });
+        }
+    }
+    out
+}
+
+/// `float-eq`: `==` / `!=` with a float-literal (or `f32::`/`f64::` const)
+/// operand, outside tests. Literal-adjacent comparisons only — srclint has
+/// no type information, so comparisons between two float *variables* are
+/// the clippy `float_cmp` lint's territory.
+pub fn float_eq_rule(src: &str, scan: &FileScan, rel: &str) -> Vec<Finding> {
+    let b = scan.masked.as_bytes();
+    let mut out = Vec::new();
+    for op in ["==", "!="] {
+        for pos in occurrences(&scan.masked, op) {
+            // Reject `<=`, `>=`, `=>`, pattern `..=` and similar neighbours.
+            if op == "==" {
+                let before = pos.checked_sub(1).map(|i| b[i]);
+                if matches!(before, Some(b'<' | b'>' | b'=' | b'!' | b'+' | b'-' | b'*' | b'/')) {
+                    continue;
+                }
+                if b.get(pos + 2) == Some(&b'=') {
+                    continue;
+                }
+            } else if b.get(pos + 2) == Some(&b'=') {
+                continue;
+            }
+            if scan.in_test(pos) {
+                continue;
+            }
+            let right = token_after(&scan.masked, pos + 2);
+            let left = token_before(&scan.masked, pos);
+            if is_floatish(&right) || is_floatish(&left) {
+                out.push(Finding {
+                    rule: "float-eq".to_string(),
+                    file: rel.to_string(),
+                    line: line_of(&scan.masked, pos),
+                    excerpt: excerpt_at(src, pos),
+                    message: format!("`{op}` against a float operand — intend bit-identity? allowlist the module"),
+                });
+            }
+        }
+    }
+    out.sort_by_key(|f| f.line);
+    out.dedup_by(|a, b| a.line == b.line && a.excerpt == b.excerpt);
+    out
+}
+
+fn token_after(text: &str, mut i: usize) -> String {
+    let b = text.as_bytes();
+    while i < b.len() && b[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    if b.get(i) == Some(&b'-') {
+        i += 1;
+    }
+    let start = i;
+    while i < b.len() && (is_ident_byte(b[i]) || b[i] == b'.' || b[i] == b':') {
+        i += 1;
+    }
+    text[start..i].to_string()
+}
+
+fn token_before(text: &str, mut i: usize) -> String {
+    let b = text.as_bytes();
+    while i > 0 && b[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    let end = i;
+    while i > 0 && (is_ident_byte(b[i - 1]) || b[i - 1] == b'.' || b[i - 1] == b':') {
+        i -= 1;
+    }
+    text[i..end].to_string()
+}
+
+fn is_floatish(token: &str) -> bool {
+    if token.starts_with("f32::") || token.starts_with("f64::") {
+        return true;
+    }
+    let t = token.trim_end_matches("f32").trim_end_matches("f64");
+    let Some(first) = t.chars().next() else {
+        return false;
+    };
+    if !first.is_ascii_digit() {
+        return false;
+    }
+    if t.starts_with("0x") || t.starts_with("0b") || t.starts_with("0o") {
+        return false;
+    }
+    // A digit-leading token is a float if it has a fractional part or, after
+    // stripping an `f32`/`f64` suffix, was suffixed at all (e.g. `1f64`).
+    t.contains('.') || t.contains('e') || t.contains('E') || t.len() < token.len()
+}
+
+/// `checkpoint-coverage`: every `CheckpointSite` variant is exercised by a
+/// `checkpoint(CheckpointSite::V` call in its configured phase module(s).
+pub fn checkpoint_rule(root: &Path, cfg: &LintConfig) -> io::Result<Vec<Finding>> {
+    let (src, scan) = load(root, &cfg.checkpoint_budget)?;
+    let mut out = Vec::new();
+    let variants = enum_variants(&scan.masked, "CheckpointSite");
+    if variants.is_empty() {
+        out.push(Finding {
+            rule: "checkpoint-coverage".to_string(),
+            file: cfg.checkpoint_budget.clone(),
+            line: 0,
+            excerpt: String::new(),
+            message: "could not find `enum CheckpointSite`".to_string(),
+        });
+        return Ok(out);
+    }
+    for (variant, pos) in &variants {
+        let line = line_of(&scan.masked, *pos);
+        let excerpt = excerpt_at(&src, *pos);
+        let Some((_, files)) = cfg.checkpoint_sites.iter().find(|(v, _)| v == variant) else {
+            out.push(Finding {
+                rule: "checkpoint-coverage".to_string(),
+                file: cfg.checkpoint_budget.clone(),
+                line,
+                excerpt,
+                message: format!(
+                    "variant `{variant}` has no [checkpoint-coverage.sites] entry — map it to its phase module"
+                ),
+            });
+            continue;
+        };
+        let needle = format!("checkpoint(CheckpointSite::{variant}");
+        let mut found = false;
+        for rel in files {
+            let (_, fscan) = load(root, rel)?;
+            let compact: String =
+                non_test_text(&fscan).chars().filter(|c| !c.is_whitespace()).collect();
+            if compact.contains(&needle) {
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            out.push(Finding {
+                rule: "checkpoint-coverage".to_string(),
+                file: cfg.checkpoint_budget.clone(),
+                line,
+                excerpt,
+                message: format!(
+                    "variant `{variant}` has no `checkpoint(CheckpointSite::{variant}` call in {}",
+                    files.join(", ")
+                ),
+            });
+        }
+    }
+    // Config entries naming variants that no longer exist are stale.
+    for (variant, _) in &cfg.checkpoint_sites {
+        if !variants.iter().any(|(v, _)| v == variant) {
+            out.push(Finding {
+                rule: "checkpoint-coverage".to_string(),
+                file: cfg.checkpoint_budget.clone(),
+                line: 0,
+                excerpt: String::new(),
+                message: format!("[checkpoint-coverage.sites] names unknown variant `{variant}`"),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Masked text with test spans additionally blanked.
+fn non_test_text(scan: &FileScan) -> String {
+    let mut bytes = scan.masked.clone().into_bytes();
+    for span in &scan.test_spans {
+        for b in &mut bytes[span.clone()] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    }
+    String::from_utf8(bytes).unwrap_or_else(|_| scan.masked.clone())
+}
+
+/// Extract `(variant, byte_pos)` pairs from `enum <name> { … }` in masked text.
+fn enum_variants(masked: &str, name: &str) -> Vec<(String, usize)> {
+    let Some(decl) = masked.find(&format!("enum {name}")) else {
+        return Vec::new();
+    };
+    let Some(open_rel) = masked[decl..].find('{') else {
+        return Vec::new();
+    };
+    let open = decl + open_rel;
+    let b = masked.as_bytes();
+    let mut depth = 0usize;
+    let mut i = open;
+    let mut close = masked.len();
+    while i < b.len() {
+        match b[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let body = &masked[open + 1..close];
+    let mut out = Vec::new();
+    let mut j = 0;
+    let bb = body.as_bytes();
+    while j < bb.len() {
+        if bb[j].is_ascii_uppercase() && (j == 0 || !is_ident_byte(bb[j - 1])) {
+            let start = j;
+            while j < bb.len() && is_ident_byte(bb[j]) {
+                j += 1;
+            }
+            out.push((body[start..j].to_string(), open + 1 + start));
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// `forbid-unsafe-audit`: each configured crate root carries the attribute.
+pub fn forbid_unsafe_rule(root: &Path, cfg: &LintConfig) -> io::Result<Vec<Finding>> {
+    let mut out = Vec::new();
+    for rel in &cfg.unsafe_roots {
+        let (_, scan) = load(root, rel)?;
+        let compact: String = scan.masked.chars().filter(|c| !c.is_whitespace()).collect();
+        if !compact.contains("#![forbid(unsafe_code)]") {
+            out.push(Finding {
+                rule: "forbid-unsafe-audit".to_string(),
+                file: rel.clone(),
+                line: 1,
+                excerpt: String::new(),
+                message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Workspace-relative `.rs` files under the configured float-eq scan roots,
+/// minus the whole-module allowlist.
+fn float_eq_targets(root: &Path, cfg: &LintConfig) -> io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    for scan_root in &cfg.float_scan_roots {
+        walk_rs(&root.join(scan_root), &mut |p| {
+            if let Ok(rel) = p.strip_prefix(root) {
+                files.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        })?;
+    }
+    files.sort();
+    files.retain(|f| !cfg.float_allow_files.contains(f));
+    Ok(files)
+}
+
+/// Recursively visit `.rs` files under `dir` (skipping `target/`).
+fn walk_rs(dir: &Path, visit: &mut dyn FnMut(&Path)) -> io::Result<()> {
+    if !dir.exists() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        if path.is_dir() {
+            if name != "target" {
+                walk_rs(&path, visit)?;
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            visit(&path);
+        }
+    }
+    Ok(())
+}
+
+/// All byte offsets of `pat` in `text`.
+fn occurrences(text: &str, pat: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = text[from..].find(pat) {
+        out.push(from + rel);
+        from += rel + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> FileScan {
+        FileScan::new(src)
+    }
+
+    #[test]
+    fn panic_rule_fires_and_respects_tests_and_strings() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }\nfn g() { let _ = \"don't panic!\"; }\n#[cfg(test)]\nmod t { fn h(y: Option<u8>) { y.unwrap(); } }\n";
+        let f = panic_rule(src, &scan(src), "x.rs");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+        assert!(f[0].excerpt.contains("x.unwrap()"));
+    }
+
+    #[test]
+    fn cast_rule_fires_on_numeric_casts_only() {
+        let src = "fn f(n: usize) -> u32 { n as u32 }\nfn g(p: &u8) { let _ = p as *const u8; }\nfn h(x: U) -> V { x as V }\n";
+        let f = cast_rule(src, &scan(src), "x.rs");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("as u32"));
+    }
+
+    #[test]
+    fn cast_rule_skips_tests_and_comments() {
+        let src = "// n as u32\n#[cfg(test)]\nmod t { fn f(n: usize) -> u64 { n as u64 } }\n";
+        assert!(cast_rule(src, &scan(src), "x.rs").is_empty());
+    }
+
+    #[test]
+    fn float_eq_fires_on_literals_and_consts() {
+        let src = "fn f(w: f64) -> bool { w == 0.0 }\nfn g(w: f64) -> bool { w != f64::INFINITY }\nfn h(n: u32) -> bool { n == 0 }\nfn i(a: u32, b: u32) -> bool { a != b }\n";
+        let f = float_eq_rule(src, &scan(src), "x.rs");
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert_eq!(f[0].line, 1);
+        assert_eq!(f[1].line, 2);
+    }
+
+    #[test]
+    fn float_eq_ignores_comparison_neighbours() {
+        let src = "fn f(w: f64) -> bool { w <= 1.0 }\nfn g(w: f64) -> bool { w >= 2.5 }\nfn h(r: std::ops::RangeInclusive<u8>) -> bool { matches!(1, 0..=3) }\n";
+        assert!(float_eq_rule(src, &scan(src), "x.rs").is_empty());
+    }
+
+    #[test]
+    fn allowlist_suppresses_and_flags_stale() {
+        let cfg = LintConfig {
+            allow: vec![
+                AllowEntry {
+                    rule: "panic-in-hot-path".into(),
+                    file: "x.rs".into(),
+                    contains: "x.unwrap()".into(),
+                    justification: "provably infallible".into(),
+                },
+                AllowEntry {
+                    rule: "panic-in-hot-path".into(),
+                    file: "y.rs".into(),
+                    contains: "never matches".into(),
+                    justification: "stale".into(),
+                },
+            ],
+            ..LintConfig::default()
+        };
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }\n";
+        let raw = panic_rule(src, &scan(src), "x.rs");
+        let report = apply_allowlist(raw, &cfg);
+        assert_eq!(report.allowlisted, 1);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, "stale-allow");
+    }
+
+    #[test]
+    fn enum_variants_are_extracted() {
+        let masked = "pub enum CheckpointSite {\n    RangeDescent,\n    Partition,\n}\n";
+        let v = enum_variants(masked, "CheckpointSite");
+        let names: Vec<_> = v.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["RangeDescent", "Partition"]);
+    }
+}

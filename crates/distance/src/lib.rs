@@ -19,6 +19,8 @@
 //! minimum superimposed distance by full superposition enumeration; it
 //! is the correctness oracle for the index and the optimized verifier.
 
+#![forbid(unsafe_code)]
+
 pub mod linear;
 pub mod matrix;
 pub mod mutation;

@@ -562,7 +562,7 @@ impl<'a> SubgraphMatcher<'a> {
 
     /// Runs the search, driving `visitor`.
     pub fn search(&self, visitor: &mut dyn MatchVisitor) {
-        self.search_with_buffers(&mut SearchBuffers::new(), visitor)
+        self.search_with_buffers(&mut SearchBuffers::new(), visitor);
     }
 
     /// [`SubgraphMatcher::search`] with caller-owned DFS buffers, so
@@ -921,7 +921,7 @@ mod tests {
         let p = path_graph(3, l(0), l(0));
         let c = cycle_graph(6, l(0), l(0));
         let mut images: Vec<Vec<VertexId>> =
-            embeddings(&p, &c, IsoConfig::STRUCTURE).iter().map(|e| e.sorted_image()).collect();
+            embeddings(&p, &c, IsoConfig::STRUCTURE).iter().map(Embedding::sorted_image).collect();
         images.sort();
         images.dedup();
         assert_eq!(images.len(), 6); // 6 distinct 3-vertex windows on C6

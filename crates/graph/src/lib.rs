@@ -27,6 +27,8 @@
 //! `failpoints` feature pulls in the vendored test-support registry for
 //! the fault-injection tier.
 
+#![forbid(unsafe_code)]
+
 pub mod algo;
 pub mod bitset;
 pub mod budget;

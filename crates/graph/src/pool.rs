@@ -36,7 +36,7 @@ impl ScopedPool {
     /// A pool with `workers` threads; `0` means one per available core.
     pub fn new(workers: usize) -> Self {
         let workers = if workers == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
         } else {
             workers
         };
@@ -54,7 +54,7 @@ impl ScopedPool {
     /// shared scratch) should check this and take their serial,
     /// state-reusing path directly.
     pub fn in_worker() -> bool {
-        IN_POOL_WORKER.with(|w| w.get())
+        IN_POOL_WORKER.with(std::cell::Cell::get)
     }
 
     /// Maps `f` over `items`, returning results in input order.
@@ -92,7 +92,7 @@ impl ScopedPool {
     {
         if self.workers <= 1
             || items.len() < min_parallel.max(2)
-            || IN_POOL_WORKER.with(|w| w.get())
+            || IN_POOL_WORKER.with(std::cell::Cell::get)
         {
             let mut state = init();
             return items.iter().enumerate().map(|(i, item)| f(&mut state, i, item)).collect();
@@ -236,7 +236,7 @@ mod tests {
         let message = payload
             .downcast_ref::<String>()
             .cloned()
-            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .or_else(|| payload.downcast_ref::<&str>().map(ToString::to_string))
             .expect("panic payload is a message");
         assert!(message.contains("worker bang"), "payload resurfaces verbatim: {message}");
         // The pool is a plain chunking policy: the next call works.

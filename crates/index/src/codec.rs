@@ -38,9 +38,53 @@ const CRC_TABLE: [u32; 256] = {
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in bytes {
-        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        c = CRC_TABLE[idx((c ^ u32::from(b)) & 0xFF)] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
+}
+
+// ── Checked cast helpers ─────────────────────────────────────────────
+//
+// The codecs (snapshot/WAL/text persist) are forbidden from using bare
+// `as` casts by srclint's `lossy-cast-in-codec` rule: on untrusted input
+// a silent u64 → usize truncation (32-bit targets) or usize → u32 wrap
+// maps distinct offsets onto the same slice. Widening conversions go
+// through the infallible helpers below; narrowing conversions must use
+// the fallible ones and surface `PersistError::Corrupt`.
+
+/// Infallible `u32` → `usize` widening (all supported targets have
+/// `usize` ≥ 32 bits; `unwrap_or` keeps the helper panic-free even if
+/// that precondition were ever violated).
+#[inline]
+pub(crate) fn idx(x: u32) -> usize {
+    usize::try_from(x).unwrap_or(usize::MAX)
+}
+
+/// Infallible `usize` → `u64` widening (all supported targets have
+/// `usize` ≤ 64 bits).
+#[inline]
+pub(crate) fn len64(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
+/// Widen a trusted in-memory index to `u32`. Callers pass values bounded
+/// by arena invariants (label ids, class counts and per-class slots are
+/// all `< 2^32` by construction); if that contract were ever broken the
+/// helper saturates, turning the bug into a loud length mismatch on
+/// decode instead of silent aliasing.
+#[inline]
+pub(crate) fn u32_idx(n: usize) -> u32 {
+    debug_assert!(u32::try_from(n).is_ok(), "index {n} exceeds u32");
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+/// Checked `usize` → `u32` narrowing for encode-side lengths, failing
+/// typed instead of wrapping.
+pub(crate) fn u32_of(n: usize, what: &str) -> Result<u32, PersistError> {
+    u32::try_from(n).map_err(|_| PersistError::Corrupt {
+        offset: 0,
+        message: format!("{what} {n} does not fit in u32"),
+    })
 }
 
 /// Little-endian append-only byte sink (snapshot sections, WAL frames).
@@ -129,7 +173,7 @@ impl<'a> ByteReader<'a> {
 
     /// Absolute offset of the next unread byte.
     pub fn offset(&self) -> u64 {
-        self.base + self.pos as u64
+        self.base + len64(self.pos)
     }
 
     /// Bytes remaining.
@@ -180,10 +224,23 @@ impl<'a> ByteReader<'a> {
     /// `Vec::with_capacity`).
     pub fn count(&mut self, what: &str, cap: usize) -> Result<usize, PersistError> {
         let x = self.u64(what)?;
-        if x > cap as u64 {
+        if x > len64(cap) {
             return Err(self.corrupt(&format!("{what} {x} exceeds the {cap} cap")));
         }
-        Ok(x as usize)
+        // Infallible: x ≤ cap and cap is a usize.
+        usize::try_from(x).map_err(|_| self.corrupt(&format!("{what} exceeds usize")))
+    }
+
+    /// Reads a little-endian `u32` widened to a `usize` count/index.
+    pub fn u32_usize(&mut self, what: &str) -> Result<usize, PersistError> {
+        Ok(idx(self.u32(what)?))
+    }
+
+    /// Reads a little-endian `u64` that must fit in `usize`, failing
+    /// typed on 32-bit-target truncation.
+    pub fn u64_usize(&mut self, what: &str) -> Result<usize, PersistError> {
+        let x = self.u64(what)?;
+        usize::try_from(x).map_err(|_| self.corrupt(&format!("{what} {x} does not fit in usize")))
     }
 
     /// Reads an `f64` bit pattern, rejecting NaN/∞ (a poisoned stored
@@ -256,7 +313,7 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
 /// The temp-file name `atomic_write` rotates through (exposed so store
 /// openers can sweep leftovers from a crashed rotation).
 pub fn tmp_path(path: &Path) -> std::path::PathBuf {
-    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    let mut name = path.file_name().map(std::ffi::OsStr::to_os_string).unwrap_or_default();
     name.push(".tmp");
     path.with_file_name(name)
 }

@@ -400,8 +400,8 @@ impl FlatTrie {
 
     /// Rebuilds an arena from raw columns read out of an untrusted
     /// binary snapshot, revalidating every structural invariant the
-    /// query paths index by. Anything out of range comes back as a
-    /// description, never a later panic.
+    /// query paths index by (see [`FlatTrie::validate`]). Anything out
+    /// of range comes back as a description, never a later panic.
     ///
     /// Posting graph ids are *not* range-checked here — the caller
     /// knows the class size and validates them before handing over the
@@ -420,6 +420,53 @@ impl FlatTrie {
             alphabet_start,
             alphabet,
         } = p;
+        let trie = FlatTrie {
+            depth,
+            level_start,
+            labels,
+            label_idx,
+            child_start,
+            child_len,
+            sub_start,
+            sub_len,
+            postings,
+            alphabet_start,
+            alphabet,
+        };
+        trie.validate()?;
+        Ok(trie)
+    }
+
+    /// Checks every structural invariant the descent paths index by and
+    /// returns the first violation as a description, never a panic. A
+    /// trie produced by any construction path always passes; the checks
+    /// exist for untrusted snapshot columns (`FlatTrie::from_parts`
+    /// runs them on every load), debug re-validation after mutation,
+    /// and the offline `pis check` fsck.
+    ///
+    /// Beyond range checks, the tiling invariants pin the whole layout:
+    /// level-0 subtree ranges tile the posting array, every internal
+    /// node's children tile both the next level (CSR contiguity) and
+    /// the parent's posting range, sibling labels are strictly
+    /// ascending, and every node covers at least one posting — so any
+    /// single structural-column corruption is caught, not just
+    /// out-of-range values. Posting graph ids themselves are content,
+    /// not structure; the owning class range-checks them.
+    pub fn validate(&self) -> Result<(), String> {
+        let FlatTrie {
+            depth,
+            level_start,
+            labels,
+            label_idx,
+            child_start,
+            child_len,
+            sub_start,
+            sub_len,
+            postings,
+            alphabet_start,
+            alphabet,
+        } = self;
+        let depth = *depth;
         let nodes = labels.len();
         if label_idx.len() != nodes
             || child_start.len() != nodes
@@ -436,68 +483,101 @@ impl FlatTrie {
             if nodes != 0 || !level_start.is_empty() || !alphabet_start.is_empty() {
                 return Err("depth-0 trie must have empty node arrays".to_string());
             }
-        } else {
-            if level_start.len() != depth + 1 || alphabet_start.len() != depth + 1 {
-                return Err("level table length must be depth + 1".to_string());
+            return Ok(());
+        }
+        if level_start.len() != depth + 1 || alphabet_start.len() != depth + 1 {
+            return Err("level table length must be depth + 1".to_string());
+        }
+        if level_start[0] != 0 || alphabet_start[0] != 0 {
+            return Err("level tables must start at 0".to_string());
+        }
+        if level_start.windows(2).any(|w| w[0] > w[1])
+            || alphabet_start.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err("level tables must be monotone".to_string());
+        }
+        if level_start[depth] as usize != nodes {
+            return Err("level table must cover every node".to_string());
+        }
+        if alphabet_start[depth] as usize != alphabet.len() {
+            return Err("alphabet table must cover every slot".to_string());
+        }
+        for l in 0..depth {
+            let slots = &alphabet[alphabet_start[l] as usize..alphabet_start[l + 1] as usize];
+            if slots.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("level {l} alphabet is not strictly ascending"));
             }
-            if level_start[0] != 0 || alphabet_start[0] != 0 {
-                return Err("level tables must start at 0".to_string());
-            }
-            if level_start.windows(2).any(|w| w[0] > w[1])
-                || alphabet_start.windows(2).any(|w| w[0] > w[1])
-            {
-                return Err("level tables must be monotone".to_string());
-            }
-            if level_start[depth] as usize != nodes {
-                return Err("level table must cover every node".to_string());
-            }
-            if alphabet_start[depth] as usize != alphabet.len() {
-                return Err("alphabet table must cover every slot".to_string());
-            }
-            for l in 0..depth {
-                let slots = &alphabet[alphabet_start[l] as usize..alphabet_start[l + 1] as usize];
-                if slots.windows(2).any(|w| w[0] >= w[1]) {
-                    return Err(format!("level {l} alphabet is not strictly ascending"));
+            // Child runs tile the next level in node order (CSR
+            // contiguity), so `child_start`/`child_len` are fully
+            // determined by `level_start` — any corruption shows.
+            let mut next_child = u64::from(level_start[l + 1]);
+            for n in level_start[l] as usize..level_start[l + 1] as usize {
+                let idx = label_idx[n];
+                if idx < alphabet_start[l] || idx >= alphabet_start[l + 1] {
+                    return Err(format!("node {n} label slot escapes level {l}"));
                 }
-                for n in level_start[l] as usize..level_start[l + 1] as usize {
-                    let idx = label_idx[n];
-                    if idx < alphabet_start[l] || idx >= alphabet_start[l + 1] {
-                        return Err(format!("node {n} label slot escapes level {l}"));
+                if alphabet[idx as usize] != labels[n] {
+                    return Err(format!("node {n} label disagrees with its slot"));
+                }
+                if sub_len[n] == 0 {
+                    return Err(format!("node {n} covers no postings"));
+                }
+                let se = u64::from(sub_start[n]) + u64::from(sub_len[n]);
+                if se > postings.len() as u64 {
+                    return Err(format!("node {n} subtree range escapes postings"));
+                }
+                if l + 1 < depth {
+                    if u64::from(child_start[n]) != next_child {
+                        return Err(format!("node {n} child run breaks CSR contiguity"));
                     }
-                    if alphabet[idx as usize] != labels[n] {
-                        return Err(format!("node {n} label disagrees with its slot"));
+                    if child_len[n] == 0 {
+                        return Err(format!("internal node {n} has no children"));
                     }
-                    if l + 1 < depth {
-                        let lo = level_start[l + 1] as u64;
-                        let hi = level_start[l + 2] as u64;
-                        let cs = child_start[n] as u64;
-                        let ce = cs + child_len[n] as u64;
-                        if cs < lo || ce > hi {
-                            return Err(format!("node {n} child run escapes level {}", l + 1));
+                    next_child += u64::from(child_len[n]);
+                    if next_child > u64::from(level_start[l + 2]) {
+                        return Err(format!("node {n} child run escapes level {}", l + 1));
+                    }
+                    // The children's subtree ranges tile the parent's
+                    // exactly, with strictly ascending sibling labels.
+                    let cs = child_start[n] as usize;
+                    let ce = cs + child_len[n] as usize;
+                    let mut at = sub_start[n];
+                    for c in cs..ce {
+                        if sub_start[c] != at {
+                            return Err(format!("child {c} breaks node {n}'s subtree tiling"));
                         }
-                    } else if child_start[n] != 0 || child_len[n] != 0 {
-                        return Err(format!("leaf node {n} carries a child run"));
+                        at = at.saturating_add(sub_len[c]);
+                        if c > cs && labels[c - 1] >= labels[c] {
+                            return Err(format!("sibling labels not ascending at node {c}"));
+                        }
                     }
-                    let se = sub_start[n] as u64 + sub_len[n] as u64;
-                    if se > postings.len() as u64 {
-                        return Err(format!("node {n} subtree range escapes postings"));
+                    if u64::from(at) != se {
+                        return Err(format!("node {n}'s children do not cover its subtree"));
                     }
+                } else if child_start[n] != 0 || child_len[n] != 0 {
+                    return Err(format!("leaf node {n} carries a child run"));
                 }
+            }
+            if l + 1 < depth && next_child != u64::from(level_start[l + 2]) {
+                return Err(format!("level {} is not covered by child runs", l + 1));
             }
         }
-        Ok(FlatTrie {
-            depth,
-            level_start,
-            labels,
-            label_idx,
-            child_start,
-            child_len,
-            sub_start,
-            sub_len,
-            postings,
-            alphabet_start,
-            alphabet,
-        })
+        // The root level tiles the whole posting array, with strictly
+        // ascending labels (children of the virtual root).
+        let mut at = 0u64;
+        for n in 0..level_start[1] as usize {
+            if u64::from(sub_start[n]) != at {
+                return Err(format!("root-level node {n} breaks the posting tiling"));
+            }
+            at += u64::from(sub_len[n]);
+            if n > 0 && labels[n - 1] >= labels[n] {
+                return Err(format!("sibling labels not ascending at node {n}"));
+            }
+        }
+        if at != postings.len() as u64 {
+            return Err("root level does not cover the posting array".to_string());
+        }
+        Ok(())
     }
 
     /// Merges more `(sequence, graph)` entries into the arena by a
@@ -1558,5 +1638,92 @@ mod tests {
     fn wrong_query_length_rejected() {
         let t = FlatTrie::from_entries(2, vec![(l(&[1, 1]), GraphId(0))]);
         let _ = collect(&t, &l(&[1]), 1.0);
+    }
+
+    /// Clones a frozen trie's columns for mutation.
+    fn owned_parts(t: &FlatTrie) -> TriePartsOwned {
+        let p = t.parts();
+        TriePartsOwned {
+            depth: p.depth,
+            level_start: p.level_start.to_vec(),
+            labels: p.labels.to_vec(),
+            label_idx: p.label_idx.to_vec(),
+            child_start: p.child_start.to_vec(),
+            child_len: p.child_len.to_vec(),
+            sub_start: p.sub_start.to_vec(),
+            sub_len: p.sub_len.to_vec(),
+            postings: p.postings.to_vec(),
+            alphabet_start: p.alphabet_start.to_vec(),
+            alphabet: p.alphabet.to_vec(),
+        }
+    }
+
+    #[test]
+    fn validate_accepts_every_built_trie() {
+        for depth in [0usize, 1, 2, 4] {
+            let entries: Vec<(Vec<Label>, GraphId)> = (0..30u32)
+                .map(|g| {
+                    (
+                        l(&(0..depth as u32).map(|p| (g * 7 + p) % 3).collect::<Vec<_>>()),
+                        GraphId(g % 12),
+                    )
+                })
+                .collect();
+            let t = FlatTrie::from_entries(depth, entries);
+            t.validate().unwrap_or_else(|m| panic!("depth {depth}: {m}"));
+        }
+    }
+
+    /// The tiling invariants pin every structural column exactly: a
+    /// single bit flip anywhere outside the (separately validated)
+    /// `postings` payload must be rejected by [`FlatTrie::from_parts`].
+    #[test]
+    fn structural_bit_flip_corpus_is_always_rejected() {
+        let entries: Vec<(Vec<Label>, GraphId)> = (0..40u32)
+            .map(|g| (l(&[(g * 7) % 3, (g * 5) % 4, (g * 3) % 3, g % 2]), GraphId(g % 15)))
+            .collect();
+        let t = FlatTrie::from_entries(4, entries);
+        t.validate().unwrap();
+        type U32Column = fn(&mut TriePartsOwned) -> &mut Vec<u32>;
+        type LabelColumn = fn(&mut TriePartsOwned) -> &mut Vec<Label>;
+        let columns: &[(&str, U32Column)] = &[
+            ("level_start", |p| &mut p.level_start),
+            ("label_idx", |p| &mut p.label_idx),
+            ("child_start", |p| &mut p.child_start),
+            ("child_len", |p| &mut p.child_len),
+            ("sub_start", |p| &mut p.sub_start),
+            ("sub_len", |p| &mut p.sub_len),
+            ("alphabet_start", |p| &mut p.alphabet_start),
+        ];
+        for (name, column) in columns {
+            let len = column(&mut owned_parts(&t)).len();
+            for i in 0..len {
+                for bit in [0, 1, 7, 31] {
+                    let mut p = owned_parts(&t);
+                    column(&mut p)[i] ^= 1 << bit;
+                    assert!(
+                        FlatTrie::from_parts(p).is_err(),
+                        "flipping {name}[{i}] bit {bit} must be rejected"
+                    );
+                }
+            }
+        }
+        // Label columns: pinned by alphabet ⟷ label cross-checks.
+        for (name, column) in [
+            ("labels", (|p: &mut TriePartsOwned| &mut p.labels) as LabelColumn),
+            ("alphabet", |p| &mut p.alphabet),
+        ] {
+            let len = column(&mut owned_parts(&t)).len();
+            for i in 0..len {
+                for bit in [0, 1, 7, 31] {
+                    let mut p = owned_parts(&t);
+                    column(&mut p)[i].0 ^= 1 << bit;
+                    assert!(
+                        FlatTrie::from_parts(p).is_err(),
+                        "flipping {name}[{i}] bit {bit} must be rejected"
+                    );
+                }
+            }
+        }
     }
 }

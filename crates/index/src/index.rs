@@ -81,10 +81,10 @@ impl IndexDistance {
     pub fn normalize(&self, edge_count: usize, vector: &mut FragmentVector) {
         match (self, vector) {
             (IndexDistance::Mutation(_), FragmentVector::Labels(v)) => {
-                self.normalize_labels(edge_count, v)
+                self.normalize_labels(edge_count, v);
             }
             (IndexDistance::Linear(_), FragmentVector::Weights(v)) => {
-                self.normalize_weights(edge_count, v)
+                self.normalize_weights(edge_count, v);
             }
             _ => panic!("fragment vector kind does not match the index distance"),
         }
@@ -200,6 +200,24 @@ impl RangeScratch {
     }
 }
 
+/// Per-structure tallies from a full [`FragmentIndex::validate`] pass —
+/// what the `pis check` fsck prints per section.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IndexCheckReport {
+    /// Equivalence classes checked (= features).
+    pub classes: usize,
+    /// Classes backed by a [`FlatTrie`] arena.
+    pub trie_classes: usize,
+    /// Classes backed by an R-tree (pointer tree + frozen CSR arena).
+    pub rtree_classes: usize,
+    /// Classes backed by a VP-tree (label or weight items).
+    pub vptree_classes: usize,
+    /// Entries stored in frozen structures.
+    pub frozen_entries: usize,
+    /// Entries buffered in LSM pending sets.
+    pub pending_entries: usize,
+}
+
 pub(crate) enum ClassImpl {
     Trie(FlatTrie),
     VpLabels(VpTree<Label>),
@@ -259,7 +277,15 @@ impl FragmentIndex {
         let ids: Vec<FeatureId> = features.iter().map(|f| f.id).collect();
         let classes: Vec<ClassIndex> = ScopedPool::new(config.threads)
             .map(&ids, 2, |_, &f| build_class(db, &features, f, &distance, config));
-        FragmentIndex { features, distance, classes, graph_count: db.len(), config: config.clone() }
+        let index = FragmentIndex {
+            features,
+            distance,
+            classes,
+            graph_count: db.len(),
+            config: config.clone(),
+        };
+        index.debug_validate("build");
+        index
     }
 
     /// The feature set (hash-table keys of Figure 5).
@@ -355,6 +381,7 @@ impl FragmentIndex {
                 _ => unreachable!("class backend always matches the index distance"),
             }
         }
+        self.debug_validate("insert_graph");
         gid
     }
 
@@ -413,6 +440,7 @@ impl FragmentIndex {
                 self.merge_class(class_idx);
             }
         }
+        self.debug_validate("insert_graph_pending");
         gid
     }
 
@@ -478,6 +506,7 @@ impl FragmentIndex {
                 }
             }
         }
+        self.debug_validate("compact");
     }
 
     /// Total unmerged pending entries across all classes.
@@ -493,6 +522,182 @@ impl FragmentIndex {
             .iter()
             .filter(|c| matches!(&c.imp, ClassImpl::RTree(rt) if !rt.is_frozen()))
             .count()
+    }
+
+    /// Deep structural validation of the whole index: every invariant
+    /// the query paths rely on, checked bottom-up, with the first
+    /// violation returned as a description — never a panic. An index
+    /// produced by any build/insert/merge/load sequence always passes;
+    /// debug builds re-run this after every mutating operation, and the
+    /// offline `pis check` fsck runs it on loaded stores.
+    ///
+    /// Per class: the posting list is strictly ascending and bounded by
+    /// the database size, the backend matches the distance, the frozen
+    /// structure revalidates ([`FlatTrie::validate`] /
+    /// [`RTree::validate`]) with the right shape, pending entries have
+    /// the class's slot count and in-range ids of the backend's id
+    /// convention, the entry count equals frozen + pending, and every
+    /// posting-list graph is referenced by at least one entry.
+    pub fn validate(&self) -> Result<IndexCheckReport, String> {
+        let mut report = IndexCheckReport { classes: self.classes.len(), ..Default::default() };
+        if self.classes.len() != self.features.len() {
+            return Err(format!(
+                "{} classes for {} features",
+                self.classes.len(),
+                self.features.len()
+            ));
+        }
+        for (ci, class) in self.classes.iter().enumerate() {
+            let feature = self.features.get(FeatureId(ci as u32));
+            let slots = feature.structure.vertex_count() + feature.structure.edge_count();
+            let ctx = |m: String| format!("class {ci}: {m}");
+            if class.graphs.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(ctx("posting list not strictly ascending".to_string()));
+            }
+            if class.graphs.last().is_some_and(|g| g.index() >= self.graph_count) {
+                return Err(ctx(format!(
+                    "posting list names a graph past the {} stored",
+                    self.graph_count
+                )));
+            }
+            // Which posting-list graphs are backed by at least one
+            // entry (frozen or pending). Trie entries use class-local
+            // slots; every other backend stores global graph ids.
+            let mut seen = vec![false; class.graphs.len()];
+            let see_global = |g: GraphId, seen: &mut [bool]| -> Result<(), String> {
+                match class.graphs.binary_search(&g) {
+                    Ok(i) => {
+                        seen[i] = true;
+                        Ok(())
+                    }
+                    Err(_) => {
+                        Err(ctx(format!("entry names graph {g} absent from the posting list")))
+                    }
+                }
+            };
+            let frozen_len = match (&class.imp, &self.distance) {
+                (ClassImpl::Trie(trie), IndexDistance::Mutation(_)) => {
+                    if trie.depth() != slots {
+                        return Err(ctx(format!(
+                            "trie depth {} != {slots} class slots",
+                            trie.depth()
+                        )));
+                    }
+                    trie.validate().map_err(|m| ctx(format!("trie: {m}")))?;
+                    let mut bad = None;
+                    trie.for_each_entry(|_, slot| {
+                        if slot.index() >= seen.len() {
+                            bad = Some(slot);
+                        } else {
+                            seen[slot.index()] = true;
+                        }
+                    });
+                    if let Some(slot) = bad {
+                        return Err(ctx(format!(
+                            "trie posting slot {slot} exceeds the {}-graph class",
+                            seen.len()
+                        )));
+                    }
+                    class.pending.validate(slots, seen.len(), 0).map_err(&ctx)?;
+                    for (_, slot) in &class.pending.labels {
+                        seen[slot.index()] = true;
+                    }
+                    if !class.pending.weights.is_empty() {
+                        return Err(ctx("trie class buffers weight entries".to_string()));
+                    }
+                    report.trie_classes += 1;
+                    trie.len()
+                }
+                (ClassImpl::VpLabels(vp), IndexDistance::Mutation(_)) => {
+                    for (seq, gid) in vp.items() {
+                        if seq.len() != slots {
+                            return Err(ctx(format!("vp item has {} of {slots} slots", seq.len())));
+                        }
+                        see_global(gid, &mut seen)?;
+                    }
+                    class.pending.validate(slots, self.graph_count, 0).map_err(&ctx)?;
+                    for &(_, gid) in &class.pending.labels {
+                        see_global(gid, &mut seen)?;
+                    }
+                    if !class.pending.weights.is_empty() {
+                        return Err(ctx("vp-label class buffers weight entries".to_string()));
+                    }
+                    report.vptree_classes += 1;
+                    vp.len()
+                }
+                (ClassImpl::RTree(rt), IndexDistance::Linear(_)) => {
+                    if rt.dim() != slots {
+                        return Err(ctx(format!("r-tree dim {} != {slots} class slots", rt.dim())));
+                    }
+                    rt.validate().map_err(|m| ctx(format!("r-tree: {m}")))?;
+                    let mut gids = Vec::with_capacity(rt.len());
+                    rt.for_each_entry(|_, gid| gids.push(gid));
+                    for gid in gids {
+                        see_global(gid, &mut seen)?;
+                    }
+                    class.pending.validate(slots, 0, self.graph_count).map_err(&ctx)?;
+                    for &(_, gid) in &class.pending.weights {
+                        see_global(gid, &mut seen)?;
+                    }
+                    if !class.pending.labels.is_empty() {
+                        return Err(ctx("r-tree class buffers label entries".to_string()));
+                    }
+                    report.rtree_classes += 1;
+                    rt.len()
+                }
+                (ClassImpl::VpWeights(vp), IndexDistance::Linear(_)) => {
+                    for (v, gid) in vp.items() {
+                        if v.len() != slots {
+                            return Err(ctx(format!("vp item has {} of {slots} slots", v.len())));
+                        }
+                        if v.iter().any(|x| !x.is_finite()) {
+                            return Err(ctx("vp item holds a non-finite weight".to_string()));
+                        }
+                        see_global(gid, &mut seen)?;
+                    }
+                    class.pending.validate(slots, 0, self.graph_count).map_err(&ctx)?;
+                    for &(_, gid) in &class.pending.weights {
+                        see_global(gid, &mut seen)?;
+                    }
+                    if !class.pending.labels.is_empty() {
+                        return Err(ctx("vp-weight class buffers label entries".to_string()));
+                    }
+                    report.vptree_classes += 1;
+                    vp.len()
+                }
+                _ => {
+                    return Err(ctx("class backend does not match the index distance".to_string()))
+                }
+            };
+            if class.entries != frozen_len + class.pending.len() {
+                return Err(ctx(format!(
+                    "claims {} entries but holds {frozen_len} frozen + {} pending",
+                    class.entries,
+                    class.pending.len()
+                )));
+            }
+            if let Some(i) = seen.iter().position(|&s| !s) {
+                return Err(ctx(format!(
+                    "posting list names graph {} but no entry references it",
+                    class.graphs[i]
+                )));
+            }
+            report.frozen_entries += frozen_len;
+            report.pending_entries += class.pending.len();
+        }
+        Ok(report)
+    }
+
+    /// Debug-build hook: re-validates the whole index after a mutating
+    /// operation and panics with the violation when an invariant broke.
+    /// Compiled to nothing in release builds — production relies on the
+    /// same checks through the offline `pis check` fsck instead.
+    pub(crate) fn debug_validate(&self, context: &str) {
+        if cfg!(debug_assertions) {
+            if let Err(m) = self.validate() {
+                panic!("index invariant violated after {context}: {m}");
+            }
+        }
     }
 
     /// Answers the range query of Eq. (3): for every graph `G` holding a
@@ -1560,5 +1765,74 @@ mod tests {
             IndexDistance::Mutation(MutationDistance::edge_hamming()),
             &IndexConfig { backend: Backend::RTree, ..IndexConfig::default() },
         );
+    }
+
+    /// A populated class for corruption below (the build itself already
+    /// re-validated through the debug hook).
+    fn full_class(index: &FragmentIndex) -> usize {
+        (0..index.classes.len())
+            .find(|&ci| !index.classes[ci].graphs.is_empty())
+            .expect("small_db populates at least one class")
+    }
+
+    #[test]
+    fn validate_reports_per_backend_tallies() {
+        let db = small_db();
+        let index = build_md(&db, 3, Backend::Trie);
+        let report = index.validate().unwrap();
+        assert_eq!(report.classes, index.features().len());
+        assert_eq!(report.trie_classes, report.classes);
+        assert_eq!(report.rtree_classes + report.vptree_classes, 0);
+        assert_eq!(report.frozen_entries, index.total_entries());
+        assert_eq!(report.pending_entries, 0);
+    }
+
+    #[test]
+    fn validate_rejects_index_corruption() {
+        let db = small_db();
+
+        // Entry-count drift.
+        let mut bad = build_md(&db, 3, Backend::Trie);
+        let ci = full_class(&bad);
+        bad.classes[ci].entries += 1;
+        assert!(bad.validate().unwrap_err().contains("entries"));
+
+        // Posting list out of order.
+        let mut bad = build_md(&db, 3, Backend::Trie);
+        let ci = full_class(&bad);
+        if bad.classes[ci].graphs.len() > 1 {
+            bad.classes[ci].graphs.reverse();
+            assert!(bad.validate().unwrap_err().contains("ascending"));
+        }
+
+        // Posting list past the database.
+        let mut bad = build_md(&db, 3, Backend::Trie);
+        let ci = full_class(&bad);
+        bad.classes[ci].graphs.push(GraphId(bad.graph_count as u32));
+        assert!(bad.validate().unwrap_err().contains("past the"));
+
+        // A pending entry whose vector has the wrong arity.
+        let mut bad = build_md(&db, 3, Backend::Trie);
+        let ci = full_class(&bad);
+        bad.classes[ci].pending.labels.push((vec![Label(1)], GraphId(0)));
+        assert!(bad.validate().unwrap_err().contains("slots"));
+
+        // A weight entry buffered into a label-backed class.
+        let mut bad = build_md(&db, 3, Backend::Trie);
+        let ci = full_class(&bad);
+        bad.classes[ci].entries += 1;
+        let feature = bad.features.get(FeatureId(ci as u32));
+        let slots = feature.structure.vertex_count() + feature.structure.edge_count();
+        bad.classes[ci].pending.weights.push((vec![0.0; slots], GraphId(0)));
+        assert!(bad.validate().unwrap_err().contains("weight entry"));
+    }
+
+    #[test]
+    fn validate_rejects_mismatched_backend() {
+        let db = small_db();
+        let mut bad = build_md(&db, 3, Backend::Trie);
+        // Swap the distance out from under trie-backed classes.
+        bad.distance = IndexDistance::Linear(LinearDistance::edges_only());
+        assert!(bad.validate().unwrap_err().contains("backend"));
     }
 }

@@ -26,6 +26,8 @@
 //! re-readings. This is what lets a query-side fragment issue a single
 //! range query and still minimize over all superpositions (Eq. 3).
 
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod flat_trie;
 pub mod fragment;
@@ -40,7 +42,9 @@ pub mod wal;
 
 pub use flat_trie::{BatchFrontier, FlatTrie, TrieFrontier};
 pub use fragment::{FragmentBuffer, FragmentVector, FragmentVectorRef, QueryFragment};
-pub use index::{Backend, FragmentIndex, IndexConfig, IndexDistance, RangeScratch};
+pub use index::{
+    Backend, FragmentIndex, IndexCheckReport, IndexConfig, IndexDistance, RangeScratch,
+};
 pub use persist::{load_index, save_index, PersistError};
 pub use snapshot::{decode_snapshot, encode_snapshot, load_snapshot, write_snapshot};
 pub use trie::LabelTrie;

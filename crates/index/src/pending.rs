@@ -37,6 +37,42 @@ impl PendingSet {
         self.labels.is_empty() && self.weights.is_empty()
     }
 
+    /// Checks every buffered entry against the owning class's shape:
+    /// vectors carry exactly `slots` positions, label-entry graph ids
+    /// stay below `label_bound`, weight-entry ids below `weight_bound`,
+    /// and weights are finite. Returns the first violation as a
+    /// description; the owning [`crate::index::FragmentIndex`] supplies
+    /// the bounds (class-local slots for trie classes, global graph ids
+    /// everywhere else) and separately rejects entries of the wrong
+    /// kind for the backend.
+    pub fn validate(
+        &self,
+        slots: usize,
+        label_bound: usize,
+        weight_bound: usize,
+    ) -> Result<(), String> {
+        for (seq, gid) in &self.labels {
+            if seq.len() != slots {
+                return Err(format!("pending label entry has {} of {slots} slots", seq.len()));
+            }
+            if gid.index() >= label_bound {
+                return Err(format!("pending label entry names graph {gid} of {label_bound}"));
+            }
+        }
+        for (v, gid) in &self.weights {
+            if v.len() != slots {
+                return Err(format!("pending weight entry has {} of {slots} slots", v.len()));
+            }
+            if v.iter().any(|x| !x.is_finite()) {
+                return Err("pending weight entry holds a non-finite weight".to_string());
+            }
+            if gid.index() >= weight_bound {
+                return Err(format!("pending weight entry names graph {gid} of {weight_bound}"));
+            }
+        }
+        Ok(())
+    }
+
     /// Scans label entries with sequential position pricing — the exact
     /// accumulation order of the trie descent (left-to-right sum of
     /// per-position costs starting from the first position's cost), so

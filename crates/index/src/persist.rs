@@ -21,6 +21,7 @@ use pis_graph::canonical::min_dfs_code;
 use pis_graph::{GraphId, Label};
 use pis_mining::FeatureSet;
 
+use crate::codec::{idx, u32_idx};
 use crate::flat_trie::FlatTrie;
 use crate::index::{Backend, ClassImpl, ClassIndex, FragmentIndex, IndexConfig, IndexDistance};
 use crate::rtree::RTree;
@@ -279,7 +280,7 @@ pub fn load_index<R: BufRead>(r: R) -> Result<FragmentIndex, PersistError> {
         }
 
         let entry_count: usize = lines.field("entries")?;
-        let feature = features.get(pis_mining::FeatureId(ci as u32));
+        let feature = features.get(pis_mining::FeatureId(u32_idx(ci)));
         let slots = feature.structure.vertex_count() + feature.structure.edge_count();
 
         let mut label_entries: Vec<(Vec<Label>, GraphId)> = Vec::new();
@@ -305,7 +306,7 @@ pub fn load_index<R: BufRead>(r: R) -> Result<FragmentIndex, PersistError> {
                         let slot = graphs.binary_search(&gid).map_err(|_| {
                             parse_err(no, "trie entry graph id missing from the class posting list")
                         })?;
-                        GraphId(slot as u32)
+                        GraphId(u32_idx(slot))
                     } else {
                         gid
                     };
@@ -407,7 +408,7 @@ fn save_matrix<W: Write>(w: &mut W, tag: &str, m: &ScoreMatrix) -> io::Result<()
     write!(w, "{tag} {} {} ", m.size(), hex_f64(m.default_mismatch()))?;
     for i in 0..m.size() {
         for j in 0..m.size() {
-            write!(w, "{} ", hex_f64(m.cost(Label(i as u32), Label(j as u32))))?;
+            write!(w, "{} ", hex_f64(m.cost(Label(u32_idx(i)), Label(u32_idx(j)))))?;
         }
     }
     writeln!(w)
@@ -494,8 +495,10 @@ pub(crate) fn sequence_to_code(
     if seq.len() < 3 {
         return Err(parse_err(line, "feature sequence too short"));
     }
-    let edge_count = seq[1] as usize;
-    if seq.len() != 3 + edge_count * 5 {
+    let edge_count = idx(seq[1]);
+    // Checked arithmetic: a crafted count near usize::MAX must not wrap
+    // into a passing length check on 32-bit targets.
+    if edge_count.checked_mul(5).and_then(|x| x.checked_add(3)) != Some(seq.len()) {
         return Err(parse_err(line, "feature sequence length mismatch"));
     }
     // `DfsCode::to_graph` trusts its indices (miner-produced codes are
@@ -504,7 +507,7 @@ pub(crate) fn sequence_to_code(
     // beyond the connected bound V <= E + 1, self-loops, repeated
     // edges, and index gaps that leave a vertex with no label.
     let mut edges = Vec::with_capacity(edge_count);
-    let vertex_cap = edge_count as u32 + 1;
+    let vertex_cap = seq[1] + 1;
     for k in 0..edge_count {
         let base = 3 + k * 5;
         let (from, to) = (seq[base], seq[base + 1]);
@@ -528,19 +531,18 @@ pub(crate) fn sequence_to_code(
             to_label: Label(seq[base + 4]),
         });
     }
-    if !edges.is_empty() {
-        let max_id = edges.iter().map(|e| e.from.max(e.to)).max().unwrap() as usize;
-        let mut seen = vec![false; max_id + 1];
+    if let Some(max_id) = edges.iter().map(|e| e.from.max(e.to)).max() {
+        let mut seen = vec![false; idx(max_id) + 1];
         for e in &edges {
-            seen[e.from as usize] = true;
-            seen[e.to as usize] = true;
+            seen[idx(e.from)] = true;
+            seen[idx(e.to)] = true;
         }
         if seen.iter().any(|&s| !s) {
             return Err(parse_err(line, "feature vertex ids have gaps"));
         }
     }
     let code = DfsCode { edges, root_label: Label(seq[2]) };
-    if seq[0] as usize != code.vertex_count() {
+    if idx(seq[0]) != code.vertex_count() {
         return Err(parse_err(line, "feature vertex count mismatch"));
     }
     // Defensive: the representative must be canonical, else lookups on

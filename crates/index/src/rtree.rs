@@ -87,7 +87,7 @@ enum Node {
 /// blocks (`dim` coordinates per node), and every leaf's points sit
 /// row-major in one `points` block so the batched L1 kernels stream
 /// them without pointer chasing.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 struct FlatRTree {
     child_start: Vec<u32>,
     child_len: Vec<u32>,
@@ -169,6 +169,13 @@ impl RTree {
     /// descent, so freezing is a pure optimization, never a soundness
     /// requirement.
     pub fn freeze(&mut self) {
+        self.flat = Some(self.flatten());
+    }
+
+    /// The breadth-first flattening itself, shared by [`RTree::freeze`]
+    /// and [`RTree::validate`] (which re-flattens and demands the
+    /// stored arena match column for column).
+    fn flatten(&self) -> FlatRTree {
         let mut flat = FlatRTree::default();
         let root_mbr = node_mbr(&self.root)
             .unwrap_or(Mbr { min: vec![0.0; self.dim], max: vec![0.0; self.dim] });
@@ -197,7 +204,112 @@ impl RTree {
             }
             idx += 1;
         }
-        self.flat = Some(flat);
+        flat
+    }
+
+    /// Checks every structural invariant of the tree — and, when
+    /// frozen, of the CSR arena — returning the first violation as a
+    /// description, never a panic. A tree produced by any insert/freeze
+    /// sequence always passes; the checks exist for debug re-validation
+    /// after mutation and the offline `pis check` fsck.
+    ///
+    /// Pointer tree: Guttman fanout bounds (`≤ MAX_ENTRIES` everywhere,
+    /// `≥ MIN_ENTRIES` off the root), uniform leaf depth, finite
+    /// coordinates of the right dimensionality, and every stored MBR
+    /// exactly equal (f64 `==`) to its subtree's recomputed bounding
+    /// rectangle — inserts maintain them exactly, so any drift is
+    /// corruption. Frozen arena: re-flattens the pointer tree and
+    /// demands equality column for column, which pins the CSR child
+    /// runs, the leaf point runs, and every bound.
+    pub fn validate(&self) -> Result<(), String> {
+        fn walk(
+            node: &Node,
+            dim: usize,
+            depth: usize,
+            is_root: bool,
+            leaf_depth: &mut Option<usize>,
+            points: &mut usize,
+        ) -> Result<(), String> {
+            match node {
+                Node::Leaf(entries) => {
+                    if entries.len() > MAX_ENTRIES {
+                        return Err(format!(
+                            "leaf holds {} > {MAX_ENTRIES} entries",
+                            entries.len()
+                        ));
+                    }
+                    if !is_root && entries.len() < MIN_ENTRIES {
+                        return Err(format!(
+                            "leaf holds {} < {MIN_ENTRIES} entries",
+                            entries.len()
+                        ));
+                    }
+                    match *leaf_depth {
+                        None => *leaf_depth = Some(depth),
+                        Some(d) if d != depth => {
+                            return Err(format!("leaf depth {depth} differs from {d}"));
+                        }
+                        Some(_) => {}
+                    }
+                    for (p, _) in entries {
+                        if p.len() != dim {
+                            return Err(format!("point of {} coords in a {dim}-d tree", p.len()));
+                        }
+                        if p.iter().any(|x| !x.is_finite()) {
+                            return Err("non-finite point coordinate".to_string());
+                        }
+                    }
+                    *points += entries.len();
+                    Ok(())
+                }
+                Node::Inner(children) => {
+                    if children.len() > MAX_ENTRIES {
+                        return Err(format!(
+                            "inner node holds {} > {MAX_ENTRIES} children",
+                            children.len()
+                        ));
+                    }
+                    let floor = if is_root { 2 } else { MIN_ENTRIES };
+                    if children.len() < floor {
+                        return Err(format!(
+                            "inner node holds {} < {floor} children",
+                            children.len()
+                        ));
+                    }
+                    for (mbr, child) in children {
+                        if mbr.min.len() != dim || mbr.max.len() != dim {
+                            return Err("MBR dimensionality mismatch".to_string());
+                        }
+                        if mbr.min.iter().chain(&mbr.max).any(|x| !x.is_finite()) {
+                            return Err("non-finite MBR coordinate".to_string());
+                        }
+                        walk(child, dim, depth + 1, false, leaf_depth, points)?;
+                        // Inserts recompute stored MBRs through the
+                        // same `node_mbr`, so equality is exact.
+                        match node_mbr(child) {
+                            Some(actual) if actual == *mbr => {}
+                            Some(_) => {
+                                return Err("stored MBR differs from its subtree".to_string())
+                            }
+                            None => return Err("MBR over an empty subtree".to_string()),
+                        }
+                    }
+                    Ok(())
+                }
+            }
+        }
+        let mut leaf_depth = None;
+        let mut points = 0usize;
+        walk(&self.root, self.dim, 0, true, &mut leaf_depth, &mut points)?;
+        if points != self.entries {
+            return Err(format!("{points} stored points but the tree claims {}", self.entries));
+        }
+        if let Some(flat) = &self.flat {
+            if *flat != self.flatten() {
+                return Err("frozen arena disagrees with the pointer tree".to_string());
+            }
+        }
+        Ok(())
     }
 
     /// Whether the frozen arena is current (queries take the flat path).
@@ -591,5 +703,49 @@ mod tests {
         assert!(t.is_empty());
         assert!(collect(&t, &[0.0; 4], 100.0).is_empty());
         assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn validate_accepts_every_built_tree() {
+        for n in [0u32, 1, 7, 8, 9, 60, 500] {
+            let (mut t, _) = random_tree(n, 3);
+            t.validate().unwrap_or_else(|m| panic!("pointer tree of {n}: {m}"));
+            t.freeze();
+            t.validate().unwrap_or_else(|m| panic!("frozen tree of {n}: {m}"));
+            t.insert(&[1.0, 2.0, 3.0], GraphId(n));
+            t.validate().unwrap_or_else(|m| panic!("post-insert tree of {n}: {m}"));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_corruption() {
+        let (mut t, _) = random_tree(200, 3);
+        t.freeze();
+        t.validate().unwrap();
+
+        // Entry-count drift.
+        let mut bad = t.clone();
+        bad.entries += 1;
+        assert!(bad.validate().unwrap_err().contains("claims"));
+
+        // A stored MBR that no longer equals its subtree's bound.
+        let mut bad = t.clone();
+        let Node::Inner(children) = &mut bad.root else { panic!("200 points must split the root") };
+        children[0].0.min[0] += 0.25;
+        assert!(bad.validate().unwrap_err().contains("MBR"));
+
+        // Frozen-arena drift: a flipped point coordinate, a rewired
+        // graph id, and a perturbed bound must all be caught by the
+        // re-flatten comparison.
+        for mutate in [
+            (|f: &mut FlatRTree| f.points[0] += 1.0) as fn(&mut FlatRTree),
+            |f| f.graphs[0] = GraphId(u32::MAX),
+            |f| f.bounds_max[1] += 0.5,
+            |f| f.child_len[0] = f.child_len[0].wrapping_sub(1),
+        ] {
+            let mut bad = t.clone();
+            mutate(bad.flat.as_mut().unwrap());
+            assert_eq!(bad.validate().unwrap_err(), "frozen arena disagrees with the pointer tree");
+        }
     }
 }

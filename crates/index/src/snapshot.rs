@@ -34,7 +34,7 @@ use pis_graph::io::{parse_database, write_database};
 use pis_graph::{GraphId, Label, LabeledGraph};
 use pis_mining::FeatureSet;
 
-use crate::codec::{atomic_write, crc32, ByteReader, ByteWriter};
+use crate::codec::{atomic_write, crc32, idx, len64, u32_idx, u32_of, ByteReader, ByteWriter};
 use crate::flat_trie::{FlatTrie, TriePartsOwned};
 use crate::index::{Backend, ClassImpl, ClassIndex, FragmentIndex, IndexConfig, IndexDistance};
 use crate::persist::{build_class_impl, sequence_to_code, PersistError};
@@ -56,7 +56,10 @@ const KIND_CLASSES: u32 = 4;
 /// Panics if the index has unmerged pending entries — snapshots capture
 /// only frozen structures; call [`FragmentIndex::compact`] first (the
 /// path-level [`write_snapshot`] does).
-pub fn encode_snapshot(index: &FragmentIndex, database: &[LabeledGraph]) -> Vec<u8> {
+pub fn encode_snapshot(
+    index: &FragmentIndex,
+    database: &[LabeledGraph],
+) -> Result<Vec<u8>, PersistError> {
     assert_eq!(index.pending_entries(), 0, "compact the index before snapshotting");
     assert_eq!(index.graph_count, database.len(), "index and database out of sync");
     let mut w = ByteWriter::new();
@@ -64,10 +67,11 @@ pub fn encode_snapshot(index: &FragmentIndex, database: &[LabeledGraph]) -> Vec<
     w.u32(VERSION);
     w.u32(SECTION_COUNT);
     let table_at = w.len();
-    for _ in 0..SECTION_COUNT as usize * TABLE_ENTRY {
+    for _ in 0..idx(SECTION_COUNT) * TABLE_ENTRY {
         w.u8(0);
     }
-    type SectionEncoder = fn(&FragmentIndex, &[LabeledGraph], &mut ByteWriter);
+    type SectionEncoder =
+        fn(&FragmentIndex, &[LabeledGraph], &mut ByteWriter) -> Result<(), PersistError>;
     let sections: [(u32, SectionEncoder); 4] = [
         (KIND_META, encode_meta),
         (KIND_FEATURES, encode_features),
@@ -76,35 +80,39 @@ pub fn encode_snapshot(index: &FragmentIndex, database: &[LabeledGraph]) -> Vec<
     ];
     for (i, (kind, encode)) in sections.iter().enumerate() {
         let offset = w.len();
-        encode(index, database, &mut w);
+        encode(index, database, &mut w)?;
         let crc = crc32(&w.as_slice()[offset..]);
         let len = w.len() - offset;
         let at = table_at + i * TABLE_ENTRY;
         w.patch_u32(at, *kind);
-        w.patch_u64(at + 4, offset as u64);
-        w.patch_u64(at + 12, len as u64);
+        w.patch_u64(at + 4, len64(offset));
+        w.patch_u64(at + 12, len64(len));
         w.patch_u32(at + 20, crc);
     }
     let footer = crc32(w.as_slice());
     w.u32(footer);
-    w.into_bytes()
+    Ok(w.into_bytes())
 }
 
-fn encode_meta(index: &FragmentIndex, _db: &[LabeledGraph], w: &mut ByteWriter) {
-    w.u64(index.graph_count as u64);
-    w.u64(index.config.max_embeddings_per_fragment as u64);
+fn encode_meta(
+    index: &FragmentIndex,
+    _db: &[LabeledGraph],
+    w: &mut ByteWriter,
+) -> Result<(), PersistError> {
+    w.u64(len64(index.graph_count));
+    w.u64(len64(index.config.max_embeddings_per_fragment));
     w.u8(match index.config.backend {
         Backend::Default => 0,
         Backend::Trie => 1,
         Backend::RTree => 2,
         Backend::VpTree => 3,
     });
-    w.u64(index.config.merge_threshold as u64);
+    w.u64(len64(index.config.merge_threshold));
     match &index.distance {
         IndexDistance::Mutation(md) => {
             w.u8(0);
-            encode_matrix(md.vertex_scores(), w);
-            encode_matrix(md.edge_scores(), w);
+            encode_matrix(md.vertex_scores(), w)?;
+            encode_matrix(md.edge_scores(), w)?;
         }
         IndexDistance::Linear(ld) => {
             w.u8(1);
@@ -112,38 +120,55 @@ fn encode_meta(index: &FragmentIndex, _db: &[LabeledGraph], w: &mut ByteWriter) 
             w.f64_bits(ld.edge_scale());
         }
     }
+    Ok(())
 }
 
-fn encode_matrix(m: &ScoreMatrix, w: &mut ByteWriter) {
-    w.u32(m.size() as u32);
+fn encode_matrix(m: &ScoreMatrix, w: &mut ByteWriter) -> Result<(), PersistError> {
+    w.u32(u32_of(m.size(), "matrix size")?);
     w.f64_bits(m.default_mismatch());
     for i in 0..m.size() {
         for j in 0..m.size() {
-            w.f64_bits(m.cost(Label(i as u32), Label(j as u32)));
+            // In-bounds by the size check above.
+            w.f64_bits(m.cost(Label(u32_idx(i)), Label(u32_idx(j))));
         }
     }
+    Ok(())
 }
 
-fn encode_features(index: &FragmentIndex, _db: &[LabeledGraph], w: &mut ByteWriter) {
-    w.u32(index.features.len() as u32);
+fn encode_features(
+    index: &FragmentIndex,
+    _db: &[LabeledGraph],
+    w: &mut ByteWriter,
+) -> Result<(), PersistError> {
+    w.u32(u32_of(index.features.len(), "feature count")?);
     for feature in index.features.iter() {
-        w.u64(feature.support as u64);
+        w.u64(len64(feature.support));
         let seq = feature.code.to_sequence();
-        w.u32(seq.len() as u32);
+        w.u32(u32_of(seq.len(), "feature sequence length")?);
         for x in seq {
             w.u32(x);
         }
     }
+    Ok(())
 }
 
-fn encode_database(_index: &FragmentIndex, db: &[LabeledGraph], w: &mut ByteWriter) {
+fn encode_database(
+    _index: &FragmentIndex,
+    db: &[LabeledGraph],
+    w: &mut ByteWriter,
+) -> Result<(), PersistError> {
     let text = write_database(db);
-    w.u64(text.len() as u64);
+    w.u64(len64(text.len()));
     w.bytes(text.as_bytes());
+    Ok(())
 }
 
-fn encode_classes(index: &FragmentIndex, _db: &[LabeledGraph], w: &mut ByteWriter) {
-    w.u32(index.classes.len() as u32);
+fn encode_classes(
+    index: &FragmentIndex,
+    _db: &[LabeledGraph],
+    w: &mut ByteWriter,
+) -> Result<(), PersistError> {
+    w.u32(u32_of(index.classes.len(), "class count")?);
     for class in &index.classes {
         w.u8(match &class.imp {
             ClassImpl::Trie(_) => 0,
@@ -151,18 +176,18 @@ fn encode_classes(index: &FragmentIndex, _db: &[LabeledGraph], w: &mut ByteWrite
             ClassImpl::RTree(_) => 2,
             ClassImpl::VpWeights(_) => 3,
         });
-        w.u32(class.graphs.len() as u32);
+        w.u32(u32_of(class.graphs.len(), "posting length")?);
         for g in &class.graphs {
             w.u32(g.0);
         }
-        w.u64(class.entries as u64);
+        w.u64(len64(class.entries));
         match &class.imp {
             ClassImpl::Trie(trie) => {
                 let p = trie.parts();
-                w.u32(p.depth as u32);
-                w.u32(p.labels.len() as u32);
-                w.u32(p.postings.len() as u32);
-                w.u32(p.alphabet.len() as u32);
+                w.u32(u32_of(p.depth, "trie depth")?);
+                w.u32(u32_of(p.labels.len(), "trie node count")?);
+                w.u32(u32_of(p.postings.len(), "trie posting count")?);
+                w.u32(u32_of(p.alphabet.len(), "trie alphabet count")?);
                 for &x in p.level_start {
                     w.u32(x);
                 }
@@ -185,7 +210,7 @@ fn encode_classes(index: &FragmentIndex, _db: &[LabeledGraph], w: &mut ByteWrite
                 }
             }
             ClassImpl::VpLabels(vp) => {
-                w.u32(vp.len() as u32);
+                w.u32(u32_of(vp.len(), "label entry count")?);
                 for (seq, gid) in vp.items() {
                     for l in seq {
                         w.u32(l.0);
@@ -194,7 +219,7 @@ fn encode_classes(index: &FragmentIndex, _db: &[LabeledGraph], w: &mut ByteWrite
                 }
             }
             ClassImpl::RTree(rt) => {
-                w.u32(rt.len() as u32);
+                w.u32(u32_of(rt.len(), "weight entry count")?);
                 let mut flat: Vec<(Vec<f64>, GraphId)> = Vec::with_capacity(rt.len());
                 rt.for_each_entry(|p, gid| flat.push((p.to_vec(), gid)));
                 for (p, gid) in flat {
@@ -205,7 +230,7 @@ fn encode_classes(index: &FragmentIndex, _db: &[LabeledGraph], w: &mut ByteWrite
                 }
             }
             ClassImpl::VpWeights(vp) => {
-                w.u32(vp.len() as u32);
+                w.u32(u32_of(vp.len(), "weight entry count")?);
                 for (p, gid) in vp.items() {
                     for &x in p {
                         w.f64_bits(x);
@@ -215,20 +240,21 @@ fn encode_classes(index: &FragmentIndex, _db: &[LabeledGraph], w: &mut ByteWrite
             }
         }
     }
+    Ok(())
 }
 
 /// Restores an index + database from snapshot bytes, validating the
 /// footer checksum, every section checksum, and every structural
 /// invariant before any array is trusted.
 pub fn decode_snapshot(bytes: &[u8]) -> Result<(FragmentIndex, Vec<LabeledGraph>), PersistError> {
-    let header_len = MAGIC.len() + 8 + SECTION_COUNT as usize * TABLE_ENTRY;
+    let header_len = MAGIC.len() + 8 + idx(SECTION_COUNT) * TABLE_ENTRY;
     if bytes.len() < header_len + 4 {
-        return Err(corrupt(bytes.len() as u64, "snapshot shorter than its header"));
+        return Err(corrupt(len64(bytes.len()), "snapshot shorter than its header"));
     }
     if &bytes[..MAGIC.len()] != MAGIC {
         return Err(corrupt(0, "bad snapshot magic"));
     }
-    let mut r = ByteReader::new(&bytes[MAGIC.len()..header_len], MAGIC.len() as u64);
+    let mut r = ByteReader::new(&bytes[MAGIC.len()..header_len], len64(MAGIC.len()));
     let version = r.u32("version")?;
     if version != VERSION {
         return Err(corrupt(8, &format!("unsupported snapshot version {version}")));
@@ -250,38 +276,48 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<(FragmentIndex, Vec<LabeledGraph>
         bytes[footer_at + 3],
     ]);
     if crc32(&bytes[..footer_at]) != stored_footer {
-        return Err(corrupt(footer_at as u64, "snapshot footer checksum mismatch"));
+        return Err(corrupt(len64(footer_at), "snapshot footer checksum mismatch"));
     }
     // Section table: bounds + per-section CRC, then slice out payloads.
-    let mut payloads: [Option<&[u8]>; 4] = [None; 4];
+    // Every payload slot is overwritten in the loop (kind == i + 1 is
+    // enforced), so the empty-slice initializer can never leak through.
+    let mut payloads: [&[u8]; 4] = [&[]; 4];
     let mut offsets = [0u64; 4];
-    for i in 0..SECTION_COUNT as usize {
+    for i in 0..idx(SECTION_COUNT) {
         let kind = r.u32("section kind")?;
         let offset = r.u64("section offset")?;
         let len = r.u64("section length")?;
         let crc = r.u32("section checksum")?;
-        if kind != i as u32 + 1 {
+        if kind != u32_idx(i) + 1 {
             return Err(corrupt(r.offset(), &format!("section {i} has kind {kind}")));
         }
-        if offset < header_len as u64 || offset + len > footer_at as u64 {
+        // `checked_add`: a crafted table with offset + len wrapping u64
+        // would otherwise pass the range check and panic at the slice.
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| corrupt(r.offset(), &format!("section {i} range overflows")))?;
+        if offset < len64(header_len) || end > len64(footer_at) {
             return Err(corrupt(r.offset(), &format!("section {i} range escapes the file")));
         }
-        let payload = &bytes[offset as usize..(offset + len) as usize];
+        // Infallible: offset ≤ end ≤ footer_at, which is a usize.
+        let range = |x: u64| {
+            usize::try_from(x).map_err(|_| corrupt(x, &format!("section {i} offset exceeds usize")))
+        };
+        let payload = &bytes[range(offset)?..range(end)?];
         if crc32(payload) != crc {
             return Err(corrupt(offset, &format!("section {i} checksum mismatch")));
         }
-        payloads[i] = Some(payload);
+        payloads[i] = payload;
         offsets[i] = offset;
     }
-    let section =
-        |k: usize| ByteReader::new(payloads[k - 1].expect("all sections sliced"), offsets[k - 1]);
+    let section = |k: u32| ByteReader::new(payloads[idx(k) - 1], offsets[idx(k) - 1]);
 
-    let meta = decode_meta(&mut section(KIND_META as usize))?;
-    let (features, class_shapes) = decode_features(&mut section(KIND_FEATURES as usize))?;
-    let database = decode_database(&mut section(KIND_DATABASE as usize))?;
+    let meta = decode_meta(&mut section(KIND_META))?;
+    let (features, class_shapes) = decode_features(&mut section(KIND_FEATURES))?;
+    let database = decode_database(&mut section(KIND_DATABASE))?;
     if database.len() != meta.graph_count {
         return Err(corrupt(
-            offsets[KIND_DATABASE as usize - 1],
+            offsets[idx(KIND_DATABASE) - 1],
             &format!(
                 "database holds {} graphs but the index claims {}",
                 database.len(),
@@ -289,7 +325,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<(FragmentIndex, Vec<LabeledGraph>
             ),
         ));
     }
-    let classes = decode_classes(&mut section(KIND_CLASSES as usize), &meta, &class_shapes)?;
+    let classes = decode_classes(&mut section(KIND_CLASSES), &meta, &class_shapes)?;
     let index = FragmentIndex {
         features,
         distance: meta.distance,
@@ -302,6 +338,12 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<(FragmentIndex, Vec<LabeledGraph>
             merge_threshold: meta.merge_threshold,
         },
     };
+    // Structural fsck on every load: the per-section CRCs catch bit
+    // rot, this catches a snapshot whose bytes are intact but whose
+    // decoded structures violate an index invariant.
+    if let Err(m) = index.validate() {
+        return Err(corrupt(0, &format!("index invariant: {m}")));
+    }
     Ok((index, database))
 }
 
@@ -315,7 +357,7 @@ pub fn write_snapshot(
     database: &[LabeledGraph],
 ) -> Result<(), PersistError> {
     index.compact();
-    let bytes = encode_snapshot(index, database);
+    let bytes = encode_snapshot(index, database)?;
     atomic_write(path, &bytes)?;
     Ok(())
 }
@@ -342,7 +384,7 @@ struct Meta {
 /// possibly hold, with `unit` bytes per counted element — corrupt
 /// counts then fail fast without reserving memory the data cannot back.
 fn bounded_count(r: &mut ByteReader<'_>, what: &str, unit: usize) -> Result<usize, PersistError> {
-    let x = r.u32(what)? as usize;
+    let x = r.u32_usize(what)?;
     let cap = r.remaining() / unit.max(1);
     if x > cap {
         return Err(r.corrupt(&format!("{what} {x} exceeds the {cap} cap")));
@@ -352,10 +394,13 @@ fn bounded_count(r: &mut ByteReader<'_>, what: &str, unit: usize) -> Result<usiz
 
 fn decode_meta(r: &mut ByteReader<'_>) -> Result<Meta, PersistError> {
     let graph_count = r.u64("graph count")?;
-    if graph_count > u32::MAX as u64 {
+    if graph_count > u64::from(u32::MAX) {
         return Err(r.corrupt("graph count exceeds u32 ids"));
     }
-    let max_embeddings = r.u64("max embeddings")? as usize;
+    // Infallible after the u32 bound above.
+    let graph_count =
+        usize::try_from(graph_count).map_err(|_| r.corrupt("graph count exceeds usize"))?;
+    let max_embeddings = r.u64_usize("max embeddings")?;
     let backend = match r.u8("backend tag")? {
         0 => Backend::Default,
         1 => Backend::Trie,
@@ -363,7 +408,7 @@ fn decode_meta(r: &mut ByteReader<'_>) -> Result<Meta, PersistError> {
         3 => Backend::VpTree,
         t => return Err(r.corrupt(&format!("unknown backend tag {t}"))),
     };
-    let merge_threshold = r.u64("merge threshold")? as usize;
+    let merge_threshold = r.u64_usize("merge threshold")?;
     let distance = match r.u8("distance tag")? {
         0 => {
             let vertex = decode_matrix(r)?;
@@ -380,17 +425,11 @@ fn decode_meta(r: &mut ByteReader<'_>) -> Result<Meta, PersistError> {
     if !r.is_exhausted() {
         return Err(r.corrupt("trailing bytes in META section"));
     }
-    Ok(Meta {
-        graph_count: graph_count as usize,
-        max_embeddings,
-        backend,
-        merge_threshold,
-        distance,
-    })
+    Ok(Meta { graph_count, max_embeddings, backend, merge_threshold, distance })
 }
 
 fn decode_matrix(r: &mut ByteReader<'_>) -> Result<ScoreMatrix, PersistError> {
-    let size = r.u32("matrix size")? as usize;
+    let size = r.u32_usize("matrix size")?;
     // Cells are 8 bytes each and there are size², so the remaining-byte
     // bound must be taken on the squared count.
     let cells = size.checked_mul(size).filter(|&c| c * 8 <= r.remaining() + 8);
@@ -418,7 +457,7 @@ fn decode_features(r: &mut ByteReader<'_>) -> Result<(FeatureSet, Vec<ClassShape
     let mut features = FeatureSet::new();
     let mut shapes = Vec::with_capacity(count);
     for _ in 0..count {
-        let support = r.u64("feature support")? as usize;
+        let support = r.u64_usize("feature support")?;
         let seq_len = bounded_count(r, "feature sequence length", 4)?;
         let mut seq = Vec::with_capacity(seq_len);
         for _ in 0..seq_len {
@@ -478,7 +517,7 @@ fn decode_classes(
         if graphs.last().is_some_and(|g| g.index() >= meta.graph_count) {
             return Err(r.corrupt("posting graph id out of range"));
         }
-        let entries = r.u64("entry count")? as usize;
+        let entries = r.u64_usize("entry count")?;
         let imp = match tag {
             0 => decode_trie(r, shape, graphs.len())?,
             1 => {
@@ -536,7 +575,7 @@ fn decode_trie(
     shape: &ClassShape,
     class_size: usize,
 ) -> Result<ClassImpl, PersistError> {
-    let depth = r.u32("trie depth")? as usize;
+    let depth = r.u32_usize("trie depth")?;
     // Queries index probe vectors of `slots` labels by trie level, so a
     // depth mismatch would read out of bounds at query time.
     if depth != shape.slots {
@@ -674,7 +713,7 @@ mod tests {
             (Backend::VpTree, IndexDistance::Linear(LinearDistance::default())),
         ] {
             let (index, db) = sample(backend, distance);
-            let bytes = encode_snapshot(&index, &db);
+            let bytes = encode_snapshot(&index, &db).unwrap();
             let (loaded, db2) = decode_snapshot(&bytes).unwrap();
             // The text save is a total serialization of index state;
             // byte-identical saves mean byte-identical query behavior.
@@ -687,7 +726,7 @@ mod tests {
     fn footer_catches_any_byte_flip() {
         let (index, db) =
             sample(Backend::Trie, IndexDistance::Mutation(MutationDistance::edge_hamming()));
-        let bytes = encode_snapshot(&index, &db);
+        let bytes = encode_snapshot(&index, &db).unwrap();
         for pos in [8, bytes.len() / 2, bytes.len() - 5] {
             let mut bad = bytes.clone();
             bad[pos] ^= 0x10;
@@ -702,7 +741,7 @@ mod tests {
     fn truncation_is_typed() {
         let (index, db) =
             sample(Backend::Trie, IndexDistance::Mutation(MutationDistance::edge_hamming()));
-        let bytes = encode_snapshot(&index, &db);
+        let bytes = encode_snapshot(&index, &db).unwrap();
         for cut in [0, 4, 9, 20, bytes.len() / 2, bytes.len() - 1] {
             assert!(
                 matches!(decode_snapshot(&bytes[..cut]), Err(PersistError::Corrupt { .. })),

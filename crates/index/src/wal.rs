@@ -25,7 +25,7 @@ use std::path::{Path, PathBuf};
 use pis_graph::io::{parse_database, write_database};
 use pis_graph::{GraphId, LabeledGraph};
 
-use crate::codec::{crash_point, crc32, open_append, ByteReader, ByteWriter};
+use crate::codec::{crash_point, crc32, len64, open_append, u32_of, ByteReader, ByteWriter};
 use crate::persist::PersistError;
 
 /// Log magic + version.
@@ -39,15 +39,15 @@ const FRAME_HEADER: usize = 8;
 /// payload is the little-endian graph id followed by the graph in the
 /// text database format (whose float `Display` is shortest-round-trip,
 /// hence bit-exact on replay).
-pub fn encode_record(gid: GraphId, graph: &LabeledGraph) -> Vec<u8> {
+pub fn encode_record(gid: GraphId, graph: &LabeledGraph) -> Result<Vec<u8>, PersistError> {
     let mut payload = ByteWriter::new();
     payload.u32(gid.0);
     payload.bytes(write_database(std::slice::from_ref(graph)).as_bytes());
     let mut frame = ByteWriter::new();
-    frame.u32(payload.len() as u32);
+    frame.u32(u32_of(payload.len(), "record length")?);
     frame.u32(crc32(payload.as_slice()));
     frame.bytes(payload.as_slice());
-    frame.into_bytes()
+    Ok(frame.into_bytes())
 }
 
 /// Outcome of scanning a log: the decoded records plus what the scan
@@ -71,7 +71,7 @@ pub fn replay_bytes(bytes: &[u8]) -> Result<WalReplay, PersistError> {
         return Ok(WalReplay {
             records: Vec::new(),
             valid_len: 0,
-            torn_tail_bytes: bytes.len() as u64,
+            torn_tail_bytes: len64(bytes.len()),
         });
     }
     if &bytes[..MAGIC.len()] != MAGIC {
@@ -84,8 +84,8 @@ pub fn replay_bytes(bytes: &[u8]) -> Result<WalReplay, PersistError> {
             // Partial frame header: torn append.
             break;
         }
-        let mut r = ByteReader::new(&bytes[pos..pos + FRAME_HEADER], pos as u64);
-        let len = r.u32("record length")? as usize;
+        let mut r = ByteReader::new(&bytes[pos..pos + FRAME_HEADER], len64(pos));
+        let len = r.u32_usize("record length")?;
         let crc = r.u32("record checksum")?;
         if bytes.len() - pos - FRAME_HEADER < len {
             // Frame extends past end-of-file: torn append (or a length
@@ -96,14 +96,14 @@ pub fn replay_bytes(bytes: &[u8]) -> Result<WalReplay, PersistError> {
         let payload = &bytes[pos + FRAME_HEADER..pos + FRAME_HEADER + len];
         if crc32(payload) != crc {
             return Err(PersistError::Corrupt {
-                offset: pos as u64,
+                offset: len64(pos),
                 message: "WAL record checksum mismatch".to_string(),
             });
         }
-        records.push(decode_payload(payload, (pos + FRAME_HEADER) as u64)?);
+        records.push(decode_payload(payload, len64(pos + FRAME_HEADER))?);
         pos += FRAME_HEADER + len;
     }
-    Ok(WalReplay { records, valid_len: pos as u64, torn_tail_bytes: (bytes.len() - pos) as u64 })
+    Ok(WalReplay { records, valid_len: len64(pos), torn_tail_bytes: len64(bytes.len() - pos) })
 }
 
 /// Decodes one checksummed payload: graph id + exactly one graph.
@@ -117,7 +117,13 @@ fn decode_payload(payload: &[u8], base: u64) -> Result<(GraphId, LabeledGraph), 
     if graphs.len() != 1 {
         return Err(r.corrupt(&format!("record holds {} graphs, expected 1", graphs.len())));
     }
-    Ok((gid, graphs.into_iter().next().expect("length checked")))
+    // `pop` is Some by the length check; let-else keeps the decoder
+    // panic-free on untrusted bytes.
+    let mut graphs = graphs;
+    let Some(graph) = graphs.pop() else {
+        return Err(r.corrupt("record holds no graph"));
+    };
+    Ok((gid, graph))
 }
 
 /// An open write-ahead log: an appender positioned after the last
@@ -143,21 +149,21 @@ impl Wal {
         if bytes.is_empty() {
             file.write_all(MAGIC)?;
             file.sync_data()?;
-            let wal = Wal { file, path: path.to_path_buf(), committed_len: MAGIC.len() as u64 };
+            let wal = Wal { file, path: path.to_path_buf(), committed_len: len64(MAGIC.len()) };
             let replay = WalReplay {
                 records: Vec::new(),
-                valid_len: MAGIC.len() as u64,
+                valid_len: len64(MAGIC.len()),
                 torn_tail_bytes: 0,
             };
             return Ok((wal, replay));
         }
         let mut replay = replay_bytes(&bytes)?;
-        if replay.valid_len < MAGIC.len() as u64 {
+        if replay.valid_len < len64(MAGIC.len()) {
             // Torn initial magic write: start the log over.
             file.set_len(0)?;
             file.write_all(MAGIC)?;
             file.sync_data()?;
-            replay.valid_len = MAGIC.len() as u64;
+            replay.valid_len = len64(MAGIC.len());
         } else if replay.torn_tail_bytes > 0 {
             file.set_len(replay.valid_len)?;
             file.sync_data()?;
@@ -185,15 +191,15 @@ impl Wal {
     /// and errors before the fsync; `wal-fsync` errors at the fsync and
     /// drops the un-synced frame bytes, deterministically simulating
     /// the kernel losing them in a crash.
-    pub fn append(&mut self, gid: GraphId, graph: &LabeledGraph) -> std::io::Result<()> {
-        let frame = encode_record(gid, graph);
+    pub fn append(&mut self, gid: GraphId, graph: &LabeledGraph) -> Result<(), PersistError> {
+        let frame = encode_record(gid, graph)?;
         // Self-heal torn bytes from a previously failed append.
         self.file.set_len(self.committed_len)?;
         crash_point("wal-append", Some((&mut self.file, &frame[..frame.len() / 2])))?;
         self.file.write_all(&frame)?;
         self.fsync_crash_point()?;
         self.file.sync_data()?;
-        self.committed_len += frame.len() as u64;
+        self.committed_len += len64(frame.len());
         Ok(())
     }
 
@@ -228,9 +234,9 @@ impl Wal {
     /// idempotently on the next open.
     pub fn reset(&mut self) -> std::io::Result<()> {
         crash_point("compact-truncate", None)?;
-        self.file.set_len(MAGIC.len() as u64)?;
+        self.file.set_len(len64(MAGIC.len()))?;
         self.file.sync_data()?;
-        self.committed_len = MAGIC.len() as u64;
+        self.committed_len = len64(MAGIC.len());
         Ok(())
     }
 }
@@ -281,7 +287,7 @@ mod tests {
         drop(wal);
         // Simulate a crash mid-append: half a frame past the durable
         // prefix.
-        let frame = encode_record(GraphId(1), &graph(2.0));
+        let frame = encode_record(GraphId(1), &graph(2.0)).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
         bytes.extend_from_slice(&frame[..frame.len() / 2]);
         std::fs::write(&path, &bytes).unwrap();

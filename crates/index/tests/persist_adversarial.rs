@@ -197,7 +197,7 @@ fn valid_snapshot(backend: Backend) -> Vec<u8> {
         IndexDistance::Mutation(MutationDistance::edge_hamming()),
         &IndexConfig { backend, ..IndexConfig::default() },
     );
-    encode_snapshot(&index, &db)
+    encode_snapshot(&index, &db).unwrap()
 }
 
 /// Decodes and demands a typed outcome — identical contract to
@@ -283,7 +283,7 @@ proptest! {
 fn valid_wal(graphs: &[LabeledGraph], base: u32) -> Vec<u8> {
     let mut bytes = wal::MAGIC.to_vec();
     for (i, g) in graphs.iter().enumerate() {
-        bytes.extend_from_slice(&wal::encode_record(GraphId(base + i as u32), g));
+        bytes.extend_from_slice(&wal::encode_record(GraphId(base + i as u32), g).unwrap());
     }
     bytes
 }
@@ -296,7 +296,8 @@ fn valid_wal(graphs: &[LabeledGraph], base: u32) -> Vec<u8> {
 fn wal_torn_tail_is_accepted_mid_log_corruption_is_not() {
     let graphs = [ring(&[1, 2, 1, 2]), ring(&[2, 2, 1, 1])];
     let bytes = valid_wal(&graphs, 3);
-    let first_record_end = wal::MAGIC.len() + wal::encode_record(GraphId(3), &graphs[0]).len();
+    let first_record_end =
+        wal::MAGIC.len() + wal::encode_record(GraphId(3), &graphs[0]).unwrap().len();
 
     // Truncation at every byte boundary: a kill can only shorten the
     // file, and every such file must open.
@@ -383,7 +384,7 @@ proptest! {
         let mut live = FragmentIndex::build(&db, features.clone(), distance.clone(), &config);
         // Durable side: snapshot now, WAL the rest.
         let durable_base = FragmentIndex::build(&db, features, distance, &config);
-        let snapshot = encode_snapshot(&durable_base, &db);
+        let snapshot = encode_snapshot(&durable_base, &db).unwrap();
         let incoming: Vec<LabeledGraph> = extra.iter().map(|ls| ring(ls)).collect();
         let wal_bytes = valid_wal(&incoming, db.len() as u32);
 

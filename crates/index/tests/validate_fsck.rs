@@ -1,0 +1,132 @@
+//! Accept-side sweep for the deep structural validation
+//! ([`pis_index::FragmentIndex::validate`]).
+//!
+//! The reject side lives next to each structure (bit-flip corpora over
+//! the trie's arena columns, pointer surgery on the R-tree, field
+//! corruption on the index). This file pins the other half of the
+//! contract: an index reached through *any* public lifecycle — build,
+//! eager insert, LSM pending insert, threshold-triggered merges,
+//! compaction, snapshot round trip — validates cleanly, so a validation
+//! failure in the field always means corruption, never a false alarm.
+
+use pis_distance::{LinearDistance, MutationDistance};
+use pis_graph::{EdgeAttr, GraphBuilder, Label, LabeledGraph, VertexAttr};
+use pis_index::{
+    decode_snapshot, encode_snapshot, Backend, FragmentIndex, IndexConfig, IndexDistance,
+};
+use pis_mining::exhaustive::exhaustive_features;
+use proptest::prelude::*;
+
+fn ring(labels: &[u32]) -> LabeledGraph {
+    let mut b = GraphBuilder::new();
+    let n = labels.len();
+    let vs = b.add_vertices(n, VertexAttr::labeled(Label(0)));
+    for (i, &l) in labels.iter().enumerate() {
+        b.add_edge(vs[i], vs[(i + 1) % n], EdgeAttr::labeled(Label(l))).unwrap();
+    }
+    b.build()
+}
+
+fn weighted_ring(weights: &[f64]) -> LabeledGraph {
+    let mut b = GraphBuilder::new();
+    let n = weights.len();
+    let vs = b.add_vertices(n, VertexAttr::labeled(Label(0)));
+    for (i, &w) in weights.iter().enumerate() {
+        b.add_edge(vs[i], vs[(i + 1) % n], EdgeAttr { label: Label(0), weight: w }).unwrap();
+    }
+    b.build()
+}
+
+/// Validates and surfaces the violation as the proptest failure.
+fn assert_valid(index: &FragmentIndex, context: &str) -> Result<(), TestCaseError> {
+    match index.validate() {
+        Ok(_) => Ok(()),
+        Err(m) => {
+            prop_assert!(false, "{context}: {m}");
+            Ok(())
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Mutation distance, both label backends: every lifecycle stage
+    /// validates, and the tallies stay consistent with the public
+    /// counters.
+    #[test]
+    fn label_lifecycle_always_validates(
+        extra in prop::collection::vec(prop::collection::vec(1u32..4, 4), 1..5),
+        backend in 0u8..2,
+        merge_threshold in 0usize..6,
+        eager in 0u8..2,
+    ) {
+        let eager = eager == 1;
+        let backend = if backend == 0 { Backend::Trie } else { Backend::VpTree };
+        let mut db = vec![ring(&[1, 1, 1, 1]), ring(&[1, 2, 1, 2]), ring(&[2, 2, 2, 2])];
+        let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+        let mut index = FragmentIndex::build(
+            &db,
+            exhaustive_features(&structures, 3),
+            IndexDistance::Mutation(MutationDistance::edge_hamming()),
+            &IndexConfig { backend, merge_threshold, ..IndexConfig::default() },
+        );
+        assert_valid(&index, "after build")?;
+        for ls in &extra {
+            let g = ring(ls);
+            if eager {
+                index.insert_graph(&g);
+            } else {
+                index.insert_graph_pending(&g);
+            }
+            db.push(g);
+            assert_valid(&index, "after insert")?;
+        }
+        let report = index.validate().unwrap();
+        prop_assert_eq!(report.classes, index.features().len());
+        prop_assert_eq!(
+            report.frozen_entries + report.pending_entries,
+            index.total_entries()
+        );
+        prop_assert_eq!(report.pending_entries, index.pending_entries());
+        index.compact();
+        assert_valid(&index, "after compact")?;
+        prop_assert_eq!(index.validate().unwrap().pending_entries, 0);
+
+        let bytes = encode_snapshot(&index, &db).unwrap();
+        let (restored, _) = decode_snapshot(&bytes).unwrap();
+        assert_valid(&restored, "after snapshot round trip")?;
+    }
+
+    /// Linear distance over weight vectors: the R-tree (with its
+    /// re-flatten arena comparison) and the vp-tree validate through
+    /// the same lifecycle.
+    #[test]
+    fn weight_lifecycle_always_validates(
+        extra in prop::collection::vec(prop::collection::vec(1u32..40, 4), 1..5),
+        backend in 0u8..2,
+        merge_threshold in 0usize..6,
+    ) {
+        let backend = if backend == 0 { Backend::RTree } else { Backend::VpTree };
+        let db = vec![
+            weighted_ring(&[1.0, 1.0, 1.0, 1.0]),
+            weighted_ring(&[1.0, 1.5, 2.0, 2.5]),
+            weighted_ring(&[4.0, 4.0, 4.0, 4.0]),
+        ];
+        let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+        let mut index = FragmentIndex::build(
+            &db,
+            exhaustive_features(&structures, 3),
+            IndexDistance::Linear(LinearDistance::edges_only()),
+            &IndexConfig { backend, merge_threshold, ..IndexConfig::default() },
+        );
+        assert_valid(&index, "after build")?;
+        for ws in &extra {
+            let ws: Vec<f64> = ws.iter().map(|&w| f64::from(w) / 4.0).collect();
+            index.insert_graph_pending(&weighted_ring(&ws));
+            assert_valid(&index, "after pending insert")?;
+        }
+        index.compact();
+        assert_valid(&index, "after compact")?;
+    }
+}

@@ -19,6 +19,8 @@
 //! PIS hashes fragments by *bare structure*, so callers mine on
 //! label-erased graphs; the miner itself is label-aware and reusable.
 
+#![forbid(unsafe_code)]
+
 pub mod exhaustive;
 pub mod feature;
 pub mod gindex;

@@ -45,7 +45,7 @@ mod tests {
         ];
         let set = path_features(&db, 4);
         assert_eq!(set.len(), 4);
-        let sizes: Vec<usize> = set.iter().map(|f| f.edge_count()).collect();
+        let sizes: Vec<usize> = set.iter().map(crate::Feature::edge_count).collect();
         assert_eq!(sizes, vec![1, 2, 3, 4]);
     }
 

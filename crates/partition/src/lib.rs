@@ -28,6 +28,8 @@
 //!   mask-native path to byte-identical adjacency and selections
 //!   against it.
 
+#![forbid(unsafe_code)]
+
 pub mod enhanced;
 pub mod exact;
 pub mod greedy;

@@ -10,6 +10,7 @@
 //! pis knn      db.lg --index index.pis --query queries.lg -k 5
 //! pis snapshot db.lg --index index.pis --out store/
 //! pis compact  store/
+//! pis check    store/
 //! pis dot      db.lg --graph 3
 //! ```
 //!
@@ -55,6 +56,7 @@ usage:
   pis knn      DB.lg --index INDEX.pis --query QUERIES.lg -k K [--time-limit-ms T] [--node-limit N]
   pis snapshot DB.lg --index INDEX.pis --out DIR
   pis compact  DIR
+  pis check    DIR
   pis dot      DB.lg [--graph I]";
 
 /// Builds a [`QueryBudget`] from the shared `--time-limit-ms` /
@@ -86,6 +88,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "knn" => cmd_knn(&rest),
         "snapshot" => cmd_snapshot(&rest),
         "compact" => cmd_compact(&rest),
+        "check" => cmd_check(&rest),
         "dot" => cmd_dot(&rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -392,6 +395,38 @@ fn cmd_compact(args: &[&String]) -> Result<(), String> {
         store.wal_len(),
         start.elapsed()
     );
+    Ok(())
+}
+
+fn cmd_check(args: &[&String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let dir = PathBuf::from(flags.positional(0, "durable directory")?);
+    let start = Instant::now();
+    let report =
+        pis::check_store(&dir).map_err(|e| format!("store {} is corrupt: {e}", dir.display()))?;
+    println!("checking {}", dir.display());
+    println!("  snapshot: {} bytes, all section and footer checksums valid", report.snapshot_bytes);
+    println!(
+        "  index:    {} classes ({} trie, {} r-tree, {} vp-tree), \
+         {} frozen + {} pending entries, all invariants hold",
+        report.index.classes,
+        report.index.trie_classes,
+        report.index.rtree_classes,
+        report.index.vptree_classes,
+        report.index.frozen_entries,
+        report.index.pending_entries
+    );
+    println!(
+        "  wal:      {} bytes, {} records ({} replayable, {} already in the snapshot), \
+         {} torn tail bytes",
+        report.wal_bytes,
+        report.wal_records,
+        report.wal_replayed,
+        report.wal_skipped,
+        report.torn_tail_bytes
+    );
+    println!("  replay:   {} graphs after WAL replay, invariants re-verified", report.graphs);
+    println!("ok: store is consistent ({:?})", start.elapsed());
     Ok(())
 }
 

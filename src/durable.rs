@@ -21,7 +21,7 @@ use std::path::{Path, PathBuf};
 
 use pis_core::PisConfig;
 use pis_graph::{GraphId, LabeledGraph};
-use pis_index::{load_snapshot, write_snapshot, PersistError, Wal};
+use pis_index::{load_snapshot, wal, write_snapshot, IndexCheckReport, PersistError, Wal};
 
 use crate::PisSystem;
 
@@ -44,6 +44,83 @@ impl RecoveryReport {
     pub fn clean(&self) -> bool {
         self == &RecoveryReport::default()
     }
+}
+
+/// What [`check_store`] verified, section by section — the offline
+/// fsck's evidence that a durable directory is internally consistent.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StoreCheckReport {
+    /// Size of `snapshot.pis` (all section and footer CRCs verified).
+    pub snapshot_bytes: u64,
+    /// Size of `wal.log` as found on disk.
+    pub wal_bytes: u64,
+    /// Complete, CRC-valid records in the WAL.
+    pub wal_records: usize,
+    /// WAL records the snapshot does not yet cover (replayed to verify
+    /// they apply cleanly).
+    pub wal_replayed: usize,
+    /// WAL records already covered by the snapshot (stale but
+    /// idempotent — a crash between snapshot rotation and WAL
+    /// truncation leaves these).
+    pub wal_skipped: usize,
+    /// Bytes of torn (unacknowledged) tail past the last valid record.
+    /// `check_store` never repairs; it only reports.
+    pub torn_tail_bytes: u64,
+    /// Graphs in the store after WAL replay.
+    pub graphs: usize,
+    /// Per-structure tallies from the deep index validation
+    /// ([`pis_index::FragmentIndex::validate`]) after WAL replay.
+    pub index: IndexCheckReport,
+}
+
+/// Offline fsck of a durable directory: verifies every structural
+/// invariant [`DurableSystem::open`] relies on, **without modifying the
+/// store** (unlike `open`, a torn WAL tail is reported, not truncated).
+///
+/// Checks, in order: the snapshot's magic/version/section CRCs and
+/// footer, the deep index invariants on the decoded structures (trie
+/// arena tiling, R-tree fanout/MBR containment, posting-list and
+/// pending-buffer consistency), WAL framing, that every committed WAL
+/// record replays cleanly on top of the snapshot, and the index
+/// invariants again on the replayed state. Any violation surfaces as a
+/// typed [`PersistError`] — never a panic.
+pub fn check_store(dir: &Path) -> Result<StoreCheckReport, PersistError> {
+    let invariant =
+        |m: String| PersistError::Corrupt { offset: 0, message: format!("index invariant: {m}") };
+    let snapshot_bytes = std::fs::read(dir.join(SNAPSHOT_FILE)).map_err(PersistError::Io)?;
+    // decode_snapshot validates CRCs and runs the deep index fsck.
+    let (mut index, mut database) = pis_index::decode_snapshot(&snapshot_bytes)?;
+    let wal_bytes = std::fs::read(dir.join(WAL_FILE)).map_err(PersistError::Io)?;
+    let replay = wal::replay_bytes(&wal_bytes)?;
+    let mut report = StoreCheckReport {
+        snapshot_bytes: snapshot_bytes.len() as u64,
+        wal_bytes: wal_bytes.len() as u64,
+        wal_records: replay.records.len(),
+        torn_tail_bytes: replay.torn_tail_bytes,
+        ..StoreCheckReport::default()
+    };
+    for (gid, graph) in replay.records {
+        let next = database.len();
+        if gid.index() < next {
+            report.wal_skipped += 1;
+            continue;
+        }
+        if gid.index() > next {
+            return Err(PersistError::Corrupt {
+                offset: replay.valid_len,
+                message: format!(
+                    "WAL names graph {} but the store holds {next} graphs",
+                    gid.index()
+                ),
+            });
+        }
+        index.insert_graph_pending(&graph);
+        database.push(graph);
+        report.wal_replayed += 1;
+    }
+    report.index = index.validate().map_err(invariant)?;
+    report.graphs = database.len();
+    Ok(report)
 }
 
 /// A [`PisSystem`] bound to an on-disk directory (`snapshot.pis` +
@@ -113,7 +190,7 @@ impl DurableSystem {
     /// insert survives a crash. On error nothing was applied.
     pub fn insert_graph(&mut self, graph: LabeledGraph) -> Result<GraphId, PersistError> {
         let gid = GraphId(self.system.database.len() as u32);
-        self.wal.append(gid, &graph).map_err(PersistError::Io)?;
+        self.wal.append(gid, &graph)?;
         let applied = self.system.index.insert_graph_pending(&graph);
         debug_assert_eq!(applied, gid);
         self.system.database.push(graph);

@@ -43,9 +43,11 @@
 //! | [`core`] | §3–6 | Algorithm 2, verification, baselines |
 //! | [`datasets`] | §7 | synthetic chemical generator, SDF, queries |
 
+#![forbid(unsafe_code)]
+
 pub mod durable;
 
-pub use durable::{DurableSystem, RecoveryReport};
+pub use durable::{check_store, DurableSystem, RecoveryReport, StoreCheckReport};
 pub use pis_core as core;
 pub use pis_datasets as datasets;
 pub use pis_distance as distance;

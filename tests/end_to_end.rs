@@ -223,7 +223,7 @@ fn knn_agrees_with_range_search_ranking() {
     let knn = system.knn(&q, 5);
     // Every neighbor's distance must match the range search's verified
     // distance at a radius covering it.
-    let radius = knn.neighbors.last().map(|n| n.distance).unwrap_or(0.0);
+    let radius = knn.neighbors.last().map_or(0.0, |n| n.distance);
     let range = system.search(&q, radius);
     for n in &knn.neighbors {
         let pos = range

@@ -17,6 +17,8 @@
 //! real Criterion's variance control; treat them as probe output, not
 //! publishable measurements.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

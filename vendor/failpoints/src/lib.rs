@@ -17,6 +17,8 @@
 //! serialize themselves (e.g. behind a shared `Mutex`) because cargo
 //! runs tests in one process.
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::sync::Mutex;
 

@@ -21,6 +21,8 @@
 //! minimal counterexample to debug from. Case streams are deterministic
 //! per test, so failures reproduce across runs.
 
+#![forbid(unsafe_code)]
+
 pub mod strategy;
 
 pub mod collection;

@@ -18,6 +18,8 @@
 //! the real `rand` crate's streams, so generated datasets are
 //! reproducible *within* this workspace only.
 
+#![forbid(unsafe_code)]
+
 /// A source of raw random 32/64-bit words (object-safe).
 pub trait RngCore {
     /// The next 64 random bits.
@@ -47,7 +49,7 @@ impl<R: RngCore + ?Sized> RngCore for &mut R {
     }
 
     fn fill_bytes(&mut self, dest: &mut [u8]) {
-        (**self).fill_bytes(dest)
+        (**self).fill_bytes(dest);
     }
 }
 
