@@ -2,6 +2,8 @@
 
 use pis_graph::budget::QueryBudget;
 
+use crate::shard::ShardConfig;
+
 /// Which MWIS algorithm picks the partition (Section 5).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum PartitionAlgo {
@@ -66,6 +68,16 @@ pub struct PisConfig {
     /// ([`PisSearcher::search_budgeted`](crate::PisSearcher::search_budgeted))
     /// overrides this one.
     pub budget: QueryBudget,
+    /// Fault-tolerant scatter-gather sharding
+    /// ([`ShardRouter`](crate::ShardRouter)). `None` (the default)
+    /// keeps the legacy single-coordinator probe loop; `Some` — even
+    /// with `shards == 1` — routes range queries through per-shard
+    /// workers with sub-deadlines, replica failover and quarantine, and
+    /// a shard that stays dark degrades the outcome to
+    /// [`Degraded`](crate::Completeness::Degraded) instead of failing
+    /// the query. A healthy scatter is byte-identical to the legacy
+    /// path.
+    pub shard: Option<ShardConfig>,
 }
 
 /// Default [`PisConfig::parallel_fragment_threshold`].
@@ -86,6 +98,7 @@ impl Default for PisConfig {
             parallel_verify_threshold: DEFAULT_PARALLEL_VERIFY_THRESHOLD,
             best_first_verify: true,
             budget: QueryBudget::unlimited(),
+            shard: None,
         }
     }
 }
@@ -106,5 +119,6 @@ mod tests {
         assert_eq!(c.parallel_verify_threshold, DEFAULT_PARALLEL_VERIFY_THRESHOLD);
         assert!(c.best_first_verify);
         assert!(!c.budget.is_limited(), "the default budget is unlimited");
+        assert!(c.shard.is_none(), "sharding is opt-in");
     }
 }

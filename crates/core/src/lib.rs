@@ -29,6 +29,7 @@ pub mod explain;
 pub mod knn;
 pub mod search;
 pub mod selectivity;
+pub mod shard;
 pub mod verify;
 
 pub use baseline::{naive_scan, topo_prune, BaselineOutcome};
@@ -44,6 +45,7 @@ pub use pis_graph::budget::{BudgetStats, QueryBudget};
 pub use search::{
     Completeness, PisSearcher, SearchOutcome, SearchScratch, SearchStats, TruncationPhase,
 };
+pub use shard::{ShardConfig, ShardError, ShardHealthSnapshot, ShardReplicaSet, ShardRouter};
 pub use verify::{
     min_superimposed_distance, min_superimposed_distance_reference, VerifyScratch, VerifyStats,
 };

@@ -1,0 +1,580 @@
+//! Fault-tolerant scatter-gather sharding of the fragment index.
+//!
+//! The index has been partitioned by feature class since the class-local
+//! posting rework — a natural shard boundary. A [`ShardRouter`] carves
+//! the frozen [`FragmentIndex`](pis_index::FragmentIndex) into N
+//! round-robin class shards (zero-copy
+//! [`ShardView`](pis_index::ShardView)s over the immutable arenas),
+//! routes each query's feature-grouped probe batches to the shard
+//! owning the feature, and the search coordinator merges the per-shard
+//! candidate bitsets before partition + verification.
+//!
+//! Robustness model (per shard, per query):
+//!
+//! * every shard call runs under a **sub-budget** carved from the
+//!   query's deadline
+//!   ([`BudgetState::shard_slice`](pis_graph::BudgetState::shard_slice))
+//!   with a coordinator reserve, so one slow shard cannot eat the whole
+//!   query's wall clock;
+//! * a failed / timed-out / panicked shard is **retried once** against
+//!   the next replica of its [`ShardReplicaSet`], after a deterministic
+//!   exponential backoff (jitter from the vendored xoshiro `StdRng`
+//!   seeded per query — fault-injection runs are reproducible);
+//! * repeated failures **quarantine** the shard in its `ShardHealth`
+//!   entry (consecutive-failure threshold); a quarantined shard is
+//!   skipped cheaply and re-probed every `cooldown_probes` queries, and
+//!   one success lifts the quarantine;
+//! * a shard that stays dark **degrades soundly**: its classes are
+//!   excluded from the intersection exactly like a budget-tripped range
+//!   slot (incomplete data never prunes), and the outcome reports
+//!   `Completeness::Degraded { shards }`.
+//!
+//! The sharded scatter with N=1 — or any N with all shards healthy —
+//! is byte-identical to the unsharded path: views delegate to the same
+//! budgeted range-query kernels, and per-slot hit buffers make merge
+//! order irrelevant (`crates/core/tests/proptest_shard.rs` holds this).
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Exponential-backoff doubling cap: 2^6 · base is the longest delay.
+const BACKOFF_EXP_CAP: u32 = 6;
+
+/// Scatter-gather configuration, set via `PisConfig::shard`. `None`
+/// there means the legacy single-threaded probe loop; `Some` — even
+/// with one shard — routes every query through the [`ShardRouter`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardConfig {
+    /// Class-shard count N; feature class `c` lives on shard
+    /// `c % shards`.
+    pub shards: usize,
+    /// Replicas per shard (zero-copy views over the same frozen
+    /// arenas; ≥ 2 makes the retry serve from a different replica
+    /// role).
+    pub replicas: usize,
+    /// Consecutive failures that quarantine a shard.
+    pub failure_threshold: u32,
+    /// Quarantined shards are re-probed every this many queries;
+    /// in between they are skipped (degraded) without an attempt.
+    pub cooldown_probes: u32,
+    /// Base unit of the retry backoff
+    /// (`base · 2^min(attempt + consecutive_failures, 6)` plus a
+    /// deterministic jitter in `[0, base)`).
+    pub backoff_base: Duration,
+    /// Fraction of the *remaining* query deadline reserved for the
+    /// coordinator (merge + retry + degrade) when carving per-shard
+    /// sub-budgets. Clamped to `[0, 1]`.
+    pub coordinator_reserve: f64,
+}
+
+impl ShardConfig {
+    /// A configuration with `shards` shards and default robustness
+    /// knobs.
+    pub fn new(shards: usize) -> ShardConfig {
+        ShardConfig {
+            shards: shards.max(1),
+            replicas: 2,
+            failure_threshold: 3,
+            cooldown_probes: 8,
+            backoff_base: Duration::from_micros(100),
+            coordinator_reserve: 0.1,
+        }
+    }
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig::new(1)
+    }
+}
+
+/// A typed per-shard failure, recorded in `ShardHealth` and surfaced
+/// through [`ShardHealthSnapshot::last_error`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardError {
+    /// The shard's sub-budget deadline elapsed before its probe groups
+    /// finished.
+    DeadlineExceeded {
+        /// The shard that timed out.
+        shard: usize,
+    },
+    /// The shard worker panicked mid-descent (caught at the shard
+    /// boundary; the query continues).
+    Panicked {
+        /// The shard whose worker panicked.
+        shard: usize,
+    },
+    /// The serving replica returned a detectably corrupt answer.
+    Corrupt {
+        /// The shard whose replica was corrupt.
+        shard: usize,
+    },
+}
+
+impl ShardError {
+    /// The shard the failure is attributed to.
+    pub fn shard(&self) -> usize {
+        match *self {
+            ShardError::DeadlineExceeded { shard }
+            | ShardError::Panicked { shard }
+            | ShardError::Corrupt { shard } => shard,
+        }
+    }
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ShardError::DeadlineExceeded { shard } => {
+                write!(f, "shard {shard}: sub-budget deadline exceeded")
+            }
+            ShardError::Panicked { shard } => write!(f, "shard {shard}: worker panicked"),
+            ShardError::Corrupt { shard } => write!(f, "shard {shard}: corrupt replica answer"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Which replica of a shard serves, with a seqlock-style epoch so a
+/// re-freeze or compaction can swap a new generation in **without
+/// blocking readers**: [`ShardReplicaSet::install`] bumps the epoch to
+/// odd, publishes the generation, and bumps back to even; readers retry
+/// while the epoch is odd or moved under them, so they only ever act on
+/// a fully-published generation.
+#[derive(Debug)]
+pub struct ShardReplicaSet {
+    /// Replica slots (views over the same immutable arenas).
+    replicas: usize,
+    /// Seqlock epoch: even = stable, odd = handoff in progress.
+    epoch: AtomicU64,
+    /// Monotonic generation; `generation % replicas` is the primary
+    /// replica slot.
+    generation: AtomicU64,
+}
+
+impl ShardReplicaSet {
+    /// A replica set with `replicas` slots (at least one), generation 0.
+    pub fn new(replicas: usize) -> ShardReplicaSet {
+        ShardReplicaSet {
+            replicas: replicas.max(1),
+            epoch: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Replica slot count.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Publishes `generation` (a re-freeze / compaction handoff, or a
+    /// failover rotation). Readers running concurrently either see the
+    /// old generation or the new one — never a torn in-between.
+    pub fn install(&self, generation: u64) {
+        self.epoch.fetch_add(1, Ordering::AcqRel); // even -> odd
+        self.generation.store(generation, Ordering::Release);
+        self.epoch.fetch_add(1, Ordering::AcqRel); // odd -> even
+    }
+
+    /// The current generation, read under the epoch seqlock.
+    pub fn read(&self) -> u64 {
+        loop {
+            let before = self.epoch.load(Ordering::Acquire);
+            if before % 2 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let generation = self.generation.load(Ordering::Acquire);
+            if self.epoch.load(Ordering::Acquire) == before {
+                return generation;
+            }
+        }
+    }
+
+    /// The replica slot serving attempt `attempt` (0 = primary) of the
+    /// current generation.
+    pub fn role_of(&self, attempt: u32) -> usize {
+        (self.read() as usize + attempt as usize) % self.replicas
+    }
+}
+
+/// Lock-free health bookkeeping for one shard. All counters are
+/// monotonic except `consecutive_failures` (reset by a success) and the
+/// quarantine flag (lifted by a success).
+#[derive(Debug, Default)]
+struct ShardHealth {
+    calls: AtomicU64,
+    failures: AtomicU64,
+    retries: AtomicU64,
+    skipped_queries: AtomicU64,
+    quarantine_trips: AtomicU64,
+    consecutive_failures: AtomicU32,
+    cooldown_skips: AtomicU32,
+    quarantined: AtomicBool,
+    last_error: Mutex<Option<ShardError>>,
+}
+
+impl ShardHealth {
+    fn record_success(&self) {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        self.quarantined.store(false, Ordering::Relaxed);
+    }
+
+    fn record_failure(&self, error: ShardError, threshold: u32) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        let consecutive = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        *self.last_error.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(error);
+        if consecutive >= threshold && !self.quarantined.swap(true, Ordering::Relaxed) {
+            self.quarantine_trips.fetch_add(1, Ordering::Relaxed);
+            self.cooldown_skips.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether this query should attempt the shard. Healthy shards are
+    /// always attempted; a quarantined shard is skipped (counted) until
+    /// every `cooldown`-th query re-probes it.
+    fn should_probe(&self, cooldown: u32) -> bool {
+        if !self.quarantined.load(Ordering::Relaxed) {
+            return true;
+        }
+        let waited = self.cooldown_skips.fetch_add(1, Ordering::Relaxed) + 1;
+        if waited >= cooldown.max(1) {
+            self.cooldown_skips.store(0, Ordering::Relaxed);
+            return true;
+        }
+        self.skipped_queries.fetch_add(1, Ordering::Relaxed);
+        false
+    }
+}
+
+/// A point-in-time copy of one shard's `ShardHealth` plus its replica
+/// state, for diagnostics (`explain`, tests, operators).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardHealthSnapshot {
+    /// The shard this row describes.
+    pub shard: usize,
+    /// Whether the shard is currently quarantined.
+    pub quarantined: bool,
+    /// Failures since the last success.
+    pub consecutive_failures: u32,
+    /// Attempts routed to this shard (retries included).
+    pub calls: u64,
+    /// Failed attempts (any [`ShardError`]).
+    pub failures: u64,
+    /// Replica-failover retries.
+    pub retries: u64,
+    /// Times the consecutive-failure threshold tripped quarantine.
+    pub quarantine_trips: u64,
+    /// Queries that skipped the shard while quarantined (degraded
+    /// without an attempt).
+    pub skipped_queries: u64,
+    /// The most recent failure, if any.
+    pub last_error: Option<ShardError>,
+    /// The replica generation currently serving.
+    pub replica_generation: u64,
+}
+
+/// Per-shard state: health plus the replica set.
+#[derive(Debug)]
+struct ShardState {
+    health: ShardHealth,
+    replicas: ShardReplicaSet,
+}
+
+/// Routes feature classes to shards and tracks per-shard health across
+/// the queries of one searcher. The router owns no index data — shard
+/// views are carved zero-copy per scatter — so it is cheap to build
+/// and `Sync` (all state is atomic).
+#[derive(Debug)]
+pub struct ShardRouter {
+    config: ShardConfig,
+    states: Vec<ShardState>,
+    query_seq: AtomicU64,
+}
+
+impl ShardRouter {
+    /// A router for `config` with all shards healthy.
+    pub fn new(config: ShardConfig) -> ShardRouter {
+        let states = (0..config.shards.max(1))
+            .map(|_| ShardState {
+                health: ShardHealth::default(),
+                replicas: ShardReplicaSet::new(config.replicas),
+            })
+            .collect();
+        ShardRouter { config, states, query_seq: AtomicU64::new(0) }
+    }
+
+    /// The shard count N.
+    pub fn shards(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The configuration the router was built with.
+    pub fn config(&self) -> &ShardConfig {
+        &self.config
+    }
+
+    /// The shard owning feature class `feature_index` (round-robin).
+    pub fn shard_of(&self, feature_index: usize) -> usize {
+        feature_index % self.states.len()
+    }
+
+    /// Starts one query's scatter: returns the query sequence number
+    /// that seeds its deterministic backoff jitter.
+    pub fn begin_query(&self) -> u64 {
+        self.query_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// One shard's replica set (epoch handoff target for re-freeze /
+    /// compaction).
+    pub fn replica_set(&self, shard: usize) -> &ShardReplicaSet {
+        &self.states[shard].replicas
+    }
+
+    /// Force-quarantines `shard` (operator hook; also how tests model a
+    /// dark shard without arming failpoints).
+    pub fn quarantine(&self, shard: usize) {
+        let health = &self.states[shard].health;
+        health.quarantined.store(true, Ordering::Relaxed);
+        health.consecutive_failures.store(self.config.failure_threshold, Ordering::Relaxed);
+        health.quarantine_trips.fetch_add(1, Ordering::Relaxed);
+        health.cooldown_skips.store(0, Ordering::Relaxed);
+    }
+
+    /// Whether this query should attempt `shard` (false = quarantined
+    /// and inside its cooldown window; the caller degrades the shard
+    /// without an attempt).
+    pub fn should_probe(&self, shard: usize) -> bool {
+        self.states[shard].health.should_probe(self.config.cooldown_probes)
+    }
+
+    /// Records one attempt routed to `shard`.
+    pub fn record_call(&self, shard: usize) {
+        self.states[shard].health.calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a replica-failover retry on `shard`.
+    pub fn record_retry(&self, shard: usize) {
+        self.states[shard].health.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a successful attempt: resets the failure streak and
+    /// lifts any quarantine.
+    pub fn record_success(&self, shard: usize) {
+        self.states[shard].health.record_success();
+    }
+
+    /// Records a failed attempt; trips quarantine at the configured
+    /// consecutive-failure threshold.
+    pub fn record_failure(&self, error: ShardError) {
+        self.states[error.shard()].health.record_failure(error, self.config.failure_threshold);
+    }
+
+    /// Whether `shard` is currently quarantined.
+    pub fn is_quarantined(&self, shard: usize) -> bool {
+        self.states[shard].health.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// The retry delay before attempt `attempt` (1 = first retry) of
+    /// query `query_seq` against `shard`: exponential in the shard's
+    /// failure streak, with jitter drawn from a per-(query, shard,
+    /// attempt) seeded [`StdRng`] — two runs of the same workload back
+    /// off identically, no wall-clock randomness.
+    pub fn backoff_delay(&self, query_seq: u64, shard: usize, attempt: u32) -> Duration {
+        let streak = self.states[shard].health.consecutive_failures.load(Ordering::Relaxed);
+        let exp = (attempt + streak).min(BACKOFF_EXP_CAP);
+        let mut rng = StdRng::seed_from_u64(backoff_seed(query_seq, shard as u64, attempt as u64));
+        let jitter: f64 = rng.random();
+        let base = self.config.backoff_base;
+        base * 2u32.pow(exp) + base.mul_f64(jitter)
+    }
+
+    /// Point-in-time health rows for every shard, in shard order.
+    pub fn health(&self) -> Vec<ShardHealthSnapshot> {
+        self.states
+            .iter()
+            .enumerate()
+            .map(|(shard, state)| ShardHealthSnapshot {
+                shard,
+                quarantined: state.health.quarantined.load(Ordering::Relaxed),
+                consecutive_failures: state.health.consecutive_failures.load(Ordering::Relaxed),
+                calls: state.health.calls.load(Ordering::Relaxed),
+                failures: state.health.failures.load(Ordering::Relaxed),
+                retries: state.health.retries.load(Ordering::Relaxed),
+                quarantine_trips: state.health.quarantine_trips.load(Ordering::Relaxed),
+                skipped_queries: state.health.skipped_queries.load(Ordering::Relaxed),
+                last_error: *state
+                    .health
+                    .last_error
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+                replica_generation: state.replicas.read(),
+            })
+            .collect()
+    }
+}
+
+/// SplitMix64-style mix of (query, shard, attempt) into one backoff
+/// seed: distinct triples land in distinct xoshiro streams.
+fn backoff_seed(query_seq: u64, shard: u64, attempt: u64) -> u64 {
+    let mut z = query_seq
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(shard.rotate_left(24))
+        .wrapping_add(attempt.rotate_left(48));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Consults the fault-injection registry for shard scatter sites
+/// (`shard-{s}-primary`, `shard-{s}-replica-{j}`, and their `-corrupt`
+/// twins). A `Trip` models a stall past the sub-deadline, a `Panic` a
+/// crashed worker, and an armed `-corrupt` site a replica returning
+/// garbage the coordinator detects. No-op (and allocation-free) unless
+/// the test-only `failpoints` feature is on.
+pub(crate) fn consult_failpoint(shard: usize, role: usize) -> Result<(), ShardError> {
+    if !cfg!(feature = "failpoints") {
+        return Ok(());
+    }
+    use pis_graph::budget::{failpoint, FailAction};
+    let name = if role == 0 {
+        format!("shard-{shard}-primary")
+    } else {
+        format!("shard-{shard}-replica-{}", role - 1)
+    };
+    if failpoint(&format!("{name}-corrupt")).is_some() {
+        return Err(ShardError::Corrupt { shard });
+    }
+    match failpoint(&name) {
+        Some(FailAction::Trip) => Err(ShardError::DeadlineExceeded { shard }),
+        Some(FailAction::Panic) => panic!("failpoint panic at {name}"),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_routing_covers_every_shard() {
+        let router = ShardRouter::new(ShardConfig::new(3));
+        let shards: Vec<usize> = (0..7).map(|f| router.shard_of(f)).collect();
+        assert_eq!(shards, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn quarantine_trips_at_threshold_and_a_success_lifts_it() {
+        let router = ShardRouter::new(ShardConfig::new(2));
+        let threshold = router.config().failure_threshold;
+        for i in 0..threshold {
+            assert!(!router.is_quarantined(1), "not quarantined after {i} failures");
+            router.record_failure(ShardError::DeadlineExceeded { shard: 1 });
+        }
+        assert!(router.is_quarantined(1));
+        assert!(!router.is_quarantined(0), "failures attribute to their shard only");
+        let snap = &router.health()[1];
+        assert_eq!(snap.failures, u64::from(threshold));
+        assert_eq!(snap.quarantine_trips, 1);
+        assert_eq!(snap.last_error, Some(ShardError::DeadlineExceeded { shard: 1 }));
+        router.record_success(1);
+        assert!(!router.is_quarantined(1), "one success lifts quarantine");
+        assert_eq!(router.health()[1].consecutive_failures, 0);
+    }
+
+    #[test]
+    fn cooldown_skips_then_reprobes() {
+        let config = ShardConfig { cooldown_probes: 3, ..ShardConfig::new(1) };
+        let router = ShardRouter::new(config);
+        router.quarantine(0);
+        assert!(!router.should_probe(0), "skip 1");
+        assert!(!router.should_probe(0), "skip 2");
+        assert!(router.should_probe(0), "every cooldown-th query re-probes");
+        assert_eq!(router.health()[0].skipped_queries, 2);
+        // The window restarts after the probe.
+        assert!(!router.should_probe(0));
+    }
+
+    #[test]
+    fn healthy_shards_probe_without_counting() {
+        let router = ShardRouter::new(ShardConfig::new(2));
+        for _ in 0..10 {
+            assert!(router.should_probe(0));
+        }
+        assert_eq!(router.health()[0].skipped_queries, 0);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_grows_with_the_streak() {
+        let router = ShardRouter::new(ShardConfig::new(2));
+        let a = router.backoff_delay(7, 1, 1);
+        let b = router.backoff_delay(7, 1, 1);
+        assert_eq!(a, b, "same (query, shard, attempt) => same delay");
+        assert_ne!(router.backoff_delay(8, 1, 1), a, "different queries draw different jitter");
+        let base = router.config().backoff_base;
+        assert!(a >= base * 2 && a < base * 3, "streak 0, attempt 1: 2·base + jitter");
+        router.record_failure(ShardError::Panicked { shard: 1 });
+        router.record_failure(ShardError::Panicked { shard: 1 });
+        let c = router.backoff_delay(7, 1, 1);
+        assert!(c >= base * 8, "streak 2, attempt 1: 8·base + jitter");
+    }
+
+    #[test]
+    fn replica_set_handoff_never_tears() {
+        let set = ShardReplicaSet::new(2);
+        assert_eq!(set.read(), 0);
+        assert_eq!(set.role_of(0), 0);
+        assert_eq!(set.role_of(1), 1);
+        set.install(1);
+        assert_eq!(set.read(), 1);
+        assert_eq!(set.role_of(0), 1, "the new generation's primary slot");
+        // Concurrent installs and reads: every read returns a value
+        // some install published (monotonic installs => monotonic
+        // per-reader observations).
+        let set = ShardReplicaSet::new(3);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for g in 2..2_000 {
+                    set.install(g);
+                }
+            });
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    let mut last = 0;
+                    for _ in 0..2_000 {
+                        let g = set.read();
+                        assert!(g >= last, "reads never go backwards: {g} < {last}");
+                        last = g;
+                    }
+                });
+            }
+        });
+        assert_eq!(set.read(), 1_999);
+    }
+
+    #[test]
+    fn shard_error_reports_its_shard() {
+        for e in [
+            ShardError::DeadlineExceeded { shard: 4 },
+            ShardError::Panicked { shard: 4 },
+            ShardError::Corrupt { shard: 4 },
+        ] {
+            assert_eq!(e.shard(), 4);
+            assert!(e.to_string().contains("shard 4"), "{e}");
+        }
+    }
+
+    #[test]
+    fn consult_failpoint_is_ok_when_disarmed() {
+        #[cfg(not(feature = "failpoints"))]
+        {
+            assert_eq!(consult_failpoint(0, 0), Ok(()));
+            assert_eq!(consult_failpoint(3, 2), Ok(()));
+        }
+    }
+}

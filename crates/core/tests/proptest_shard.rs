@@ -1,0 +1,218 @@
+//! Equivalence and soundness suite for the sharded scatter-gather.
+//!
+//! The shard router must be invisible when healthy: for any shard count
+//! N — including N=1 and N=num_classes — a scatter over healthy shards
+//! is **byte-identical** (candidates, answers, raw `f64` distance bits)
+//! to the unsharded funnel, across both distance families, all three
+//! partition algorithms, and scratch reuse.
+//!
+//! When shards go dark the bar drops to **soundness**: a query that
+//! loses shards (modeled by force-quarantining them) must still return,
+//! report `Completeness::Degraded` naming only dark shards, and its
+//! answers must be a verified subset of the exact answer set — missing
+//! data may widen the candidate set but never prune it.
+
+use pis_core::{Completeness, PartitionAlgo, PisConfig, PisSearcher, SearchScratch, ShardConfig};
+use pis_distance::{LinearDistance, MutationDistance};
+use pis_graph::{EdgeAttr, GraphBuilder, Label, LabeledGraph, VertexAttr, VertexId};
+use pis_index::{FragmentIndex, IndexConfig, IndexDistance};
+use pis_mining::exhaustive::exhaustive_features;
+use proptest::prelude::*;
+
+/// Connected labeled graph: spanning tree plus extra edges, small label
+/// vocabulary so fragment classes collide across the database.
+fn connected_graph(
+    max_vertices: usize,
+    max_extra_edges: usize,
+    label_count: u32,
+) -> impl Strategy<Value = LabeledGraph> {
+    (2..=max_vertices).prop_flat_map(move |n| {
+        let tree_parents = proptest::collection::vec(0..n, n - 1);
+        let extra = proptest::collection::vec((0..n, 0..n), 0..=max_extra_edges);
+        let vlabels = proptest::collection::vec(0..label_count, n);
+        let elabels = proptest::collection::vec(0..label_count, n - 1 + max_extra_edges);
+        (tree_parents, extra, vlabels, elabels).prop_map(move |(parents, extra, vl, el)| {
+            let mut b = GraphBuilder::new();
+            let vs: Vec<VertexId> =
+                (0..n).map(|i| b.add_vertex(VertexAttr::labeled(Label(vl[i])))).collect();
+            let mut next = 0usize;
+            for i in 1..n {
+                let p = parents[i - 1] % i;
+                b.add_edge(vs[p], vs[i], EdgeAttr::labeled(Label(el[next])))
+                    .expect("tree edges are fresh");
+                next += 1;
+            }
+            for &(u, v) in &extra {
+                if u != v {
+                    let _ = b.add_edge(vs[u], vs[v], EdgeAttr::labeled(Label(el[next])));
+                }
+                next += 1;
+            }
+            b.build()
+        })
+    })
+}
+
+/// Copies a graph, deriving dyadic numeric weights from the labels so
+/// linear distances have something to measure and sums stay exact.
+fn weighted_from_labels(g: &LabeledGraph) -> LabeledGraph {
+    let mut b = GraphBuilder::new();
+    for v in g.vertex_ids() {
+        let attr = g.vertex(v);
+        b.add_vertex(VertexAttr { label: attr.label, weight: attr.label.0 as f64 * 0.5 });
+    }
+    for e in g.edges() {
+        b.add_edge(
+            e.source,
+            e.target,
+            EdgeAttr { label: e.attr.label, weight: 1.0 + e.attr.label.0 as f64 },
+        )
+        .expect("copying a simple graph");
+    }
+    b.build()
+}
+
+fn build_index(db: &[LabeledGraph], distance: IndexDistance) -> FragmentIndex {
+    let structures: Vec<LabeledGraph> = db.iter().map(LabeledGraph::erase_labels).collect();
+    FragmentIndex::build(db, exhaustive_features(&structures, 3), distance, &IndexConfig::default())
+}
+
+/// Bitwise comparison of one sharded outcome against the unsharded
+/// reference.
+fn assert_identical(
+    got: &pis_core::SearchOutcome,
+    expect: &pis_core::SearchOutcome,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&got.candidates, &expect.candidates, "candidates differ: {}", context);
+    prop_assert_eq!(&got.answers, &expect.answers, "answers differ: {}", context);
+    let got_bits: Vec<u64> = got.answer_distances.iter().map(|d| d.to_bits()).collect();
+    let expect_bits: Vec<u64> = expect.answer_distances.iter().map(|d| d.to_bits()).collect();
+    prop_assert_eq!(got_bits, expect_bits, "distance bits differ: {}", context);
+    prop_assert!(
+        got.completeness.is_exact(),
+        "a healthy scatter must stay Exact ({}): {:?}",
+        context,
+        got.completeness
+    );
+    prop_assert!(
+        got.stats.degraded_shards.is_empty(),
+        "a healthy scatter reports no dark shards ({})",
+        context
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Healthy scatter-gather is byte-identical to the unsharded funnel
+    /// for every shard count in {1, 2, 7, num_classes}, under both
+    /// distance families and all three partition algorithms, through
+    /// one reused scratch.
+    #[test]
+    fn healthy_scatter_is_byte_identical(
+        db in proptest::collection::vec(connected_graph(5, 2, 3), 2..6),
+        qi in 0usize..8,
+        algo in prop::sample::select(vec![
+            PartitionAlgo::Greedy,
+            PartitionAlgo::EnhancedGreedy(2),
+            PartitionAlgo::Exact,
+        ]),
+        linear in prop::sample::select(vec![false, true]),
+    ) {
+        let db: Vec<LabeledGraph> = if linear {
+            db.iter().map(weighted_from_labels).collect()
+        } else {
+            db
+        };
+        let distance = if linear {
+            IndexDistance::Linear(LinearDistance::edges_only())
+        } else {
+            IndexDistance::Mutation(MutationDistance::edge_hamming())
+        };
+        let index = build_index(&db, distance);
+        let query = db[qi % db.len()].clone();
+        let config = PisConfig { partition: algo, ..PisConfig::default() };
+        let reference = PisSearcher::new(&index, &db, config.clone());
+        let num_classes = index.features().len().max(1);
+        // One scratch spans every (sigma, shard count) pair: residue
+        // from a previous scatter would surface as a bit mismatch.
+        let mut scratch = SearchScratch::new();
+        for sigma in [0.5, 2.0] {
+            let expect = reference.search(&query, sigma);
+            prop_assert!(expect.completeness.is_exact());
+            for shards in [1usize, 2, 7, num_classes] {
+                let sharded = PisSearcher::new(
+                    &index,
+                    &db,
+                    PisConfig { shard: Some(ShardConfig::new(shards)), ..config.clone() },
+                );
+                let got = sharded.search_with_scratch(&query, sigma, &mut scratch);
+                let context = format!("{shards} shards, sigma {sigma}, linear {linear}");
+                assert_identical(&got, &expect, &context)?;
+            }
+        }
+    }
+
+    /// Force-quarantined shards degrade soundly: the query still
+    /// returns, `Degraded` names only dark shards, and the verified
+    /// answers are a subset of the exact answer set.
+    #[test]
+    fn quarantined_shards_degrade_soundly(
+        db in proptest::collection::vec(connected_graph(5, 2, 3), 2..6),
+        qi in 0usize..8,
+        shards in 2usize..6,
+        dark_mask in 1usize..63,
+    ) {
+        let index = build_index(&db, IndexDistance::Mutation(MutationDistance::edge_hamming()));
+        let query = db[qi % db.len()].clone();
+        let exact = PisSearcher::new(&index, &db, PisConfig::default()).search(&query, 2.0);
+        let sharded = PisSearcher::new(
+            &index,
+            &db,
+            PisConfig { shard: Some(ShardConfig::new(shards)), ..PisConfig::default() },
+        );
+        let router = sharded.router().expect("a sharded searcher exposes its router");
+        let mut dark = Vec::new();
+        for s in 0..router.shards() {
+            if dark_mask & (1 << s) != 0 {
+                router.quarantine(s);
+                dark.push(s);
+            }
+        }
+        let got = sharded.search(&query, 2.0);
+        for a in &got.answers {
+            prop_assert!(
+                exact.answers.contains(a),
+                "degraded answers must be a subset of exact: {:?} not in {:?}",
+                a,
+                exact.answers
+            );
+        }
+        // Every reported answer distance is the true one (verification
+        // never runs on fiction).
+        for (a, d) in got.answers.iter().zip(&got.answer_distances) {
+            let i = exact.answers.iter().position(|g| g == a).expect("subset");
+            prop_assert_eq!(d.to_bits(), exact.answer_distances[i].to_bits());
+        }
+        match &got.completeness {
+            Completeness::Exact => {
+                // None of the dark shards owned a probe for this query,
+                // so nothing was lost and the outcome must match.
+                prop_assert_eq!(&got.answers, &exact.answers);
+                prop_assert!(got.stats.degraded_shards.is_empty());
+            }
+            Completeness::Degraded { shards: degraded } => {
+                prop_assert!(!degraded.is_empty());
+                for s in degraded {
+                    prop_assert!(dark.contains(s), "only dark shards may degrade: {}", s);
+                }
+                prop_assert_eq!(degraded.clone(), got.stats.degraded_shards.clone());
+            }
+            Completeness::Truncated { .. } => {
+                prop_assert!(false, "an unlimited budget cannot truncate");
+            }
+        }
+    }
+}

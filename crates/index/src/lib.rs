@@ -43,7 +43,7 @@ pub mod wal;
 pub use flat_trie::{BatchFrontier, FlatTrie, TrieFrontier};
 pub use fragment::{FragmentBuffer, FragmentVector, FragmentVectorRef, QueryFragment};
 pub use index::{
-    Backend, FragmentIndex, IndexCheckReport, IndexConfig, IndexDistance, RangeScratch,
+    Backend, FragmentIndex, IndexCheckReport, IndexConfig, IndexDistance, RangeScratch, ShardView,
 };
 pub use persist::{load_index, save_index, PersistError};
 pub use snapshot::{decode_snapshot, encode_snapshot, load_snapshot, write_snapshot};

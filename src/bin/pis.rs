@@ -52,8 +52,9 @@ usage:
   pis sample   DB.lg --edges M [--count N] [--seed S] --out QUERIES.lg
   pis build    DB.lg --out INDEX.pis [--max-edges L] [--features gindex|paths|exhaustive]
   pis search   DB.lg --index INDEX.pis --query QUERIES.lg --sigma S [--baseline topo|naive]
-               [--explain] [--time-limit-ms T] [--node-limit N]
+               [--explain] [--time-limit-ms T] [--node-limit N] [--shards N]
   pis knn      DB.lg --index INDEX.pis --query QUERIES.lg -k K [--time-limit-ms T] [--node-limit N]
+               [--shards N]
   pis snapshot DB.lg --index INDEX.pis --out DIR
   pis compact  DIR
   pis check    DIR
@@ -72,6 +73,34 @@ fn parse_budget(flags: &Flags<'_>) -> Result<QueryBudget, String> {
         budget.node_limit = Some(n);
     }
     Ok(budget)
+}
+
+/// Builds the optional [`ShardConfig`] from `--shards N` (unsharded
+/// when absent; `--shards 1` still exercises the scatter-gather path).
+fn parse_shards(flags: &Flags<'_>) -> Result<Option<ShardConfig>, String> {
+    match flags.value("shards") {
+        None => Ok(None),
+        Some(n) => {
+            let n: usize = n.parse().map_err(|_| format!("invalid --shards: '{n}'"))?;
+            if n == 0 {
+                return Err("--shards needs at least 1".into());
+            }
+            Ok(Some(ShardConfig::new(n)))
+        }
+    }
+}
+
+/// Prints the stale-R-tree warning when any class would answer through
+/// its slow unfrozen path (someone forgot to compact after bulk
+/// mutation).
+fn warn_stale_rtrees(index: &FragmentIndex) {
+    let stale = index.rtree_stale_classes();
+    if stale > 0 {
+        println!(
+            "warning: {stale} class R-tree(s) are stale (unfrozen); queries take the slow \
+             path — run `pis compact` on the store or rebuild the index"
+        );
+    }
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -258,7 +287,7 @@ fn cmd_build(args: &[&String]) -> Result<(), String> {
 fn cmd_search(args: &[&String]) -> Result<(), String> {
     let flags = Flags::parse(
         args,
-        &["index", "query", "sigma", "baseline", "time-limit-ms", "node-limit"],
+        &["index", "query", "sigma", "baseline", "time-limit-ms", "node-limit", "shards"],
     )?;
     let db = load_db(flags.positional(0, "database file")?)?;
     let index = load_idx(flags.required("index")?)?;
@@ -266,15 +295,17 @@ fn cmd_search(args: &[&String]) -> Result<(), String> {
     let sigma: f64 = flags.num("sigma", 2.0)?;
     let explain = flags.has("explain");
     let budget = parse_budget(&flags)?;
+    let shard = parse_shards(&flags)?;
     if db.len() != index.graph_count() {
         return Err("database and index sizes differ".into());
     }
+    warn_stale_rtrees(&index);
+    let config = PisConfig { budget: budget.clone(), shard, ..PisConfig::default() };
+    let searcher = pis::core::PisSearcher::new(&index, &db, config);
     for (qi, q) in queries.iter().enumerate() {
         let start = Instant::now();
         let (answers, distances, candidates) = match flags.value("baseline") {
             None => {
-                let config = PisConfig { budget: budget.clone(), ..PisConfig::default() };
-                let searcher = pis::core::PisSearcher::new(&index, &db, config);
                 let o = searcher.try_search(q, sigma).map_err(|e| format!("query {qi}: {e}"))?;
                 if explain {
                     print!("{}", pis::core::explain(&o, &index, sigma));
@@ -285,6 +316,12 @@ fn cmd_search(args: &[&String]) -> Result<(), String> {
                          {} candidates left undecided",
                         phase.name(),
                         o.possible.len()
+                    );
+                }
+                if let Completeness::Degraded { shards } = &o.completeness {
+                    println!(
+                        "query {qi}: shard(s) {shards:?} stayed dark — answers below are a \
+                         verified subset (missing shards never prune)"
                     );
                 }
                 (o.answers, o.answer_distances, o.candidates.len())
@@ -319,13 +356,16 @@ fn cmd_search(args: &[&String]) -> Result<(), String> {
 }
 
 fn cmd_knn(args: &[&String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &["index", "query", "k", "time-limit-ms", "node-limit"])?;
+    let flags =
+        Flags::parse(args, &["index", "query", "k", "time-limit-ms", "node-limit", "shards"])?;
     let db = load_db(flags.positional(0, "database file")?)?;
     let index = load_idx(flags.required("index")?)?;
     let queries = load_db(flags.required("query")?)?;
     let k: usize = flags.num("k", 5)?;
     let budget = parse_budget(&flags)?;
-    let config = PisConfig { budget, ..PisConfig::default() };
+    let shard = parse_shards(&flags)?;
+    warn_stale_rtrees(&index);
+    let config = PisConfig { budget, shard, ..PisConfig::default() };
     let searcher = pis::core::PisSearcher::new(&index, &db, config);
     for (qi, q) in queries.iter().enumerate() {
         let start = Instant::now();
@@ -338,11 +378,17 @@ fn cmd_knn(args: &[&String]) -> Result<(), String> {
             knn.radius,
             start.elapsed()
         );
-        if !knn.completeness.is_exact() {
+        if let Completeness::Truncated { .. } = &knn.completeness {
             println!(
                 "query {qi}: budget exhausted — neighbors are best-so-far, \
                  certified up to radius {}",
                 knn.certified_radius
+            );
+        }
+        if let Completeness::Degraded { shards } = &knn.completeness {
+            println!(
+                "query {qi}: shard(s) {shards:?} stayed dark — neighbors are drawn from \
+                 the healthy shards only"
             );
         }
         for n in &knn.neighbors {
@@ -416,6 +462,12 @@ fn cmd_check(args: &[&String]) -> Result<(), String> {
         report.index.frozen_entries,
         report.index.pending_entries
     );
+    if report.index.rtree_stale_classes > 0 {
+        println!(
+            "  warning:  {} r-tree class(es) stale (unfrozen slow path) — run `pis compact`",
+            report.index.rtree_stale_classes
+        );
+    }
     println!(
         "  wal:      {} bytes, {} records ({} replayable, {} already in the snapshot), \
          {} torn tail bytes",

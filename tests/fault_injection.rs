@@ -95,6 +95,9 @@ fn deadline_at_every_checkpoint_of_every_phase_is_sound() {
                     let got: Vec<usize> = outcome.answers.iter().map(|g| g.index()).collect();
                     assert_eq!(got, oracle, "untripped run must equal the oracle");
                 }
+                Completeness::Degraded { shards } => {
+                    panic!("an unsharded searcher cannot degrade (shards {shards:?})")
+                }
             }
         }
         assert!(tripped_at_least_once, "site {site} was never consulted — dead checkpoint?");

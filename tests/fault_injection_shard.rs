@@ -1,0 +1,259 @@
+//! Shard fault-injection tier (runs only with `--features failpoints`).
+//!
+//! Scatter-gather scenarios against the `ShardRouter`: a panicked shard
+//! worker, a shard stalled past its sub-deadline on both replicas, a
+//! failed primary served by its replica, a corrupt replica tripping
+//! quarantine, and a generation handoff re-routing attempts. Each
+//! scenario asserts the robustness contract — typed errors with correct
+//! shard attribution, `Degraded` completeness naming exactly the dark
+//! shards, and `answers ⊆ exact` throughout.
+#![cfg(feature = "failpoints")]
+
+mod common;
+
+use std::sync::Mutex;
+
+use common::ring;
+use pis::core::PisSearcher;
+use pis::distance::oracle::sssd_brute;
+use pis::prelude::*;
+
+/// The failpoint registry is process-global: every test serializes
+/// itself behind this lock and disarms on entry and exit.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn db() -> Vec<LabeledGraph> {
+    vec![
+        ring(&[1, 1, 1, 1, 1, 1]),
+        ring(&[1, 1, 1, 1, 1, 2]),
+        ring(&[1, 1, 1, 1, 2, 2]),
+        ring(&[1, 1, 1, 2, 2, 2]),
+        ring(&[2, 2, 2, 2, 2, 2]),
+        ring(&[1, 2, 1, 2, 1, 2]),
+    ]
+}
+
+fn system() -> PisSystem {
+    PisSystem::builder()
+        .mutation_distance(MutationDistance::edge_hamming())
+        .exhaustive_features(4)
+        .build(db())
+}
+
+/// Two class shards with a short cooldown so the quarantine state
+/// machine is observable within a few queries.
+fn sharded_config() -> PisConfig {
+    let shard = ShardConfig { cooldown_probes: 2, ..ShardConfig::new(2) };
+    PisConfig { shard: Some(shard), ..PisConfig::default() }
+}
+
+/// Exact answer set of the brute-force oracle, as raw indices.
+fn exact(database: &[LabeledGraph], query: &LabeledGraph, sigma: f64) -> Vec<usize> {
+    sssd_brute(database, query, &MutationDistance::edge_hamming(), sigma)
+}
+
+/// Asserts the graceful-degradation contract of one outcome against the
+/// oracle: verified answers ⊆ exact, and exact ⊆ answers ∪ possible.
+fn assert_sound(outcome: &SearchOutcome, exact: &[usize], context: &str) {
+    for a in &outcome.answers {
+        assert!(exact.contains(&a.index()), "{context}: fabricated answer {a}");
+    }
+    for e in exact {
+        let covered = outcome.answers.iter().any(|g| g.index() == *e)
+            || outcome.possible.iter().any(|g| g.index() == *e);
+        assert!(covered, "{context}: true answer {e} silently dropped");
+    }
+}
+
+/// A worker panicking mid-descent (the `range-descent` checkpoint, so
+/// every shard's kernel crashes) is caught at the shard boundary: the
+/// query returns `Degraded` instead of propagating the panic, the
+/// failure is typed `Panicked` with the right shard, and the searcher
+/// recovers fully once the fault clears.
+#[test]
+fn panicked_shard_worker_is_contained_and_degrades() {
+    let _guard = SERIAL.lock().unwrap();
+    failpoints::disarm_all();
+    let system = system();
+    let searcher = PisSearcher::new(system.index(), system.database(), sharded_config());
+    let query = ring(&[1, 1, 1, 1, 1, 1]);
+    let sigma = 2.0;
+    let oracle = exact(system.database(), &query, sigma);
+
+    failpoints::arm_panic("range-descent", 1);
+    let outcome = searcher.search(&query, sigma);
+    failpoints::disarm_all();
+
+    // Unsharded, this exact fault surfaces as a caller-visible panic
+    // (see `fault_injection.rs`); the shard boundary contains it.
+    assert_sound(&outcome, &oracle, "panicked shard workers");
+    let Completeness::Degraded { shards } = &outcome.completeness else {
+        panic!("a sticky panic in every shard kernel must degrade: {:?}", outcome.completeness);
+    };
+    assert!(!shards.is_empty());
+    let router = searcher.router().expect("sharded searcher");
+    for &s in shards {
+        assert!(s < router.shards(), "degraded shard {s} out of range");
+        let health = &router.health()[s];
+        assert_eq!(health.last_error, Some(ShardError::Panicked { shard: s }));
+        assert_eq!(health.retries, 1, "one replica failover per dark shard");
+    }
+
+    // The fault cleared: the same searcher answers exactly again.
+    let after = searcher.search(&query, sigma);
+    assert!(after.completeness.is_exact(), "recovered searcher is exact");
+    let got: Vec<usize> = after.answers.iter().map(|g| g.index()).collect();
+    assert_eq!(got, oracle);
+}
+
+/// A failed primary is served by the replica: the outcome stays exact
+/// and byte-identical to the unsharded run, with the failover visible
+/// only in the health counters.
+#[test]
+fn failed_primary_is_served_by_the_replica() {
+    let _guard = SERIAL.lock().unwrap();
+    failpoints::disarm_all();
+    let system = system();
+    let reference = PisSearcher::new(system.index(), system.database(), PisConfig::default());
+    let searcher = PisSearcher::new(system.index(), system.database(), sharded_config());
+    let query = ring(&[1, 1, 1, 1, 1, 1]);
+    let sigma = 2.0;
+    let expect = reference.search(&query, sigma);
+
+    failpoints::arm("shard-0-primary", 1);
+    let outcome = searcher.search(&query, sigma);
+    failpoints::disarm_all();
+
+    assert!(outcome.completeness.is_exact(), "the replica served: {:?}", outcome.completeness);
+    assert_eq!(outcome.answers, expect.answers);
+    assert_eq!(outcome.candidates, expect.candidates);
+    let bits: Vec<u64> = outcome.answer_distances.iter().map(|d| d.to_bits()).collect();
+    let expect_bits: Vec<u64> = expect.answer_distances.iter().map(|d| d.to_bits()).collect();
+    assert_eq!(bits, expect_bits, "replica-served answers are bit-identical");
+    assert_eq!(outcome.stats.shard_retries, 1);
+    assert_eq!(outcome.stats.shard_failures, 1);
+
+    let router = searcher.router().expect("sharded searcher");
+    let health = &router.health()[0];
+    assert_eq!(health.failures, 1);
+    assert_eq!(health.retries, 1);
+    assert!(health.calls >= 2, "primary attempt plus replica retry");
+    assert!(!health.quarantined, "one failure is far from the threshold");
+    assert_eq!(health.last_error, Some(ShardError::DeadlineExceeded { shard: 0 }));
+    assert_eq!(router.health()[1].failures, 0, "the fault attributes to shard 0 only");
+}
+
+/// A shard stalled past its sub-deadline on the primary *and* the
+/// replica stays dark: the query returns `Degraded` naming exactly that
+/// shard, sound answers, typed `DeadlineExceeded` attribution.
+#[test]
+fn shard_dark_on_both_replicas_degrades_with_attribution() {
+    let _guard = SERIAL.lock().unwrap();
+    failpoints::disarm_all();
+    let system = system();
+    let searcher = PisSearcher::new(system.index(), system.database(), sharded_config());
+    let query = ring(&[1, 1, 1, 1, 1, 1]);
+    let sigma = 2.0;
+    let oracle = exact(system.database(), &query, sigma);
+
+    failpoints::arm("shard-0-primary", 1);
+    failpoints::arm("shard-0-replica-0", 1);
+    let outcome = searcher.search(&query, sigma);
+    failpoints::disarm_all();
+
+    assert_sound(&outcome, &oracle, "shard 0 dark");
+    assert_eq!(
+        outcome.completeness,
+        Completeness::Degraded { shards: vec![0] },
+        "exactly shard 0 stayed dark"
+    );
+    assert_eq!(outcome.stats.degraded_shards, vec![0]);
+    assert_eq!(outcome.stats.shard_failures, 2, "primary and replica attempts both failed");
+    let router = searcher.router().expect("sharded searcher");
+    let health = &router.health()[0];
+    assert_eq!(health.failures, 2);
+    assert_eq!(health.last_error, Some(ShardError::DeadlineExceeded { shard: 0 }));
+    assert!(!health.quarantined, "two failures stay under the threshold of 3");
+    assert_eq!(router.health()[1].failures, 0, "shard 1 was healthy throughout");
+}
+
+/// A corrupt replica answer fails both attempts of every query until
+/// the consecutive-failure threshold quarantines the shard; quarantined
+/// queries skip it cheaply, the cooldown re-probe lifts the quarantine
+/// once the fault clears, and every step stays sound.
+#[test]
+fn corrupt_replica_trips_quarantine_then_cooldown_lifts_it() {
+    let _guard = SERIAL.lock().unwrap();
+    failpoints::disarm_all();
+    let system = system();
+    let searcher = PisSearcher::new(system.index(), system.database(), sharded_config());
+    let router = searcher.router().expect("sharded searcher");
+    let query = ring(&[1, 1, 1, 1, 1, 1]);
+    let sigma = 2.0;
+    let oracle = exact(system.database(), &query, sigma);
+
+    // Both roles of shard 0 return detectably corrupt answers.
+    failpoints::arm("shard-0-primary-corrupt", 1);
+    failpoints::arm("shard-0-replica-0-corrupt", 1);
+
+    // Query 1: two failures (streak 2, under the threshold of 3).
+    let q1 = searcher.search(&query, sigma);
+    assert_sound(&q1, &oracle, "corrupt replica, query 1");
+    assert_eq!(q1.completeness, Completeness::Degraded { shards: vec![0] });
+    assert!(!router.is_quarantined(0));
+
+    // Query 2: the third consecutive failure trips quarantine.
+    let q2 = searcher.search(&query, sigma);
+    assert_sound(&q2, &oracle, "corrupt replica, query 2");
+    assert_eq!(q2.completeness, Completeness::Degraded { shards: vec![0] });
+    assert!(router.is_quarantined(0), "threshold 3 tripped during query 2");
+    let health = &router.health()[0];
+    assert_eq!(health.quarantine_trips, 1);
+    assert_eq!(health.last_error, Some(ShardError::Corrupt { shard: 0 }));
+
+    // Query 3: inside the cooldown window the shard is skipped without
+    // an attempt — degraded, one skip counted, no new failures.
+    let failures_before = router.health()[0].failures;
+    let q3 = searcher.search(&query, sigma);
+    assert_sound(&q3, &oracle, "quarantined skip, query 3");
+    assert_eq!(q3.completeness, Completeness::Degraded { shards: vec![0] });
+    assert_eq!(router.health()[0].failures, failures_before, "skips make no attempts");
+    assert_eq!(router.health()[0].skipped_queries, 1);
+
+    // The fault clears; the cooldown re-probe (every 2nd query here)
+    // succeeds and lifts the quarantine.
+    failpoints::disarm_all();
+    let q4 = searcher.search(&query, sigma);
+    assert!(q4.completeness.is_exact(), "the re-probe served: {:?}", q4.completeness);
+    assert!(!router.is_quarantined(0), "one success lifts quarantine");
+    let got: Vec<usize> = q4.answers.iter().map(|g| g.index()).collect();
+    assert_eq!(got, oracle);
+}
+
+/// A replica-set generation handoff re-routes which role serves the
+/// first attempt: after `install`, an armed old-primary site is never
+/// consulted, so the scatter succeeds without any failover.
+#[test]
+fn generation_handoff_routes_attempts_to_the_new_role() {
+    let _guard = SERIAL.lock().unwrap();
+    failpoints::disarm_all();
+    let system = system();
+    let searcher = PisSearcher::new(system.index(), system.database(), sharded_config());
+    let router = searcher.router().expect("sharded searcher");
+    let query = ring(&[1, 1, 1, 1, 1, 1]);
+    let sigma = 2.0;
+    let oracle = exact(system.database(), &query, sigma);
+
+    // Generation 1: attempt 0 now serves from role 1 ("replica-0"), so
+    // the armed primary site never fires.
+    router.replica_set(0).install(1);
+    failpoints::arm("shard-0-primary", 1);
+    let outcome = searcher.search(&query, sigma);
+    failpoints::disarm_all();
+
+    assert!(outcome.completeness.is_exact(), "handoff dodged the fault");
+    assert_eq!(outcome.stats.shard_retries, 0, "no failover was needed");
+    let got: Vec<usize> = outcome.answers.iter().map(|g| g.index()).collect();
+    assert_eq!(got, oracle);
+    assert_eq!(router.health()[0].failures, 0);
+}
